@@ -1,0 +1,85 @@
+//! Criterion: the full CorgiPile stack — library trainer epochs, the
+//! threaded double-buffered loader, and multi-worker epochs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use corgipile_core::{parallel_epoch_plan, train_parallel, ParallelConfig, ThreadedLoader, Trainer, TrainerConfig};
+use corgipile_data::{DatasetSpec, Order};
+use corgipile_ml::{build_model, ModelKind, OptimizerKind, Sgd};
+use corgipile_shuffle::StrategyKind;
+use corgipile_storage::{SimDevice, Table};
+
+fn table() -> Table {
+    DatasetSpec::higgs_like(8_000)
+        .with_order(Order::ClusteredByLabel)
+        .with_block_bytes(8 << 10)
+        .build_table(1)
+        .unwrap()
+}
+
+fn bench_trainer(c: &mut Criterion) {
+    let table = table();
+    let mut group = c.benchmark_group("trainer_2_epochs");
+    group.throughput(Throughput::Elements(2 * table.num_tuples()));
+    group.sample_size(20);
+    for strategy in [StrategyKind::NoShuffle, StrategyKind::CorgiPile] {
+        group.bench_function(strategy.display(), |b| {
+            b.iter(|| {
+                let cfg = TrainerConfig::new(ModelKind::Svm, 2)
+                    .with_strategy(strategy)
+                    .with_optimizer(OptimizerKind::default_sgd(0.02));
+                let mut dev = SimDevice::in_memory();
+                std::hint::black_box(
+                    Trainer::new(cfg).train(&table, &mut dev, 1).unwrap().final_train_metric,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_threaded_loader(c: &mut Criterion) {
+    let table = table();
+    let mut group = c.benchmark_group("threaded_loader_epoch");
+    group.throughput(Throughput::Elements(table.num_tuples()));
+    group.sample_size(20);
+    group.bench_function("double_buffered", |b| {
+        b.iter(|| {
+            let loader = ThreadedLoader::spawn(table.clone(), 14, 3);
+            std::hint::black_box(loader.count())
+        })
+    });
+    group.finish();
+}
+
+fn bench_parallel_epoch(c: &mut Criterion) {
+    let table = table();
+    let mut group = c.benchmark_group("parallel_epoch");
+    group.throughput(Throughput::Elements(table.num_tuples()));
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        group.bench_function(format!("{workers}_workers"), |b| {
+            let cfg = ParallelConfig {
+                workers,
+                total_buffer_fraction: 0.1,
+                batch_size: 128,
+                seed: 1,
+                ..Default::default()
+            };
+            b.iter(|| {
+                let mut model = build_model(&ModelKind::LogisticRegression, 28, 1);
+                let mut opt = Sgd::new(0.02, 1.0);
+                let plan = parallel_epoch_plan(&table, &cfg, 0);
+                std::hint::black_box(train_parallel(
+                    model.as_mut(),
+                    &mut opt,
+                    &plan.merged_batches,
+                    workers,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trainer, bench_threaded_loader, bench_parallel_epoch);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion: one in-DB training epoch through the Volcano pipeline —
+//! the wall-clock analogue of Figure 13 (No-Shuffle plan vs CorgiPile plan
+//! vs single-buffer CorgiPile).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use corgipile_data::{DatasetSpec, Order};
+use corgipile_db::{BlockShuffleOp, ExecContext, PhysicalOperator, ScanMode, SgdOperator, TupleShuffleOp};
+use corgipile_ml::{build_model, ComputeCostModel, ModelKind, OptimizerKind, TrainOptions};
+use corgipile_shuffle::StrategyParams;
+use corgipile_storage::{SimDevice, Table};
+use std::sync::Arc;
+
+fn table() -> Arc<Table> {
+    Arc::new(
+        DatasetSpec::higgs_like(8_000)
+            .with_order(Order::ClusteredByLabel)
+            .with_block_bytes(8 << 10)
+            .build_table(1)
+            .unwrap(),
+    )
+}
+
+fn run_epoch(table: &Arc<Table>, plan: &str, double: bool) -> f64 {
+    let child: Box<dyn PhysicalOperator> = match plan {
+        "no" => Box::new(BlockShuffleOp::new(table.clone(), ScanMode::Sequential, 1)),
+        _ => Box::new(TupleShuffleOp::new(
+            Box::new(BlockShuffleOp::new(table.clone(), ScanMode::RandomBlocks, 1)),
+            800,
+            StrategyParams::default(),
+        )),
+    };
+    let op = SgdOperator::new(
+        child,
+        build_model(&ModelKind::Svm, 28, 1),
+        OptimizerKind::default_sgd(0.02).build(),
+        TrainOptions::default(),
+        ComputeCostModel::in_db_core(),
+        1,
+        double,
+    );
+    let mut dev = SimDevice::in_memory();
+    let mut ctx = ExecContext::new(&mut dev);
+    op.execute(&mut ctx).epochs[0].epoch_seconds
+}
+
+fn bench_per_epoch(c: &mut Criterion) {
+    let table = table();
+    let mut group = c.benchmark_group("db_epoch");
+    group.throughput(Throughput::Elements(table.num_tuples()));
+    group.sample_size(20);
+    for (name, plan, double) in [
+        ("no_shuffle_plan", "no", true),
+        ("corgipile_double_buffer", "corgi", true),
+        ("corgipile_single_buffer", "corgi", false),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(run_epoch(&table, plan, double)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_per_epoch);
+criterion_main!(benches);

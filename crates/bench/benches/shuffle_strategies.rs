@@ -1,0 +1,47 @@
+//! Criterion: wall-clock throughput of each shuffle strategy's epoch
+//! stream generation (the CPU side of Table 1 / Figure 13: how expensive
+//! is producing the order itself?).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use corgipile_data::{DatasetSpec, Order};
+use corgipile_shuffle::{build_strategy, StrategyKind, StrategyParams};
+use corgipile_storage::{SimDevice, Table};
+
+fn table() -> Table {
+    DatasetSpec::higgs_like(8_000)
+        .with_order(Order::ClusteredByLabel)
+        .with_block_bytes(8 << 10)
+        .build_table(1)
+        .unwrap()
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let table = table();
+    let mut group = c.benchmark_group("epoch_stream");
+    group.throughput(Throughput::Elements(table.num_tuples()));
+    for kind in [
+        StrategyKind::NoShuffle,
+        StrategyKind::ShuffleOnce,
+        StrategyKind::SlidingWindow,
+        StrategyKind::Mrs,
+        StrategyKind::BlockOnly,
+        StrategyKind::CorgiPile,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.display()),
+            &kind,
+            |b, &kind| {
+                let mut strategy = build_strategy(kind, StrategyParams::default());
+                b.iter(|| {
+                    let mut dev = SimDevice::in_memory();
+                    let plan = strategy.next_epoch(&table, &mut dev);
+                    std::hint::black_box(plan.num_tuples())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

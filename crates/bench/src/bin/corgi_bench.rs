@@ -1,0 +1,50 @@
+//! `corgi-bench`: regenerate the CorgiPile paper's tables and figures.
+//!
+//! ```text
+//! corgi-bench list          # index of experiments
+//! corgi-bench fig11         # one artifact
+//! corgi-bench fig1 fig3     # several
+//! corgi-bench all           # everything (use --release!)
+//! ```
+//!
+//! TSV outputs land in `results/` (override with `CORGI_RESULTS_DIR`).
+
+use corgipile_bench::experiments::registry;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let experiments = registry();
+    if args.is_empty() || args.iter().any(|a| a == "list" || a == "--help" || a == "-h") {
+        println!("corgi-bench — regenerate the CorgiPile paper's evaluation\n");
+        println!("usage: corgi-bench <experiment>... | all | list\n");
+        println!("{:<8}  {}", "id", "artifact");
+        println!("{}", "-".repeat(80));
+        for e in &experiments {
+            println!("{:<8}  {}", e.id, e.what);
+        }
+        return;
+    }
+
+    let wanted: Vec<&str> = if args.iter().any(|a| a == "all") {
+        experiments.iter().map(|e| e.id).collect()
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+
+    let mut unknown = Vec::new();
+    for id in &wanted {
+        match experiments.iter().find(|e| e.id == *id) {
+            Some(e) => {
+                eprintln!("[corgi-bench] running {} — {}", e.id, e.what);
+                let t0 = std::time::Instant::now();
+                (e.run)();
+                eprintln!("[corgi-bench] {} done in {:.1}s\n", e.id, t0.elapsed().as_secs_f64());
+            }
+            None => unknown.push(*id),
+        }
+    }
+    if !unknown.is_empty() {
+        eprintln!("unknown experiment(s): {}; run `corgi-bench list`", unknown.join(", "));
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,138 @@
+//! `corgi-sql`: an interactive SQL shell over the in-DB CorgiPile engine.
+//!
+//! ```sh
+//! cargo run --release -p corgipile-bench --bin corgi-sql
+//! ```
+//!
+//! Starts a session over a simulated device with the five GLM demo tables
+//! pre-registered (clustered order, scaled blocks). Supports the full §6
+//! surface plus introspection:
+//!
+//! ```sql
+//! SHOW TABLES;
+//! EXPLAIN SELECT * FROM higgs TRAIN BY svm WITH strategy = 'corgipile';
+//! SELECT * FROM higgs TRAIN BY svm WITH learning_rate = 0.03, max_epoch_num = 5;
+//! SELECT * FROM higgs PREDICT BY higgs_svm;
+//! ```
+//!
+//! Meta-commands: `\d` (tables), `\m` (models), `\q` (quit), `\help`.
+
+use corgipile_bench::common::glm_datasets;
+use corgipile_data::Order;
+use corgipile_db::{QueryResult, Session};
+use corgipile_storage::SimDevice;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut session = Session::new(SimDevice::ssd_scaled(1280.0, 256 << 20));
+    eprint!("loading demo tables");
+    for spec in glm_datasets(Order::ClusteredByLabel) {
+        let name = spec.name.clone();
+        let table = spec.build_table(1).expect("demo table builds");
+        session.register_table(name, table);
+        eprint!(".");
+    }
+    eprintln!(" done.");
+    eprintln!("corgi-sql — type \\help for help, \\q to quit.");
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        eprint!("corgi=# ");
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line {
+            "\\q" | "\\quit" | "exit" | "quit" => break,
+            "\\d" => {
+                writeln!(out, "{}", session.catalog().table_names().join("\n")).ok();
+                continue;
+            }
+            "\\m" => {
+                writeln!(out, "{}", session.catalog().model_names().join("\n")).ok();
+                continue;
+            }
+            "\\help" => {
+                writeln!(
+                    out,
+                    "queries:\n  SELECT * FROM <t> TRAIN BY <lr|svm|linreg|softmax|mlp> \
+                     [WITH k = v, ...];\n  SELECT * FROM <t> PREDICT BY <model>;\n  \
+                     EXPLAIN <train query>;\n  SHOW TABLES; SHOW MODELS;\n\
+                     params: learning_rate, decay, max_epoch_num, batch_size, l2,\n        \
+                     buffer_fraction, block_size, shared_buffers, seed,\n        \
+                     double_buffer, report_metrics,\n        \
+                     strategy = 'corgipile'|'once'|'no'|'block_only'|'tuple_only',\n        \
+                     model_name\nmeta: \\d tables, \\m models, \\q quit"
+                )
+                .ok();
+                continue;
+            }
+            _ => {}
+        }
+        match session.execute(line) {
+            Ok(QueryResult::Train(t)) => {
+                writeln!(
+                    out,
+                    "TRAIN OK: model '{}' ({}), strategy {}, {} epochs",
+                    t.model_name,
+                    t.model_kind,
+                    t.strategy,
+                    t.epochs.len()
+                )
+                .ok();
+                for e in &t.epochs {
+                    writeln!(
+                        out,
+                        "  epoch {:>2}: loss {:.4}  epoch_time {:>9.3}ms  total {:>9.3}ms",
+                        e.epoch,
+                        e.train_loss,
+                        e.epoch_seconds * 1e3,
+                        e.sim_seconds_end * 1e3
+                    )
+                    .ok();
+                }
+                writeln!(
+                    out,
+                    "  final train metric {:.2}%  (setup {:.3}ms)",
+                    t.final_train_metric * 100.0,
+                    t.setup_seconds * 1e3
+                )
+                .ok();
+            }
+            Ok(QueryResult::Predict { predictions, metric }) => {
+                writeln!(
+                    out,
+                    "PREDICT OK: {} rows, metric {:.2}% (first 10: {:?})",
+                    predictions.len(),
+                    metric * 100.0,
+                    &predictions[..predictions.len().min(10)]
+                )
+                .ok();
+            }
+            Ok(QueryResult::Plan(lines)) => {
+                for l in lines {
+                    writeln!(out, "{l}").ok();
+                }
+            }
+            Ok(QueryResult::Names(names)) => {
+                for n in names {
+                    writeln!(out, "{n}").ok();
+                }
+            }
+            Err(e) => {
+                writeln!(out, "ERROR: {e}").ok();
+            }
+        }
+        out.flush().ok();
+    }
+}

@@ -1,0 +1,192 @@
+//! Shared experiment infrastructure: scaled datasets and devices.
+
+use corgipile_data::{DataKind, Dataset, DatasetSpec, Order};
+use corgipile_ml::OptimizerKind;
+use corgipile_storage::{DeviceProfile, SimDevice, Table};
+
+/// Per-dataset GLM learning rate (the paper grid-searches {0.1, 0.01,
+/// 0.001} per workload, §7.1.3). Unit-normalized embedding data (epsilon,
+/// yfcc) needs a much larger rate than raw-feature data.
+pub fn glm_optimizer(dataset: &str) -> OptimizerKind {
+    match dataset {
+        "epsilon" | "yfcc" => OptimizerKind::Sgd { lr0: 4.0, decay: 0.8 },
+        _ => OptimizerKind::Sgd { lr0: 0.03, decay: 0.8 },
+    }
+}
+
+/// Per-dataset learning rate for mini-batch SGD (gradients are averaged
+/// over the batch, so normalized embedding data needs an even larger
+/// rate).
+pub fn glm_minibatch_optimizer(dataset: &str) -> OptimizerKind {
+    match dataset {
+        "epsilon" | "yfcc" => OptimizerKind::Sgd { lr0: 8.0, decay: 0.95 },
+        _ => OptimizerKind::Sgd { lr0: 0.1, decay: 0.9 },
+    }
+}
+
+/// The paper's block size (10 MB), against which scales are computed.
+pub const PAPER_BLOCK_BYTES: f64 = (10u64 << 20) as f64;
+
+/// The paper's RAM size (32 GB) relative to its biggest datasets — criteo
+/// (50 GB) and yfcc (55 GB) do not fit, everything else does.
+fn fits_in_cache(name: &str) -> bool {
+    !matches!(name, "criteo" | "yfcc" | "imagenet")
+}
+
+/// One experiment-ready dataset: spec, materialized data, heap table.
+pub struct ExpData {
+    /// The generating spec (carries name/order/block size).
+    pub spec: DatasetSpec,
+    /// Train+test tuples.
+    pub ds: Dataset,
+    /// The train split as a heap table.
+    pub table: Table,
+}
+
+impl ExpData {
+    /// Build from a spec.
+    pub fn build(spec: DatasetSpec, seed: u64, table_id: u32) -> Self {
+        let ds = spec.build(seed);
+        let table = ds.to_table(table_id).expect("valid spec");
+        ExpData { spec, ds, table }
+    }
+
+    /// The device scale factor preserving the paper's seek-to-transfer
+    /// ratio for this table's block size.
+    pub fn device_scale(&self) -> f64 {
+        (PAPER_BLOCK_BYTES / self.spec.block_bytes as f64).max(1.0)
+    }
+
+    /// HDD + SSD devices scaled for this dataset, with an OS cache sized so
+    /// that datasets which fit in the paper's RAM fit here too.
+    pub fn devices(&self) -> (SimDevice, SimDevice) {
+        devices_for(&self.table, self.device_scale(), fits_in_cache(&self.spec.name))
+    }
+
+    /// The scaled HDD only.
+    pub fn hdd(&self) -> SimDevice {
+        self.devices().0
+    }
+
+    /// The scaled SSD only.
+    pub fn ssd(&self) -> SimDevice {
+        self.devices().1
+    }
+}
+
+/// Build scaled HDD/SSD devices for a table.
+pub fn devices_for(table: &Table, scale: f64, fits: bool) -> (SimDevice, SimDevice) {
+    // Shuffle-Once needs room for the shuffled copy too, so "fits" means
+    // 3× the table; "doesn't fit" caches half the table.
+    let cache = if fits { table.total_bytes() * 3 } else { table.total_bytes() / 2 };
+    (
+        SimDevice::new(
+            DeviceProfile::hdd_scaled(scale),
+            corgipile_storage::CacheConfig::with_capacity(cache),
+        ),
+        SimDevice::new(
+            DeviceProfile::ssd_scaled(scale),
+            corgipile_storage::CacheConfig::with_capacity(cache),
+        ),
+    )
+}
+
+/// The five GLM datasets of §7.3 at experiment scale, with per-dataset
+/// block sizes holding ≥ ~30 tuples per block (see DESIGN.md §4).
+pub fn glm_datasets(order: Order) -> Vec<DatasetSpec> {
+    vec![
+        DatasetSpec::higgs_like(24_000).with_order(order).with_block_bytes(8 << 10),
+        DatasetSpec::susy_like(12_000).with_order(order).with_block_bytes(8 << 10),
+        DatasetSpec::epsilon_like(1_500).with_order(order).with_block_bytes(256 << 10),
+        DatasetSpec::criteo_like(24_000).with_order(order).with_block_bytes(32 << 10),
+        DatasetSpec::yfcc_like(1_000).with_order(order).with_block_bytes(512 << 10),
+    ]
+}
+
+/// A quick (smaller) variant of [`glm_datasets`] for convergence-only runs.
+pub fn glm_datasets_small(order: Order) -> Vec<DatasetSpec> {
+    vec![
+        DatasetSpec::higgs_like(8_000).with_order(order).with_block_bytes(8 << 10),
+        DatasetSpec::susy_like(6_000).with_order(order).with_block_bytes(8 << 10),
+        DatasetSpec::epsilon_like(800).with_order(order).with_block_bytes(128 << 10),
+        DatasetSpec::criteo_like(8_000).with_order(order).with_block_bytes(16 << 10),
+        DatasetSpec::yfcc_like(700).with_order(order).with_block_bytes(256 << 10),
+    ]
+}
+
+/// The cifar-10 stand-in (§7.2.2).
+pub fn cifar_dataset(order: Order) -> DatasetSpec {
+    DatasetSpec::cifar_like(4_000).with_order(order).with_block_bytes(8 << 10)
+}
+
+/// The yelp-review stand-in (§7.2.2).
+pub fn yelp_dataset(order: Order) -> DatasetSpec {
+    DatasetSpec::yelp_like(4_000).with_order(order).with_block_bytes(8 << 10)
+}
+
+/// The ImageNet stand-in (§7.2.1) — more classes, wider features.
+pub fn imagenet_dataset(order: Order) -> DatasetSpec {
+    DatasetSpec::new(
+        "imagenet",
+        DataKind::MultiClass { dim: 128, classes: 20, separation: 3.5 },
+        6_000,
+    )
+    .with_order(order)
+    .with_block_bytes(16 << 10)
+}
+
+/// YearPredictionMSD stand-in (§7.4.2).
+pub fn msd_dataset(order: Order) -> DatasetSpec {
+    DatasetSpec::msd_like(8_000).with_order(order).with_block_bytes(8 << 10)
+}
+
+/// mini8m stand-in (§7.4.2).
+pub fn mini8m_dataset(order: Order) -> DatasetSpec {
+    DatasetSpec::mini8m_like(2_000).with_order(order).with_block_bytes(64 << 10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_scale_preserves_seek_transfer_ratio() {
+        let e = ExpData::build(
+            DatasetSpec::higgs_like(2_000).with_block_bytes(8 << 10),
+            1,
+            1,
+        );
+        let scale = e.device_scale();
+        assert!((scale - 1280.0).abs() < 1.0);
+        let (hdd, _) = e.devices();
+        let paper_ratio = (PAPER_BLOCK_BYTES / 140e6) / 8e-3;
+        let our_ratio = ((8 << 10) as f64 / 140e6) / hdd.profile().seek_latency_s;
+        assert!((paper_ratio - our_ratio).abs() / paper_ratio < 0.01);
+    }
+
+    #[test]
+    fn glm_datasets_have_enough_blocks() {
+        for spec in glm_datasets_small(Order::ClusteredByLabel) {
+            let e = ExpData::build(spec, 2, 3);
+            assert!(
+                e.table.num_blocks() >= 20,
+                "{}: only {} blocks",
+                e.spec.name,
+                e.table.num_blocks()
+            );
+            assert!(
+                e.table.tuples_per_block() >= 10.0,
+                "{}: only {} tuples/block",
+                e.spec.name,
+                e.table.tuples_per_block()
+            );
+        }
+    }
+
+    #[test]
+    fn cache_policy_separates_big_and_small() {
+        assert!(fits_in_cache("higgs"));
+        assert!(!fits_in_cache("criteo"));
+        assert!(!fits_in_cache("yfcc"));
+    }
+}

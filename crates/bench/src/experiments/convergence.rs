@@ -1,0 +1,240 @@
+//! Convergence-rate experiments: Figures 1, 2, 12, 17, 19.
+
+use super::{paper_strategies, run_strategy, tail_metric};
+use crate::common::{glm_optimizer, cifar_dataset, glm_datasets_small, ExpData};
+use crate::report::{fmt_pct, fmt_secs, Report};
+use corgipile_data::{DatasetSpec, Order};
+use corgipile_ml::{ModelKind, OptimizerKind};
+use corgipile_shuffle::StrategyKind;
+
+/// Figure 1: SVM on clustered higgs — (a) accuracy per epoch; (b) accuracy
+/// against end-to-end time, where Shuffle Once starts late because of the
+/// offline shuffle.
+pub fn fig1() {
+    let data = ExpData::build(
+        DatasetSpec::higgs_like(24_000)
+            .with_order(Order::ClusteredByLabel)
+            .with_block_bytes(8 << 10),
+        1,
+        1,
+    );
+    let epochs = 10;
+    let mut rep = Report::new(
+        "fig1",
+        "SVM on clustered higgs-like data (HDD)",
+        &["strategy", "epoch", "test_acc", "cum_time"],
+    );
+    for strategy in paper_strategies() {
+        let mut dev = data.hdd();
+        let r = run_strategy(&data, ModelKind::Svm, strategy, epochs, &mut dev, |c| {
+            c.with_optimizer(glm_optimizer(&data.spec.name))
+        });
+        for e in &r.epochs {
+            rep.row(&[
+                &strategy,
+                &e.epoch,
+                &fmt_pct(e.test_metric.unwrap_or(0.0)),
+                &fmt_secs(e.sim_seconds_end),
+            ]);
+        }
+    }
+    rep.note("Shuffle Once's first-epoch time includes the offline full shuffle (Figure 1b's late start).");
+    rep.finish();
+}
+
+/// Figure 2: the five shuffling strategies on clustered *and* shuffled
+/// versions of a GLM dataset and an image dataset.
+pub fn fig2() {
+    let mut rep = Report::new(
+        "fig2",
+        "convergence on clustered vs shuffled data",
+        &["dataset", "order", "strategy", "epoch", "test_acc"],
+    );
+    for order in [Order::ClusteredByLabel, Order::Shuffled] {
+        let order_name = match order {
+            Order::ClusteredByLabel => "clustered",
+            _ => "shuffled",
+        };
+        // criteo-like + LR (the paper's Figure 2 uses criteo for GLMs).
+        let glm = ExpData::build(
+            DatasetSpec::criteo_like(8_000).with_order(order).with_block_bytes(16 << 10),
+            2,
+            2,
+        );
+        // cifar-like + softmax-MLP.
+        let img = ExpData::build(cifar_dataset(order), 3, 3);
+        for strategy in paper_strategies() {
+            let mut dev = glm.hdd();
+            let r =
+                run_strategy(&glm, ModelKind::LogisticRegression, strategy, 6, &mut dev, |c| {
+                    c.with_optimizer(glm_optimizer(&glm.spec.name))
+                });
+            for e in &r.epochs {
+                rep.row(&[
+                    &"criteo(LR)",
+                    &order_name,
+                    &strategy,
+                    &e.epoch,
+                    &fmt_pct(e.test_metric.unwrap_or(0.0)),
+                ]);
+            }
+            let mut dev = img.hdd();
+            let r = run_strategy(
+                &img,
+                ModelKind::Mlp { hidden: vec![32], classes: 10 },
+                strategy,
+                6,
+                &mut dev,
+                |c| c.with_batch_size(64).with_optimizer(OptimizerKind::default_sgd(0.1)),
+            );
+            for e in &r.epochs {
+                rep.row(&[
+                    &"cifar(MLP)",
+                    &order_name,
+                    &strategy,
+                    &e.epoch,
+                    &fmt_pct(e.test_metric.unwrap_or(0.0)),
+                ]);
+            }
+        }
+    }
+    rep.note("On shuffled data all strategies coincide; on clustered data only Shuffle Once and CorgiPile stay at full accuracy (paper Figure 2).");
+    rep.finish();
+}
+
+/// Figure 12: LR and SVM convergence for all strategies across the five
+/// GLM datasets (clustered).
+pub fn fig12() {
+    let mut rep = Report::new(
+        "fig12",
+        "LR/SVM convergence with all strategies, clustered datasets",
+        &["dataset", "model", "strategy", "final_acc", "acc@1", "acc@3"],
+    );
+    for spec in glm_datasets_small(Order::ClusteredByLabel) {
+        let data = ExpData::build(spec, 4, 4);
+        for model in [ModelKind::LogisticRegression, ModelKind::Svm] {
+            for strategy in paper_strategies() {
+                let mut dev = data.hdd();
+                let r = run_strategy(&data, model.clone(), strategy, 8, &mut dev, |c| {
+                    c.with_optimizer(glm_optimizer(&data.spec.name))
+                });
+                let at = |e: usize| {
+                    r.epochs
+                        .get(e)
+                        .and_then(|x| x.test_metric)
+                        .map(fmt_pct)
+                        .unwrap_or_default()
+                };
+                rep.row(&[
+                    &data.spec.name,
+                    &model,
+                    &strategy,
+                    &fmt_pct(tail_metric(&r, 3)),
+                    &at(1),
+                    &at(3),
+                ]);
+            }
+        }
+    }
+    rep.finish();
+}
+
+/// Figure 17: mini-batch (128) convergence for all strategies.
+pub fn fig17() {
+    let mut rep = Report::new(
+        "fig17",
+        "mini-batch SGD (batch 128) convergence, clustered datasets",
+        &["dataset", "model", "strategy", "final_acc"],
+    );
+    for spec in glm_datasets_small(Order::ClusteredByLabel) {
+        let data = ExpData::build(spec, 5, 5);
+        let epochs = (300 * 128 / data.spec.train).clamp(10, 60);
+        for model in [ModelKind::LogisticRegression, ModelKind::Svm] {
+            for strategy in paper_strategies() {
+                let mut dev = data.ssd();
+                let r = run_strategy(&data, model.clone(), strategy, epochs, &mut dev, |c| {
+                    c.with_batch_size(128)
+                        .with_optimizer(crate::common::glm_minibatch_optimizer(&data.spec.name))
+                });
+                rep.row(&[&data.spec.name, &model, &strategy, &fmt_pct(tail_metric(&r, 3))]);
+            }
+        }
+    }
+    rep.finish();
+}
+
+/// Figure 19: datasets ordered by a *feature* instead of the label.
+pub fn fig19() {
+    let mut rep = Report::new(
+        "fig19",
+        "converged accuracy on feature-ordered datasets",
+        &["dataset", "feature", "model", "no_shuffle", "shuffle_once", "corgipile"],
+    );
+    // Like the paper: select features with the highest / median / lowest
+    // absolute correlation with the label (computed on a probe build).
+    let bases = vec![
+        DatasetSpec::higgs_like(8_000).with_block_bytes(8 << 10),
+        DatasetSpec::susy_like(6_000).with_block_bytes(8 << 10),
+        DatasetSpec::epsilon_like(800).with_block_bytes(128 << 10),
+        DatasetSpec::yfcc_like(700).with_block_bytes(256 << 10),
+    ];
+    let cases: Vec<(DatasetSpec, Vec<usize>)> = bases
+        .into_iter()
+        .map(|base| {
+            let probe = base.build(6);
+            let dim = base.dim();
+            let n = probe.train.len() as f64;
+            let mean_y: f64 =
+                probe.train.iter().map(|t| t.label as f64).sum::<f64>() / n;
+            let mut corr: Vec<(usize, f64)> = (0..dim)
+                .map(|j| {
+                    let mut sxy = 0.0f64;
+                    let mut sx = 0.0f64;
+                    let mut sxx = 0.0f64;
+                    for t in &probe.train {
+                        let x = t.features.get(j) as f64;
+                        sx += x;
+                        sxx += x * x;
+                        sxy += x * (t.label as f64 - mean_y);
+                    }
+                    let var = (sxx - sx * sx / n).max(1e-12);
+                    (j, (sxy / var.sqrt()).abs())
+                })
+                .collect();
+            corr.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            let features =
+                vec![corr[0].0, corr[corr.len() / 2].0, corr[corr.len() - 1].0];
+            (base, features)
+        })
+        .collect();
+    for (base, features) in cases {
+        for feature in features {
+            let spec = base.clone().with_order(Order::OrderedByFeature(feature));
+            let data = ExpData::build(spec, 6, 6);
+            for model in [ModelKind::LogisticRegression, ModelKind::Svm] {
+                let mut acc = std::collections::BTreeMap::new();
+                for strategy in [
+                    StrategyKind::NoShuffle,
+                    StrategyKind::ShuffleOnce,
+                    StrategyKind::CorgiPile,
+                ] {
+                    let mut dev = data.ssd();
+                    let r = run_strategy(&data, model.clone(), strategy, 8, &mut dev, |c| {
+                        c.with_optimizer(glm_optimizer(&data.spec.name))
+                    });
+                    acc.insert(strategy.display(), tail_metric(&r, 3));
+                }
+                rep.row(&[
+                    &data.spec.name,
+                    &feature,
+                    &model,
+                    &fmt_pct(acc["No Shuffle"]),
+                    &fmt_pct(acc["Shuffle Once"]),
+                    &fmt_pct(acc["CorgiPile"]),
+                ]);
+            }
+        }
+    }
+    rep.note("CorgiPile tracks Shuffle Once on every feature ordering; No Shuffle lags on orderings correlated with the label (paper Figure 19).");
+    rep.finish();
+}

@@ -1,0 +1,23 @@
+//! # corgipile-bench
+//!
+//! The experiment harness regenerating every table and figure of the
+//! CorgiPile paper's evaluation (§7). Each experiment is a function that
+//! runs the relevant workloads at laptop scale, prints the paper's
+//! rows/series to stdout, and writes a TSV into `results/`.
+//!
+//! Run `corgi-bench list` for the experiment index, `corgi-bench all` for
+//! everything, or `corgi-bench fig11` (etc.) for one artifact. Use
+//! `--release`: the deep-learning stand-ins execute real gradient math.
+//!
+//! Scaling discipline (DESIGN.md §2/§4): datasets are 10³–10⁴× smaller
+//! than the paper's, block sizes shrink proportionally, and the simulated
+//! device's seek latency shrinks by the same factor
+//! ([`common::devices_for`]), so every seek-to-transfer ratio — and hence
+//! every relative result — is preserved.
+
+pub mod common;
+pub mod experiments;
+pub mod report;
+
+pub use common::{devices_for, ExpData};
+pub use report::Report;

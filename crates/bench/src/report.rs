@@ -1,0 +1,180 @@
+//! Experiment output: aligned stdout tables + TSV files under `results/`.
+
+use std::fmt::Display;
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Collects rows for one experiment artifact and renders them.
+pub struct Report {
+    id: String,
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Report {
+    /// Start a report for artifact `id` ("fig11", "table3", …).
+    pub fn new(id: impl Into<String>, title: impl Into<String>, header: &[&str]) -> Self {
+        Report {
+            id: id.into(),
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append one row (stringifies every cell).
+    pub fn row(&mut self, cells: &[&dyn Display]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Append one pre-stringified row.
+    pub fn row_strings(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Attach a free-form note printed under the table.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render the aligned table to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+
+    /// Print to stdout and write `results/<id>.tsv`.
+    pub fn finish(&self) {
+        println!("{}", self.render());
+        if let Err(e) = self.write_tsv() {
+            eprintln!("warning: could not write results/{}.tsv: {e}", self.id);
+        }
+    }
+
+    /// Write the TSV file; returns its path.
+    pub fn write_tsv(&self) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.tsv", self.id));
+        let mut f = fs::File::create(&path)?;
+        writeln!(f, "{}", self.header.join("\t"))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join("\t"))?;
+        }
+        for n in &self.notes {
+            writeln!(f, "# {n}")?;
+        }
+        Ok(path)
+    }
+}
+
+/// Directory for TSV outputs (`CORGI_RESULTS_DIR` or `./results`).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("CORGI_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Format seconds compactly ("1.23s", "45.6ms").
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.1}µs", s * 1e6)
+    }
+}
+
+/// Format a metric as a percentage.
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_and_contains_rows() {
+        let mut r = Report::new("t", "demo", &["name", "value"]);
+        r.row(&[&"alpha", &1.25]);
+        r.row(&[&"b", &"x"]);
+        r.note("hello");
+        let s = r.render();
+        assert!(s.contains("alpha"));
+        assert!(s.contains("note: hello"));
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut r = Report::new("t", "demo", &["a", "b"]);
+        r.row(&[&1]);
+    }
+
+    #[test]
+    fn tsv_written_to_custom_dir() {
+        let dir = std::env::temp_dir().join(format!("corgi_test_{}", std::process::id()));
+        std::env::set_var("CORGI_RESULTS_DIR", &dir);
+        let mut r = Report::new("unit_test_artifact", "t", &["a"]);
+        r.row(&[&42]);
+        let path = r.write_tsv().unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.starts_with("a\n42"));
+        std::env::remove_var("CORGI_RESULTS_DIR");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_secs(2.5), "2.50s");
+        assert_eq!(fmt_secs(0.0025), "2.50ms");
+        assert_eq!(fmt_secs(2.5e-6), "2.5µs");
+        assert_eq!(fmt_pct(0.756), "75.6%");
+    }
+}

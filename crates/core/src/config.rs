@@ -1,0 +1,98 @@
+//! CorgiPile configuration.
+
+use corgipile_shuffle::{BlockSampleMode, StrategyParams};
+
+/// Configuration of the CorgiPile pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorgiPileConfig {
+    /// Buffer size as a fraction of the data set (paper default 10 %).
+    pub buffer_fraction: f64,
+    /// Whether each epoch covers all blocks (system behaviour) or samples
+    /// `n` blocks (Algorithm 1).
+    pub sample_mode: BlockSampleMode,
+    /// Whether the TupleShuffle stage uses the double-buffering
+    /// optimization of §6.3.
+    pub double_buffer: bool,
+    /// RNG seed for block/tuple shuffling.
+    pub seed: u64,
+}
+
+impl Default for CorgiPileConfig {
+    fn default() -> Self {
+        CorgiPileConfig {
+            buffer_fraction: 0.10,
+            sample_mode: BlockSampleMode::FullCoverage,
+            double_buffer: true,
+            seed: 0xC0491,
+        }
+    }
+}
+
+impl CorgiPileConfig {
+    /// Override the buffer fraction.
+    pub fn with_buffer_fraction(mut self, f: f64) -> Self {
+        assert!(f > 0.0 && f <= 1.0, "buffer fraction must be in (0, 1]");
+        self.buffer_fraction = f;
+        self
+    }
+
+    /// Override the sampling mode.
+    pub fn with_sample_mode(mut self, mode: BlockSampleMode) -> Self {
+        self.sample_mode = mode;
+        self
+    }
+
+    /// Enable/disable double buffering.
+    pub fn with_double_buffer(mut self, on: bool) -> Self {
+        self.double_buffer = on;
+        self
+    }
+
+    /// Override the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Convert to the shuffle-layer parameter block.
+    pub fn strategy_params(&self) -> StrategyParams {
+        StrategyParams::default()
+            .with_buffer_fraction(self.buffer_fraction)
+            .with_seed(self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = CorgiPileConfig::default();
+        assert_eq!(c.buffer_fraction, 0.10);
+        assert_eq!(c.sample_mode, BlockSampleMode::FullCoverage);
+        assert!(c.double_buffer);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = CorgiPileConfig::default()
+            .with_buffer_fraction(0.02)
+            .with_double_buffer(false)
+            .with_seed(9)
+            .with_sample_mode(BlockSampleMode::SampleN);
+        assert_eq!(c.buffer_fraction, 0.02);
+        assert!(!c.double_buffer);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.sample_mode, BlockSampleMode::SampleN);
+        let p = c.strategy_params();
+        assert_eq!(p.buffer_fraction, 0.02);
+        assert_eq!(p.seed, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer fraction")]
+    fn invalid_fraction_rejected() {
+        CorgiPileConfig::default().with_buffer_fraction(1.5);
+    }
+}

@@ -1,0 +1,335 @@
+//! Multi-process CorgiPile (§5): per-worker block partitions, per-worker
+//! tuple buffers, and AllReduce-style synchronous gradient averaging.
+//!
+//! The paper's PyTorch DDP integration works as follows (Figure 5):
+//!
+//! 1. every process shuffles the *same* block permutation (shared seed) and
+//!    splits it into `PN` parts, taking part `i`;
+//! 2. each process fills a local buffer of `n/PN` blocks and shuffles the
+//!    buffered tuples;
+//! 3. each mini-batch step consumes `batch/PN` tuples per process, computes
+//!    local gradients, AllReduces (averages) them, and updates every
+//!    replica identically.
+//!
+//! Synchronous data parallelism makes the merged execution equivalent to
+//! mini-batch SGD over the *interleaved* global stream, which is what
+//! [`parallel_epoch_plan`] constructs; [`train_parallel`] then runs real
+//! worker threads that compute partial gradients concurrently and average
+//! them — a faithful single-machine analogue of DDP's AllReduce.
+
+use corgipile_data::rng::shuffle_in_place;
+use corgipile_ml::{Model, Optimizer};
+use corgipile_storage::{SimDevice, Table, Tuple};
+
+/// Configuration of multi-process CorgiPile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelConfig {
+    /// Number of processes (`PN`).
+    pub workers: usize,
+    /// Total buffer fraction across all workers (each gets `f/PN`, §5.1
+    /// step 3).
+    pub total_buffer_fraction: f64,
+    /// Global batch size (each worker contributes `batch/PN`, §5.1 step 4).
+    pub batch_size: usize,
+    /// Shared seed (all workers must agree for the block split to work).
+    pub seed: u64,
+    /// Device scale factor for the per-worker loaders (see
+    /// `DeviceProfile::hdd_scaled`); 1.0 = unscaled HDD.
+    pub device_scale: f64,
+    /// OS-cache bytes available to each worker's loader.
+    pub cache_bytes: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            workers: 4,
+            total_buffer_fraction: 0.10,
+            batch_size: 64,
+            seed: 0xDD9,
+            device_scale: 1.0,
+            cache_bytes: 0,
+        }
+    }
+}
+
+/// The materialized order of one multi-process epoch.
+#[derive(Debug, Clone)]
+pub struct ParallelEpoch {
+    /// Per-worker shuffled streams (what each process's loader yields).
+    pub worker_streams: Vec<Vec<Tuple>>,
+    /// Global mini-batches after interleaving `batch/PN` tuples per worker.
+    pub merged_batches: Vec<Vec<Tuple>>,
+    /// Simulated loading seconds, max across workers (they load in
+    /// parallel).
+    pub io_seconds: f64,
+}
+
+/// Build one epoch's multi-process plan.
+pub fn parallel_epoch_plan(
+    table: &Table,
+    cfg: &ParallelConfig,
+    epoch: usize,
+) -> ParallelEpoch {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    assert!(cfg.workers >= 1, "need at least one worker");
+    let pn = cfg.workers;
+    // Shared-seed block permutation: identical in every process (§5.1).
+    let mut shared = StdRng::seed_from_u64(cfg.seed ^ (epoch as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    let mut order: Vec<usize> = (0..table.num_blocks()).collect();
+    shuffle_in_place(&mut shared, &mut order);
+
+    // Split into PN contiguous parts.
+    let per = order.len().div_ceil(pn);
+    let mut worker_streams = Vec::with_capacity(pn);
+    let mut io_seconds: f64 = 0.0;
+    let n_total =
+        ((table.num_blocks() as f64 * cfg.total_buffer_fraction).round() as usize).max(pn);
+    let n_local = (n_total / pn).max(1);
+    for w in 0..pn {
+        let part: &[usize] = if w * per < order.len() {
+            &order[w * per..((w + 1) * per).min(order.len())]
+        } else {
+            &[]
+        };
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x70_u64 ^ (w as u64) << 8 ^ epoch as u64);
+        let mut dev = SimDevice::hdd_scaled(cfg.device_scale.max(1.0), cfg.cache_bytes);
+        let mut stream = Vec::new();
+        for chunk in part.chunks(n_local) {
+            let mut buf: Vec<Tuple> = Vec::new();
+            for &b in chunk {
+                buf.extend(table.read_block(b, &mut dev).expect("block in range"));
+            }
+            for i in (1..buf.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                buf.swap(i, j);
+            }
+            stream.extend(buf);
+        }
+        io_seconds = io_seconds.max(dev.stats().io_seconds);
+        worker_streams.push(stream);
+    }
+
+    // Interleave batch/PN per worker into global batches.
+    let share = (cfg.batch_size / pn).max(1);
+    let mut cursors = vec![0usize; pn];
+    let mut merged_batches = Vec::new();
+    loop {
+        let mut batch = Vec::with_capacity(share * pn);
+        let mut any = false;
+        for w in 0..pn {
+            let s = &worker_streams[w];
+            let take = share.min(s.len().saturating_sub(cursors[w]));
+            if take > 0 {
+                batch.extend_from_slice(&s[cursors[w]..cursors[w] + take]);
+                cursors[w] += take;
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+        merged_batches.push(batch);
+    }
+    ParallelEpoch { worker_streams, merged_batches, io_seconds }
+}
+
+/// Synchronous data-parallel mini-batch step over `batches`: each batch is
+/// split across `workers` real threads computing partial gradient sums
+/// against a shared read-only model snapshot; the main thread averages
+/// (AllReduce) and applies the optimizer step.
+///
+/// Returns the mean pre-update loss across the epoch.
+pub fn train_parallel(
+    model: &mut dyn Model,
+    opt: &mut dyn Optimizer,
+    batches: &[Vec<Tuple>],
+    workers: usize,
+) -> f64 {
+    assert!(workers >= 1);
+    let nparams = model.num_params();
+    let mut loss_sum = 0.0f64;
+    let mut examples = 0usize;
+    for batch in batches {
+        if batch.is_empty() {
+            continue;
+        }
+        let chunk = batch.len().div_ceil(workers);
+        let grads: Vec<(Vec<f32>, f64)> = crossbeam::thread::scope(|scope| {
+            let model_ref: &dyn Model = &*model;
+            let handles: Vec<_> = batch
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move |_| {
+                        let mut g = vec![0.0f32; nparams];
+                        let mut l = 0.0f64;
+                        for t in part {
+                            l += model_ref.loss(&t.features, t.label);
+                            model_ref.grad(&t.features, t.label, &mut g);
+                        }
+                        (g, l)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        })
+        .expect("thread scope");
+
+        // AllReduce: sum partial gradients, average over the global batch.
+        let mut total = vec![0.0f32; nparams];
+        for (g, l) in grads {
+            for (t, gi) in total.iter_mut().zip(&g) {
+                *t += gi;
+            }
+            loss_sum += l;
+        }
+        let scale = 1.0 / batch.len() as f32;
+        for t in total.iter_mut() {
+            *t *= scale;
+        }
+        opt.step(model.params_mut(), &total);
+        examples += batch.len();
+    }
+    if examples > 0 {
+        loss_sum / examples as f64
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corgipile_data::{DatasetSpec, Order};
+    use corgipile_ml::{build_model, ModelKind, Sgd};
+
+    fn clustered(n: usize) -> Table {
+        DatasetSpec::higgs_like(n)
+            .with_order(Order::ClusteredByLabel)
+            .with_block_bytes(2 * 8192)
+            .build_table(1)
+            .unwrap()
+    }
+
+    #[test]
+    fn plan_partitions_all_tuples_across_workers() {
+        let t = clustered(800);
+        let cfg = ParallelConfig { workers: 4, ..Default::default() };
+        let plan = parallel_epoch_plan(&t, &cfg, 0);
+        assert_eq!(plan.worker_streams.len(), 4);
+        let mut ids: Vec<u64> = plan
+            .worker_streams
+            .iter()
+            .flat_map(|s| s.iter().map(|t| t.id))
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..800).collect::<Vec<_>>());
+        // Merged batches cover the same multiset.
+        let mut merged: Vec<u64> = plan
+            .merged_batches
+            .iter()
+            .flat_map(|b| b.iter().map(|t| t.id))
+            .collect();
+        merged.sort_unstable();
+        assert_eq!(merged, (0..800).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn merged_batches_mix_labels_like_single_process_corgipile() {
+        // The Figure-5 equivalence: global batches should mix labels about
+        // as well as a single process with a PN×-sized buffer.
+        let t = clustered(2000);
+        let cfg = ParallelConfig {
+            workers: 4,
+            total_buffer_fraction: 0.2,
+            batch_size: 100,
+            seed: 5,
+            ..Default::default()
+        };
+        let plan = parallel_epoch_plan(&t, &cfg, 0);
+        let mut mixed = 0;
+        let total = plan.merged_batches.len();
+        for b in &plan.merged_batches {
+            let pos = b.iter().filter(|t| t.label > 0.0).count();
+            let frac = pos as f64 / b.len() as f64;
+            if frac > 0.1 && frac < 0.9 {
+                mixed += 1;
+            }
+        }
+        assert!(mixed * 2 >= total, "only {mixed}/{total} batches mixed");
+    }
+
+    #[test]
+    fn epochs_produce_fresh_orders() {
+        let t = clustered(400);
+        let cfg = ParallelConfig::default();
+        let a: Vec<u64> = parallel_epoch_plan(&t, &cfg, 0)
+            .merged_batches
+            .concat()
+            .iter()
+            .map(|t| t.id)
+            .collect();
+        let b: Vec<u64> = parallel_epoch_plan(&t, &cfg, 1)
+            .merged_batches
+            .concat()
+            .iter()
+            .map(|t| t.id)
+            .collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn train_parallel_learns_clustered_data() {
+        let spec = DatasetSpec::susy_like(2000)
+            .with_order(Order::ClusteredByLabel)
+            .with_block_bytes(8192);
+        let ds = spec.build(2);
+        let t = ds.to_table(1).unwrap();
+        let cfg = ParallelConfig {
+            workers: 4,
+            total_buffer_fraction: 0.2,
+            batch_size: 32,
+            seed: 3,
+            ..Default::default()
+        };
+        let mut model = build_model(&ModelKind::LogisticRegression, 18, 1);
+        let mut opt = Sgd::new(0.5, 0.95);
+        for e in 0..8 {
+            opt.set_epoch(e);
+            let plan = parallel_epoch_plan(&t, &cfg, e);
+            train_parallel(model.as_mut(), &mut opt, &plan.merged_batches, 4);
+        }
+        let acc = corgipile_ml::accuracy(model.as_ref(), &ds.test);
+        assert!(acc > 0.65, "parallel CorgiPile should learn: acc {acc}");
+    }
+
+    #[test]
+    fn parallel_gradients_match_sequential_minibatch() {
+        // One batch, 3 workers vs 1 worker: identical parameter updates.
+        let t = clustered(300);
+        let cfg = ParallelConfig { workers: 3, batch_size: 60, ..Default::default() };
+        let plan = parallel_epoch_plan(&t, &cfg, 0);
+        let batch = plan.merged_batches[0].clone();
+
+        let mut m1 = build_model(&ModelKind::Svm, 28, 1);
+        let mut m3 = build_model(&ModelKind::Svm, 28, 1);
+        let mut o1 = Sgd::new(0.1, 1.0);
+        let mut o3 = Sgd::new(0.1, 1.0);
+        train_parallel(m1.as_mut(), &mut o1, std::slice::from_ref(&batch), 1);
+        train_parallel(m3.as_mut(), &mut o3, std::slice::from_ref(&batch), 3);
+        for (a, b) in m1.params().iter().zip(m3.params()) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn single_worker_is_a_valid_degenerate_case() {
+        let t = clustered(200);
+        let cfg = ParallelConfig { workers: 1, batch_size: 32, ..Default::default() };
+        let plan = parallel_epoch_plan(&t, &cfg, 0);
+        assert_eq!(plan.worker_streams.len(), 1);
+        let total: usize = plan.merged_batches.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 200);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests for the trainer over randomized configurations.
+
+#![cfg(test)]
+
+use crate::config::CorgiPileConfig;
+use crate::trainer::{Trainer, TrainerConfig};
+use corgipile_data::{DatasetSpec, Order};
+use corgipile_ml::{ModelKind, OptimizerKind};
+use corgipile_shuffle::StrategyKind;
+use corgipile_storage::SimDevice;
+use proptest::prelude::*;
+
+fn tiny_table(n: usize, seed: u64) -> (corgipile_storage::Table, Vec<corgipile_storage::Tuple>) {
+    let ds = DatasetSpec::susy_like(n)
+        .with_order(Order::ClusteredByLabel)
+        .with_block_bytes(8192)
+        .build(seed);
+    (ds.to_table(1).unwrap(), ds.test)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any strategy × batch size × buffer fraction produces a well-formed
+    /// report: monotone cumulative time, full-coverage epochs, finite loss.
+    #[test]
+    fn prop_trainer_reports_are_well_formed(
+        strategy_idx in 0usize..8,
+        batch in prop_oneof![Just(1usize), Just(32), Just(100)],
+        frac_pct in 5u32..40,
+        seed in any::<u64>(),
+    ) {
+        let strategy = StrategyKind::all()[strategy_idx];
+        let (table, test) = tiny_table(600, 50);
+        let cfg = TrainerConfig::new(ModelKind::LogisticRegression, 2)
+            .with_strategy(strategy)
+            .with_batch_size(batch)
+            .with_optimizer(OptimizerKind::Sgd { lr0: 0.02, decay: 0.9 })
+            .with_corgipile(
+                CorgiPileConfig::default().with_buffer_fraction(frac_pct as f64 / 100.0),
+            );
+        let mut dev = SimDevice::hdd_scaled(1280.0, 0);
+        let r = Trainer::new(cfg).train_with_test(&table, &test, &mut dev, seed).unwrap();
+        prop_assert_eq!(r.epochs.len(), 2);
+        let mut last = 0.0f64;
+        for e in &r.epochs {
+            prop_assert!(e.sim_seconds_end > last);
+            last = e.sim_seconds_end;
+            prop_assert!(e.train_loss.is_finite() && e.train_loss >= 0.0);
+            prop_assert!(e.epoch_seconds <= e.io_seconds + e.compute_seconds + 1e-12);
+            prop_assert!((0.0..=1.0).contains(&e.test_metric.unwrap()));
+        }
+        prop_assert!((0.0..=1.0).contains(&r.final_train_metric));
+    }
+
+    /// Same seed ⇒ bit-identical training trajectory, for every strategy.
+    #[test]
+    fn prop_training_is_seed_deterministic(strategy_idx in 0usize..8, seed in any::<u64>()) {
+        let strategy = StrategyKind::all()[strategy_idx];
+        let (table, test) = tiny_table(400, 51);
+        let run = || {
+            let cfg = TrainerConfig::new(ModelKind::Svm, 2)
+                .with_strategy(strategy)
+                .with_optimizer(OptimizerKind::Sgd { lr0: 0.02, decay: 0.9 });
+            let mut dev = SimDevice::hdd_scaled(1280.0, 0);
+            let r = Trainer::new(cfg).train_with_test(&table, &test, &mut dev, seed).unwrap();
+            (r.model.params().to_vec(), r.total_sim_seconds())
+        };
+        let (p1, t1) = run();
+        let (p2, t2) = run();
+        prop_assert_eq!(p1, p2);
+        prop_assert_eq!(t1, t2);
+    }
+}

@@ -1,0 +1,492 @@
+//! The end-to-end trainer: strategy × model × optimizer × device.
+//!
+//! [`Trainer::train`] runs `epochs` passes of a [`ShuffleStrategy`] over a
+//! heap table, feeding the stream to per-tuple or mini-batch SGD while
+//! accounting simulated time:
+//!
+//! * **I/O time** comes from the strategy's segment costs (device cost
+//!   model);
+//! * **compute time** comes from the model's FLOP estimate × the
+//!   [`ComputeCostModel`];
+//! * the two are combined with the single- or double-buffer pipeline model
+//!   of §6.3 (double buffering overlaps loading with SGD).
+//!
+//! The per-epoch records ([`EpochRecord`]) carry cumulative simulated time,
+//! train loss, and test metric — exactly the data plotted in the paper's
+//! convergence/time figures.
+
+use corgipile_ml::{
+    accuracy, build_model, mean_loss, r_squared, train_minibatch, train_per_tuple,
+    ComputeCostModel, Model, ModelKind, OptimizerKind, TrainOptions,
+};
+use corgipile_shuffle::{build_strategy, ShuffleStrategy, StrategyKind, StrategyParams};
+use corgipile_storage::{DoubleBufferModel, SimDevice, Table, Tuple};
+use serde::Serialize;
+
+use crate::config::CorgiPileConfig;
+
+/// Full configuration of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainerConfig {
+    /// Model to train.
+    pub model: ModelKind,
+    /// Number of epochs.
+    pub epochs: usize,
+    /// Shuffle strategy.
+    pub strategy: StrategyKind,
+    /// CorgiPile-specific knobs (buffer fraction, sampling, double buffer).
+    pub corgipile: CorgiPileConfig,
+    /// Optimizer.
+    pub optimizer: OptimizerKind,
+    /// Batch size / clipping.
+    pub train_options: TrainOptions,
+    /// Compute cost model for the simulated clock.
+    pub compute: ComputeCostModel,
+}
+
+impl TrainerConfig {
+    /// A config with the paper's defaults: CorgiPile strategy, per-tuple
+    /// SGD at lr 0.1 with 0.95 decay, in-DB compute costs.
+    pub fn new(model: ModelKind, epochs: usize) -> Self {
+        TrainerConfig {
+            model,
+            epochs,
+            strategy: StrategyKind::CorgiPile,
+            corgipile: CorgiPileConfig::default(),
+            optimizer: OptimizerKind::default_sgd(0.1),
+            train_options: TrainOptions::default(),
+            compute: ComputeCostModel::in_db_core(),
+        }
+    }
+
+    /// Override the strategy.
+    pub fn with_strategy(mut self, s: StrategyKind) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    /// Override the CorgiPile config (also sets buffer fraction/seed for
+    /// the buffered baselines).
+    pub fn with_corgipile(mut self, c: CorgiPileConfig) -> Self {
+        self.corgipile = c;
+        self
+    }
+
+    /// Override the optimizer.
+    pub fn with_optimizer(mut self, o: OptimizerKind) -> Self {
+        self.optimizer = o;
+        self
+    }
+
+    /// Set the mini-batch size (1 = per-tuple SGD).
+    pub fn with_batch_size(mut self, b: usize) -> Self {
+        self.train_options.batch_size = b;
+        self
+    }
+
+    /// Set gradient clipping.
+    pub fn with_clip_norm(mut self, c: f32) -> Self {
+        self.train_options.clip_norm = c;
+        self
+    }
+
+    /// Override the compute cost model.
+    pub fn with_compute(mut self, c: ComputeCostModel) -> Self {
+        self.compute = c;
+        self
+    }
+
+    fn strategy_params(&self, seed: u64) -> StrategyParams {
+        self.corgipile.strategy_params().with_seed(seed)
+    }
+}
+
+/// One epoch's measurements.
+#[derive(Debug, Clone, Serialize)]
+pub struct EpochRecord {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// One-off setup cost charged this epoch (offline shuffles).
+    pub setup_seconds: f64,
+    /// Loading-side simulated seconds this epoch.
+    pub io_seconds: f64,
+    /// Compute-side simulated seconds this epoch.
+    pub compute_seconds: f64,
+    /// Pipelined epoch duration (after single-/double-buffer overlap).
+    pub epoch_seconds: f64,
+    /// Cumulative simulated time at the *end* of this epoch.
+    pub sim_seconds_end: f64,
+    /// Mean training loss over the epoch stream (pre-update).
+    pub train_loss: f64,
+    /// Test metric at epoch end: accuracy for classifiers, R² for
+    /// regression. `None` when no test set was supplied.
+    pub test_metric: Option<f64>,
+}
+
+/// The result of a training run.
+pub struct TrainReport {
+    /// Strategy used.
+    pub strategy: StrategyKind,
+    /// Model kind trained.
+    pub model_kind: ModelKind,
+    /// Per-epoch records.
+    pub epochs: Vec<EpochRecord>,
+    /// The trained model.
+    pub model: Box<dyn Model>,
+    /// Final accuracy (classifiers) or R² (regression) on the train table.
+    pub final_train_metric: f64,
+    /// Wall-clock seconds actually spent.
+    pub wall_seconds: f64,
+}
+
+impl TrainReport {
+    /// Total simulated seconds (setup + all epochs).
+    pub fn total_sim_seconds(&self) -> f64 {
+        self.epochs.last().map(|e| e.sim_seconds_end).unwrap_or(0.0)
+    }
+
+    /// Final training accuracy (alias of the final train metric for
+    /// classifiers).
+    pub fn final_train_accuracy(&self) -> f64 {
+        self.final_train_metric
+    }
+
+    /// Final test metric, if a test set was supplied.
+    pub fn final_test_metric(&self) -> Option<f64> {
+        self.epochs.last().and_then(|e| e.test_metric)
+    }
+
+    /// First epoch (0-based) whose test metric reaches `target`, with the
+    /// cumulative simulated time at that point.
+    pub fn time_to_metric(&self, target: f64) -> Option<(usize, f64)> {
+        self.epochs
+            .iter()
+            .find(|e| e.test_metric.map(|m| m >= target).unwrap_or(false))
+            .map(|e| (e.epoch, e.sim_seconds_end))
+    }
+}
+
+/// Runs training jobs described by a [`TrainerConfig`].
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    cfg: TrainerConfig,
+}
+
+impl Trainer {
+    /// Create a trainer.
+    pub fn new(cfg: TrainerConfig) -> Self {
+        Trainer { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.cfg
+    }
+
+    /// Train on `table` with no test set.
+    pub fn train(
+        &self,
+        table: &Table,
+        dev: &mut SimDevice,
+        seed: u64,
+    ) -> corgipile_storage::Result<TrainReport> {
+        self.train_with_test(table, &[], dev, seed)
+    }
+
+    /// Train on `table`, evaluating on `test` after each epoch.
+    pub fn train_with_test(
+        &self,
+        table: &Table,
+        test: &[Tuple],
+        dev: &mut SimDevice,
+        seed: u64,
+    ) -> corgipile_storage::Result<TrainReport> {
+        if table.num_tuples() == 0 {
+            return Err(corgipile_storage::StorageError::EmptyTable);
+        }
+        let wall_start = std::time::Instant::now();
+        let dim = infer_dim(table)?;
+        let mut model = build_model(&self.cfg.model, dim, seed);
+        let mut optimizer = self.cfg.optimizer.build();
+        let mut strategy: Box<dyn ShuffleStrategy> =
+            build_strategy(self.cfg.strategy, self.cfg.strategy_params(seed));
+
+        let mut records = Vec::with_capacity(self.cfg.epochs);
+        let mut sim_clock = 0.0f64;
+        for epoch in 0..self.cfg.epochs {
+            optimizer.set_epoch(epoch);
+            let plan = strategy.next_epoch(table, dev);
+
+            // Per-segment loading/compute costs for the pipeline model.
+            let mut io = Vec::with_capacity(plan.segments.len());
+            let mut compute = Vec::with_capacity(plan.segments.len());
+            for seg in &plan.segments {
+                io.push(seg.io_seconds);
+                let flops: f64 = seg
+                    .tuples
+                    .first()
+                    .map(|t| model.flops_per_example(t.features.nnz()))
+                    .unwrap_or(0.0);
+                compute.push(self.cfg.compute.seconds(flops, seg.tuples.len()));
+            }
+            // Train over the continuous epoch stream: mini-batches span
+            // buffer fills, exactly as a DataLoader's batches span the
+            // loader's internal buffers.
+            let stream = plan.segments.iter().flat_map(|s| s.tuples.iter());
+            let stats = if self.cfg.train_options.batch_size <= 1
+                && matches!(
+                    self.cfg.optimizer,
+                    OptimizerKind::Sgd { .. } | OptimizerKind::SgdInverseTime { .. }
+                )
+            {
+                train_per_tuple(model.as_mut(), optimizer.as_ref(), stream)
+            } else {
+                train_minibatch(
+                    model.as_mut(),
+                    optimizer.as_mut(),
+                    stream,
+                    &self.cfg.train_options,
+                )
+            };
+            let loss_sum = stats.mean_loss * stats.examples as f64;
+            let examples = stats.examples;
+            let epoch_seconds = if self.cfg.corgipile.double_buffer {
+                DoubleBufferModel::double_buffer(&io, &compute)
+            } else {
+                DoubleBufferModel::single_buffer(&io, &compute)
+            };
+            sim_clock += plan.setup_seconds + epoch_seconds;
+
+            let test_metric = if test.is_empty() {
+                None
+            } else {
+                Some(evaluate(model.as_ref(), test))
+            };
+            records.push(EpochRecord {
+                epoch,
+                setup_seconds: plan.setup_seconds,
+                io_seconds: io.iter().sum(),
+                compute_seconds: compute.iter().sum(),
+                epoch_seconds,
+                sim_seconds_end: sim_clock,
+                train_loss: if examples > 0 { loss_sum / examples as f64 } else { 0.0 },
+                test_metric,
+            });
+        }
+
+        let train_tuples = table.all_tuples();
+        let final_train_metric = evaluate(model.as_ref(), &train_tuples);
+        Ok(TrainReport {
+            strategy: self.cfg.strategy,
+            model_kind: self.cfg.model.clone(),
+            epochs: records,
+            model,
+            final_train_metric,
+            wall_seconds: wall_start.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+/// Accuracy for classifiers, R² for regression.
+pub fn evaluate(model: &dyn Model, tuples: &[Tuple]) -> f64 {
+    if model.is_classifier() {
+        accuracy(model, tuples)
+    } else {
+        r_squared(model, tuples)
+    }
+}
+
+/// Mean loss helper re-exported for reports.
+pub fn evaluate_loss(model: &dyn Model, tuples: &[Tuple]) -> f64 {
+    mean_loss(model, tuples)
+}
+
+fn infer_dim(table: &Table) -> corgipile_storage::Result<usize> {
+    Ok(table.get_tuple(0)?.features.dim())
+}
+
+/// Grid-search the initial learning rate (paper §7.1.3: {0.1, 0.01, 0.001})
+/// with a short run each, returning the best rate by final train metric.
+pub fn grid_search_lr(
+    base: &TrainerConfig,
+    table: &Table,
+    test: &[Tuple],
+    probe_epochs: usize,
+    seed: u64,
+) -> corgipile_storage::Result<f32> {
+    let mut best = (f64::NEG_INFINITY, 0.1f32);
+    for lr in [0.1f32, 0.01, 0.001] {
+        let mut cfg = base.clone();
+        cfg.epochs = probe_epochs;
+        cfg.optimizer = match cfg.optimizer {
+            OptimizerKind::Sgd { decay, .. } => OptimizerKind::Sgd { lr0: lr, decay },
+            OptimizerKind::SgdInverseTime { a, .. } => {
+                OptimizerKind::SgdInverseTime { lr0: lr, a }
+            }
+            OptimizerKind::Adam { beta1, beta2, eps, .. } => {
+                OptimizerKind::Adam { lr0: lr, beta1, beta2, eps }
+            }
+        };
+        let mut dev = SimDevice::in_memory();
+        let report = Trainer::new(cfg).train_with_test(table, test, &mut dev, seed)?;
+        let metric = report.final_test_metric().unwrap_or(report.final_train_metric);
+        if metric > best.0 {
+            best = (metric, lr);
+        }
+    }
+    Ok(best.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corgipile_data::{DatasetSpec, Order};
+
+    /// Laptop-scale experiments keep the paper's seek-to-transfer ratio by
+    /// scaling the device latency with the dataset (DESIGN.md §4).
+    const DEV_SCALE: f64 = 1000.0;
+
+    fn clustered_higgs(n: usize) -> (Table, Vec<Tuple>) {
+        let ds = DatasetSpec::higgs_like(n)
+            .with_order(Order::ClusteredByLabel)
+            .with_block_bytes(8192)
+            .build(7);
+        (ds.to_table(1).unwrap(), ds.test.clone())
+    }
+
+    #[test]
+    fn corgipile_matches_shuffle_once_and_beats_no_shuffle_on_clustered_data() {
+        // The paper's headline claim, in miniature (Figures 1/11/12). The
+        // table is sized so a 10% buffer spans ~20 blocks per fill — small
+        // buffers over label-pure blocks need enough blocks per fill for
+        // the mixture to concentrate, exactly as in the paper's setups.
+        let (table, test) = clustered_higgs(12_000);
+        let metric = |kind: StrategyKind| {
+            let cfg = TrainerConfig::new(ModelKind::Svm, 5).with_strategy(kind);
+            let mut dev = SimDevice::hdd_scaled(DEV_SCALE, 0);
+            let r = Trainer::new(cfg)
+                .train_with_test(&table, &test, &mut dev, 3)
+                .unwrap();
+            // Mean of the last three epochs damps last-iterate noise.
+            let tail: Vec<f64> =
+                r.epochs.iter().rev().take(3).filter_map(|e| e.test_metric).collect();
+            tail.iter().sum::<f64>() / tail.len() as f64
+        };
+        let so = metric(StrategyKind::ShuffleOnce);
+        let cp = metric(StrategyKind::CorgiPile);
+        let ns = metric(StrategyKind::NoShuffle);
+        assert!(
+            (so - cp).abs() < 0.04,
+            "CorgiPile {cp} should match Shuffle Once {so} within 4 points"
+        );
+        assert!(
+            cp > ns + 0.05,
+            "CorgiPile {cp} should beat No Shuffle {ns} clearly"
+        );
+    }
+
+    #[test]
+    fn corgipile_total_time_beats_shuffle_once() {
+        let (table, _) = clustered_higgs(12_000);
+        let time = |kind: StrategyKind| {
+            let cfg = TrainerConfig::new(ModelKind::LogisticRegression, 3).with_strategy(kind);
+            let mut dev = SimDevice::hdd_scaled(DEV_SCALE, 0);
+            Trainer::new(cfg).train(&table, &mut dev, 1).unwrap().total_sim_seconds()
+        };
+        let so = time(StrategyKind::ShuffleOnce);
+        let cp = time(StrategyKind::CorgiPile);
+        assert!(cp < so, "CorgiPile {cp}s should be faster end-to-end than Shuffle Once {so}s");
+    }
+
+    #[test]
+    fn double_buffer_reduces_epoch_time() {
+        let (table, _) = clustered_higgs(2000);
+        let run = |db: bool| {
+            let cfg = TrainerConfig::new(ModelKind::Svm, 2)
+                .with_corgipile(CorgiPileConfig::default().with_double_buffer(db));
+            let mut dev = SimDevice::hdd(0);
+            Trainer::new(cfg).train(&table, &mut dev, 1).unwrap();
+            let r = Trainer::new(
+                TrainerConfig::new(ModelKind::Svm, 2)
+                    .with_corgipile(CorgiPileConfig::default().with_double_buffer(db)),
+            )
+            .train(&table, &mut SimDevice::hdd(0), 1)
+            .unwrap();
+            r.epochs[0].epoch_seconds
+        };
+        let single = run(false);
+        let double = run(true);
+        assert!(double < single, "double buffering {double} !< single {single}");
+    }
+
+    #[test]
+    fn records_are_cumulative_and_complete() {
+        let (table, test) = clustered_higgs(1000);
+        let cfg = TrainerConfig::new(ModelKind::LogisticRegression, 3);
+        let mut dev = SimDevice::hdd(0);
+        let r = Trainer::new(cfg).train_with_test(&table, &test, &mut dev, 1).unwrap();
+        assert_eq!(r.epochs.len(), 3);
+        for w in r.epochs.windows(2) {
+            assert!(w[1].sim_seconds_end > w[0].sim_seconds_end);
+            assert_eq!(w[1].epoch, w[0].epoch + 1);
+        }
+        assert!(r.epochs.iter().all(|e| e.test_metric.is_some()));
+        assert!(r.wall_seconds > 0.0);
+        assert!(r.total_sim_seconds() > 0.0);
+    }
+
+    #[test]
+    fn minibatch_and_adam_paths_work() {
+        let (table, test) = clustered_higgs(1500);
+        let cfg = TrainerConfig::new(ModelKind::LogisticRegression, 3)
+            .with_batch_size(64)
+            .with_optimizer(OptimizerKind::default_adam(0.05));
+        let mut dev = SimDevice::ssd(0);
+        let r = Trainer::new(cfg).train_with_test(&table, &test, &mut dev, 2).unwrap();
+        assert!(r.final_test_metric().unwrap() > 0.55, "adam minibatch should learn");
+    }
+
+    #[test]
+    fn regression_reports_r2() {
+        let ds = DatasetSpec::msd_like(1200).with_block_bytes(4 * 8192).build(3);
+        let table = ds.to_table(2).unwrap();
+        let cfg = TrainerConfig::new(ModelKind::LinearRegression, 6)
+            .with_optimizer(OptimizerKind::Sgd { lr0: 0.01, decay: 0.95 });
+        let mut dev = SimDevice::ssd(0);
+        let r = Trainer::new(cfg).train_with_test(&table, &ds.test, &mut dev, 1).unwrap();
+        let r2 = r.final_test_metric().unwrap();
+        assert!(r2 > 0.8, "linear regression should fit the linear data, R² {r2}");
+    }
+
+    #[test]
+    fn empty_table_is_an_error() {
+        let table = Table::from_tuples(
+            corgipile_storage::TableConfig::new("empty", 1),
+            std::iter::empty(),
+        )
+        .unwrap();
+        let cfg = TrainerConfig::new(ModelKind::Svm, 1);
+        let mut dev = SimDevice::in_memory();
+        assert!(Trainer::new(cfg).train(&table, &mut dev, 1).is_err());
+    }
+
+    #[test]
+    fn time_to_metric_finds_crossing() {
+        let (table, test) = clustered_higgs(1500);
+        let cfg = TrainerConfig::new(ModelKind::Svm, 5);
+        let mut dev = SimDevice::hdd(0);
+        let r = Trainer::new(cfg).train_with_test(&table, &test, &mut dev, 1).unwrap();
+        let final_metric = r.final_test_metric().unwrap();
+        let hit = r.time_to_metric(final_metric - 0.01);
+        assert!(hit.is_some());
+        assert!(r.time_to_metric(1.1).is_none());
+    }
+
+    #[test]
+    fn grid_search_returns_a_candidate_rate() {
+        let (table, test) = clustered_higgs(600);
+        let base = TrainerConfig::new(ModelKind::LogisticRegression, 2);
+        let lr = grid_search_lr(&base, &table, &test, 1, 1).unwrap();
+        assert!([0.1f32, 0.01, 0.001].contains(&lr));
+    }
+}

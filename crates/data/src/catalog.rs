@@ -1,0 +1,163 @@
+//! Named dataset catalog mirroring the paper's Table 2.
+//!
+//! Each entry pairs a scaled-down [`DatasetSpec`] with the paper's original
+//! scale, so the bench harness can print a Table-2 analogue and experiments
+//! can pick datasets by name. Scale factors keep every experiment runnable
+//! on a laptop while preserving tuple geometry (dimensionality, sparsity,
+//! width) and therefore per-tuple I/O/compute ratios.
+
+use crate::spec::DatasetSpec;
+
+/// One row of the Table-2 analogue.
+#[derive(Debug, Clone)]
+pub struct CatalogEntry {
+    /// Scaled-down spec used in experiments.
+    pub spec: DatasetSpec,
+    /// Dataset type string as printed in Table 2 ("dense", "sparse", …).
+    pub dtype: &'static str,
+    /// Paper's train/test tuple counts (for the report).
+    pub paper_tuples: &'static str,
+    /// Paper's feature count string.
+    pub paper_features: &'static str,
+    /// Paper's on-disk size string.
+    pub paper_size: &'static str,
+}
+
+/// The default experiment scale for GLM datasets (tuples in the train split).
+pub const GLM_SCALE: usize = 8_000;
+
+/// Build the full catalog at the default scale.
+pub fn paper_catalog() -> Vec<CatalogEntry> {
+    catalog_at_scale(GLM_SCALE)
+}
+
+/// Build the catalog with `scale` tuples per GLM dataset (deep-learning and
+/// regression datasets use proportional sizes).
+pub fn catalog_at_scale(scale: usize) -> Vec<CatalogEntry> {
+    vec![
+        CatalogEntry {
+            spec: DatasetSpec::higgs_like(scale),
+            dtype: "dense",
+            paper_tuples: "10.0/1.0M",
+            paper_features: "28",
+            paper_size: "2.8 GB",
+        },
+        CatalogEntry {
+            spec: DatasetSpec::susy_like(scale / 2),
+            dtype: "dense",
+            paper_tuples: "4.5/0.5M",
+            paper_features: "18",
+            paper_size: "0.9 GB",
+        },
+        CatalogEntry {
+            spec: DatasetSpec::epsilon_like(scale / 10),
+            dtype: "dense",
+            paper_tuples: "0.4/0.1M",
+            paper_features: "2,000",
+            paper_size: "6.3 GB",
+        },
+        CatalogEntry {
+            spec: DatasetSpec::criteo_like(scale),
+            dtype: "sparse",
+            paper_tuples: "92/6.0M",
+            paper_features: "1,000,000",
+            paper_size: "50 GB",
+        },
+        CatalogEntry {
+            spec: DatasetSpec::yfcc_like(scale / 10),
+            dtype: "dense",
+            paper_tuples: "3.3/0.3M",
+            paper_features: "4,096",
+            paper_size: "55 GB",
+        },
+        CatalogEntry {
+            spec: DatasetSpec::imagenet_like(scale / 4),
+            dtype: "image",
+            paper_tuples: "1.3/0.05M",
+            paper_features: "224*224*3",
+            paper_size: "150 GB",
+        },
+        CatalogEntry {
+            spec: DatasetSpec::cifar_like(scale / 4),
+            dtype: "image",
+            paper_tuples: "0.05/0.01M",
+            paper_features: "3,072",
+            paper_size: "178 MB",
+        },
+        CatalogEntry {
+            spec: DatasetSpec::yelp_like(scale / 4),
+            dtype: "text",
+            paper_tuples: "0.65/0.05M",
+            paper_features: "-",
+            paper_size: "600 MB",
+        },
+        CatalogEntry {
+            spec: DatasetSpec::msd_like(scale / 2),
+            dtype: "dense",
+            paper_tuples: "0.46/0.05M",
+            paper_features: "90",
+            paper_size: "0.4 GB",
+        },
+        CatalogEntry {
+            spec: DatasetSpec::mini8m_like(scale / 8),
+            dtype: "dense",
+            paper_tuples: "8.1/0.1M",
+            paper_features: "784",
+            paper_size: "19 GB",
+        },
+    ]
+}
+
+/// Look an entry up by dataset name.
+pub fn by_name(name: &str) -> Option<CatalogEntry> {
+    paper_catalog().into_iter().find(|e| e.spec.name == name)
+}
+
+/// The five GLM datasets used by Figures 11–13 (higgs, susy, epsilon,
+/// criteo, yfcc), at a chosen scale.
+pub fn glm_datasets(scale: usize) -> Vec<DatasetSpec> {
+    vec![
+        DatasetSpec::higgs_like(scale),
+        DatasetSpec::susy_like(scale / 2),
+        DatasetSpec::epsilon_like(scale / 10),
+        DatasetSpec::criteo_like(scale),
+        DatasetSpec::yfcc_like(scale / 10),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_all_paper_datasets() {
+        let names: Vec<String> =
+            paper_catalog().into_iter().map(|e| e.spec.name).collect();
+        for want in
+            ["higgs", "susy", "epsilon", "criteo", "yfcc", "imagenet", "cifar10", "yelp", "year_msd", "mini8m"]
+        {
+            assert!(names.iter().any(|n| n == want), "missing {want}");
+        }
+    }
+
+    #[test]
+    fn by_name_finds_and_misses() {
+        assert!(by_name("higgs").is_some());
+        assert!(by_name("no_such_dataset").is_none());
+    }
+
+    #[test]
+    fn glm_datasets_are_the_fig11_five() {
+        let names: Vec<String> = glm_datasets(1000).into_iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["higgs", "susy", "epsilon", "criteo", "yfcc"]);
+    }
+
+    #[test]
+    fn catalog_specs_build_tiny() {
+        for e in catalog_at_scale(80) {
+            let ds = e.spec.build(1);
+            assert_eq!(ds.train.len(), e.spec.train);
+            assert!(!ds.test.is_empty());
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Seeded sampling helpers.
+//!
+//! All randomness in the reproduction flows through seeded `StdRng`s so
+//! every experiment is bit-reproducible. Normal variates use the Box–Muller
+//! transform, keeping the dependency set to plain `rand`.
+
+use rand::Rng;
+
+/// Draw one standard-normal variate via Box–Muller.
+pub fn randn<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    // Guard against log(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+/// Fill a vector with `dim` standard-normal variates.
+pub fn randn_vec<R: Rng + ?Sized>(rng: &mut R, dim: usize) -> Vec<f32> {
+    (0..dim).map(|_| randn(rng)).collect()
+}
+
+/// Draw a random unit vector of the given dimension.
+pub fn rand_unit_vec<R: Rng + ?Sized>(rng: &mut R, dim: usize) -> Vec<f32> {
+    loop {
+        let mut v = randn_vec(rng, dim);
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm > 1e-6 {
+            for x in &mut v {
+                *x /= norm;
+            }
+            return v;
+        }
+    }
+}
+
+/// Sample `k` distinct indices from `0..n`, returned sorted ascending.
+///
+/// Uses Floyd's algorithm: O(k) expected draws, no O(n) allocation.
+pub fn sample_distinct_sorted<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} distinct from {n}");
+    let mut chosen = std::collections::BTreeSet::new();
+    for j in n - k..n {
+        let t = rng.gen_range(0..=j);
+        if !chosen.insert(t) {
+            chosen.insert(j);
+        }
+    }
+    chosen.into_iter().collect()
+}
+
+/// Fisher–Yates shuffle of a slice using the supplied RNG.
+pub fn shuffle_in_place<T, R: Rng + ?Sized>(rng: &mut R, slice: &mut [T]) {
+    for i in (1..slice.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        slice.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_has_roughly_unit_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let xs: Vec<f32> = (0..n).map(|_| randn(&mut rng)).collect();
+        let mean: f32 = xs.iter().sum::<f32>() / n as f32;
+        let var: f32 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn unit_vec_has_unit_norm() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for dim in [1, 3, 100] {
+            let v = rand_unit_vec(&mut rng, dim);
+            let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-4, "dim {dim}: norm {norm}");
+        }
+    }
+
+    #[test]
+    fn sample_distinct_is_distinct_sorted_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let s = sample_distinct_sorted(&mut rng, 100, 17);
+            assert_eq!(s.len(), 17);
+            assert!(s.windows(2).all(|w| w[0] < w[1]));
+            assert!(s.iter().all(|&i| i < 100));
+        }
+    }
+
+    #[test]
+    fn sample_all_gives_full_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = sample_distinct_sorted(&mut rng, 10, 10);
+        assert_eq!(s, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_more_than_n_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        sample_distinct_sorted(&mut rng, 3, 4);
+    }
+
+    #[test]
+    fn shuffle_is_permutation_and_seed_deterministic() {
+        let mut a: Vec<u32> = (0..100).collect();
+        let mut b: Vec<u32> = (0..100).collect();
+        shuffle_in_place(&mut StdRng::seed_from_u64(7), &mut a);
+        shuffle_in_place(&mut StdRng::seed_from_u64(7), &mut b);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(a, (0..100).collect::<Vec<_>>(), "shuffle should move things");
+    }
+}

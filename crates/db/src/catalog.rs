@@ -1,0 +1,307 @@
+//! Catalog: tables and trained models.
+//!
+//! The paper stores the learned model "as an in-memory object (a C-style
+//! struct) with an ID in the PostgreSQL kernel" (§6.1); [`StoredModel`] is
+//! that object, addressable by name from `PREDICT BY` queries.
+
+use crate::error::DbError;
+use corgipile_ml::{build_model, Model, ModelKind};
+use corgipile_storage::Table;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A trained model registered in the catalog.
+#[derive(Debug, Clone)]
+pub struct StoredModel {
+    /// Model kind.
+    pub kind: ModelKind,
+    /// Input dimensionality.
+    pub dim: usize,
+    /// Flat parameters.
+    pub params: Vec<f32>,
+    /// Final training loss (bookkeeping for reports).
+    pub train_loss: f64,
+}
+
+impl StoredModel {
+    /// Rehydrate the model object.
+    pub fn instantiate(&self) -> Box<dyn Model> {
+        let mut m = build_model(&self.kind, self.dim, 0);
+        m.params_mut().copy_from_slice(&self.params);
+        m
+    }
+
+    /// Serialize to a compact binary blob (magic-tagged, versioned).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + 4 * self.params.len());
+        out.extend_from_slice(b"CORGIMD1");
+        // Kind tag + kind-specific shape.
+        match &self.kind {
+            ModelKind::LogisticRegression => out.push(0),
+            ModelKind::Svm => out.push(1),
+            ModelKind::LinearRegression => out.push(2),
+            ModelKind::Softmax { classes } => {
+                out.push(3);
+                out.extend_from_slice(&(*classes as u32).to_le_bytes());
+            }
+            ModelKind::Mlp { hidden, classes } => {
+                out.push(4);
+                out.extend_from_slice(&(*classes as u32).to_le_bytes());
+                out.extend_from_slice(&(hidden.len() as u32).to_le_bytes());
+                for h in hidden {
+                    out.extend_from_slice(&(*h as u32).to_le_bytes());
+                }
+            }
+        }
+        out.extend_from_slice(&(self.dim as u64).to_le_bytes());
+        out.extend_from_slice(&self.train_loss.to_le_bytes());
+        out.extend_from_slice(&(self.params.len() as u64).to_le_bytes());
+        for p in &self.params {
+            out.extend_from_slice(&p.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserialize a blob written by [`StoredModel::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<StoredModel, DbError> {
+        let corrupt = |m: &str| DbError::BadParam(format!("model blob: {m}"));
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], DbError> {
+            if *pos + n > bytes.len() {
+                return Err(corrupt("truncated"));
+            }
+            let s = &bytes[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        if take(&mut pos, 8)? != b"CORGIMD1" {
+            return Err(corrupt("bad magic"));
+        }
+        let tag = take(&mut pos, 1)?[0];
+        let read_u32 = |pos: &mut usize| -> Result<u32, DbError> {
+            Ok(u32::from_le_bytes(take(pos, 4)?.try_into().unwrap()))
+        };
+        let kind = match tag {
+            0 => ModelKind::LogisticRegression,
+            1 => ModelKind::Svm,
+            2 => ModelKind::LinearRegression,
+            3 => ModelKind::Softmax { classes: read_u32(&mut pos)? as usize },
+            4 => {
+                let classes = read_u32(&mut pos)? as usize;
+                let layers = read_u32(&mut pos)? as usize;
+                if layers > 64 {
+                    return Err(corrupt("implausible layer count"));
+                }
+                let mut hidden = Vec::with_capacity(layers);
+                for _ in 0..layers {
+                    hidden.push(read_u32(&mut pos)? as usize);
+                }
+                ModelKind::Mlp { hidden, classes }
+            }
+            other => return Err(corrupt(&format!("unknown kind tag {other}"))),
+        };
+        let dim = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
+        let train_loss = f64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let nparams = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
+        if nparams > 1 << 28 {
+            return Err(corrupt("implausible parameter count"));
+        }
+        let mut params = Vec::with_capacity(nparams);
+        for _ in 0..nparams {
+            params.push(f32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()));
+        }
+        // Consistency: the parameter vector must fit the declared shape
+        // (checked before instantiate(), which assumes a matching length).
+        let expected = build_model(&kind, dim, 0).num_params();
+        if expected != params.len() {
+            return Err(corrupt("parameter count does not match model shape"));
+        }
+        Ok(StoredModel { kind, dim, params, train_loss })
+    }
+
+    /// Write to a file.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), DbError> {
+        std::fs::write(path, self.to_bytes())
+            .map_err(|e| DbError::BadParam(format!("cannot write model: {e}")))
+    }
+
+    /// Read from a file.
+    pub fn load(path: &std::path::Path) -> Result<StoredModel, DbError> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| DbError::BadParam(format!("cannot read model: {e}")))?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+/// The database catalog.
+#[derive(Default)]
+pub struct Catalog {
+    tables: HashMap<String, Arc<Table>>,
+    models: HashMap<String, StoredModel>,
+    next_table_id: u32,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a table under its config name, returning the shared handle.
+    pub fn register_table(&mut self, name: impl Into<String>, table: Table) -> Arc<Table> {
+        let handle = Arc::new(table);
+        self.tables.insert(name.into(), handle.clone());
+        handle
+    }
+
+    /// Look a table up.
+    pub fn table(&self, name: &str) -> Result<Arc<Table>, DbError> {
+        self.tables
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    /// Registered table names.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// A fresh table id for derived tables (shuffled copies).
+    pub fn fresh_table_id(&mut self) -> u32 {
+        self.next_table_id += 1;
+        0x4000_0000 + self.next_table_id
+    }
+
+    /// Store a trained model under a name.
+    pub fn store_model(&mut self, name: impl Into<String>, model: StoredModel) {
+        self.models.insert(name.into(), model);
+    }
+
+    /// Look a model up.
+    pub fn model(&self, name: &str) -> Result<&StoredModel, DbError> {
+        self.models
+            .get(name)
+            .ok_or_else(|| DbError::UnknownModel(name.to_string()))
+    }
+
+    /// Registered model names.
+    pub fn model_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.models.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corgipile_data::DatasetSpec;
+    use corgipile_storage::FeatureVec;
+
+    #[test]
+    fn register_and_lookup_tables() {
+        let mut c = Catalog::new();
+        let t = DatasetSpec::higgs_like(50).build_table(1).unwrap();
+        c.register_table("higgs", t);
+        assert!(c.table("higgs").is_ok());
+        assert!(matches!(c.table("nope"), Err(DbError::UnknownTable(_))));
+        assert_eq!(c.table_names(), vec!["higgs"]);
+    }
+
+    #[test]
+    fn store_and_rehydrate_model() {
+        let mut c = Catalog::new();
+        let stored = StoredModel {
+            kind: ModelKind::LogisticRegression,
+            dim: 2,
+            params: vec![1.0, -2.0, 0.5],
+            train_loss: 0.3,
+        };
+        c.store_model("m", stored);
+        let m = c.model("m").unwrap().instantiate();
+        assert_eq!(m.params(), &[1.0, -2.0, 0.5]);
+        // Rehydrated model predicts with the stored weights.
+        let x = FeatureVec::Dense(vec![1.0, 0.0]);
+        assert_eq!(m.predict_label(&x), 1.0);
+        assert!(matches!(c.model("missing"), Err(DbError::UnknownModel(_))));
+        assert_eq!(c.model_names(), vec!["m"]);
+    }
+
+    #[test]
+    fn model_blob_roundtrips_all_kinds() {
+        let kinds = vec![
+            (ModelKind::LogisticRegression, 4usize),
+            (ModelKind::Svm, 4),
+            (ModelKind::LinearRegression, 4),
+            (ModelKind::Softmax { classes: 3 }, 4),
+            (ModelKind::Mlp { hidden: vec![5, 3], classes: 2 }, 4),
+        ];
+        for (kind, dim) in kinds {
+            let m = build_model(&kind, dim, 1);
+            let stored = StoredModel {
+                kind: kind.clone(),
+                dim,
+                params: m.params().to_vec(),
+                train_loss: 0.42,
+            };
+            let back = StoredModel::from_bytes(&stored.to_bytes()).unwrap();
+            assert_eq!(back.kind, kind);
+            assert_eq!(back.dim, dim);
+            assert_eq!(back.params, stored.params);
+            assert_eq!(back.train_loss, 0.42);
+        }
+    }
+
+    #[test]
+    fn model_blob_rejects_garbage() {
+        assert!(StoredModel::from_bytes(b"").is_err());
+        assert!(StoredModel::from_bytes(b"WRONGMAG123").is_err());
+        let good = StoredModel {
+            kind: ModelKind::Svm,
+            dim: 3,
+            params: vec![0.0; 4],
+            train_loss: 0.0,
+        }
+        .to_bytes();
+        assert!(StoredModel::from_bytes(&good[..good.len() - 2]).is_err());
+        // Shape mismatch: claim Svm(dim 3) but ship 2 params.
+        let bad = StoredModel {
+            kind: ModelKind::Svm,
+            dim: 3,
+            params: vec![0.0; 2],
+            train_loss: 0.0,
+        }
+        .to_bytes();
+        assert!(StoredModel::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn model_file_roundtrip() {
+        let path =
+            std::env::temp_dir().join(format!("corgi_model_{}.bin", std::process::id()));
+        let stored = StoredModel {
+            kind: ModelKind::Softmax { classes: 4 },
+            dim: 6,
+            params: build_model(&ModelKind::Softmax { classes: 4 }, 6, 2)
+                .params()
+                .to_vec(),
+            train_loss: 1.5,
+        };
+        stored.save(&path).unwrap();
+        let back = StoredModel::load(&path).unwrap();
+        assert_eq!(back.kind, stored.kind);
+        assert_eq!(back.params, stored.params);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn fresh_table_ids_are_unique() {
+        let mut c = Catalog::new();
+        let a = c.fresh_table_id();
+        let b = c.fresh_table_id();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,62 @@
+//! Database errors.
+
+use corgipile_storage::StorageError;
+use std::fmt;
+
+/// Errors from the SQL surface and executor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// Query text could not be parsed.
+    Parse(String),
+    /// Referenced table does not exist.
+    UnknownTable(String),
+    /// Referenced model does not exist.
+    UnknownModel(String),
+    /// Unknown model kind in `TRAIN BY <kind>`.
+    UnknownModelKind(String),
+    /// Unknown strategy name.
+    UnknownStrategy(String),
+    /// Parameter error (bad name, type or value).
+    BadParam(String),
+    /// Storage-layer failure.
+    Storage(StorageError),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Parse(m) => write!(f, "parse error: {m}"),
+            DbError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            DbError::UnknownModel(m) => write!(f, "unknown model: {m}"),
+            DbError::UnknownModelKind(m) => write!(f, "unknown model kind: {m}"),
+            DbError::UnknownStrategy(s) => write!(f, "unknown strategy: {s}"),
+            DbError::BadParam(m) => write!(f, "bad parameter: {m}"),
+            DbError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<StorageError> for DbError {
+    fn from(e: StorageError) -> Self {
+        DbError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(DbError::UnknownTable("foo".into()).to_string().contains("foo"));
+        assert!(DbError::Parse("x".into()).to_string().contains("parse"));
+    }
+
+    #[test]
+    fn storage_errors_convert() {
+        let e: DbError = StorageError::EmptyTable.into();
+        assert!(matches!(e, DbError::Storage(_)));
+    }
+}

@@ -1,0 +1,35 @@
+//! # corgipile-db
+//!
+//! The in-database CorgiPile integration (§6), rebuilt as a miniature
+//! PostgreSQL-style engine:
+//!
+//! * [`exec`] — Volcano-style physical operators with
+//!   `init`/`next`/`rescan`/`close`: `BlockShuffle` (random block reads),
+//!   `TupleShuffle` (buffered tuple shuffle with the §6.3 double-buffering
+//!   accounting), and the `SGD` operator that drives epochs through
+//!   PostgreSQL's re-scan mechanism.
+//! * [`sql`] — the SQL surface:
+//!   `SELECT * FROM t TRAIN BY svm WITH learning_rate = 0.1, max_epoch_num
+//!   = 20, block_size = 10MB` and `SELECT * FROM t PREDICT BY model`.
+//! * [`catalog`] — tables and trained models.
+//! * [`session`] — parses, plans, executes, and stores results.
+//! * [`baselines`] — MADlib- and Bismarck-style UDA trainer emulations
+//!   (Shuffle-Once / No-Shuffle variants with their measured compute
+//!   characteristics), the comparison systems of Figures 1, 11 and 13.
+
+pub mod baselines;
+pub mod catalog;
+pub mod error;
+pub mod exec;
+mod proptests;
+pub mod session;
+pub mod sql;
+
+pub use baselines::{system_trainer_config, InDbSystem};
+pub use catalog::{Catalog, StoredModel};
+pub use error::DbError;
+pub use exec::{
+    BlockShuffleOp, ExecContext, PhysicalOperator, ScanMode, SgdOperator, TupleShuffleOp,
+};
+pub use session::{QueryResult, Session};
+pub use sql::{parse, ParamValue, Query};

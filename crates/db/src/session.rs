@@ -1,0 +1,656 @@
+//! Session: parse → plan → execute.
+//!
+//! A [`Session`] owns the catalog and a simulated device, accepts the SQL
+//! surface of §6, builds the corresponding physical plan, runs it, and
+//! registers trained models:
+//!
+//! ```text
+//! TRAIN BY … strategy='corgipile'  ⇒  SGD ← TupleShuffle ← BlockShuffle(random)
+//! TRAIN BY … strategy='once'       ⇒  offline shuffle; SGD ← BlockShuffle(seq) over the copy
+//! TRAIN BY … strategy='no'         ⇒  SGD ← BlockShuffle(seq)        (MADlib default)
+//! TRAIN BY … strategy='block_only' ⇒  SGD ← BlockShuffle(random)
+//! ```
+//!
+//! Sliding-Window and MRS are *not* offered in-DB — the paper could not
+//! compare against them inside PostgreSQL either (Bismarck never released
+//! MRS; §7.1.3) — they live in the library layer instead.
+
+use crate::catalog::{Catalog, StoredModel};
+use crate::error::DbError;
+use crate::exec::{
+    BlockShuffleOp, DbEpochRecord, ExecContext, PhysicalOperator, ScanMode, SgdOperator,
+    TupleShuffleOp,
+};
+use crate::sql::{parse, ParamValue, Query};
+use corgipile_data::rng::shuffle_in_place;
+use corgipile_ml::{accuracy, build_model, ModelKind, OptimizerKind, TrainOptions};
+use corgipile_ml::{ComputeCostModel, r_squared};
+use corgipile_shuffle::StrategyParams;
+use corgipile_storage::{BufferPool, SimDevice, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Summary of a completed `TRAIN BY` query.
+#[derive(Debug, Clone)]
+pub struct DbTrainSummary {
+    /// Name the model was stored under.
+    pub model_name: String,
+    /// Model kind trained.
+    pub model_kind: ModelKind,
+    /// Strategy used.
+    pub strategy: String,
+    /// One-off pre-shuffle cost, if any.
+    pub setup_seconds: f64,
+    /// Per-epoch records.
+    pub epochs: Vec<DbEpochRecord>,
+    /// Final accuracy (classifiers) or R² (regression) over the table.
+    pub final_train_metric: f64,
+}
+
+impl DbTrainSummary {
+    /// Total simulated seconds including setup.
+    pub fn total_seconds(&self) -> f64 {
+        self.epochs.last().map(|e| e.sim_seconds_end).unwrap_or(self.setup_seconds)
+    }
+}
+
+/// Result of executing one query.
+#[derive(Debug, Clone)]
+pub enum QueryResult {
+    /// `TRAIN BY` outcome.
+    Train(DbTrainSummary),
+    /// `PREDICT BY` outcome.
+    Predict {
+        /// Predicted labels, in table order.
+        predictions: Vec<f32>,
+        /// Accuracy (classifiers) or R² (regression) against stored labels.
+        metric: f64,
+    },
+    /// `EXPLAIN` output: one line per plan node, root first.
+    Plan(Vec<String>),
+    /// `SHOW TABLES` / `SHOW MODELS` output.
+    Names(Vec<String>),
+}
+
+/// An interactive session over a catalog and a device.
+pub struct Session {
+    catalog: Catalog,
+    dev: SimDevice,
+    compute: ComputeCostModel,
+}
+
+impl Session {
+    /// Open a session on the given device.
+    pub fn new(dev: SimDevice) -> Self {
+        Session { catalog: Catalog::new(), dev, compute: ComputeCostModel::in_db_core() }
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable catalog access (e.g. to register tables).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// The device (for I/O statistics).
+    pub fn device(&self) -> &SimDevice {
+        &self.dev
+    }
+
+    /// Register a table.
+    pub fn register_table(&mut self, name: impl Into<String>, table: Table) {
+        self.catalog.register_table(name, table);
+    }
+
+    /// Parse and execute one query.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult, DbError> {
+        self.run(parse(sql)?)
+    }
+
+    fn run(&mut self, query: Query) -> Result<QueryResult, DbError> {
+        match query {
+            Query::Train { table, model, params } => self.train(&table, &model, params),
+            Query::Predict { table, model } => self.predict(&table, &model),
+            Query::Explain(inner) => self.explain(*inner),
+            Query::Show { what } => Ok(QueryResult::Names(if what == "tables" {
+                self.catalog.table_names()
+            } else {
+                self.catalog.model_names()
+            })),
+        }
+    }
+
+    /// Render the physical plan a query would execute, PostgreSQL
+    /// EXPLAIN-style (root first).
+    fn explain(&mut self, query: Query) -> Result<QueryResult, DbError> {
+        match query {
+            Query::Train { table, model, params } => {
+                let t = self.catalog.table(&table)?;
+                let strategy = params
+                    .get("strategy")
+                    .and_then(|v| v.as_text())
+                    .unwrap_or("corgipile")
+                    .to_string();
+                let kind = self.resolve_model_kind(&model, &t)?;
+                let epochs = params
+                    .get("max_epoch_num")
+                    .and_then(|v| v.as_usize())
+                    .unwrap_or(10);
+                let blocks = t.num_blocks();
+                let mut lines = vec![format!(
+                    "SGD (model={}, epochs={epochs}, re-scan per epoch)",
+                    kind.name()
+                )];
+                match strategy.as_str() {
+                    "corgipile" => {
+                        lines.push("  -> TupleShuffle (double-buffered)".into());
+                        lines.push(format!(
+                            "        -> BlockShuffle (random order over {blocks} blocks)"
+                        ));
+                    }
+                    "tuple_only" => {
+                        lines.push("  -> TupleShuffle (double-buffered)".into());
+                        lines.push(format!(
+                            "        -> BlockShuffle (sequential over {blocks} blocks)"
+                        ));
+                    }
+                    "block_only" => lines.push(format!(
+                        "  -> BlockShuffle (random order over {blocks} blocks)"
+                    )),
+                    "no" => lines.push(format!(
+                        "  -> BlockShuffle (sequential over {blocks} blocks)"
+                    )),
+                    "once" => {
+                        lines.push(format!(
+                            "  -> BlockShuffle (sequential over {blocks} blocks of the shuffled copy)"
+                        ));
+                        lines.push(
+                            "  (setup: offline full shuffle, ORDER BY RANDOM(), 2x storage)".into(),
+                        );
+                    }
+                    other => return Err(DbError::UnknownStrategy(other.to_string())),
+                }
+                lines.push(format!("  Scan target: {} ({} tuples)", table, t.num_tuples()));
+                Ok(QueryResult::Plan(lines))
+            }
+            Query::Predict { table, model } => {
+                let t = self.catalog.table(&table)?;
+                self.catalog.model(&model)?;
+                Ok(QueryResult::Plan(vec![
+                    format!("Predict (model={model})"),
+                    format!("  -> SeqScan on {table} ({} tuples)", t.num_tuples()),
+                ]))
+            }
+            other => self.run(other),
+        }
+    }
+
+    fn train(
+        &mut self,
+        table_name: &str,
+        model_name_raw: &str,
+        params: BTreeMap<String, ParamValue>,
+    ) -> Result<QueryResult, DbError> {
+        let mut table = self.catalog.table(table_name)?;
+
+        // --- Parameters -------------------------------------------------
+        let get_f64 = |key: &str, default: f64| -> Result<f64, DbError> {
+            match params.get(key) {
+                None => Ok(default),
+                Some(v) => v
+                    .as_f64()
+                    .ok_or_else(|| DbError::BadParam(format!("{key} must be numeric"))),
+            }
+        };
+        let get_usize = |key: &str, default: usize| -> Result<usize, DbError> {
+            match params.get(key) {
+                None => Ok(default),
+                Some(v) => v
+                    .as_usize()
+                    .ok_or_else(|| DbError::BadParam(format!("{key} must be a non-negative integer"))),
+            }
+        };
+        for key in params.keys() {
+            const KNOWN: [&str; 13] = [
+                "l2",
+                "shared_buffers",
+                "report_metrics",
+                "learning_rate",
+                "decay",
+                "max_epoch_num",
+                "block_size",
+                "buffer_fraction",
+                "batch_size",
+                "strategy",
+                "model_name",
+                "seed",
+                "double_buffer",
+            ];
+            if !KNOWN.contains(&key.as_str()) {
+                return Err(DbError::BadParam(format!("unknown parameter {key}")));
+            }
+        }
+        let learning_rate = get_f64("learning_rate", 0.1)? as f32;
+        let decay = get_f64("decay", 0.95)? as f32;
+        let epochs = get_usize("max_epoch_num", 10)?;
+        let buffer_fraction = get_f64("buffer_fraction", 0.10)?;
+        if !(0.0..=1.0).contains(&buffer_fraction) || buffer_fraction == 0.0 {
+            return Err(DbError::BadParam("buffer_fraction must be in (0, 1]".into()));
+        }
+        let batch_size = get_usize("batch_size", 1)?.max(1);
+        let seed = get_usize("seed", 42)? as u64;
+        let double_buffer = get_usize("double_buffer", 1)? != 0;
+        let l2 = get_f64("l2", 0.0)? as f32;
+        if l2 < 0.0 {
+            return Err(DbError::BadParam("l2 must be non-negative".into()));
+        }
+        let shared_buffers = get_usize("shared_buffers", 0)?;
+        let report_metrics = get_usize("report_metrics", 0)? != 0;
+        let strategy = params
+            .get("strategy")
+            .map(|v| v.as_text().unwrap_or("").to_string())
+            .unwrap_or_else(|| "corgipile".to_string());
+        if let Some(bs) = params.get("block_size") {
+            let bytes = bs
+                .as_usize()
+                .ok_or_else(|| DbError::BadParam("block_size must be a byte size".into()))?;
+            table = Arc::new(table.rechunk(bytes)?);
+        }
+
+        // --- Model ------------------------------------------------------
+        let dim = table.get_tuple(0)?.features.dim();
+        let kind = self.resolve_model_kind(model_name_raw, &table)?;
+        let model = build_model(&kind, dim, seed);
+        let optimizer = OptimizerKind::Sgd { lr0: learning_rate, decay }.build();
+        let options = TrainOptions { batch_size, clip_norm: 0.0, l2 };
+        let sparams = StrategyParams::default()
+            .with_buffer_fraction(buffer_fraction)
+            .with_seed(seed);
+        let buffer_tuples = sparams.buffer_tuples(&table);
+
+        // --- Physical plan ----------------------------------------------
+        let mut setup_seconds = 0.0;
+        let child: Box<dyn PhysicalOperator> = match strategy.as_str() {
+            "corgipile" => Box::new(TupleShuffleOp::new(
+                Box::new(BlockShuffleOp::new(table.clone(), ScanMode::RandomBlocks, seed)),
+                buffer_tuples,
+                sparams,
+            )),
+            "block_only" => {
+                Box::new(BlockShuffleOp::new(table.clone(), ScanMode::RandomBlocks, seed))
+            }
+            "tuple_only" => Box::new(TupleShuffleOp::new(
+                Box::new(BlockShuffleOp::new(table.clone(), ScanMode::Sequential, seed)),
+                buffer_tuples,
+                sparams,
+            )),
+            "no" => Box::new(BlockShuffleOp::new(table.clone(), ScanMode::Sequential, seed)),
+            "once" => {
+                // Offline shuffle first (ORDER BY RANDOM(); 2× storage).
+                let io_before = self.dev.stats().io_seconds;
+                let mut order: Vec<u64> = (0..table.num_tuples()).collect();
+                shuffle_in_place(&mut StdRng::seed_from_u64(seed), &mut order);
+                let copy = table.materialize_reordered(
+                    &order,
+                    format!("{table_name}_shuffled"),
+                    self.catalog.fresh_table_id(),
+                    &mut self.dev,
+                )?;
+                setup_seconds = self.dev.stats().io_seconds - io_before;
+                Box::new(BlockShuffleOp::new(Arc::new(copy), ScanMode::Sequential, seed))
+            }
+            other => return Err(DbError::UnknownStrategy(other.to_string())),
+        };
+
+        let mut sgd = SgdOperator::new(
+            child,
+            model,
+            optimizer,
+            options,
+            self.compute,
+            epochs,
+            double_buffer,
+        );
+        sgd.setup_seconds = setup_seconds;
+        if report_metrics {
+            sgd.eval_each_epoch = Some(table.clone());
+        }
+        let mut pool = BufferPool::new(shared_buffers);
+        let mut ctx = if shared_buffers > 0 {
+            ExecContext::with_pool(&mut self.dev, &mut pool)
+        } else {
+            ExecContext::new(&mut self.dev)
+        };
+        let result = sgd.execute(&mut ctx);
+
+        // --- Evaluate & store --------------------------------------------
+        let all = table.all_tuples();
+        let final_metric = if result.model.is_classifier() {
+            accuracy(result.model.as_ref(), &all)
+        } else {
+            r_squared(result.model.as_ref(), &all)
+        };
+        let stored_name = params
+            .get("model_name")
+            .and_then(|v| v.as_text())
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| format!("{table_name}_{}", kind.name()));
+        let train_loss = result.epochs.last().map(|e| e.train_loss).unwrap_or(0.0);
+        self.catalog.store_model(
+            stored_name.clone(),
+            StoredModel { kind: kind.clone(), dim, params: result.model.params().to_vec(), train_loss },
+        );
+        Ok(QueryResult::Train(DbTrainSummary {
+            model_name: stored_name,
+            model_kind: kind,
+            strategy,
+            setup_seconds,
+            epochs: result.epochs,
+            final_train_metric: final_metric,
+        }))
+    }
+
+    fn resolve_model_kind(&self, name: &str, table: &Table) -> Result<ModelKind, DbError> {
+        let classes = || -> usize {
+            let max = table
+                .all_tuples()
+                .iter()
+                .map(|t| t.label as i64)
+                .max()
+                .unwrap_or(1);
+            (max + 1).max(2) as usize
+        };
+        match name {
+            "svm" => Ok(ModelKind::Svm),
+            "lr" | "logit" | "logistic" => Ok(ModelKind::LogisticRegression),
+            "linreg" | "linear_regression" => Ok(ModelKind::LinearRegression),
+            "softmax" => Ok(ModelKind::Softmax { classes: classes() }),
+            "mlp" => Ok(ModelKind::Mlp { hidden: vec![32], classes: classes() }),
+            other => Err(DbError::UnknownModelKind(other.to_string())),
+        }
+    }
+
+    fn predict(&mut self, table_name: &str, model_name: &str) -> Result<QueryResult, DbError> {
+        let table = self.catalog.table(table_name)?;
+        let model = self.catalog.model(model_name)?.instantiate();
+        // Inference scans the table sequentially.
+        let tuples = table.scan_all(&mut self.dev)?;
+        let predictions: Vec<f32> =
+            tuples.iter().map(|t| model.predict_label(&t.features)).collect();
+        let metric = if model.is_classifier() {
+            accuracy(model.as_ref(), &tuples)
+        } else {
+            r_squared(model.as_ref(), &tuples)
+        };
+        Ok(QueryResult::Predict { predictions, metric })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corgipile_data::{DatasetSpec, Order};
+
+    fn session_with_higgs(n: usize) -> Session {
+        let table = DatasetSpec::higgs_like(n)
+            .with_order(Order::ClusteredByLabel)
+            .with_block_bytes(8192)
+            .build_table(1)
+            .unwrap();
+        let mut s = Session::new(SimDevice::hdd_scaled(1000.0, 0));
+        s.register_table("higgs", table);
+        s
+    }
+
+    #[test]
+    fn train_and_predict_roundtrip() {
+        let mut s = session_with_higgs(3000);
+        let r = s
+            .execute(
+                "SELECT * FROM higgs TRAIN BY svm WITH learning_rate = 0.05, \
+                 max_epoch_num = 3, model_name = m1",
+            )
+            .unwrap();
+        let summary = match r {
+            QueryResult::Train(t) => t,
+            _ => panic!("expected train result"),
+        };
+        assert_eq!(summary.model_name, "m1");
+        assert_eq!(summary.epochs.len(), 3);
+        assert!(summary.final_train_metric > 0.5);
+        assert_eq!(summary.strategy, "corgipile");
+
+        let r = s.execute("SELECT * FROM higgs PREDICT BY m1").unwrap();
+        match r {
+            QueryResult::Predict { predictions, metric } => {
+                assert_eq!(predictions.len(), 3000);
+                assert!(metric > 0.5);
+            }
+            _ => panic!("expected predictions"),
+        }
+    }
+
+    #[test]
+    fn default_model_name_derives_from_table() {
+        let mut s = session_with_higgs(500);
+        s.execute("SELECT * FROM higgs TRAIN BY lr WITH max_epoch_num = 1").unwrap();
+        assert!(s.catalog().model("higgs_lr").is_ok());
+    }
+
+    #[test]
+    fn strategies_order_accuracy_as_in_the_paper() {
+        let mut s = session_with_higgs(6000);
+        let mut run = |strategy: &str| -> f64 {
+            let r = s
+                .execute(&format!(
+                    "SELECT * FROM higgs TRAIN BY svm WITH learning_rate = 0.02, \
+                     max_epoch_num = 4, strategy = '{strategy}', model_name = m_{strategy}"
+                ))
+                .unwrap();
+            match r {
+                QueryResult::Train(t) => t.final_train_metric,
+                _ => unreachable!(),
+            }
+        };
+        let corgi = run("corgipile");
+        let once = run("once");
+        let no = run("no");
+        assert!((corgi - once).abs() < 0.05, "corgipile {corgi} vs once {once}");
+        assert!(corgi > no + 0.03, "corgipile {corgi} vs no-shuffle {no}");
+    }
+
+    #[test]
+    fn once_strategy_charges_setup() {
+        let mut s = session_with_higgs(2000);
+        let r = s
+            .execute(
+                "SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 1, strategy = 'once'",
+            )
+            .unwrap();
+        match r {
+            QueryResult::Train(t) => {
+                assert!(t.setup_seconds > 0.0);
+                assert!(t.total_seconds() > t.setup_seconds);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn block_size_param_rechunks() {
+        let mut s = session_with_higgs(2000);
+        // A 64 KB block size must work end to end.
+        let r = s.execute(
+            "SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 1, block_size = 64KB",
+        );
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let mut s = session_with_higgs(100);
+        assert!(matches!(
+            s.execute("SELECT * FROM nope TRAIN BY svm"),
+            Err(DbError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            s.execute("SELECT * FROM higgs TRAIN BY nonsense"),
+            Err(DbError::UnknownModelKind(_))
+        ));
+        assert!(matches!(
+            s.execute("SELECT * FROM higgs TRAIN BY svm WITH strategy = 'mrs'"),
+            Err(DbError::UnknownStrategy(_))
+        ));
+        assert!(matches!(
+            s.execute("SELECT * FROM higgs TRAIN BY svm WITH bogus_param = 1"),
+            Err(DbError::BadParam(_))
+        ));
+        assert!(matches!(
+            s.execute("SELECT * FROM higgs PREDICT BY ghost"),
+            Err(DbError::UnknownModel(_))
+        ));
+        assert!(matches!(
+            s.execute("SELECT * FROM higgs TRAIN BY svm WITH buffer_fraction = 0"),
+            Err(DbError::BadParam(_))
+        ));
+    }
+
+    #[test]
+    fn softmax_on_multiclass_table() {
+        let table = DatasetSpec::cifar_like(800)
+            .with_order(Order::ClusteredByLabel)
+            .with_block_bytes(8192)
+            .build_table(2)
+            .unwrap();
+        let mut s = Session::new(SimDevice::ssd_scaled(1000.0, 0));
+        s.register_table("cifar", table);
+        let r = s
+            .execute(
+                "SELECT * FROM cifar TRAIN BY softmax WITH learning_rate = 0.05, \
+                 max_epoch_num = 3, model_name = sm",
+            )
+            .unwrap();
+        match r {
+            QueryResult::Train(t) => {
+                assert!(matches!(t.model_kind, ModelKind::Softmax { classes: 10 }));
+                assert!(t.final_train_metric > 0.5, "softmax acc {}", t.final_train_metric);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn explain_and_show_queries() {
+        let mut s = session_with_higgs(300);
+        match s
+            .execute("EXPLAIN SELECT * FROM higgs TRAIN BY svm WITH strategy = 'corgipile'")
+            .unwrap()
+        {
+            QueryResult::Plan(lines) => {
+                assert!(lines[0].starts_with("SGD"));
+                assert!(lines.iter().any(|l| l.contains("TupleShuffle")));
+                assert!(lines.iter().any(|l| l.contains("BlockShuffle (random")));
+            }
+            _ => panic!("expected a plan"),
+        }
+        match s.execute("SHOW TABLES").unwrap() {
+            QueryResult::Names(names) => assert_eq!(names, vec!["higgs"]),
+            _ => panic!("expected names"),
+        }
+        // EXPLAIN does not execute: no model stored.
+        match s.execute("SHOW MODELS").unwrap() {
+            QueryResult::Names(names) => assert!(names.is_empty()),
+            _ => panic!("expected names"),
+        }
+        assert!(s
+            .execute("EXPLAIN SELECT * FROM higgs TRAIN BY svm WITH strategy = 'bogus'")
+            .is_err());
+    }
+
+    #[test]
+    fn tuple_only_strategy_in_db() {
+        let mut s = session_with_higgs(3000);
+        let r = s
+            .execute(
+                "SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 3,                  strategy = 'tuple_only', model_name = m_to",
+            )
+            .unwrap();
+        match r {
+            QueryResult::Train(t) => {
+                // Sequential I/O like No Shuffle, partial mixing only.
+                assert_eq!(t.strategy, "tuple_only");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn report_metrics_emits_per_epoch_accuracy() {
+        let mut s = session_with_higgs(1500);
+        match s
+            .execute(
+                "SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 2,                  report_metrics = 1",
+            )
+            .unwrap()
+        {
+            QueryResult::Train(t) => {
+                assert!(t.epochs.iter().all(|e| e.train_metric.is_some()));
+            }
+            _ => unreachable!(),
+        }
+        // Off by default.
+        match s
+            .execute("SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 1")
+            .unwrap()
+        {
+            QueryResult::Train(t) => assert!(t.epochs[0].train_metric.is_none()),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn shared_buffers_accelerate_later_epochs() {
+        // With a pool large enough for the table, epochs after the first
+        // are compute-bound (no device reads).
+        let table = DatasetSpec::higgs_like(3000)
+            .with_order(Order::ClusteredByLabel)
+            .with_block_bytes(8192)
+            .build_table(4)
+            .unwrap();
+        let run = |shared: &str| {
+            let mut s = Session::new(SimDevice::hdd_scaled(1000.0, 0));
+            s.register_table("higgs", table.clone());
+            match s
+                .execute(&format!(
+                    "SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 3{shared}"
+                ))
+                .unwrap()
+            {
+                QueryResult::Train(t) => {
+                    t.epochs[1..].iter().map(|e| e.io_seconds).sum::<f64>()
+                }
+                _ => unreachable!(),
+            }
+        };
+        let without = run("");
+        let with = run(", shared_buffers = 64MB");
+        assert!(
+            with < without / 5.0,
+            "pooled warm epochs {with} should be far cheaper than unpooled {without}"
+        );
+    }
+
+    #[test]
+    fn minibatch_training_in_db() {
+        let mut s = session_with_higgs(2000);
+        let r = s.execute(
+            "SELECT * FROM higgs TRAIN BY lr WITH max_epoch_num = 2, batch_size = 128",
+        );
+        assert!(r.is_ok());
+    }
+}

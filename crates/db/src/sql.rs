@@ -1,0 +1,342 @@
+//! The SQL surface (§6): `TRAIN BY` and `PREDICT BY` queries.
+//!
+//! ```sql
+//! SELECT * FROM forest TRAIN BY svm WITH learning_rate = 0.1,
+//!        max_epoch_num = 20, block_size = 10MB, buffer_fraction = 0.1,
+//!        strategy = 'corgipile', model_name = 'forest_svm';
+//! SELECT * FROM forest PREDICT BY forest_svm;
+//! ```
+//!
+//! The grammar is a tiny hand-rolled recursive-descent parser: keywords are
+//! case-insensitive, parameters are `name = value` pairs where values are
+//! numbers, quoted strings, bare identifiers, or byte sizes (`10MB`,
+//! `512KB`).
+
+use crate::error::DbError;
+use std::collections::BTreeMap;
+
+/// A parsed parameter value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamValue {
+    /// Numeric literal.
+    Number(f64),
+    /// String or bare identifier.
+    Text(String),
+    /// Byte size (e.g. `10MB` → 10 485 760).
+    Bytes(u64),
+}
+
+impl ParamValue {
+    /// Interpret as f64 where sensible.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            ParamValue::Number(n) => Some(*n),
+            ParamValue::Bytes(b) => Some(*b as f64),
+            ParamValue::Text(_) => None,
+        }
+    }
+
+    /// Interpret as usize where sensible.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_f64().and_then(|f| {
+            if f >= 0.0 && f.fract() == 0.0 {
+                Some(f as usize)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Interpret as text.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            ParamValue::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// `SELECT * FROM <table> TRAIN BY <model> [WITH k = v, …]`.
+    Train {
+        /// Source table.
+        table: String,
+        /// Model kind name (`svm`, `lr`, `linreg`, `softmax`, `mlp`).
+        model: String,
+        /// `WITH` parameters.
+        params: BTreeMap<String, ParamValue>,
+    },
+    /// `SELECT * FROM <table> PREDICT BY <model_name>`.
+    Predict {
+        /// Source table.
+        table: String,
+        /// Stored model name.
+        model: String,
+    },
+    /// `EXPLAIN <train query>`: show the physical plan without running it.
+    Explain(Box<Query>),
+    /// `SHOW TABLES` / `SHOW MODELS`.
+    Show {
+        /// "tables" or "models".
+        what: String,
+    },
+}
+
+struct Tokens<'a> {
+    toks: Vec<&'a str>,
+    pos: usize,
+}
+
+fn tokenize(input: &str) -> Vec<&str> {
+    let mut toks = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+        } else if c == ',' || c == '=' || c == '*' || c == ';' || c == '(' || c == ')' {
+            toks.push(&input[i..i + 1]);
+            i += 1;
+        } else if c == '\'' {
+            let start = i + 1;
+            let mut j = start;
+            while j < bytes.len() && bytes[j] as char != '\'' {
+                j += 1;
+            }
+            toks.push(&input[start..j]);
+            // Mark it as a string by pushing the quotes separately? Instead
+            // we rely on position: quoted strings become plain tokens.
+            i = j + 1;
+        } else {
+            let start = i;
+            while i < bytes.len() {
+                let c = bytes[i] as char;
+                if c.is_whitespace() || matches!(c, ',' | '=' | '*' | ';' | '(' | ')' | '\'') {
+                    break;
+                }
+                i += 1;
+            }
+            toks.push(&input[start..i]);
+        }
+    }
+    toks
+}
+
+impl<'a> Tokens<'a> {
+    fn peek(&self) -> Option<&'a str> {
+        self.toks.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<&'a str> {
+        let t = self.peek();
+        self.pos += 1;
+        t
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), DbError> {
+        match self.bump() {
+            Some(t) if t.eq_ignore_ascii_case(kw) => Ok(()),
+            Some(t) => Err(DbError::Parse(format!("expected {kw}, found {t:?}"))),
+            None => Err(DbError::Parse(format!("expected {kw}, found end of input"))),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, DbError> {
+        match self.bump() {
+            Some(t) if !t.is_empty() && t.chars().all(|c| c.is_alphanumeric() || c == '_') => {
+                Ok(t.to_string())
+            }
+            Some(t) => Err(DbError::Parse(format!("expected {what}, found {t:?}"))),
+            None => Err(DbError::Parse(format!("expected {what}, found end of input"))),
+        }
+    }
+}
+
+fn parse_value(tok: &str) -> ParamValue {
+    if let Ok(n) = tok.parse::<f64>() {
+        return ParamValue::Number(n);
+    }
+    // Byte sizes: <number><KB|MB|GB>.
+    let upper = tok.to_ascii_uppercase();
+    for (suffix, mult) in [("KB", 1u64 << 10), ("MB", 1 << 20), ("GB", 1 << 30), ("B", 1)] {
+        if let Some(num) = upper.strip_suffix(suffix) {
+            if let Ok(n) = num.parse::<f64>() {
+                return ParamValue::Bytes((n * mult as f64) as u64);
+            }
+        }
+    }
+    ParamValue::Text(tok.to_string())
+}
+
+/// Parse one query.
+pub fn parse(input: &str) -> Result<Query, DbError> {
+    let mut t = Tokens { toks: tokenize(input), pos: 0 };
+    match t.peek() {
+        Some(w) if w.eq_ignore_ascii_case("EXPLAIN") => {
+            t.bump();
+            let rest = &input[input.to_ascii_uppercase().find("EXPLAIN").unwrap() + 7..];
+            return Ok(Query::Explain(Box::new(parse(rest)?)));
+        }
+        Some(w) if w.eq_ignore_ascii_case("SHOW") => {
+            t.bump();
+            let what = t.ident("TABLES or MODELS")?.to_ascii_lowercase();
+            if what != "tables" && what != "models" {
+                return Err(DbError::Parse(format!("SHOW {what} not supported")));
+            }
+            return Ok(Query::Show { what });
+        }
+        _ => {}
+    }
+    t.expect_kw("SELECT")?;
+    t.expect_kw("*")?;
+    t.expect_kw("FROM")?;
+    let table = t.ident("table name")?;
+    let verb = t
+        .bump()
+        .ok_or_else(|| DbError::Parse("expected TRAIN or PREDICT".into()))?;
+    if verb.eq_ignore_ascii_case("TRAIN") {
+        t.expect_kw("BY")?;
+        let model = t.ident("model kind")?.to_ascii_lowercase();
+        let mut params = BTreeMap::new();
+        match t.peek() {
+            Some(w) if w.eq_ignore_ascii_case("WITH") => {
+                t.bump();
+                loop {
+                    let key = t.ident("parameter name")?.to_ascii_lowercase();
+                    t.expect_kw("=")?;
+                    let val = t
+                        .bump()
+                        .ok_or_else(|| DbError::Parse(format!("missing value for {key}")))?;
+                    params.insert(key, parse_value(val));
+                    match t.peek() {
+                        Some(",") => {
+                            t.bump();
+                        }
+                        Some(";") | None => break,
+                        Some(other) => {
+                            return Err(DbError::Parse(format!(
+                                "expected ',' or end of query, found {other:?}"
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(";") | None => {}
+            Some(other) => {
+                return Err(DbError::Parse(format!("expected WITH, found {other:?}")))
+            }
+        }
+        Ok(Query::Train { table, model, params })
+    } else if verb.eq_ignore_ascii_case("PREDICT") {
+        t.expect_kw("BY")?;
+        let model = t.ident("model name")?;
+        Ok(Query::Predict { table, model })
+    } else {
+        Err(DbError::Parse(format!("expected TRAIN or PREDICT, found {verb:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_train() {
+        let q = parse("SELECT * FROM forest TRAIN BY svm").unwrap();
+        assert_eq!(
+            q,
+            Query::Train { table: "forest".into(), model: "svm".into(), params: BTreeMap::new() }
+        );
+    }
+
+    #[test]
+    fn parses_full_train_with_params() {
+        let q = parse(
+            "SELECT * FROM t TRAIN BY lr WITH learning_rate = 0.1, \
+             max_epoch_num = 20, block_size = 10MB, strategy = 'corgipile', \
+             buffer_fraction = 0.1, model_name = m1;",
+        )
+        .unwrap();
+        match q {
+            Query::Train { table, model, params } => {
+                assert_eq!(table, "t");
+                assert_eq!(model, "lr");
+                assert_eq!(params["learning_rate"], ParamValue::Number(0.1));
+                assert_eq!(params["max_epoch_num"].as_usize(), Some(20));
+                assert_eq!(params["block_size"], ParamValue::Bytes(10 << 20));
+                assert_eq!(params["strategy"].as_text(), Some("corgipile"));
+                assert_eq!(params["model_name"].as_text(), Some("m1"));
+            }
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn parses_predict() {
+        let q = parse("SELECT * FROM t PREDICT BY my_model").unwrap();
+        assert_eq!(q, Query::Predict { table: "t".into(), model: "my_model".into() });
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert!(parse("select * from t train by svm").is_ok());
+        assert!(parse("SeLeCt * FrOm t PrEdIcT bY m").is_ok());
+    }
+
+    #[test]
+    fn byte_sizes_parse() {
+        assert_eq!(parse_value("512KB"), ParamValue::Bytes(512 << 10));
+        assert_eq!(parse_value("2GB"), ParamValue::Bytes(2 << 30));
+        assert_eq!(parse_value("10mb"), ParamValue::Bytes(10 << 20));
+        assert_eq!(parse_value("128B"), ParamValue::Bytes(128));
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        for bad in [
+            "",
+            "SELECT * FROM",
+            "SELECT * FROM t",
+            "SELECT * FROM t TRAIN svm",
+            "SELECT * FROM t LEARN BY svm",
+            "SELECT * FROM t TRAIN BY svm WITH",
+            "SELECT * FROM t TRAIN BY svm WITH lr 0.1",
+            "INSERT INTO t VALUES (1)",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn param_value_coercions() {
+        assert_eq!(ParamValue::Number(2.0).as_usize(), Some(2));
+        assert_eq!(ParamValue::Number(2.5).as_usize(), None);
+        assert_eq!(ParamValue::Number(-1.0).as_usize(), None);
+        assert_eq!(ParamValue::Text("x".into()).as_f64(), None);
+        assert_eq!(ParamValue::Bytes(8).as_usize(), Some(8));
+    }
+
+    #[test]
+    fn parses_explain_and_show() {
+        let q = parse("EXPLAIN SELECT * FROM t TRAIN BY svm").unwrap();
+        assert!(matches!(q, Query::Explain(inner) if matches!(*inner, Query::Train { .. })));
+        assert_eq!(parse("SHOW TABLES").unwrap(), Query::Show { what: "tables".into() });
+        assert_eq!(parse("show models").unwrap(), Query::Show { what: "models".into() });
+        assert!(parse("SHOW SECRETS").is_err());
+        assert!(parse("EXPLAIN").is_err());
+    }
+
+    #[test]
+    fn trailing_semicolon_and_quotes() {
+        let q = parse("SELECT * FROM t TRAIN BY svm WITH strategy = 'once';").unwrap();
+        match q {
+            Query::Train { params, .. } => {
+                assert_eq!(params["strategy"].as_text(), Some("once"));
+            }
+            _ => panic!(),
+        }
+    }
+}

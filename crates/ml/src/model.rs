@@ -1,0 +1,169 @@
+//! The [`Model`] trait and the model factory.
+
+use crate::linear::{LinearModel, LinearTask};
+use crate::mlp::Mlp;
+use crate::softmax::SoftmaxRegression;
+use corgipile_storage::FeatureVec;
+
+/// A trainable model with a flat parameter vector.
+///
+/// All models expose
+/// * per-example loss and dense gradient (generic path, used by mini-batch
+///   and Adam);
+/// * a fast fused SGD step ([`Model::sgd_step`]) that linear models override
+///   with a sparse-aware update (one `axpy` per tuple — the path the paper's
+///   per-tuple UDA/operator implementations take);
+/// * a FLOP estimate for the simulated compute clock.
+pub trait Model: Send + Sync {
+    /// Number of parameters.
+    fn num_params(&self) -> usize;
+
+    /// Borrow the flat parameter vector.
+    fn params(&self) -> &[f32];
+
+    /// Mutably borrow the flat parameter vector.
+    fn params_mut(&mut self) -> &mut [f32];
+
+    /// Per-example loss.
+    fn loss(&self, x: &FeatureVec, y: f32) -> f64;
+
+    /// Accumulate the per-example gradient into `grad` (length
+    /// [`Model::num_params`]). Does **not** zero `grad` first.
+    fn grad(&self, x: &FeatureVec, y: f32, grad: &mut [f32]);
+
+    /// Fused single-example SGD step: `params -= lr * ∇loss`.
+    ///
+    /// The default materializes a dense gradient; linear models override it
+    /// with a sparse update.
+    fn sgd_step(&mut self, x: &FeatureVec, y: f32, lr: f32) {
+        let mut g = vec![0.0f32; self.num_params()];
+        self.grad(x, y, &mut g);
+        for (p, gi) in self.params_mut().iter_mut().zip(&g) {
+            *p -= lr * gi;
+        }
+    }
+
+    /// Predicted label: sign (±1) for binary classifiers, class index for
+    /// multi-class, real value for regression.
+    fn predict_label(&self, x: &FeatureVec) -> f32;
+
+    /// True for classifiers (accuracy applies), false for regression.
+    fn is_classifier(&self) -> bool {
+        true
+    }
+
+    /// FLOPs per example with `nnz` materialized features (forward +
+    /// backward), for the simulated compute clock.
+    fn flops_per_example(&self, nnz: usize) -> f64;
+}
+
+/// Model identifiers used by configs, the SQL surface, and reports.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Logistic regression (binary, labels ±1).
+    LogisticRegression,
+    /// Linear SVM with hinge loss (binary, labels ±1).
+    Svm,
+    /// Ordinary least squares via SGD.
+    LinearRegression,
+    /// Multinomial logistic regression.
+    Softmax {
+        /// Number of classes.
+        classes: usize,
+    },
+    /// Feed-forward ReLU network ending in softmax.
+    Mlp {
+        /// Hidden layer widths.
+        hidden: Vec<usize>,
+        /// Number of classes.
+        classes: usize,
+    },
+}
+
+impl ModelKind {
+    /// Short machine name ("lr", "svm", …), also accepted by the SQL parser.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::LogisticRegression => "lr",
+            ModelKind::Svm => "svm",
+            ModelKind::LinearRegression => "linreg",
+            ModelKind::Softmax { .. } => "softmax",
+            ModelKind::Mlp { .. } => "mlp",
+        }
+    }
+
+    /// Whether this kind is convex (GLM) — used by reports and theory.
+    pub fn is_convex(&self) -> bool {
+        !matches!(self, ModelKind::Mlp { .. })
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelKind::Softmax { classes } => write!(f, "softmax({classes})"),
+            ModelKind::Mlp { hidden, classes } => write!(f, "mlp({hidden:?}→{classes})"),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+/// Build a model of the given kind for `dim` input features.
+///
+/// `seed` initializes MLP weights; linear models start at zero like the
+/// paper's systems.
+pub fn build_model(kind: &ModelKind, dim: usize, seed: u64) -> Box<dyn Model> {
+    match kind {
+        ModelKind::LogisticRegression => {
+            Box::new(LinearModel::new(dim, LinearTask::Logistic))
+        }
+        ModelKind::Svm => Box::new(LinearModel::new(dim, LinearTask::Hinge)),
+        ModelKind::LinearRegression => Box::new(LinearModel::new(dim, LinearTask::Squared)),
+        ModelKind::Softmax { classes } => Box::new(SoftmaxRegression::new(dim, *classes)),
+        ModelKind::Mlp { hidden, classes } => Box::new(Mlp::new(dim, hidden, *classes, seed)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_builds_each_kind() {
+        let kinds = [
+            ModelKind::LogisticRegression,
+            ModelKind::Svm,
+            ModelKind::LinearRegression,
+            ModelKind::Softmax { classes: 3 },
+            ModelKind::Mlp { hidden: vec![8], classes: 3 },
+        ];
+        for k in kinds {
+            let m = build_model(&k, 10, 1);
+            assert!(m.num_params() > 0, "{k}: no params");
+            assert_eq!(m.params().len(), m.num_params());
+        }
+    }
+
+    #[test]
+    fn names_and_convexity() {
+        assert_eq!(ModelKind::LogisticRegression.name(), "lr");
+        assert_eq!(ModelKind::Svm.name(), "svm");
+        assert!(ModelKind::Svm.is_convex());
+        assert!(!ModelKind::Mlp { hidden: vec![4], classes: 2 }.is_convex());
+        assert_eq!(ModelKind::Softmax { classes: 5 }.to_string(), "softmax(5)");
+    }
+
+    #[test]
+    fn default_sgd_step_matches_manual_gradient_descent() {
+        let mut m = build_model(&ModelKind::LogisticRegression, 3, 0);
+        let x = FeatureVec::Dense(vec![1.0, -1.0, 0.5]);
+        let mut g = vec![0.0; m.num_params()];
+        m.grad(&x, 1.0, &mut g);
+        let expect: Vec<f32> =
+            m.params().iter().zip(&g).map(|(p, gi)| p - 0.1 * gi).collect();
+        m.sgd_step(&x, 1.0, 0.1);
+        for (a, b) in m.params().iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Training loops over tuple streams, with compute-cost accounting.
+//!
+//! The paper's systems update the model per tuple (standard SGD, §7.3) or
+//! per mini-batch (§7.4, PyTorch's default §7.2). Both loops live here and
+//! are shared by the trainer, the in-DB `SGD` operator, and the
+//! multi-worker harness.
+
+use crate::model::Model;
+use crate::optimizer::Optimizer;
+use corgipile_storage::Tuple;
+
+/// Options for one training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainOptions {
+    /// Mini-batch size; 1 = standard per-tuple SGD.
+    pub batch_size: usize,
+    /// Gradient-norm clip (0 disables). Keeps MLP training stable on
+    /// clustered streams where the early gradient is one-sided.
+    pub clip_norm: f32,
+    /// L2 regularization strength λ (0 disables): weight decay
+    /// `w ← (1 − η·λ)·w` applied alongside each update.
+    pub l2: f32,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        TrainOptions { batch_size: 1, clip_norm: 0.0, l2: 0.0 }
+    }
+}
+
+impl TrainOptions {
+    /// Mini-batch options.
+    pub fn minibatch(batch_size: usize) -> Self {
+        assert!(batch_size >= 1);
+        TrainOptions { batch_size, clip_norm: 0.0, l2: 0.0 }
+    }
+
+    /// Add L2 regularization.
+    pub fn with_l2(mut self, l2: f32) -> Self {
+        assert!(l2 >= 0.0);
+        self.l2 = l2;
+        self
+    }
+}
+
+/// Per-tuple SGD applies weight decay lazily every `L2_STRIDE` tuples
+/// (compounded), keeping the sparse fast path O(nnz) per update.
+const L2_STRIDE: usize = 16;
+
+/// Simulated per-example compute cost.
+///
+/// Tuple gradients execute at `flops_per_second`; per-tuple call overhead
+/// models the invocation cost of the surrounding system. The paper
+/// measures that PyTorch pays heavy Python→C++ overhead per tuple (§7.3.5,
+/// 2–16× slower than in-DB CorgiPile for per-tuple SGD), which is exactly
+/// this constant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComputeCostModel {
+    /// Sustained scalar throughput of the executor (FLOP/s).
+    pub flops_per_second: f64,
+    /// Fixed overhead per example (seconds) — UDA call, operator `next()`,
+    /// or Python invocation depending on the system modeled.
+    pub per_tuple_overhead: f64,
+}
+
+impl ComputeCostModel {
+    /// A single in-DB executor core (the paper binds CorgiPile to one
+    /// physical core, §7.1.1).
+    pub fn in_db_core() -> Self {
+        ComputeCostModel { flops_per_second: 5e9, per_tuple_overhead: 8e-8 }
+    }
+
+    /// PyTorch-outside-DB per-tuple training: same FLOPs, large per-tuple
+    /// invocation overhead (§7.3.5).
+    pub fn pytorch_per_tuple() -> Self {
+        ComputeCostModel { flops_per_second: 5e9, per_tuple_overhead: 3e-6 }
+    }
+
+    /// Cost of `count` examples of `flops` each.
+    pub fn seconds(&self, flops: f64, count: usize) -> f64 {
+        count as f64 * (self.per_tuple_overhead + flops / self.flops_per_second)
+    }
+}
+
+/// Result of training over one epoch stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EpochStats {
+    /// Mean per-example loss *before* each update (running training loss).
+    pub mean_loss: f64,
+    /// Number of examples consumed.
+    pub examples: usize,
+    /// Number of optimizer updates applied.
+    pub updates: usize,
+}
+
+/// Per-tuple SGD over a stream: `x_{k} = x_{k-1} − η ∇f(x_{k-1})`.
+///
+/// Uses the model's fused (sparse-aware) step; the optimizer provides the
+/// current learning rate.
+pub fn train_per_tuple<'a, I>(model: &mut dyn Model, opt: &dyn Optimizer, tuples: I) -> EpochStats
+where
+    I: IntoIterator<Item = &'a Tuple>,
+{
+    train_per_tuple_with(model, opt, tuples, &TrainOptions::default())
+}
+
+/// Per-tuple SGD with full [`TrainOptions`] (L2 via lazy weight decay).
+pub fn train_per_tuple_with<'a, I>(
+    model: &mut dyn Model,
+    opt: &dyn Optimizer,
+    tuples: I,
+    options: &TrainOptions,
+) -> EpochStats
+where
+    I: IntoIterator<Item = &'a Tuple>,
+{
+    let lr = opt.lr();
+    let mut loss_sum = 0.0f64;
+    let mut n = 0usize;
+    let decay_stride = (1.0 - lr * options.l2).powi(L2_STRIDE as i32);
+    for t in tuples {
+        loss_sum += model.loss(&t.features, t.label);
+        model.sgd_step(&t.features, t.label, lr);
+        n += 1;
+        if options.l2 > 0.0 && n.is_multiple_of(L2_STRIDE) {
+            for p in model.params_mut() {
+                *p *= decay_stride;
+            }
+        }
+    }
+    EpochStats { mean_loss: if n > 0 { loss_sum / n as f64 } else { 0.0 }, examples: n, updates: n }
+}
+
+/// Mini-batch SGD over a stream: gradients averaged over each batch, one
+/// optimizer step per batch (works with SGD and Adam).
+pub fn train_minibatch<'a, I>(
+    model: &mut dyn Model,
+    opt: &mut dyn Optimizer,
+    tuples: I,
+    options: &TrainOptions,
+) -> EpochStats
+where
+    I: IntoIterator<Item = &'a Tuple>,
+{
+    assert!(options.batch_size >= 1);
+    let mut grad = vec![0.0f32; model.num_params()];
+    let mut in_batch = 0usize;
+    let mut loss_sum = 0.0f64;
+    let mut n = 0usize;
+    let mut updates = 0usize;
+
+    let mut flush = |model: &mut dyn Model, grad: &mut Vec<f32>, in_batch: &mut usize, updates: &mut usize| {
+        if *in_batch == 0 {
+            return;
+        }
+        let scale = 1.0 / *in_batch as f32;
+        for g in grad.iter_mut() {
+            *g *= scale;
+        }
+        if options.clip_norm > 0.0 {
+            let norm: f32 = grad.iter().map(|g| g * g).sum::<f32>().sqrt();
+            if norm > options.clip_norm {
+                let s = options.clip_norm / norm;
+                for g in grad.iter_mut() {
+                    *g *= s;
+                }
+            }
+        }
+        if options.l2 > 0.0 {
+            for (g, p) in grad.iter_mut().zip(model.params()) {
+                *g += options.l2 * p;
+            }
+        }
+        opt.step(model.params_mut(), grad);
+        grad.iter_mut().for_each(|g| *g = 0.0);
+        *in_batch = 0;
+        *updates += 1;
+    };
+
+    for t in tuples {
+        loss_sum += model.loss(&t.features, t.label);
+        model.grad(&t.features, t.label, &mut grad);
+        in_batch += 1;
+        n += 1;
+        if in_batch == options.batch_size {
+            flush(model, &mut grad, &mut in_batch, &mut updates);
+        }
+    }
+    flush(model, &mut grad, &mut in_batch, &mut updates);
+    EpochStats { mean_loss: if n > 0 { loss_sum / n as f64 } else { 0.0 }, examples: n, updates }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::{LinearModel, LinearTask};
+    use crate::optimizer::{Adam, Sgd};
+    use corgipile_storage::Tuple;
+
+    fn stream() -> Vec<Tuple> {
+        // Separable binary set.
+        (0..100)
+            .map(|i| {
+                let y = if i % 2 == 0 { 1.0f32 } else { -1.0 };
+                Tuple::dense(i, vec![y * 2.0, y], y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn per_tuple_training_reduces_loss() {
+        let data = stream();
+        let mut m = LinearModel::new(2, LinearTask::Logistic);
+        let mut opt = Sgd::new(0.1, 0.95);
+        let e0 = train_per_tuple(&mut m, &opt, &data);
+        opt.set_epoch(1);
+        let e1 = train_per_tuple(&mut m, &opt, &data);
+        assert_eq!(e0.examples, 100);
+        assert_eq!(e0.updates, 100);
+        assert!(e1.mean_loss < e0.mean_loss, "{} !< {}", e1.mean_loss, e0.mean_loss);
+    }
+
+    #[test]
+    fn minibatch_training_counts_updates() {
+        let data = stream();
+        let mut m = LinearModel::new(2, LinearTask::Hinge);
+        let mut opt = Sgd::new(0.1, 0.95);
+        let stats =
+            train_minibatch(&mut m, &mut opt, &data, &TrainOptions::minibatch(32));
+        assert_eq!(stats.examples, 100);
+        assert_eq!(stats.updates, 4); // 32+32+32+4
+    }
+
+    #[test]
+    fn minibatch_of_one_equals_per_tuple_for_sgd() {
+        let data = stream();
+        let mut a = LinearModel::new(2, LinearTask::Logistic);
+        let mut b = LinearModel::new(2, LinearTask::Logistic);
+        let opt_a = Sgd::new(0.05, 1.0);
+        let mut opt_b = Sgd::new(0.05, 1.0);
+        train_per_tuple(&mut a, &opt_a, &data);
+        train_minibatch(&mut b, &mut opt_b, &data, &TrainOptions::minibatch(1));
+        for (pa, pb) in a.params().iter().zip(b.params()) {
+            assert!((pa - pb).abs() < 1e-5, "{pa} vs {pb}");
+        }
+    }
+
+    #[test]
+    fn adam_minibatch_converges() {
+        let data = stream();
+        let mut m = LinearModel::new(2, LinearTask::Logistic);
+        let mut opt = Adam::new(0.05, 0.9, 0.999, 1e-8);
+        let mut last = f64::INFINITY;
+        for e in 0..5 {
+            opt.set_epoch(e);
+            last = train_minibatch(&mut m, &mut opt, &data, &TrainOptions::minibatch(16))
+                .mean_loss;
+        }
+        assert!(last < 0.2, "adam should learn the separable set, loss {last}");
+    }
+
+    #[test]
+    fn l2_shrinks_weights_in_both_paths() {
+        let data: Vec<Tuple> =
+            (0..64).map(|i| Tuple::dense(i, vec![1.0, 1.0], 1.0)).collect();
+        // Per-tuple: regularized weights must be strictly smaller.
+        let mut plain = LinearModel::new(2, LinearTask::Logistic);
+        let mut reg = LinearModel::new(2, LinearTask::Logistic);
+        let opt = Sgd::new(0.1, 1.0);
+        train_per_tuple_with(&mut plain, &opt, &data, &TrainOptions::default());
+        train_per_tuple_with(
+            &mut reg,
+            &opt,
+            &data,
+            &TrainOptions { l2: 0.5, ..TrainOptions::default() },
+        );
+        let norm = |m: &LinearModel| m.params().iter().map(|p| p * p).sum::<f32>();
+        assert!(norm(&reg) < norm(&plain), "{} !< {}", norm(&reg), norm(&plain));
+
+        // Mini-batch: same property.
+        let mut plain_mb = LinearModel::new(2, LinearTask::Logistic);
+        let mut reg_mb = LinearModel::new(2, LinearTask::Logistic);
+        let mut o1 = Sgd::new(0.1, 1.0);
+        let mut o2 = Sgd::new(0.1, 1.0);
+        train_minibatch(&mut plain_mb, &mut o1, &data, &TrainOptions::minibatch(8));
+        train_minibatch(
+            &mut reg_mb,
+            &mut o2,
+            &data,
+            &TrainOptions::minibatch(8).with_l2(0.5),
+        );
+        assert!(norm(&reg_mb) < norm(&plain_mb));
+    }
+
+    #[test]
+    fn clipping_limits_update_magnitude() {
+        let data = vec![Tuple::dense(0, vec![1000.0, 1000.0], 1.0)];
+        let mut m = LinearModel::new(2, LinearTask::Squared);
+        let mut opt = Sgd::new(1.0, 1.0);
+        let opts = TrainOptions { batch_size: 1, clip_norm: 1.0, l2: 0.0 };
+        train_minibatch(&mut m, &mut opt, &data, &opts);
+        let norm: f32 = m.params().iter().map(|p| p * p).sum::<f32>().sqrt();
+        assert!(norm <= 1.0 + 1e-4, "clipped update norm {norm}");
+    }
+
+    #[test]
+    fn empty_stream_is_a_noop() {
+        let mut m = LinearModel::new(2, LinearTask::Logistic);
+        let opt = Sgd::new(0.1, 1.0);
+        let stats = train_per_tuple(&mut m, &opt, &[]);
+        assert_eq!(stats, EpochStats::default());
+    }
+
+    #[test]
+    fn cost_model_orders_systems_correctly() {
+        let flops = 100.0;
+        let db = ComputeCostModel::in_db_core().seconds(flops, 1000);
+        let py = ComputeCostModel::pytorch_per_tuple().seconds(flops, 1000);
+        assert!(py > 5.0 * db, "PyTorch per-tuple overhead should dominate: {py} vs {db}");
+    }
+}

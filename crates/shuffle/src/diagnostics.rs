@@ -1,0 +1,155 @@
+//! Order diagnostics: the measurements behind Figures 3 and 4.
+//!
+//! Given the tuple stream of one epoch, these helpers compute
+//!
+//! * the **tuple-id trace** — emitted position → original storage position
+//!   (Figures 3a–3d, 4a);
+//! * the **label distribution** — counts of negative/positive labels per
+//!   window of `w` consecutive emissions (Figures 3e–3h, 4b);
+//! * the **mean displacement** — a scalar randomness score used by tests
+//!   and the Table-1 summary.
+
+/// Label counts within one window of the stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelWindow {
+    /// First emitted position covered by the window.
+    pub start: usize,
+    /// Number of labels < 0 (or == 0 for multi-class "first class").
+    pub negative: usize,
+    /// Number of labels > 0.
+    pub positive: usize,
+}
+
+/// The tuple-id trace: `trace[k]` is the original storage position of the
+/// `k`-th emitted tuple.
+pub fn tuple_id_trace(ids: &[u64]) -> Vec<(usize, u64)> {
+    ids.iter().copied().enumerate().collect()
+}
+
+/// Label counts per window of `window` consecutive emissions (the paper
+/// uses windows of 20 tuples for its 1 000-tuple example).
+pub fn label_distribution(labels: &[f32], window: usize) -> Vec<LabelWindow> {
+    assert!(window > 0, "window must be positive");
+    labels
+        .chunks(window)
+        .enumerate()
+        .map(|(i, chunk)| LabelWindow {
+            start: i * window,
+            negative: chunk.iter().filter(|&&l| l < 0.0).count(),
+            positive: chunk.iter().filter(|&&l| l > 0.0).count(),
+        })
+        .collect()
+}
+
+/// Mean absolute displacement between emitted position and storage
+/// position, normalized by the stream length.
+///
+/// * ≈ 0 — not shuffled (No Shuffle, Sliding-Window's near-diagonal);
+/// * ≈ 1/3 — a uniform random permutation's expectation.
+pub fn order_displacement(ids: &[u64]) -> f64 {
+    if ids.is_empty() {
+        return 0.0;
+    }
+    let m = ids.len() as f64;
+    ids.iter()
+        .enumerate()
+        .map(|(pos, &id)| (id as f64 - pos as f64).abs())
+        .sum::<f64>()
+        / (m * m)
+}
+
+/// χ²-style uniformity score of per-window positive fractions against the
+/// global positive fraction; lower is more uniform (a full shuffle scores
+/// near the sampling noise floor).
+pub fn label_uniformity_score(labels: &[f32], window: usize) -> f64 {
+    let windows = label_distribution(labels, window);
+    if windows.is_empty() {
+        return 0.0;
+    }
+    let total_pos: usize = windows.iter().map(|w| w.positive).sum();
+    let total: usize = windows.iter().map(|w| w.positive + w.negative).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let p = total_pos as f64 / total as f64;
+    windows
+        .iter()
+        .map(|w| {
+            let n = (w.positive + w.negative) as f64;
+            if n == 0.0 {
+                return 0.0;
+            }
+            let frac = w.positive as f64 / n;
+            (frac - p) * (frac - p)
+        })
+        .sum::<f64>()
+        / windows.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corgipile_data::rng::shuffle_in_place;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn trace_is_positional() {
+        let ids = vec![5u64, 2, 9];
+        assert_eq!(tuple_id_trace(&ids), vec![(0, 5), (1, 2), (2, 9)]);
+    }
+
+    #[test]
+    fn label_distribution_counts_windows() {
+        let labels = vec![-1.0, -1.0, 1.0, 1.0, 1.0, -1.0];
+        let d = label_distribution(&labels, 3);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0], LabelWindow { start: 0, negative: 2, positive: 1 });
+        assert_eq!(d[1], LabelWindow { start: 3, negative: 1, positive: 2 });
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_panics() {
+        label_distribution(&[1.0], 0);
+    }
+
+    #[test]
+    fn displacement_zero_for_identity_third_for_random() {
+        let identity: Vec<u64> = (0..10_000).collect();
+        assert!(order_displacement(&identity) < 1e-9);
+
+        let mut random = identity.clone();
+        shuffle_in_place(&mut StdRng::seed_from_u64(1), &mut random);
+        let d = order_displacement(&random);
+        assert!((d - 1.0 / 3.0).abs() < 0.02, "random displacement {d}");
+    }
+
+    #[test]
+    fn displacement_reversed_is_half() {
+        let rev: Vec<u64> = (0..10_000).rev().collect();
+        let d = order_displacement(&rev);
+        assert!((d - 0.5).abs() < 0.01, "reverse displacement {d}");
+    }
+
+    #[test]
+    fn uniformity_scores_separate_clustered_from_shuffled() {
+        // Clustered: 500 negatives then 500 positives.
+        let clustered: Vec<f32> =
+            (0..1000).map(|i| if i < 500 { -1.0 } else { 1.0 }).collect();
+        let mut shuffled = clustered.clone();
+        shuffle_in_place(&mut StdRng::seed_from_u64(2), &mut shuffled);
+        let s_clustered = label_uniformity_score(&clustered, 20);
+        let s_shuffled = label_uniformity_score(&shuffled, 20);
+        assert!(
+            s_clustered > 10.0 * s_shuffled,
+            "clustered {s_clustered} vs shuffled {s_shuffled}"
+        );
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(order_displacement(&[]), 0.0);
+        assert_eq!(label_uniformity_score(&[], 5), 0.0);
+    }
+}

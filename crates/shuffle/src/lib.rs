@@ -1,0 +1,55 @@
+//! # corgipile-shuffle
+//!
+//! The data-shuffling strategies studied by the CorgiPile paper (§3–§4),
+//! implemented as per-epoch tuple-stream producers over heap tables with
+//! full I/O cost accounting:
+//!
+//! | Strategy | Paper § | I/O pattern | Randomness |
+//! |---|---|---|---|
+//! | [`NoShuffle`] | §3.2 | sequential scan | none |
+//! | [`ShuffleOnce`] | §3.1 | offline full shuffle (2× storage), then sequential | full (fixed across epochs) |
+//! | [`EpochShuffle`] | §3.1 | full shuffle before *every* epoch | full |
+//! | [`SlidingWindowShuffle`] | §3.3 | sequential scan | local window (TensorFlow) |
+//! | [`MrsShuffle`] | §3.4 | sequential scan + looping buffer | reservoir (Bismarck) |
+//! | [`BlockOnlyShuffle`] | §7.3 | random block reads | block order only |
+//! | [`CorgiPile`] | §4 | random block reads + buffered tuple shuffle | two-level hierarchical |
+//!
+//! Every strategy emits an [`EpochPlan`]: a sequence of [`Segment`]s (one
+//! per buffer fill / block read) carrying the tuples in SGD consumption
+//! order together with the simulated I/O seconds spent producing them, so
+//! the trainer can apply the paper's single- vs double-buffer pipeline
+//! model (§6.3).
+//!
+//! [`NoShuffle`]: no_shuffle::NoShuffle
+//! [`ShuffleOnce`]: shuffle_once::ShuffleOnce
+//! [`EpochShuffle`]: epoch_shuffle::EpochShuffle
+//! [`SlidingWindowShuffle`]: sliding_window::SlidingWindowShuffle
+//! [`MrsShuffle`]: mrs::MrsShuffle
+//! [`BlockOnlyShuffle`]: block_only::BlockOnlyShuffle
+//! [`CorgiPile`]: corgipile::CorgiPile
+//! [`EpochPlan`]: plan::EpochPlan
+//! [`Segment`]: plan::Segment
+
+pub mod block_only;
+pub mod corgipile;
+pub mod diagnostics;
+pub mod epoch_shuffle;
+pub mod mrs;
+pub mod no_shuffle;
+pub mod plan;
+pub mod shuffle_once;
+pub mod sliding_window;
+pub mod strategy;
+pub mod tuple_only;
+
+pub use block_only::BlockOnlyShuffle;
+pub use corgipile::{BlockSampleMode, CorgiPile};
+pub use diagnostics::{label_distribution, label_uniformity_score, order_displacement, tuple_id_trace, LabelWindow};
+pub use epoch_shuffle::EpochShuffle;
+pub use mrs::MrsShuffle;
+pub use no_shuffle::NoShuffle;
+pub use plan::{EpochPlan, Segment};
+pub use shuffle_once::ShuffleOnce;
+pub use sliding_window::SlidingWindowShuffle;
+pub use strategy::{build_strategy, ShuffleStrategy, StrategyKind, StrategyParams};
+pub use tuple_only::TupleOnlyShuffle;

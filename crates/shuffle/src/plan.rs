@@ -1,0 +1,89 @@
+//! Epoch plans: the tuple stream of one epoch, segmented by buffer fill.
+
+use corgipile_storage::Tuple;
+
+/// One buffer fill's worth of the epoch stream.
+#[derive(Debug, Clone, Default)]
+pub struct Segment {
+    /// Tuples in SGD consumption order.
+    pub tuples: Vec<Tuple>,
+    /// Simulated seconds of I/O + loading work (block reads, buffer copy,
+    /// in-buffer shuffle) spent producing this segment.
+    pub io_seconds: f64,
+}
+
+impl Segment {
+    /// A segment with the given contents and cost.
+    pub fn new(tuples: Vec<Tuple>, io_seconds: f64) -> Self {
+        Segment { tuples, io_seconds }
+    }
+}
+
+/// The full stream of one epoch.
+#[derive(Debug, Clone, Default)]
+pub struct EpochPlan {
+    /// Buffer fills, in order.
+    pub segments: Vec<Segment>,
+    /// One-off cost charged before this epoch's stream (e.g. Shuffle Once's
+    /// offline shuffle before epoch 0, or Epoch Shuffle's per-epoch shuffle).
+    pub setup_seconds: f64,
+}
+
+impl EpochPlan {
+    /// Total tuples across segments.
+    pub fn num_tuples(&self) -> usize {
+        self.segments.iter().map(|s| s.tuples.len()).sum()
+    }
+
+    /// Total I/O seconds across segments (excluding setup).
+    pub fn io_seconds(&self) -> f64 {
+        self.segments.iter().map(|s| s.io_seconds).sum()
+    }
+
+    /// Iterate all tuples in consumption order.
+    pub fn tuples(&self) -> impl Iterator<Item = &Tuple> {
+        self.segments.iter().flat_map(|s| s.tuples.iter())
+    }
+
+    /// Collect the tuple-id sequence (for order diagnostics).
+    pub fn id_sequence(&self) -> Vec<u64> {
+        self.tuples().map(|t| t.id).collect()
+    }
+
+    /// Collect the label sequence (for order diagnostics).
+    pub fn label_sequence(&self) -> Vec<f32> {
+        self.tuples().map(|t| t.label).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(id: u64, label: f32) -> Tuple {
+        Tuple::dense(id, vec![0.0], label)
+    }
+
+    #[test]
+    fn plan_aggregates_segments() {
+        let plan = EpochPlan {
+            segments: vec![
+                Segment::new(vec![t(0, 1.0), t(1, -1.0)], 0.5),
+                Segment::new(vec![t(2, 1.0)], 0.25),
+            ],
+            setup_seconds: 2.0,
+        };
+        assert_eq!(plan.num_tuples(), 3);
+        assert!((plan.io_seconds() - 0.75).abs() < 1e-12);
+        assert_eq!(plan.id_sequence(), vec![0, 1, 2]);
+        assert_eq!(plan.label_sequence(), vec![1.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_plan_is_empty() {
+        let plan = EpochPlan::default();
+        assert_eq!(plan.num_tuples(), 0);
+        assert_eq!(plan.io_seconds(), 0.0);
+        assert!(plan.id_sequence().is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! Tuple-Only Shuffle: the ablation dual of Block-Only.
+//!
+//! CorgiPile = block-level shuffle + tuple-level (buffered) shuffle. The
+//! paper ablates the *tuple* level (Block-Only, §7.3); this strategy
+//! ablates the *block* level instead: blocks are read **sequentially** (so
+//! I/O is exactly No Shuffle's) and only the in-buffer tuple shuffle
+//! remains. On clustered data each buffer then holds one *contiguous*
+//! range of the table — a giant sliding window — so labels mix only
+//! within 10 % stretches and the stream stays globally ordered. Together
+//! with Block-Only this isolates the contribution of each of CorgiPile's
+//! two levels (see the `ablation` experiment).
+
+use crate::plan::{EpochPlan, Segment};
+use crate::strategy::{ShuffleStrategy, StrategyParams};
+use corgipile_storage::{SimDevice, Table, TupleBuffer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// CorgiPile without the block-level shuffle.
+#[derive(Debug)]
+pub struct TupleOnlyShuffle {
+    params: StrategyParams,
+    rng: StdRng,
+}
+
+impl TupleOnlyShuffle {
+    /// Create a Tuple-Only strategy.
+    pub fn new(params: StrategyParams) -> Self {
+        let rng = StdRng::seed_from_u64(params.seed ^ 0x7u64);
+        TupleOnlyShuffle { params, rng }
+    }
+}
+
+impl ShuffleStrategy for TupleOnlyShuffle {
+    fn name(&self) -> &'static str {
+        "tuple_only"
+    }
+
+    fn next_epoch(&mut self, table: &Table, dev: &mut SimDevice) -> EpochPlan {
+        let n = self.params.buffer_blocks(table);
+        let blocks: Vec<usize> = (0..table.num_blocks()).collect();
+        let mut segments = Vec::with_capacity(blocks.len().div_ceil(n.max(1)));
+        let mut first = true;
+        for chunk in blocks.chunks(n.max(1)) {
+            let before = dev.stats().io_seconds;
+            let mut bytes = 0usize;
+            let expected: usize = chunk
+                .iter()
+                .map(|&b| table.block(b).expect("in range").tuple_count())
+                .sum();
+            let mut buffer = TupleBuffer::with_capacity(expected.max(1));
+            for &b in chunk {
+                bytes += table.block(b).expect("in range").bytes;
+                buffer.fill_from(
+                    table.scan_block_sequential(b, first, dev).expect("in range"),
+                );
+                first = false;
+            }
+            dev.charge_seconds(self.params.buffering_cost(buffer.len(), bytes));
+            let rng = &mut self.rng;
+            buffer.shuffle_with(|i| rng.gen_range(0..=i));
+            segments.push(Segment::new(buffer.drain(), dev.stats().io_seconds - before));
+        }
+        EpochPlan { segments, setup_seconds: 0.0 }
+    }
+
+    fn buffer_tuples(&self, table: &Table) -> usize {
+        (self.params.buffer_blocks(table) as f64 * table.tuples_per_block()).ceil() as usize
+    }
+
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.params.seed ^ 0x7u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corgipile_data::{DatasetSpec, Order};
+
+    fn clustered(n: usize) -> Table {
+        DatasetSpec::higgs_like(n)
+            .with_order(Order::ClusteredByLabel)
+            .with_block_bytes(2 * 8192)
+            .build_table(1)
+            .unwrap()
+    }
+
+    #[test]
+    fn emits_every_tuple_once() {
+        let t = clustered(600);
+        let mut s = TupleOnlyShuffle::new(StrategyParams::default());
+        let mut dev = SimDevice::hdd(0);
+        let mut ids = s.next_epoch(&t, &mut dev).id_sequence();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..600).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn buffers_are_contiguous_ranges_shuffled_within() {
+        let t = clustered(2000);
+        let mut s =
+            TupleOnlyShuffle::new(StrategyParams::default().with_buffer_fraction(0.1));
+        let mut dev = SimDevice::hdd(0);
+        let plan = s.next_epoch(&t, &mut dev);
+        assert!(plan.segments.len() >= 5);
+        let mut prev_max = 0u64;
+        for seg in &plan.segments {
+            let mut ids: Vec<u64> = seg.tuples.iter().map(|t| t.id).collect();
+            // Shuffled within…
+            assert!(ids.windows(2).any(|w| w[1] < w[0]));
+            ids.sort_unstable();
+            // …but a contiguous range globally after the previous segment.
+            assert_eq!(ids[0], prev_max);
+            assert!(ids.windows(2).all(|w| w[1] == w[0] + 1));
+            prev_max = ids[ids.len() - 1] + 1;
+        }
+    }
+
+    #[test]
+    fn io_is_sequential_like_no_shuffle() {
+        let t = clustered(2000);
+        let mut s = TupleOnlyShuffle::new(StrategyParams::default());
+        let mut dev = SimDevice::hdd(0);
+        s.next_epoch(&t, &mut dev);
+        assert_eq!(dev.stats().random_reads, 1, "only the initial seek is random");
+    }
+
+    #[test]
+    fn on_clustered_data_labels_stay_globally_ordered() {
+        let t = clustered(2000);
+        let mut s =
+            TupleOnlyShuffle::new(StrategyParams::default().with_buffer_fraction(0.1));
+        let mut dev = SimDevice::hdd(0);
+        let labels = s.next_epoch(&t, &mut dev).label_sequence();
+        let head_neg = labels[..600].iter().filter(|&&l| l < 0.0).count();
+        assert!(head_neg > 550, "head must remain ~all negative: {head_neg}/600");
+    }
+}

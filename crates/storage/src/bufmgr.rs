@@ -1,0 +1,219 @@
+//! The buffer pool: PostgreSQL's `shared_buffers`, block-granular.
+//!
+//! The paper's integration "directly interacts with the buffer manager"
+//! (§1, §6) and its experiments tune `shared_buffers` (§7.1.5). This pool
+//! caches decoded blocks above the device tier: a hit returns the cached
+//! block with no device charge (shared-memory access), a miss reads
+//! through the [`SimDevice`] (which itself models the OS page cache below)
+//! and admits the block with LRU eviction.
+
+use crate::block::BlockId;
+use crate::table::Table;
+use crate::tuple::Tuple;
+use crate::{Result, SimDevice};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Counters for buffer-pool behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferPoolStats {
+    /// Block requests served from the pool.
+    pub hits: u64,
+    /// Block requests that went to storage.
+    pub misses: u64,
+    /// Blocks evicted to make room.
+    pub evictions: u64,
+}
+
+impl BufferPoolStats {
+    /// Hit ratio in [0, 1]; 0 when no requests were made.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Frame {
+    tuples: Arc<Vec<Tuple>>,
+    bytes: usize,
+    stamp: u64,
+}
+
+/// A block-granular LRU buffer pool keyed by `(table_id, block_id)`.
+pub struct BufferPool {
+    capacity_bytes: usize,
+    used_bytes: usize,
+    frames: HashMap<(u32, BlockId), Frame>,
+    stamp: u64,
+    stats: BufferPoolStats,
+}
+
+impl BufferPool {
+    /// A pool holding up to `capacity_bytes` of decoded blocks.
+    pub fn new(capacity_bytes: usize) -> Self {
+        BufferPool {
+            capacity_bytes,
+            used_bytes: 0,
+            frames: HashMap::new(),
+            stamp: 0,
+            stats: BufferPoolStats::default(),
+        }
+    }
+
+    /// Pool capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Bytes currently pinned by cached blocks.
+    pub fn used(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> BufferPoolStats {
+        self.stats
+    }
+
+    /// Whether a block is resident.
+    pub fn contains(&self, table_id: u32, block: BlockId) -> bool {
+        self.frames.contains_key(&(table_id, block))
+    }
+
+    /// Fetch a block through the pool: hit → shared handle at zero device
+    /// cost; miss → random block read through `dev`, then admit.
+    pub fn read_block(
+        &mut self,
+        table: &Table,
+        block: BlockId,
+        dev: &mut SimDevice,
+    ) -> Result<Arc<Vec<Tuple>>> {
+        let key = (table.config().table_id, block);
+        self.stamp += 1;
+        if let Some(frame) = self.frames.get_mut(&key) {
+            frame.stamp = self.stamp;
+            self.stats.hits += 1;
+            return Ok(frame.tuples.clone());
+        }
+        self.stats.misses += 1;
+        let tuples = Arc::new(table.read_block(block, dev)?);
+        let bytes = table.block(block)?.bytes;
+        self.admit(key, tuples.clone(), bytes);
+        Ok(tuples)
+    }
+
+    /// Drop all cached blocks (counters survive).
+    pub fn clear(&mut self) {
+        self.frames.clear();
+        self.used_bytes = 0;
+    }
+
+    fn admit(&mut self, key: (u32, BlockId), tuples: Arc<Vec<Tuple>>, bytes: usize) {
+        if bytes > self.capacity_bytes {
+            return; // oversized block: serve uncached
+        }
+        while self.used_bytes + bytes > self.capacity_bytes {
+            let victim = self
+                .frames
+                .iter()
+                .min_by_key(|(_, f)| f.stamp)
+                .map(|(&k, f)| (k, f.bytes));
+            match victim {
+                Some((k, b)) => {
+                    self.frames.remove(&k);
+                    self.used_bytes -= b;
+                    self.stats.evictions += 1;
+                }
+                None => return,
+            }
+        }
+        self.stamp += 1;
+        self.frames.insert(key, Frame { tuples, bytes, stamp: self.stamp });
+        self.used_bytes += bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableConfig;
+    use crate::tuple::Tuple;
+
+    fn table(id: u32, n: u64) -> Table {
+        let cfg = TableConfig::new(format!("t{id}"), id).with_block_bytes(8192);
+        Table::from_tuples(
+            cfg,
+            (0..n).map(|i| Tuple::dense(i, vec![i as f32; 8], 1.0)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hit_skips_the_device() {
+        let t = table(1, 400);
+        let mut pool = BufferPool::new(1 << 20);
+        let mut dev = SimDevice::hdd(0);
+        let a = pool.read_block(&t, 0, &mut dev).unwrap();
+        let io_after_miss = dev.stats().io_seconds;
+        let b = pool.read_block(&t, 0, &mut dev).unwrap();
+        assert_eq!(dev.stats().io_seconds, io_after_miss, "hit must be free");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(pool.stats(), BufferPoolStats { hits: 1, misses: 1, evictions: 0 });
+        assert!((pool.stats().hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_under_pressure() {
+        let t = table(1, 400); // several 8KB blocks
+        let mut pool = BufferPool::new(2 * 8192 + 100);
+        let mut dev = SimDevice::hdd(0);
+        pool.read_block(&t, 0, &mut dev).unwrap();
+        pool.read_block(&t, 1, &mut dev).unwrap();
+        pool.read_block(&t, 0, &mut dev).unwrap(); // touch 0
+        pool.read_block(&t, 2, &mut dev).unwrap(); // evicts 1
+        assert!(pool.contains(1, 0));
+        assert!(!pool.contains(1, 1));
+        assert!(pool.contains(1, 2));
+        assert_eq!(pool.stats().evictions, 1);
+        assert!(pool.used() <= pool.capacity());
+    }
+
+    #[test]
+    fn tables_are_isolated_by_id() {
+        let t1 = table(1, 100);
+        let t2 = table(2, 100);
+        let mut pool = BufferPool::new(1 << 20);
+        let mut dev = SimDevice::hdd(0);
+        pool.read_block(&t1, 0, &mut dev).unwrap();
+        assert!(pool.contains(1, 0));
+        assert!(!pool.contains(2, 0));
+        pool.read_block(&t2, 0, &mut dev).unwrap();
+        assert_eq!(pool.stats().misses, 2);
+    }
+
+    #[test]
+    fn oversized_block_bypasses_pool() {
+        let t = table(1, 100);
+        let mut pool = BufferPool::new(10); // smaller than any block
+        let mut dev = SimDevice::hdd(0);
+        pool.read_block(&t, 0, &mut dev).unwrap();
+        assert!(!pool.contains(1, 0));
+        assert_eq!(pool.used(), 0);
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let t = table(1, 100);
+        let mut pool = BufferPool::new(1 << 20);
+        let mut dev = SimDevice::hdd(0);
+        pool.read_block(&t, 0, &mut dev).unwrap();
+        pool.clear();
+        assert!(!pool.contains(1, 0));
+        assert_eq!(pool.stats().misses, 1);
+        assert_eq!(pool.used(), 0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Error types for the storage substrate.
+
+use std::fmt;
+
+/// Errors raised by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A tuple could not be decoded from its binary representation.
+    Corrupt(String),
+    /// A page has no room for the requested tuple and the tuple is not
+    /// eligible for a jumbo page.
+    PageFull { needed: usize, free: usize },
+    /// A block id was out of range for the table.
+    BlockOutOfRange { block: usize, blocks: usize },
+    /// A page id was out of range for the table.
+    PageOutOfRange { page: usize, pages: usize },
+    /// The table is empty where data was required.
+    EmptyTable,
+    /// Invalid configuration (e.g. zero block size).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Corrupt(msg) => write!(f, "corrupt tuple data: {msg}"),
+            StorageError::PageFull { needed, free } => {
+                write!(f, "page full: needed {needed} bytes, {free} free")
+            }
+            StorageError::BlockOutOfRange { block, blocks } => {
+                write!(f, "block {block} out of range (table has {blocks} blocks)")
+            }
+            StorageError::PageOutOfRange { page, pages } => {
+                write!(f, "page {page} out of range (table has {pages} pages)")
+            }
+            StorageError::EmptyTable => write!(f, "operation requires a non-empty table"),
+            StorageError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StorageError::PageFull { needed: 100, free: 10 };
+        assert!(e.to_string().contains("needed 100"));
+        let e = StorageError::BlockOutOfRange { block: 7, blocks: 3 };
+        assert!(e.to_string().contains("block 7"));
+        assert!(e.to_string().contains("3 blocks"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(StorageError::EmptyTable, StorageError::EmptyTable);
+        assert_ne!(
+            StorageError::EmptyTable,
+            StorageError::Corrupt("x".to_string())
+        );
+    }
+}

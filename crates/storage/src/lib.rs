@@ -1,0 +1,48 @@
+//! # corgipile-storage
+//!
+//! Block-addressable heap storage substrate for the CorgiPile reproduction.
+//!
+//! The SIGMOD 2022 CorgiPile paper integrates its shuffle strategy into
+//! PostgreSQL at the *physical* level: tuples live in slotted heap pages,
+//! contiguous runs of pages form *blocks* (the unit of random access), and
+//! all I/O goes through a buffer manager over HDD/SSD. This crate rebuilds
+//! that substrate from scratch:
+//!
+//! * [`tuple`] — the training-tuple format (`⟨id, features, label⟩`, dense or
+//!   sparse), with a compact binary encoding;
+//! * [`page`] — fixed-size slotted pages, PostgreSQL-style;
+//! * [`block`] — block metadata (a block is a batch of contiguous pages, the
+//!   granularity of CorgiPile's block-level shuffle);
+//! * [`device`] — I/O cost models for HDD, SSD and memory, with an OS page
+//!   cache model, driving a deterministic simulated clock (substitutes for
+//!   the paper's physical Alibaba Cloud disks);
+//! * [`table`] — append-only heap tables assembled from pages and carved
+//!   into blocks, supporting sequential scans and random block reads;
+//! * [`buffer`] — in-memory tuple buffers used by tuple-level shuffling,
+//!   including the double-buffering cost model from the paper's §6.3.
+//!
+//! Everything is deterministic: "time" is the simulated clock advanced by
+//! the device cost model, so experiments reproduce bit-for-bit across runs.
+
+pub mod block;
+pub mod buffer;
+pub mod bufmgr;
+pub mod device;
+pub mod error;
+pub mod page;
+pub mod persist;
+pub mod table;
+pub mod tuple;
+
+pub use block::{BlockId, BlockMeta};
+pub use buffer::{DoubleBufferModel, TupleBuffer};
+pub use bufmgr::{BufferPool, BufferPoolStats};
+pub use device::{Access, CacheConfig, DeviceProfile, IoStats, SimDevice};
+pub use error::StorageError;
+pub use page::{Page, PAGE_SIZE};
+pub use persist::{load_table, save_table, FileBlockMeta, FileTable};
+pub use table::{Table, TableBuilder, TableConfig};
+pub use tuple::{FeatureVec, Tuple, TupleId};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,377 @@
+//! Training tuples: `⟨id, features, label⟩`.
+//!
+//! The paper stores training data in PostgreSQL with the schema
+//! `⟨id, features_k[], features_v[], label⟩` (§6.1): sparse datasets carry
+//! index/value arrays, dense datasets only the value array. [`FeatureVec`]
+//! mirrors exactly that: [`FeatureVec::Dense`] holds only values,
+//! [`FeatureVec::Sparse`] holds `(index, value)` pairs plus the logical
+//! dimensionality.
+
+use crate::error::StorageError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a tuple within a table (its insertion position).
+pub type TupleId = u64;
+
+/// A feature vector, dense or sparse, with `f32` components.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FeatureVec {
+    /// Dense layout: `values[i]` is the value of feature `i`.
+    Dense(Vec<f32>),
+    /// Sparse layout: only non-zero features are materialized.
+    Sparse {
+        /// Logical dimensionality of the vector.
+        dim: u32,
+        /// Indices of the non-zero features, strictly increasing.
+        indices: Vec<u32>,
+        /// Values of the non-zero features (same length as `indices`).
+        values: Vec<f32>,
+    },
+}
+
+impl FeatureVec {
+    /// Build a sparse vector, validating the index/value invariants.
+    pub fn sparse(dim: u32, indices: Vec<u32>, values: Vec<f32>) -> Self {
+        assert_eq!(
+            indices.len(),
+            values.len(),
+            "sparse indices/values length mismatch"
+        );
+        debug_assert!(
+            indices.windows(2).all(|w| w[0] < w[1]),
+            "sparse indices must be strictly increasing"
+        );
+        debug_assert!(indices.iter().all(|&i| i < dim), "index out of dimension");
+        FeatureVec::Sparse { dim, indices, values }
+    }
+
+    /// Logical dimensionality of the vector.
+    pub fn dim(&self) -> usize {
+        match self {
+            FeatureVec::Dense(v) => v.len(),
+            FeatureVec::Sparse { dim, .. } => *dim as usize,
+        }
+    }
+
+    /// Number of materialized (stored) components.
+    pub fn nnz(&self) -> usize {
+        match self {
+            FeatureVec::Dense(v) => v.len(),
+            FeatureVec::Sparse { values, .. } => values.len(),
+        }
+    }
+
+    /// Value of feature `i` (zero for absent sparse entries).
+    pub fn get(&self, i: usize) -> f32 {
+        match self {
+            FeatureVec::Dense(v) => v.get(i).copied().unwrap_or(0.0),
+            FeatureVec::Sparse { indices, values, .. } => indices
+                .binary_search(&(i as u32))
+                .map(|pos| values[pos])
+                .unwrap_or(0.0),
+        }
+    }
+
+    /// Dot product with a dense weight slice.
+    ///
+    /// The weight slice must be at least as long as the vector's dimension.
+    pub fn dot(&self, w: &[f32]) -> f32 {
+        match self {
+            FeatureVec::Dense(v) => v.iter().zip(w).map(|(a, b)| a * b).sum(),
+            FeatureVec::Sparse { indices, values, .. } => indices
+                .iter()
+                .zip(values)
+                .map(|(&i, &v)| v * w[i as usize])
+                .sum(),
+        }
+    }
+
+    /// `w += scale * self`, the sparse-aware axpy used by gradient updates.
+    pub fn axpy_into(&self, scale: f32, w: &mut [f32]) {
+        match self {
+            FeatureVec::Dense(v) => {
+                for (wi, &xi) in w.iter_mut().zip(v) {
+                    *wi += scale * xi;
+                }
+            }
+            FeatureVec::Sparse { indices, values, .. } => {
+                for (&i, &v) in indices.iter().zip(values) {
+                    w[i as usize] += scale * v;
+                }
+            }
+        }
+    }
+
+    /// Squared Euclidean norm.
+    pub fn norm_sq(&self) -> f32 {
+        match self {
+            FeatureVec::Dense(v) => v.iter().map(|x| x * x).sum(),
+            FeatureVec::Sparse { values, .. } => values.iter().map(|x| x * x).sum(),
+        }
+    }
+
+    /// Iterate `(index, value)` over materialized components.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = (usize, f32)> + '_> {
+        match self {
+            FeatureVec::Dense(v) => Box::new(v.iter().copied().enumerate()),
+            FeatureVec::Sparse { indices, values, .. } => Box::new(
+                indices
+                    .iter()
+                    .zip(values)
+                    .map(|(&i, &v)| (i as usize, v)),
+            ),
+        }
+    }
+}
+
+/// One training example as stored in a heap table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tuple {
+    /// Position of the tuple in the original table order (`tuple_id` in the
+    /// paper's Figure 3/4 diagnostics).
+    pub id: TupleId,
+    /// Feature vector.
+    pub features: FeatureVec,
+    /// Label: ±1 for binary classification, class index for multi-class,
+    /// real value for regression.
+    pub label: f32,
+}
+
+/// Encoding tags for the on-page representation.
+const TAG_DENSE: u8 = 0;
+const TAG_SPARSE: u8 = 1;
+
+impl Tuple {
+    /// Create a dense tuple.
+    pub fn dense(id: TupleId, values: Vec<f32>, label: f32) -> Self {
+        Tuple { id, features: FeatureVec::Dense(values), label }
+    }
+
+    /// Create a sparse tuple.
+    pub fn sparse(id: TupleId, dim: u32, indices: Vec<u32>, values: Vec<f32>, label: f32) -> Self {
+        Tuple { id, features: FeatureVec::sparse(dim, indices, values), label }
+    }
+
+    /// Size in bytes of the binary encoding produced by [`Tuple::encode`].
+    pub fn encoded_len(&self) -> usize {
+        // id(8) + label(4) + tag(1) + dim(4) + nnz(4)
+        let header = 8 + 4 + 1 + 4 + 4;
+        match &self.features {
+            FeatureVec::Dense(v) => header + 4 * v.len(),
+            FeatureVec::Sparse { indices, values, .. } => {
+                header + 4 * indices.len() + 4 * values.len()
+            }
+        }
+    }
+
+    /// Append the binary encoding of the tuple to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.id.to_le_bytes());
+        out.extend_from_slice(&self.label.to_le_bytes());
+        match &self.features {
+            FeatureVec::Dense(v) => {
+                out.push(TAG_DENSE);
+                out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                for x in v {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            FeatureVec::Sparse { dim, indices, values } => {
+                out.push(TAG_SPARSE);
+                out.extend_from_slice(&dim.to_le_bytes());
+                out.extend_from_slice(&(indices.len() as u32).to_le_bytes());
+                for i in indices {
+                    out.extend_from_slice(&i.to_le_bytes());
+                }
+                for v in values {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+    }
+
+    /// Decode one tuple from the front of `buf`, returning it and the number
+    /// of bytes consumed.
+    pub fn decode(buf: &[u8]) -> Result<(Tuple, usize)> {
+        let need = |n: usize| -> Result<()> {
+            if buf.len() < n {
+                Err(StorageError::Corrupt(format!(
+                    "need {n} bytes, have {}",
+                    buf.len()
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        need(8 + 4 + 1 + 4 + 4)?;
+        let id = u64::from_le_bytes(buf[0..8].try_into().unwrap());
+        let label = f32::from_le_bytes(buf[8..12].try_into().unwrap());
+        let tag = buf[12];
+        let dim = u32::from_le_bytes(buf[13..17].try_into().unwrap());
+        let nnz = u32::from_le_bytes(buf[17..21].try_into().unwrap()) as usize;
+        let mut off = 21;
+        match tag {
+            TAG_DENSE => {
+                need(off + 4 * nnz)?;
+                let mut v = Vec::with_capacity(nnz);
+                for _ in 0..nnz {
+                    v.push(f32::from_le_bytes(buf[off..off + 4].try_into().unwrap()));
+                    off += 4;
+                }
+                Ok((Tuple { id, features: FeatureVec::Dense(v), label }, off))
+            }
+            TAG_SPARSE => {
+                need(off + 8 * nnz)?;
+                let mut indices = Vec::with_capacity(nnz);
+                for _ in 0..nnz {
+                    indices.push(u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()));
+                    off += 4;
+                }
+                let mut values = Vec::with_capacity(nnz);
+                for _ in 0..nnz {
+                    values.push(f32::from_le_bytes(buf[off..off + 4].try_into().unwrap()));
+                    off += 4;
+                }
+                Ok((
+                    Tuple { id, features: FeatureVec::Sparse { dim, indices, values }, label },
+                    off,
+                ))
+            }
+            other => Err(StorageError::Corrupt(format!("unknown feature tag {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dense_roundtrip() {
+        let t = Tuple::dense(42, vec![1.0, -2.5, 3.25], 1.0);
+        let mut buf = Vec::new();
+        t.encode(&mut buf);
+        assert_eq!(buf.len(), t.encoded_len());
+        let (back, used) = Tuple::decode(&buf).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn sparse_roundtrip() {
+        let t = Tuple::sparse(7, 1_000_000, vec![3, 99, 4321], vec![0.5, -1.0, 2.0], -1.0);
+        let mut buf = Vec::new();
+        t.encode(&mut buf);
+        let (back, used) = Tuple::decode(&buf).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn decode_rejects_truncated_input() {
+        let t = Tuple::dense(1, vec![1.0; 8], 1.0);
+        let mut buf = Vec::new();
+        t.encode(&mut buf);
+        for cut in [0, 5, 20, buf.len() - 1] {
+            assert!(Tuple::decode(&buf[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_tag() {
+        let t = Tuple::dense(1, vec![1.0], 1.0);
+        let mut buf = Vec::new();
+        t.encode(&mut buf);
+        buf[12] = 99;
+        assert!(Tuple::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn sparse_get_and_dot() {
+        let f = FeatureVec::sparse(10, vec![1, 4, 7], vec![2.0, 3.0, -1.0]);
+        assert_eq!(f.get(1), 2.0);
+        assert_eq!(f.get(0), 0.0);
+        assert_eq!(f.get(7), -1.0);
+        let w = vec![1.0; 10];
+        assert_eq!(f.dot(&w), 4.0);
+        assert_eq!(f.dim(), 10);
+        assert_eq!(f.nnz(), 3);
+    }
+
+    #[test]
+    fn dense_dot_and_axpy() {
+        let f = FeatureVec::Dense(vec![1.0, 2.0, 3.0]);
+        let mut w = vec![0.5, 0.5, 0.5];
+        assert_eq!(f.dot(&w), 3.0);
+        f.axpy_into(2.0, &mut w);
+        assert_eq!(w, vec![2.5, 4.5, 6.5]);
+        assert_eq!(f.norm_sq(), 14.0);
+    }
+
+    #[test]
+    fn sparse_axpy_touches_only_nnz() {
+        let f = FeatureVec::sparse(5, vec![0, 3], vec![1.0, 1.0]);
+        let mut w = vec![0.0; 5];
+        f.axpy_into(3.0, &mut w);
+        assert_eq!(w, vec![3.0, 0.0, 0.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn iter_yields_pairs() {
+        let d = FeatureVec::Dense(vec![5.0, 6.0]);
+        let got: Vec<_> = d.iter().collect();
+        assert_eq!(got, vec![(0, 5.0), (1, 6.0)]);
+        let s = FeatureVec::sparse(9, vec![2, 8], vec![1.5, 2.5]);
+        let got: Vec<_> = s.iter().collect();
+        assert_eq!(got, vec![(2, 1.5), (8, 2.5)]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dense_roundtrip(id in any::<u64>(), label in -1e6f32..1e6,
+                                vals in proptest::collection::vec(-1e6f32..1e6, 0..64)) {
+            let t = Tuple::dense(id, vals, label);
+            let mut buf = Vec::new();
+            t.encode(&mut buf);
+            prop_assert_eq!(buf.len(), t.encoded_len());
+            let (back, used) = Tuple::decode(&buf).unwrap();
+            prop_assert_eq!(back, t);
+            prop_assert_eq!(used, buf.len());
+        }
+
+        #[test]
+        fn prop_sparse_roundtrip(id in any::<u64>(), label in -10f32..10.0,
+                                 nnz in 0usize..32) {
+            let indices: Vec<u32> = (0..nnz as u32).map(|i| i * 3 + 1).collect();
+            let values: Vec<f32> = (0..nnz).map(|i| i as f32 * 0.5 - 1.0).collect();
+            let dim = 3 * nnz as u32 + 2;
+            let t = Tuple::sparse(id, dim, indices, values, label);
+            let mut buf = Vec::new();
+            t.encode(&mut buf);
+            prop_assert_eq!(buf.len(), t.encoded_len());
+            let (back, used) = Tuple::decode(&buf).unwrap();
+            prop_assert_eq!(back, t);
+            prop_assert_eq!(used, buf.len());
+        }
+
+        #[test]
+        fn prop_decode_arbitrary_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = Tuple::decode(&bytes); // must not panic
+        }
+
+        #[test]
+        fn prop_sparse_dot_matches_densified(nnz in 0usize..16) {
+            let indices: Vec<u32> = (0..nnz as u32).map(|i| i * 2).collect();
+            let values: Vec<f32> = (0..nnz).map(|i| (i as f32) - 3.0).collect();
+            let dim = (2 * nnz.max(1)) as u32;
+            let s = FeatureVec::sparse(dim, indices, values);
+            let dense: Vec<f32> = (0..dim as usize).map(|i| s.get(i)).collect();
+            let d = FeatureVec::Dense(dense);
+            let w: Vec<f32> = (0..dim as usize).map(|i| (i as f32) * 0.1 + 1.0).collect();
+            prop_assert!((s.dot(&w) - d.dot(&w)).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Multi-worker ("distributed") deep learning with CorgiPile (§5).
+//!
+//! ```sh
+//! cargo run --release --example distributed_dl
+//! ```
+//!
+//! Trains an MLP on a clustered multi-class dataset with 4 workers: a
+//! shared-seed block permutation split across workers, per-worker tuple
+//! buffers, and real worker threads computing partial gradients that are
+//! AllReduce-averaged each step — the paper's PyTorch-DDP integration in
+//! miniature. Also demonstrates the double-buffered threaded loader
+//! (§6.3) feeding a single-process run.
+
+use corgipile::core::{parallel_epoch_plan, train_parallel, ParallelConfig, ThreadedLoader};
+use corgipile::data::{DatasetSpec, Order};
+use corgipile::ml::{accuracy, build_model, ModelKind, Optimizer, Sgd};
+
+fn main() {
+    let spec = DatasetSpec::cifar_like(6_000)
+        .with_order(Order::ClusteredByLabel)
+        .with_block_bytes(8 << 10);
+    let ds = spec.build(21);
+    let table = ds.to_table(1).expect("table builds");
+    let workers = 4;
+    println!(
+        "clustered {}-class dataset: {} tuples, {} blocks; {workers} workers\n",
+        spec.num_classes(),
+        table.num_tuples(),
+        table.num_blocks()
+    );
+
+    // --- DDP-style multi-worker CorgiPile --------------------------------
+    let cfg = ParallelConfig {
+        workers,
+        total_buffer_fraction: 0.10,
+        batch_size: 128,
+        seed: 9,
+        ..Default::default()
+    };
+    let kind = ModelKind::Mlp { hidden: vec![48], classes: spec.num_classes() };
+    let mut model = build_model(&kind, spec.dim(), 1);
+    let mut opt = Sgd::new(0.1, 0.95);
+    println!("epoch  mean_loss  test_acc");
+    for epoch in 0..8 {
+        opt.set_epoch(epoch);
+        let plan = parallel_epoch_plan(&table, &cfg, epoch);
+        let loss = train_parallel(model.as_mut(), &mut opt, &plan.merged_batches, workers);
+        println!(
+            "{epoch:>5}  {loss:>9.4}  {:>7.1}%",
+            accuracy(model.as_ref(), &ds.test) * 100.0
+        );
+    }
+
+    // --- Threaded double-buffered loader ---------------------------------
+    let loader = ThreadedLoader::spawn(table.clone(), 4, 77);
+    let mut count = 0usize;
+    let mut label_sum = 0.0f64;
+    for t in loader {
+        count += 1;
+        label_sum += t.label as f64;
+    }
+    println!(
+        "\nthreaded double-buffered loader streamed {count} tuples \
+         (mean class {:.2}) while overlapping load and consume",
+        label_sum / count as f64
+    );
+}

@@ -1,0 +1,68 @@
+//! In-database training through the SQL surface (§6).
+//!
+//! ```sh
+//! cargo run --release --example in_db_training
+//! ```
+//!
+//! Opens a session over a simulated SSD, registers a clustered table, and
+//! issues the paper's query shapes:
+//!
+//! ```sql
+//! SELECT * FROM forest TRAIN BY svm WITH learning_rate = 0.03, ...
+//! SELECT * FROM forest PREDICT BY forest_model
+//! ```
+//!
+//! comparing the `corgipile`, `once`, `block_only` and `no` physical plans.
+
+use corgipile::data::{DatasetSpec, Order};
+use corgipile::db::{QueryResult, Session};
+use corgipile::storage::SimDevice;
+
+fn main() {
+    let table = DatasetSpec::susy_like(12_000)
+        .with_order(Order::ClusteredByLabel)
+        .with_block_bytes(8 << 10)
+        .build_table(3)
+        .expect("table builds");
+    let cache = table.total_bytes() * 3;
+    let mut session = Session::new(SimDevice::ssd_scaled(1280.0, cache));
+    session.register_table("forest", table);
+
+    println!("{:<12} {:>10} {:>12} {:>12}", "strategy", "train acc", "setup", "total");
+    for strategy in ["corgipile", "once", "block_only", "no"] {
+        let sql = format!(
+            "SELECT * FROM forest TRAIN BY svm WITH learning_rate = 0.03, decay = 0.8, \
+             max_epoch_num = 8, buffer_fraction = 0.1, strategy = '{strategy}', \
+             model_name = m_{strategy}"
+        );
+        match session.execute(&sql).expect("query runs") {
+            QueryResult::Train(t) => println!(
+                "{:<12} {:>9.1}% {:>11.2}ms {:>11.2}ms",
+                strategy,
+                t.final_train_metric * 100.0,
+                t.setup_seconds * 1e3,
+                t.total_seconds() * 1e3,
+            ),
+            _ => unreachable!(),
+        }
+    }
+
+    // Inference with the stored CorgiPile model.
+    match session
+        .execute("SELECT * FROM forest PREDICT BY m_corgipile")
+        .expect("predict runs")
+    {
+        QueryResult::Predict { predictions, metric } => {
+            println!(
+                "\nPREDICT BY m_corgipile → {} predictions, accuracy {:.1}%",
+                predictions.len(),
+                metric * 100.0
+            );
+        }
+        _ => unreachable!(),
+    }
+    println!(
+        "\ncatalog now holds models: {:?}",
+        session.catalog().model_names()
+    );
+}

@@ -1,0 +1,63 @@
+//! Quickstart: train an SVM over clustered data with CorgiPile.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a label-clustered higgs-like table (the paper's worst case for
+//! sequential SGD), then trains with three strategies over a simulated HDD
+//! and prints the paper's headline comparison: CorgiPile reaches Shuffle
+//! Once's accuracy without paying for the offline shuffle, while No
+//! Shuffle never converges.
+
+use corgipile::core::{CorgiPileConfig, Trainer, TrainerConfig};
+use corgipile::data::{DatasetSpec, Order};
+use corgipile::ml::{ModelKind, OptimizerKind};
+use corgipile::shuffle::StrategyKind;
+use corgipile::storage::SimDevice;
+
+fn main() {
+    // 24k tuples, negatives stored before positives, ~8 KB blocks
+    // (representing the paper's 10 MB blocks at 1/1280 scale).
+    let spec = DatasetSpec::higgs_like(24_000)
+        .with_order(Order::ClusteredByLabel)
+        .with_block_bytes(8 << 10);
+    let ds = spec.build(42);
+    let table = ds.to_table(1).expect("table builds");
+    println!(
+        "dataset: {} tuples, {} blocks of ~{:.0} tuples, clustered by label\n",
+        table.num_tuples(),
+        table.num_blocks(),
+        table.tuples_per_block()
+    );
+
+    println!(
+        "{:<24} {:>10} {:>12} {:>14}",
+        "strategy", "test acc", "total time", "epoch0 starts"
+    );
+    for strategy in [
+        StrategyKind::NoShuffle,
+        StrategyKind::ShuffleOnce,
+        StrategyKind::CorgiPile,
+    ] {
+        let cfg = TrainerConfig::new(ModelKind::Svm, 8)
+            .with_strategy(strategy)
+            .with_optimizer(OptimizerKind::Sgd { lr0: 0.03, decay: 0.8 })
+            .with_corgipile(CorgiPileConfig::default().with_buffer_fraction(0.1));
+        // Simulated HDD with the paper-preserving seek/transfer ratio.
+        let mut dev = SimDevice::hdd_scaled(1280.0, table.total_bytes() * 3);
+        let report = Trainer::new(cfg)
+            .train_with_test(&table, &ds.test, &mut dev, 7)
+            .expect("training runs");
+        let first = &report.epochs[0];
+        println!(
+            "{:<24} {:>9.1}% {:>11.1}ms {:>13.1}ms",
+            strategy.display(),
+            report.final_test_metric().unwrap() * 100.0,
+            report.total_sim_seconds() * 1e3,
+            (first.setup_seconds + first.epoch_seconds) * 1e3,
+        );
+    }
+    println!("\nCorgiPile matches Shuffle Once's accuracy and skips its offline shuffle;");
+    println!("No Shuffle is fastest but stuck at chance on clustered data (paper Fig. 1).");
+}

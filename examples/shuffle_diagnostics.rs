@@ -1,0 +1,70 @@
+//! Visualize what each shuffle strategy does to a clustered table
+//! (the paper's Figures 3 and 4, as ASCII).
+//!
+//! ```sh
+//! cargo run --release --example shuffle_diagnostics
+//! ```
+//!
+//! For each strategy, prints the per-window label mix of one epoch's
+//! stream over a 1 000-tuple table whose first half is negative: `-` for
+//! an all-negative window, `+` for all-positive, digits for mixed.
+
+use corgipile::data::{DataKind, DatasetSpec, Order};
+use corgipile::shuffle::{
+    build_strategy, label_distribution, order_displacement, StrategyKind, StrategyParams,
+};
+use corgipile::storage::SimDevice;
+
+fn main() {
+    let spec = DatasetSpec::new(
+        "toy",
+        DataKind::DenseBinary { dim: 90, separation: 1.0, noise_rank: 0 },
+        1_000,
+    )
+    .with_order(Order::ClusteredByLabel)
+    .with_block_bytes(8 << 10);
+    let table = spec.build_table(4).expect("table builds");
+    println!(
+        "1000 clustered tuples in {} blocks; windows of 25 tuples:\n",
+        table.num_blocks()
+    );
+    println!("legend: '-' all negative, '+' all positive, 1-9 = #positives/2.5 in window\n");
+
+    for kind in [
+        StrategyKind::NoShuffle,
+        StrategyKind::SlidingWindow,
+        StrategyKind::Mrs,
+        StrategyKind::BlockOnly,
+        StrategyKind::CorgiPile,
+        StrategyKind::EpochShuffle,
+    ] {
+        let mut strategy =
+            build_strategy(kind, StrategyParams::default().with_buffer_fraction(0.1));
+        let mut dev = SimDevice::in_memory();
+        let plan = strategy.next_epoch(&table, &mut dev);
+        let labels = plan.label_sequence();
+        let line: String = label_distribution(&labels, 25)
+            .iter()
+            .map(|w| {
+                let total = w.positive + w.negative;
+                if total == 0 {
+                    ' '
+                } else if w.positive == 0 {
+                    '-'
+                } else if w.negative == 0 {
+                    '+'
+                } else {
+                    char::from_digit(((w.positive * 9) / total).clamp(1, 9) as u32, 10)
+                        .unwrap()
+                }
+            })
+            .collect();
+        println!(
+            "{:<24} |{line}|  displacement {:.3}",
+            kind.display(),
+            order_displacement(&plan.id_sequence())
+        );
+    }
+    println!("\nA full shuffle shows uniform mid digits; CorgiPile gets close with a 10% buffer,");
+    println!("while No Shuffle / Sliding-Window / MRS keep negatives before positives (Fig. 3/4).");
+}

@@ -1,0 +1,46 @@
+//! # CorgiPile
+//!
+//! A Rust reproduction of *"In-Database Machine Learning with CorgiPile:
+//! Stochastic Gradient Descent without Full Data Shuffle"* (SIGMOD 2022).
+//!
+//! This facade crate re-exports the workspace's component crates:
+//!
+//! * [`storage`] — block-addressable heap storage with HDD/SSD cost models;
+//! * [`data`] — synthetic dataset generators mirroring the paper's workloads;
+//! * [`shuffle`] — the data-shuffling strategies of §3 and §4 (No Shuffle,
+//!   Shuffle Once, Epoch Shuffle, Sliding-Window, MRS, Block-Only,
+//!   CorgiPile);
+//! * [`ml`] — generalized linear models, MLPs, SGD and Adam;
+//! * [`core`] — the CorgiPile dataset API, trainer, multi-worker mode, and
+//!   the convergence-theory module;
+//! * [`db`] — the in-database integration: Volcano operators, a SQL-ish
+//!   `TRAIN BY` / `PREDICT BY` surface, and MADlib/Bismarck-style baselines.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use corgipile::core::{CorgiPileConfig, Trainer, TrainerConfig};
+//! use corgipile::data::{DatasetSpec, Order};
+//! use corgipile::ml::ModelKind;
+//! use corgipile::shuffle::StrategyKind;
+//! use corgipile::storage::SimDevice;
+//!
+//! // A small clustered binary dataset, stored as a heap table.
+//! let spec = DatasetSpec::higgs_like(2_000).with_order(Order::ClusteredByLabel);
+//! let table = spec.build_table(42).unwrap();
+//!
+//! // Train an SVM with CorgiPile over a simulated HDD.
+//! let mut dev = SimDevice::hdd(64 << 20);
+//! let cfg = TrainerConfig::new(ModelKind::Svm, 5)
+//!     .with_strategy(StrategyKind::CorgiPile)
+//!     .with_corgipile(CorgiPileConfig::default().with_buffer_fraction(0.2));
+//! let report = Trainer::new(cfg).train(&table, &mut dev, 7).unwrap();
+//! assert!(report.final_train_accuracy() > 0.6);
+//! ```
+
+pub use corgipile_core as core;
+pub use corgipile_data as data;
+pub use corgipile_db as db;
+pub use corgipile_ml as ml;
+pub use corgipile_shuffle as shuffle;
+pub use corgipile_storage as storage;

@@ -1,0 +1,134 @@
+//! Cross-crate integration: the paper's headline convergence claims,
+//! exercised through the full stack (data → storage → shuffle → ml → core).
+
+use corgipile::core::{CorgiPileConfig, Trainer, TrainerConfig};
+use corgipile::data::{DatasetSpec, Order};
+use corgipile::ml::{ModelKind, OptimizerKind};
+use corgipile::shuffle::StrategyKind;
+use corgipile::storage::SimDevice;
+
+fn clustered_higgs() -> (corgipile::storage::Table, Vec<corgipile::storage::Tuple>) {
+    let ds = DatasetSpec::higgs_like(12_000)
+        .with_order(Order::ClusteredByLabel)
+        .with_block_bytes(8 << 10)
+        .build(101);
+    (ds.to_table(1).unwrap(), ds.test)
+}
+
+fn run(
+    table: &corgipile::storage::Table,
+    test: &[corgipile::storage::Tuple],
+    strategy: StrategyKind,
+    epochs: usize,
+) -> corgipile::core::TrainReport {
+    let cfg = TrainerConfig::new(ModelKind::Svm, epochs)
+        .with_strategy(strategy)
+        .with_optimizer(OptimizerKind::Sgd { lr0: 0.03, decay: 0.8 });
+    let mut dev = SimDevice::hdd_scaled(1280.0, table.total_bytes() * 3);
+    Trainer::new(cfg).train_with_test(table, test, &mut dev, 5).unwrap()
+}
+
+fn tail(r: &corgipile::core::TrainReport) -> f64 {
+    let vals: Vec<f64> = r.epochs.iter().rev().take(4).filter_map(|e| e.test_metric).collect();
+    vals.iter().sum::<f64>() / vals.len() as f64
+}
+
+#[test]
+fn corgipile_matches_shuffle_once_within_noise() {
+    let (table, test) = clustered_higgs();
+    let so = tail(&run(&table, &test, StrategyKind::ShuffleOnce, 8));
+    let cp = tail(&run(&table, &test, StrategyKind::CorgiPile, 8));
+    assert!(
+        (so - cp).abs() < 0.04,
+        "CorgiPile {cp:.3} vs Shuffle Once {so:.3}: gap too wide"
+    );
+}
+
+#[test]
+fn no_shuffle_and_window_strategies_fail_on_clustered_data() {
+    let (table, test) = clustered_higgs();
+    let so = tail(&run(&table, &test, StrategyKind::ShuffleOnce, 6));
+    for weak in [StrategyKind::NoShuffle, StrategyKind::SlidingWindow] {
+        let acc = tail(&run(&table, &test, weak, 6));
+        assert!(
+            acc < so - 0.08,
+            "{weak}: {acc:.3} should be clearly below Shuffle Once {so:.3}"
+        );
+    }
+}
+
+#[test]
+fn corgipile_end_to_end_time_beats_shuffle_once_clearly() {
+    let (table, test) = clustered_higgs();
+    let so = run(&table, &test, StrategyKind::ShuffleOnce, 6).total_sim_seconds();
+    let cp = run(&table, &test, StrategyKind::CorgiPile, 6).total_sim_seconds();
+    assert!(
+        so / cp > 1.5,
+        "expected ≥1.5x end-to-end speedup (paper: 1.6-12.8x), got {:.2}x",
+        so / cp
+    );
+}
+
+#[test]
+fn all_strategies_converge_identically_on_pre_shuffled_data() {
+    // Figure 2's right-hand panels: with i.i.d. storage order, even No
+    // Shuffle is fine — the pathology is strictly about clustered layouts.
+    let ds = DatasetSpec::higgs_like(8_000)
+        .with_order(Order::Shuffled)
+        .with_block_bytes(8 << 10)
+        .build(103);
+    let table = ds.to_table(2).unwrap();
+    let so = tail(&run(&table, &ds.test, StrategyKind::ShuffleOnce, 6));
+    let ns = tail(&run(&table, &ds.test, StrategyKind::NoShuffle, 6));
+    assert!(
+        (so - ns).abs() < 0.04,
+        "on shuffled data No Shuffle {ns:.3} should match Shuffle Once {so:.3}"
+    );
+}
+
+#[test]
+fn small_buffers_still_converge() {
+    // Figure 14a: a 2% buffer matches Shuffle Once's final accuracy.
+    let ds = DatasetSpec::criteo_like(12_000)
+        .with_order(Order::ClusteredByLabel)
+        .with_block_bytes(16 << 10)
+        .build(104);
+    let table = ds.to_table(3).unwrap();
+    let so = tail(&run(&table, &ds.test, StrategyKind::ShuffleOnce, 6));
+    let cfg = TrainerConfig::new(ModelKind::Svm, 6)
+        .with_strategy(StrategyKind::CorgiPile)
+        .with_optimizer(OptimizerKind::Sgd { lr0: 0.03, decay: 0.8 })
+        .with_corgipile(CorgiPileConfig::default().with_buffer_fraction(0.02));
+    let mut dev = SimDevice::hdd_scaled(640.0, 0);
+    let r = Trainer::new(cfg).train_with_test(&table, &ds.test, &mut dev, 5).unwrap();
+    let cp = tail(&r);
+    assert!(
+        cp > so - 0.05,
+        "2% buffer CorgiPile {cp:.3} should approach Shuffle Once {so:.3}"
+    );
+}
+
+#[test]
+fn wide_normalized_data_shows_the_same_story() {
+    // epsilon-like: 2000-dim unit-normalized rows with correlated noise.
+    let ds = DatasetSpec::epsilon_like(800)
+        .with_order(Order::ClusteredByLabel)
+        .with_block_bytes(128 << 10)
+        .build(105);
+    let table = ds.to_table(4).unwrap();
+    let lr = OptimizerKind::Sgd { lr0: 4.0, decay: 0.8 };
+    let runw = |strategy: StrategyKind| {
+        let cfg = TrainerConfig::new(ModelKind::LogisticRegression, 12)
+            .with_strategy(strategy)
+            .with_optimizer(lr);
+        let mut dev = SimDevice::ssd_scaled(80.0, 0);
+        let r = Trainer::new(cfg).train_with_test(&table, &ds.test, &mut dev, 5).unwrap();
+        tail(&r)
+    };
+    let so = runw(StrategyKind::ShuffleOnce);
+    let cp = runw(StrategyKind::CorgiPile);
+    let ns = runw(StrategyKind::NoShuffle);
+    assert!(so > 0.8, "epsilon-like should be ~90% learnable, SO {so:.3}");
+    assert!((so - cp).abs() < 0.06, "CP {cp:.3} vs SO {so:.3}");
+    assert!(ns < so - 0.2, "No Shuffle {ns:.3} must collapse vs {so:.3}");
+}

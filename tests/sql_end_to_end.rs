@@ -1,0 +1,133 @@
+//! Integration: the SQL surface over the Volcano executor, end to end.
+
+use corgipile::data::{DatasetSpec, Order};
+use corgipile::db::{DbError, QueryResult, Session};
+use corgipile::storage::SimDevice;
+
+fn session() -> Session {
+    let table = DatasetSpec::susy_like(8_000)
+        .with_order(Order::ClusteredByLabel)
+        .with_block_bytes(8 << 10)
+        .build_table(1)
+        .unwrap();
+    let cache = table.total_bytes() * 3;
+    let mut s = Session::new(SimDevice::ssd_scaled(1280.0, cache));
+    s.register_table("susy", table);
+    s
+}
+
+#[test]
+fn paper_query_template_works_end_to_end() {
+    let mut s = session();
+    // The exact query shape from §6: SELECT * FROM table TRAIN BY model WITH params.
+    let r = s
+        .execute(
+            "SELECT * FROM susy TRAIN BY svm WITH learning_rate = 0.03, decay = 0.8, \
+             max_epoch_num = 6, block_size = 8KB, buffer_fraction = 0.1, \
+             strategy = 'corgipile', model_name = susy_svm;",
+        )
+        .unwrap();
+    let summary = match r {
+        QueryResult::Train(t) => t,
+        _ => panic!("expected train summary"),
+    };
+    assert_eq!(summary.epochs.len(), 6);
+    assert!(
+        summary.final_train_metric > 0.70,
+        "CorgiPile SVM on clustered susy should learn: {:.3}",
+        summary.final_train_metric
+    );
+    // Per-epoch records monotone in simulated time.
+    for w in summary.epochs.windows(2) {
+        assert!(w[1].sim_seconds_end > w[0].sim_seconds_end);
+    }
+
+    // Inference against the stored model.
+    match s.execute("SELECT * FROM susy PREDICT BY susy_svm").unwrap() {
+        QueryResult::Predict { predictions, metric } => {
+            assert_eq!(predictions.len(), 8_000);
+            assert!(metric > 0.70);
+        }
+        _ => panic!("expected predictions"),
+    }
+}
+
+#[test]
+fn sql_strategies_reproduce_the_accuracy_ordering() {
+    let mut s = session();
+    let mut acc = std::collections::BTreeMap::new();
+    for strategy in ["corgipile", "once", "no"] {
+        let r = s
+            .execute(&format!(
+                "SELECT * FROM susy TRAIN BY lr WITH learning_rate = 0.03, decay = 0.8, \
+                 max_epoch_num = 6, strategy = '{strategy}', model_name = m_{strategy}"
+            ))
+            .unwrap();
+        match r {
+            QueryResult::Train(t) => {
+                acc.insert(strategy, t.final_train_metric);
+            }
+            _ => unreachable!(),
+        }
+    }
+    assert!((acc["corgipile"] - acc["once"]).abs() < 0.06);
+    assert!(acc["corgipile"] > acc["no"] + 0.10);
+}
+
+#[test]
+fn once_pays_setup_corgipile_does_not() {
+    let mut s = session();
+    let total = |strategy: &str, s: &mut Session| {
+        match s
+            .execute(&format!(
+                "SELECT * FROM susy TRAIN BY svm WITH max_epoch_num = 3, \
+                 strategy = '{strategy}', model_name = t_{strategy}"
+            ))
+            .unwrap()
+        {
+            QueryResult::Train(t) => (t.setup_seconds, t.total_seconds()),
+            _ => unreachable!(),
+        }
+    };
+    let (corgi_setup, corgi_total) = total("corgipile", &mut s);
+    let (once_setup, once_total) = total("once", &mut s);
+    assert_eq!(corgi_setup, 0.0);
+    assert!(once_setup > 0.0);
+    assert!(corgi_total < once_total);
+}
+
+#[test]
+fn sql_errors_surface_cleanly() {
+    let mut s = session();
+    assert!(matches!(
+        s.execute("SELECT * FROM missing TRAIN BY svm"),
+        Err(DbError::UnknownTable(_))
+    ));
+    assert!(matches!(s.execute("DROP TABLE susy"), Err(DbError::Parse(_))));
+    assert!(matches!(
+        s.execute("SELECT * FROM susy TRAIN BY svm WITH learning_rate = fast"),
+        Err(DbError::BadParam(_))
+    ));
+}
+
+#[test]
+fn regression_model_via_sql_reports_r2() {
+    let table = DatasetSpec::msd_like(4_000)
+        .with_block_bytes(8 << 10)
+        .build_table(2)
+        .unwrap();
+    let mut s = Session::new(SimDevice::ssd_scaled(1280.0, table.total_bytes() * 3));
+    s.register_table("songs", table);
+    let r = s
+        .execute(
+            "SELECT * FROM songs TRAIN BY linreg WITH learning_rate = 0.01, \
+             max_epoch_num = 6, model_name = year_model",
+        )
+        .unwrap();
+    match r {
+        QueryResult::Train(t) => {
+            assert!(t.final_train_metric > 0.9, "R² {:.3}", t.final_train_metric);
+        }
+        _ => unreachable!(),
+    }
+}

@@ -1,0 +1,135 @@
+//! Integration: the §4.2 theory against measured training behaviour.
+
+use corgipile::core::{
+    block_variance_factor, CorgiFactors, CorgiPileConfig, Theorem1Bound, Trainer, TrainerConfig,
+};
+use corgipile::data::{DatasetSpec, Order};
+use corgipile::ml::{build_model, ModelKind, OptimizerKind};
+use corgipile::shuffle::{BlockSampleMode, StrategyKind};
+use corgipile::storage::SimDevice;
+
+fn clustered_table(n: usize) -> corgipile::storage::Table {
+    DatasetSpec::higgs_like(n)
+        .with_order(Order::ClusteredByLabel)
+        .with_block_bytes(8 << 10)
+        .build_table(31)
+        .unwrap()
+}
+
+#[test]
+fn h_d_orders_storage_layouts_by_clusteredness() {
+    // h_D ≈ 1 on shuffled storage, ≫ 1 on clustered storage — the factor
+    // that multiplies CorgiPile's leading convergence term.
+    let mut model = build_model(&ModelKind::LogisticRegression, 28, 1);
+    for (i, p) in model.params_mut().iter_mut().enumerate() {
+        *p = 0.2 * ((i as f32 * 0.37).sin());
+    }
+    let shuffled = DatasetSpec::higgs_like(6_000)
+        .with_order(Order::Shuffled)
+        .with_block_bytes(8 << 10)
+        .build_table(32)
+        .unwrap();
+    let clustered = clustered_table(6_000);
+    let s_shuffled = block_variance_factor(&shuffled, model.as_ref());
+    let s_clustered = block_variance_factor(&clustered, model.as_ref());
+    assert!(s_shuffled.h_d < 3.0, "shuffled h_D {}", s_shuffled.h_d);
+    assert!(
+        s_clustered.h_d > 4.0 * s_shuffled.h_d,
+        "clustered h_D {} vs shuffled {}",
+        s_clustered.h_d,
+        s_shuffled.h_d
+    );
+}
+
+#[test]
+fn theorem1_bound_predicts_buffer_size_benefit() {
+    // The leading term (1−α)·h_D·σ²/T shrinks as the buffer grows; the
+    // measured SampleN-mode convergence must improve the same way.
+    let table = clustered_table(8_000);
+    let model = {
+        let mut m = build_model(&ModelKind::LogisticRegression, 28, 1);
+        for (i, p) in m.params_mut().iter_mut().enumerate() {
+            *p = 0.1 * ((i as f32 * 0.71).cos());
+        }
+        m
+    };
+    let stats = block_variance_factor(&table, model.as_ref());
+    let n_small = (stats.big_n / 20).max(2);
+    let n_large = stats.big_n / 2;
+    let b_small = Theorem1Bound::new(&stats, n_small);
+    let b_large = Theorem1Bound::new(&stats, n_large);
+    let t = 1e6;
+    assert!(
+        b_large.at(t) < b_small.at(t),
+        "bound must improve with buffer size: {} !< {}",
+        b_large.at(t),
+        b_small.at(t)
+    );
+    // α spans (0, 1) and the factors stay consistent with Theorem 1.
+    let f = CorgiFactors::new(n_small, stats.big_n, stats.b);
+    assert!(f.alpha > 0.0 && f.alpha < 1.0);
+}
+
+#[test]
+fn sample_n_mode_convergence_improves_with_buffer_like_the_bound() {
+    // Algorithm 1 (SampleN): each epoch trains on n random blocks only.
+    // Larger n ⇒ more i.i.d.-like epoch ⇒ better loss at equal tuple
+    // budget — the empirical counterpart of the (1−α) factor.
+    let ds = DatasetSpec::higgs_like(8_000)
+        .with_order(Order::ClusteredByLabel)
+        .with_block_bytes(8 << 10)
+        .build(33);
+    let table = ds.to_table(33).unwrap();
+    let run = |frac: f64, epochs: usize| {
+        let cfg = TrainerConfig::new(ModelKind::LogisticRegression, epochs)
+            .with_strategy(StrategyKind::CorgiPile)
+            .with_optimizer(OptimizerKind::Sgd { lr0: 0.02, decay: 1.0 })
+            .with_corgipile(
+                CorgiPileConfig::default()
+                    .with_buffer_fraction(frac)
+                    .with_sample_mode(BlockSampleMode::SampleN),
+            );
+        let mut dev = SimDevice::in_memory();
+        let r = Trainer::new(cfg).train_with_test(&table, &ds.test, &mut dev, 9).unwrap();
+        let vals: Vec<f64> =
+            r.epochs.iter().rev().take(3).filter_map(|e| e.test_metric).collect();
+        vals.iter().sum::<f64>() / vals.len() as f64
+    };
+    // Equal tuple budget: 40 epochs × 2% == 8 epochs × 10%. With a constant
+    // learning rate (no annealing confound), the larger buffer — smaller
+    // (1−α)·h_D leading term — must not do worse than the smaller one.
+    let small = run(0.02, 40);
+    let large = run(0.10, 8);
+    assert!(
+        large >= small - 0.03,
+        "larger buffers should not hurt at equal budget: 10% {large:.3} vs 2% {small:.3}"
+    );
+}
+
+#[test]
+fn full_buffer_degenerates_to_full_shuffle() {
+    // α = 1 (n = N): the leading term vanishes and CorgiPile *is*
+    // full-shuffle SGD; measured accuracy must match Shuffle Once tightly.
+    let ds = DatasetSpec::higgs_like(6_000)
+        .with_order(Order::ClusteredByLabel)
+        .with_block_bytes(8 << 10)
+        .build(34);
+    let table = ds.to_table(34).unwrap();
+    let run = |strategy: StrategyKind, frac: f64| {
+        let cfg = TrainerConfig::new(ModelKind::LogisticRegression, 5)
+            .with_strategy(strategy)
+            .with_optimizer(OptimizerKind::Sgd { lr0: 0.03, decay: 0.8 })
+            .with_corgipile(CorgiPileConfig::default().with_buffer_fraction(frac));
+        let mut dev = SimDevice::in_memory();
+        let r = Trainer::new(cfg).train_with_test(&table, &ds.test, &mut dev, 11).unwrap();
+        let vals: Vec<f64> =
+            r.epochs.iter().rev().take(3).filter_map(|e| e.test_metric).collect();
+        vals.iter().sum::<f64>() / vals.len() as f64
+    };
+    let so = run(StrategyKind::ShuffleOnce, 1.0);
+    let cp_full = run(StrategyKind::CorgiPile, 1.0);
+    assert!(
+        (so - cp_full).abs() < 0.04,
+        "α=1 CorgiPile {cp_full:.3} should equal full shuffle {so:.3} up to seed noise"
+    );
+}
