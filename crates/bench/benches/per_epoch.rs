@@ -40,7 +40,7 @@ fn run_epoch(table: &Arc<Table>, plan: &str, double: bool) -> f64 {
     );
     let mut dev = SimDevice::in_memory();
     let mut ctx = ExecContext::new(&mut dev);
-    op.execute(&mut ctx).epochs[0].epoch_seconds
+    op.execute(&mut ctx).expect("fault-free epoch").epochs[0].epoch_seconds
 }
 
 fn bench_per_epoch(c: &mut Criterion) {

@@ -12,18 +12,65 @@
 //! by [`DoubleBufferModel`](corgipile_storage::DoubleBufferModel); this
 //! module provides the real-concurrency counterpart used by the examples
 //! and wall-clock benches.
+//!
+//! ## Failure handling
+//!
+//! The producer never panics on a failed block read. Every read goes
+//! through the bounded-backoff retry layer ([`RetryPolicy`]); if retries
+//! exhaust, the producer ships the [`StorageError`] through the channel and
+//! stops. The consumer's iterator simply ends early, and
+//! [`ThreadedLoader::join`] returns a typed [`LoaderError`] instead of the
+//! old `expect` double-panic.
 
 use corgipile_data::rng::shuffle_in_place;
-use corgipile_storage::{FileTable, SimDevice, Table, Tuple};
+use corgipile_storage::{FileTable, RetryPolicy, SimDevice, StorageError, Table, Tuple};
 use crossbeam::channel::{bounded, Receiver};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+/// Why a loader epoch did not complete cleanly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoaderError {
+    /// A block read failed even after the retry policy was exhausted.
+    Storage(StorageError),
+    /// The producer thread panicked (a bug, not an I/O condition).
+    ProducerPanicked(String),
+}
+
+impl std::fmt::Display for LoaderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoaderError::Storage(e) => write!(f, "loader storage error: {e}"),
+            LoaderError::ProducerPanicked(msg) => {
+                write!(f, "loader producer panicked: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoaderError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoaderError::Storage(e) => Some(e),
+            LoaderError::ProducerPanicked(_) => None,
+        }
+    }
+}
+
+impl From<StorageError> for LoaderError {
+    fn from(e: StorageError) -> Self {
+        LoaderError::Storage(e)
+    }
+}
+
+type Batch = Result<Vec<Tuple>, StorageError>;
+
 /// A double-buffered, two-thread epoch loader.
 pub struct ThreadedLoader {
-    rx: Receiver<Vec<Tuple>>,
-    handle: Option<JoinHandle<corgipile_storage::IoStats>>,
+    rx: Receiver<Batch>,
+    handle: Option<JoinHandle<Result<corgipile_storage::IoStats, StorageError>>>,
     current: std::vec::IntoIter<Tuple>,
+    error: Option<StorageError>,
 }
 
 impl ThreadedLoader {
@@ -34,31 +81,62 @@ impl ThreadedLoader {
     /// buffers of `buffer_blocks` blocks each. The consumer (this struct's
     /// iterator) overlaps with production through the bounded channel.
     pub fn spawn(table: Table, buffer_blocks: usize, seed: u64) -> Self {
+        Self::spawn_with_policy(
+            table,
+            buffer_blocks,
+            seed,
+            RetryPolicy::default(),
+            SimDevice::in_memory(),
+        )
+    }
+
+    /// [`ThreadedLoader::spawn`] with an explicit retry policy and device.
+    ///
+    /// Handing in the device lets callers attach a
+    /// [`FaultPlan`](corgipile_storage::FaultPlan) before the epoch starts;
+    /// retry backoff is charged to the device's simulated clock.
+    pub fn spawn_with_policy(
+        table: Table,
+        buffer_blocks: usize,
+        seed: u64,
+        policy: RetryPolicy,
+        mut dev: SimDevice,
+    ) -> Self {
         assert!(buffer_blocks >= 1, "need at least one block per buffer");
-        let (tx, rx) = bounded::<Vec<Tuple>>(1);
+        let (tx, rx) = bounded::<Batch>(1);
         let handle = std::thread::spawn(move || {
             use rand::rngs::StdRng;
             use rand::{Rng, SeedableRng};
             let mut rng = StdRng::seed_from_u64(seed ^ 0x10ADE4);
-            let mut dev = SimDevice::in_memory();
             let mut order: Vec<usize> = (0..table.num_blocks()).collect();
             shuffle_in_place(&mut rng, &mut order);
             for chunk in order.chunks(buffer_blocks) {
                 let mut buf: Vec<Tuple> = Vec::new();
                 for &b in chunk {
-                    buf.extend(table.read_block(b, &mut dev).expect("block in range"));
+                    match table.read_block_retry(b, &mut dev, &policy) {
+                        Ok(tuples) => buf.extend(tuples),
+                        Err(e) => {
+                            let _ = tx.send(Err(e.clone()));
+                            return Err(e);
+                        }
+                    }
                 }
                 for i in (1..buf.len()).rev() {
                     let j = rng.gen_range(0..=i);
                     buf.swap(i, j);
                 }
-                if tx.send(buf).is_err() {
+                if tx.send(Ok(buf)).is_err() {
                     break; // consumer dropped early
                 }
             }
-            dev.stats().clone()
+            Ok(dev.stats().clone())
         });
-        ThreadedLoader { rx, handle: Some(handle), current: Vec::new().into_iter() }
+        ThreadedLoader {
+            rx,
+            handle: Some(handle),
+            current: Vec::new().into_iter(),
+            error: None,
+        }
     }
 
     /// Spawn the producer for one epoch over an on-disk heap file
@@ -66,8 +144,19 @@ impl ThreadedLoader {
     /// positioned reads against the file while the consumer trains — the
     /// production I/O path rather than the simulated one.
     pub fn spawn_file(table: Arc<FileTable>, buffer_blocks: usize, seed: u64) -> Self {
+        Self::spawn_file_with_policy(table, buffer_blocks, seed, RetryPolicy::default())
+    }
+
+    /// [`ThreadedLoader::spawn_file`] with an explicit retry policy; faults
+    /// attached to the [`FileTable`] via `set_fault_plan` are retried here.
+    pub fn spawn_file_with_policy(
+        table: Arc<FileTable>,
+        buffer_blocks: usize,
+        seed: u64,
+        policy: RetryPolicy,
+    ) -> Self {
         assert!(buffer_blocks >= 1, "need at least one block per buffer");
-        let (tx, rx) = bounded::<Vec<Tuple>>(1);
+        let (tx, rx) = bounded::<Batch>(1);
         let handle = std::thread::spawn(move || {
             use rand::rngs::StdRng;
             use rand::{Rng, SeedableRng};
@@ -77,31 +166,63 @@ impl ThreadedLoader {
             for chunk in order.chunks(buffer_blocks) {
                 let mut buf: Vec<Tuple> = Vec::new();
                 for &b in chunk {
-                    buf.extend(table.read_block(b).expect("block in range"));
+                    match table.read_block_retry(b, &policy) {
+                        Ok(tuples) => buf.extend(tuples),
+                        Err(e) => {
+                            let _ = tx.send(Err(e.clone()));
+                            return Err(e);
+                        }
+                    }
                 }
                 for i in (1..buf.len()).rev() {
                     let j = rng.gen_range(0..=i);
                     buf.swap(i, j);
                 }
-                if tx.send(buf).is_err() {
+                if tx.send(Ok(buf)).is_err() {
                     break;
                 }
             }
-            corgipile_storage::IoStats::default()
+            Ok(corgipile_storage::IoStats::default())
         });
-        ThreadedLoader { rx, handle: Some(handle), current: Vec::new().into_iter() }
+        ThreadedLoader {
+            rx,
+            handle: Some(handle),
+            current: Vec::new().into_iter(),
+            error: None,
+        }
     }
 
-    /// Wait for the producer and return its I/O stats (call after draining).
-    pub fn join(mut self) -> corgipile_storage::IoStats {
+    /// The storage error that ended the stream early, if any. Available
+    /// once the iterator has returned `None`; [`ThreadedLoader::join`]
+    /// reports the same error with the producer's exit status folded in.
+    pub fn take_error(&mut self) -> Option<StorageError> {
+        self.error.take()
+    }
+
+    /// Wait for the producer and return its I/O stats (call after
+    /// draining). A producer that died on a storage error yields
+    /// [`LoaderError::Storage`]; a panicking producer (a bug) yields
+    /// [`LoaderError::ProducerPanicked`] instead of propagating the panic.
+    pub fn join(mut self) -> Result<corgipile_storage::IoStats, LoaderError> {
         // Drop the receiver first so a blocked producer unblocks.
         self.rx = bounded(0).1;
         self.current = Vec::new().into_iter();
-        self.handle
-            .take()
-            .expect("join called once")
-            .join()
-            .expect("producer panicked")
+        let handle = self.handle.take().expect("join called once");
+        match handle.join() {
+            Ok(Ok(stats)) => match self.error.take() {
+                None => Ok(stats),
+                Some(e) => Err(LoaderError::Storage(e)),
+            },
+            Ok(Err(e)) => Err(LoaderError::Storage(e)),
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic payload".into());
+                Err(LoaderError::ProducerPanicked(msg))
+            }
+        }
     }
 }
 
@@ -113,8 +234,15 @@ impl Iterator for ThreadedLoader {
             if let Some(t) = self.current.next() {
                 return Some(t);
             }
+            if self.error.is_some() {
+                return None;
+            }
             match self.rx.recv() {
-                Ok(buf) => self.current = buf.into_iter(),
+                Ok(Ok(buf)) => self.current = buf.into_iter(),
+                Ok(Err(e)) => {
+                    self.error = Some(e);
+                    return None;
+                }
                 Err(_) => return None,
             }
         }
@@ -125,6 +253,7 @@ impl Iterator for ThreadedLoader {
 mod tests {
     use super::*;
     use corgipile_data::{DatasetSpec, Order};
+    use corgipile_storage::FaultPlan;
 
     fn table(n: usize) -> Table {
         DatasetSpec::higgs_like(n)
@@ -184,7 +313,70 @@ mod tests {
         let t = table(600);
         let mut loader = ThreadedLoader::spawn(t, 1, 3);
         let _first = loader.next();
-        let stats = loader.join(); // must not deadlock
+        let stats = loader.join().unwrap(); // must not deadlock
         assert!(stats.device_bytes > 0);
+    }
+
+    #[test]
+    fn transient_faults_are_retried_and_the_stream_completes() {
+        let t = table(600);
+        let mut dev = SimDevice::in_memory();
+        dev.set_fault_plan(
+            FaultPlan::new(5).with_transient(1, 0, 2).with_transient(1, 1, 1),
+        );
+        let mut loader =
+            ThreadedLoader::spawn_with_policy(t, 2, 11, RetryPolicy::default(), dev);
+        let mut ids: Vec<u64> = loader.by_ref().map(|t| t.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..600).collect::<Vec<_>>(), "retries must hide transients");
+        assert!(loader.take_error().is_none());
+        loader.join().unwrap();
+    }
+
+    #[test]
+    fn permanent_fault_surfaces_a_typed_error_from_join() {
+        let t = table(600);
+        let blocks = t.num_blocks();
+        assert!(blocks > 1);
+        let mut dev = SimDevice::in_memory();
+        dev.set_fault_plan(FaultPlan::new(5).with_permanent(1, 0));
+        let mut loader = ThreadedLoader::spawn_with_policy(
+            t,
+            2,
+            11,
+            RetryPolicy::default().with_max_retries(2),
+            dev,
+        );
+        let ids: Vec<u64> = loader.by_ref().map(|t| t.id).collect();
+        assert!(ids.len() < 600, "stream must end early on a dead block");
+        match loader.join() {
+            Err(LoaderError::Storage(corgipile_storage::StorageError::ReadFailed {
+                block: 0,
+                ..
+            })) => {}
+            other => panic!("expected ReadFailed on block 0, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn file_loader_recovers_from_transient_faults() {
+        let t = table(500);
+        let path = std::env::temp_dir()
+            .join(format!("corgi_loader_fault_{}.tbl", std::process::id()));
+        corgipile_storage::save_table(&t, &path).unwrap();
+        let ft = Arc::new(FileTable::open(&path).unwrap());
+        ft.set_fault_plan(FaultPlan::new(3).with_transient(1, 0, 3));
+        let mut ids: Vec<u64> = ThreadedLoader::spawn_file_with_policy(
+            ft.clone(),
+            3,
+            5,
+            RetryPolicy::default(),
+        )
+        .map(|t| t.id)
+        .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..500).collect::<Vec<_>>());
+        assert!(ft.fault_stats().unwrap().transient_failures >= 3);
+        std::fs::remove_file(path).ok();
     }
 }

@@ -17,11 +17,12 @@
 
 use corgipile_ml::{
     accuracy, build_model, mean_loss, r_squared, train_minibatch, train_per_tuple,
-    ComputeCostModel, Model, ModelKind, OptimizerKind, TrainOptions,
+    ComputeCostModel, Model, ModelKind, OptimizerKind, TrainCheckpoint, TrainOptions,
 };
 use corgipile_shuffle::{build_strategy, ShuffleStrategy, StrategyKind, StrategyParams};
-use corgipile_storage::{DoubleBufferModel, SimDevice, Table, Tuple};
+use corgipile_storage::{DoubleBufferModel, SimDevice, StorageError, Table, Tuple};
 use serde::Serialize;
+use std::path::Path;
 
 use crate::config::CorgiPileConfig;
 
@@ -201,6 +202,33 @@ impl Trainer {
         dev: &mut SimDevice,
         seed: u64,
     ) -> corgipile_storage::Result<TrainReport> {
+        self.train_resumable(table, test, dev, seed, None, None)
+    }
+
+    /// [`Trainer::train_with_test`] with epoch-granular checkpoint/resume.
+    ///
+    /// When `checkpoint_path` is set, a [`TrainCheckpoint`] is written
+    /// atomically after every epoch. When `resume` is set, epochs
+    /// `0..resume.epoch_next` are *replayed* rather than re-trained: the
+    /// strategy's per-epoch RNG draws depend only on the seed and the table
+    /// shape, so driving it against a scratch in-memory device lands every
+    /// internal stream exactly where the checkpointed run left it, after
+    /// which the saved model parameters, optimizer state and simulated
+    /// clock are restored. A killed run resumed this way produces a
+    /// **bit-identical** final model to an uninterrupted one.
+    ///
+    /// The returned report covers only the epochs actually executed here
+    /// (`resume.epoch_next..epochs`); `sim_seconds_end` stays cumulative
+    /// across the resume because the clock is restored from the checkpoint.
+    pub fn train_resumable(
+        &self,
+        table: &Table,
+        test: &[Tuple],
+        dev: &mut SimDevice,
+        seed: u64,
+        resume: Option<&TrainCheckpoint>,
+        checkpoint_path: Option<&Path>,
+    ) -> corgipile_storage::Result<TrainReport> {
         if table.num_tuples() == 0 {
             return Err(corgipile_storage::StorageError::EmptyTable);
         }
@@ -211,9 +239,38 @@ impl Trainer {
         let mut strategy: Box<dyn ShuffleStrategy> =
             build_strategy(self.cfg.strategy, self.cfg.strategy_params(seed));
 
-        let mut records = Vec::with_capacity(self.cfg.epochs);
         let mut sim_clock = 0.0f64;
-        for epoch in 0..self.cfg.epochs {
+        let mut start_epoch = 0usize;
+        if let Some(ck) = resume {
+            if ck.seed != seed {
+                return Err(StorageError::Corrupt(format!(
+                    "checkpoint was taken under seed {}, cannot resume under seed {}",
+                    ck.seed, seed
+                )));
+            }
+            if ck.model_params.len() != model.params().len() {
+                return Err(StorageError::Corrupt(format!(
+                    "checkpoint carries {} model parameters, this run expects {}",
+                    ck.model_params.len(),
+                    model.params().len()
+                )));
+            }
+            start_epoch = ck.epoch_next.min(self.cfg.epochs);
+            let mut scratch = SimDevice::in_memory();
+            for _ in 0..start_epoch {
+                let _ = strategy.next_epoch(table, &mut scratch);
+            }
+            model.params_mut().copy_from_slice(&ck.model_params);
+            if !optimizer.load_state(&ck.optimizer_state) {
+                return Err(StorageError::Corrupt(
+                    "checkpoint optimizer state does not match this optimizer".into(),
+                ));
+            }
+            sim_clock = ck.sim_clock;
+        }
+
+        let mut records = Vec::with_capacity(self.cfg.epochs - start_epoch);
+        for epoch in start_epoch..self.cfg.epochs {
             optimizer.set_epoch(epoch);
             let plan = strategy.next_epoch(table, dev);
 
@@ -272,6 +329,16 @@ impl Trainer {
                 train_loss: if examples > 0 { loss_sum / examples as f64 } else { 0.0 },
                 test_metric,
             });
+            if let Some(path) = checkpoint_path {
+                TrainCheckpoint {
+                    epoch_next: epoch + 1,
+                    seed,
+                    sim_clock,
+                    model_params: model.params().to_vec(),
+                    optimizer_state: optimizer.state_bytes(),
+                }
+                .save(path)?;
+            }
         }
 
         let train_tuples = table.all_tuples();
@@ -488,5 +555,127 @@ mod tests {
         let base = TrainerConfig::new(ModelKind::LogisticRegression, 2);
         let lr = grid_search_lr(&base, &table, &test, 1, 1).unwrap();
         assert!([0.1f32, 0.01, 0.001].contains(&lr));
+    }
+
+    /// Simulate a crash after `split` of `epochs` epochs and resume from the
+    /// checkpoint; return (interrupted final params, straight final params).
+    fn crash_and_resume(
+        tag: &str,
+        cfg: TrainerConfig,
+        table: &Table,
+        seed: u64,
+        split: usize,
+    ) -> (Vec<f32>, Vec<f32>, f64, f64) {
+        let epochs = cfg.epochs;
+        let path = std::env::temp_dir().join(format!(
+            "corgi_resume_{tag}_{}_{}_{}.ckpt",
+            std::process::id(),
+            seed,
+            split
+        ));
+        // Phase 1: run `split` epochs, checkpointing each, then "crash".
+        let mut partial_cfg = cfg.clone();
+        partial_cfg.epochs = split;
+        Trainer::new(partial_cfg)
+            .train_resumable(table, &[], &mut SimDevice::hdd(0), seed, None, Some(&path))
+            .unwrap();
+        // Phase 2: a fresh process loads the checkpoint and resumes.
+        let ck = TrainCheckpoint::load(&path).unwrap();
+        assert_eq!(ck.epoch_next, split);
+        let resumed = Trainer::new(cfg.clone())
+            .train_resumable(table, &[], &mut SimDevice::hdd(0), seed, Some(&ck), Some(&path))
+            .unwrap();
+        assert_eq!(resumed.epochs.len(), epochs - split);
+        // Reference: the uninterrupted run.
+        let straight = Trainer::new(cfg)
+            .train_with_test(table, &[], &mut SimDevice::hdd(0), seed)
+            .unwrap();
+        std::fs::remove_file(path).ok();
+        (
+            resumed.model.params().to_vec(),
+            straight.model.params().to_vec(),
+            resumed.total_sim_seconds(),
+            straight.total_sim_seconds(),
+        )
+    }
+
+    #[test]
+    fn resume_after_crash_is_bit_identical_sgd() {
+        let (table, _) = clustered_higgs(1200);
+        let cfg = TrainerConfig::new(ModelKind::Svm, 5);
+        let (resumed, straight, t_res, t_straight) = crash_and_resume("sgd", cfg, &table, 13, 2);
+        assert_eq!(resumed, straight, "resumed SGD model must match bit-for-bit");
+        assert!((t_res - t_straight).abs() < 1e-9, "simulated clock must survive resume");
+    }
+
+    #[test]
+    fn resume_after_crash_is_bit_identical_adam_minibatch() {
+        let (table, _) = clustered_higgs(900);
+        let cfg = TrainerConfig::new(ModelKind::LogisticRegression, 4)
+            .with_batch_size(32)
+            .with_optimizer(OptimizerKind::default_adam(0.05));
+        let (resumed, straight, _, _) = crash_and_resume("adam", cfg, &table, 21, 3);
+        assert_eq!(resumed, straight, "resumed Adam model must match bit-for-bit");
+    }
+
+    #[test]
+    fn resume_rejects_seed_and_shape_mismatches() {
+        let (table, _) = clustered_higgs(600);
+        let cfg = TrainerConfig::new(ModelKind::Svm, 2);
+        let path = std::env::temp_dir()
+            .join(format!("corgi_resume_reject_{}.ckpt", std::process::id()));
+        Trainer::new(cfg.clone())
+            .train_resumable(&table, &[], &mut SimDevice::in_memory(), 7, None, Some(&path))
+            .unwrap();
+        let ck = TrainCheckpoint::load(&path).unwrap();
+        // Wrong seed: the replayed RNG streams would diverge — refuse.
+        let err = Trainer::new(cfg.clone())
+            .train_resumable(&table, &[], &mut SimDevice::in_memory(), 8, Some(&ck), None)
+            .unwrap_err();
+        assert!(err.to_string().contains("seed"), "unexpected error: {err}");
+        // Wrong model shape: parameter count differs — refuse.
+        let mut bad = ck.clone();
+        bad.model_params.push(0.0);
+        let err = Trainer::new(cfg)
+            .train_resumable(&table, &[], &mut SimDevice::in_memory(), 7, Some(&bad), None)
+            .unwrap_err();
+        assert!(err.to_string().contains("parameters"), "unexpected error: {err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn checkpoint_at_final_epoch_resumes_to_a_noop() {
+        let (table, _) = clustered_higgs(400);
+        let cfg = TrainerConfig::new(ModelKind::Svm, 3);
+        let path = std::env::temp_dir()
+            .join(format!("corgi_resume_noop_{}.ckpt", std::process::id()));
+        let full = Trainer::new(cfg.clone())
+            .train_resumable(&table, &[], &mut SimDevice::in_memory(), 5, None, Some(&path))
+            .unwrap();
+        let ck = TrainCheckpoint::load(&path).unwrap();
+        assert_eq!(ck.epoch_next, 3);
+        let resumed = Trainer::new(cfg)
+            .train_resumable(&table, &[], &mut SimDevice::in_memory(), 5, Some(&ck), None)
+            .unwrap();
+        assert!(resumed.epochs.is_empty(), "nothing left to train");
+        assert_eq!(resumed.model.params(), full.model.params());
+        std::fs::remove_file(path).ok();
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(6))]
+        /// Satellite property: for arbitrary seeds and crash points, a
+        /// checkpoint→resume run equals the uninterrupted run bit-for-bit.
+        #[test]
+        fn prop_resume_is_bit_identical(seed in 0u64..10_000, split in 1usize..4) {
+            let ds = DatasetSpec::higgs_like(400)
+                .with_order(Order::ClusteredByLabel)
+                .with_block_bytes(8192)
+                .build(7);
+            let table = ds.to_table(1).unwrap();
+            let cfg = TrainerConfig::new(ModelKind::LogisticRegression, 4);
+            let (resumed, straight, _, _) = crash_and_resume("prop", cfg, &table, seed, split);
+            proptest::prop_assert_eq!(resumed, straight);
+        }
     }
 }

@@ -18,6 +18,8 @@ pub enum DbError {
     UnknownStrategy(String),
     /// Parameter error (bad name, type or value).
     BadParam(String),
+    /// Checkpoint/resume failure (mismatched seed, shape, or optimizer).
+    Checkpoint(String),
     /// Storage-layer failure.
     Storage(StorageError),
 }
@@ -31,6 +33,7 @@ impl fmt::Display for DbError {
             DbError::UnknownModelKind(m) => write!(f, "unknown model kind: {m}"),
             DbError::UnknownStrategy(s) => write!(f, "unknown strategy: {s}"),
             DbError::BadParam(m) => write!(f, "bad parameter: {m}"),
+            DbError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
             DbError::Storage(e) => write!(f, "storage error: {e}"),
         }
     }

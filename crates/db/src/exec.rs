@@ -20,14 +20,31 @@
 //!   pipeline (PostgreSQL's re-scan mechanism, as in `NestedLoopJoin`'s
 //!   inner plan) to reshuffle and re-read for the next epoch.
 
+use crate::error::DbError;
 use corgipile_data::rng::shuffle_in_place;
-use corgipile_ml::{train_minibatch, ComputeCostModel, Model, Optimizer, TrainOptions};
+use corgipile_ml::{
+    train_minibatch, ComputeCostModel, Model, Optimizer, TrainCheckpoint, TrainOptions,
+};
 use corgipile_shuffle::StrategyParams;
-use corgipile_storage::{BufferPool, DoubleBufferModel, SimDevice, Table, Tuple};
+use corgipile_storage::{
+    BufferPool, DoubleBufferModel, RetryPolicy, SimDevice, Table, Tuple,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
+use std::path::PathBuf;
 use std::sync::Arc;
+
+/// What the executor does when a block read fails even after retries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultAction {
+    /// Abort the query with the storage error (PostgreSQL's default).
+    #[default]
+    Fail,
+    /// Skip the dead block, record it, and keep training on the rest —
+    /// graceful degradation for long-running jobs on failing media.
+    SkipBlock,
+}
 
 /// Execution context threaded through the operator tree.
 pub struct ExecContext<'a> {
@@ -40,17 +57,34 @@ pub struct ExecContext<'a> {
     /// block reads go through it; sequential scans bypass it, like
     /// PostgreSQL's ring-buffer strategy for large seqscans.
     pub pool: Option<&'a mut BufferPool>,
+    /// Retry policy applied to every block read; backoff is charged to the
+    /// simulated clock.
+    pub retry: RetryPolicy,
+    /// Degradation policy once the retry budget is exhausted.
+    pub on_fault: FaultAction,
+    /// Blocks skipped this epoch under [`FaultAction::SkipBlock`]; the
+    /// `SGD` operator drains this into its per-epoch record.
+    pub skipped_blocks: Vec<usize>,
 }
 
 impl<'a> ExecContext<'a> {
     /// Create a context over a device, without a buffer pool.
     pub fn new(dev: &'a mut SimDevice) -> Self {
-        ExecContext { dev, fill_io: Vec::new(), pool: None }
+        ExecContext {
+            dev,
+            fill_io: Vec::new(),
+            pool: None,
+            retry: RetryPolicy::default(),
+            on_fault: FaultAction::default(),
+            skipped_blocks: Vec::new(),
+        }
     }
 
     /// Create a context with a buffer pool (`shared_buffers`).
     pub fn with_pool(dev: &'a mut SimDevice, pool: &'a mut BufferPool) -> Self {
-        ExecContext { dev, fill_io: Vec::new(), pool: Some(pool) }
+        let mut ctx = ExecContext::new(dev);
+        ctx.pool = Some(pool);
+        ctx
     }
 }
 
@@ -60,8 +94,10 @@ pub trait PhysicalOperator {
     fn name(&self) -> &'static str;
     /// Initialize state (PostgreSQL `ExecInit*`).
     fn init(&mut self, ctx: &mut ExecContext);
-    /// Produce the next tuple, or `None` at end of stream.
-    fn next(&mut self, ctx: &mut ExecContext) -> Option<Tuple>;
+    /// Produce the next tuple, or `Ok(None)` at end of stream. Storage
+    /// failures that survive the retry policy (and are not absorbed by
+    /// [`FaultAction::SkipBlock`]) propagate as [`DbError::Storage`].
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Tuple>, DbError>;
     /// Reset for another pass (PostgreSQL `ExecReScan*`); block orders are
     /// re-randomized.
     fn rescan(&mut self, ctx: &mut ExecContext);
@@ -131,36 +167,47 @@ impl PhysicalOperator for BlockShuffleOp {
         self.initialized = true;
     }
 
-    fn next(&mut self, ctx: &mut ExecContext) -> Option<Tuple> {
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Tuple>, DbError> {
         debug_assert!(self.initialized, "next() before init()");
         loop {
             if let Some(t) = self.queue.pop_front() {
-                return Some(t);
+                return Ok(Some(t));
             }
             if self.next_block >= self.order.len() {
-                return None;
+                return Ok(None);
             }
             let block = self.order[self.next_block];
             let io_before = ctx.dev.stats().io_seconds;
-            let tuples = match self.mode {
-                ScanMode::Sequential => self
-                    .table
-                    .scan_block_sequential(block, self.next_block == 0, ctx.dev)
-                    .expect("block in range"),
+            let read = match self.mode {
+                ScanMode::Sequential => self.table.scan_block_sequential_retry(
+                    block,
+                    self.next_block == 0,
+                    ctx.dev,
+                    &ctx.retry,
+                ),
                 ScanMode::RandomBlocks => match ctx.pool.as_deref_mut() {
                     Some(pool) => pool
-                        .read_block(&self.table, block, ctx.dev)
-                        .expect("block in range")
-                        .as_ref()
-                        .clone(),
-                    None => self.table.read_block(block, ctx.dev).expect("block in range"),
+                        .read_block_retry(&self.table, block, ctx.dev, &ctx.retry)
+                        .map(|arc| arc.as_ref().clone()),
+                    None => self.table.read_block_retry(block, ctx.dev, &ctx.retry),
                 },
             };
-            // Report the block read as a fill; a TupleShuffle above folds
-            // these into its own per-buffer entries.
-            ctx.fill_io.push(ctx.dev.stats().io_seconds - io_before);
             self.next_block += 1;
-            self.queue.extend(tuples);
+            match read {
+                Ok(tuples) => {
+                    // Report the block read as a fill; a TupleShuffle above
+                    // folds these into its own per-buffer entries.
+                    ctx.fill_io.push(ctx.dev.stats().io_seconds - io_before);
+                    self.queue.extend(tuples);
+                }
+                Err(e) if ctx.on_fault == FaultAction::SkipBlock && e.is_retryable() => {
+                    // Dead block after exhausted retries: degrade by moving
+                    // on, keeping the wasted retry time on the books.
+                    ctx.fill_io.push(ctx.dev.stats().io_seconds - io_before);
+                    ctx.skipped_blocks.push(block);
+                }
+                Err(e) => return Err(e.into()),
+            }
         }
     }
 
@@ -205,7 +252,7 @@ impl TupleShuffleOp {
 
     /// Pull one buffer's worth from the child, shuffle, and record the fill
     /// cost into `ctx.fill_io`.
-    fn refill(&mut self, ctx: &mut ExecContext) {
+    fn refill(&mut self, ctx: &mut ExecContext) -> Result<(), DbError> {
         self.buffer.clear();
         self.emit = 0;
         // Child fills recorded below us are folded into our own entry.
@@ -213,7 +260,7 @@ impl TupleShuffleOp {
         let io_before = ctx.dev.stats().io_seconds;
         let mut bytes = 0usize;
         while self.buffer.len() < self.capacity {
-            match self.child.next(ctx) {
+            match self.child.next(ctx)? {
                 Some(t) => {
                     bytes += t.encoded_len();
                     self.buffer.push(t);
@@ -235,6 +282,7 @@ impl TupleShuffleOp {
         if !self.buffer.is_empty() {
             ctx.fill_io.push(ctx.dev.stats().io_seconds - io_before);
         }
+        Ok(())
     }
 }
 
@@ -251,19 +299,19 @@ impl PhysicalOperator for TupleShuffleOp {
         self.exhausted = false;
     }
 
-    fn next(&mut self, ctx: &mut ExecContext) -> Option<Tuple> {
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Tuple>, DbError> {
         if self.emit >= self.buffer.len() {
             if self.exhausted {
-                return None;
+                return Ok(None);
             }
-            self.refill(ctx);
+            self.refill(ctx)?;
             if self.buffer.is_empty() {
-                return None;
+                return Ok(None);
             }
         }
         let t = self.buffer[self.emit].clone();
         self.emit += 1;
-        Some(t)
+        Ok(Some(t))
     }
 
     fn rescan(&mut self, ctx: &mut ExecContext) {
@@ -301,6 +349,9 @@ pub struct DbEpochRecord {
     pub train_metric: Option<f64>,
     /// Tuples consumed.
     pub tuples: usize,
+    /// Blocks skipped this epoch under [`FaultAction::SkipBlock`] (dead
+    /// media the retry policy could not recover).
+    pub skipped_blocks: Vec<usize>,
 }
 
 /// Result of running the `SGD` operator to completion.
@@ -309,6 +360,9 @@ pub struct SgdRunResult {
     pub model: Box<dyn Model>,
     /// Per-epoch records.
     pub epochs: Vec<DbEpochRecord>,
+    /// True if the run stopped early at `halt_after_epoch` (the simulated
+    /// crash used by checkpoint/resume tests).
+    pub halted: bool,
 }
 
 /// The `SGD` operator: the root of the training plan.
@@ -326,6 +380,17 @@ pub struct SgdOperator {
     /// Evaluate the training metric over the table after each epoch
     /// (§6's per-epoch accuracy output; costs one extra pass per epoch).
     pub eval_each_epoch: Option<Arc<Table>>,
+    /// Write a [`TrainCheckpoint`] here (atomically) after every epoch.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Resume from this checkpoint: completed epochs are replayed against a
+    /// scratch device to restore the operators' RNG streams, then model
+    /// parameters, optimizer state and clock are restored from the blob.
+    pub resume_from: Option<TrainCheckpoint>,
+    /// Seed stamped into checkpoints and validated on resume.
+    pub checkpoint_seed: u64,
+    /// Stop after this epoch completes (0-based) — a deterministic
+    /// simulated crash for exercising resume.
+    pub halt_after_epoch: Option<usize>,
 }
 
 impl SgdOperator {
@@ -349,17 +414,60 @@ impl SgdOperator {
             double_buffer,
             setup_seconds: 0.0,
             eval_each_epoch: None,
+            checkpoint_path: None,
+            resume_from: None,
+            checkpoint_seed: 0,
+            halt_after_epoch: None,
         }
     }
 
     /// Run all epochs (ExecInitSGD + ExecSGD + re-scans, §6.2).
-    pub fn execute(mut self, ctx: &mut ExecContext) -> SgdRunResult {
+    pub fn execute(mut self, ctx: &mut ExecContext) -> Result<SgdRunResult, DbError> {
         self.child.init(ctx);
         let mut records = Vec::with_capacity(self.epochs);
         let mut sim_clock = self.setup_seconds;
-        for epoch in 0..self.epochs {
+        let mut start_epoch = 0usize;
+        let mut halted = false;
+        if let Some(ck) = self.resume_from.take() {
+            if ck.seed != self.checkpoint_seed {
+                return Err(DbError::Checkpoint(format!(
+                    "checkpoint was taken under seed {}, cannot resume under seed {}",
+                    ck.seed, self.checkpoint_seed
+                )));
+            }
+            if ck.model_params.len() != self.model.params().len() {
+                return Err(DbError::Checkpoint(format!(
+                    "checkpoint carries {} model parameters, this plan expects {}",
+                    ck.model_params.len(),
+                    self.model.params().len()
+                )));
+            }
+            start_epoch = ck.epoch_next.min(self.epochs);
+            // Replay the completed epochs against a scratch in-memory
+            // device: the operators' shuffle orders depend only on their
+            // seeds and the table shape, so this lands every RNG stream
+            // exactly where the checkpointed run left it, without touching
+            // the real device or the real clock.
+            let mut scratch_dev = SimDevice::in_memory();
+            let mut scratch = ExecContext::new(&mut scratch_dev);
+            for epoch in 0..start_epoch {
+                if epoch > 0 {
+                    self.child.rescan(&mut scratch);
+                }
+                while self.child.next(&mut scratch)?.is_some() {}
+            }
+            self.model.params_mut().copy_from_slice(&ck.model_params);
+            if !self.optimizer.load_state(&ck.optimizer_state) {
+                return Err(DbError::Checkpoint(
+                    "checkpoint optimizer state does not match this optimizer".into(),
+                ));
+            }
+            sim_clock = ck.sim_clock;
+        }
+        for epoch in start_epoch..self.epochs {
             if epoch > 0 {
                 ctx.fill_io.clear();
+                ctx.skipped_blocks.clear();
                 self.child.rescan(ctx);
             }
             self.optimizer.set_epoch(epoch);
@@ -370,7 +478,7 @@ impl SgdOperator {
             let per_tuple_mode =
                 self.options.batch_size <= 1 && self.optimizer.name() == "sgd";
 
-            while let Some(t) = self.child.next(ctx) {
+            while let Some(t) = self.child.next(ctx)? {
                 let fill_now = ctx.fill_io.len().saturating_sub(1);
                 while fill_compute.len() <= fill_now {
                     fill_compute.push(0.0);
@@ -450,10 +558,25 @@ impl SgdOperator {
                 train_loss: if tuples > 0 { loss_sum / tuples as f64 } else { 0.0 },
                 train_metric,
                 tuples,
+                skipped_blocks: std::mem::take(&mut ctx.skipped_blocks),
             });
+            if let Some(path) = &self.checkpoint_path {
+                TrainCheckpoint {
+                    epoch_next: epoch + 1,
+                    seed: self.checkpoint_seed,
+                    sim_clock,
+                    model_params: self.model.params().to_vec(),
+                    optimizer_state: self.optimizer.state_bytes(),
+                }
+                .save(path)?;
+            }
+            if self.halt_after_epoch == Some(epoch) {
+                halted = true;
+                break;
+            }
         }
         self.child.close(ctx);
-        SgdRunResult { model: self.model, epochs: records }
+        Ok(SgdRunResult { model: self.model, epochs: records, halted })
     }
 }
 
@@ -475,7 +598,7 @@ mod tests {
 
     fn drain(op: &mut dyn PhysicalOperator, ctx: &mut ExecContext) -> Vec<u64> {
         let mut ids = Vec::new();
-        while let Some(t) = op.next(ctx) {
+        while let Some(t) = op.next(ctx).unwrap() {
             ids.push(t.id);
         }
         ids
@@ -558,7 +681,7 @@ mod tests {
         op.eval_each_epoch = Some(t);
         let mut dev = SimDevice::in_memory();
         let mut ctx = ExecContext::new(&mut dev);
-        let result = op.execute(&mut ctx);
+        let result = op.execute(&mut ctx).unwrap();
         let metrics: Vec<f64> =
             result.epochs.iter().map(|e| e.train_metric.unwrap()).collect();
         assert_eq!(metrics.len(), 3);
@@ -575,10 +698,10 @@ mod tests {
         let mut ctx = ExecContext::with_pool(&mut dev, &mut pool);
         let mut op = BlockShuffleOp::new(t, ScanMode::RandomBlocks, 5);
         op.init(&mut ctx);
-        while op.next(&mut ctx).is_some() {}
+        while op.next(&mut ctx).unwrap().is_some() {}
         let cold = ctx.dev.stats().io_seconds;
         op.rescan(&mut ctx);
-        while op.next(&mut ctx).is_some() {}
+        while op.next(&mut ctx).unwrap().is_some() {}
         let warm = ctx.dev.stats().io_seconds - cold;
         assert_eq!(warm, 0.0, "all blocks must come from shared_buffers");
         assert!(pool.stats().hits > 0 && pool.stats().misses > 0);
@@ -604,7 +727,7 @@ mod tests {
             3,
             true,
         );
-        let result = op.execute(&mut ctx);
+        let result = op.execute(&mut ctx).unwrap();
         assert_eq!(result.epochs.len(), 3);
         for e in &result.epochs {
             assert_eq!(e.tuples, 3000);
@@ -635,7 +758,7 @@ mod tests {
             2,
             false,
         );
-        let result = op.execute(&mut ctx);
+        let result = op.execute(&mut ctx).unwrap();
         let test = DatasetSpec::higgs_like(3000).build(9).test;
         let acc = corgipile_ml::accuracy(result.model.as_ref(), &test);
         assert!(acc < 0.6, "sequential scan on clustered data should underperform, acc {acc}");
@@ -661,7 +784,7 @@ mod tests {
                 1,
                 double,
             );
-            op.execute(&mut ctx).epochs[0].epoch_seconds
+            op.execute(&mut ctx).unwrap().epochs[0].epoch_seconds
         };
         assert!(run(true) < run(false));
     }
@@ -672,5 +795,157 @@ mod tests {
         let t = table(10);
         let child = Box::new(BlockShuffleOp::new(t, ScanMode::Sequential, 1));
         TupleShuffleOp::new(child, 0, StrategyParams::default());
+    }
+
+    #[test]
+    fn transient_faults_are_invisible_to_the_plan() {
+        use corgipile_storage::FaultPlan;
+        let t = table(600);
+        let run = |plan: Option<FaultPlan>| -> Vec<u64> {
+            let mut dev = SimDevice::hdd_scaled(1000.0, 0);
+            if let Some(p) = plan {
+                dev.set_fault_plan(p);
+            }
+            let mut ctx = ExecContext::new(&mut dev);
+            let mut op = BlockShuffleOp::new(t.clone(), ScanMode::RandomBlocks, 2);
+            op.init(&mut ctx);
+            drain(&mut op, &mut ctx)
+        };
+        let clean = run(None);
+        let faulty =
+            run(Some(FaultPlan::new(7).with_transient(1, 0, 2).with_transient(1, 2, 1)));
+        assert_eq!(clean, faulty, "retried transients must not change the stream");
+    }
+
+    #[test]
+    fn dead_block_fails_the_query_by_default() {
+        use corgipile_storage::FaultPlan;
+        let t = table(600);
+        let mut dev = SimDevice::hdd_scaled(1000.0, 0);
+        dev.set_fault_plan(FaultPlan::new(7).with_permanent(1, 0));
+        let mut ctx = ExecContext::new(&mut dev);
+        ctx.retry = RetryPolicy::default().with_max_retries(1);
+        let mut op = BlockShuffleOp::new(t, ScanMode::RandomBlocks, 2);
+        op.init(&mut ctx);
+        let mut err = None;
+        loop {
+            match op.next(&mut ctx) {
+                Ok(Some(_)) => continue,
+                Ok(None) => break,
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        match err {
+            Some(DbError::Storage(corgipile_storage::StorageError::ReadFailed {
+                block: 0,
+                attempts,
+                ..
+            })) => assert_eq!(attempts, 2),
+            other => panic!("expected ReadFailed on block 0, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skip_block_mode_degrades_gracefully_and_reports() {
+        use corgipile_storage::FaultPlan;
+        let t = table(600);
+        let dead = t.block(1).unwrap().tuples.clone();
+        let dead_tuples = (dead.end - dead.start) as usize;
+        let mut dev = SimDevice::hdd_scaled(1000.0, 0);
+        dev.set_fault_plan(FaultPlan::new(7).with_permanent(1, 1));
+        let mut ctx = ExecContext::new(&mut dev);
+        ctx.retry = RetryPolicy::default().with_max_retries(1);
+        ctx.on_fault = FaultAction::SkipBlock;
+        let child: Box<dyn PhysicalOperator> = Box::new(TupleShuffleOp::new(
+            Box::new(BlockShuffleOp::new(t.clone(), ScanMode::RandomBlocks, 5)),
+            120,
+            StrategyParams::default(),
+        ));
+        let op = SgdOperator::new(
+            child,
+            build_model(&ModelKind::Svm, 28, 1),
+            OptimizerKind::default_sgd(0.05).build(),
+            TrainOptions::default(),
+            ComputeCostModel::in_db_core(),
+            2,
+            false,
+        );
+        let result = op.execute(&mut ctx).unwrap();
+        assert_eq!(result.epochs.len(), 2, "training must survive the dead block");
+        for e in &result.epochs {
+            assert_eq!(e.skipped_blocks, vec![1], "dead block reported every epoch");
+            assert_eq!(e.tuples, 600 - dead_tuples);
+        }
+    }
+
+    #[test]
+    fn halt_checkpoint_resume_is_bit_identical() {
+        let t = table(1500);
+        let path = std::env::temp_dir()
+            .join(format!("corgi_db_resume_{}.ckpt", std::process::id()));
+        let plan = |t: &Arc<Table>| -> Box<dyn PhysicalOperator> {
+            Box::new(TupleShuffleOp::new(
+                Box::new(BlockShuffleOp::new(t.clone(), ScanMode::RandomBlocks, 5)),
+                150,
+                StrategyParams::default(),
+            ))
+        };
+        let sgd = |t: &Arc<Table>| {
+            SgdOperator::new(
+                plan(t),
+                build_model(&ModelKind::Svm, 28, 9),
+                OptimizerKind::default_sgd(0.05).build(),
+                TrainOptions::default(),
+                ComputeCostModel::in_db_core(),
+                4,
+                true,
+            )
+        };
+        // Uninterrupted reference run.
+        let mut dev = SimDevice::hdd_scaled(1000.0, 0);
+        let straight = sgd(&t).execute(&mut ExecContext::new(&mut dev)).unwrap();
+        // Crashed run: halt after epoch 1 with a checkpoint on disk.
+        let mut op = sgd(&t);
+        op.checkpoint_path = Some(path.clone());
+        op.checkpoint_seed = 9;
+        op.halt_after_epoch = Some(1);
+        let mut dev = SimDevice::hdd_scaled(1000.0, 0);
+        let crashed = op.execute(&mut ExecContext::new(&mut dev)).unwrap();
+        assert!(crashed.halted);
+        assert_eq!(crashed.epochs.len(), 2);
+        // Resume in a fresh "process": new operators, same seeds.
+        let ck = TrainCheckpoint::load(&path).unwrap();
+        assert_eq!(ck.epoch_next, 2);
+        let mut op = sgd(&t);
+        op.checkpoint_seed = 9;
+        op.resume_from = Some(ck);
+        let mut dev = SimDevice::hdd_scaled(1000.0, 0);
+        let resumed = op.execute(&mut ExecContext::new(&mut dev)).unwrap();
+        assert!(!resumed.halted);
+        assert_eq!(resumed.epochs.len(), 2, "epochs 2 and 3 remain");
+        assert_eq!(
+            resumed.model.params(),
+            straight.model.params(),
+            "resumed model must equal the uninterrupted one bit-for-bit"
+        );
+        assert!(
+            (resumed.epochs.last().unwrap().sim_seconds_end
+                - straight.epochs.last().unwrap().sim_seconds_end)
+                .abs()
+                < 1e-9,
+            "cumulative simulated time must survive the resume"
+        );
+        // Mismatched seed is refused.
+        let ck = TrainCheckpoint::load(&path).unwrap();
+        let mut op = sgd(&t);
+        op.checkpoint_seed = 10;
+        op.resume_from = Some(ck);
+        let mut dev = SimDevice::hdd_scaled(1000.0, 0);
+        let err = op.execute(&mut ExecContext::new(&mut dev)).unwrap_err();
+        assert!(matches!(err, DbError::Checkpoint(_)));
+        std::fs::remove_file(path).ok();
     }
 }

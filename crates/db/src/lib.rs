@@ -29,7 +29,8 @@ pub use baselines::{system_trainer_config, InDbSystem};
 pub use catalog::{Catalog, StoredModel};
 pub use error::DbError;
 pub use exec::{
-    BlockShuffleOp, ExecContext, PhysicalOperator, ScanMode, SgdOperator, TupleShuffleOp,
+    BlockShuffleOp, DbEpochRecord, ExecContext, FaultAction, PhysicalOperator, ScanMode,
+    SgdOperator, SgdRunResult, TupleShuffleOp,
 };
-pub use session::{QueryResult, Session};
+pub use session::{DbTrainSummary, QueryResult, Session};
 pub use sql::{parse, ParamValue, Query};

@@ -24,7 +24,7 @@ fn table(n: u64, width: usize, block_pages: usize) -> Arc<Table> {
 
 fn drain_ids(op: &mut dyn PhysicalOperator, ctx: &mut ExecContext) -> Vec<u64> {
     let mut out = Vec::new();
-    while let Some(t) = op.next(ctx) {
+    while let Some(t) = op.next(ctx).unwrap() {
         out.push(t.id);
     }
     out

@@ -18,18 +18,19 @@
 use crate::catalog::{Catalog, StoredModel};
 use crate::error::DbError;
 use crate::exec::{
-    BlockShuffleOp, DbEpochRecord, ExecContext, PhysicalOperator, ScanMode, SgdOperator,
-    TupleShuffleOp,
+    BlockShuffleOp, DbEpochRecord, ExecContext, FaultAction, PhysicalOperator, ScanMode,
+    SgdOperator, TupleShuffleOp,
 };
 use crate::sql::{parse, ParamValue, Query};
 use corgipile_data::rng::shuffle_in_place;
 use corgipile_ml::{accuracy, build_model, ModelKind, OptimizerKind, TrainOptions};
-use corgipile_ml::{ComputeCostModel, r_squared};
+use corgipile_ml::{ComputeCostModel, r_squared, TrainCheckpoint};
 use corgipile_shuffle::StrategyParams;
-use corgipile_storage::{BufferPool, SimDevice, Table};
+use corgipile_storage::{BufferPool, FaultPlan, RetryPolicy, SimDevice, Table};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Summary of a completed `TRAIN BY` query.
@@ -47,12 +48,24 @@ pub struct DbTrainSummary {
     pub epochs: Vec<DbEpochRecord>,
     /// Final accuracy (classifiers) or R² (regression) over the table.
     pub final_train_metric: f64,
+    /// True if the run stopped early at `halt_after_epoch`.
+    pub halted: bool,
 }
 
 impl DbTrainSummary {
     /// Total simulated seconds including setup.
     pub fn total_seconds(&self) -> f64 {
         self.epochs.last().map(|e| e.sim_seconds_end).unwrap_or(self.setup_seconds)
+    }
+
+    /// All blocks skipped across epochs under `on_fault = 'skip'`
+    /// (deduplicated, sorted).
+    pub fn skipped_blocks(&self) -> Vec<usize> {
+        let mut all: Vec<usize> =
+            self.epochs.iter().flat_map(|e| e.skipped_blocks.iter().copied()).collect();
+        all.sort_unstable();
+        all.dedup();
+        all
     }
 }
 
@@ -100,6 +113,17 @@ impl Session {
     /// The device (for I/O statistics).
     pub fn device(&self) -> &SimDevice {
         &self.dev
+    }
+
+    /// Mutable device access (e.g. to attach a fault plan).
+    pub fn device_mut(&mut self) -> &mut SimDevice {
+        &mut self.dev
+    }
+
+    /// Attach a [`FaultPlan`] to the session's device: subsequent queries
+    /// see the injected faults on their block reads.
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.dev.set_fault_plan(plan);
     }
 
     /// Register a table.
@@ -216,7 +240,7 @@ impl Session {
             }
         };
         for key in params.keys() {
-            const KNOWN: [&str; 13] = [
+            const KNOWN: [&str; 18] = [
                 "l2",
                 "shared_buffers",
                 "report_metrics",
@@ -230,6 +254,11 @@ impl Session {
                 "model_name",
                 "seed",
                 "double_buffer",
+                "max_retries",
+                "on_fault",
+                "checkpoint",
+                "resume",
+                "halt_after_epoch",
             ];
             if !KNOWN.contains(&key.as_str()) {
                 return Err(DbError::BadParam(format!("unknown parameter {key}")));
@@ -251,6 +280,35 @@ impl Session {
         }
         let shared_buffers = get_usize("shared_buffers", 0)?;
         let report_metrics = get_usize("report_metrics", 0)? != 0;
+        let max_retries = get_usize("max_retries", 4)? as u32;
+        let on_fault = match params.get("on_fault") {
+            None => FaultAction::Fail,
+            Some(v) => match v.as_text() {
+                Some("fail") => FaultAction::Fail,
+                Some("skip") => FaultAction::SkipBlock,
+                _ => {
+                    return Err(DbError::BadParam(
+                        "on_fault must be 'fail' or 'skip'".into(),
+                    ))
+                }
+            },
+        };
+        let checkpoint_path = match params.get("checkpoint") {
+            None => None,
+            Some(v) => Some(PathBuf::from(v.as_text().ok_or_else(|| {
+                DbError::BadParam("checkpoint must be a path string".into())
+            })?)),
+        };
+        let resume = get_usize("resume", 0)? != 0;
+        if resume && checkpoint_path.is_none() {
+            return Err(DbError::BadParam("resume = 1 requires checkpoint = '<path>'".into()));
+        }
+        let halt_after_epoch = match params.get("halt_after_epoch") {
+            None => None,
+            Some(v) => Some(v.as_usize().ok_or_else(|| {
+                DbError::BadParam("halt_after_epoch must be a non-negative integer".into())
+            })?),
+        };
         let strategy = params
             .get("strategy")
             .map(|v| v.as_text().unwrap_or("").to_string())
@@ -320,13 +378,22 @@ impl Session {
         if report_metrics {
             sgd.eval_each_epoch = Some(table.clone());
         }
+        sgd.checkpoint_seed = seed;
+        sgd.halt_after_epoch = halt_after_epoch;
+        if resume {
+            let path = checkpoint_path.as_ref().expect("validated above");
+            sgd.resume_from = Some(TrainCheckpoint::load(path)?);
+        }
+        sgd.checkpoint_path = checkpoint_path;
         let mut pool = BufferPool::new(shared_buffers);
         let mut ctx = if shared_buffers > 0 {
             ExecContext::with_pool(&mut self.dev, &mut pool)
         } else {
             ExecContext::new(&mut self.dev)
         };
-        let result = sgd.execute(&mut ctx);
+        ctx.retry = RetryPolicy::default().with_max_retries(max_retries);
+        ctx.on_fault = on_fault;
+        let result = sgd.execute(&mut ctx)?;
 
         // --- Evaluate & store --------------------------------------------
         let all = table.all_tuples();
@@ -352,6 +419,7 @@ impl Session {
             setup_seconds,
             epochs: result.epochs,
             final_train_metric: final_metric,
+            halted: result.halted,
         }))
     }
 
@@ -652,5 +720,126 @@ mod tests {
             "SELECT * FROM higgs TRAIN BY lr WITH max_epoch_num = 2, batch_size = 128",
         );
         assert!(r.is_ok());
+    }
+
+    fn train_summary(r: QueryResult) -> DbTrainSummary {
+        match r {
+            QueryResult::Train(t) => t,
+            _ => panic!("expected a train result"),
+        }
+    }
+
+    #[test]
+    fn injected_transients_do_not_change_the_trained_model() {
+        let sql = "SELECT * FROM higgs TRAIN BY svm WITH learning_rate = 0.05, \
+                   max_epoch_num = 3, model_name = m";
+        let mut clean = session_with_higgs(2000);
+        clean.execute(sql).unwrap();
+        let clean_params = clean.catalog().model("m").unwrap().params.clone();
+
+        let mut faulty = session_with_higgs(2000);
+        faulty.inject_faults(
+            corgipile_storage::FaultPlan::new(77)
+                .with_transient(1, 0, 2)
+                .with_random_transient(0.05, 2),
+        );
+        let t = train_summary(faulty.execute(sql).unwrap());
+        assert!(t.skipped_blocks().is_empty(), "retries must recover every block");
+        let faulty_params = faulty.catalog().model("m").unwrap().params.clone();
+        assert_eq!(clean_params, faulty_params, "transients must not alter training");
+        // The faults did cost simulated time, though.
+        assert!(
+            faulty.device().stats().io_seconds > clean.device().stats().io_seconds,
+            "retries and backoff must show up on the clock"
+        );
+    }
+
+    #[test]
+    fn dead_block_with_skip_completes_degraded() {
+        let mut s = session_with_higgs(2000);
+        s.inject_faults(corgipile_storage::FaultPlan::new(1).with_permanent(1, 2));
+        let t = train_summary(
+            s.execute(
+                "SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 2, \
+                 max_retries = 1, on_fault = 'skip', model_name = m",
+            )
+            .unwrap(),
+        );
+        assert_eq!(t.skipped_blocks(), vec![2]);
+        assert!(t.epochs.iter().all(|e| e.skipped_blocks == vec![2]));
+        assert!(t.final_train_metric > 0.0);
+        assert!(s.catalog().model("m").is_ok(), "degraded run still stores a model");
+    }
+
+    #[test]
+    fn dead_block_without_skip_fails_the_query() {
+        let mut s = session_with_higgs(2000);
+        s.inject_faults(corgipile_storage::FaultPlan::new(1).with_permanent(1, 2));
+        let err = s
+            .execute(
+                "SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 2, max_retries = 1",
+            )
+            .unwrap_err();
+        assert!(matches!(err, DbError::Storage(_)), "got {err}");
+    }
+
+    #[test]
+    fn sql_checkpoint_resume_reproduces_the_model() {
+        let path = std::env::temp_dir()
+            .join(format!("corgi_sql_resume_{}.ckpt", std::process::id()));
+        let ck = path.to_string_lossy().to_string();
+        let base = "SELECT * FROM higgs TRAIN BY svm WITH learning_rate = 0.05, \
+                    max_epoch_num = 4, model_name = m";
+
+        let mut straight = session_with_higgs(2000);
+        straight.execute(base).unwrap();
+        let want = straight.catalog().model("m").unwrap().params.clone();
+
+        // Crash after epoch 1, then resume in a brand-new session.
+        let mut crashed = session_with_higgs(2000);
+        let t = train_summary(
+            crashed
+                .execute(&format!("{base}, checkpoint = '{ck}', halt_after_epoch = 1"))
+                .unwrap(),
+        );
+        assert!(t.halted);
+        assert_eq!(t.epochs.len(), 2);
+
+        let mut resumed = session_with_higgs(2000);
+        let t = train_summary(
+            resumed
+                .execute(&format!("{base}, checkpoint = '{ck}', resume = 1"))
+                .unwrap(),
+        );
+        assert!(!t.halted);
+        assert_eq!(t.epochs.len(), 2, "only epochs 2 and 3 run after resume");
+        let got = resumed.catalog().model("m").unwrap().params.clone();
+        assert_eq!(got, want, "resumed SQL run must reproduce the model bit-for-bit");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn fault_and_checkpoint_params_are_validated() {
+        let mut s = session_with_higgs(200);
+        assert!(matches!(
+            s.execute("SELECT * FROM higgs TRAIN BY svm WITH on_fault = 'explode'"),
+            Err(DbError::BadParam(_))
+        ));
+        assert!(matches!(
+            s.execute("SELECT * FROM higgs TRAIN BY svm WITH resume = 1"),
+            Err(DbError::BadParam(_))
+        ));
+        assert!(matches!(
+            s.execute("SELECT * FROM higgs TRAIN BY svm WITH checkpoint = 3"),
+            Err(DbError::BadParam(_))
+        ));
+        // Resume from a missing checkpoint file is a storage error.
+        assert!(matches!(
+            s.execute(
+                "SELECT * FROM higgs TRAIN BY svm WITH resume = 1, \
+                 checkpoint = '/nonexistent/dir/x.ckpt'"
+            ),
+            Err(DbError::Storage(_))
+        ));
     }
 }

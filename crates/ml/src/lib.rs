@@ -20,6 +20,7 @@
 //!
 //! [`Model`]: model::Model
 
+pub mod checkpoint;
 pub mod linear;
 pub mod metrics;
 pub mod mlp;
@@ -28,6 +29,7 @@ pub mod optimizer;
 pub mod sgd;
 pub mod softmax;
 
+pub use checkpoint::TrainCheckpoint;
 pub use linear::{LinearModel, LinearTask};
 pub use metrics::{accuracy, auc, auc_of, log_loss, mean_loss, r_squared};
 pub use mlp::Mlp;

@@ -15,6 +15,20 @@ pub trait Optimizer: Send {
 
     /// Optimizer name for reports.
     fn name(&self) -> &'static str;
+
+    /// Serialize internal state (moment buffers, step counters) for
+    /// checkpointing. Stateless optimizers return an empty vector; the
+    /// learning rate is *not* state — it is re-derived from the epoch via
+    /// [`Optimizer::set_epoch`] on resume.
+    fn state_bytes(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restore state produced by [`Optimizer::state_bytes`]. Returns `false`
+    /// if the bytes are not a valid state for this optimizer.
+    fn load_state(&mut self, bytes: &[u8]) -> bool {
+        bytes.is_empty()
+    }
 }
 
 /// Optimizer configuration.
@@ -140,6 +154,9 @@ impl Optimizer for Sgd {
     }
 }
 
+/// Tag prefixing serialized Adam state (see [`Optimizer::state_bytes`]).
+const ADAM_STATE_MAGIC: &[u8; 8] = b"ADAMST01";
+
 /// Adam (Kingma & Ba, 2015).
 #[derive(Debug, Clone)]
 pub struct Adam {
@@ -193,6 +210,47 @@ impl Optimizer for Adam {
 
     fn name(&self) -> &'static str {
         "adam"
+    }
+
+    fn state_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24 + 8 * self.m.len());
+        out.extend_from_slice(ADAM_STATE_MAGIC);
+        out.extend_from_slice(&self.t.to_le_bytes());
+        out.extend_from_slice(&(self.m.len() as u64).to_le_bytes());
+        for x in self.m.iter().chain(self.v.iter()) {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        out
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> bool {
+        if bytes.is_empty() {
+            // A checkpoint taken before the first step: fresh state.
+            self.t = 0;
+            self.m.clear();
+            self.v.clear();
+            return true;
+        }
+        if bytes.len() < 24 || &bytes[..8] != ADAM_STATE_MAGIC {
+            return false;
+        }
+        let t = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        let n = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")) as usize;
+        if bytes.len() != 24 + 8 * n {
+            return false;
+        }
+        let read_f32s = |start: usize| -> Vec<f32> {
+            (0..n)
+                .map(|i| {
+                    let o = start + 4 * i;
+                    f32::from_le_bytes(bytes[o..o + 4].try_into().expect("4 bytes"))
+                })
+                .collect()
+        };
+        self.t = t;
+        self.m = read_f32s(24);
+        self.v = read_f32s(24 + 4 * n);
+        true
     }
 }
 
@@ -290,5 +348,53 @@ mod tests {
     #[should_panic]
     fn bad_lr_rejected() {
         Sgd::new(0.0, 0.9);
+    }
+
+    #[test]
+    fn sgd_state_is_empty_and_roundtrips() {
+        let mut opt = Sgd::new(0.1, 0.95);
+        assert!(opt.state_bytes().is_empty());
+        assert!(opt.load_state(&[]));
+        assert!(!opt.load_state(b"junk"), "sgd has no state to restore");
+    }
+
+    #[test]
+    fn adam_state_roundtrip_resumes_identical_trajectory() {
+        let grads: Vec<Vec<f32>> =
+            (0..10).map(|i| vec![0.1 * i as f32, -0.2, 0.05 * i as f32]).collect();
+        // Run 10 steps straight through.
+        let mut full = Adam::new(0.05, 0.9, 0.999, 1e-8);
+        let mut p_full = [1.0f32, -1.0, 0.5];
+        for g in &grads {
+            full.step(&mut p_full, g);
+        }
+        // Run 4 steps, checkpoint, restore into a fresh Adam, run the rest.
+        let mut first = Adam::new(0.05, 0.9, 0.999, 1e-8);
+        let mut p_resumed = [1.0f32, -1.0, 0.5];
+        for g in &grads[..4] {
+            first.step(&mut p_resumed, g);
+        }
+        let state = first.state_bytes();
+        let mut second = Adam::new(0.05, 0.9, 0.999, 1e-8);
+        assert!(second.load_state(&state));
+        for g in &grads[4..] {
+            second.step(&mut p_resumed, g);
+        }
+        assert_eq!(p_full, p_resumed, "resume must be bit-identical");
+    }
+
+    #[test]
+    fn adam_rejects_malformed_state() {
+        let mut opt = Adam::new(0.05, 0.9, 0.999, 1e-8);
+        assert!(!opt.load_state(b"short"));
+        assert!(!opt.load_state(b"WRONGMAG\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0"));
+        let mut good = Adam::new(0.05, 0.9, 0.999, 1e-8);
+        let mut p = [1.0f32; 3];
+        good.step(&mut p, &[0.1; 3]);
+        let mut truncated = good.state_bytes();
+        truncated.pop();
+        assert!(!opt.load_state(&truncated));
+        assert!(opt.load_state(&good.state_bytes()));
+        assert!(opt.load_state(&[]), "empty state resets to fresh");
     }
 }

@@ -106,6 +106,29 @@ impl BufferPool {
         Ok(tuples)
     }
 
+    /// [`BufferPool::read_block`] with bounded retries on the storage read
+    /// (see [`Table::read_block_retry`]). Pool hits never fail.
+    pub fn read_block_retry(
+        &mut self,
+        table: &Table,
+        block: BlockId,
+        dev: &mut SimDevice,
+        policy: &crate::retry::RetryPolicy,
+    ) -> Result<Arc<Vec<Tuple>>> {
+        let key = (table.config().table_id, block);
+        self.stamp += 1;
+        if let Some(frame) = self.frames.get_mut(&key) {
+            frame.stamp = self.stamp;
+            self.stats.hits += 1;
+            return Ok(frame.tuples.clone());
+        }
+        self.stats.misses += 1;
+        let tuples = Arc::new(table.read_block_retry(block, dev, policy)?);
+        let bytes = table.block(block)?.bytes;
+        self.admit(key, tuples.clone(), bytes);
+        Ok(tuples)
+    }
+
     /// Drop all cached blocks (counters survive).
     pub fn clear(&mut self) {
         self.frames.clear();

@@ -1,0 +1,64 @@
+//! CRC-32 (IEEE 802.3 polynomial), table-driven and dependency-free.
+//!
+//! Used by the `CORGIPL3` heap format and the training-checkpoint blob to
+//! detect torn writes and bit rot: every block payload and every header
+//! carries a checksum that is verified before the bytes are trusted.
+
+/// Reflected IEEE polynomial (the one used by zip, PNG, ethernet).
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut j = 0;
+        while j < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            j += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = build_table();
+
+/// CRC-32 of `data` (IEEE, init `0xFFFF_FFFF`, final xor `0xFFFF_FFFF`).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_standard_check_value() {
+        // The canonical CRC-32/IEEE check: crc32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn any_single_bit_flip_changes_the_crc() {
+        let data: Vec<u8> = (0u16..512).map(|i| (i * 31 % 251) as u8).collect();
+        let base = crc32(&data);
+        for byte in [0usize, 1, 100, 511] {
+            for bit in 0..8 {
+                let mut corrupt = data.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupt), base, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+}

@@ -16,6 +16,9 @@
 //! latency/bandwidth asymmetry the paper's evaluation depends on
 //! (Appendix A, Figure 20).
 
+use crate::error::StorageError;
+use crate::fault::{FaultInjector, FaultPlan, ReadOutcome};
+use crate::Result;
 use std::collections::HashMap;
 
 /// How a read reaches the device.
@@ -154,6 +157,8 @@ pub struct SimDevice {
     resident_bytes: usize,
     stamp: u64,
     stats: IoStats,
+    /// Optional deterministic fault injector consulted by guarded reads.
+    injector: Option<FaultInjector>,
 }
 
 impl SimDevice {
@@ -166,6 +171,7 @@ impl SimDevice {
             resident_bytes: 0,
             stamp: 0,
             stats: IoStats::default(),
+            injector: None,
         }
     }
 
@@ -254,6 +260,68 @@ impl SimDevice {
         }
         self.stats.io_seconds += time;
         time
+    }
+
+    /// Install a fault injector; subsequent guarded reads consult it.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// Convenience: install an injector executing `plan` from scratch.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.injector = Some(FaultInjector::new(plan));
+    }
+
+    /// The installed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+
+    /// Remove and return the fault injector.
+    pub fn clear_fault_injector(&mut self) -> Option<FaultInjector> {
+        self.injector.take()
+    }
+
+    /// Read block `block` of table `table_id` through the fault injector.
+    ///
+    /// The extent key matches the one `Table` derives
+    /// (`table_id << 32 | block`), so residency tracking is shared with
+    /// [`SimDevice::read`]. Cache-resident extents bypass injection — a
+    /// storage fault cannot strike data already in memory. A failed attempt
+    /// still costs simulated time: the seek that discovered the failure, or
+    /// the full transfer for a checksum mismatch (the bytes crossed the bus
+    /// before verification rejected them).
+    pub fn read_guarded(
+        &mut self,
+        table_id: u32,
+        block: usize,
+        bytes: usize,
+        access: Access,
+        throughput_cap: Option<f64>,
+    ) -> Result<f64> {
+        let key = ((table_id as u64) << 32) | block as u64;
+        if self.injector.is_some() && !self.is_resident(key) {
+            let outcome = self
+                .injector
+                .as_mut()
+                .expect("checked above")
+                .on_read(table_id, block);
+            match outcome {
+                ReadOutcome::Ok => {}
+                ReadOutcome::Delay(seconds) => self.stats.io_seconds += seconds,
+                ReadOutcome::Fail(e) => {
+                    let wasted = match &e {
+                        StorageError::ChecksumMismatch { .. } => {
+                            self.profile.read_time(bytes, access)
+                        }
+                        _ => self.profile.seek_latency_s,
+                    };
+                    self.stats.io_seconds += wasted;
+                    return Err(e);
+                }
+            }
+        }
+        Ok(self.read(Some(key), bytes, access, throughput_cap))
     }
 
     /// Write `bytes` (e.g. Shuffle Once materializing a shuffled copy).
@@ -423,6 +491,56 @@ mod tests {
     #[should_panic(expected = "negative")]
     fn charge_negative_panics() {
         SimDevice::in_memory().charge_seconds(-1.0);
+    }
+
+    #[test]
+    fn guarded_read_without_injector_matches_plain_read() {
+        let mut a = SimDevice::hdd(0);
+        let mut b = SimDevice::hdd(0);
+        let ta = a.read_guarded(3, 7, 50_000, Access::Random, None).unwrap();
+        let tb = b.read(Some((3u64 << 32) | 7), 50_000, Access::Random, None);
+        assert_eq!(ta, tb);
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn guarded_read_injects_and_charges_failed_attempts() {
+        let mut dev = SimDevice::hdd(0);
+        dev.set_fault_plan(crate::fault::FaultPlan::new(1).with_transient(3, 7, 1));
+        let before = dev.stats().io_seconds;
+        let err = dev.read_guarded(3, 7, 50_000, Access::Random, None).unwrap_err();
+        assert!(err.is_retryable());
+        let after_fail = dev.stats().io_seconds;
+        assert!(after_fail > before, "failed attempt must cost simulated time");
+        // Second attempt succeeds (transient fault exhausted).
+        dev.read_guarded(3, 7, 50_000, Access::Random, None).unwrap();
+        assert_eq!(dev.fault_injector().unwrap().stats().transient_failures, 1);
+    }
+
+    #[test]
+    fn guarded_read_latency_spike_charges_clock() {
+        let mut dev = SimDevice::ssd(0);
+        dev.set_fault_plan(crate::fault::FaultPlan::new(1).with_latency_spike(1, 0, 0.5));
+        let t_spiked = dev.read_guarded(1, 0, 1000, Access::Random, None).unwrap();
+        let mut plain = SimDevice::ssd(0);
+        let t_plain = plain.read_guarded(1, 0, 1000, Access::Random, None).unwrap();
+        // The returned per-read time excludes the spike, but the clock
+        // includes it.
+        assert_eq!(t_spiked, t_plain);
+        assert!(dev.stats().io_seconds >= plain.stats().io_seconds + 0.5 - 1e-12);
+    }
+
+    #[test]
+    fn cache_resident_extents_bypass_injection() {
+        let mut dev = SimDevice::hdd(1 << 20);
+        // Warm the cache with no faults, then make the block permanently bad.
+        dev.read_guarded(1, 0, 10_000, Access::Random, None).unwrap();
+        dev.set_fault_plan(crate::fault::FaultPlan::new(1).with_permanent(1, 0));
+        dev.read_guarded(1, 0, 10_000, Access::Random, None)
+            .expect("cached read must not fault");
+        // Once evicted, the fault strikes.
+        dev.drop_cache();
+        assert!(dev.read_guarded(1, 0, 10_000, Access::Random, None).is_err());
     }
 
     proptest! {

@@ -19,7 +19,13 @@
 //! * [`table`] — append-only heap tables assembled from pages and carved
 //!   into blocks, supporting sequential scans and random block reads;
 //! * [`buffer`] — in-memory tuple buffers used by tuple-level shuffling,
-//!   including the double-buffering cost model from the paper's §6.3.
+//!   including the double-buffering cost model from the paper's §6.3;
+//! * [`fault`] — seeded, deterministic fault injection (transient and
+//!   permanent read failures, checksum corruption, latency spikes);
+//! * [`retry`] — bounded exponential-backoff retry shared by all block
+//!   readers, charging backoff to the simulated clock;
+//! * [`crc`] — dependency-free CRC-32 backing the `CORGIPL3` checksummed
+//!   heap format and the training-checkpoint blob.
 //!
 //! Everything is deterministic: "time" is the simulated clock advanced by
 //! the device cost model, so experiments reproduce bit-for-bit across runs.
@@ -27,20 +33,26 @@
 pub mod block;
 pub mod buffer;
 pub mod bufmgr;
+pub mod crc;
 pub mod device;
 pub mod error;
+pub mod fault;
 pub mod page;
 pub mod persist;
+pub mod retry;
 pub mod table;
 pub mod tuple;
 
 pub use block::{BlockId, BlockMeta};
 pub use buffer::{DoubleBufferModel, TupleBuffer};
 pub use bufmgr::{BufferPool, BufferPoolStats};
+pub use crc::crc32;
 pub use device::{Access, CacheConfig, DeviceProfile, IoStats, SimDevice};
 pub use error::StorageError;
+pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultStats, ReadOutcome};
 pub use page::{Page, PAGE_SIZE};
-pub use persist::{load_table, save_table, FileBlockMeta, FileTable};
+pub use persist::{atomic_write_bytes, load_table, save_table, FileBlockMeta, FileTable};
+pub use retry::RetryPolicy;
 pub use table::{Table, TableBuilder, TableConfig};
 pub use tuple::{FeatureVec, Tuple, TupleId};
 

@@ -10,48 +10,84 @@
 //!   block-addressable device: CorgiPile's block-level shuffle can run
 //!   against genuine files.
 //!
-//! Format `CORGIPL2` (all integers little-endian):
+//! Format `CORGIPL3` (all integers little-endian):
 //!
 //! ```text
-//! magic "CORGIPL2"                      8 bytes
+//! magic "CORGIPL3"                      8 bytes
+//! header_crc u32                        CRC-32 of everything from name_len
+//!                                       through the end of the block index
 //! name_len u32, name bytes
 //! table_id u32, block_bytes u64, toast_threshold u64, toast_cap f64
 //! tuple_count u64, block_count u64
-//! per block: first_tuple u64, tuple_count u64, data_off u64, data_len u64
+//! per block: first_tuple u64, tuple_count u64, data_off u64, data_len u64,
+//!            crc u32                    CRC-32 of the block's data region
 //! data region: per tuple, len u32 + encoded tuple bytes
 //! ```
+//!
+//! Crash safety: [`save_table`] writes a sibling temp file, syncs it, then
+//! renames over the target — a crash mid-save leaves the old file intact,
+//! never a torn one. Checksums make any surviving corruption detectable:
+//! the header CRC covers the index, and each block CRC is verified before
+//! its bytes are decoded, so a flipped bit surfaces as
+//! [`StorageError::ChecksumMismatch`] rather than silent bad data.
+//!
+//! The previous `CORGIPL2` format (no checksums, 32-byte index entries)
+//! remains readable; [`FileBlockMeta::crc`] is `None` for such files.
 
+use crate::crc::crc32;
 use crate::error::StorageError;
+use crate::fault::{FaultInjector, FaultPlan, FaultStats, ReadOutcome};
+use crate::retry::RetryPolicy;
 use crate::table::{Table, TableBuilder, TableConfig};
 use crate::tuple::Tuple;
 use crate::Result;
-use std::io::{self, Read, Seek, SeekFrom, Write};
-use std::path::Path;
 use parking_lot::Mutex;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
 
-const MAGIC: &[u8; 8] = b"CORGIPL2";
+const MAGIC_V3: &[u8; 8] = b"CORGIPL3";
+const MAGIC_V2: &[u8; 8] = b"CORGIPL2";
 
-fn io_err(e: io::Error) -> StorageError {
-    StorageError::Corrupt(format!("io error: {e}"))
+fn io_err(op: &'static str, e: io::Error) -> StorageError {
+    StorageError::Io { op, message: e.to_string() }
 }
 
-/// Write `table` to `path` in the block-indexed heap format.
-pub fn save_table(table: &Table, path: &Path) -> Result<()> {
-    let mut f = io::BufWriter::new(std::fs::File::create(path).map_err(io_err)?);
-    let cfg = table.config();
-    f.write_all(MAGIC).map_err(io_err)?;
-    let name = cfg.name.as_bytes();
-    f.write_all(&(name.len() as u32).to_le_bytes()).map_err(io_err)?;
-    f.write_all(name).map_err(io_err)?;
-    f.write_all(&cfg.table_id.to_le_bytes()).map_err(io_err)?;
-    f.write_all(&(cfg.block_bytes as u64).to_le_bytes()).map_err(io_err)?;
-    f.write_all(&(cfg.toast_threshold as u64).to_le_bytes()).map_err(io_err)?;
-    f.write_all(&cfg.toast_cap.to_le_bytes()).map_err(io_err)?;
-    f.write_all(&table.num_tuples().to_le_bytes()).map_err(io_err)?;
-    f.write_all(&(table.num_blocks() as u64).to_le_bytes()).map_err(io_err)?;
+/// Sibling path used for atomic writes (`<name>.tmp` in the same directory,
+/// so the final rename never crosses a filesystem boundary).
+fn temp_sibling(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|s| s.to_os_string())
+        .unwrap_or_else(|| std::ffi::OsString::from("corgipile"));
+    name.push(".tmp");
+    path.with_file_name(name)
+}
 
-    // Serialize every block's tuples up front to know offsets.
-    let mut regions: Vec<(u64, u64, Vec<u8>)> = Vec::with_capacity(table.num_blocks());
+/// Atomically replace `path` with `bytes`: write a synced temp sibling,
+/// then rename it into place. Used by table persistence and training
+/// checkpoints; a crash at any point leaves either the old file or the new
+/// one, never a torn mix.
+pub fn atomic_write_bytes(path: &Path, bytes: &[u8]) -> Result<()> {
+    let tmp = temp_sibling(path);
+    let write = (|| -> Result<()> {
+        let mut f = std::fs::File::create(&tmp).map_err(|e| io_err("create temp", e))?;
+        f.write_all(bytes).map_err(|e| io_err("write temp", e))?;
+        f.sync_all().map_err(|e| io_err("sync temp", e))?;
+        Ok(())
+    })();
+    if let Err(e) = write {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        io_err("rename temp", e)
+    })
+}
+
+/// Serialize every block's tuple data: `(first_tuple, tuple_count, bytes)`.
+fn encode_regions(table: &Table) -> Result<Vec<(u64, u64, Vec<u8>)>> {
+    let mut regions = Vec::with_capacity(table.num_blocks());
     for blk in 0..table.num_blocks() {
         let meta = table.block(blk)?.clone();
         let mut data = Vec::new();
@@ -64,28 +100,97 @@ pub fn save_table(table: &Table, path: &Path) -> Result<()> {
         }
         regions.push((meta.tuples.start, meta.tuple_count() as u64, data));
     }
-    let header_end = 8
-        + 4
-        + name.len()
-        + 4
-        + 8
-        + 8
-        + 8
-        + 8
-        + 8
-        + regions.len() * 32;
+    Ok(regions)
+}
+
+/// Write `table` to `path` in the checksummed `CORGIPL3` heap format.
+///
+/// The write is atomic: data goes to a synced temp sibling which is renamed
+/// over `path`, so a crash never leaves a torn file.
+pub fn save_table(table: &Table, path: &Path) -> Result<()> {
+    let cfg = table.config();
+    let regions = encode_regions(table)?;
+    let name = cfg.name.as_bytes();
+    // 8 magic + 4 header crc + the header region itself.
+    let header_end = 8 + 4 + 4 + name.len() + 4 + 8 + 8 + 8 + 8 + 8 + regions.len() * 36;
+
+    // Build the checksummed header region in memory.
+    let mut hdr = Vec::with_capacity(header_end - 12);
+    hdr.extend_from_slice(&(name.len() as u32).to_le_bytes());
+    hdr.extend_from_slice(name);
+    hdr.extend_from_slice(&cfg.table_id.to_le_bytes());
+    hdr.extend_from_slice(&(cfg.block_bytes as u64).to_le_bytes());
+    hdr.extend_from_slice(&(cfg.toast_threshold as u64).to_le_bytes());
+    hdr.extend_from_slice(&cfg.toast_cap.to_le_bytes());
+    hdr.extend_from_slice(&table.num_tuples().to_le_bytes());
+    hdr.extend_from_slice(&(table.num_blocks() as u64).to_le_bytes());
     let mut off = header_end as u64;
     for (first, count, data) in &regions {
-        f.write_all(&first.to_le_bytes()).map_err(io_err)?;
-        f.write_all(&count.to_le_bytes()).map_err(io_err)?;
-        f.write_all(&off.to_le_bytes()).map_err(io_err)?;
-        f.write_all(&(data.len() as u64).to_le_bytes()).map_err(io_err)?;
+        hdr.extend_from_slice(&first.to_le_bytes());
+        hdr.extend_from_slice(&count.to_le_bytes());
+        hdr.extend_from_slice(&off.to_le_bytes());
+        hdr.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        hdr.extend_from_slice(&crc32(data).to_le_bytes());
+        off += data.len() as u64;
+    }
+
+    let tmp = temp_sibling(path);
+    let write = (|| -> Result<()> {
+        let f = std::fs::File::create(&tmp).map_err(|e| io_err("create temp", e))?;
+        let mut w = io::BufWriter::new(f);
+        w.write_all(MAGIC_V3).map_err(|e| io_err("write", e))?;
+        w.write_all(&crc32(&hdr).to_le_bytes()).map_err(|e| io_err("write", e))?;
+        w.write_all(&hdr).map_err(|e| io_err("write", e))?;
+        for (_, _, data) in &regions {
+            w.write_all(data).map_err(|e| io_err("write", e))?;
+        }
+        w.flush().map_err(|e| io_err("flush", e))?;
+        w.get_ref().sync_all().map_err(|e| io_err("sync", e))?;
+        Ok(())
+    })();
+    if let Err(e) = write {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        io_err("rename temp", e)
+    })
+}
+
+/// Write `table` in the legacy `CORGIPL2` format (no checksums, non-atomic).
+///
+/// Retained only so compatibility tests can produce files identical to what
+/// older builds wrote; new code should use [`save_table`].
+#[doc(hidden)]
+pub fn save_table_v2(table: &Table, path: &Path) -> Result<()> {
+    let mut f =
+        io::BufWriter::new(std::fs::File::create(path).map_err(|e| io_err("create", e))?);
+    let cfg = table.config();
+    let regions = encode_regions(table)?;
+    let name = cfg.name.as_bytes();
+    f.write_all(MAGIC_V2).map_err(|e| io_err("write", e))?;
+    f.write_all(&(name.len() as u32).to_le_bytes()).map_err(|e| io_err("write", e))?;
+    f.write_all(name).map_err(|e| io_err("write", e))?;
+    f.write_all(&cfg.table_id.to_le_bytes()).map_err(|e| io_err("write", e))?;
+    f.write_all(&(cfg.block_bytes as u64).to_le_bytes()).map_err(|e| io_err("write", e))?;
+    f.write_all(&(cfg.toast_threshold as u64).to_le_bytes()).map_err(|e| io_err("write", e))?;
+    f.write_all(&cfg.toast_cap.to_le_bytes()).map_err(|e| io_err("write", e))?;
+    f.write_all(&table.num_tuples().to_le_bytes()).map_err(|e| io_err("write", e))?;
+    f.write_all(&(table.num_blocks() as u64).to_le_bytes()).map_err(|e| io_err("write", e))?;
+    let header_end = 8 + 4 + name.len() + 4 + 8 + 8 + 8 + 8 + 8 + regions.len() * 32;
+    let mut off = header_end as u64;
+    for (first, count, data) in &regions {
+        f.write_all(&first.to_le_bytes()).map_err(|e| io_err("write", e))?;
+        f.write_all(&count.to_le_bytes()).map_err(|e| io_err("write", e))?;
+        f.write_all(&off.to_le_bytes()).map_err(|e| io_err("write", e))?;
+        f.write_all(&(data.len() as u64).to_le_bytes()).map_err(|e| io_err("write", e))?;
         off += data.len() as u64;
     }
     for (_, _, data) in &regions {
-        f.write_all(data).map_err(io_err)?;
+        f.write_all(data).map_err(|e| io_err("write", e))?;
     }
-    f.flush().map_err(io_err)?;
+    f.flush().map_err(|e| io_err("flush", e))?;
     Ok(())
 }
 
@@ -100,26 +205,51 @@ pub struct FileBlockMeta {
     pub data_off: u64,
     /// Byte length of the block's data region.
     pub data_len: u64,
+    /// CRC-32 of the data region (`None` for legacy `CORGIPL2` files).
+    pub crc: Option<u32>,
 }
 
 struct FileHeader {
     config: TableConfig,
     tuple_count: u64,
     blocks: Vec<FileBlockMeta>,
+    version: u8,
+}
+
+/// A reader that remembers every byte it hands out, for after-the-fact
+/// checksum verification of a streamed header.
+struct TeeReader<'a, R: Read> {
+    inner: &'a mut R,
+    seen: Vec<u8>,
+}
+
+impl<R: Read> Read for TeeReader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.seen.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
 }
 
 fn read_header<R: Read>(f: &mut R) -> Result<FileHeader> {
     let mut magic = [0u8; 8];
-    f.read_exact(&mut magic).map_err(io_err)?;
-    if &magic != MAGIC {
+    f.read_exact(&mut magic).map_err(|e| io_err("read magic", e))?;
+    let version: u8 = if &magic == MAGIC_V3 {
+        3
+    } else if &magic == MAGIC_V2 {
+        2
+    } else {
         return Err(StorageError::Corrupt("bad magic (not a corgipile heap file)".into()));
-    }
+    };
+    let expected_crc = if version == 3 { Some(read_u32(f)?) } else { None };
+    let mut tee = TeeReader { inner: f, seen: Vec::new() };
+    let f = &mut tee;
     let name_len = read_u32(f)? as usize;
     if name_len > 1 << 16 {
         return Err(StorageError::Corrupt(format!("implausible name length {name_len}")));
     }
     let mut name = vec![0u8; name_len];
-    f.read_exact(&mut name).map_err(io_err)?;
+    f.read_exact(&mut name).map_err(|e| io_err("read header", e))?;
     let name = String::from_utf8(name)
         .map_err(|_| StorageError::Corrupt("table name is not UTF-8".into()))?;
     let table_id = read_u32(f)?;
@@ -138,12 +268,34 @@ fn read_header<R: Read>(f: &mut R) -> Result<FileHeader> {
             tuple_count: read_u64(f)?,
             data_off: read_u64(f)?,
             data_len: read_u64(f)?,
+            crc: if version == 3 { Some(read_u32(f)?) } else { None },
         });
+    }
+    if let Some(expected) = expected_crc {
+        let actual = crc32(&tee.seen);
+        if actual != expected {
+            return Err(StorageError::ChecksumMismatch { block: None, expected, actual });
+        }
     }
     let mut config = TableConfig::new(name, table_id).with_block_bytes(block_bytes.max(1));
     config.toast_threshold = toast_threshold;
     config.toast_cap = toast_cap;
-    Ok(FileHeader { config, tuple_count, blocks })
+    Ok(FileHeader { config, tuple_count, blocks, version })
+}
+
+/// Verify a block's data region against its stored checksum (v3 files).
+fn verify_block_crc(block: usize, meta: &FileBlockMeta, data: &[u8]) -> Result<()> {
+    if let Some(expected) = meta.crc {
+        let actual = crc32(data);
+        if actual != expected {
+            return Err(StorageError::ChecksumMismatch {
+                block: Some(block),
+                expected,
+                actual,
+            });
+        }
+    }
+    Ok(())
 }
 
 fn decode_block(data: &[u8], expected: u64) -> Result<Vec<Tuple>> {
@@ -174,15 +326,16 @@ fn decode_block(data: &[u8], expected: u64) -> Result<Vec<Tuple>> {
     Ok(tuples)
 }
 
-/// Read a whole table previously written by [`save_table`].
+/// Read a whole table previously written by [`save_table`] (either format).
 pub fn load_table(path: &Path) -> Result<Table> {
-    let mut f = io::BufReader::new(std::fs::File::open(path).map_err(io_err)?);
+    let mut f = io::BufReader::new(std::fs::File::open(path).map_err(|e| io_err("open", e))?);
     let header = read_header(&mut f)?;
     let mut builder = TableBuilder::new(header.config)?;
     let mut seen = 0u64;
-    for meta in &header.blocks {
+    for (blk, meta) in header.blocks.iter().enumerate() {
         let mut data = vec![0u8; meta.data_len as usize];
-        f.read_exact(&mut data).map_err(io_err)?;
+        f.read_exact(&mut data).map_err(|e| io_err("read block", e))?;
+        verify_block_crc(blk, meta, &data)?;
         for t in decode_block(&data, meta.tuple_count)? {
             builder.append(&t)?;
             seen += 1;
@@ -201,19 +354,23 @@ pub fn load_table(path: &Path) -> Result<Table> {
 ///
 /// This is the storage path a production deployment would take: the table
 /// stays on disk and CorgiPile's block-level shuffle issues one positioned
-/// read per sampled block. Thread-safe (reads serialize on an internal
-/// lock, like a single-file buffer manager).
+/// read per sampled block, verifying the block checksum before decoding.
+/// Thread-safe (reads serialize on an internal lock, like a single-file
+/// buffer manager). An optional [`FaultPlan`] injects deterministic faults
+/// into the read path for recovery testing.
 pub struct FileTable {
     file: Mutex<std::fs::File>,
     config: TableConfig,
     tuple_count: u64,
     blocks: Vec<FileBlockMeta>,
+    version: u8,
+    injector: Mutex<Option<FaultInjector>>,
 }
 
 impl FileTable {
     /// Open a heap file written by [`save_table`] without loading its data.
     pub fn open(path: &Path) -> Result<FileTable> {
-        let mut f = std::fs::File::open(path).map_err(io_err)?;
+        let mut f = std::fs::File::open(path).map_err(|e| io_err("open", e))?;
         let header = {
             let mut r = io::BufReader::new(&mut f);
             read_header(&mut r)?
@@ -223,6 +380,8 @@ impl FileTable {
             config: header.config,
             tuple_count: header.tuple_count,
             blocks: header.blocks,
+            version: header.version,
+            injector: Mutex::new(None),
         })
     }
 
@@ -246,19 +405,71 @@ impl FileTable {
         &self.blocks
     }
 
-    /// Read one block with a real positioned read.
+    /// Heap-format version of the underlying file (2 or 3).
+    pub fn format_version(&self) -> u8 {
+        self.version
+    }
+
+    /// Install a deterministic fault plan on the read path.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        *self.injector.lock() = Some(FaultInjector::new(plan));
+    }
+
+    /// Remove and return the fault injector.
+    pub fn clear_fault_injector(&self) -> Option<FaultInjector> {
+        self.injector.lock().take()
+    }
+
+    /// Counters of injected faults, if an injector is installed.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.injector.lock().as_ref().map(|i| i.stats().clone())
+    }
+
+    /// Read one block with a real positioned read, verifying its checksum.
     pub fn read_block(&self, id: usize) -> Result<Vec<Tuple>> {
         let meta = *self
             .blocks
             .get(id)
             .ok_or(StorageError::BlockOutOfRange { block: id, blocks: self.blocks.len() })?;
+        if let Some(inj) = self.injector.lock().as_mut() {
+            match inj.on_read(self.config.table_id, id) {
+                ReadOutcome::Ok => {}
+                // Real-I/O path: the spike is recorded in the injector's
+                // stats; there is no simulated clock to charge.
+                ReadOutcome::Delay(_) => {}
+                ReadOutcome::Fail(e) => return Err(e),
+            }
+        }
         let mut data = vec![0u8; meta.data_len as usize];
         {
             let mut f = self.file.lock();
-            f.seek(SeekFrom::Start(meta.data_off)).map_err(io_err)?;
-            f.read_exact(&mut data).map_err(io_err)?;
+            f.seek(SeekFrom::Start(meta.data_off)).map_err(|e| io_err("seek", e))?;
+            f.read_exact(&mut data).map_err(|e| io_err("read block", e))?;
         }
+        verify_block_crc(id, &meta, &data)?;
         decode_block(&data, meta.tuple_count)
+    }
+
+    /// [`FileTable::read_block`] with bounded retries: retryable failures
+    /// (transient faults, checksum mismatches, I/O errors) are re-attempted
+    /// up to `policy.max_retries` times before a
+    /// [`StorageError::ReadFailed`] reports the exhausted attempt count.
+    pub fn read_block_retry(&self, id: usize, policy: &RetryPolicy) -> Result<Vec<Tuple>> {
+        let mut attempt = 0u32;
+        loop {
+            match self.read_block(id) {
+                Ok(tuples) => return Ok(tuples),
+                Err(e) if e.is_retryable() && attempt < policy.max_retries => attempt += 1,
+                Err(e) if e.is_retryable() => {
+                    return Err(StorageError::ReadFailed {
+                        block: id,
+                        attempts: attempt + 1,
+                        message: e.to_string(),
+                    });
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Load the whole file into an in-memory [`Table`].
@@ -275,19 +486,19 @@ impl FileTable {
 
 fn read_u32<R: Read>(r: &mut R) -> Result<u32> {
     let mut b = [0u8; 4];
-    r.read_exact(&mut b).map_err(io_err)?;
+    r.read_exact(&mut b).map_err(|e| io_err("read header", e))?;
     Ok(u32::from_le_bytes(b))
 }
 
 fn read_u64<R: Read>(r: &mut R) -> Result<u64> {
     let mut b = [0u8; 8];
-    r.read_exact(&mut b).map_err(io_err)?;
+    r.read_exact(&mut b).map_err(|e| io_err("read header", e))?;
     Ok(u64::from_le_bytes(b))
 }
 
 fn read_f64<R: Read>(r: &mut R) -> Result<f64> {
     let mut b = [0u8; 8];
-    r.read_exact(&mut b).map_err(io_err)?;
+    r.read_exact(&mut b).map_err(|e| io_err("read header", e))?;
     Ok(f64::from_le_bytes(b))
 }
 
@@ -295,6 +506,7 @@ fn read_f64<R: Read>(r: &mut R) -> Result<f64> {
 mod tests {
     use super::*;
     use crate::tuple::Tuple;
+    use proptest::prelude::*;
     use std::path::PathBuf;
 
     fn tmp(name: &str) -> PathBuf {
@@ -314,6 +526,12 @@ mod tests {
             }),
         )
         .unwrap()
+    }
+
+    /// Byte offset where the data region starts in a v3 file.
+    fn v3_data_start(path: &Path) -> u64 {
+        let ft = FileTable::open(path).unwrap();
+        ft.blocks().iter().map(|b| b.data_off).min().unwrap()
     }
 
     #[test]
@@ -357,8 +575,132 @@ mod tests {
     }
 
     #[test]
-    fn missing_file_is_an_error() {
-        assert!(load_table(&tmp("never_written.tbl")).is_err());
+    fn missing_file_is_a_structured_io_error() {
+        match load_table(&tmp("never_written.tbl")) {
+            Err(StorageError::Io { op, .. }) => assert_eq!(op, "open"),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_temp_file() {
+        let table = sample_table(100);
+        let path = tmp("atomic.tbl");
+        // Overwrite an existing file: the old content must never be mixed
+        // with the new, and the temp sibling must be gone afterwards.
+        save_table(&sample_table(20), &path).unwrap();
+        save_table(&table, &path).unwrap();
+        assert!(!temp_sibling(&path).exists(), "temp file must be renamed away");
+        let back = load_table(&path).unwrap();
+        assert_eq!(back.num_tuples(), 100);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn corgipl2_files_still_load() {
+        let table = sample_table(200);
+        let path = tmp("legacy_v2.tbl");
+        save_table_v2(&table, &path).unwrap();
+        // Whole-table load.
+        let back = load_table(&path).unwrap();
+        assert_eq!(back.all_tuples(), table.all_tuples());
+        // Block-granular access, with no checksums available.
+        let ft = FileTable::open(&path).unwrap();
+        assert_eq!(ft.format_version(), 2);
+        assert!(ft.blocks().iter().all(|b| b.crc.is_none()));
+        for id in 0..ft.num_blocks() {
+            assert_eq!(ft.read_block(id).unwrap(), table.block_tuples(id).unwrap());
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn v3_files_carry_block_checksums() {
+        let table = sample_table(200);
+        let path = tmp("v3_crc.tbl");
+        save_table(&table, &path).unwrap();
+        let ft = FileTable::open(&path).unwrap();
+        assert_eq!(ft.format_version(), 3);
+        assert!(ft.blocks().iter().all(|b| b.crc.is_some()));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn corrupted_block_is_rejected_with_checksum_mismatch() {
+        let table = sample_table(300);
+        let path = tmp("corrupt_block.tbl");
+        save_table(&table, &path).unwrap();
+        let data_start = v3_data_start(&path) as usize;
+        let mut bytes = std::fs::read(&path).unwrap();
+        let victim = data_start + (bytes.len() - data_start) / 2;
+        bytes[victim] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let ft = FileTable::open(&path).unwrap();
+        let bad_block = ft
+            .blocks()
+            .iter()
+            .position(|b| {
+                (b.data_off as usize..(b.data_off + b.data_len) as usize).contains(&victim)
+            })
+            .expect("victim byte lies in some block");
+        match ft.read_block(bad_block) {
+            Err(StorageError::ChecksumMismatch { block, expected, actual }) => {
+                assert_eq!(block, Some(bad_block));
+                assert_ne!(expected, actual);
+            }
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+        // Unaffected blocks still read fine.
+        for id in (0..ft.num_blocks()).filter(|&id| id != bad_block) {
+            assert!(ft.read_block(id).is_ok(), "clean block {id} must read");
+        }
+        // Whole-table load refuses the file too.
+        assert!(matches!(
+            load_table(&path),
+            Err(StorageError::ChecksumMismatch { .. })
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn corrupted_header_is_rejected() {
+        let table = sample_table(100);
+        let path = tmp("corrupt_header.tbl");
+        save_table(&table, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a byte inside the block index (after magic + crc + name).
+        bytes[40] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load_table(&path).is_err(), "header corruption must be detected");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn fault_plan_on_file_table_injects_and_recovers() {
+        let table = sample_table(300);
+        let path = tmp("ft_faults.tbl");
+        save_table(&table, &path).unwrap();
+        let ft = FileTable::open(&path).unwrap();
+        ft.set_fault_plan(FaultPlan::new(3).with_transient(7, 0, 2).with_permanent(7, 1));
+
+        // Transient: fails twice, then read_block_retry recovers.
+        assert!(ft.read_block(0).is_err());
+        let got = ft.read_block_retry(0, &RetryPolicy::default()).unwrap();
+        assert_eq!(got, table.block_tuples(0).unwrap());
+
+        // Permanent: exhausts retries with a typed error.
+        match ft.read_block_retry(1, &RetryPolicy::with_max_retries(2)) {
+            Err(StorageError::ReadFailed { block, attempts, .. }) => {
+                assert_eq!(block, 1);
+                assert_eq!(attempts, 3);
+            }
+            other => panic!("expected exhausted retries, got {other:?}"),
+        }
+        assert!(ft.fault_stats().unwrap().total_failures() >= 4);
+        assert!(ft.clear_fault_injector().is_some());
+        assert!(ft.read_block(1).is_ok(), "fault cleared");
+        std::fs::remove_file(path).ok();
     }
 
     #[test]
@@ -408,5 +750,49 @@ mod tests {
         let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
         assert!(total > 0);
         std::fs::remove_file(path).ok();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Satellite requirement: *any* single-byte corruption of a saved
+        /// `CORGIPL3` file is detected — never a panic, never silent bad
+        /// data. Corruption in the data region is specifically surfaced as
+        /// `ChecksumMismatch` by the block read.
+        #[test]
+        fn prop_single_byte_corruption_always_detected(
+            frac in 0.0f64..1.0,
+            bit in 0u32..8,
+            case in 0u32..1_000_000,
+        ) {
+            let table = sample_table(80);
+            let path = tmp(&format!("prop_corrupt_{case}.tbl"));
+            save_table(&table, &path).unwrap();
+            let data_start = v3_data_start(&path) as usize;
+            let mut bytes = std::fs::read(&path).unwrap();
+            let victim = ((frac * bytes.len() as f64) as usize).min(bytes.len() - 1);
+            bytes[victim] ^= 1 << bit;
+            std::fs::write(&path, &bytes).unwrap();
+
+            // The whole-file load must reject the corruption, whatever got
+            // hit (magic, header, index, or data).
+            prop_assert!(load_table(&path).is_err());
+
+            if victim >= data_start {
+                // Header intact ⇒ the file opens, and the damaged block's
+                // read reports a checksum mismatch.
+                let ft = FileTable::open(&path).unwrap();
+                let bad = ft.blocks().iter().position(|b| {
+                    (b.data_off as usize..(b.data_off + b.data_len) as usize).contains(&victim)
+                });
+                if let Some(bad) = bad {
+                    prop_assert!(matches!(
+                        ft.read_block(bad),
+                        Err(StorageError::ChecksumMismatch { .. })
+                    ));
+                }
+            }
+            std::fs::remove_file(path).ok();
+        }
     }
 }

@@ -1,0 +1,105 @@
+//! Bounded exponential-backoff retry for block reads.
+//!
+//! All block readers (executor, loader, buffer pool) share one policy:
+//! retry a retryable failure at most `max_retries` times, sleeping
+//! `base_backoff_s · multiplier^attempt` (capped at `max_backoff_s`)
+//! between attempts. On the simulated device the backoff is charged to the
+//! simulated clock, so fault-tolerance *cost* is visible in every I/O
+//! report rather than hidden in wall-clock noise.
+
+/// Retry policy with bounded exponential backoff.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum retries after the first attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// Backoff before the first retry, in seconds.
+    pub base_backoff_s: f64,
+    /// Multiplier applied per further retry.
+    pub multiplier: f64,
+    /// Upper bound on a single backoff interval, in seconds.
+    pub max_backoff_s: f64,
+}
+
+impl Default for RetryPolicy {
+    /// 4 retries, 1 ms → 2 ms → 4 ms → 8 ms, capped at 100 ms.
+    fn default() -> Self {
+        RetryPolicy { max_retries: 4, base_backoff_s: 1e-3, multiplier: 2.0, max_backoff_s: 0.1 }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: the first failure is final.
+    pub fn none() -> Self {
+        RetryPolicy { max_retries: 0, ..Default::default() }
+    }
+
+    /// A policy with `max_retries` retries and default backoff shape.
+    pub fn with_max_retries(max_retries: u32) -> Self {
+        RetryPolicy { max_retries, ..Default::default() }
+    }
+
+    /// Backoff before retry number `attempt` (0-based). Monotone
+    /// non-decreasing in `attempt` and never negative.
+    pub fn backoff(&self, attempt: u32) -> f64 {
+        let raw = self.base_backoff_s * self.multiplier.powi(attempt.min(1_000) as i32);
+        raw.clamp(0.0, self.max_backoff_s.max(0.0))
+    }
+
+    /// Total backoff charged by `attempts` consecutive retries.
+    pub fn total_backoff(&self, attempts: u32) -> f64 {
+        (0..attempts).map(|a| self.backoff(a)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn default_doubles_until_cap() {
+        let p = RetryPolicy::default();
+        assert!((p.backoff(0) - 1e-3).abs() < 1e-12);
+        assert!((p.backoff(1) - 2e-3).abs() < 1e-12);
+        assert!((p.backoff(2) - 4e-3).abs() < 1e-12);
+        assert!((p.backoff(20) - 0.1).abs() < 1e-12, "capped at max_backoff_s");
+    }
+
+    #[test]
+    fn none_disables_retries() {
+        assert_eq!(RetryPolicy::none().max_retries, 0);
+    }
+
+    proptest! {
+        /// Satellite requirement: backoff cost is monotone in attempt count
+        /// and never negative, for any policy shape.
+        #[test]
+        fn prop_backoff_monotone_and_non_negative(
+            base in 0.0f64..1.0,
+            multiplier in 1.0f64..4.0,
+            cap in 0.0f64..10.0,
+            attempt in 0u32..64,
+        ) {
+            let p = RetryPolicy {
+                max_retries: 8,
+                base_backoff_s: base,
+                multiplier,
+                max_backoff_s: cap,
+            };
+            let now = p.backoff(attempt);
+            let next = p.backoff(attempt + 1);
+            prop_assert!(now >= 0.0);
+            prop_assert!(next >= now, "backoff must not shrink: {now} -> {next}");
+            prop_assert!(now <= p.max_backoff_s + 1e-12, "backoff must respect the cap");
+        }
+
+        #[test]
+        fn prop_total_backoff_monotone_in_attempts(
+            attempts in 0u32..32,
+        ) {
+            let p = RetryPolicy::default();
+            prop_assert!(p.total_backoff(attempts) >= 0.0);
+            prop_assert!(p.total_backoff(attempts + 1) >= p.total_backoff(attempts));
+        }
+    }
+}

@@ -17,6 +17,7 @@ use crate::block::{plan_blocks, BlockId, BlockMeta};
 use crate::device::{Access, SimDevice};
 use crate::error::StorageError;
 use crate::page::{Page, PAGE_SIZE};
+use crate::retry::RetryPolicy;
 use crate::tuple::{Tuple, TupleId};
 use crate::Result;
 
@@ -218,10 +219,12 @@ impl Table {
     }
 
     /// Read a block with random access: one seek + transfer of the block's
-    /// bytes. This is CorgiPile's I/O primitive.
+    /// bytes. This is CorgiPile's I/O primitive. Goes through the device's
+    /// fault injector (if any) and can therefore fail with a retryable
+    /// error; see [`Table::read_block_retry`].
     pub fn read_block(&self, id: BlockId, dev: &mut SimDevice) -> Result<Vec<Tuple>> {
         let meta = self.block(id)?;
-        dev.read(Some(self.cache_key(id)), meta.bytes, Access::Random, self.toast_cap());
+        dev.read_guarded(self.config.table_id, id, meta.bytes, Access::Random, self.toast_cap())?;
         self.block_tuples(id)
     }
 
@@ -236,8 +239,35 @@ impl Table {
     ) -> Result<Vec<Tuple>> {
         let meta = self.block(id)?;
         let access = if first { Access::Random } else { Access::Sequential };
-        dev.read(Some(self.cache_key(id)), meta.bytes, access, self.toast_cap());
+        dev.read_guarded(self.config.table_id, id, meta.bytes, access, self.toast_cap())?;
         self.block_tuples(id)
+    }
+
+    /// [`Table::read_block`] with bounded exponential-backoff retries.
+    ///
+    /// Each retry charges its backoff interval to the simulated clock, so
+    /// fault tolerance has a visible I/O cost. When the policy is exhausted
+    /// the final error is a [`StorageError::ReadFailed`] carrying the total
+    /// attempt count; non-retryable errors surface immediately.
+    pub fn read_block_retry(
+        &self,
+        id: BlockId,
+        dev: &mut SimDevice,
+        policy: &RetryPolicy,
+    ) -> Result<Vec<Tuple>> {
+        retry_block_read(id, dev, policy, |dev| self.read_block(id, dev))
+    }
+
+    /// [`Table::scan_block_sequential`] with bounded retries (see
+    /// [`Table::read_block_retry`]).
+    pub fn scan_block_sequential_retry(
+        &self,
+        id: BlockId,
+        first: bool,
+        dev: &mut SimDevice,
+        policy: &RetryPolicy,
+    ) -> Result<Vec<Tuple>> {
+        retry_block_read(id, dev, policy, |dev| self.scan_block_sequential(id, first, dev))
     }
 
     /// Full sequential scan of the table, charging the device.
@@ -351,6 +381,38 @@ impl Table {
             b.append(&self.get_tuple(tid)?)?;
         }
         Ok(b.finish())
+    }
+}
+
+/// Run `read` under `policy`: retryable failures back off (charged to the
+/// simulated clock) and retry; exhaustion wraps the last error in
+/// [`StorageError::ReadFailed`] with the total attempt count.
+fn retry_block_read<F>(
+    block: BlockId,
+    dev: &mut SimDevice,
+    policy: &RetryPolicy,
+    mut read: F,
+) -> Result<Vec<Tuple>>
+where
+    F: FnMut(&mut SimDevice) -> Result<Vec<Tuple>>,
+{
+    let mut attempt = 0u32;
+    loop {
+        match read(dev) {
+            Ok(tuples) => return Ok(tuples),
+            Err(e) if e.is_retryable() && attempt < policy.max_retries => {
+                dev.charge_seconds(policy.backoff(attempt));
+                attempt += 1;
+            }
+            Err(e) if e.is_retryable() => {
+                return Err(StorageError::ReadFailed {
+                    block,
+                    attempts: attempt + 1,
+                    message: e.to_string(),
+                });
+            }
+            Err(e) => return Err(e),
+        }
     }
 }
 
@@ -496,6 +558,71 @@ mod tests {
     fn zero_block_size_rejected() {
         let cfg = TableConfig::new("bad", 0).with_block_bytes(0);
         assert!(TableBuilder::new(cfg).is_err());
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_faults_and_charges_backoff() {
+        use crate::fault::FaultPlan;
+        let t = make_table(400, 4, 4 * PAGE_SIZE);
+        let policy = RetryPolicy::default();
+
+        let mut faulty = SimDevice::hdd(0);
+        faulty.set_fault_plan(FaultPlan::new(5).with_transient(1, 0, 2));
+        let got = t.read_block_retry(0, &mut faulty, &policy).unwrap();
+
+        let mut clean = SimDevice::hdd(0);
+        let want = t.read_block_retry(0, &mut clean, &policy).unwrap();
+        assert_eq!(got, want, "recovered read must return the same tuples");
+        // Two failed attempts: two backoffs plus two wasted seeks.
+        let overhead = faulty.stats().io_seconds - clean.stats().io_seconds;
+        let expected = policy.total_backoff(2) + 2.0 * clean.profile().seek_latency_s;
+        assert!(
+            (overhead - expected).abs() < 1e-9,
+            "retry cost {overhead} should be {expected}"
+        );
+    }
+
+    #[test]
+    fn retry_exhaustion_reports_attempts() {
+        use crate::fault::FaultPlan;
+        let t = make_table(2000, 8, 2 * PAGE_SIZE);
+        assert!(t.num_blocks() > 1, "test needs a healthy second block");
+        let mut dev = SimDevice::hdd(0);
+        dev.set_fault_plan(FaultPlan::new(5).with_permanent(1, 0));
+        let policy = RetryPolicy::with_max_retries(3);
+        match t.read_block_retry(0, &mut dev, &policy) {
+            Err(StorageError::ReadFailed { block, attempts, .. }) => {
+                assert_eq!(block, 0);
+                assert_eq!(attempts, 4, "1 try + 3 retries");
+            }
+            other => panic!("expected exhausted retries, got {other:?}"),
+        }
+        // Non-faulty blocks still read fine on the same device.
+        assert!(t.read_block_retry(1, &mut dev, &policy).is_ok());
+    }
+
+    #[test]
+    fn retry_does_not_mask_out_of_range() {
+        let t = make_table(10, 2, PAGE_SIZE);
+        let mut dev = SimDevice::in_memory();
+        assert!(matches!(
+            t.read_block_retry(999, &mut dev, &RetryPolicy::default()),
+            Err(StorageError::BlockOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn sequential_retry_matches_plain_scan_when_fault_free() {
+        let t = make_table(300, 4, 2 * PAGE_SIZE);
+        let mut a = SimDevice::hdd(0);
+        let mut b = SimDevice::hdd(0);
+        let policy = RetryPolicy::default();
+        for id in 0..t.num_blocks() {
+            let x = t.scan_block_sequential(id, id == 0, &mut a).unwrap();
+            let y = t.scan_block_sequential_retry(id, id == 0, &mut b, &policy).unwrap();
+            assert_eq!(x, y);
+        }
+        assert_eq!(a.stats(), b.stats());
     }
 
     proptest! {
