@@ -1,9 +1,12 @@
-//! Experiment output: aligned stdout tables + TSV files under `results/`.
+//! Experiment output: aligned stdout tables + TSV/JSON files under
+//! `results/`.
 
 use std::fmt::Display;
 use std::fs;
 use std::io::Write;
 use std::path::PathBuf;
+
+use corgipile_telemetry::Telemetry;
 
 /// Collects rows for one experiment artifact and renders them.
 pub struct Report {
@@ -12,6 +15,7 @@ pub struct Report {
     header: Vec<String>,
     rows: Vec<Vec<String>>,
     notes: Vec<String>,
+    telemetry: Option<String>,
 }
 
 impl Report {
@@ -23,6 +27,7 @@ impl Report {
             header: header.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
             notes: Vec::new(),
+            telemetry: None,
         }
     }
 
@@ -41,6 +46,20 @@ impl Report {
     /// Attach a free-form note printed under the table.
     pub fn note(&mut self, text: impl Into<String>) {
         self.notes.push(text.into());
+    }
+
+    /// Embed a telemetry snapshot: the JSON artifact gains an
+    /// `io_breakdown` section with every counter, gauge, histogram, and
+    /// per-epoch event the run recorded (device seconds, cache hits,
+    /// retries, fill spans, …). Call after the workload finishes and
+    /// before [`Report::finish`].
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.telemetry = Some(telemetry.json());
+    }
+
+    /// True once a telemetry snapshot has been attached.
+    pub fn has_telemetry(&self) -> bool {
+        self.telemetry.is_some()
     }
 
     /// Number of data rows so far.
@@ -85,11 +104,15 @@ impl Report {
         out
     }
 
-    /// Print to stdout and write `results/<id>.tsv`.
+    /// Print to stdout and write `results/<id>.tsv` plus
+    /// `results/<id>.json`.
     pub fn finish(&self) {
         println!("{}", self.render());
         if let Err(e) = self.write_tsv() {
             eprintln!("warning: could not write results/{}.tsv: {e}", self.id);
+        }
+        if let Err(e) = self.write_json() {
+            eprintln!("warning: could not write results/{}.json: {e}", self.id);
         }
     }
 
@@ -108,6 +131,64 @@ impl Report {
         }
         Ok(path)
     }
+
+    /// Render the JSON artifact: table data plus (when attached) the
+    /// telemetry `io_breakdown` section consumed by downstream tooling.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"id\": {},\n", json_str(&self.id)));
+        out.push_str(&format!("  \"title\": {},\n", json_str(&self.title)));
+        out.push_str(&format!(
+            "  \"header\": [{}],\n",
+            self.header.iter().map(|h| json_str(h)).collect::<Vec<_>>().join(", ")
+        ));
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let cells = row.iter().map(|c| json_str(c)).collect::<Vec<_>>().join(", ");
+            let comma = if i + 1 < self.rows.len() { "," } else { "" };
+            out.push_str(&format!("    [{cells}]{comma}\n"));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"notes\": [{}],\n",
+            self.notes.iter().map(|n| json_str(n)).collect::<Vec<_>>().join(", ")
+        ));
+        match &self.telemetry {
+            Some(json) => out.push_str(&format!("  \"io_breakdown\": {json}\n")),
+            None => out.push_str("  \"io_breakdown\": null\n"),
+        }
+        out.push('}');
+        out
+    }
+
+    /// Write the JSON file; returns its path.
+    pub fn write_json(&self) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        let mut f = fs::File::create(&path)?;
+        writeln!(f, "{}", self.render_json())?;
+        Ok(path)
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Directory for TSV outputs (`CORGI_RESULTS_DIR` or `./results`).
@@ -168,6 +249,35 @@ mod tests {
         assert!(text.starts_with("a\n42"));
         std::env::remove_var("CORGI_RESULTS_DIR");
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn json_embeds_telemetry_breakdown() {
+        let tel = Telemetry::enabled();
+        tel.counter("storage.device.device_bytes").add(4096);
+        tel.event(0, "epoch.io_seconds", 1.5);
+        let mut r = Report::new("unit_json", "demo", &["strategy", "io"]);
+        r.row(&[&"corgipile", &0.25]);
+        r.note("laptop scale");
+        assert!(!r.has_telemetry());
+        r.attach_telemetry(&tel);
+        assert!(r.has_telemetry());
+        let json = r.render_json();
+        assert!(json.contains("\"id\": \"unit_json\""));
+        assert!(json.contains("[\"corgipile\", \"0.25\"]"));
+        assert!(json.contains("\"io_breakdown\": {"));
+        assert!(json.contains("storage.device.device_bytes"));
+        assert!(json.contains("epoch.io_seconds"));
+    }
+
+    #[test]
+    fn json_without_telemetry_is_null_breakdown() {
+        let mut r = Report::new("unit_json2", "demo \"quoted\"", &["a"]);
+        r.row(&[&"x\ty"]);
+        let json = r.render_json();
+        assert!(json.contains("\"io_breakdown\": null"));
+        assert!(json.contains("demo \\\"quoted\\\""));
+        assert!(json.contains("x\\ty"));
     }
 
     #[test]

@@ -23,7 +23,9 @@
 //! old `expect` double-panic.
 
 use corgipile_data::rng::shuffle_in_place;
-use corgipile_storage::{FileTable, RetryPolicy, SimDevice, StorageError, Table, Tuple};
+use corgipile_storage::{
+    FileTable, RetryPolicy, SimDevice, StorageError, Table, Telemetry, Tuple,
+};
 use crossbeam::channel::{bounded, Receiver};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -107,10 +109,18 @@ impl ThreadedLoader {
         let handle = std::thread::spawn(move || {
             use rand::rngs::StdRng;
             use rand::{Rng, SeedableRng};
+            // The device carries the session's telemetry handle (no-op when
+            // disabled); fill spans and counters land in the same registry
+            // the storage layer mirrors its I/O counters into.
+            let tel = dev.telemetry().clone();
+            let fills = tel.counter("core.loader.fills");
+            let buffered = tel.counter("core.loader.buffered_tuples");
             let mut rng = StdRng::seed_from_u64(seed ^ 0x10ADE4);
             let mut order: Vec<usize> = (0..table.num_blocks()).collect();
             shuffle_in_place(&mut rng, &mut order);
             for chunk in order.chunks(buffer_blocks) {
+                let mut span = tel.span("core.loader.fill");
+                let io_before = dev.stats().io_seconds;
                 let mut buf: Vec<Tuple> = Vec::new();
                 for &b in chunk {
                     match table.read_block_retry(b, &mut dev, &policy) {
@@ -125,6 +135,10 @@ impl ThreadedLoader {
                     let j = rng.gen_range(0..=i);
                     buf.swap(i, j);
                 }
+                fills.inc();
+                buffered.add(buf.len() as u64);
+                span.add_sim_seconds(dev.stats().io_seconds - io_before);
+                span.finish();
                 if tx.send(Ok(buf)).is_err() {
                     break; // consumer dropped early
                 }
@@ -155,15 +169,31 @@ impl ThreadedLoader {
         seed: u64,
         policy: RetryPolicy,
     ) -> Self {
+        Self::spawn_file_observed(table, buffer_blocks, seed, policy, Telemetry::disabled())
+    }
+
+    /// [`ThreadedLoader::spawn_file_with_policy`] with a telemetry handle:
+    /// each buffer fill records a `core.loader.fill` wall-time span (file
+    /// reads are real I/O, so there is no simulated clock to attribute).
+    pub fn spawn_file_observed(
+        table: Arc<FileTable>,
+        buffer_blocks: usize,
+        seed: u64,
+        policy: RetryPolicy,
+        telemetry: Telemetry,
+    ) -> Self {
         assert!(buffer_blocks >= 1, "need at least one block per buffer");
         let (tx, rx) = bounded::<Batch>(1);
         let handle = std::thread::spawn(move || {
             use rand::rngs::StdRng;
             use rand::{Rng, SeedableRng};
+            let fills = telemetry.counter("core.loader.fills");
+            let buffered = telemetry.counter("core.loader.buffered_tuples");
             let mut rng = StdRng::seed_from_u64(seed ^ 0xF11E);
             let mut order: Vec<usize> = (0..table.num_blocks()).collect();
             shuffle_in_place(&mut rng, &mut order);
             for chunk in order.chunks(buffer_blocks) {
+                let span = telemetry.span("core.loader.fill");
                 let mut buf: Vec<Tuple> = Vec::new();
                 for &b in chunk {
                     match table.read_block_retry(b, &policy) {
@@ -178,6 +208,9 @@ impl ThreadedLoader {
                     let j = rng.gen_range(0..=i);
                     buf.swap(i, j);
                 }
+                fills.inc();
+                buffered.add(buf.len() as u64);
+                span.finish();
                 if tx.send(Ok(buf)).is_err() {
                     break;
                 }
@@ -309,6 +342,38 @@ mod tests {
     }
 
     #[test]
+    fn loader_records_fill_spans_and_counters() {
+        let t = table(600);
+        let mut dev = SimDevice::in_memory();
+        let tel = Telemetry::enabled();
+        dev.set_telemetry(tel.clone());
+        let mut loader =
+            ThreadedLoader::spawn_with_policy(t, 3, 42, RetryPolicy::default(), dev);
+        assert_eq!(loader.by_ref().count(), 600);
+        loader.join().unwrap();
+        let snap = tel.snapshot();
+        let counter = |name: &str| {
+            snap.metrics
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        let fills = counter("core.loader.fills");
+        assert!(fills >= 2, "600 tuples over 3-block buffers means several fills");
+        assert_eq!(counter("core.loader.buffered_tuples"), 600);
+        let span_count = snap
+            .metrics
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "core.loader.fill.wall_seconds")
+            .map(|(_, h)| h.count)
+            .unwrap_or(0);
+        assert_eq!(span_count, fills, "one fill span per buffer");
+    }
+
+    #[test]
     fn early_drop_does_not_hang() {
         let t = table(600);
         let mut loader = ThreadedLoader::spawn(t, 1, 3);
@@ -320,9 +385,10 @@ mod tests {
     #[test]
     fn transient_faults_are_retried_and_the_stream_completes() {
         let t = table(600);
+        let tid = t.config().table_id;
         let mut dev = SimDevice::in_memory();
         dev.set_fault_plan(
-            FaultPlan::new(5).with_transient(1, 0, 2).with_transient(1, 1, 1),
+            FaultPlan::new(5).with_transient(tid, 0, 2).with_transient(tid, 1, 1),
         );
         let mut loader =
             ThreadedLoader::spawn_with_policy(t, 2, 11, RetryPolicy::default(), dev);
@@ -339,12 +405,12 @@ mod tests {
         let blocks = t.num_blocks();
         assert!(blocks > 1);
         let mut dev = SimDevice::in_memory();
-        dev.set_fault_plan(FaultPlan::new(5).with_permanent(1, 0));
+        dev.set_fault_plan(FaultPlan::new(5).with_permanent(t.config().table_id, 0));
         let mut loader = ThreadedLoader::spawn_with_policy(
             t,
             2,
             11,
-            RetryPolicy::default().with_max_retries(2),
+            RetryPolicy::with_max_retries(2),
             dev,
         );
         let ids: Vec<u64> = loader.by_ref().map(|t| t.id).collect();
@@ -365,7 +431,9 @@ mod tests {
             .join(format!("corgi_loader_fault_{}.tbl", std::process::id()));
         corgipile_storage::save_table(&t, &path).unwrap();
         let ft = Arc::new(FileTable::open(&path).unwrap());
-        ft.set_fault_plan(FaultPlan::new(3).with_transient(1, 0, 3));
+        ft.set_fault_plan(
+            FaultPlan::new(3).with_transient(ft.config().table_id, 0, 3),
+        );
         let mut ids: Vec<u64> = ThreadedLoader::spawn_file_with_policy(
             ft.clone(),
             3,

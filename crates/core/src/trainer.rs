@@ -140,6 +140,18 @@ pub struct TrainReport {
     pub wall_seconds: f64,
 }
 
+impl std::fmt::Debug for TrainReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrainReport")
+            .field("strategy", &self.strategy)
+            .field("model_kind", &self.model_kind)
+            .field("epochs", &self.epochs.len())
+            .field("final_train_metric", &self.final_train_metric)
+            .field("wall_seconds", &self.wall_seconds)
+            .finish_non_exhaustive()
+    }
+}
+
 impl TrainReport {
     /// Total simulated seconds (setup + all epochs).
     pub fn total_sim_seconds(&self) -> f64 {
@@ -269,6 +281,12 @@ impl Trainer {
             sim_clock = ck.sim_clock;
         }
 
+        // Observability: per-epoch events + counters through the device's
+        // telemetry handle (no-ops when the handle is disabled).
+        let tel = dev.telemetry().clone();
+        let tuple_counter = tel.counter("core.trainer.tuples");
+        let epoch_counter = tel.counter("core.trainer.epochs");
+
         let mut records = Vec::with_capacity(self.cfg.epochs - start_epoch);
         for epoch in start_epoch..self.cfg.epochs {
             optimizer.set_epoch(epoch);
@@ -319,14 +337,25 @@ impl Trainer {
             } else {
                 Some(evaluate(model.as_ref(), test))
             };
+            let epoch_io: f64 = io.iter().sum();
+            let epoch_compute: f64 = compute.iter().sum();
+            let train_loss = if examples > 0 { loss_sum / examples as f64 } else { 0.0 };
+            tuple_counter.add(examples as u64);
+            epoch_counter.inc();
+            let e = epoch as u64;
+            tel.event(e, "core.epoch.io_seconds", epoch_io);
+            tel.event(e, "core.epoch.compute_seconds", epoch_compute);
+            tel.event(e, "core.epoch.epoch_seconds", epoch_seconds);
+            tel.event(e, "core.epoch.train_loss", train_loss);
+            tel.event(e, "core.epoch.tuples", examples as f64);
             records.push(EpochRecord {
                 epoch,
                 setup_seconds: plan.setup_seconds,
-                io_seconds: io.iter().sum(),
-                compute_seconds: compute.iter().sum(),
+                io_seconds: epoch_io,
+                compute_seconds: epoch_compute,
                 epoch_seconds,
                 sim_seconds_end: sim_clock,
-                train_loss: if examples > 0 { loss_sum / examples as f64 } else { 0.0 },
+                train_loss,
                 test_metric,
             });
             if let Some(path) = checkpoint_path {
@@ -523,6 +552,35 @@ mod tests {
         let r = Trainer::new(cfg).train_with_test(&table, &ds.test, &mut dev, 1).unwrap();
         let r2 = r.final_test_metric().unwrap();
         assert!(r2 > 0.8, "linear regression should fit the linear data, R² {r2}");
+    }
+
+    #[test]
+    fn trainer_emits_per_epoch_events_when_telemetry_enabled() {
+        let (table, _) = clustered_higgs(800);
+        let cfg = TrainerConfig::new(ModelKind::Svm, 2);
+        let mut dev = SimDevice::hdd(0);
+        let tel = corgipile_storage::Telemetry::enabled();
+        dev.set_telemetry(tel.clone());
+        Trainer::new(cfg).train(&table, &mut dev, 1).unwrap();
+        let ev = tel.events();
+        assert_eq!(
+            ev.iter().filter(|e| e.name == "core.epoch.epoch_seconds").count(),
+            2
+        );
+        assert!(ev.iter().any(|e| e.name == "core.epoch.tuples" && e.value > 0.0));
+        let snap = tel.snapshot();
+        let counter = |name: &str| {
+            snap.metrics
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        assert_eq!(counter("core.trainer.epochs"), 2);
+        assert_eq!(counter("core.trainer.tuples"), 1600);
+        // The device mirrors its I/O counters into the same registry.
+        assert!(counter("storage.device.device_bytes") > 0);
     }
 
     #[test]

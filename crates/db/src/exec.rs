@@ -27,7 +27,7 @@ use corgipile_ml::{
 };
 use corgipile_shuffle::StrategyParams;
 use corgipile_storage::{
-    BufferPool, DoubleBufferModel, RetryPolicy, SimDevice, Table, Tuple,
+    BufferPool, DoubleBufferModel, RetryPolicy, SimDevice, Table, Telemetry, Tuple,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -65,11 +65,16 @@ pub struct ExecContext<'a> {
     /// Blocks skipped this epoch under [`FaultAction::SkipBlock`]; the
     /// `SGD` operator drains this into its per-epoch record.
     pub skipped_blocks: Vec<usize>,
+    /// Observability handle: operators record buffer-fill spans and
+    /// per-epoch events through it. Disabled by default, in which case
+    /// every emission is a no-op.
+    pub telemetry: Telemetry,
 }
 
 impl<'a> ExecContext<'a> {
     /// Create a context over a device, without a buffer pool.
     pub fn new(dev: &'a mut SimDevice) -> Self {
+        let telemetry = dev.telemetry().clone();
         ExecContext {
             dev,
             fill_io: Vec::new(),
@@ -77,6 +82,7 @@ impl<'a> ExecContext<'a> {
             retry: RetryPolicy::default(),
             on_fault: FaultAction::default(),
             skipped_blocks: Vec::new(),
+            telemetry,
         }
     }
 
@@ -85,6 +91,83 @@ impl<'a> ExecContext<'a> {
         let mut ctx = ExecContext::new(dev);
         ctx.pool = Some(pool);
         ctx
+    }
+}
+
+/// Actual per-operator execution statistics, collected for
+/// `EXPLAIN ANALYZE` — PostgreSQL's "actual rows / loops" annotations plus
+/// the simulated-I/O dimensions the paper's figures are built from.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OpStats {
+    /// Operator name as reported by [`PhysicalOperator::name`].
+    pub name: String,
+    /// Depth in the plan tree (0 = root).
+    pub depth: usize,
+    /// Tuples emitted (summed over all loops/epochs).
+    pub rows: u64,
+    /// Number of scans: one `init` plus one per `rescan` (epochs).
+    pub loops: u64,
+    /// Simulated I/O seconds attributed to this operator.
+    pub io_seconds: f64,
+    /// SGD compute seconds (root operator only).
+    pub compute_seconds: f64,
+    /// Block fetches issued (device reads, cache hits and skipped blocks).
+    pub blocks_read: u64,
+    /// Block fetches served by the buffer pool or the OS page cache.
+    pub cache_hits: u64,
+    /// Retry attempts spent recovering this operator's reads.
+    pub retries: u64,
+    /// Blocks abandoned under [`FaultAction::SkipBlock`].
+    pub skipped_blocks: u64,
+    /// Buffer fills performed (TupleShuffle).
+    pub fills: u64,
+    /// Tuples buffered across all fills (TupleShuffle).
+    pub buffered_tuples: u64,
+}
+
+impl OpStats {
+    /// Fraction of block fetches served from a cache tier (0 when idle).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.blocks_read == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.blocks_read as f64
+        }
+    }
+
+    /// One `EXPLAIN ANALYZE` plan line, indented by depth.
+    pub fn render(&self) -> String {
+        let mut line = format!(
+            "{}{}{} (actual rows={} loops={} io={:.6}s",
+            "  ".repeat(self.depth),
+            if self.depth > 0 { "-> " } else { "" },
+            self.name,
+            self.rows,
+            self.loops,
+            self.io_seconds,
+        );
+        if self.compute_seconds > 0.0 {
+            line.push_str(&format!(" compute={:.6}s", self.compute_seconds));
+        }
+        if self.blocks_read > 0 {
+            line.push_str(&format!(
+                " blocks={} cache_hit_rate={:.1}% retries={}",
+                self.blocks_read,
+                100.0 * self.cache_hit_rate(),
+                self.retries,
+            ));
+        }
+        if self.skipped_blocks > 0 {
+            line.push_str(&format!(" skipped_blocks={}", self.skipped_blocks));
+        }
+        if self.fills > 0 {
+            line.push_str(&format!(
+                " fills={} buffered_tuples={}",
+                self.fills, self.buffered_tuples
+            ));
+        }
+        line.push(')');
+        line
     }
 }
 
@@ -103,6 +186,11 @@ pub trait PhysicalOperator {
     fn rescan(&mut self, ctx: &mut ExecContext);
     /// Release resources.
     fn close(&mut self, ctx: &mut ExecContext);
+    /// Append this operator's actual stats (then its children's, one level
+    /// deeper) for `EXPLAIN ANALYZE`. Default: report nothing.
+    fn collect_stats(&self, depth: usize, out: &mut Vec<OpStats>) {
+        let _ = (depth, out);
+    }
 }
 
 /// Whether `BlockShuffleOp` randomizes the block order.
@@ -124,6 +212,7 @@ pub struct BlockShuffleOp {
     next_block: usize,
     queue: VecDeque<Tuple>,
     initialized: bool,
+    actuals: OpStats,
 }
 
 impl BlockShuffleOp {
@@ -138,6 +227,7 @@ impl BlockShuffleOp {
             next_block: 0,
             queue: VecDeque::new(),
             initialized: false,
+            actuals: OpStats::default(),
         }
     }
 
@@ -165,12 +255,14 @@ impl PhysicalOperator for BlockShuffleOp {
         self.rng = StdRng::seed_from_u64(self.seed ^ 0xB5_0F);
         self.reshuffle();
         self.initialized = true;
+        self.actuals.loops += 1;
     }
 
     fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Tuple>, DbError> {
         debug_assert!(self.initialized, "next() before init()");
         loop {
             if let Some(t) = self.queue.pop_front() {
+                self.actuals.rows += 1;
                 return Ok(Some(t));
             }
             if self.next_block >= self.order.len() {
@@ -178,6 +270,9 @@ impl PhysicalOperator for BlockShuffleOp {
             }
             let block = self.order[self.next_block];
             let io_before = ctx.dev.stats().io_seconds;
+            let hits_before = ctx.dev.stats().cache_hits
+                + ctx.pool.as_ref().map_or(0, |p| p.stats().hits);
+            let retries_before = ctx.dev.stats().retries;
             let read = match self.mode {
                 ScanMode::Sequential => self.table.scan_block_sequential_retry(
                     block,
@@ -193,17 +288,27 @@ impl PhysicalOperator for BlockShuffleOp {
                 },
             };
             self.next_block += 1;
+            self.actuals.blocks_read += 1;
+            let hits_after = ctx.dev.stats().cache_hits
+                + ctx.pool.as_ref().map_or(0, |p| p.stats().hits);
+            self.actuals.cache_hits += hits_after - hits_before;
+            self.actuals.retries += ctx.dev.stats().retries - retries_before;
             match read {
                 Ok(tuples) => {
                     // Report the block read as a fill; a TupleShuffle above
                     // folds these into its own per-buffer entries.
-                    ctx.fill_io.push(ctx.dev.stats().io_seconds - io_before);
+                    let fill = ctx.dev.stats().io_seconds - io_before;
+                    ctx.fill_io.push(fill);
+                    self.actuals.io_seconds += fill;
                     self.queue.extend(tuples);
                 }
                 Err(e) if ctx.on_fault == FaultAction::SkipBlock && e.is_retryable() => {
                     // Dead block after exhausted retries: degrade by moving
                     // on, keeping the wasted retry time on the books.
-                    ctx.fill_io.push(ctx.dev.stats().io_seconds - io_before);
+                    let fill = ctx.dev.stats().io_seconds - io_before;
+                    ctx.fill_io.push(fill);
+                    self.actuals.io_seconds += fill;
+                    self.actuals.skipped_blocks += 1;
                     ctx.skipped_blocks.push(block);
                 }
                 Err(e) => return Err(e.into()),
@@ -213,12 +318,23 @@ impl PhysicalOperator for BlockShuffleOp {
 
     fn rescan(&mut self, _ctx: &mut ExecContext) {
         self.reshuffle();
+        self.actuals.loops += 1;
     }
 
     fn close(&mut self, _ctx: &mut ExecContext) {
         self.queue.clear();
         self.order.clear();
         self.initialized = false;
+    }
+
+    fn collect_stats(&self, depth: usize, out: &mut Vec<OpStats>) {
+        let mut stats = self.actuals.clone();
+        stats.name = match self.mode {
+            ScanMode::Sequential => "SeqScan".to_string(),
+            ScanMode::RandomBlocks => self.name().to_string(),
+        };
+        stats.depth = depth;
+        out.push(stats);
     }
 }
 
@@ -231,6 +347,7 @@ pub struct TupleShuffleOp {
     buffer: Vec<Tuple>,
     emit: usize,
     exhausted: bool,
+    actuals: OpStats,
 }
 
 impl TupleShuffleOp {
@@ -247,6 +364,7 @@ impl TupleShuffleOp {
             buffer: Vec::new(),
             emit: 0,
             exhausted: false,
+            actuals: OpStats::default(),
         }
     }
 
@@ -258,6 +376,7 @@ impl TupleShuffleOp {
         // Child fills recorded below us are folded into our own entry.
         let fills_base = ctx.fill_io.len();
         let io_before = ctx.dev.stats().io_seconds;
+        let mut span = ctx.telemetry.span("db.tuple_shuffle.fill");
         let mut bytes = 0usize;
         while self.buffer.len() < self.capacity {
             match self.child.next(ctx)? {
@@ -279,8 +398,16 @@ impl TupleShuffleOp {
             self.buffer.swap(i, j);
         }
         ctx.fill_io.truncate(fills_base);
-        if !self.buffer.is_empty() {
-            ctx.fill_io.push(ctx.dev.stats().io_seconds - io_before);
+        if self.buffer.is_empty() {
+            // End-of-stream probe, not a fill: record nothing.
+            span.cancel();
+        } else {
+            let fill = ctx.dev.stats().io_seconds - io_before;
+            ctx.fill_io.push(fill);
+            self.actuals.fills += 1;
+            self.actuals.buffered_tuples += self.buffer.len() as u64;
+            self.actuals.io_seconds += fill;
+            span.add_sim_seconds(fill);
         }
         Ok(())
     }
@@ -297,6 +424,7 @@ impl PhysicalOperator for TupleShuffleOp {
         self.buffer.clear();
         self.emit = 0;
         self.exhausted = false;
+        self.actuals.loops += 1;
     }
 
     fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Tuple>, DbError> {
@@ -311,6 +439,7 @@ impl PhysicalOperator for TupleShuffleOp {
         }
         let t = self.buffer[self.emit].clone();
         self.emit += 1;
+        self.actuals.rows += 1;
         Ok(Some(t))
     }
 
@@ -319,11 +448,20 @@ impl PhysicalOperator for TupleShuffleOp {
         self.buffer.clear();
         self.emit = 0;
         self.exhausted = false;
+        self.actuals.loops += 1;
     }
 
     fn close(&mut self, ctx: &mut ExecContext) {
         self.child.close(ctx);
         self.buffer.clear();
+    }
+
+    fn collect_stats(&self, depth: usize, out: &mut Vec<OpStats>) {
+        let mut stats = self.actuals.clone();
+        stats.name = self.name().to_string();
+        stats.depth = depth;
+        out.push(stats);
+        self.child.collect_stats(depth + 1, out);
     }
 }
 
@@ -363,6 +501,18 @@ pub struct SgdRunResult {
     /// True if the run stopped early at `halt_after_epoch` (the simulated
     /// crash used by checkpoint/resume tests).
     pub halted: bool,
+    /// Per-operator actual statistics (EXPLAIN ANALYZE), root first.
+    pub op_stats: Vec<OpStats>,
+}
+
+impl std::fmt::Debug for SgdRunResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SgdRunResult")
+            .field("epochs", &self.epochs.len())
+            .field("halted", &self.halted)
+            .field("op_stats", &self.op_stats)
+            .finish_non_exhaustive()
+    }
 }
 
 /// The `SGD` operator: the root of the training plan.
@@ -423,8 +573,14 @@ impl SgdOperator {
 
     /// Run all epochs (ExecInitSGD + ExecSGD + re-scans, §6.2).
     pub fn execute(mut self, ctx: &mut ExecContext) -> Result<SgdRunResult, DbError> {
+        let tel = ctx.telemetry.clone();
+        let step_counter = tel.counter("db.sgd.gradient_steps");
         self.child.init(ctx);
         let mut records = Vec::with_capacity(self.epochs);
+        let mut total_io = 0.0f64;
+        let mut total_compute = 0.0f64;
+        let mut total_tuples = 0u64;
+        let mut epochs_run = 0u64;
         let mut sim_clock = self.setup_seconds;
         let mut start_epoch = 0usize;
         let mut halted = false;
@@ -475,6 +631,7 @@ impl SgdOperator {
             let mut pending: Vec<Tuple> = Vec::new();
             let mut loss_sum = 0.0f64;
             let mut tuples = 0usize;
+            let mut gradient_steps = 0u64;
             let per_tuple_mode =
                 self.options.batch_size <= 1 && self.optimizer.name() == "sgd";
 
@@ -489,6 +646,7 @@ impl SgdOperator {
                     // Standard SGD: update per tuple as it is pulled (§6.2).
                     loss_sum += self.model.loss(&t.features, t.label);
                     self.model.sgd_step(&t.features, t.label, self.optimizer.lr());
+                    gradient_steps += 1;
                     fill_compute[fill_now] += self.compute.seconds(flops, 1);
                 } else {
                     // Mini-batch SGD: batches span buffer fills, like a
@@ -502,6 +660,7 @@ impl SgdOperator {
                             &self.options,
                         );
                         loss_sum += stats.mean_loss * stats.examples as f64;
+                        gradient_steps += 1;
                         fill_compute[fill_now] += self.compute.seconds(flops, pending.len());
                         pending.clear();
                     }
@@ -516,6 +675,7 @@ impl SgdOperator {
                     &self.options,
                 );
                 loss_sum += stats.mean_loss * stats.examples as f64;
+                gradient_steps += 1;
                 if fill_compute.is_empty() {
                     fill_compute.push(0.0);
                 }
@@ -549,16 +709,33 @@ impl SgdOperator {
                     corgipile_ml::r_squared(self.model.as_ref(), &all)
                 }
             });
+            let epoch_io: f64 = io.iter().sum();
+            let epoch_compute: f64 = fill_compute.iter().sum();
+            let train_loss = if tuples > 0 { loss_sum / tuples as f64 } else { 0.0 };
+            let skipped = std::mem::take(&mut ctx.skipped_blocks);
+            total_io += epoch_io;
+            total_compute += epoch_compute;
+            total_tuples += tuples as u64;
+            epochs_run += 1;
+            step_counter.add(gradient_steps);
+            let e = epoch as u64;
+            tel.event(e, "db.epoch.io_seconds", epoch_io);
+            tel.event(e, "db.epoch.compute_seconds", epoch_compute);
+            tel.event(e, "db.epoch.epoch_seconds", epoch_seconds);
+            tel.event(e, "db.epoch.train_loss", train_loss);
+            tel.event(e, "db.epoch.tuples", tuples as f64);
+            tel.event(e, "db.epoch.skipped_blocks", skipped.len() as f64);
+            tel.event(e, "db.epoch.gradient_steps", gradient_steps as f64);
             records.push(DbEpochRecord {
                 epoch,
-                io_seconds: io.iter().sum(),
-                compute_seconds: fill_compute.iter().sum(),
+                io_seconds: epoch_io,
+                compute_seconds: epoch_compute,
                 epoch_seconds,
                 sim_seconds_end: sim_clock,
-                train_loss: if tuples > 0 { loss_sum / tuples as f64 } else { 0.0 },
+                train_loss,
                 train_metric,
                 tuples,
-                skipped_blocks: std::mem::take(&mut ctx.skipped_blocks),
+                skipped_blocks: skipped,
             });
             if let Some(path) = &self.checkpoint_path {
                 TrainCheckpoint {
@@ -575,8 +752,18 @@ impl SgdOperator {
                 break;
             }
         }
+        let mut op_stats = vec![OpStats {
+            name: "SGD".to_string(),
+            depth: 0,
+            rows: total_tuples,
+            loops: epochs_run,
+            io_seconds: total_io,
+            compute_seconds: total_compute,
+            ..OpStats::default()
+        }];
+        self.child.collect_stats(1, &mut op_stats);
         self.child.close(ctx);
-        Ok(SgdRunResult { model: self.model, epochs: records, halted })
+        Ok(SgdRunResult { model: self.model, epochs: records, halted, op_stats })
     }
 }
 
@@ -688,6 +875,62 @@ mod tests {
         assert!(metrics.iter().all(|&m| m > 0.4 && m <= 1.0));
         // Accuracy should not collapse across epochs.
         assert!(metrics[2] > 0.5, "final per-epoch metric {:?}", metrics);
+    }
+
+    #[test]
+    fn op_stats_and_epoch_events_from_sgd_run() {
+        let t = table(2000);
+        let child: Box<dyn PhysicalOperator> = Box::new(TupleShuffleOp::new(
+            Box::new(BlockShuffleOp::new(t, ScanMode::RandomBlocks, 5)),
+            200,
+            StrategyParams::default(),
+        ));
+        let op = SgdOperator::new(
+            child,
+            build_model(&ModelKind::Svm, 28, 1),
+            OptimizerKind::default_sgd(0.05).build(),
+            TrainOptions::default(),
+            ComputeCostModel::in_db_core(),
+            2,
+            true,
+        );
+        let mut dev = SimDevice::hdd_scaled(1000.0, 0);
+        dev.set_telemetry(Telemetry::enabled());
+        let mut ctx = ExecContext::new(&mut dev);
+        let result = op.execute(&mut ctx).unwrap();
+
+        let names: Vec<&str> = result.op_stats.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["SGD", "TupleShuffle", "BlockShuffle"]);
+        let sgd = &result.op_stats[0];
+        assert_eq!((sgd.depth, sgd.rows, sgd.loops), (0, 4000, 2));
+        let ts = &result.op_stats[1];
+        assert_eq!((ts.depth, ts.rows, ts.loops), (1, 4000, 2));
+        assert!(ts.fills >= 2, "two epochs mean at least two buffer fills");
+        assert_eq!(ts.buffered_tuples, 4000, "every tuple passes the buffer");
+        assert!(ts.io_seconds > 0.0);
+        let bs = &result.op_stats[2];
+        assert_eq!((bs.depth, bs.rows), (2, 4000));
+        assert!(bs.blocks_read > 0 && bs.io_seconds > 0.0);
+        assert_eq!(bs.retries, 0);
+
+        // Per-epoch events flowed through the device's telemetry handle.
+        let ev = ctx.telemetry.events();
+        let per = |n: &str| ev.iter().filter(|e| e.name == n).count();
+        assert_eq!(per("db.epoch.epoch_seconds"), 2);
+        assert_eq!(per("db.epoch.io_seconds"), 2);
+        assert!(ev
+            .iter()
+            .any(|e| e.name == "db.epoch.gradient_steps" && e.value > 0.0));
+        // The fill span landed in the histogram registry.
+        let snap = ctx.telemetry.snapshot();
+        let hist = snap
+            .metrics
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "db.tuple_shuffle.fill.sim_seconds")
+            .map(|(_, h)| h)
+            .expect("fill span histogram");
+        assert_eq!(hist.count, ts.fills);
     }
 
     #[test]
@@ -811,9 +1054,10 @@ mod tests {
             op.init(&mut ctx);
             drain(&mut op, &mut ctx)
         };
+        let tid = t.config().table_id;
         let clean = run(None);
         let faulty =
-            run(Some(FaultPlan::new(7).with_transient(1, 0, 2).with_transient(1, 2, 1)));
+            run(Some(FaultPlan::new(7).with_transient(tid, 0, 2).with_transient(tid, 2, 1)));
         assert_eq!(clean, faulty, "retried transients must not change the stream");
     }
 
@@ -822,9 +1066,9 @@ mod tests {
         use corgipile_storage::FaultPlan;
         let t = table(600);
         let mut dev = SimDevice::hdd_scaled(1000.0, 0);
-        dev.set_fault_plan(FaultPlan::new(7).with_permanent(1, 0));
+        dev.set_fault_plan(FaultPlan::new(7).with_permanent(t.config().table_id, 0));
         let mut ctx = ExecContext::new(&mut dev);
-        ctx.retry = RetryPolicy::default().with_max_retries(1);
+        ctx.retry = RetryPolicy::with_max_retries(1);
         let mut op = BlockShuffleOp::new(t, ScanMode::RandomBlocks, 2);
         op.init(&mut ctx);
         let mut err = None;
@@ -855,9 +1099,9 @@ mod tests {
         let dead = t.block(1).unwrap().tuples.clone();
         let dead_tuples = (dead.end - dead.start) as usize;
         let mut dev = SimDevice::hdd_scaled(1000.0, 0);
-        dev.set_fault_plan(FaultPlan::new(7).with_permanent(1, 1));
+        dev.set_fault_plan(FaultPlan::new(7).with_permanent(t.config().table_id, 1));
         let mut ctx = ExecContext::new(&mut dev);
-        ctx.retry = RetryPolicy::default().with_max_retries(1);
+        ctx.retry = RetryPolicy::with_max_retries(1);
         ctx.on_fault = FaultAction::SkipBlock;
         let child: Box<dyn PhysicalOperator> = Box::new(TupleShuffleOp::new(
             Box::new(BlockShuffleOp::new(t.clone(), ScanMode::RandomBlocks, 5)),

@@ -29,8 +29,9 @@ pub use baselines::{system_trainer_config, InDbSystem};
 pub use catalog::{Catalog, StoredModel};
 pub use error::DbError;
 pub use exec::{
-    BlockShuffleOp, DbEpochRecord, ExecContext, FaultAction, PhysicalOperator, ScanMode,
-    SgdOperator, SgdRunResult, TupleShuffleOp,
+    BlockShuffleOp, DbEpochRecord, ExecContext, FaultAction, OpStats, PhysicalOperator,
+    ScanMode, SgdOperator, SgdRunResult, TupleShuffleOp,
 };
+pub use corgipile_storage::{Telemetry, TelemetrySnapshot};
 pub use session::{DbTrainSummary, QueryResult, Session};
 pub use sql::{parse, ParamValue, Query};

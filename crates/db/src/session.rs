@@ -18,15 +18,15 @@
 use crate::catalog::{Catalog, StoredModel};
 use crate::error::DbError;
 use crate::exec::{
-    BlockShuffleOp, DbEpochRecord, ExecContext, FaultAction, PhysicalOperator, ScanMode,
-    SgdOperator, TupleShuffleOp,
+    BlockShuffleOp, DbEpochRecord, ExecContext, FaultAction, OpStats, PhysicalOperator,
+    ScanMode, SgdOperator, TupleShuffleOp,
 };
 use crate::sql::{parse, ParamValue, Query};
 use corgipile_data::rng::shuffle_in_place;
 use corgipile_ml::{accuracy, build_model, ModelKind, OptimizerKind, TrainOptions};
 use corgipile_ml::{ComputeCostModel, r_squared, TrainCheckpoint};
 use corgipile_shuffle::StrategyParams;
-use corgipile_storage::{BufferPool, FaultPlan, RetryPolicy, SimDevice, Table};
+use corgipile_storage::{BufferPool, FaultPlan, RetryPolicy, SimDevice, Table, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
@@ -50,6 +50,9 @@ pub struct DbTrainSummary {
     pub final_train_metric: f64,
     /// True if the run stopped early at `halt_after_epoch`.
     pub halted: bool,
+    /// Per-operator actual execution statistics (root first), the data
+    /// behind `EXPLAIN ANALYZE`.
+    pub op_stats: Vec<OpStats>,
 }
 
 impl DbTrainSummary {
@@ -92,12 +95,36 @@ pub struct Session {
     catalog: Catalog,
     dev: SimDevice,
     compute: ComputeCostModel,
+    telemetry: Telemetry,
 }
 
 impl Session {
-    /// Open a session on the given device.
-    pub fn new(dev: SimDevice) -> Self {
-        Session { catalog: Catalog::new(), dev, compute: ComputeCostModel::in_db_core() }
+    /// Open a session on the given device. Telemetry is on by default —
+    /// the instruments are bound once at setup, so the per-tuple hot path
+    /// stays allocation-free either way; use
+    /// [`Session::set_telemetry_enabled`] to opt out entirely.
+    pub fn new(mut dev: SimDevice) -> Self {
+        let telemetry = Telemetry::enabled();
+        dev.set_telemetry(telemetry.clone());
+        Session {
+            catalog: Catalog::new(),
+            dev,
+            compute: ComputeCostModel::in_db_core(),
+            telemetry,
+        }
+    }
+
+    /// The session's observability handle (for `Telemetry::json`,
+    /// `Telemetry::prometheus`, or programmatic snapshots).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Enable (fresh registry) or disable telemetry. Disabled handles make
+    /// every emission a no-op; `SHOW STATS` then reports nothing.
+    pub fn set_telemetry_enabled(&mut self, enabled: bool) {
+        self.telemetry = if enabled { Telemetry::enabled() } else { Telemetry::disabled() };
+        self.dev.set_telemetry(self.telemetry.clone());
     }
 
     /// The catalog.
@@ -141,11 +168,82 @@ impl Session {
             Query::Train { table, model, params } => self.train(&table, &model, params),
             Query::Predict { table, model } => self.predict(&table, &model),
             Query::Explain(inner) => self.explain(*inner),
-            Query::Show { what } => Ok(QueryResult::Names(if what == "tables" {
-                self.catalog.table_names()
-            } else {
-                self.catalog.model_names()
-            })),
+            Query::ExplainAnalyze(inner) => self.explain_analyze(*inner),
+            Query::Show { what } => Ok(match what.as_str() {
+                "tables" => QueryResult::Names(self.catalog.table_names()),
+                "models" => QueryResult::Names(self.catalog.model_names()),
+                _ => QueryResult::Plan(self.render_stats()),
+            }),
+        }
+    }
+
+    /// `SHOW STATS`: one line per telemetry instrument, sorted by name.
+    fn render_stats(&self) -> Vec<String> {
+        let snap = self.telemetry.snapshot();
+        let mut lines = Vec::new();
+        for (name, v) in &snap.metrics.counters {
+            lines.push(format!("counter {name} = {v}"));
+        }
+        for (name, v) in &snap.metrics.gauges {
+            lines.push(format!("gauge {name} = {v:.6}"));
+        }
+        for (name, h) in &snap.metrics.histograms {
+            lines.push(format!(
+                "histogram {name}: count={} mean={:.6} min={:.6} max={:.6}",
+                h.count,
+                h.mean(),
+                h.min,
+                h.max
+            ));
+        }
+        lines.push(format!(
+            "events {} recorded, {} dropped",
+            snap.events.len(),
+            snap.dropped_events
+        ));
+        lines
+    }
+
+    /// `EXPLAIN ANALYZE`: actually execute the training query, then render
+    /// per-operator actual statistics plus device I/O and training totals,
+    /// PostgreSQL-style. Non-training queries fall back to plain `EXPLAIN`.
+    fn explain_analyze(&mut self, query: Query) -> Result<QueryResult, DbError> {
+        match query {
+            q @ Query::Train { .. } => {
+                let before = self.dev.stats().clone();
+                let summary = match self.run(q)? {
+                    QueryResult::Train(t) => t,
+                    _ => unreachable!("Train queries return Train results"),
+                };
+                let after = self.dev.stats().clone();
+                let mut lines: Vec<String> =
+                    summary.op_stats.iter().map(|s| s.render()).collect();
+                let reads = after.total_reads() - before.total_reads();
+                let hits = after.cache_hits - before.cache_hits;
+                lines.push(format!(
+                    "I/O: reads={} cache_hit_rate={:.1}% device_bytes={} retries={} \
+                     faults={} io={:.6}s",
+                    reads,
+                    if reads == 0 { 0.0 } else { 100.0 * hits as f64 / reads as f64 },
+                    after.device_bytes - before.device_bytes,
+                    after.retries - before.retries,
+                    after.faults - before.faults,
+                    after.io_seconds - before.io_seconds,
+                ));
+                lines.push(format!(
+                    "Training: epochs={} total={:.6}s final_loss={:.6} strategy={}",
+                    summary.epochs.len(),
+                    summary.total_seconds(),
+                    summary.epochs.last().map(|e| e.train_loss).unwrap_or(0.0),
+                    summary.strategy,
+                ));
+                let skipped = summary.skipped_blocks();
+                if !skipped.is_empty() {
+                    lines.push(format!("Skipped blocks: {skipped:?}"));
+                }
+                Ok(QueryResult::Plan(lines))
+            }
+            other => self.explain(other),
         }
     }
 
@@ -386,12 +484,13 @@ impl Session {
         }
         sgd.checkpoint_path = checkpoint_path;
         let mut pool = BufferPool::new(shared_buffers);
+        pool.set_telemetry(&self.telemetry);
         let mut ctx = if shared_buffers > 0 {
             ExecContext::with_pool(&mut self.dev, &mut pool)
         } else {
             ExecContext::new(&mut self.dev)
         };
-        ctx.retry = RetryPolicy::default().with_max_retries(max_retries);
+        ctx.retry = RetryPolicy::with_max_retries(max_retries);
         ctx.on_fault = on_fault;
         let result = sgd.execute(&mut ctx)?;
 
@@ -420,6 +519,7 @@ impl Session {
             epochs: result.epochs,
             final_train_metric: final_metric,
             halted: result.halted,
+            op_stats: result.op_stats,
         }))
     }
 
@@ -738,9 +838,10 @@ mod tests {
         let clean_params = clean.catalog().model("m").unwrap().params.clone();
 
         let mut faulty = session_with_higgs(2000);
+        let tid = faulty.catalog().table("higgs").unwrap().config().table_id;
         faulty.inject_faults(
             corgipile_storage::FaultPlan::new(77)
-                .with_transient(1, 0, 2)
+                .with_transient(tid, 0, 2)
                 .with_random_transient(0.05, 2),
         );
         let t = train_summary(faulty.execute(sql).unwrap());
@@ -757,7 +858,8 @@ mod tests {
     #[test]
     fn dead_block_with_skip_completes_degraded() {
         let mut s = session_with_higgs(2000);
-        s.inject_faults(corgipile_storage::FaultPlan::new(1).with_permanent(1, 2));
+        let tid = s.catalog().table("higgs").unwrap().config().table_id;
+        s.inject_faults(corgipile_storage::FaultPlan::new(1).with_permanent(tid, 2));
         let t = train_summary(
             s.execute(
                 "SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 2, \
@@ -774,7 +876,8 @@ mod tests {
     #[test]
     fn dead_block_without_skip_fails_the_query() {
         let mut s = session_with_higgs(2000);
-        s.inject_faults(corgipile_storage::FaultPlan::new(1).with_permanent(1, 2));
+        let tid = s.catalog().table("higgs").unwrap().config().table_id;
+        s.inject_faults(corgipile_storage::FaultPlan::new(1).with_permanent(tid, 2));
         let err = s
             .execute(
                 "SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 2, max_retries = 1",
@@ -816,6 +919,89 @@ mod tests {
         let got = resumed.catalog().model("m").unwrap().params.clone();
         assert_eq!(got, want, "resumed SQL run must reproduce the model bit-for-bit");
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn explain_analyze_executes_and_reports_actuals() {
+        let mut s = session_with_higgs(2000);
+        let lines = match s
+            .execute(
+                "EXPLAIN ANALYZE SELECT * FROM higgs TRAIN BY svm WITH \
+                 max_epoch_num = 2, model_name = m",
+            )
+            .unwrap()
+        {
+            QueryResult::Plan(lines) => lines,
+            _ => panic!("expected plan lines"),
+        };
+        assert!(
+            lines[0].starts_with("SGD (actual rows=4000 loops=2"),
+            "root line: {}",
+            lines[0]
+        );
+        assert!(lines.iter().any(|l| l.contains("-> TupleShuffle (actual rows=4000")
+            && l.contains("fills=")));
+        assert!(lines.iter().any(|l| l.contains("-> BlockShuffle (actual rows=4000")
+            && l.contains("cache_hit_rate=")
+            && l.contains("retries=0")));
+        assert!(lines.iter().any(|l| l.starts_with("I/O: reads=")));
+        assert!(lines.iter().any(|l| l.starts_with("Training: epochs=2")));
+        // Unlike EXPLAIN, ANALYZE actually executes: the model is stored.
+        assert!(s.catalog().model("m").is_ok());
+    }
+
+    #[test]
+    fn show_stats_surfaces_telemetry_and_opt_out_silences_it() {
+        let mut s = session_with_higgs(1000);
+        s.execute("SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 1").unwrap();
+        let lines = match s.execute("SHOW STATS").unwrap() {
+            QueryResult::Plan(lines) => lines,
+            _ => panic!("expected stats lines"),
+        };
+        assert!(lines
+            .iter()
+            .any(|l| l.starts_with("counter storage.device.device_bytes = ")));
+        assert!(lines
+            .iter()
+            .any(|l| l.starts_with("counter db.sgd.gradient_steps = 1000")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("histogram db.tuple_shuffle.fill.sim_seconds")));
+        // Opting out empties subsequent reports (emissions become no-ops).
+        s.set_telemetry_enabled(false);
+        s.execute("SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 1").unwrap();
+        match s.execute("SHOW STATS").unwrap() {
+            QueryResult::Plan(lines) => {
+                assert_eq!(lines, vec!["events 0 recorded, 0 dropped"])
+            }
+            _ => panic!("expected stats lines"),
+        }
+    }
+
+    #[test]
+    fn skipped_blocks_are_deduped_and_sorted_across_epochs() {
+        let epoch = |i: usize, skipped: Vec<usize>| DbEpochRecord {
+            epoch: i,
+            io_seconds: 0.0,
+            compute_seconds: 0.0,
+            epoch_seconds: 0.0,
+            sim_seconds_end: 0.0,
+            train_loss: 0.0,
+            train_metric: None,
+            tuples: 0,
+            skipped_blocks: skipped,
+        };
+        let summary = DbTrainSummary {
+            model_name: "m".into(),
+            model_kind: ModelKind::Svm,
+            strategy: "corgipile".into(),
+            setup_seconds: 0.0,
+            epochs: vec![epoch(0, vec![7, 3]), epoch(1, vec![3, 5, 7])],
+            final_train_metric: 0.0,
+            halted: false,
+            op_stats: Vec::new(),
+        };
+        assert_eq!(summary.skipped_blocks(), vec![3, 5, 7]);
     }
 
     #[test]

@@ -77,9 +77,13 @@ pub enum Query {
     },
     /// `EXPLAIN <train query>`: show the physical plan without running it.
     Explain(Box<Query>),
-    /// `SHOW TABLES` / `SHOW MODELS`.
+    /// `EXPLAIN ANALYZE <query>`: run the query and annotate the plan with
+    /// actual per-operator statistics (rows, simulated I/O seconds, cache
+    /// hit rate, retries).
+    ExplainAnalyze(Box<Query>),
+    /// `SHOW TABLES` / `SHOW MODELS` / `SHOW STATS`.
     Show {
-        /// "tables" or "models".
+        /// "tables", "models" or "stats".
         what: String,
     },
 }
@@ -174,16 +178,26 @@ fn parse_value(tok: &str) -> ParamValue {
 /// Parse one query.
 pub fn parse(input: &str) -> Result<Query, DbError> {
     let mut t = Tokens { toks: tokenize(input), pos: 0 };
+    parse_tokens(&mut t)
+}
+
+/// Parse one query from the remaining token stream. `EXPLAIN [ANALYZE]`
+/// recurses over the tokens that follow the keyword rather than re-finding
+/// a substring in the raw input.
+fn parse_tokens(t: &mut Tokens) -> Result<Query, DbError> {
     match t.peek() {
         Some(w) if w.eq_ignore_ascii_case("EXPLAIN") => {
             t.bump();
-            let rest = &input[input.to_ascii_uppercase().find("EXPLAIN").unwrap() + 7..];
-            return Ok(Query::Explain(Box::new(parse(rest)?)));
+            if matches!(t.peek(), Some(w) if w.eq_ignore_ascii_case("ANALYZE")) {
+                t.bump();
+                return Ok(Query::ExplainAnalyze(Box::new(parse_tokens(t)?)));
+            }
+            return Ok(Query::Explain(Box::new(parse_tokens(t)?)));
         }
         Some(w) if w.eq_ignore_ascii_case("SHOW") => {
             t.bump();
-            let what = t.ident("TABLES or MODELS")?.to_ascii_lowercase();
-            if what != "tables" && what != "models" {
+            let what = t.ident("TABLES, MODELS or STATS")?.to_ascii_lowercase();
+            if what != "tables" && what != "models" && what != "stats" {
                 return Err(DbError::Parse(format!("SHOW {what} not supported")));
             }
             return Ok(Query::Show { what });
@@ -327,6 +341,44 @@ mod tests {
         assert_eq!(parse("show models").unwrap(), Query::Show { what: "models".into() });
         assert!(parse("SHOW SECRETS").is_err());
         assert!(parse("EXPLAIN").is_err());
+    }
+
+    #[test]
+    fn parses_explain_analyze_and_show_stats() {
+        let q = parse("EXPLAIN ANALYZE SELECT * FROM t TRAIN BY svm WITH strategy = 'corgipile'")
+            .unwrap();
+        match q {
+            Query::ExplainAnalyze(inner) => match *inner {
+                Query::Train { ref table, ref model, ref params } => {
+                    assert_eq!(table, "t");
+                    assert_eq!(model, "svm");
+                    assert_eq!(params["strategy"].as_text(), Some("corgipile"));
+                }
+                ref other => panic!("expected Train inside, got {other:?}"),
+            },
+            other => panic!("expected ExplainAnalyze, got {other:?}"),
+        }
+        let p = parse("explain analyze SELECT * FROM t PREDICT BY m").unwrap();
+        assert!(matches!(p, Query::ExplainAnalyze(inner) if matches!(*inner, Query::Predict { .. })));
+        assert_eq!(parse("SHOW STATS").unwrap(), Query::Show { what: "stats".into() });
+        assert!(parse("EXPLAIN ANALYZE").is_err());
+    }
+
+    #[test]
+    fn explain_recurses_over_tokens_not_substrings() {
+        // Nested EXPLAIN parses by recursion over the remaining tokens.
+        let q = parse("EXPLAIN EXPLAIN SELECT * FROM t TRAIN BY svm").unwrap();
+        match q {
+            Query::Explain(inner) => {
+                assert!(matches!(*inner, Query::Explain(ref inner2)
+                    if matches!(**inner2, Query::Train { .. })));
+            }
+            other => panic!("expected nested Explain, got {other:?}"),
+        }
+        // Identifiers containing the keyword must not confuse the parser.
+        let q = parse("EXPLAIN SELECT * FROM explained TRAIN BY svm").unwrap();
+        assert!(matches!(q, Query::Explain(inner)
+            if matches!(*inner, Query::Train { ref table, .. } if table == "explained")));
     }
 
     #[test]

@@ -64,6 +64,7 @@ impl CorgiPile {
         blocks: &[usize],
         dev: &mut SimDevice,
     ) -> Segment {
+        let mut span = dev.telemetry().clone().span("shuffle.corgipile.fill");
         let before = dev.stats().io_seconds;
         let mut bytes = 0usize;
         let mut expected: usize = blocks
@@ -80,7 +81,9 @@ impl CorgiPile {
         dev.charge_seconds(self.params.buffering_cost(buffer.len(), bytes));
         let rng = &mut self.rng;
         buffer.shuffle_with(|i| rng.gen_range(0..=i));
-        Segment::new(buffer.drain(), dev.stats().io_seconds - before)
+        let io = dev.stats().io_seconds - before;
+        span.add_sim_seconds(io);
+        Segment::new(buffer.drain(), io)
     }
 }
 
@@ -229,6 +232,34 @@ mod tests {
         assert!(
             cp_io < ns_io * 1.5,
             "CorgiPile {cp_io} should be within 1.5× of No Shuffle {ns_io}"
+        );
+    }
+
+    #[test]
+    fn fills_record_telemetry_spans_with_io_attribution() {
+        let t = clustered(2000);
+        let mut s = CorgiPile::new(
+            StrategyParams::default().with_buffer_fraction(0.2),
+            BlockSampleMode::FullCoverage,
+        );
+        let mut dev = SimDevice::hdd(0);
+        let tel = corgipile_storage::Telemetry::enabled();
+        dev.set_telemetry(tel.clone());
+        let plan = s.next_epoch(&t, &mut dev);
+        let snap = tel.snapshot();
+        let sim = snap
+            .metrics
+            .histograms
+            .iter()
+            .find(|(name, _)| name == "shuffle.corgipile.fill.sim_seconds")
+            .map(|(_, h)| h.clone())
+            .expect("fill span histogram registered");
+        assert_eq!(sim.count as usize, plan.segments.len());
+        assert!(
+            (sim.sum - plan.io_seconds()).abs() < 1e-9,
+            "span sim time {} should equal plan io {}",
+            sim.sum,
+            plan.io_seconds()
         );
     }
 

@@ -11,6 +11,7 @@ use crate::block::BlockId;
 use crate::table::Table;
 use crate::tuple::Tuple;
 use crate::{Result, SimDevice};
+use corgipile_telemetry::{Counter, Telemetry};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -43,6 +44,14 @@ struct Frame {
     stamp: u64,
 }
 
+/// Pre-resolved telemetry instruments mirroring [`BufferPoolStats`].
+#[derive(Debug, Clone, Default)]
+struct PoolMetrics {
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+}
+
 /// A block-granular LRU buffer pool keyed by `(table_id, block_id)`.
 pub struct BufferPool {
     capacity_bytes: usize,
@@ -50,6 +59,7 @@ pub struct BufferPool {
     frames: HashMap<(u32, BlockId), Frame>,
     stamp: u64,
     stats: BufferPoolStats,
+    metrics: PoolMetrics,
 }
 
 impl BufferPool {
@@ -61,7 +71,17 @@ impl BufferPool {
             frames: HashMap::new(),
             stamp: 0,
             stats: BufferPoolStats::default(),
+            metrics: PoolMetrics::default(),
         }
+    }
+
+    /// Mirror pool counters into `telemetry` (`storage.pool.*`) from now on.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.metrics = PoolMetrics {
+            hits: telemetry.counter("storage.pool.hits"),
+            misses: telemetry.counter("storage.pool.misses"),
+            evictions: telemetry.counter("storage.pool.evictions"),
+        };
     }
 
     /// Pool capacity in bytes.
@@ -97,9 +117,11 @@ impl BufferPool {
         if let Some(frame) = self.frames.get_mut(&key) {
             frame.stamp = self.stamp;
             self.stats.hits += 1;
+            self.metrics.hits.inc();
             return Ok(frame.tuples.clone());
         }
         self.stats.misses += 1;
+        self.metrics.misses.inc();
         let tuples = Arc::new(table.read_block(block, dev)?);
         let bytes = table.block(block)?.bytes;
         self.admit(key, tuples.clone(), bytes);
@@ -120,9 +142,11 @@ impl BufferPool {
         if let Some(frame) = self.frames.get_mut(&key) {
             frame.stamp = self.stamp;
             self.stats.hits += 1;
+            self.metrics.hits.inc();
             return Ok(frame.tuples.clone());
         }
         self.stats.misses += 1;
+        self.metrics.misses.inc();
         let tuples = Arc::new(table.read_block_retry(block, dev, policy)?);
         let bytes = table.block(block)?.bytes;
         self.admit(key, tuples.clone(), bytes);
@@ -150,6 +174,7 @@ impl BufferPool {
                     self.frames.remove(&k);
                     self.used_bytes -= b;
                     self.stats.evictions += 1;
+                    self.metrics.evictions.inc();
                 }
                 None => return,
             }
@@ -226,6 +251,23 @@ mod tests {
         pool.read_block(&t, 0, &mut dev).unwrap();
         assert!(!pool.contains(1, 0));
         assert_eq!(pool.used(), 0);
+    }
+
+    #[test]
+    fn telemetry_mirrors_pool_counters() {
+        let t = table(1, 400);
+        let tel = Telemetry::enabled();
+        let mut pool = BufferPool::new(2 * 8192 + 100);
+        pool.set_telemetry(&tel);
+        let mut dev = SimDevice::hdd(0);
+        pool.read_block(&t, 0, &mut dev).unwrap();
+        pool.read_block(&t, 0, &mut dev).unwrap();
+        pool.read_block(&t, 1, &mut dev).unwrap();
+        pool.read_block(&t, 2, &mut dev).unwrap(); // evicts
+        assert_eq!(tel.counter("storage.pool.hits").get(), pool.stats().hits);
+        assert_eq!(tel.counter("storage.pool.misses").get(), pool.stats().misses);
+        assert_eq!(tel.counter("storage.pool.evictions").get(), pool.stats().evictions);
+        assert!(pool.stats().evictions > 0);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 use crate::error::StorageError;
 use crate::fault::{FaultInjector, FaultPlan, ReadOutcome};
 use crate::Result;
+use corgipile_telemetry::{Counter, Gauge, Telemetry};
 use std::collections::HashMap;
 
 /// How a read reaches the device.
@@ -132,6 +133,12 @@ pub struct IoStats {
     pub cache_bytes: u64,
     /// Bytes written to the device.
     pub written_bytes: u64,
+    /// Reads served entirely from the cache (one per cache-resident read).
+    pub cache_hits: u64,
+    /// Retry attempts recorded via [`SimDevice::note_retry`].
+    pub retries: u64,
+    /// Read attempts that failed with an injected fault.
+    pub faults: u64,
     /// Total simulated I/O time in seconds.
     pub io_seconds: f64,
 }
@@ -140,6 +147,53 @@ impl IoStats {
     /// Total bytes read through the device (cache + device tiers).
     pub fn total_read_bytes(&self) -> u64 {
         self.device_bytes + self.cache_bytes
+    }
+
+    /// Total read operations (device tier + cache hits).
+    pub fn total_reads(&self) -> u64 {
+        self.random_reads + self.sequential_reads + self.cache_hits
+    }
+
+    /// Fraction of read operations served from the cache (0 when idle).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.total_reads();
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Pre-resolved telemetry instruments mirroring [`IoStats`]. Disabled
+/// handles make every update a no-op, so an un-instrumented device pays
+/// only an `Option` branch per counter.
+#[derive(Debug, Clone, Default)]
+struct DeviceMetrics {
+    random_reads: Counter,
+    sequential_reads: Counter,
+    device_bytes: Counter,
+    cache_bytes: Counter,
+    cache_hits: Counter,
+    written_bytes: Counter,
+    retries: Counter,
+    faults: Counter,
+    io_seconds: Gauge,
+}
+
+impl DeviceMetrics {
+    fn resolve(telemetry: &Telemetry) -> Self {
+        DeviceMetrics {
+            random_reads: telemetry.counter("storage.device.random_reads"),
+            sequential_reads: telemetry.counter("storage.device.sequential_reads"),
+            device_bytes: telemetry.counter("storage.device.device_bytes"),
+            cache_bytes: telemetry.counter("storage.device.cache_bytes"),
+            cache_hits: telemetry.counter("storage.device.cache_hits"),
+            written_bytes: telemetry.counter("storage.device.written_bytes"),
+            retries: telemetry.counter("storage.device.retries"),
+            faults: telemetry.counter("storage.device.faults"),
+            io_seconds: telemetry.gauge("storage.device.io_seconds"),
+        }
     }
 }
 
@@ -159,6 +213,10 @@ pub struct SimDevice {
     stats: IoStats,
     /// Optional deterministic fault injector consulted by guarded reads.
     injector: Option<FaultInjector>,
+    /// Shared observability handle (disabled by default).
+    telemetry: Telemetry,
+    /// Instruments resolved from `telemetry`; no-ops when disabled.
+    metrics: DeviceMetrics,
 }
 
 impl SimDevice {
@@ -172,7 +230,23 @@ impl SimDevice {
             stamp: 0,
             stats: IoStats::default(),
             injector: None,
+            telemetry: Telemetry::disabled(),
+            metrics: DeviceMetrics::default(),
         }
+    }
+
+    /// Attach a telemetry handle; device counters and the simulated clock
+    /// are mirrored into it from this point on. Pass
+    /// [`Telemetry::disabled`] to opt back out.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.metrics = DeviceMetrics::resolve(&telemetry);
+        self.telemetry = telemetry;
+    }
+
+    /// The attached telemetry handle (disabled unless
+    /// [`SimDevice::set_telemetry`] was called).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// HDD with a cache of `cache_bytes`.
@@ -248,17 +322,28 @@ impl SimDevice {
         }
         if cached {
             self.stats.cache_bytes += bytes as u64;
+            self.stats.cache_hits += 1;
+            self.metrics.cache_bytes.add(bytes as u64);
+            self.metrics.cache_hits.inc();
         } else {
             self.stats.device_bytes += bytes as u64;
+            self.metrics.device_bytes.add(bytes as u64);
             match access {
-                Access::Random => self.stats.random_reads += 1,
-                Access::Sequential => self.stats.sequential_reads += 1,
+                Access::Random => {
+                    self.stats.random_reads += 1;
+                    self.metrics.random_reads.inc();
+                }
+                Access::Sequential => {
+                    self.stats.sequential_reads += 1;
+                    self.metrics.sequential_reads.inc();
+                }
             }
             if let Some(k) = key {
                 self.admit(k, bytes);
             }
         }
         self.stats.io_seconds += time;
+        self.metrics.io_seconds.set(self.stats.io_seconds);
         time
     }
 
@@ -308,7 +393,10 @@ impl SimDevice {
                 .on_read(table_id, block);
             match outcome {
                 ReadOutcome::Ok => {}
-                ReadOutcome::Delay(seconds) => self.stats.io_seconds += seconds,
+                ReadOutcome::Delay(seconds) => {
+                    self.stats.io_seconds += seconds;
+                    self.metrics.io_seconds.set(self.stats.io_seconds);
+                }
                 ReadOutcome::Fail(e) => {
                     let wasted = match &e {
                         StorageError::ChecksumMismatch { .. } => {
@@ -317,6 +405,9 @@ impl SimDevice {
                         _ => self.profile.seek_latency_s,
                     };
                     self.stats.io_seconds += wasted;
+                    self.stats.faults += 1;
+                    self.metrics.faults.inc();
+                    self.metrics.io_seconds.set(self.stats.io_seconds);
                     return Err(e);
                 }
             }
@@ -330,6 +421,8 @@ impl SimDevice {
         let time = self.profile.read_time(bytes, access);
         self.stats.written_bytes += bytes as u64;
         self.stats.io_seconds += time;
+        self.metrics.written_bytes.add(bytes as u64);
+        self.metrics.io_seconds.set(self.stats.io_seconds);
         time
     }
 
@@ -338,6 +431,14 @@ impl SimDevice {
     pub fn charge_seconds(&mut self, seconds: f64) {
         assert!(seconds >= 0.0, "cannot charge negative time");
         self.stats.io_seconds += seconds;
+        self.metrics.io_seconds.set(self.stats.io_seconds);
+    }
+
+    /// Record one retry attempt (called by retry loops such as
+    /// `retry_block_read` each time a failed read is re-attempted).
+    pub fn note_retry(&mut self) {
+        self.stats.retries += 1;
+        self.metrics.retries.inc();
     }
 
     /// Whether extent `key` is currently cache-resident.
@@ -491,6 +592,93 @@ mod tests {
     #[should_panic(expected = "negative")]
     fn charge_negative_panics() {
         SimDevice::in_memory().charge_seconds(-1.0);
+    }
+
+    #[test]
+    fn cache_hit_vs_miss_byte_and_op_accounting() {
+        let mut dev = SimDevice::hdd(1 << 20);
+        dev.read(Some(1), 60_000, Access::Random, None); // miss
+        dev.read(Some(1), 60_000, Access::Random, None); // hit
+        dev.read(Some(1), 60_000, Access::Sequential, None); // hit
+        dev.read(None, 40_000, Access::Sequential, None); // unkeyed: device
+        let s = dev.stats();
+        assert_eq!(s.device_bytes, 100_000);
+        assert_eq!(s.cache_bytes, 120_000);
+        assert_eq!(s.cache_hits, 2);
+        assert_eq!(s.random_reads, 1);
+        assert_eq!(s.sequential_reads, 1);
+        assert_eq!(s.total_read_bytes(), 220_000);
+        assert_eq!(s.total_reads(), 4);
+        assert!((s.cache_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_and_drop_cache_semantics_for_extended_counters() {
+        let mut dev = SimDevice::hdd(1 << 20);
+        dev.read(Some(1), 1000, Access::Random, None);
+        dev.read(Some(1), 1000, Access::Random, None);
+        dev.note_retry();
+        // drop_cache: residency gone, every counter preserved.
+        dev.drop_cache();
+        assert_eq!(dev.stats().cache_hits, 1);
+        assert_eq!(dev.stats().retries, 1);
+        assert_eq!(dev.stats().device_bytes, 1000);
+        // The next keyed read misses again (cache really dropped).
+        dev.read(Some(1), 1000, Access::Random, None);
+        assert_eq!(dev.stats().cache_hits, 1);
+        assert_eq!(dev.stats().device_bytes, 2000);
+        // reset: everything back to zero.
+        dev.reset();
+        assert_eq!(dev.stats(), &IoStats::default());
+    }
+
+    #[test]
+    fn failed_attempts_charge_clock_exactly_once_per_attempt() {
+        // Two transient failures on (3,7): each failed attempt costs exactly
+        // one seek; the succeeding attempt costs a full random read.
+        let mut dev = SimDevice::hdd(0);
+        dev.set_fault_plan(crate::fault::FaultPlan::new(1).with_transient(3, 7, 2));
+        let seek = dev.profile().seek_latency_s;
+        let full = dev.profile().read_time(50_000, Access::Random);
+        dev.read_guarded(3, 7, 50_000, Access::Random, None).unwrap_err();
+        assert!((dev.stats().io_seconds - seek).abs() < 1e-12);
+        dev.read_guarded(3, 7, 50_000, Access::Random, None).unwrap_err();
+        assert!((dev.stats().io_seconds - 2.0 * seek).abs() < 1e-12);
+        dev.read_guarded(3, 7, 50_000, Access::Random, None).unwrap();
+        assert!((dev.stats().io_seconds - (2.0 * seek + full)).abs() < 1e-12);
+        assert_eq!(dev.stats().faults, 2);
+    }
+
+    #[test]
+    fn telemetry_mirrors_device_counters() {
+        let tel = Telemetry::enabled();
+        let mut dev = SimDevice::hdd(1 << 20);
+        dev.set_telemetry(tel.clone());
+        dev.read(Some(1), 5000, Access::Random, None);
+        dev.read(Some(1), 5000, Access::Random, None);
+        dev.write(2000, Access::Sequential);
+        dev.note_retry();
+        assert_eq!(tel.counter("storage.device.random_reads").get(), 1);
+        assert_eq!(tel.counter("storage.device.cache_hits").get(), 1);
+        assert_eq!(tel.counter("storage.device.device_bytes").get(), 5000);
+        assert_eq!(tel.counter("storage.device.cache_bytes").get(), 5000);
+        assert_eq!(tel.counter("storage.device.written_bytes").get(), 2000);
+        assert_eq!(tel.counter("storage.device.retries").get(), 1);
+        let clock = tel.gauge("storage.device.io_seconds").get();
+        assert!((clock - dev.stats().io_seconds).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disabled_telemetry_leaves_device_untouched() {
+        let mut plain = SimDevice::hdd(1 << 20);
+        let mut wired = SimDevice::hdd(1 << 20);
+        wired.set_telemetry(Telemetry::disabled());
+        for dev in [&mut plain, &mut wired] {
+            dev.read(Some(1), 5000, Access::Random, None);
+            dev.read(Some(1), 5000, Access::Random, None);
+        }
+        assert_eq!(plain.stats(), wired.stats());
+        assert!(!wired.telemetry().is_enabled());
     }
 
     #[test]

@@ -240,10 +240,9 @@ impl FaultInjector {
         }
 
         if self.plan.transient_rate > 0.0 {
+            let roll = self.hash01(key, attempt);
             let streak = self.streak.entry(key).or_insert(0);
-            if *streak < self.plan.max_consecutive
-                && self.hash01(key, attempt) < self.plan.transient_rate
-            {
+            if *streak < self.plan.max_consecutive && roll < self.plan.transient_rate {
                 *streak += 1;
                 self.stats.transient_failures += 1;
                 return ReadOutcome::Fail(StorageError::ReadFailed {

@@ -24,6 +24,9 @@
 //!   permanent read failures, checksum corruption, latency spikes);
 //! * [`retry`] — bounded exponential-backoff retry shared by all block
 //!   readers, charging backoff to the simulated clock;
+//! * telemetry — [`SimDevice`] and [`BufferPool`] mirror their counters
+//!   into a shared [`Telemetry`] handle (re-exported from
+//!   `corgipile-telemetry`) when one is attached via `set_telemetry`;
 //! * [`crc`] — dependency-free CRC-32 backing the `CORGIPL3` checksummed
 //!   heap format and the training-checkpoint blob.
 //!
@@ -55,6 +58,11 @@ pub use persist::{atomic_write_bytes, load_table, save_table, FileBlockMeta, Fil
 pub use retry::RetryPolicy;
 pub use table::{Table, TableBuilder, TableConfig};
 pub use tuple::{FeatureVec, Tuple, TupleId};
+
+// Telemetry types appear in storage APIs (`SimDevice::set_telemetry`);
+// re-export them so downstream crates need not depend on the telemetry
+// crate directly for the common cases.
+pub use corgipile_telemetry::{Telemetry, TelemetrySnapshot};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, StorageError>;

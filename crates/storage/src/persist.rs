@@ -678,7 +678,8 @@ mod tests {
 
     #[test]
     fn fault_plan_on_file_table_injects_and_recovers() {
-        let table = sample_table(300);
+        let table = sample_table(1500);
+        assert!(table.num_blocks() >= 2, "test needs a second block to fault");
         let path = tmp("ft_faults.tbl");
         save_table(&table, &path).unwrap();
         let ft = FileTable::open(&path).unwrap();

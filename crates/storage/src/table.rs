@@ -402,6 +402,7 @@ where
             Ok(tuples) => return Ok(tuples),
             Err(e) if e.is_retryable() && attempt < policy.max_retries => {
                 dev.charge_seconds(policy.backoff(attempt));
+                dev.note_retry();
                 attempt += 1;
             }
             Err(e) if e.is_retryable() => {
@@ -580,6 +581,9 @@ mod tests {
             (overhead - expected).abs() < 1e-9,
             "retry cost {overhead} should be {expected}"
         );
+        assert_eq!(faulty.stats().retries, 2, "one retry per failed attempt");
+        assert_eq!(faulty.stats().faults, 2);
+        assert_eq!(clean.stats().retries, 0);
     }
 
     #[test]

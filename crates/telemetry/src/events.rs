@@ -1,0 +1,133 @@
+//! Structured per-epoch event log.
+//!
+//! Events are `(sequence, epoch, name, value)` tuples appended by the
+//! executor and trainers: blocks fetched, cache hits/misses, retries,
+//! faults skipped, tuples buffered, gradient steps. The log is bounded so
+//! a long run cannot grow memory without limit; overflow is counted, not
+//! silently ignored.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Default maximum retained events per log.
+pub const DEFAULT_EVENT_CAPACITY: usize = 65_536;
+
+/// One recorded observation tied to a training epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Monotonic sequence number (0-based, pre-overflow ordering).
+    pub seq: u64,
+    /// Epoch the observation belongs to.
+    pub epoch: u64,
+    /// Dotted metric-style name, e.g. `db.epoch.io_seconds`.
+    pub name: String,
+    pub value: f64,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Bounded append-only event log.
+#[derive(Debug)]
+pub struct EventLog {
+    events: Mutex<Vec<Event>>,
+    capacity: usize,
+    next_seq: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+}
+
+impl EventLog {
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventLog {
+            events: Mutex::new(Vec::new()),
+            capacity,
+            next_seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    pub fn record(&self, epoch: u64, name: &str, value: f64) {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let mut events = lock(&self.events);
+        if events.len() >= self.capacity {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        events.push(Event {
+            seq,
+            epoch,
+            name: name.to_string(),
+            value,
+        });
+    }
+
+    /// Copy of all retained events, in append order.
+    pub fn events(&self) -> Vec<Event> {
+        lock(&self.events).clone()
+    }
+
+    /// Retained events for one epoch.
+    pub fn events_for_epoch(&self, epoch: u64) -> Vec<Event> {
+        lock(&self.events)
+            .iter()
+            .filter(|e| e.epoch == epoch)
+            .cloned()
+            .collect()
+    }
+
+    pub fn len(&self) -> usize {
+        lock(&self.events).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events discarded because the log was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    pub fn clear(&self) {
+        lock(&self.events).clear();
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_with_sequence_numbers() {
+        let log = EventLog::default();
+        log.record(0, "db.epoch.tuples", 100.0);
+        log.record(1, "db.epoch.tuples", 100.0);
+        log.record(1, "db.epoch.io_seconds", 2.5);
+        let events = log.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[2].name, "db.epoch.io_seconds");
+        assert_eq!(log.events_for_epoch(1).len(), 2);
+    }
+
+    #[test]
+    fn bounded_capacity_counts_drops() {
+        let log = EventLog::with_capacity(2);
+        for i in 0..5 {
+            log.record(0, "e", i as f64);
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 3);
+        log.clear();
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 0);
+    }
+}

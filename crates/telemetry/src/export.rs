@@ -1,0 +1,185 @@
+//! Exporters: hand-rolled JSON snapshot and Prometheus-style text
+//! exposition. No serde — the workspace telemetry core stays
+//! dependency-free, and the output shapes are small and stable.
+
+use crate::registry::{HistogramSnapshot, BUCKET_BOUNDS};
+use crate::TelemetrySnapshot;
+
+/// Escape a string for embedding inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` as a JSON-legal number (`NaN`/`inf` become `0`).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // Trailing-zero-free but always valid JSON.
+        let s = format!("{v}");
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "0.0".to_string()
+    }
+}
+
+fn histogram_json(h: &HistogramSnapshot) -> String {
+    let buckets: Vec<String> = BUCKET_BOUNDS
+        .iter()
+        .zip(h.buckets.iter())
+        .map(|(bound, count)| format!("{{\"le\":{},\"count\":{}}}", json_f64(*bound), count))
+        .collect();
+    format!(
+        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"buckets\":[{}]}}",
+        h.count,
+        json_f64(h.sum),
+        json_f64(h.min),
+        json_f64(h.max),
+        json_f64(h.mean()),
+        buckets.join(",")
+    )
+}
+
+/// Serialise a full snapshot as a single JSON object:
+/// `{"counters":{...},"gauges":{...},"histograms":{...},"events":[...],"dropped_events":N}`.
+pub fn to_json(snapshot: &TelemetrySnapshot) -> String {
+    let counters: Vec<String> = snapshot
+        .metrics
+        .counters
+        .iter()
+        .map(|(name, v)| format!("\"{}\":{}", json_escape(name), v))
+        .collect();
+    let gauges: Vec<String> = snapshot
+        .metrics
+        .gauges
+        .iter()
+        .map(|(name, v)| format!("\"{}\":{}", json_escape(name), json_f64(*v)))
+        .collect();
+    let histograms: Vec<String> = snapshot
+        .metrics
+        .histograms
+        .iter()
+        .map(|(name, h)| format!("\"{}\":{}", json_escape(name), histogram_json(h)))
+        .collect();
+    let events: Vec<String> = snapshot
+        .events
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"seq\":{},\"epoch\":{},\"name\":\"{}\",\"value\":{}}}",
+                e.seq,
+                e.epoch,
+                json_escape(&e.name),
+                json_f64(e.value)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}},\"events\":[{}],\"dropped_events\":{}}}",
+        counters.join(","),
+        gauges.join(","),
+        histograms.join(","),
+        events.join(","),
+        snapshot.dropped_events
+    )
+}
+
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Serialise counters, gauges and histograms in Prometheus text
+/// exposition format (`# TYPE` lines plus samples; histograms expand to
+/// cumulative `_bucket{le=...}`, `_sum` and `_count` series).
+pub fn to_prometheus(snapshot: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snapshot.metrics.counters {
+        let n = prom_name(name);
+        out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+    }
+    for (name, v) in &snapshot.metrics.gauges {
+        let n = prom_name(name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+    }
+    for (name, h) in &snapshot.metrics.histograms {
+        let n = prom_name(name);
+        out.push_str(&format!("# TYPE {n} histogram\n"));
+        let mut cumulative = 0u64;
+        for (bound, count) in BUCKET_BOUNDS.iter().zip(h.buckets.iter()) {
+            cumulative += count;
+            out.push_str(&format!("{n}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+        }
+        out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+        out.push_str(&format!("{n}_sum {}\n", h.sum));
+        out.push_str(&format!("{n}_count {}\n", h.count));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Telemetry;
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(super::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(super::json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn json_f64_is_always_numeric() {
+        assert_eq!(super::json_f64(2.0), "2.0");
+        assert_eq!(super::json_f64(2.5), "2.5");
+        assert_eq!(super::json_f64(f64::NAN), "0.0");
+        assert_eq!(super::json_f64(f64::INFINITY), "0.0");
+    }
+
+    #[test]
+    fn json_snapshot_contains_all_sections() {
+        let tel = Telemetry::enabled();
+        tel.counter("io.reads").add(3);
+        tel.gauge("io.seconds").set(1.5);
+        tel.histogram("fill.seconds").record(0.02);
+        tel.event(0, "db.epoch.tuples", 100.0);
+        let json = tel.json();
+        assert!(json.contains("\"io.reads\":3"));
+        assert!(json.contains("\"io.seconds\":1.5"));
+        assert!(json.contains("\"fill.seconds\":{\"count\":1"));
+        assert!(json.contains("\"name\":\"db.epoch.tuples\""));
+        assert!(json.contains("\"dropped_events\":0"));
+        // Balanced braces as a cheap well-formedness check.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn prometheus_exposition_has_cumulative_buckets() {
+        let tel = Telemetry::enabled();
+        tel.counter("io.reads").add(3);
+        tel.histogram("fill.seconds").record(0.0005);
+        tel.histogram("fill.seconds").record(0.02);
+        let text = tel.prometheus();
+        assert!(text.contains("# TYPE io_reads counter\nio_reads 3\n"));
+        assert!(text.contains("fill_seconds_bucket{le=\"0.001\"} 1\n"));
+        assert!(text.contains("fill_seconds_bucket{le=\"0.05\"} 2\n"));
+        assert!(text.contains("fill_seconds_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("fill_seconds_count 2\n"));
+    }
+}

@@ -1,0 +1,74 @@
+//! Observability end to end: `EXPLAIN ANALYZE`, `SHOW STATS`, and the
+//! JSON / Prometheus exporters.
+//!
+//! ```sh
+//! cargo run --release --example telemetry
+//! ```
+//!
+//! Opens a session over a simulated SSD (telemetry is on by default),
+//! trains a CorgiPile SVM under `EXPLAIN ANALYZE` to get the annotated
+//! operator tree — actual rows, buffer fills, cache hit rate, retries,
+//! per-operator I/O seconds — then dumps the raw instruments via
+//! `SHOW STATS` and exports the same snapshot as JSON and Prometheus
+//! text.
+
+use corgipile::data::{DatasetSpec, Order};
+use corgipile::db::{QueryResult, Session};
+use corgipile::storage::SimDevice;
+
+fn main() {
+    let table = DatasetSpec::susy_like(10_000)
+        .with_order(Order::ClusteredByLabel)
+        .with_block_bytes(8 << 10)
+        .build_table(5)
+        .expect("table builds");
+    let cache = table.total_bytes() * 3;
+    let mut session = Session::new(SimDevice::ssd_scaled(1280.0, cache));
+    session.register_table("susy", table);
+
+    // 1. EXPLAIN ANALYZE: run the training query and annotate every plan
+    //    node with what actually happened.
+    let sql = "EXPLAIN ANALYZE SELECT * FROM susy TRAIN BY svm WITH \
+               learning_rate = 0.03, decay = 0.8, max_epoch_num = 4, \
+               buffer_fraction = 0.1, strategy = 'corgipile', model_name = susy_svm";
+    println!("=== EXPLAIN ANALYZE ===");
+    match session.execute(sql).expect("query runs") {
+        QueryResult::Plan(lines) => {
+            for line in &lines {
+                println!("{line}");
+            }
+        }
+        _ => unreachable!(),
+    }
+
+    // 2. SHOW STATS: every counter, gauge, histogram and the event-log
+    //    summary the run recorded.
+    println!("\n=== SHOW STATS ===");
+    match session.execute("SHOW STATS").expect("stats run") {
+        QueryResult::Plan(lines) => {
+            for line in &lines {
+                println!("{line}");
+            }
+        }
+        _ => unreachable!(),
+    }
+
+    // 3. Exporters: the same snapshot as machine-readable JSON (what
+    //    crates/bench embeds into results/<id>.json) and Prometheus text.
+    let telemetry = session.telemetry().clone();
+    let json = telemetry.json();
+    println!("\n=== JSON snapshot ({} bytes) ===", json.len());
+    let preview: String = json.chars().take(400).collect();
+    println!("{preview}…");
+
+    println!("\n=== Prometheus exposition (first 12 lines) ===");
+    for line in telemetry.prometheus().lines().take(12) {
+        println!("{line}");
+    }
+
+    // Per-epoch events drive Figure-7-style I/O traces.
+    println!("\n=== per-epoch events ===");
+    for ev in telemetry.events().iter().filter(|e| e.name == "db.epoch.io_seconds") {
+        println!("epoch {}: io = {:.4}s", ev.epoch, ev.value);
+    }
+}

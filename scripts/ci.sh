@@ -1,9 +1,21 @@
 #!/usr/bin/env bash
 # Local CI gate: build, test, format, lint. Run from the repo root.
+# Mirrored by .github/workflows/ci.yml — keep the steps in sync.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+banner() { printf '\n==== %s ====\n' "$1"; }
+
+banner "Build (release)"
 cargo build --release
+
+banner "Test"
 cargo test -q
+
+banner "Format check"
 cargo fmt --check
+
+banner "Clippy"
 cargo clippy --workspace -- -D warnings
+
+banner "CI gate passed"

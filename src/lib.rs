@@ -14,7 +14,11 @@
 //! * [`core`] — the CorgiPile dataset API, trainer, multi-worker mode, and
 //!   the convergence-theory module;
 //! * [`db`] — the in-database integration: Volcano operators, a SQL-ish
-//!   `TRAIN BY` / `PREDICT BY` surface, and MADlib/Bismarck-style baselines.
+//!   `TRAIN BY` / `PREDICT BY` surface, and MADlib/Bismarck-style baselines;
+//! * [`telemetry`] — dependency-free observability: counters, gauges,
+//!   histograms, span guards over wall + simulated time, a bounded event
+//!   log, and JSON/Prometheus exporters. Powers `EXPLAIN ANALYZE` and
+//!   `SHOW STATS` in [`db`].
 //!
 //! ## Quickstart
 //!
@@ -44,3 +48,4 @@ pub use corgipile_db as db;
 pub use corgipile_ml as ml;
 pub use corgipile_shuffle as shuffle;
 pub use corgipile_storage as storage;
+pub use corgipile_telemetry as telemetry;

@@ -97,6 +97,64 @@ fn once_pays_setup_corgipile_does_not() {
 }
 
 #[test]
+fn explain_analyze_reports_per_operator_actuals() {
+    let mut s = session();
+    let r = s
+        .execute(
+            "EXPLAIN ANALYZE SELECT * FROM susy TRAIN BY svm WITH learning_rate = 0.03, \
+             max_epoch_num = 3, buffer_fraction = 0.1, strategy = 'corgipile', \
+             model_name = ea_svm",
+        )
+        .unwrap();
+    let lines = match r {
+        QueryResult::Plan(lines) => lines,
+        _ => panic!("expected plan output"),
+    };
+    let text = lines.join("\n");
+    // Root-first operator tree with actual row counts and loop counts.
+    assert!(
+        lines[0].starts_with("SGD (actual rows=24000 loops=3"),
+        "root line: {}",
+        lines[0]
+    );
+    assert!(text.contains("TupleShuffle"), "plan: {text}");
+    assert!(text.contains("BlockShuffle"), "plan: {text}");
+    assert!(text.contains("fills="), "buffer fill actuals: {text}");
+    assert!(text.contains("cache_hit_rate="), "scan actuals: {text}");
+    assert!(text.contains("retries=0"), "retry actuals: {text}");
+    // I/O summary and training summary lines.
+    assert!(lines.iter().any(|l| l.starts_with("I/O:")), "io line: {text}");
+    assert!(
+        lines.iter().any(|l| l.starts_with("Training: epochs=3")),
+        "training line: {text}"
+    );
+    // The query actually ran: the model is queryable afterwards.
+    match s.execute("SELECT * FROM susy PREDICT BY ea_svm").unwrap() {
+        QueryResult::Predict { predictions, .. } => assert_eq!(predictions.len(), 8_000),
+        _ => panic!("expected predictions"),
+    }
+}
+
+#[test]
+fn show_stats_exposes_telemetry_counters() {
+    let mut s = session();
+    s.execute(
+        "SELECT * FROM susy TRAIN BY lr WITH max_epoch_num = 2, strategy = 'corgipile', \
+         model_name = stats_lr",
+    )
+    .unwrap();
+    let lines = match s.execute("SHOW STATS").unwrap() {
+        QueryResult::Plan(lines) => lines,
+        _ => panic!("expected stats output"),
+    };
+    let text = lines.join("\n");
+    assert!(text.contains("counter storage.device."), "device counters: {text}");
+    assert!(text.contains("counter db.sgd.gradient_steps"), "sgd counter: {text}");
+    assert!(text.contains("histogram db.tuple_shuffle.fill"), "fill spans: {text}");
+    assert!(text.contains("events "), "event summary: {text}");
+}
+
+#[test]
 fn sql_errors_surface_cleanly() {
     let mut s = session();
     assert!(matches!(
