@@ -9,6 +9,7 @@ pub mod deep;
 pub mod indb;
 pub mod io;
 pub mod order_diag;
+pub mod pipeline;
 pub mod tables;
 
 use crate::common::ExpData;
@@ -52,6 +53,7 @@ pub fn registry() -> Vec<Experiment> {
         Experiment { id: "table1", what: "qualitative strategy summary (measured)", run: tables::table1 },
         Experiment { id: "table2", what: "dataset inventory", run: tables::table2 },
         Experiment { id: "table3", what: "final train/test accuracy: Shuffle Once vs CorgiPile", run: tables::table3 },
+        Experiment { id: "pipeline", what: "extension: serial vs double-buffered epoch time (real prefetch pipeline) + kernel GFLOP/s", run: pipeline::pipeline },
         Experiment { id: "ablation", what: "extension: block-level vs tuple-level shuffle contribution", run: ablation::ablation },
         Experiment { id: "theory", what: "extension: Theorem 1 bound vs measured convergence", run: ablation::theory },
     ]

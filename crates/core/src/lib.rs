@@ -34,6 +34,9 @@ pub mod trainer;
 pub use config::CorgiPileConfig;
 pub use dataset::CorgiPileDataset;
 pub use loader::{LoaderError, ThreadedLoader};
-pub use parallel::{parallel_epoch_plan, train_parallel, ParallelConfig};
+pub use parallel::{
+    parallel_epoch_pipelined, parallel_epoch_plan, train_parallel, train_parallel_pipelined,
+    ParallelConfig,
+};
 pub use theory::{block_variance_factor, CorgiFactors, Theorem1Bound};
 pub use trainer::{EpochRecord, TrainReport, Trainer, TrainerConfig};

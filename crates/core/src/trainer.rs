@@ -17,10 +17,13 @@
 
 use corgipile_ml::{
     accuracy, build_model, mean_loss, r_squared, train_minibatch, train_per_tuple,
-    ComputeCostModel, Model, ModelKind, OptimizerKind, TrainCheckpoint, TrainOptions,
+    ComputeCostModel, EpochStats, MinibatchTrainer, Model, ModelKind, OptimizerKind,
+    TrainCheckpoint, TrainOptions,
 };
-use corgipile_shuffle::{build_strategy, ShuffleStrategy, StrategyKind, StrategyParams};
-use corgipile_storage::{DoubleBufferModel, SimDevice, StorageError, Table, Tuple};
+use corgipile_shuffle::{build_strategy, Segment, ShuffleStrategy, StrategyKind, StrategyParams};
+use corgipile_storage::{
+    run_epoch_pipeline, DoubleBufferModel, PipelineError, SimDevice, StorageError, Table, Tuple,
+};
 use serde::Serialize;
 use std::path::Path;
 
@@ -287,41 +290,114 @@ impl Trainer {
         let tuple_counter = tel.counter("core.trainer.tuples");
         let epoch_counter = tel.counter("core.trainer.epochs");
 
+        let per_tuple_mode = self.cfg.train_options.batch_size <= 1
+            && matches!(
+                self.cfg.optimizer,
+                OptimizerKind::Sgd { .. } | OptimizerKind::SgdInverseTime { .. }
+            );
+
         let mut records = Vec::with_capacity(self.cfg.epochs - start_epoch);
         for epoch in start_epoch..self.cfg.epochs {
             optimizer.set_epoch(epoch);
-            let plan = strategy.next_epoch(table, dev);
 
             // Per-segment loading/compute costs for the pipeline model.
-            let mut io = Vec::with_capacity(plan.segments.len());
-            let mut compute = Vec::with_capacity(plan.segments.len());
-            for seg in &plan.segments {
-                io.push(seg.io_seconds);
-                let flops: f64 = seg
-                    .tuples
-                    .first()
-                    .map(|t| model.flops_per_example(t.features.nnz()))
-                    .unwrap_or(0.0);
-                compute.push(self.cfg.compute.seconds(flops, seg.tuples.len()));
-            }
-            // Train over the continuous epoch stream: mini-batches span
-            // buffer fills, exactly as a DataLoader's batches span the
-            // loader's internal buffers.
-            let stream = plan.segments.iter().flat_map(|s| s.tuples.iter());
-            let stats = if self.cfg.train_options.batch_size <= 1
-                && matches!(
-                    self.cfg.optimizer,
-                    OptimizerKind::Sgd { .. } | OptimizerKind::SgdInverseTime { .. }
-                )
-            {
-                train_per_tuple(model.as_mut(), optimizer.as_ref(), stream)
+            let mut io = Vec::new();
+            let mut compute = Vec::new();
+            let (setup_seconds, stats) = if self.cfg.corgipile.double_buffer {
+                // Double-buffered path: a producer thread streams buffer
+                // fills (strategy + device mutably borrowed into it for the
+                // epoch) while this thread trains on the previous fill. The
+                // producer emits exactly `next_epoch`'s segments in order,
+                // so the visit order — and therefore the final model — is
+                // bit-identical to the serial path below.
+                let mut setup_seconds = 0.0f64;
+                let mut loss_sum = 0.0f64;
+                let mut examples = 0usize;
+                let mut updates = 0usize;
+                // Mini-batches span buffer fills, exactly as a DataLoader's
+                // batches span the loader's internal buffers: the
+                // accumulator carries partial batches across segments and
+                // flushes the trailing remainder once, at epoch end.
+                let mut mb = (!per_tuple_mode).then(|| {
+                    MinibatchTrainer::new(model.num_params(), self.cfg.train_options.clone())
+                });
+                let strategy = strategy.as_mut();
+                let dev = &mut *dev;
+                let result = run_epoch_pipeline::<Segment, std::convert::Infallible, _, _>(
+                    &tel,
+                    |sender| {
+                        setup_seconds = strategy.stream_epoch(table, dev, &mut |seg| {
+                            sender.fill_and_send(move |span| {
+                                span.add_sim_seconds(seg.io_seconds);
+                                seg
+                            })
+                        });
+                        Ok(())
+                    },
+                    |seg| {
+                        io.push(seg.io_seconds);
+                        let flops: f64 = seg
+                            .tuples
+                            .first()
+                            .map(|t| model.flops_per_example(t.features.nnz()))
+                            .unwrap_or(0.0);
+                        compute.push(self.cfg.compute.seconds(flops, seg.tuples.len()));
+                        if let Some(mb) = mb.as_mut() {
+                            for t in &seg.tuples {
+                                mb.feed(model.as_mut(), optimizer.as_mut(), t);
+                            }
+                        } else {
+                            let s =
+                                train_per_tuple(model.as_mut(), optimizer.as_ref(), &seg.tuples);
+                            loss_sum += s.mean_loss * s.examples as f64;
+                            examples += s.examples;
+                            updates += s.updates;
+                        }
+                        true
+                    },
+                );
+                match result {
+                    Ok(_) => {}
+                    Err(PipelineError::Producer(e)) => match e {},
+                    Err(PipelineError::ProducerPanicked(msg)) => {
+                        panic!("epoch pipeline producer panicked: {msg}")
+                    }
+                }
+                let stats = match mb {
+                    Some(mb) => mb.finish(model.as_mut(), optimizer.as_mut()),
+                    None => EpochStats {
+                        mean_loss: if examples > 0 { loss_sum / examples as f64 } else { 0.0 },
+                        examples,
+                        updates,
+                    },
+                };
+                (setup_seconds, stats)
             } else {
-                train_minibatch(
-                    model.as_mut(),
-                    optimizer.as_mut(),
-                    stream,
-                    &self.cfg.train_options,
-                )
+                let plan = strategy.next_epoch(table, dev);
+                for seg in &plan.segments {
+                    io.push(seg.io_seconds);
+                    let flops: f64 = seg
+                        .tuples
+                        .first()
+                        .map(|t| model.flops_per_example(t.features.nnz()))
+                        .unwrap_or(0.0);
+                    compute.push(self.cfg.compute.seconds(flops, seg.tuples.len()));
+                }
+                // Train over the continuous epoch stream: mini-batches span
+                // buffer fills, exactly as a DataLoader's batches span the
+                // loader's internal buffers.
+                let stream = plan.segments.iter().flat_map(|s| s.tuples.iter());
+                let stats = if per_tuple_mode {
+                    train_per_tuple(model.as_mut(), optimizer.as_ref(), stream)
+                } else {
+                    train_minibatch(
+                        model.as_mut(),
+                        optimizer.as_mut(),
+                        stream,
+                        &self.cfg.train_options,
+                    )
+                };
+                (plan.setup_seconds, stats)
             };
             let loss_sum = stats.mean_loss * stats.examples as f64;
             let examples = stats.examples;
@@ -330,7 +406,7 @@ impl Trainer {
             } else {
                 DoubleBufferModel::single_buffer(&io, &compute)
             };
-            sim_clock += plan.setup_seconds + epoch_seconds;
+            sim_clock += setup_seconds + epoch_seconds;
 
             let test_metric = if test.is_empty() {
                 None
@@ -350,7 +426,7 @@ impl Trainer {
             tel.event(e, "core.epoch.tuples", examples as f64);
             records.push(EpochRecord {
                 epoch,
-                setup_seconds: plan.setup_seconds,
+                setup_seconds,
                 io_seconds: epoch_io,
                 compute_seconds: epoch_compute,
                 epoch_seconds,
@@ -513,6 +589,68 @@ mod tests {
         let single = run(false);
         let double = run(true);
         assert!(double < single, "double buffering {double} !< single {single}");
+    }
+
+    /// Final model parameters for a run with the given double-buffer knob.
+    fn final_params(cfg: &TrainerConfig, table: &Table, db: bool, seed: u64) -> Vec<f32> {
+        let cfg = cfg
+            .clone()
+            .with_corgipile(CorgiPileConfig::default().with_double_buffer(db));
+        let mut dev = SimDevice::hdd(0);
+        let r = Trainer::new(cfg).train(table, &mut dev, seed).unwrap();
+        r.model.params().to_vec()
+    }
+
+    #[test]
+    fn pipelined_epochs_are_bit_identical_to_serial_per_tuple_sgd() {
+        // The tentpole correctness bar: for a fixed seed the double-buffered
+        // producer/consumer pipeline must visit tuples in exactly the serial
+        // order, so the trained models match bit-for-bit.
+        let (table, _) = clustered_higgs(1500);
+        for strategy in [StrategyKind::CorgiPile, StrategyKind::Mrs, StrategyKind::ShuffleOnce] {
+            for seed in [1u64, 7, 42] {
+                let cfg = TrainerConfig::new(ModelKind::Svm, 3).with_strategy(strategy);
+                let serial = final_params(&cfg, &table, false, seed);
+                let pipelined = final_params(&cfg, &table, true, seed);
+                assert_eq!(serial, pipelined, "{strategy} seed {seed} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_minibatch_adam_is_bit_identical_to_serial() {
+        // Mini-batches span buffer fills; the pipelined consumer's carry-over
+        // accumulator must flush on exactly the same tuple boundaries as the
+        // serial single-stream call (including the trailing partial batch).
+        let (table, _) = clustered_higgs(1100);
+        let cfg = TrainerConfig::new(ModelKind::LogisticRegression, 3)
+            .with_batch_size(32)
+            .with_optimizer(OptimizerKind::default_adam(0.05));
+        for seed in [2u64, 19] {
+            let serial = final_params(&cfg, &table, false, seed);
+            let pipelined = final_params(&cfg, &table, true, seed);
+            assert_eq!(serial, pipelined, "seed {seed} diverged");
+        }
+    }
+
+    #[test]
+    fn pipelined_epochs_record_fill_spans() {
+        let (table, _) = clustered_higgs(800);
+        let cfg = TrainerConfig::new(ModelKind::Svm, 2);
+        let mut dev = SimDevice::hdd(0);
+        let tel = corgipile_storage::Telemetry::enabled();
+        dev.set_telemetry(tel.clone());
+        Trainer::new(cfg).train(&table, &mut dev, 1).unwrap();
+        let snap = tel.snapshot();
+        let fill = snap
+            .metrics
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "pipeline.fill.sim_seconds")
+            .map(|(_, h)| h)
+            .expect("pipelined epochs should record fill spans");
+        assert!(fill.count > 0);
+        assert!(fill.sum > 0.0, "fill spans should carry the segment io_seconds");
     }
 
     #[test]

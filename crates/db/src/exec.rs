@@ -27,7 +27,8 @@ use corgipile_ml::{
 };
 use corgipile_shuffle::StrategyParams;
 use corgipile_storage::{
-    BufferPool, DoubleBufferModel, RetryPolicy, SimDevice, Table, Telemetry, Tuple,
+    block_refs, run_epoch_pipeline, BufferPool, DoubleBufferModel, PipelineError,
+    PipelineReport, RetryPolicy, SimDevice, Table, Telemetry, Tuple, TupleRef,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -123,6 +124,10 @@ pub struct OpStats {
     pub fills: u64,
     /// Tuples buffered across all fills (TupleShuffle).
     pub buffered_tuples: u64,
+    /// Fraction of the serial (single-buffer) epoch time saved by
+    /// overlapping loading with compute (SGD root only; 0 when the plan ran
+    /// without double buffering or there was nothing to overlap).
+    pub overlap_ratio: f64,
 }
 
 impl OpStats {
@@ -149,6 +154,9 @@ impl OpStats {
         if self.compute_seconds > 0.0 {
             line.push_str(&format!(" compute={:.6}s", self.compute_seconds));
         }
+        if self.overlap_ratio > 0.0 {
+            line.push_str(&format!(" overlap={:.1}%", 100.0 * self.overlap_ratio));
+        }
         if self.blocks_read > 0 {
             line.push_str(&format!(
                 " blocks={} cache_hit_rate={:.1}% retries={}",
@@ -172,7 +180,11 @@ impl OpStats {
 }
 
 /// A pull-based physical operator.
-pub trait PhysicalOperator {
+///
+/// `Send` is a supertrait so a boxed plan can be mutably borrowed into the
+/// producer thread of the double-buffered pipeline (see
+/// [`SgdOperator::execute`]).
+pub trait PhysicalOperator: Send {
     /// Operator name (for EXPLAIN-style output).
     fn name(&self) -> &'static str;
     /// Initialize state (PostgreSQL `ExecInit*`).
@@ -181,6 +193,25 @@ pub trait PhysicalOperator {
     /// failures that survive the retry policy (and are not absorbed by
     /// [`FaultAction::SkipBlock`]) propagate as [`DbError::Storage`].
     fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Tuple>, DbError>;
+    /// Zero-copy variant of [`PhysicalOperator::next`]: the tuple stays in
+    /// its `Arc`-shared block and only a [`TupleRef`] moves. Operators that
+    /// materialize tuples anyway may keep the default (one `Arc` per tuple);
+    /// the scan/shuffle operators override it to avoid cloning tuples.
+    fn next_ref(&mut self, ctx: &mut ExecContext) -> Result<Option<TupleRef>, DbError> {
+        Ok(self.next(ctx)?.map(|t| TupleRef::new(Arc::new(vec![t]), 0)))
+    }
+    /// Produce the next *buffer* of tuples — the unit the double-buffered
+    /// pipeline hands from its producer thread to the training loop. The
+    /// stream concatenated over all batches must equal the `next_ref`
+    /// stream. Default: the remaining stream as one batch (no overlap);
+    /// buffering operators override it with one batch per fill.
+    fn next_batch(&mut self, ctx: &mut ExecContext) -> Result<Option<Vec<TupleRef>>, DbError> {
+        let mut batch = Vec::new();
+        while let Some(r) = self.next_ref(ctx)? {
+            batch.push(r);
+        }
+        Ok(if batch.is_empty() { None } else { Some(batch) })
+    }
     /// Reset for another pass (PostgreSQL `ExecReScan*`); block orders are
     /// re-randomized.
     fn rescan(&mut self, ctx: &mut ExecContext);
@@ -210,7 +241,7 @@ pub struct BlockShuffleOp {
     rng: StdRng,
     order: Vec<usize>,
     next_block: usize,
-    queue: VecDeque<Tuple>,
+    queue: VecDeque<TupleRef>,
     initialized: bool,
     actuals: OpStats,
 }
@@ -244,6 +275,59 @@ impl BlockShuffleOp {
         self.next_block = 0;
         self.queue.clear();
     }
+
+    /// Read the next block of the shuffled order into the queue as
+    /// `Arc`-shared [`TupleRef`]s (zero tuple clones: the buffer-pool path
+    /// shares the cached `Arc`, the decode paths wrap the freshly decoded
+    /// block once). Returns `Ok(false)` when no blocks remain; after a
+    /// skipped dead block the queue may still be empty.
+    fn load_next_block(&mut self, ctx: &mut ExecContext) -> Result<bool, DbError> {
+        if self.next_block >= self.order.len() {
+            return Ok(false);
+        }
+        let block = self.order[self.next_block];
+        let io_before = ctx.dev.stats().io_seconds;
+        let hits_before =
+            ctx.dev.stats().cache_hits + ctx.pool.as_ref().map_or(0, |p| p.stats().hits);
+        let retries_before = ctx.dev.stats().retries;
+        let read = match self.mode {
+            ScanMode::Sequential => self
+                .table
+                .scan_block_sequential_retry(block, self.next_block == 0, ctx.dev, &ctx.retry)
+                .map(Arc::new),
+            ScanMode::RandomBlocks => match ctx.pool.as_deref_mut() {
+                Some(pool) => pool.read_block_retry(&self.table, block, ctx.dev, &ctx.retry),
+                None => self.table.read_block_retry(block, ctx.dev, &ctx.retry).map(Arc::new),
+            },
+        };
+        self.next_block += 1;
+        self.actuals.blocks_read += 1;
+        let hits_after =
+            ctx.dev.stats().cache_hits + ctx.pool.as_ref().map_or(0, |p| p.stats().hits);
+        self.actuals.cache_hits += hits_after - hits_before;
+        self.actuals.retries += ctx.dev.stats().retries - retries_before;
+        match read {
+            Ok(tuples) => {
+                // Report the block read as a fill; a TupleShuffle above
+                // folds these into its own per-buffer entries.
+                let fill = ctx.dev.stats().io_seconds - io_before;
+                ctx.fill_io.push(fill);
+                self.actuals.io_seconds += fill;
+                self.queue.extend(block_refs(&tuples));
+            }
+            Err(e) if ctx.on_fault == FaultAction::SkipBlock && e.is_retryable() => {
+                // Dead block after exhausted retries: degrade by moving
+                // on, keeping the wasted retry time on the books.
+                let fill = ctx.dev.stats().io_seconds - io_before;
+                ctx.fill_io.push(fill);
+                self.actuals.io_seconds += fill;
+                self.actuals.skipped_blocks += 1;
+                ctx.skipped_blocks.push(block);
+            }
+            Err(e) => return Err(e.into()),
+        }
+        Ok(true)
+    }
 }
 
 impl PhysicalOperator for BlockShuffleOp {
@@ -259,59 +343,34 @@ impl PhysicalOperator for BlockShuffleOp {
     }
 
     fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Tuple>, DbError> {
+        Ok(self.next_ref(ctx)?.map(|r| r.tuple().clone()))
+    }
+
+    fn next_ref(&mut self, ctx: &mut ExecContext) -> Result<Option<TupleRef>, DbError> {
         debug_assert!(self.initialized, "next() before init()");
         loop {
-            if let Some(t) = self.queue.pop_front() {
+            if let Some(r) = self.queue.pop_front() {
                 self.actuals.rows += 1;
-                return Ok(Some(t));
+                return Ok(Some(r));
             }
-            if self.next_block >= self.order.len() {
+            if !self.load_next_block(ctx)? {
                 return Ok(None);
             }
-            let block = self.order[self.next_block];
-            let io_before = ctx.dev.stats().io_seconds;
-            let hits_before = ctx.dev.stats().cache_hits
-                + ctx.pool.as_ref().map_or(0, |p| p.stats().hits);
-            let retries_before = ctx.dev.stats().retries;
-            let read = match self.mode {
-                ScanMode::Sequential => self.table.scan_block_sequential_retry(
-                    block,
-                    self.next_block == 0,
-                    ctx.dev,
-                    &ctx.retry,
-                ),
-                ScanMode::RandomBlocks => match ctx.pool.as_deref_mut() {
-                    Some(pool) => pool
-                        .read_block_retry(&self.table, block, ctx.dev, &ctx.retry)
-                        .map(|arc| arc.as_ref().clone()),
-                    None => self.table.read_block_retry(block, ctx.dev, &ctx.retry),
-                },
-            };
-            self.next_block += 1;
-            self.actuals.blocks_read += 1;
-            let hits_after = ctx.dev.stats().cache_hits
-                + ctx.pool.as_ref().map_or(0, |p| p.stats().hits);
-            self.actuals.cache_hits += hits_after - hits_before;
-            self.actuals.retries += ctx.dev.stats().retries - retries_before;
-            match read {
-                Ok(tuples) => {
-                    // Report the block read as a fill; a TupleShuffle above
-                    // folds these into its own per-buffer entries.
-                    let fill = ctx.dev.stats().io_seconds - io_before;
-                    ctx.fill_io.push(fill);
-                    self.actuals.io_seconds += fill;
-                    self.queue.extend(tuples);
-                }
-                Err(e) if ctx.on_fault == FaultAction::SkipBlock && e.is_retryable() => {
-                    // Dead block after exhausted retries: degrade by moving
-                    // on, keeping the wasted retry time on the books.
-                    let fill = ctx.dev.stats().io_seconds - io_before;
-                    ctx.fill_io.push(fill);
-                    self.actuals.io_seconds += fill;
-                    self.actuals.skipped_blocks += 1;
-                    ctx.skipped_blocks.push(block);
-                }
-                Err(e) => return Err(e.into()),
+        }
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecContext) -> Result<Option<Vec<TupleRef>>, DbError> {
+        debug_assert!(self.initialized, "next() before init()");
+        // One batch per block read: aligns each batch with the `fill_io`
+        // entry its read pushed, which the pipelined SGD consumer uses to
+        // attribute compute to fills.
+        loop {
+            if !self.queue.is_empty() {
+                self.actuals.rows += self.queue.len() as u64;
+                return Ok(Some(self.queue.drain(..).collect()));
+            }
+            if !self.load_next_block(ctx)? {
+                return Ok(None);
             }
         }
     }
@@ -344,7 +403,7 @@ pub struct TupleShuffleOp {
     capacity: usize,
     params: StrategyParams,
     rng: StdRng,
-    buffer: Vec<Tuple>,
+    buffer: Vec<TupleRef>,
     emit: usize,
     exhausted: bool,
     actuals: OpStats,
@@ -369,7 +428,9 @@ impl TupleShuffleOp {
     }
 
     /// Pull one buffer's worth from the child, shuffle, and record the fill
-    /// cost into `ctx.fill_io`.
+    /// cost into `ctx.fill_io`. Zero-copy: the buffer holds [`TupleRef`]s
+    /// into the child's `Arc`-shared blocks, and the Fisher–Yates pass
+    /// permutes those refs — no tuple is cloned on the fill path.
     fn refill(&mut self, ctx: &mut ExecContext) -> Result<(), DbError> {
         self.buffer.clear();
         self.emit = 0;
@@ -379,10 +440,10 @@ impl TupleShuffleOp {
         let mut span = ctx.telemetry.span("db.tuple_shuffle.fill");
         let mut bytes = 0usize;
         while self.buffer.len() < self.capacity {
-            match self.child.next(ctx)? {
-                Some(t) => {
-                    bytes += t.encoded_len();
-                    self.buffer.push(t);
+            match self.child.next_ref(ctx)? {
+                Some(r) => {
+                    bytes += r.encoded_len();
+                    self.buffer.push(r);
                 }
                 None => {
                     self.exhausted = true;
@@ -428,6 +489,10 @@ impl PhysicalOperator for TupleShuffleOp {
     }
 
     fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Tuple>, DbError> {
+        Ok(self.next_ref(ctx)?.map(|r| r.tuple().clone()))
+    }
+
+    fn next_ref(&mut self, ctx: &mut ExecContext) -> Result<Option<TupleRef>, DbError> {
         if self.emit >= self.buffer.len() {
             if self.exhausted {
                 return Ok(None);
@@ -437,10 +502,30 @@ impl PhysicalOperator for TupleShuffleOp {
                 return Ok(None);
             }
         }
-        let t = self.buffer[self.emit].clone();
+        let r = self.buffer[self.emit].clone();
         self.emit += 1;
         self.actuals.rows += 1;
-        Ok(Some(t))
+        Ok(Some(r))
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecContext) -> Result<Option<Vec<TupleRef>>, DbError> {
+        // One batch per buffer fill: the whole shuffled buffer moves out in
+        // one handover, so the pipelined SGD consumer drains fill k while
+        // the producer builds fill k+1.
+        if self.emit >= self.buffer.len() {
+            if self.exhausted {
+                return Ok(None);
+            }
+            self.refill(ctx)?;
+            if self.buffer.is_empty() {
+                return Ok(None);
+            }
+        }
+        let batch: Vec<TupleRef> = self.buffer.drain(self.emit..).collect();
+        self.buffer.clear();
+        self.emit = 0;
+        self.actuals.rows += batch.len() as u64;
+        Ok(Some(batch))
     }
 
     fn rescan(&mut self, ctx: &mut ExecContext) {
@@ -503,6 +588,10 @@ pub struct SgdRunResult {
     pub halted: bool,
     /// Per-operator actual statistics (EXPLAIN ANALYZE), root first.
     pub op_stats: Vec<OpStats>,
+    /// Summed pipeline report across all double-buffered epochs (all-zero
+    /// when the plan ran serially). `producer_tuple_clones` staying at 0 is
+    /// the zero-copy guarantee of the fill path.
+    pub pipeline: PipelineReport,
 }
 
 impl std::fmt::Debug for SgdRunResult {
@@ -579,6 +668,7 @@ impl SgdOperator {
         let mut records = Vec::with_capacity(self.epochs);
         let mut total_io = 0.0f64;
         let mut total_compute = 0.0f64;
+        let mut total_epoch_seconds = 0.0f64;
         let mut total_tuples = 0u64;
         let mut epochs_run = 0u64;
         let mut sim_clock = self.setup_seconds;
@@ -610,7 +700,7 @@ impl SgdOperator {
                 if epoch > 0 {
                     self.child.rescan(&mut scratch);
                 }
-                while self.child.next(&mut scratch)?.is_some() {}
+                while self.child.next_batch(&mut scratch)?.is_some() {}
             }
             self.model.params_mut().copy_from_slice(&ck.model_params);
             if !self.optimizer.load_state(&ck.optimizer_state) {
@@ -620,6 +710,8 @@ impl SgdOperator {
             }
             sim_clock = ck.sim_clock;
         }
+        let per_tuple_mode = self.options.batch_size <= 1 && self.optimizer.name() == "sgd";
+        let mut pipeline_total = PipelineReport::default();
         for epoch in start_epoch..self.epochs {
             if epoch > 0 {
                 ctx.fill_io.clear();
@@ -628,60 +720,142 @@ impl SgdOperator {
             }
             self.optimizer.set_epoch(epoch);
             let mut fill_compute: Vec<f64> = Vec::new();
-            let mut pending: Vec<Tuple> = Vec::new();
+            let mut pending: Vec<TupleRef> = Vec::new();
             let mut loss_sum = 0.0f64;
             let mut tuples = 0usize;
             let mut gradient_steps = 0u64;
-            let per_tuple_mode =
-                self.options.batch_size <= 1 && self.optimizer.name() == "sgd";
 
-            while let Some(t) = self.child.next(ctx)? {
-                let fill_now = ctx.fill_io.len().saturating_sub(1);
-                while fill_compute.len() <= fill_now {
-                    fill_compute.push(0.0);
-                }
-                tuples += 1;
-                let flops = self.model.flops_per_example(t.features.nnz());
-                if per_tuple_mode {
-                    // Standard SGD: update per tuple as it is pulled (§6.2).
-                    loss_sum += self.model.loss(&t.features, t.label);
-                    self.model.sgd_step(&t.features, t.label, self.optimizer.lr());
+            // One SGD update over `batch` (averaged gradients), attributing
+            // its compute cost to fill `$fill_idx`. The cost model's FLOP
+            // count comes from the flush-triggering tuple (the last pushed)
+            // for in-stream flushes, from the first pending tuple for the
+            // trailing partial batch.
+            macro_rules! flush_minibatch {
+                ($batch:expr, $fill_idx:expr, $last:expr, $model:expr, $optimizer:expr) => {{
+                    let batch = &mut *$batch;
+                    let bi = if $last { batch.len() - 1 } else { 0 };
+                    let flops = $model.flops_per_example(batch[bi].features.nnz());
+                    let stats = train_minibatch(
+                        $model.as_mut(),
+                        $optimizer.as_mut(),
+                        batch.iter().map(|r| r.tuple()),
+                        &self.options,
+                    );
+                    loss_sum += stats.mean_loss * stats.examples as f64;
                     gradient_steps += 1;
-                    fill_compute[fill_now] += self.compute.seconds(flops, 1);
-                } else {
-                    // Mini-batch SGD: batches span buffer fills, like a
-                    // DataLoader's batches span its internal buffers.
-                    pending.push(t);
-                    if pending.len() >= self.options.batch_size {
-                        let stats = train_minibatch(
-                            self.model.as_mut(),
-                            self.optimizer.as_mut(),
-                            pending.iter(),
-                            &self.options,
-                        );
-                        loss_sum += stats.mean_loss * stats.examples as f64;
+                    fill_compute[$fill_idx] += self.compute.seconds(flops, batch.len());
+                    batch.clear();
+                }};
+            }
+
+            if self.double_buffer {
+                // §6.3 for real: the producer thread pulls buffer fills
+                // through the operator tree (block reads, retries, fault
+                // skips and the in-buffer shuffle all run over there, on
+                // the caller's real device) while this thread trains on the
+                // previous fill. Each batch carries the index of the
+                // `ctx.fill_io` entry its fill pushed, so compute is
+                // attributed to fills exactly as in the serial loop.
+                let child = &mut self.child;
+                let model = &mut self.model;
+                let optimizer = &mut self.optimizer;
+                let ctx = &mut *ctx;
+                let result = run_epoch_pipeline::<(Vec<TupleRef>, usize), DbError, _, _>(
+                    &tel,
+                    |sender| loop {
+                        let io_before = ctx.dev.stats().io_seconds;
+                        let batch = match child.next_batch(ctx)? {
+                            Some(b) => b,
+                            None => return Ok(()),
+                        };
+                        let fill_sim = ctx.dev.stats().io_seconds - io_before;
+                        let fill_idx = ctx.fill_io.len().saturating_sub(1);
+                        if !sender.fill_and_send(|span| {
+                            span.add_sim_seconds(fill_sim);
+                            (batch, fill_idx)
+                        }) {
+                            return Ok(());
+                        }
+                    },
+                    |(batch, fill_idx)| {
+                        while fill_compute.len() <= fill_idx {
+                            fill_compute.push(0.0);
+                        }
+                        for r in batch {
+                            tuples += 1;
+                            if per_tuple_mode {
+                                let flops = model.flops_per_example(r.features.nnz());
+                                loss_sum += model.loss(&r.features, r.label);
+                                model.sgd_step(&r.features, r.label, optimizer.lr());
+                                gradient_steps += 1;
+                                fill_compute[fill_idx] += self.compute.seconds(flops, 1);
+                            } else {
+                                pending.push(r);
+                                if pending.len() >= self.options.batch_size {
+                                    flush_minibatch!(
+                                        &mut pending,
+                                        fill_idx,
+                                        true,
+                                        model,
+                                        optimizer
+                                    );
+                                }
+                            }
+                        }
+                        true
+                    },
+                );
+                match result {
+                    Ok(report) => {
+                        pipeline_total.fills += report.fills;
+                        pipeline_total.batches_consumed += report.batches_consumed;
+                        pipeline_total.producer_tuple_clones += report.producer_tuple_clones;
+                        pipeline_total.stall_wall_seconds += report.stall_wall_seconds;
+                        pipeline_total.backpressure_wall_seconds +=
+                            report.backpressure_wall_seconds;
+                    }
+                    Err(PipelineError::Producer(e)) => return Err(e),
+                    Err(PipelineError::ProducerPanicked(msg)) => {
+                        panic!("sgd pipeline producer panicked: {msg}")
+                    }
+                }
+            } else {
+                while let Some(r) = self.child.next_ref(ctx)? {
+                    let fill_now = ctx.fill_io.len().saturating_sub(1);
+                    while fill_compute.len() <= fill_now {
+                        fill_compute.push(0.0);
+                    }
+                    tuples += 1;
+                    if per_tuple_mode {
+                        // Standard SGD: update per tuple as it is pulled
+                        // (§6.2).
+                        let flops = self.model.flops_per_example(r.features.nnz());
+                        loss_sum += self.model.loss(&r.features, r.label);
+                        self.model.sgd_step(&r.features, r.label, self.optimizer.lr());
                         gradient_steps += 1;
-                        fill_compute[fill_now] += self.compute.seconds(flops, pending.len());
-                        pending.clear();
+                        fill_compute[fill_now] += self.compute.seconds(flops, 1);
+                    } else {
+                        // Mini-batch SGD: batches span buffer fills, like a
+                        // DataLoader's batches span its internal buffers.
+                        pending.push(r);
+                        if pending.len() >= self.options.batch_size {
+                            flush_minibatch!(
+                                &mut pending,
+                                fill_now,
+                                true,
+                                self.model,
+                                self.optimizer
+                            );
+                        }
                     }
                 }
             }
             if !pending.is_empty() {
-                let flops = self.model.flops_per_example(pending[0].features.nnz());
-                let stats = train_minibatch(
-                    self.model.as_mut(),
-                    self.optimizer.as_mut(),
-                    pending.iter(),
-                    &self.options,
-                );
-                loss_sum += stats.mean_loss * stats.examples as f64;
-                gradient_steps += 1;
                 if fill_compute.is_empty() {
                     fill_compute.push(0.0);
                 }
                 let last = fill_compute.len() - 1;
-                fill_compute[last] += self.compute.seconds(flops, pending.len());
-                pending.clear();
+                flush_minibatch!(&mut pending, last, false, self.model, self.optimizer);
             }
 
             let mut io: Vec<f64> = ctx.fill_io.clone();
@@ -715,6 +889,7 @@ impl SgdOperator {
             let skipped = std::mem::take(&mut ctx.skipped_blocks);
             total_io += epoch_io;
             total_compute += epoch_compute;
+            total_epoch_seconds += epoch_seconds;
             total_tuples += tuples as u64;
             epochs_run += 1;
             step_counter.add(gradient_steps);
@@ -752,6 +927,14 @@ impl SgdOperator {
                 break;
             }
         }
+        // Fraction of the serial (single-buffer) epoch time hidden by
+        // overlapping loads with compute: 1 - pipelined / (io + compute).
+        let single = total_io + total_compute;
+        let overlap_ratio = if self.double_buffer && single > 0.0 {
+            (1.0 - total_epoch_seconds / single).max(0.0)
+        } else {
+            0.0
+        };
         let mut op_stats = vec![OpStats {
             name: "SGD".to_string(),
             depth: 0,
@@ -759,11 +942,18 @@ impl SgdOperator {
             loops: epochs_run,
             io_seconds: total_io,
             compute_seconds: total_compute,
+            overlap_ratio,
             ..OpStats::default()
         }];
         self.child.collect_stats(1, &mut op_stats);
         self.child.close(ctx);
-        Ok(SgdRunResult { model: self.model, epochs: records, halted, op_stats })
+        Ok(SgdRunResult {
+            model: self.model,
+            epochs: records,
+            halted,
+            op_stats,
+            pipeline: pipeline_total,
+        })
     }
 }
 
@@ -1191,5 +1381,164 @@ mod tests {
         let err = op.execute(&mut ExecContext::new(&mut dev)).unwrap_err();
         assert!(matches!(err, DbError::Checkpoint(_)));
         std::fs::remove_file(path).ok();
+    }
+
+    /// SGD ← TupleShuffle ← BlockShuffle plan over `n` tuples.
+    fn corgi_plan(t: &Arc<Table>, buffer: usize, seed: u64) -> Box<dyn PhysicalOperator> {
+        Box::new(TupleShuffleOp::new(
+            Box::new(BlockShuffleOp::new(t.clone(), ScanMode::RandomBlocks, seed)),
+            buffer,
+            StrategyParams::default(),
+        ))
+    }
+
+    #[test]
+    fn pipelined_sgd_is_bit_identical_to_serial() {
+        let t = table(1500);
+        for seed in [1u64, 7, 42] {
+            let run = |double: bool| {
+                let op = SgdOperator::new(
+                    corgi_plan(&t, 150, seed),
+                    build_model(&ModelKind::LogisticRegression, 28, seed),
+                    OptimizerKind::default_sgd(0.05).build(),
+                    TrainOptions::default(),
+                    ComputeCostModel::in_db_core(),
+                    3,
+                    double,
+                );
+                let mut dev = SimDevice::hdd_scaled(1000.0, 0);
+                op.execute(&mut ExecContext::new(&mut dev)).unwrap()
+            };
+            let serial = run(false);
+            let pipelined = run(true);
+            assert_eq!(
+                serial.model.params(),
+                pipelined.model.params(),
+                "seed {seed}: pipelined run must visit tuples in the identical order"
+            );
+            for (s, p) in serial.epochs.iter().zip(&pipelined.epochs) {
+                assert_eq!(s.tuples, p.tuples);
+                assert!((s.io_seconds - p.io_seconds).abs() < 1e-12);
+                assert!((s.compute_seconds - p.compute_seconds).abs() < 1e-12);
+                assert!((s.train_loss - p.train_loss).abs() < 1e-12);
+            }
+            assert_eq!(serial.pipeline, PipelineReport::default());
+            assert!(pipelined.pipeline.fills > 0);
+        }
+    }
+
+    #[test]
+    fn pipelined_minibatch_adam_is_bit_identical_to_serial() {
+        let t = table(1500);
+        let run = |double: bool| {
+            let op = SgdOperator::new(
+                corgi_plan(&t, 150, 5),
+                build_model(&ModelKind::Svm, 28, 3),
+                OptimizerKind::default_adam(0.01).build(),
+                TrainOptions::minibatch(32),
+                ComputeCostModel::in_db_core(),
+                2,
+                double,
+            );
+            let mut dev = SimDevice::hdd_scaled(1000.0, 0);
+            op.execute(&mut ExecContext::new(&mut dev)).unwrap()
+        };
+        let serial = run(false);
+        let pipelined = run(true);
+        assert_eq!(serial.model.params(), pipelined.model.params());
+        for (s, p) in serial.epochs.iter().zip(&pipelined.epochs) {
+            assert!((s.train_loss - p.train_loss).abs() < 1e-12);
+            assert!((s.compute_seconds - p.compute_seconds).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pipelined_sgd_under_injected_faults_matches_serial() {
+        use corgipile_storage::FaultPlan;
+        let t = table(900);
+        let run = |double: bool| {
+            let mut dev = SimDevice::hdd_scaled(1000.0, 0);
+            dev.set_fault_plan(
+                FaultPlan::new(7)
+                    .with_transient(t.config().table_id, 0, 1)
+                    .with_permanent(t.config().table_id, 1),
+            );
+            let mut ctx = ExecContext::new(&mut dev);
+            ctx.retry = RetryPolicy::with_max_retries(1);
+            ctx.on_fault = FaultAction::SkipBlock;
+            let op = SgdOperator::new(
+                corgi_plan(&t, 120, 5),
+                build_model(&ModelKind::Svm, 28, 1),
+                OptimizerKind::default_sgd(0.05).build(),
+                TrainOptions::default(),
+                ComputeCostModel::in_db_core(),
+                2,
+                double,
+            );
+            op.execute(&mut ctx).unwrap()
+        };
+        let serial = run(false);
+        let pipelined = run(true);
+        assert_eq!(
+            serial.model.params(),
+            pipelined.model.params(),
+            "fault skips must land on the same blocks in both modes"
+        );
+        for (s, p) in serial.epochs.iter().zip(&pipelined.epochs) {
+            assert_eq!(s.skipped_blocks, p.skipped_blocks);
+            assert_eq!(s.tuples, p.tuples);
+        }
+        assert_eq!(serial.epochs[0].skipped_blocks, vec![1]);
+    }
+
+    #[test]
+    fn pipelined_fill_path_makes_zero_tuple_clones() {
+        let t = table(1500);
+        let op = SgdOperator::new(
+            corgi_plan(&t, 150, 5),
+            build_model(&ModelKind::Svm, 28, 1),
+            OptimizerKind::default_sgd(0.05).build(),
+            TrainOptions::default(),
+            ComputeCostModel::in_db_core(),
+            2,
+            true,
+        );
+        let mut dev = SimDevice::hdd_scaled(1000.0, 0);
+        let result = op.execute(&mut ExecContext::new(&mut dev)).unwrap();
+        assert!(result.pipeline.fills > 0);
+        assert_eq!(result.pipeline.batches_consumed, result.pipeline.fills);
+        assert_eq!(
+            result.pipeline.producer_tuple_clones, 0,
+            "the fill path must hand out Arc-shared TupleRefs, never cloned Tuples"
+        );
+    }
+
+    #[test]
+    fn overlap_ratio_reported_on_sgd_root() {
+        let t = table(2000);
+        let run = |double: bool| {
+            let op = SgdOperator::new(
+                corgi_plan(&t, 200, 5),
+                build_model(&ModelKind::Svm, 28, 1),
+                OptimizerKind::default_sgd(0.05).build(),
+                TrainOptions::default(),
+                ComputeCostModel::in_db_core(),
+                2,
+                double,
+            );
+            let mut dev = SimDevice::hdd_scaled(1000.0, 0);
+            op.execute(&mut ExecContext::new(&mut dev)).unwrap()
+        };
+        let serial = run(false);
+        assert_eq!(serial.op_stats[0].overlap_ratio, 0.0);
+        assert!(!serial.op_stats[0].render().contains("overlap="));
+        let pipelined = run(true);
+        let sgd = &pipelined.op_stats[0];
+        assert!(
+            sgd.overlap_ratio > 0.0 && sgd.overlap_ratio < 1.0,
+            "double buffering must hide some loading time, got {}",
+            sgd.overlap_ratio
+        );
+        assert!(sgd.render().contains("overlap="));
     }
 }

@@ -951,6 +951,58 @@ mod tests {
     }
 
     #[test]
+    fn double_buffer_knob_is_bit_identical_and_faster() {
+        let mut s = session_with_higgs(3000);
+        let mut run = |knob: usize| -> DbTrainSummary {
+            let r = s
+                .execute(&format!(
+                    "SELECT * FROM higgs TRAIN BY lr WITH learning_rate = 0.05, \
+                     max_epoch_num = 3, double_buffer = {knob}, model_name = m_db{knob}"
+                ))
+                .unwrap();
+            match r {
+                QueryResult::Train(t) => t,
+                _ => panic!("expected train result"),
+            }
+        };
+        let serial = run(0);
+        let pipelined = run(1);
+        // The pipelined plan must visit tuples in the identical order: the
+        // stored models agree bit for bit.
+        assert_eq!(
+            s.catalog().model("m_db0").unwrap().params,
+            s.catalog().model("m_db1").unwrap().params,
+        );
+        // ... while its simulated epochs overlap loading with compute.
+        for (sr, pr) in serial.epochs.iter().zip(&pipelined.epochs) {
+            assert!((sr.io_seconds - pr.io_seconds).abs() < 1e-12);
+            assert!(pr.epoch_seconds < sr.epoch_seconds);
+        }
+    }
+
+    #[test]
+    fn explain_analyze_reports_overlap_for_double_buffered_plans() {
+        let mut s = session_with_higgs(2000);
+        let root = |s: &mut Session, sql: &str| -> String {
+            match s.execute(sql).unwrap() {
+                QueryResult::Plan(lines) => lines[0].clone(),
+                _ => panic!("expected plan lines"),
+            }
+        };
+        let on = root(
+            &mut s,
+            "EXPLAIN ANALYZE SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 2",
+        );
+        assert!(on.contains("overlap="), "pipelined root must report overlap: {on}");
+        let off = root(
+            &mut s,
+            "EXPLAIN ANALYZE SELECT * FROM higgs TRAIN BY svm WITH \
+             max_epoch_num = 2, double_buffer = 0",
+        );
+        assert!(!off.contains("overlap="), "serial root must not: {off}");
+    }
+
+    #[test]
     fn show_stats_surfaces_telemetry_and_opt_out_silences_it() {
         let mut s = session_with_higgs(1000);
         s.execute("SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 1").unwrap();

@@ -35,5 +35,8 @@ pub use metrics::{accuracy, auc, auc_of, log_loss, mean_loss, r_squared};
 pub use mlp::Mlp;
 pub use model::{build_model, Model, ModelKind};
 pub use optimizer::{Adam, Optimizer, OptimizerKind, Sgd};
-pub use sgd::{train_minibatch, train_per_tuple, ComputeCostModel, TrainOptions};
+pub use sgd::{
+    train_minibatch, train_per_tuple, ComputeCostModel, EpochStats, MinibatchTrainer,
+    TrainOptions,
+};
 pub use softmax::SoftmaxRegression;

@@ -10,7 +10,7 @@
 
 use crate::model::Model;
 use crate::softmax::softmax;
-use corgipile_storage::FeatureVec;
+use corgipile_storage::{dense_axpy, dense_dot, FeatureVec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -76,7 +76,7 @@ impl Mlp {
             let mut z = vec![0.0f32; s.fan_out];
             for o in 0..s.fan_out {
                 let row = &w[o * s.fan_in..(o + 1) * s.fan_in];
-                z[o] = row.iter().zip(&a).map(|(wi, ai)| wi * ai).sum::<f32>() + b[o];
+                z[o] = dense_dot(row, &a) + b[o];
             }
             if li + 1 < self.shapes.len() {
                 for v in &mut z {
@@ -127,9 +127,7 @@ impl Model for Mlp {
                 let d = delta[o];
                 if d != 0.0 {
                     let grow = &mut grad[s.w_off + o * s.fan_in..s.w_off + (o + 1) * s.fan_in];
-                    for (g, ai) in grow.iter_mut().zip(a) {
-                        *g += d * ai;
-                    }
+                    dense_axpy(d, a, grow);
                     grad[s.b_off + o] += d;
                 }
             }
@@ -140,9 +138,7 @@ impl Model for Mlp {
                     let d = delta[o];
                     if d != 0.0 {
                         let row = &w[o * s.fan_in..(o + 1) * s.fan_in];
-                        for (pv, wi) in prev.iter_mut().zip(row) {
-                            *pv += d * wi;
-                        }
+                        dense_axpy(d, row, &mut prev);
                     }
                 }
                 // ReLU mask: activation a == pre-activation after ReLU, so

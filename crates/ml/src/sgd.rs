@@ -131,6 +131,92 @@ where
     EpochStats { mean_loss: if n > 0 { loss_sum / n as f64 } else { 0.0 }, examples: n, updates: n }
 }
 
+/// Incremental mini-batch accumulator: feed tuples in any grouping (e.g.
+/// one pipelined buffer fill at a time), with batches spanning group
+/// boundaries exactly as they span buffer fills in [`train_minibatch`].
+///
+/// Feeding the same tuple sequence through any segmentation produces
+/// bit-identical models and stats to one [`train_minibatch`] call — the
+/// property the double-buffered executor relies on.
+#[derive(Debug)]
+pub struct MinibatchTrainer {
+    grad: Vec<f32>,
+    in_batch: usize,
+    loss_sum: f64,
+    n: usize,
+    updates: usize,
+    options: TrainOptions,
+}
+
+impl MinibatchTrainer {
+    /// Start an epoch-long accumulation for a model of `num_params`.
+    pub fn new(num_params: usize, options: TrainOptions) -> Self {
+        assert!(options.batch_size >= 1);
+        MinibatchTrainer {
+            grad: vec![0.0f32; num_params],
+            in_batch: 0,
+            loss_sum: 0.0,
+            n: 0,
+            updates: 0,
+            options,
+        }
+    }
+
+    /// Accumulate one tuple, stepping the optimizer on batch boundaries.
+    pub fn feed(&mut self, model: &mut dyn Model, opt: &mut dyn Optimizer, t: &Tuple) {
+        self.loss_sum += model.loss(&t.features, t.label);
+        model.grad(&t.features, t.label, &mut self.grad);
+        self.in_batch += 1;
+        self.n += 1;
+        if self.in_batch == self.options.batch_size {
+            self.flush(model, opt);
+        }
+    }
+
+    /// Examples fed so far.
+    pub fn examples(&self) -> usize {
+        self.n
+    }
+
+    fn flush(&mut self, model: &mut dyn Model, opt: &mut dyn Optimizer) {
+        if self.in_batch == 0 {
+            return;
+        }
+        let scale = 1.0 / self.in_batch as f32;
+        for g in self.grad.iter_mut() {
+            *g *= scale;
+        }
+        if self.options.clip_norm > 0.0 {
+            let norm: f32 = self.grad.iter().map(|g| g * g).sum::<f32>().sqrt();
+            if norm > self.options.clip_norm {
+                let s = self.options.clip_norm / norm;
+                for g in self.grad.iter_mut() {
+                    *g *= s;
+                }
+            }
+        }
+        if self.options.l2 > 0.0 {
+            for (g, p) in self.grad.iter_mut().zip(model.params()) {
+                *g += self.options.l2 * p;
+            }
+        }
+        opt.step(model.params_mut(), &self.grad);
+        self.grad.iter_mut().for_each(|g| *g = 0.0);
+        self.in_batch = 0;
+        self.updates += 1;
+    }
+
+    /// Flush any trailing partial batch and return the epoch stats.
+    pub fn finish(mut self, model: &mut dyn Model, opt: &mut dyn Optimizer) -> EpochStats {
+        self.flush(model, opt);
+        EpochStats {
+            mean_loss: if self.n > 0 { self.loss_sum / self.n as f64 } else { 0.0 },
+            examples: self.n,
+            updates: self.updates,
+        }
+    }
+}
+
 /// Mini-batch SGD over a stream: gradients averaged over each batch, one
 /// optimizer step per batch (works with SGD and Adam).
 pub fn train_minibatch<'a, I>(
@@ -142,52 +228,11 @@ pub fn train_minibatch<'a, I>(
 where
     I: IntoIterator<Item = &'a Tuple>,
 {
-    assert!(options.batch_size >= 1);
-    let mut grad = vec![0.0f32; model.num_params()];
-    let mut in_batch = 0usize;
-    let mut loss_sum = 0.0f64;
-    let mut n = 0usize;
-    let mut updates = 0usize;
-
-    let mut flush = |model: &mut dyn Model, grad: &mut Vec<f32>, in_batch: &mut usize, updates: &mut usize| {
-        if *in_batch == 0 {
-            return;
-        }
-        let scale = 1.0 / *in_batch as f32;
-        for g in grad.iter_mut() {
-            *g *= scale;
-        }
-        if options.clip_norm > 0.0 {
-            let norm: f32 = grad.iter().map(|g| g * g).sum::<f32>().sqrt();
-            if norm > options.clip_norm {
-                let s = options.clip_norm / norm;
-                for g in grad.iter_mut() {
-                    *g *= s;
-                }
-            }
-        }
-        if options.l2 > 0.0 {
-            for (g, p) in grad.iter_mut().zip(model.params()) {
-                *g += options.l2 * p;
-            }
-        }
-        opt.step(model.params_mut(), grad);
-        grad.iter_mut().for_each(|g| *g = 0.0);
-        *in_batch = 0;
-        *updates += 1;
-    };
-
+    let mut mb = MinibatchTrainer::new(model.num_params(), options.clone());
     for t in tuples {
-        loss_sum += model.loss(&t.features, t.label);
-        model.grad(&t.features, t.label, &mut grad);
-        in_batch += 1;
-        n += 1;
-        if in_batch == options.batch_size {
-            flush(model, &mut grad, &mut in_batch, &mut updates);
-        }
+        mb.feed(model, opt, t);
     }
-    flush(model, &mut grad, &mut in_batch, &mut updates);
-    EpochStats { mean_loss: if n > 0 { loss_sum / n as f64 } else { 0.0 }, examples: n, updates }
+    mb.finish(model, opt)
 }
 
 #[cfg(test)]

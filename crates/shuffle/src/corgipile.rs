@@ -93,6 +93,22 @@ impl ShuffleStrategy for CorgiPile {
     }
 
     fn next_epoch(&mut self, table: &Table, dev: &mut SimDevice) -> EpochPlan {
+        // Delegate to the streaming path so serial and pipelined execution
+        // share one fill implementation (and hence one RNG stream).
+        let mut segments = Vec::new();
+        let setup_seconds = self.stream_epoch(table, dev, &mut |seg| {
+            segments.push(seg);
+            true
+        });
+        EpochPlan { segments, setup_seconds }
+    }
+
+    fn stream_epoch(
+        &mut self,
+        table: &Table,
+        dev: &mut SimDevice,
+        emit: &mut dyn FnMut(Segment) -> bool,
+    ) -> f64 {
         let n = self.params.buffer_blocks(table);
         let mut order: Vec<usize> = (0..table.num_blocks()).collect();
         shuffle_in_place(&mut self.rng, &mut order);
@@ -100,11 +116,13 @@ impl ShuffleStrategy for CorgiPile {
             BlockSampleMode::FullCoverage => &order,
             BlockSampleMode::SampleN => &order[..n.min(order.len())],
         };
-        let mut segments = Vec::with_capacity(chosen.len().div_ceil(n.max(1)));
         for chunk in chosen.chunks(n.max(1)) {
-            segments.push(self.fill_segment(table, chunk, dev));
+            let seg = self.fill_segment(table, chunk, dev);
+            if !emit(seg) {
+                break;
+            }
         }
-        EpochPlan { segments, setup_seconds: 0.0 }
+        0.0
     }
 
     fn buffer_tuples(&self, table: &Table) -> usize {

@@ -5,7 +5,7 @@ use crate::corgipile::{BlockSampleMode, CorgiPile};
 use crate::epoch_shuffle::EpochShuffle;
 use crate::mrs::MrsShuffle;
 use crate::no_shuffle::NoShuffle;
-use crate::plan::EpochPlan;
+use crate::plan::{EpochPlan, Segment};
 use crate::shuffle_once::ShuffleOnce;
 use crate::sliding_window::SlidingWindowShuffle;
 use crate::tuple_only::TupleOnlyShuffle;
@@ -74,12 +74,45 @@ impl StrategyParams {
 /// Calling [`ShuffleStrategy::next_epoch`] advances the strategy's internal
 /// epoch counter and RNG; the returned [`EpochPlan`] carries the tuples in
 /// SGD consumption order and the simulated I/O cost of producing them.
-pub trait ShuffleStrategy {
+///
+/// `Send` is a supertrait so a boxed strategy can move (or be mutably
+/// borrowed) into the producer thread of the double-buffered pipeline.
+pub trait ShuffleStrategy: Send {
     /// Short machine-friendly name ("corgipile", "no_shuffle", …).
     fn name(&self) -> &'static str;
 
     /// Produce the next epoch's stream over `table`, charging `dev`.
     fn next_epoch(&mut self, table: &Table, dev: &mut SimDevice) -> EpochPlan;
+
+    /// Stream the next epoch's segments through `emit` as they are filled,
+    /// returning the epoch's setup cost in simulated seconds.
+    ///
+    /// This is the hook the double-buffered pipeline hangs its producer on:
+    /// each segment is handed over as soon as it is ready instead of
+    /// materializing the whole [`EpochPlan`] first. Implementations **must**
+    /// emit exactly the segments of [`ShuffleStrategy::next_epoch`], in
+    /// order, with identical RNG advancement, so the pipelined and serial
+    /// paths stay bit-identical for a fixed seed. `emit` returning `false`
+    /// abandons the rest of the epoch (the strategy's RNG state is then
+    /// unspecified until the next [`ShuffleStrategy::reset`]).
+    ///
+    /// The default buffers one full epoch via `next_epoch` — correct for
+    /// every strategy, but with no fill/compute overlap; strategies with
+    /// genuinely incremental fills (CorgiPile) override it.
+    fn stream_epoch(
+        &mut self,
+        table: &Table,
+        dev: &mut SimDevice,
+        emit: &mut dyn FnMut(Segment) -> bool,
+    ) -> f64 {
+        let plan = self.next_epoch(table, dev);
+        for seg in plan.segments {
+            if !emit(seg) {
+                break;
+            }
+        }
+        plan.setup_seconds
+    }
 
     /// In-memory buffer requirement in tuples (Table 1's "In-memory buffer").
     fn buffer_tuples(&self, _table: &Table) -> usize {

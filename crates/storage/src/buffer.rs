@@ -10,6 +10,18 @@
 
 use crate::tuple::Tuple;
 
+/// Upper bound on the *initial* `Vec` reservation made by
+/// [`TupleBuffer::with_capacity`].
+///
+/// `capacity_tuples` is a logical limit derived from the buffered-block
+/// byte budget, and for small tuples it can run into the hundreds of
+/// millions; reserving that eagerly would commit gigabytes before a single
+/// tuple arrives. Reservations are therefore capped at this many slots
+/// (2^20); a buffer whose capacity exceeds the cap still accepts tuples up
+/// to its full `capacity_tuples` — the vector simply grows on demand past
+/// the initial reservation.
+pub const INITIAL_RESERVATION_CAP: usize = 1 << 20;
+
 /// A bounded in-memory tuple buffer.
 #[derive(Debug, Clone, Default)]
 pub struct TupleBuffer {
@@ -19,8 +31,14 @@ pub struct TupleBuffer {
 
 impl TupleBuffer {
     /// Create a buffer able to hold `capacity_tuples` tuples.
+    ///
+    /// At most [`INITIAL_RESERVATION_CAP`] slots are reserved up front; the
+    /// logical capacity is unaffected (see the constant's docs).
     pub fn with_capacity(capacity_tuples: usize) -> Self {
-        TupleBuffer { tuples: Vec::with_capacity(capacity_tuples.min(1 << 20)), capacity_tuples }
+        TupleBuffer {
+            tuples: Vec::with_capacity(capacity_tuples.min(INITIAL_RESERVATION_CAP)),
+            capacity_tuples,
+        }
     }
 
     /// Current number of buffered tuples.
@@ -157,6 +175,21 @@ mod tests {
         let n = b.fill_from((0..10).map(t));
         assert_eq!(n, 5);
         assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn over_cap_buffer_still_fills_to_full_capacity() {
+        // A logical capacity above INITIAL_RESERVATION_CAP only limits the
+        // eager reservation, never how many tuples the buffer accepts.
+        let cap = INITIAL_RESERVATION_CAP + 3;
+        let mut b = TupleBuffer::with_capacity(cap);
+        assert_eq!(b.capacity(), cap);
+        let accepted =
+            b.fill_from((0..(cap as u64 + 10)).map(|id| Tuple::dense(id, Vec::new(), 0.0)));
+        assert_eq!(accepted, cap);
+        assert_eq!(b.len(), cap);
+        assert!(b.is_full());
+        assert_eq!(b.tuples()[cap - 1].id, cap as u64 - 1);
     }
 
     #[test]

@@ -42,12 +42,13 @@ pub mod error;
 pub mod fault;
 pub mod page;
 pub mod persist;
+pub mod pipeline;
 pub mod retry;
 pub mod table;
 pub mod tuple;
 
 pub use block::{BlockId, BlockMeta};
-pub use buffer::{DoubleBufferModel, TupleBuffer};
+pub use buffer::{DoubleBufferModel, TupleBuffer, INITIAL_RESERVATION_CAP};
 pub use bufmgr::{BufferPool, BufferPoolStats};
 pub use crc::crc32;
 pub use device::{Access, CacheConfig, DeviceProfile, IoStats, SimDevice};
@@ -55,9 +56,16 @@ pub use error::StorageError;
 pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultStats, ReadOutcome};
 pub use page::{Page, PAGE_SIZE};
 pub use persist::{atomic_write_bytes, load_table, save_table, FileBlockMeta, FileTable};
+pub use pipeline::{
+    block_refs, run_epoch_pipeline, PipelineError, PipelineReport, PipelineSender, TupleRef,
+    PIPELINE_SLOTS,
+};
 pub use retry::RetryPolicy;
 pub use table::{Table, TableBuilder, TableConfig};
-pub use tuple::{FeatureVec, Tuple, TupleId};
+pub use tuple::{
+    dense_axpy, dense_axpy_scalar, dense_dot, dense_dot_scalar, tuple_clone_count, FeatureVec,
+    Tuple, TupleId, DENSE_LANES,
+};
 
 // Telemetry types appear in storage APIs (`SimDevice::set_telemetry`);
 // re-export them so downstream crates need not depend on the telemetry

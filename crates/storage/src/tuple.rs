@@ -10,9 +10,99 @@
 use crate::error::StorageError;
 use crate::Result;
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
 
 /// Identifier of a tuple within a table (its insertion position).
 pub type TupleId = u64;
+
+thread_local! {
+    /// Per-thread count of [`Tuple`] clones (see [`tuple_clone_count`]).
+    static TUPLE_CLONES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of `Tuple::clone` calls made *by the current thread* so far.
+///
+/// The steady-state fill path of the pipelined executor is required to be
+/// zero-copy: blocks are decoded once and handed around behind `Arc`s, so
+/// filling and draining a buffer must not clone tuples at all. Tests (and
+/// the [`crate::pipeline`] producer) enforce that by diffing this counter
+/// around the code under test. The counter is thread-local so concurrent
+/// tests cannot perturb each other's measurements.
+pub fn tuple_clone_count() -> u64 {
+    TUPLE_CLONES.with(|c| c.get())
+}
+
+/// Number of lanes the dense kernels process per unrolled iteration.
+///
+/// Eight `f32` lanes fill one AVX2 register; the independent-accumulator
+/// form below is what LLVM's autovectorizer turns into packed FMAs without
+/// any explicit SIMD intrinsics (and without new dependencies).
+pub const DENSE_LANES: usize = 8;
+
+/// Unrolled dense dot product over `min(x.len(), w.len())` components.
+///
+/// Eight independent accumulators break the serial dependency chain of the
+/// naive `fold`, letting the autovectorizer emit packed multiply-adds. The
+/// summation order differs from [`dense_dot_scalar`], so results may differ
+/// by normal float rounding; both are deterministic.
+#[inline]
+pub fn dense_dot(x: &[f32], w: &[f32]) -> f32 {
+    let n = x.len().min(w.len());
+    let (x, w) = (&x[..n], &w[..n]);
+    let mut acc = [0.0f32; DENSE_LANES];
+    let mut xc = x.chunks_exact(DENSE_LANES);
+    let mut wc = w.chunks_exact(DENSE_LANES);
+    for (xo, wo) in (&mut xc).zip(&mut wc) {
+        for k in 0..DENSE_LANES {
+            acc[k] += xo[k] * wo[k];
+        }
+    }
+    let tail: f32 = xc
+        .remainder()
+        .iter()
+        .zip(wc.remainder())
+        .map(|(a, b)| a * b)
+        .sum();
+    let lo = (acc[0] + acc[4]) + (acc[1] + acc[5]);
+    let hi = (acc[2] + acc[6]) + (acc[3] + acc[7]);
+    (lo + hi) + tail
+}
+
+/// Reference scalar dot product (the pre-unrolling implementation).
+///
+/// Kept for equivalence tests and the `dense_kernels` micro-benchmark.
+#[inline]
+pub fn dense_dot_scalar(x: &[f32], w: &[f32]) -> f32 {
+    x.iter().zip(w).map(|(a, b)| a * b).sum()
+}
+
+/// Unrolled dense `w[i] += scale * x[i]` over `min(x.len(), w.len())`
+/// components. Same unrolling rationale as [`dense_dot`]; unlike the dot
+/// product there is no reassociation, so results are bit-identical to
+/// [`dense_axpy_scalar`].
+#[inline]
+pub fn dense_axpy(scale: f32, x: &[f32], w: &mut [f32]) {
+    let n = x.len().min(w.len());
+    let (x, w) = (&x[..n], &mut w[..n]);
+    let mut xc = x.chunks_exact(DENSE_LANES);
+    let mut wc = w.chunks_exact_mut(DENSE_LANES);
+    for (xo, wo) in (&mut xc).zip(&mut wc) {
+        for k in 0..DENSE_LANES {
+            wo[k] += scale * xo[k];
+        }
+    }
+    for (xi, wi) in xc.remainder().iter().zip(wc.into_remainder()) {
+        *wi += scale * xi;
+    }
+}
+
+/// Reference scalar axpy (the pre-unrolling implementation).
+#[inline]
+pub fn dense_axpy_scalar(scale: f32, x: &[f32], w: &mut [f32]) {
+    for (wi, &xi) in w.iter_mut().zip(x) {
+        *wi += scale * xi;
+    }
+}
 
 /// A feature vector, dense or sparse, with `f32` components.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -78,7 +168,7 @@ impl FeatureVec {
     /// The weight slice must be at least as long as the vector's dimension.
     pub fn dot(&self, w: &[f32]) -> f32 {
         match self {
-            FeatureVec::Dense(v) => v.iter().zip(w).map(|(a, b)| a * b).sum(),
+            FeatureVec::Dense(v) => dense_dot(v, w),
             FeatureVec::Sparse { indices, values, .. } => indices
                 .iter()
                 .zip(values)
@@ -90,11 +180,7 @@ impl FeatureVec {
     /// `w += scale * self`, the sparse-aware axpy used by gradient updates.
     pub fn axpy_into(&self, scale: f32, w: &mut [f32]) {
         match self {
-            FeatureVec::Dense(v) => {
-                for (wi, &xi) in w.iter_mut().zip(v) {
-                    *wi += scale * xi;
-                }
-            }
+            FeatureVec::Dense(v) => dense_axpy(scale, v, w),
             FeatureVec::Sparse { indices, values, .. } => {
                 for (&i, &v) in indices.iter().zip(values) {
                     w[i as usize] += scale * v;
@@ -126,7 +212,11 @@ impl FeatureVec {
 }
 
 /// One training example as stored in a heap table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Clone` is implemented by hand so every clone bumps the thread-local
+/// counter behind [`tuple_clone_count`] — the zero-copy guarantee of the
+/// pipelined fill path is asserted against it.
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct Tuple {
     /// Position of the tuple in the original table order (`tuple_id` in the
     /// paper's Figure 3/4 diagnostics).
@@ -136,6 +226,13 @@ pub struct Tuple {
     /// Label: ±1 for binary classification, class index for multi-class,
     /// real value for regression.
     pub label: f32,
+}
+
+impl Clone for Tuple {
+    fn clone(&self) -> Self {
+        TUPLE_CLONES.with(|c| c.set(c.get() + 1));
+        Tuple { id: self.id, features: self.features.clone(), label: self.label }
+    }
 }
 
 /// Encoding tags for the on-page representation.
@@ -317,6 +414,46 @@ mod tests {
         let mut w = vec![0.0; 5];
         f.axpy_into(3.0, &mut w);
         assert_eq!(w, vec![3.0, 0.0, 0.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn clone_bumps_the_thread_local_counter() {
+        let before = tuple_clone_count();
+        let t = Tuple::dense(1, vec![1.0, 2.0], 1.0);
+        #[allow(clippy::redundant_clone)]
+        let _copy = t.clone();
+        assert_eq!(tuple_clone_count(), before + 1);
+    }
+
+    #[test]
+    fn unrolled_kernels_match_scalar_reference() {
+        for n in [0usize, 1, 7, 8, 9, 15, 16, 17, 63, 64, 100] {
+            let x: Vec<f32> = (0..n).map(|i| (i as f32) * 0.25 - 3.0).collect();
+            let w: Vec<f32> = (0..n).map(|i| 1.0 - (i as f32) * 0.125).collect();
+            let fast = dense_dot(&x, &w);
+            let slow = dense_dot_scalar(&x, &w);
+            assert!(
+                (fast - slow).abs() <= 1e-3 * (1.0 + slow.abs()),
+                "dot mismatch at n={n}: {fast} vs {slow}"
+            );
+            let mut wa = w.clone();
+            let mut wb = w.clone();
+            dense_axpy(0.5, &x, &mut wa);
+            dense_axpy_scalar(0.5, &x, &mut wb);
+            assert_eq!(wa, wb, "axpy mismatch at n={n}");
+        }
+    }
+
+    #[test]
+    fn kernels_respect_shorter_weight_slices() {
+        // `dot`/`axpy_into` historically zip to the shorter slice; the
+        // unrolled kernels must preserve that.
+        let x = vec![1.0f32; 20];
+        let w = vec![2.0f32; 12];
+        assert_eq!(dense_dot(&x, &w), 24.0);
+        let mut w2 = w.clone();
+        dense_axpy(1.0, &x, &mut w2);
+        assert_eq!(w2, vec![3.0f32; 12]);
     }
 
     #[test]

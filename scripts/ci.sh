@@ -18,4 +18,11 @@ cargo fmt --check
 banner "Clippy"
 cargo clippy --workspace -- -D warnings
 
+banner "Pipeline bench (smoke scale)"
+# Completes-and-emits-valid-JSON check only — no performance gating in CI.
+CORGI_PIPELINE_TUPLES=1500 CORGI_PIPELINE_EPOCHS=2 \
+  cargo run --release --bin corgi-bench -- pipeline
+python3 -c "import json; json.load(open('BENCH_pipeline.json'))" \
+  || { echo "BENCH_pipeline.json is not valid JSON"; exit 1; }
+
 banner "CI gate passed"
