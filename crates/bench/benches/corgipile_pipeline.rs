@@ -1,12 +1,14 @@
 //! Criterion: the full CorgiPile stack — library trainer epochs, the
 //! threaded double-buffered loader, and multi-worker epochs.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use corgipile_core::{parallel_epoch_plan, train_parallel, ParallelConfig, ThreadedLoader, Trainer, TrainerConfig};
+use corgipile_core::{
+    parallel_epoch_plan, train_parallel, ParallelConfig, ThreadedLoader, Trainer, TrainerConfig,
+};
 use corgipile_data::{DatasetSpec, Order};
 use corgipile_ml::{build_model, ModelKind, OptimizerKind, Sgd};
 use corgipile_shuffle::StrategyKind;
 use corgipile_storage::{SimDevice, Table};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 fn table() -> Table {
     DatasetSpec::higgs_like(8_000)
@@ -29,7 +31,10 @@ fn bench_trainer(c: &mut Criterion) {
                     .with_optimizer(OptimizerKind::default_sgd(0.02));
                 let mut dev = SimDevice::in_memory();
                 std::hint::black_box(
-                    Trainer::new(cfg).train(&table, &mut dev, 1).unwrap().final_train_metric,
+                    Trainer::new(cfg)
+                        .train(&table, &mut dev, 1)
+                        .unwrap()
+                        .final_train_metric,
                 )
             })
         });
@@ -81,5 +86,10 @@ fn bench_parallel_epoch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_trainer, bench_threaded_loader, bench_parallel_epoch);
+criterion_group!(
+    benches,
+    bench_trainer,
+    bench_threaded_loader,
+    bench_parallel_epoch
+);
 criterion_main!(benches);

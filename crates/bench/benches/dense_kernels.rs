@@ -2,8 +2,8 @@
 //! the kernels behind every GLM/softmax/MLP gradient step (and the basis
 //! of the `kernel_gflops` section of `BENCH_pipeline.json`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use corgipile_storage::{dense_axpy, dense_axpy_scalar, dense_dot, dense_dot_scalar};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_dense_kernels(c: &mut Criterion) {
     for dim in [28usize, 256, 2048] {

@@ -1,9 +1,9 @@
 //! Criterion: the simulated-device fast paths (block reads through the
 //! cache hierarchy) and the Figure-20 throughput curve computation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use corgipile_data::{DatasetSpec, Order};
 use corgipile_storage::{Access, DeviceProfile, SimDevice};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_random_block_reads(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig20_random_read_model");
@@ -60,5 +60,10 @@ fn bench_profile_closed_form(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_random_block_reads, bench_table_block_access, bench_profile_closed_form);
+criterion_group!(
+    benches,
+    bench_random_block_reads,
+    bench_table_block_access,
+    bench_profile_closed_form
+);
 criterion_main!(benches);

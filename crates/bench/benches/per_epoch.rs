@@ -2,12 +2,14 @@
 //! the wall-clock analogue of Figure 13 (No-Shuffle plan vs CorgiPile plan
 //! vs single-buffer CorgiPile).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use corgipile_data::{DatasetSpec, Order};
-use corgipile_db::{BlockShuffleOp, ExecContext, PhysicalOperator, ScanMode, SgdOperator, TupleShuffleOp};
+use corgipile_db::{
+    BlockShuffleOp, ExecContext, PhysicalOperator, ScanMode, SgdOperator, TupleShuffleOp,
+};
 use corgipile_ml::{build_model, ComputeCostModel, ModelKind, OptimizerKind, TrainOptions};
 use corgipile_shuffle::StrategyParams;
-use corgipile_storage::{SimDevice, Table};
+use corgipile_storage::{DeviceHandle, SimDevice, Table};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::sync::Arc;
 
 fn table() -> Arc<Table> {
@@ -24,7 +26,11 @@ fn run_epoch(table: &Arc<Table>, plan: &str, double: bool) -> f64 {
     let child: Box<dyn PhysicalOperator> = match plan {
         "no" => Box::new(BlockShuffleOp::new(table.clone(), ScanMode::Sequential, 1)),
         _ => Box::new(TupleShuffleOp::new(
-            Box::new(BlockShuffleOp::new(table.clone(), ScanMode::RandomBlocks, 1)),
+            Box::new(BlockShuffleOp::new(
+                table.clone(),
+                ScanMode::RandomBlocks,
+                1,
+            )),
             800,
             StrategyParams::default(),
         )),
@@ -38,7 +44,7 @@ fn run_epoch(table: &Arc<Table>, plan: &str, double: bool) -> f64 {
         1,
         double,
     );
-    let mut dev = SimDevice::in_memory();
+    let mut dev = DeviceHandle::private(SimDevice::in_memory());
     let mut ctx = ExecContext::new(&mut dev);
     op.execute(&mut ctx).expect("fault-free epoch").epochs[0].epoch_seconds
 }

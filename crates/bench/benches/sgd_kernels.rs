@@ -1,10 +1,10 @@
 //! Criterion: per-tuple gradient kernels — the compute inner loops whose
 //! costs the simulated clock models (dense vs sparse vs MLP).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use corgipile_data::{DatasetSpec, Order};
 use corgipile_ml::{build_model, ModelKind};
 use corgipile_storage::Tuple;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 fn tuples_for(spec: corgipile_data::DatasetSpec) -> Vec<Tuple> {
     spec.with_order(Order::Shuffled).build(1).train
@@ -50,7 +50,14 @@ fn bench_kernels(c: &mut Criterion) {
 
     group.bench_function("mlp_128x32x10", |b| {
         let cifar = tuples_for(DatasetSpec::cifar_like(500));
-        let mut m = build_model(&ModelKind::Mlp { hidden: vec![32], classes: 10 }, 128, 1);
+        let mut m = build_model(
+            &ModelKind::Mlp {
+                hidden: vec![32],
+                classes: 10,
+            },
+            128,
+            1,
+        );
         let mut i = 0;
         b.iter(|| {
             let t = &cifar[i % cifar.len()];

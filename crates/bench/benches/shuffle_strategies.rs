@@ -2,10 +2,10 @@
 //! stream generation (the CPU side of Table 1 / Figure 13: how expensive
 //! is producing the order itself?).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use corgipile_data::{DatasetSpec, Order};
 use corgipile_shuffle::{build_strategy, StrategyKind, StrategyParams};
 use corgipile_storage::{SimDevice, Table};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn table() -> Table {
     DatasetSpec::higgs_like(8_000)

@@ -9,16 +9,25 @@ fn main() {
     for spec in glm_datasets(Order::ClusteredByLabel) {
         let spec = spec.with_test(2000);
         let data = ExpData::build(spec, 99, 99);
-        for mk in [ModelKind::LogisticRegression] {
-            let mut dev = data.ssd();
-            let r = run_strategy(&data, mk.clone(), StrategyKind::ShuffleOnce, 10, &mut dev, |c| {
-                c.with_optimizer(glm_optimizer(&data.spec.name))
-            });
-            let mut dev2 = data.ssd();
-            let n = run_strategy(&data, mk.clone(), StrategyKind::NoShuffle, 10, &mut dev2, |c| {
-                c.with_optimizer(glm_optimizer(&data.spec.name))
-            });
-            println!("{:<8} SO={:.3} NS={:.3}", data.spec.name, tail_metric(&r, 3), tail_metric(&n, 3));
-        }
+        let mk = ModelKind::LogisticRegression;
+        let mut dev = data.ssd();
+        let r = run_strategy(
+            &data,
+            mk.clone(),
+            StrategyKind::ShuffleOnce,
+            10,
+            &mut dev,
+            |c| c.with_optimizer(glm_optimizer(&data.spec.name)),
+        );
+        let mut dev2 = data.ssd();
+        let n = run_strategy(&data, mk, StrategyKind::NoShuffle, 10, &mut dev2, |c| {
+            c.with_optimizer(glm_optimizer(&data.spec.name))
+        });
+        println!(
+            "{:<8} SO={:.3} NS={:.3}",
+            data.spec.name,
+            tail_metric(&r, 3),
+            tail_metric(&n, 3)
+        );
     }
 }

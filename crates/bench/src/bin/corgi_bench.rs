@@ -14,10 +14,14 @@ use corgipile_bench::experiments::registry;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let experiments = registry();
-    if args.is_empty() || args.iter().any(|a| a == "list" || a == "--help" || a == "-h") {
+    if args.is_empty()
+        || args
+            .iter()
+            .any(|a| a == "list" || a == "--help" || a == "-h")
+    {
         println!("corgi-bench — regenerate the CorgiPile paper's evaluation\n");
         println!("usage: corgi-bench <experiment>... | all | list\n");
-        println!("{:<8}  {}", "id", "artifact");
+        println!("{:<8}  artifact", "id");
         println!("{}", "-".repeat(80));
         for e in &experiments {
             println!("{:<8}  {}", e.id, e.what);
@@ -38,13 +42,20 @@ fn main() {
                 eprintln!("[corgi-bench] running {} — {}", e.id, e.what);
                 let t0 = std::time::Instant::now();
                 (e.run)();
-                eprintln!("[corgi-bench] {} done in {:.1}s\n", e.id, t0.elapsed().as_secs_f64());
+                eprintln!(
+                    "[corgi-bench] {} done in {:.1}s\n",
+                    e.id,
+                    t0.elapsed().as_secs_f64()
+                );
             }
             None => unknown.push(*id),
         }
     }
     if !unknown.is_empty() {
-        eprintln!("unknown experiment(s): {}; run `corgi-bench list`", unknown.join(", "));
+        eprintln!(
+            "unknown experiment(s): {}; run `corgi-bench list`",
+            unknown.join(", ")
+        );
         std::process::exit(2);
     }
 }

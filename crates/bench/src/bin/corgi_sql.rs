@@ -19,12 +19,13 @@
 
 use corgipile_bench::common::glm_datasets;
 use corgipile_data::Order;
-use corgipile_db::{QueryResult, Session};
+use corgipile_db::{Database, QueryResult};
 use corgipile_storage::SimDevice;
 use std::io::{BufRead, Write};
 
 fn main() {
-    let mut session = Session::new(SimDevice::ssd_scaled(1280.0, 256 << 20));
+    let db = Database::new(SimDevice::ssd_scaled(1280.0, 256 << 20));
+    let mut session = db.connect();
     eprint!("loading demo tables");
     for spec in glm_datasets(Order::ClusteredByLabel) {
         let name = spec.name.clone();
@@ -109,7 +110,10 @@ fn main() {
                 )
                 .ok();
             }
-            Ok(QueryResult::Predict { predictions, metric }) => {
+            Ok(QueryResult::Predict {
+                predictions,
+                metric,
+            }) => {
                 writeln!(
                     out,
                     "PREDICT OK: {} rows, metric {:.2}% (first 10: {:?})",
@@ -128,6 +132,10 @@ fn main() {
                 for n in names {
                     writeln!(out, "{n}").ok();
                 }
+            }
+            Ok(other) => {
+                // QueryResult is #[non_exhaustive].
+                writeln!(out, "OK: {other:?}").ok();
             }
             Err(e) => {
                 writeln!(out, "ERROR: {e}").ok();

@@ -9,8 +9,14 @@ use corgipile_storage::{DeviceProfile, SimDevice, Table};
 /// yfcc) needs a much larger rate than raw-feature data.
 pub fn glm_optimizer(dataset: &str) -> OptimizerKind {
     match dataset {
-        "epsilon" | "yfcc" => OptimizerKind::Sgd { lr0: 4.0, decay: 0.8 },
-        _ => OptimizerKind::Sgd { lr0: 0.03, decay: 0.8 },
+        "epsilon" | "yfcc" => OptimizerKind::Sgd {
+            lr0: 4.0,
+            decay: 0.8,
+        },
+        _ => OptimizerKind::Sgd {
+            lr0: 0.03,
+            decay: 0.8,
+        },
     }
 }
 
@@ -19,8 +25,14 @@ pub fn glm_optimizer(dataset: &str) -> OptimizerKind {
 /// rate).
 pub fn glm_minibatch_optimizer(dataset: &str) -> OptimizerKind {
     match dataset {
-        "epsilon" | "yfcc" => OptimizerKind::Sgd { lr0: 8.0, decay: 0.95 },
-        _ => OptimizerKind::Sgd { lr0: 0.1, decay: 0.9 },
+        "epsilon" | "yfcc" => OptimizerKind::Sgd {
+            lr0: 8.0,
+            decay: 0.95,
+        },
+        _ => OptimizerKind::Sgd {
+            lr0: 0.1,
+            decay: 0.9,
+        },
     }
 }
 
@@ -60,7 +72,11 @@ impl ExpData {
     /// HDD + SSD devices scaled for this dataset, with an OS cache sized so
     /// that datasets which fit in the paper's RAM fit here too.
     pub fn devices(&self) -> (SimDevice, SimDevice) {
-        devices_for(&self.table, self.device_scale(), fits_in_cache(&self.spec.name))
+        devices_for(
+            &self.table,
+            self.device_scale(),
+            fits_in_cache(&self.spec.name),
+        )
     }
 
     /// The scaled HDD only.
@@ -78,7 +94,11 @@ impl ExpData {
 pub fn devices_for(table: &Table, scale: f64, fits: bool) -> (SimDevice, SimDevice) {
     // Shuffle-Once needs room for the shuffled copy too, so "fits" means
     // 3× the table; "doesn't fit" caches half the table.
-    let cache = if fits { table.total_bytes() * 3 } else { table.total_bytes() / 2 };
+    let cache = if fits {
+        table.total_bytes() * 3
+    } else {
+        table.total_bytes() / 2
+    };
     (
         SimDevice::new(
             DeviceProfile::hdd_scaled(scale),
@@ -95,40 +115,68 @@ pub fn devices_for(table: &Table, scale: f64, fits: bool) -> (SimDevice, SimDevi
 /// block sizes holding ≥ ~30 tuples per block (see DESIGN.md §4).
 pub fn glm_datasets(order: Order) -> Vec<DatasetSpec> {
     vec![
-        DatasetSpec::higgs_like(24_000).with_order(order).with_block_bytes(8 << 10),
-        DatasetSpec::susy_like(12_000).with_order(order).with_block_bytes(8 << 10),
-        DatasetSpec::epsilon_like(1_500).with_order(order).with_block_bytes(256 << 10),
-        DatasetSpec::criteo_like(24_000).with_order(order).with_block_bytes(32 << 10),
-        DatasetSpec::yfcc_like(1_000).with_order(order).with_block_bytes(512 << 10),
+        DatasetSpec::higgs_like(24_000)
+            .with_order(order)
+            .with_block_bytes(8 << 10),
+        DatasetSpec::susy_like(12_000)
+            .with_order(order)
+            .with_block_bytes(8 << 10),
+        DatasetSpec::epsilon_like(1_500)
+            .with_order(order)
+            .with_block_bytes(256 << 10),
+        DatasetSpec::criteo_like(24_000)
+            .with_order(order)
+            .with_block_bytes(32 << 10),
+        DatasetSpec::yfcc_like(1_000)
+            .with_order(order)
+            .with_block_bytes(512 << 10),
     ]
 }
 
 /// A quick (smaller) variant of [`glm_datasets`] for convergence-only runs.
 pub fn glm_datasets_small(order: Order) -> Vec<DatasetSpec> {
     vec![
-        DatasetSpec::higgs_like(8_000).with_order(order).with_block_bytes(8 << 10),
-        DatasetSpec::susy_like(6_000).with_order(order).with_block_bytes(8 << 10),
-        DatasetSpec::epsilon_like(800).with_order(order).with_block_bytes(128 << 10),
-        DatasetSpec::criteo_like(8_000).with_order(order).with_block_bytes(16 << 10),
-        DatasetSpec::yfcc_like(700).with_order(order).with_block_bytes(256 << 10),
+        DatasetSpec::higgs_like(8_000)
+            .with_order(order)
+            .with_block_bytes(8 << 10),
+        DatasetSpec::susy_like(6_000)
+            .with_order(order)
+            .with_block_bytes(8 << 10),
+        DatasetSpec::epsilon_like(800)
+            .with_order(order)
+            .with_block_bytes(128 << 10),
+        DatasetSpec::criteo_like(8_000)
+            .with_order(order)
+            .with_block_bytes(16 << 10),
+        DatasetSpec::yfcc_like(700)
+            .with_order(order)
+            .with_block_bytes(256 << 10),
     ]
 }
 
 /// The cifar-10 stand-in (§7.2.2).
 pub fn cifar_dataset(order: Order) -> DatasetSpec {
-    DatasetSpec::cifar_like(4_000).with_order(order).with_block_bytes(8 << 10)
+    DatasetSpec::cifar_like(4_000)
+        .with_order(order)
+        .with_block_bytes(8 << 10)
 }
 
 /// The yelp-review stand-in (§7.2.2).
 pub fn yelp_dataset(order: Order) -> DatasetSpec {
-    DatasetSpec::yelp_like(4_000).with_order(order).with_block_bytes(8 << 10)
+    DatasetSpec::yelp_like(4_000)
+        .with_order(order)
+        .with_block_bytes(8 << 10)
 }
 
 /// The ImageNet stand-in (§7.2.1) — more classes, wider features.
 pub fn imagenet_dataset(order: Order) -> DatasetSpec {
     DatasetSpec::new(
         "imagenet",
-        DataKind::MultiClass { dim: 128, classes: 20, separation: 3.5 },
+        DataKind::MultiClass {
+            dim: 128,
+            classes: 20,
+            separation: 3.5,
+        },
         6_000,
     )
     .with_order(order)
@@ -137,12 +185,16 @@ pub fn imagenet_dataset(order: Order) -> DatasetSpec {
 
 /// YearPredictionMSD stand-in (§7.4.2).
 pub fn msd_dataset(order: Order) -> DatasetSpec {
-    DatasetSpec::msd_like(8_000).with_order(order).with_block_bytes(8 << 10)
+    DatasetSpec::msd_like(8_000)
+        .with_order(order)
+        .with_block_bytes(8 << 10)
 }
 
 /// mini8m stand-in (§7.4.2).
 pub fn mini8m_dataset(order: Order) -> DatasetSpec {
-    DatasetSpec::mini8m_like(2_000).with_order(order).with_block_bytes(64 << 10)
+    DatasetSpec::mini8m_like(2_000)
+        .with_order(order)
+        .with_block_bytes(64 << 10)
 }
 
 #[cfg(test)]

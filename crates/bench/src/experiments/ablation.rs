@@ -10,7 +10,9 @@
 use super::{run_strategy, tail_metric};
 use crate::common::{glm_optimizer, ExpData};
 use crate::report::{fmt_pct, fmt_secs, Report};
-use corgipile_core::{block_variance_factor, CorgiPileConfig, Theorem1Bound, Trainer, TrainerConfig};
+use corgipile_core::{
+    block_variance_factor, CorgiPileConfig, Theorem1Bound, Trainer, TrainerConfig,
+};
 use corgipile_data::{DatasetSpec, Order};
 use corgipile_ml::{build_model, ModelKind, OptimizerKind};
 use corgipile_shuffle::{BlockSampleMode, StrategyKind};
@@ -28,7 +30,14 @@ pub fn ablation() {
     let mut rep = Report::new(
         "ablation",
         "which shuffle level buys what (clustered higgs, SVM, HDD)",
-        &["variant", "block_shuffle", "tuple_shuffle", "final_acc", "per_epoch", "random_reads"],
+        &[
+            "variant",
+            "block_shuffle",
+            "tuple_shuffle",
+            "final_acc",
+            "per_epoch",
+            "random_reads",
+        ],
     );
     for (variant, strategy, blocks, tuples) in [
         ("No Shuffle", StrategyKind::NoShuffle, "-", "-"),
@@ -74,7 +83,15 @@ pub fn theory() {
     let mut rep = Report::new(
         "theory",
         "Theorem 1 bound vs measured convergence (SampleN CorgiPile)",
-        &["buffer", "n_blocks", "alpha", "leading_coeff", "bound@100m", "measured_train_loss", "measured_acc"],
+        &[
+            "buffer",
+            "n_blocks",
+            "alpha",
+            "leading_coeff",
+            "bound@100m",
+            "measured_train_loss",
+            "measured_acc",
+        ],
     );
     rep.note(format!(
         "measured h_D = {:.1}, sigma^2 = {:.2}, N = {}, b = {:.0} on the clustered table",
@@ -85,15 +102,17 @@ pub fn theory() {
         let n = ((stats.big_n as f64 * frac).round() as usize).clamp(1, stats.big_n);
         let bound = Theorem1Bound::new(&stats, n);
         // Fixed tuple budget T across rows: epochs scale inversely with n.
-        let epochs =
-            ((budget_epochs_at_10pct as f64 * 0.10 / frac).round() as usize).max(1);
+        let epochs = ((budget_epochs_at_10pct as f64 * 0.10 / frac).round() as usize).max(1);
         // Theorem 1 is an asymptotic statement: evaluate at T = 100*m,
         // where the (1-alpha)*h_D*sigma^2/T leading term dominates the
         // m^3/T^3 tail (at T ~ m the tail swamps everything).
         let t_asym = 100.0 * stats.m as f64;
         let cfg = TrainerConfig::new(ModelKind::LogisticRegression, epochs)
             .with_strategy(StrategyKind::CorgiPile)
-            .with_optimizer(OptimizerKind::Sgd { lr0: 0.02, decay: 1.0 })
+            .with_optimizer(OptimizerKind::Sgd {
+                lr0: 0.02,
+                decay: 1.0,
+            })
             .with_corgipile(
                 CorgiPileConfig::default()
                     .with_buffer_fraction(frac)
@@ -103,7 +122,14 @@ pub fn theory() {
         let r = Trainer::new(cfg)
             .train_with_test(&table, &ds.test, &mut dev, 43)
             .expect("non-empty");
-        let tail_loss: f64 = r.epochs.iter().rev().take(3).map(|e| e.train_loss).sum::<f64>() / 3.0;
+        let tail_loss: f64 = r
+            .epochs
+            .iter()
+            .rev()
+            .take(3)
+            .map(|e| e.train_loss)
+            .sum::<f64>()
+            / 3.0;
         rep.row_strings(vec![
             format!("{:.0}%", frac * 100.0),
             n.to_string(),

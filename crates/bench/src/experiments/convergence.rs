@@ -1,7 +1,7 @@
 //! Convergence-rate experiments: Figures 1, 2, 12, 17, 19.
 
 use super::{paper_strategies, run_strategy, tail_metric};
-use crate::common::{glm_optimizer, cifar_dataset, glm_datasets_small, ExpData};
+use crate::common::{cifar_dataset, glm_datasets_small, glm_optimizer, ExpData};
 use crate::report::{fmt_pct, fmt_secs, Report};
 use corgipile_data::{DatasetSpec, Order};
 use corgipile_ml::{ModelKind, OptimizerKind};
@@ -57,7 +57,9 @@ pub fn fig2() {
         };
         // criteo-like + LR (the paper's Figure 2 uses criteo for GLMs).
         let glm = ExpData::build(
-            DatasetSpec::criteo_like(8_000).with_order(order).with_block_bytes(16 << 10),
+            DatasetSpec::criteo_like(8_000)
+                .with_order(order)
+                .with_block_bytes(16 << 10),
             2,
             2,
         );
@@ -65,10 +67,14 @@ pub fn fig2() {
         let img = ExpData::build(cifar_dataset(order), 3, 3);
         for strategy in paper_strategies() {
             let mut dev = glm.hdd();
-            let r =
-                run_strategy(&glm, ModelKind::LogisticRegression, strategy, 6, &mut dev, |c| {
-                    c.with_optimizer(glm_optimizer(&glm.spec.name))
-                });
+            let r = run_strategy(
+                &glm,
+                ModelKind::LogisticRegression,
+                strategy,
+                6,
+                &mut dev,
+                |c| c.with_optimizer(glm_optimizer(&glm.spec.name)),
+            );
             for e in &r.epochs {
                 rep.row(&[
                     &"criteo(LR)",
@@ -81,11 +87,17 @@ pub fn fig2() {
             let mut dev = img.hdd();
             let r = run_strategy(
                 &img,
-                ModelKind::Mlp { hidden: vec![32], classes: 10 },
+                ModelKind::Mlp {
+                    hidden: vec![32],
+                    classes: 10,
+                },
                 strategy,
                 6,
                 &mut dev,
-                |c| c.with_batch_size(64).with_optimizer(OptimizerKind::default_sgd(0.1)),
+                |c| {
+                    c.with_batch_size(64)
+                        .with_optimizer(OptimizerKind::default_sgd(0.1))
+                },
             );
             for e in &r.epochs {
                 rep.row(&[
@@ -108,7 +120,14 @@ pub fn fig12() {
     let mut rep = Report::new(
         "fig12",
         "LR/SVM convergence with all strategies, clustered datasets",
-        &["dataset", "model", "strategy", "final_acc", "acc@1", "acc@3"],
+        &[
+            "dataset",
+            "model",
+            "strategy",
+            "final_acc",
+            "acc@1",
+            "acc@3",
+        ],
     );
     for spec in glm_datasets_small(Order::ClusteredByLabel) {
         let data = ExpData::build(spec, 4, 4);
@@ -156,7 +175,12 @@ pub fn fig17() {
                     c.with_batch_size(128)
                         .with_optimizer(crate::common::glm_minibatch_optimizer(&data.spec.name))
                 });
-                rep.row(&[&data.spec.name, &model, &strategy, &fmt_pct(tail_metric(&r, 3))]);
+                rep.row(&[
+                    &data.spec.name,
+                    &model,
+                    &strategy,
+                    &fmt_pct(tail_metric(&r, 3)),
+                ]);
             }
         }
     }
@@ -168,7 +192,14 @@ pub fn fig19() {
     let mut rep = Report::new(
         "fig19",
         "converged accuracy on feature-ordered datasets",
-        &["dataset", "feature", "model", "no_shuffle", "shuffle_once", "corgipile"],
+        &[
+            "dataset",
+            "feature",
+            "model",
+            "no_shuffle",
+            "shuffle_once",
+            "corgipile",
+        ],
     );
     // Like the paper: select features with the highest / median / lowest
     // absolute correlation with the label (computed on a probe build).
@@ -184,8 +215,7 @@ pub fn fig19() {
             let probe = base.build(6);
             let dim = base.dim();
             let n = probe.train.len() as f64;
-            let mean_y: f64 =
-                probe.train.iter().map(|t| t.label as f64).sum::<f64>() / n;
+            let mean_y: f64 = probe.train.iter().map(|t| t.label as f64).sum::<f64>() / n;
             let mut corr: Vec<(usize, f64)> = (0..dim)
                 .map(|j| {
                     let mut sxy = 0.0f64;
@@ -202,8 +232,7 @@ pub fn fig19() {
                 })
                 .collect();
             corr.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-            let features =
-                vec![corr[0].0, corr[corr.len() / 2].0, corr[corr.len() - 1].0];
+            let features = vec![corr[0].0, corr[corr.len() / 2].0, corr[corr.len() - 1].0];
             (base, features)
         })
         .collect();

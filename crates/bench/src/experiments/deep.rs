@@ -17,12 +17,18 @@ use corgipile_shuffle::StrategyKind;
 
 fn small_net(classes: usize) -> ModelKind {
     // "ResNet18" stand-in.
-    ModelKind::Mlp { hidden: vec![32], classes }
+    ModelKind::Mlp {
+        hidden: vec![32],
+        classes,
+    }
 }
 
 fn big_net(classes: usize) -> ModelKind {
     // "VGG19" stand-in.
-    ModelKind::Mlp { hidden: vec![64, 32], classes }
+    ModelKind::Mlp {
+        hidden: vec![64, 32],
+        classes,
+    }
 }
 
 /// Figure 7: ImageNet-scale multi-worker training — end-to-end time and
@@ -49,18 +55,11 @@ pub fn fig7() {
         ("No Shuffle", StrategyKind::NoShuffle),
     ] {
         let mut dev = data.hdd();
-        let r = run_strategy(
-            &data,
-            big_net(20),
-            strategy,
-            epochs,
-            &mut dev,
-            |c| {
-                c.with_batch_size(128)
-                    .with_optimizer(OptimizerKind::default_sgd(0.1))
-                    .with_compute(ddp_compute)
-            },
-        );
+        let r = run_strategy(&data, big_net(20), strategy, epochs, &mut dev, |c| {
+            c.with_batch_size(128)
+                .with_optimizer(OptimizerKind::default_sgd(0.1))
+                .with_compute(ddp_compute)
+        });
         for e in &r.epochs {
             rep.row(&[
                 &name,
@@ -121,12 +120,7 @@ pub fn fig10() {
     deep_convergence("fig10", cifar_dataset(Order::ClusteredByLabel), 10, true);
 }
 
-fn deep_convergence(
-    id: &str,
-    spec: corgipile_data::DatasetSpec,
-    classes: usize,
-    adam: bool,
-) {
+fn deep_convergence(id: &str, spec: corgipile_data::DatasetSpec, classes: usize, adam: bool) {
     let data = ExpData::build(spec, 8, 9);
     let mut rep = Report::new(
         id,
@@ -137,9 +131,10 @@ fn deep_convergence(
         },
         &["model", "batch", "strategy", "final_acc", "acc@2"],
     );
-    for (mname, model) in
-        [("small-net", small_net(classes)), ("big-net", big_net(classes))]
-    {
+    for (mname, model) in [
+        ("small-net", small_net(classes)),
+        ("big-net", big_net(classes)),
+    ] {
         for batch in [128usize, 256] {
             for strategy in paper_strategies() {
                 let mut dev = data.hdd();

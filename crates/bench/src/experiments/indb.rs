@@ -1,7 +1,9 @@
 //! In-DB experiments: Figures 11, 13, 14, 15, 16, 18.
 
 use super::{run_strategy, tail_metric};
-use crate::common::{glm_optimizer, glm_datasets, glm_datasets_small, mini8m_dataset, msd_dataset, ExpData};
+use crate::common::{
+    glm_datasets, glm_datasets_small, glm_optimizer, mini8m_dataset, msd_dataset, ExpData,
+};
 use crate::report::{fmt_pct, fmt_secs, Report};
 use corgipile_core::{CorgiPileConfig, Trainer};
 use corgipile_data::{DatasetSpec, Order};
@@ -20,15 +22,23 @@ pub fn fig11() {
     let mut rep = Report::new(
         "fig11",
         "end-to-end in-DB training time, clustered datasets",
-        &["dataset", "device", "system", "model", "setup", "per_epoch", "total", "final_acc", "speedup_vs"],
+        &[
+            "dataset",
+            "device",
+            "system",
+            "model",
+            "setup",
+            "per_epoch",
+            "total",
+            "final_acc",
+            "speedup_vs",
+        ],
     );
     for spec in glm_datasets(Order::ClusteredByLabel) {
         let data = ExpData::build(spec, 11, 11);
         let dim = data.spec.dim();
         let sparse = is_sparse(&data.spec);
-        for (dev_name, mk_dev) in
-            [("hdd", 0usize), ("ssd", 1usize)]
-        {
+        for (dev_name, mk_dev) in [("hdd", 0usize), ("ssd", 1usize)] {
             for model in [ModelKind::LogisticRegression, ModelKind::Svm] {
                 let mut corgi_total = None;
                 for system in InDbSystem::all() {
@@ -95,7 +105,13 @@ pub fn fig13() {
     let mut rep = Report::new(
         "fig13",
         "average per-epoch time: double buffering at work",
-        &["dataset", "device", "variant", "per_epoch", "overhead_vs_noshuffle"],
+        &[
+            "dataset",
+            "device",
+            "variant",
+            "per_epoch",
+            "overhead_vs_noshuffle",
+        ],
     );
     let tel = corgipile_telemetry::Telemetry::enabled();
     for spec in glm_datasets(Order::ClusteredByLabel) {
@@ -111,23 +127,12 @@ pub fn fig13() {
                 let (hdd, ssd) = data.devices();
                 let mut dev = if dev_idx == 0 { hdd } else { ssd };
                 dev.set_telemetry(tel.clone());
-                let r = run_strategy(
-                    &data,
-                    ModelKind::Svm,
-                    strategy,
-                    3,
-                    &mut dev,
-                    |c| {
-                        c.with_optimizer(glm_optimizer(&data.spec.name)).with_corgipile(
-                            CorgiPileConfig::default().with_double_buffer(double),
-                        )
-                    },
-                );
+                let r = run_strategy(&data, ModelKind::Svm, strategy, 3, &mut dev, |c| {
+                    c.with_optimizer(glm_optimizer(&data.spec.name))
+                        .with_corgipile(CorgiPileConfig::default().with_double_buffer(double))
+                });
                 // Steady-state epoch: skip epoch 0 (cold cache).
-                let per_epoch = r.epochs[1..]
-                    .iter()
-                    .map(|e| e.epoch_seconds)
-                    .sum::<f64>()
+                let per_epoch = r.epochs[1..].iter().map(|e| e.epoch_seconds).sum::<f64>()
                     / (r.epochs.len() - 1) as f64;
                 if base.is_none() {
                     base = Some(per_epoch);
@@ -163,19 +168,35 @@ pub fn fig14() {
     // Shuffle Once reference.
     {
         let mut dev = data.hdd();
-        let r = run_strategy(&data, ModelKind::LogisticRegression, StrategyKind::ShuffleOnce, 6, &mut dev, |c| {
-            c.with_optimizer(glm_optimizer(&data.spec.name))
-        });
+        let r = run_strategy(
+            &data,
+            ModelKind::LogisticRegression,
+            StrategyKind::ShuffleOnce,
+            6,
+            &mut dev,
+            |c| c.with_optimizer(glm_optimizer(&data.spec.name)),
+        );
         for e in &r.epochs {
-            rep.row(&[&"shuffle-once", &e.epoch, &fmt_pct(e.test_metric.unwrap_or(0.0))]);
+            rep.row(&[
+                &"shuffle-once",
+                &e.epoch,
+                &fmt_pct(e.test_metric.unwrap_or(0.0)),
+            ]);
         }
     }
     for frac in [0.01, 0.02, 0.05, 0.10] {
         let mut dev = data.hdd();
-        let r = run_strategy(&data, ModelKind::LogisticRegression, StrategyKind::CorgiPile, 6, &mut dev, |c| {
-            c.with_optimizer(glm_optimizer(&data.spec.name))
-                .with_corgipile(CorgiPileConfig::default().with_buffer_fraction(frac))
-        });
+        let r = run_strategy(
+            &data,
+            ModelKind::LogisticRegression,
+            StrategyKind::CorgiPile,
+            6,
+            &mut dev,
+            |c| {
+                c.with_optimizer(glm_optimizer(&data.spec.name))
+                    .with_corgipile(CorgiPileConfig::default().with_buffer_fraction(frac))
+            },
+        );
         for e in &r.epochs {
             rep.row(&[
                 &format!("{:.0}%", frac * 100.0),
@@ -193,7 +214,11 @@ pub fn fig14() {
         "per-epoch time vs block size (criteo-like, HDD)",
         &["block_size(paper)", "blocks", "per_epoch", "io_fraction"],
     );
-    for (label, bytes) in [("2MB", 2 << 10 << 4), ("10MB", 10 << 10 << 4), ("50MB", 50 << 10 << 4)] {
+    for (label, bytes) in [
+        ("2MB", 2 << 10 << 4),
+        ("10MB", 10 << 10 << 4),
+        ("50MB", 50 << 10 << 4),
+    ] {
         // scale 64: 2MB→32KB, 10MB→160KB, 50MB→800KB. The device is FIXED
         // at scale 64 while the block size varies — that is the whole point
         // of the sweep (a per-block-size device would cancel the effect).
@@ -202,15 +227,23 @@ pub fn fig14() {
             .with_block_bytes(bytes);
         let data = ExpData::build(spec, 15, 15);
         let (mut dev, _) = crate::common::devices_for(&data.table, 64.0, false);
-        let r = run_strategy(&data, ModelKind::LogisticRegression, StrategyKind::CorgiPile, 2, &mut dev, |c| {
-            c.with_optimizer(glm_optimizer(&data.spec.name))
-        });
+        let r = run_strategy(
+            &data,
+            ModelKind::LogisticRegression,
+            StrategyKind::CorgiPile,
+            2,
+            &mut dev,
+            |c| c.with_optimizer(glm_optimizer(&data.spec.name)),
+        );
         let e = &r.epochs[0];
         rep.row_strings(vec![
             label.into(),
             data.table.num_blocks().to_string(),
             fmt_secs(e.epoch_seconds),
-            format!("{:.0}%", 100.0 * e.io_seconds / (e.io_seconds + e.compute_seconds)),
+            format!(
+                "{:.0}%",
+                100.0 * e.io_seconds / (e.io_seconds + e.compute_seconds)
+            ),
         ]);
     }
     rep.note("Per-epoch time drops from 2MB to 10MB blocks and flattens by 50MB (paper Fig. 14b).");
@@ -223,20 +256,46 @@ pub fn fig15() {
     let mut rep = Report::new(
         "fig15",
         "per-epoch time: in-DB CorgiPile vs PyTorch-style execution (SSD)",
-        &["dataset", "in_db_corgipile", "pytorch_no_shuffle", "pytorch_corgipile", "db_speedup"],
+        &[
+            "dataset",
+            "in_db_corgipile",
+            "pytorch_no_shuffle",
+            "pytorch_corgipile",
+            "db_speedup",
+        ],
     );
     for spec in glm_datasets_small(Order::ClusteredByLabel) {
         let data = ExpData::build(spec, 16, 16);
         let run = |strategy: StrategyKind, compute: ComputeCostModel, data: &ExpData| -> f64 {
             let mut dev = data.ssd();
-            let r = run_strategy(data, ModelKind::LogisticRegression, strategy, 2, &mut dev, |c| {
-                c.with_optimizer(glm_optimizer(&data.spec.name)).with_compute(compute)
-            });
+            let r = run_strategy(
+                data,
+                ModelKind::LogisticRegression,
+                strategy,
+                2,
+                &mut dev,
+                |c| {
+                    c.with_optimizer(glm_optimizer(&data.spec.name))
+                        .with_compute(compute)
+                },
+            );
             r.epochs.iter().map(|e| e.epoch_seconds).sum::<f64>() / r.epochs.len() as f64
         };
-        let db = run(StrategyKind::CorgiPile, ComputeCostModel::in_db_core(), &data);
-        let py_ns = run(StrategyKind::NoShuffle, ComputeCostModel::pytorch_per_tuple(), &data);
-        let py_cp = run(StrategyKind::CorgiPile, ComputeCostModel::pytorch_per_tuple(), &data);
+        let db = run(
+            StrategyKind::CorgiPile,
+            ComputeCostModel::in_db_core(),
+            &data,
+        );
+        let py_ns = run(
+            StrategyKind::NoShuffle,
+            ComputeCostModel::pytorch_per_tuple(),
+            &data,
+        );
+        let py_cp = run(
+            StrategyKind::CorgiPile,
+            ComputeCostModel::pytorch_per_tuple(),
+            &data,
+        );
         rep.row_strings(vec![
             data.spec.name.clone(),
             fmt_secs(db),
@@ -284,7 +343,9 @@ pub fn fig16() {
             }
         }
     }
-    rep.note("CorgiPile reaches Shuffle Once's accuracy 1.7-3.3x faster end-to-end (paper Fig. 16).");
+    rep.note(
+        "CorgiPile reaches Shuffle Once's accuracy 1.7-3.3x faster end-to-end (paper Fig. 16).",
+    );
     rep.finish();
 }
 
@@ -294,11 +355,26 @@ pub fn fig18() {
     let mut rep = Report::new(
         "fig18",
         "linear regression + softmax regression end-to-end (SSD, clustered)",
-        &["dataset", "model", "batch", "strategy", "total", "final_metric"],
+        &[
+            "dataset",
+            "model",
+            "batch",
+            "strategy",
+            "total",
+            "final_metric",
+        ],
     );
     let cases: Vec<(DatasetSpec, ModelKind, &str)> = vec![
-        (msd_dataset(Order::OrderedByFeature(0)), ModelKind::LinearRegression, "R2"),
-        (mini8m_dataset(Order::ClusteredByLabel), ModelKind::Softmax { classes: 10 }, "acc"),
+        (
+            msd_dataset(Order::OrderedByFeature(0)),
+            ModelKind::LinearRegression,
+            "R2",
+        ),
+        (
+            mini8m_dataset(Order::ClusteredByLabel),
+            ModelKind::Softmax { classes: 10 },
+            "acc",
+        ),
     ];
     for (spec, model, metric_name) in cases {
         let data = ExpData::build(spec, 18, 18);
@@ -310,8 +386,10 @@ pub fn fig18() {
             ] {
                 let mut dev = data.ssd();
                 let r = run_strategy(&data, model.clone(), strategy, 6, &mut dev, |c| {
-                    c.with_batch_size(batch)
-                        .with_optimizer(OptimizerKind::Sgd { lr0: 0.01, decay: 0.9 })
+                    c.with_batch_size(batch).with_optimizer(OptimizerKind::Sgd {
+                        lr0: 0.01,
+                        decay: 0.9,
+                    })
                 });
                 let metric = tail_metric(&r, 2);
                 rep.row_strings(vec![

@@ -9,7 +9,13 @@ pub fn fig20() {
     let mut rep = Report::new(
         "fig20",
         "random block-read throughput vs block size",
-        &["device", "block_size", "random_MBps", "sequential_MBps", "fraction_of_seq"],
+        &[
+            "device",
+            "block_size",
+            "random_MBps",
+            "sequential_MBps",
+            "fraction_of_seq",
+        ],
     );
     for profile in [DeviceProfile::hdd(), DeviceProfile::ssd()] {
         let seq = profile.bandwidth / 1e6;
@@ -17,16 +23,13 @@ pub fn fig20() {
             let block = 1usize << shift;
             // Measure through an actual device rather than the closed form:
             // read 64 random blocks and divide.
-            let mut dev = SimDevice::new(
-                profile.clone(),
-                corgipile_storage::CacheConfig::disabled(),
-            );
+            let mut dev =
+                SimDevice::new(profile.clone(), corgipile_storage::CacheConfig::disabled());
             let reads = 64usize;
             for i in 0..reads {
                 dev.read(Some(i as u64), block, Access::Random, None);
             }
-            let throughput =
-                (reads * block) as f64 / dev.stats().io_seconds / 1e6;
+            let throughput = (reads * block) as f64 / dev.stats().io_seconds / 1e6;
             rep.row_strings(vec![
                 profile.name.clone(),
                 human_bytes(block),

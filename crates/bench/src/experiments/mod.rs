@@ -4,6 +4,7 @@
 //! registry drives the `corgi-bench` CLI.
 
 pub mod ablation;
+pub mod concurrency;
 pub mod convergence;
 pub mod deep;
 pub mod indb;
@@ -13,7 +14,7 @@ pub mod pipeline;
 pub mod tables;
 
 use crate::common::ExpData;
-use corgipile_core::{Trainer, TrainerConfig, TrainReport};
+use corgipile_core::{TrainReport, Trainer, TrainerConfig};
 use corgipile_ml::ModelKind;
 use corgipile_shuffle::StrategyKind;
 use corgipile_storage::SimDevice;
@@ -56,6 +57,7 @@ pub fn registry() -> Vec<Experiment> {
         Experiment { id: "pipeline", what: "extension: serial vs double-buffered epoch time (real prefetch pipeline) + kernel GFLOP/s", run: pipeline::pipeline },
         Experiment { id: "ablation", what: "extension: block-level vs tuple-level shuffle contribution", run: ablation::ablation },
         Experiment { id: "theory", what: "extension: Theorem 1 bound vs measured convergence", run: ablation::theory },
+        Experiment { id: "concurrency", what: "extension: work-stealing train_parallel vs fixed interleaver (wall time) + cross-session shared buffers", run: concurrency::concurrency },
     ]
 }
 
@@ -76,8 +78,13 @@ pub fn run_strategy(
 
 /// Mean test metric over the last `k` epochs (damps last-iterate noise).
 pub fn tail_metric(report: &TrainReport, k: usize) -> f64 {
-    let vals: Vec<f64> =
-        report.epochs.iter().rev().take(k).filter_map(|e| e.test_metric).collect();
+    let vals: Vec<f64> = report
+        .epochs
+        .iter()
+        .rev()
+        .take(k)
+        .filter_map(|e| e.test_metric)
+        .collect();
     if vals.is_empty() {
         0.0
     } else {

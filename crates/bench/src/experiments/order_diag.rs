@@ -8,9 +8,7 @@
 use crate::report::Report;
 use corgipile_core::{parallel_epoch_plan, ParallelConfig};
 use corgipile_data::{DatasetSpec, Order};
-use corgipile_shuffle::{
-    build_strategy, diagnostics, EpochPlan, StrategyKind, StrategyParams,
-};
+use corgipile_shuffle::{build_strategy, diagnostics, EpochPlan, StrategyKind, StrategyParams};
 use corgipile_storage::SimDevice;
 
 /// The paper's running example: 1 000 tuples, first 500 negative, blocks of
@@ -20,13 +18,22 @@ fn toy() -> (corgipile_storage::Table, StrategyParams) {
     // build ~20-tuple blocks by padding the tuple width.
     let spec = DatasetSpec::new(
         "toy1000",
-        corgipile_data::DataKind::DenseBinary { dim: 90, separation: 1.0, noise_rank: 0 },
+        corgipile_data::DataKind::DenseBinary {
+            dim: 90,
+            separation: 1.0,
+            noise_rank: 0,
+        },
         1_000,
     )
     .with_order(Order::ClusteredByLabel)
     .with_block_bytes(8 << 10);
     let table = spec.build_table(9).unwrap();
-    (table, StrategyParams::default().with_buffer_fraction(0.10).with_seed(7))
+    (
+        table,
+        StrategyParams::default()
+            .with_buffer_fraction(0.10)
+            .with_seed(7),
+    )
 }
 
 fn describe(rep: &mut Report, strategy: &str, plan: &EpochPlan) {
@@ -36,11 +43,7 @@ fn describe(rep: &mut Report, strategy: &str, plan: &EpochPlan) {
     let uni = diagnostics::label_uniformity_score(&labels, 20);
     // Sample the tuple-id trace at every 5 % of the stream.
     let step = (ids.len() / 20).max(1);
-    let trace: Vec<String> = ids
-        .iter()
-        .step_by(step)
-        .map(|id| id.to_string())
-        .collect();
+    let trace: Vec<String> = ids.iter().step_by(step).map(|id| id.to_string()).collect();
     rep.row_strings(vec![
         strategy.to_string(),
         format!("{disp:.3}"),
@@ -56,7 +59,12 @@ pub fn fig3() {
     let mut rep = Report::new(
         "fig3",
         "order diagnostics of existing strategies (1000-tuple clustered toy)",
-        &["strategy", "displacement", "label_nonuniformity", "idtrace(every5%)"],
+        &[
+            "strategy",
+            "displacement",
+            "label_nonuniformity",
+            "idtrace(every5%)",
+        ],
     );
     for kind in [
         StrategyKind::NoShuffle,
@@ -80,7 +88,12 @@ pub fn fig4() {
     let mut rep = Report::new(
         "fig4",
         "order diagnostics of CorgiPile (1000-tuple clustered toy)",
-        &["strategy", "displacement", "label_nonuniformity", "idtrace(every5%)"],
+        &[
+            "strategy",
+            "displacement",
+            "label_nonuniformity",
+            "idtrace(every5%)",
+        ],
     );
     for frac in [0.05, 0.10, 0.20] {
         let mut s = build_strategy(
@@ -89,7 +102,11 @@ pub fn fig4() {
         );
         let mut dev = SimDevice::in_memory();
         let plan = s.next_epoch(&table, &mut dev);
-        describe(&mut rep, &format!("CorgiPile(buffer {:.0}%)", frac * 100.0), &plan);
+        describe(
+            &mut rep,
+            &format!("CorgiPile(buffer {:.0}%)", frac * 100.0),
+            &plan,
+        );
     }
     rep.note("CorgiPile's label windows approach the full-shuffle uniformity (paper Fig. 4b).");
     rep.finish();
@@ -106,7 +123,12 @@ pub fn fig5() {
     let mut rep = Report::new(
         "fig5",
         "multi-process vs single-process CorgiPile order",
-        &["configuration", "displacement", "label_nonuniformity", "batches_mixed"],
+        &[
+            "configuration",
+            "displacement",
+            "label_nonuniformity",
+            "batches_mixed",
+        ],
     );
 
     // Multi-process: 2 workers, global buffer 20 %.
@@ -140,7 +162,9 @@ pub fn fig5() {
     // Single-process with the 2×-sized buffer.
     let mut s = build_strategy(
         StrategyKind::CorgiPile,
-        StrategyParams::default().with_buffer_fraction(0.2).with_seed(3),
+        StrategyParams::default()
+            .with_buffer_fraction(0.2)
+            .with_seed(3),
     );
     let mut dev = SimDevice::in_memory();
     let sp = s.next_epoch(&table, &mut dev);

@@ -79,7 +79,9 @@ fn run_side(
         .with_compute(compute)
         .with_corgipile(CorgiPileConfig::default().with_double_buffer(double));
     let start = Instant::now();
-    let report = Trainer::new(cfg).train(&data.table, dev, 0x5EED).expect("non-empty table");
+    let report = Trainer::new(cfg)
+        .train(&data.table, dev, 0x5EED)
+        .expect("non-empty table");
     let wall_seconds = start.elapsed().as_secs_f64();
     let sim_seconds: f64 = report.epochs.iter().map(|e| e.epoch_seconds).sum();
     let io_seconds: f64 = report.epochs.iter().map(|e| e.io_seconds).sum();
@@ -129,14 +131,18 @@ pub fn measure(n_tuples: usize, epochs: usize) -> Vec<PipelineRun> {
         } else {
             base
         };
-        let mut dev_for = || match profile {
+        let dev_for = || match profile {
             "ssd" => data.ssd(),
             "balanced" => raw_hdd(),
             _ => data.hdd(),
         };
         let serial = run_side(&data, &mut dev_for(), compute, epochs, false);
         let pipelined = run_side(&data, &mut dev_for(), compute, epochs, true);
-        runs.push(PipelineRun { profile: profile.to_string(), serial, pipelined });
+        runs.push(PipelineRun {
+            profile: profile.to_string(),
+            serial,
+            pipelined,
+        });
     }
     runs
 }
@@ -235,7 +241,10 @@ pub fn render_bench_json(runs: &[PipelineRun], kernels: &[KernelRow]) -> String 
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// The `pipeline` experiment: the table above plus the root JSON artifact.
@@ -270,7 +279,10 @@ pub fn pipeline() {
         ]);
     }
     for k in &kernels {
-        rep.note(format!("{} dim={}: {:.2} GFLOP/s", k.kernel, k.dim, k.gflops));
+        rep.note(format!(
+            "{} dim={}: {:.2} GFLOP/s",
+            k.kernel, k.dim, k.gflops
+        ));
     }
     rep.note(
         "balanced = HDD with the compute model calibrated so compute ≈ I/O, \
@@ -350,7 +362,11 @@ mod tests {
         let runs = measure(1_500, 1);
         for r in &runs {
             let hidden = r.serial.sim_seconds - r.pipelined.sim_seconds;
-            assert!(hidden >= -1e-9, "{}: pipelining must never slow the clock", r.profile);
+            assert!(
+                hidden >= -1e-9,
+                "{}: pipelining must never slow the clock",
+                r.profile
+            );
             // Sanity link to the model's two bounds.
             let max_hidable = r.serial.io_seconds.min(r.serial.compute_seconds);
             assert!(hidden <= max_hidable + 1e-9);

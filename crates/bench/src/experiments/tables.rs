@@ -20,7 +20,13 @@ pub fn table1() {
     let mut rep = Report::new(
         "table1",
         "summary of shuffling strategies (measured)",
-        &["strategy", "final_acc", "io_vs_noshuffle", "in_mem_buffer", "extra_disk"],
+        &[
+            "strategy",
+            "final_acc",
+            "io_vs_noshuffle",
+            "in_mem_buffer",
+            "extra_disk",
+        ],
     );
     let mut baseline_io = None;
     for kind in [
@@ -51,7 +57,11 @@ pub fn table1() {
             kind.display().into(),
             fmt_pct(tail_metric(&r, 3)),
             format!("{:.1}x", io / baseline_io.unwrap()),
-            if buffer > 0 { format!("{buffer} tuples") } else { "no".into() },
+            if buffer > 0 {
+                format!("{buffer} tuples")
+            } else {
+                "no".into()
+            },
             format!("{:.0}x data size", strat.disk_space_factor() - 1.0),
         ]);
     }
@@ -65,7 +75,15 @@ pub fn table2() {
     let mut rep = Report::new(
         "table2",
         "datasets (paper vs scaled synthetic substitute)",
-        &["name", "type", "paper_tuples", "paper_features", "paper_size", "ours_train", "ours_dim"],
+        &[
+            "name",
+            "type",
+            "paper_tuples",
+            "paper_features",
+            "paper_size",
+            "ours_train",
+            "ours_dim",
+        ],
     );
     for e in paper_catalog() {
         rep.row_strings(vec![
@@ -87,7 +105,9 @@ pub fn table3() {
     let mut rep = Report::new(
         "table3",
         "final accuracy: Shuffle Once vs CorgiPile",
-        &["dataset", "model", "SO_train", "CP_train", "SO_test", "CP_test", "gap_test"],
+        &[
+            "dataset", "model", "SO_train", "CP_train", "SO_test", "CP_test", "gap_test",
+        ],
     );
     for spec in glm_datasets(Order::ClusteredByLabel) {
         let data = ExpData::build(spec.with_test(2_000), 23, 23);

@@ -34,7 +34,8 @@ impl Report {
     /// Append one row (stringifies every cell).
     pub fn row(&mut self, cells: &[&dyn Display]) {
         assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
     }
 
     /// Append one pre-stringified row.
@@ -140,18 +141,30 @@ impl Report {
         out.push_str(&format!("  \"title\": {},\n", json_str(&self.title)));
         out.push_str(&format!(
             "  \"header\": [{}],\n",
-            self.header.iter().map(|h| json_str(h)).collect::<Vec<_>>().join(", ")
+            self.header
+                .iter()
+                .map(|h| json_str(h))
+                .collect::<Vec<_>>()
+                .join(", ")
         ));
         out.push_str("  \"rows\": [\n");
         for (i, row) in self.rows.iter().enumerate() {
-            let cells = row.iter().map(|c| json_str(c)).collect::<Vec<_>>().join(", ");
+            let cells = row
+                .iter()
+                .map(|c| json_str(c))
+                .collect::<Vec<_>>()
+                .join(", ");
             let comma = if i + 1 < self.rows.len() { "," } else { "" };
             out.push_str(&format!("    [{cells}]{comma}\n"));
         }
         out.push_str("  ],\n");
         out.push_str(&format!(
             "  \"notes\": [{}],\n",
-            self.notes.iter().map(|n| json_str(n)).collect::<Vec<_>>().join(", ")
+            self.notes
+                .iter()
+                .map(|n| json_str(n))
+                .collect::<Vec<_>>()
+                .join(", ")
         ));
         match &self.telemetry {
             Some(json) => out.push_str(&format!("  \"io_breakdown\": {json}\n")),

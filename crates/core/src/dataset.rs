@@ -28,7 +28,12 @@ impl CorgiPileDataset {
     /// Wrap a table.
     pub fn new(table: Table, config: CorgiPileConfig) -> Self {
         let strategy = CorgiPile::new(config.strategy_params(), config.sample_mode);
-        CorgiPileDataset { table, config, strategy, epoch: 0 }
+        CorgiPileDataset {
+            table,
+            config,
+            strategy,
+            epoch: 0,
+        }
     }
 
     /// The wrapped table.

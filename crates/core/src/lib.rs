@@ -12,7 +12,9 @@
 //!   optimization, with actual threads and crossbeam channels).
 //! * [`parallel`] — multi-process CorgiPile (§5.1): per-worker block
 //!   partitions, per-worker buffers, and AllReduce-style gradient
-//!   averaging; plus the data-order equivalence tooling behind Figure 5.
+//!   averaging; plus the data-order equivalence tooling behind Figure 5
+//!   and the work-stealing executor that runs block-granular fill tasks
+//!   and gradient chunks on one persistent thread pool.
 //! * [`trainer`] — the end-to-end [`Trainer`]: strategy × model × optimizer
 //!   × device, producing per-epoch convergence/time records (the raw
 //!   material of every figure).
@@ -35,8 +37,9 @@ pub use config::CorgiPileConfig;
 pub use dataset::CorgiPileDataset;
 pub use loader::{LoaderError, ThreadedLoader};
 pub use parallel::{
-    parallel_epoch_pipelined, parallel_epoch_plan, train_parallel, train_parallel_pipelined,
-    ParallelConfig,
+    parallel_epoch_pipelined, parallel_epoch_plan, parallel_epoch_stealing, train_parallel,
+    train_parallel_pipelined, train_parallel_stealing, ParallelConfig, StealScope,
+    StealingExecutor,
 };
 pub use theory::{block_variance_factor, CorgiFactors, Theorem1Bound};
 pub use trainer::{EpochRecord, TrainReport, Trainer, TrainerConfig};

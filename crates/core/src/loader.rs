@@ -23,9 +23,7 @@
 //! old `expect` double-panic.
 
 use corgipile_data::rng::shuffle_in_place;
-use corgipile_storage::{
-    FileTable, RetryPolicy, SimDevice, StorageError, Table, Telemetry, Tuple,
-};
+use corgipile_storage::{FileTable, RetryPolicy, SimDevice, StorageError, Table, Telemetry, Tuple};
 use crossbeam::channel::{bounded, Receiver};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -308,7 +306,9 @@ mod tests {
     #[test]
     fn loader_is_seed_deterministic() {
         let t = table(300);
-        let a: Vec<u64> = ThreadedLoader::spawn(t.clone(), 2, 7).map(|t| t.id).collect();
+        let a: Vec<u64> = ThreadedLoader::spawn(t.clone(), 2, 7)
+            .map(|t| t.id)
+            .collect();
         let b: Vec<u64> = ThreadedLoader::spawn(t, 2, 7).map(|t| t.id).collect();
         assert_eq!(a, b);
     }
@@ -319,23 +319,28 @@ mod tests {
         let ids: Vec<u64> = ThreadedLoader::spawn(t, 4, 1).map(|t| t.id).collect();
         assert_ne!(ids, (0..600).collect::<Vec<_>>());
         let descents = ids.windows(2).filter(|w| w[1] < w[0]).count();
-        assert!(descents > 100, "expected heavy shuffling, got {descents} descents");
+        assert!(
+            descents > 100,
+            "expected heavy shuffling, got {descents} descents"
+        );
     }
 
     #[test]
     fn file_backed_loader_streams_from_real_disk() {
         let t = table(500);
-        let path = std::env::temp_dir()
-            .join(format!("corgi_loader_{}.tbl", std::process::id()));
+        let path = std::env::temp_dir().join(format!("corgi_loader_{}.tbl", std::process::id()));
         corgipile_storage::save_table(&t, &path).unwrap();
         let ft = Arc::new(FileTable::open(&path).unwrap());
-        let mut ids: Vec<u64> =
-            ThreadedLoader::spawn_file(ft.clone(), 3, 5).map(|t| t.id).collect();
+        let mut ids: Vec<u64> = ThreadedLoader::spawn_file(ft.clone(), 3, 5)
+            .map(|t| t.id)
+            .collect();
         assert_ne!(ids, (0..500).collect::<Vec<_>>(), "must be shuffled");
         ids.sort_unstable();
         assert_eq!(ids, (0..500).collect::<Vec<_>>());
         // Deterministic per seed.
-        let a: Vec<u64> = ThreadedLoader::spawn_file(ft.clone(), 3, 9).map(|t| t.id).collect();
+        let a: Vec<u64> = ThreadedLoader::spawn_file(ft.clone(), 3, 9)
+            .map(|t| t.id)
+            .collect();
         let b: Vec<u64> = ThreadedLoader::spawn_file(ft, 3, 9).map(|t| t.id).collect();
         assert_eq!(a, b);
         std::fs::remove_file(path).ok();
@@ -347,8 +352,7 @@ mod tests {
         let mut dev = SimDevice::in_memory();
         let tel = Telemetry::enabled();
         dev.set_telemetry(tel.clone());
-        let mut loader =
-            ThreadedLoader::spawn_with_policy(t, 3, 42, RetryPolicy::default(), dev);
+        let mut loader = ThreadedLoader::spawn_with_policy(t, 3, 42, RetryPolicy::default(), dev);
         assert_eq!(loader.by_ref().count(), 600);
         loader.join().unwrap();
         let snap = tel.snapshot();
@@ -361,7 +365,10 @@ mod tests {
                 .unwrap_or(0)
         };
         let fills = counter("core.loader.fills");
-        assert!(fills >= 2, "600 tuples over 3-block buffers means several fills");
+        assert!(
+            fills >= 2,
+            "600 tuples over 3-block buffers means several fills"
+        );
         assert_eq!(counter("core.loader.buffered_tuples"), 600);
         let span_count = snap
             .metrics
@@ -388,13 +395,18 @@ mod tests {
         let tid = t.config().table_id;
         let mut dev = SimDevice::in_memory();
         dev.set_fault_plan(
-            FaultPlan::new(5).with_transient(tid, 0, 2).with_transient(tid, 1, 1),
+            FaultPlan::new(5)
+                .with_transient(tid, 0, 2)
+                .with_transient(tid, 1, 1),
         );
-        let mut loader =
-            ThreadedLoader::spawn_with_policy(t, 2, 11, RetryPolicy::default(), dev);
+        let mut loader = ThreadedLoader::spawn_with_policy(t, 2, 11, RetryPolicy::default(), dev);
         let mut ids: Vec<u64> = loader.by_ref().map(|t| t.id).collect();
         ids.sort_unstable();
-        assert_eq!(ids, (0..600).collect::<Vec<_>>(), "retries must hide transients");
+        assert_eq!(
+            ids,
+            (0..600).collect::<Vec<_>>(),
+            "retries must hide transients"
+        );
         assert!(loader.take_error().is_none());
         loader.join().unwrap();
     }
@@ -406,13 +418,8 @@ mod tests {
         assert!(blocks > 1);
         let mut dev = SimDevice::in_memory();
         dev.set_fault_plan(FaultPlan::new(5).with_permanent(t.config().table_id, 0));
-        let mut loader = ThreadedLoader::spawn_with_policy(
-            t,
-            2,
-            11,
-            RetryPolicy::with_max_retries(2),
-            dev,
-        );
+        let mut loader =
+            ThreadedLoader::spawn_with_policy(t, 2, 11, RetryPolicy::with_max_retries(2), dev);
         let ids: Vec<u64> = loader.by_ref().map(|t| t.id).collect();
         assert!(ids.len() < 600, "stream must end early on a dead block");
         match loader.join() {
@@ -427,21 +434,15 @@ mod tests {
     #[test]
     fn file_loader_recovers_from_transient_faults() {
         let t = table(500);
-        let path = std::env::temp_dir()
-            .join(format!("corgi_loader_fault_{}.tbl", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("corgi_loader_fault_{}.tbl", std::process::id()));
         corgipile_storage::save_table(&t, &path).unwrap();
         let ft = Arc::new(FileTable::open(&path).unwrap());
-        ft.set_fault_plan(
-            FaultPlan::new(3).with_transient(ft.config().table_id, 0, 3),
-        );
-        let mut ids: Vec<u64> = ThreadedLoader::spawn_file_with_policy(
-            ft.clone(),
-            3,
-            5,
-            RetryPolicy::default(),
-        )
-        .map(|t| t.id)
-        .collect();
+        ft.set_fault_plan(FaultPlan::new(3).with_transient(ft.config().table_id, 0, 3));
+        let mut ids: Vec<u64> =
+            ThreadedLoader::spawn_file_with_policy(ft.clone(), 3, 5, RetryPolicy::default())
+                .map(|t| t.id)
+                .collect();
         ids.sort_unstable();
         assert_eq!(ids, (0..500).collect::<Vec<_>>());
         assert!(ft.fault_stats().unwrap().transient_failures >= 3);

@@ -93,8 +93,18 @@ pub fn block_variance_factor(table: &Table, model: &dyn Model) -> GradientStats 
     block_var /= big_n as f64;
 
     let b = m as f64 / big_n as f64;
-    let h_d = if sigma_sq > 1e-18 { block_var * b / sigma_sq } else { 1.0 };
-    GradientStats { sigma_sq, h_d, b, big_n, m }
+    let h_d = if sigma_sq > 1e-18 {
+        block_var * b / sigma_sq
+    } else {
+        1.0
+    };
+    GradientStats {
+        sigma_sq,
+        h_d,
+        b,
+        big_n,
+        m,
+    }
 }
 
 /// The α/β/γ factors of Theorem 1.
@@ -202,8 +212,7 @@ impl Theorem2Bound {
         }
         let beta = alpha * alpha / ((1.0 - alpha).max(1e-12) * hs)
             + (1.0 - alpha) * (self.b - 1.0) * (self.b - 1.0) / hs;
-        let gamma =
-            (self.factors.gamma / (1.0 - alpha).max(1e-12)) * (self.m as f64).powi(3);
+        let gamma = (self.factors.gamma / (1.0 - alpha).max(1e-12)) * (self.m as f64).powi(3);
         ((1.0 - alpha) * hs).sqrt() / t.sqrt() + beta / t + gamma / t.powf(1.5)
     }
 }
@@ -232,7 +241,8 @@ mod tests {
         for (i, p) in model.params_mut().iter_mut().enumerate() {
             *p = 0.2 * ((i as f32 * 0.37).sin());
         }
-        let clustered = block_variance_factor(&table(Order::ClusteredByLabel, 1200), model.as_ref());
+        let clustered =
+            block_variance_factor(&table(Order::ClusteredByLabel, 1200), model.as_ref());
         let shuffled = block_variance_factor(&table(Order::Shuffled, 1200), model.as_ref());
         assert!(
             clustered.h_d > 5.0 * shuffled.h_d,
@@ -244,7 +254,12 @@ mod tests {
         assert!(shuffled.h_d < 3.0, "shuffled h_D {}", shuffled.h_d);
         // h_D can never exceed b by definition... (it is bounded by b when
         // gradients are bounded; allow slack for the empirical estimate).
-        assert!(clustered.h_d <= clustered.b * 1.5, "h_D {} vs b {}", clustered.h_d, clustered.b);
+        assert!(
+            clustered.h_d <= clustered.b * 1.5,
+            "h_D {} vs b {}",
+            clustered.h_d,
+            clustered.b
+        );
         assert!(clustered.sigma_sq > 0.0);
     }
 
@@ -262,7 +277,13 @@ mod tests {
     fn full_buffer_kills_the_leading_term() {
         // α = 1 ⇒ the 1/T term vanishes: CorgiPile degenerates to
         // full-shuffle SGD's O(1/T² + m³/T³) (the paper's tightness remark).
-        let stats = GradientStats { sigma_sq: 2.0, h_d: 40.0, b: 50.0, big_n: 20, m: 1000 };
+        let stats = GradientStats {
+            sigma_sq: 2.0,
+            h_d: 40.0,
+            b: 50.0,
+            big_n: 20,
+            m: 1000,
+        };
         let bound = Theorem1Bound::new(&stats, 20);
         assert_eq!(bound.leading_coefficient(), 0.0);
         let b_small = Theorem1Bound::new(&stats, 2);
@@ -271,12 +292,21 @@ mod tests {
 
     #[test]
     fn bound_decreases_with_buffer_size_and_iterations() {
-        let stats = GradientStats { sigma_sq: 1.0, h_d: 30.0, b: 50.0, big_n: 40, m: 2000 };
+        let stats = GradientStats {
+            sigma_sq: 1.0,
+            h_d: 30.0,
+            b: 50.0,
+            big_n: 40,
+            m: 2000,
+        };
         let t = 1e6;
         let mut last = f64::INFINITY;
         for n in [2usize, 4, 8, 16, 32, 40] {
             let v = Theorem1Bound::new(&stats, n).at(t);
-            assert!(v <= last + 1e-15, "bound not monotone in n at n={n}: {v} > {last}");
+            assert!(
+                v <= last + 1e-15,
+                "bound not monotone in n at n={n}: {v} > {last}"
+            );
             last = v;
         }
         let b = Theorem1Bound::new(&stats, 4);
@@ -285,7 +315,13 @@ mod tests {
 
     #[test]
     fn theorem2_bound_behaves() {
-        let stats = GradientStats { sigma_sq: 1.0, h_d: 30.0, b: 50.0, big_n: 40, m: 2000 };
+        let stats = GradientStats {
+            sigma_sq: 1.0,
+            h_d: 30.0,
+            b: 50.0,
+            big_n: 40,
+            m: 2000,
+        };
         let b = Theorem2Bound::new(&stats, 4);
         assert!(b.at(1e8) < b.at(1e4));
         let bigger_buffer = Theorem2Bound::new(&stats, 32);

@@ -24,7 +24,7 @@ use corgipile_shuffle::{build_strategy, Segment, ShuffleStrategy, StrategyKind, 
 use corgipile_storage::{
     run_epoch_pipeline, DoubleBufferModel, PipelineError, SimDevice, StorageError, Table, Tuple,
 };
-use serde::Serialize;
+
 use std::path::Path;
 
 use crate::config::CorgiPileConfig;
@@ -106,7 +106,7 @@ impl TrainerConfig {
 }
 
 /// One epoch's measurements.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct EpochRecord {
     /// Epoch index (0-based).
     pub epoch: usize,
@@ -366,7 +366,11 @@ impl Trainer {
                 let stats = match mb {
                     Some(mb) => mb.finish(model.as_mut(), optimizer.as_mut()),
                     None => EpochStats {
-                        mean_loss: if examples > 0 { loss_sum / examples as f64 } else { 0.0 },
+                        mean_loss: if examples > 0 {
+                            loss_sum / examples as f64
+                        } else {
+                            0.0
+                        },
                         examples,
                         updates,
                     },
@@ -415,7 +419,11 @@ impl Trainer {
             };
             let epoch_io: f64 = io.iter().sum();
             let epoch_compute: f64 = compute.iter().sum();
-            let train_loss = if examples > 0 { loss_sum / examples as f64 } else { 0.0 };
+            let train_loss = if examples > 0 {
+                loss_sum / examples as f64
+            } else {
+                0.0
+            };
             tuple_counter.add(examples as u64);
             epoch_counter.inc();
             let e = epoch as u64;
@@ -492,16 +500,21 @@ pub fn grid_search_lr(
         cfg.epochs = probe_epochs;
         cfg.optimizer = match cfg.optimizer {
             OptimizerKind::Sgd { decay, .. } => OptimizerKind::Sgd { lr0: lr, decay },
-            OptimizerKind::SgdInverseTime { a, .. } => {
-                OptimizerKind::SgdInverseTime { lr0: lr, a }
-            }
-            OptimizerKind::Adam { beta1, beta2, eps, .. } => {
-                OptimizerKind::Adam { lr0: lr, beta1, beta2, eps }
-            }
+            OptimizerKind::SgdInverseTime { a, .. } => OptimizerKind::SgdInverseTime { lr0: lr, a },
+            OptimizerKind::Adam {
+                beta1, beta2, eps, ..
+            } => OptimizerKind::Adam {
+                lr0: lr,
+                beta1,
+                beta2,
+                eps,
+            },
         };
         let mut dev = SimDevice::in_memory();
         let report = Trainer::new(cfg).train_with_test(table, test, &mut dev, seed)?;
-        let metric = report.final_test_metric().unwrap_or(report.final_train_metric);
+        let metric = report
+            .final_test_metric()
+            .unwrap_or(report.final_train_metric);
         if metric > best.0 {
             best = (metric, lr);
         }
@@ -540,8 +553,13 @@ mod tests {
                 .train_with_test(&table, &test, &mut dev, 3)
                 .unwrap();
             // Mean of the last three epochs damps last-iterate noise.
-            let tail: Vec<f64> =
-                r.epochs.iter().rev().take(3).filter_map(|e| e.test_metric).collect();
+            let tail: Vec<f64> = r
+                .epochs
+                .iter()
+                .rev()
+                .take(3)
+                .filter_map(|e| e.test_metric)
+                .collect();
             tail.iter().sum::<f64>() / tail.len() as f64
         };
         let so = metric(StrategyKind::ShuffleOnce);
@@ -563,11 +581,17 @@ mod tests {
         let time = |kind: StrategyKind| {
             let cfg = TrainerConfig::new(ModelKind::LogisticRegression, 3).with_strategy(kind);
             let mut dev = SimDevice::hdd_scaled(DEV_SCALE, 0);
-            Trainer::new(cfg).train(&table, &mut dev, 1).unwrap().total_sim_seconds()
+            Trainer::new(cfg)
+                .train(&table, &mut dev, 1)
+                .unwrap()
+                .total_sim_seconds()
         };
         let so = time(StrategyKind::ShuffleOnce);
         let cp = time(StrategyKind::CorgiPile);
-        assert!(cp < so, "CorgiPile {cp}s should be faster end-to-end than Shuffle Once {so}s");
+        assert!(
+            cp < so,
+            "CorgiPile {cp}s should be faster end-to-end than Shuffle Once {so}s"
+        );
     }
 
     #[test]
@@ -588,7 +612,10 @@ mod tests {
         };
         let single = run(false);
         let double = run(true);
-        assert!(double < single, "double buffering {double} !< single {single}");
+        assert!(
+            double < single,
+            "double buffering {double} !< single {single}"
+        );
     }
 
     /// Final model parameters for a run with the given double-buffer knob.
@@ -607,7 +634,11 @@ mod tests {
         // producer/consumer pipeline must visit tuples in exactly the serial
         // order, so the trained models match bit-for-bit.
         let (table, _) = clustered_higgs(1500);
-        for strategy in [StrategyKind::CorgiPile, StrategyKind::Mrs, StrategyKind::ShuffleOnce] {
+        for strategy in [
+            StrategyKind::CorgiPile,
+            StrategyKind::Mrs,
+            StrategyKind::ShuffleOnce,
+        ] {
             for seed in [1u64, 7, 42] {
                 let cfg = TrainerConfig::new(ModelKind::Svm, 3).with_strategy(strategy);
                 let serial = final_params(&cfg, &table, false, seed);
@@ -650,7 +681,10 @@ mod tests {
             .map(|(_, h)| h)
             .expect("pipelined epochs should record fill spans");
         assert!(fill.count > 0);
-        assert!(fill.sum > 0.0, "fill spans should carry the segment io_seconds");
+        assert!(
+            fill.sum > 0.0,
+            "fill spans should carry the segment io_seconds"
+        );
     }
 
     #[test]
@@ -658,7 +692,9 @@ mod tests {
         let (table, test) = clustered_higgs(1000);
         let cfg = TrainerConfig::new(ModelKind::LogisticRegression, 3);
         let mut dev = SimDevice::hdd(0);
-        let r = Trainer::new(cfg).train_with_test(&table, &test, &mut dev, 1).unwrap();
+        let r = Trainer::new(cfg)
+            .train_with_test(&table, &test, &mut dev, 1)
+            .unwrap();
         assert_eq!(r.epochs.len(), 3);
         for w in r.epochs.windows(2) {
             assert!(w[1].sim_seconds_end > w[0].sim_seconds_end);
@@ -676,20 +712,35 @@ mod tests {
             .with_batch_size(64)
             .with_optimizer(OptimizerKind::default_adam(0.05));
         let mut dev = SimDevice::ssd(0);
-        let r = Trainer::new(cfg).train_with_test(&table, &test, &mut dev, 2).unwrap();
-        assert!(r.final_test_metric().unwrap() > 0.55, "adam minibatch should learn");
+        let r = Trainer::new(cfg)
+            .train_with_test(&table, &test, &mut dev, 2)
+            .unwrap();
+        assert!(
+            r.final_test_metric().unwrap() > 0.55,
+            "adam minibatch should learn"
+        );
     }
 
     #[test]
     fn regression_reports_r2() {
-        let ds = DatasetSpec::msd_like(1200).with_block_bytes(4 * 8192).build(3);
+        let ds = DatasetSpec::msd_like(1200)
+            .with_block_bytes(4 * 8192)
+            .build(3);
         let table = ds.to_table(2).unwrap();
-        let cfg = TrainerConfig::new(ModelKind::LinearRegression, 6)
-            .with_optimizer(OptimizerKind::Sgd { lr0: 0.01, decay: 0.95 });
+        let cfg =
+            TrainerConfig::new(ModelKind::LinearRegression, 6).with_optimizer(OptimizerKind::Sgd {
+                lr0: 0.01,
+                decay: 0.95,
+            });
         let mut dev = SimDevice::ssd(0);
-        let r = Trainer::new(cfg).train_with_test(&table, &ds.test, &mut dev, 1).unwrap();
+        let r = Trainer::new(cfg)
+            .train_with_test(&table, &ds.test, &mut dev, 1)
+            .unwrap();
         let r2 = r.final_test_metric().unwrap();
-        assert!(r2 > 0.8, "linear regression should fit the linear data, R² {r2}");
+        assert!(
+            r2 > 0.8,
+            "linear regression should fit the linear data, R² {r2}"
+        );
     }
 
     #[test]
@@ -702,10 +753,14 @@ mod tests {
         Trainer::new(cfg).train(&table, &mut dev, 1).unwrap();
         let ev = tel.events();
         assert_eq!(
-            ev.iter().filter(|e| e.name == "core.epoch.epoch_seconds").count(),
+            ev.iter()
+                .filter(|e| e.name == "core.epoch.epoch_seconds")
+                .count(),
             2
         );
-        assert!(ev.iter().any(|e| e.name == "core.epoch.tuples" && e.value > 0.0));
+        assert!(ev
+            .iter()
+            .any(|e| e.name == "core.epoch.tuples" && e.value > 0.0));
         let snap = tel.snapshot();
         let counter = |name: &str| {
             snap.metrics
@@ -738,7 +793,9 @@ mod tests {
         let (table, test) = clustered_higgs(1500);
         let cfg = TrainerConfig::new(ModelKind::Svm, 5);
         let mut dev = SimDevice::hdd(0);
-        let r = Trainer::new(cfg).train_with_test(&table, &test, &mut dev, 1).unwrap();
+        let r = Trainer::new(cfg)
+            .train_with_test(&table, &test, &mut dev, 1)
+            .unwrap();
         let final_metric = r.final_test_metric().unwrap();
         let hit = r.time_to_metric(final_metric - 0.01);
         assert!(hit.is_some());
@@ -779,7 +836,14 @@ mod tests {
         let ck = TrainCheckpoint::load(&path).unwrap();
         assert_eq!(ck.epoch_next, split);
         let resumed = Trainer::new(cfg.clone())
-            .train_resumable(table, &[], &mut SimDevice::hdd(0), seed, Some(&ck), Some(&path))
+            .train_resumable(
+                table,
+                &[],
+                &mut SimDevice::hdd(0),
+                seed,
+                Some(&ck),
+                Some(&path),
+            )
             .unwrap();
         assert_eq!(resumed.epochs.len(), epochs - split);
         // Reference: the uninterrupted run.
@@ -800,8 +864,14 @@ mod tests {
         let (table, _) = clustered_higgs(1200);
         let cfg = TrainerConfig::new(ModelKind::Svm, 5);
         let (resumed, straight, t_res, t_straight) = crash_and_resume("sgd", cfg, &table, 13, 2);
-        assert_eq!(resumed, straight, "resumed SGD model must match bit-for-bit");
-        assert!((t_res - t_straight).abs() < 1e-9, "simulated clock must survive resume");
+        assert_eq!(
+            resumed, straight,
+            "resumed SGD model must match bit-for-bit"
+        );
+        assert!(
+            (t_res - t_straight).abs() < 1e-9,
+            "simulated clock must survive resume"
+        );
     }
 
     #[test]
@@ -811,17 +881,27 @@ mod tests {
             .with_batch_size(32)
             .with_optimizer(OptimizerKind::default_adam(0.05));
         let (resumed, straight, _, _) = crash_and_resume("adam", cfg, &table, 21, 3);
-        assert_eq!(resumed, straight, "resumed Adam model must match bit-for-bit");
+        assert_eq!(
+            resumed, straight,
+            "resumed Adam model must match bit-for-bit"
+        );
     }
 
     #[test]
     fn resume_rejects_seed_and_shape_mismatches() {
         let (table, _) = clustered_higgs(600);
         let cfg = TrainerConfig::new(ModelKind::Svm, 2);
-        let path = std::env::temp_dir()
-            .join(format!("corgi_resume_reject_{}.ckpt", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("corgi_resume_reject_{}.ckpt", std::process::id()));
         Trainer::new(cfg.clone())
-            .train_resumable(&table, &[], &mut SimDevice::in_memory(), 7, None, Some(&path))
+            .train_resumable(
+                &table,
+                &[],
+                &mut SimDevice::in_memory(),
+                7,
+                None,
+                Some(&path),
+            )
             .unwrap();
         let ck = TrainCheckpoint::load(&path).unwrap();
         // Wrong seed: the replayed RNG streams would diverge — refuse.
@@ -833,9 +913,19 @@ mod tests {
         let mut bad = ck.clone();
         bad.model_params.push(0.0);
         let err = Trainer::new(cfg)
-            .train_resumable(&table, &[], &mut SimDevice::in_memory(), 7, Some(&bad), None)
+            .train_resumable(
+                &table,
+                &[],
+                &mut SimDevice::in_memory(),
+                7,
+                Some(&bad),
+                None,
+            )
             .unwrap_err();
-        assert!(err.to_string().contains("parameters"), "unexpected error: {err}");
+        assert!(
+            err.to_string().contains("parameters"),
+            "unexpected error: {err}"
+        );
         std::fs::remove_file(path).ok();
     }
 
@@ -843,10 +933,17 @@ mod tests {
     fn checkpoint_at_final_epoch_resumes_to_a_noop() {
         let (table, _) = clustered_higgs(400);
         let cfg = TrainerConfig::new(ModelKind::Svm, 3);
-        let path = std::env::temp_dir()
-            .join(format!("corgi_resume_noop_{}.ckpt", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("corgi_resume_noop_{}.ckpt", std::process::id()));
         let full = Trainer::new(cfg.clone())
-            .train_resumable(&table, &[], &mut SimDevice::in_memory(), 5, None, Some(&path))
+            .train_resumable(
+                &table,
+                &[],
+                &mut SimDevice::in_memory(),
+                5,
+                None,
+                Some(&path),
+            )
             .unwrap();
         let ck = TrainCheckpoint::load(&path).unwrap();
         assert_eq!(ck.epoch_next, 3);

@@ -131,11 +131,11 @@ mod tests {
 
     #[test]
     fn catalog_has_all_paper_datasets() {
-        let names: Vec<String> =
-            paper_catalog().into_iter().map(|e| e.spec.name).collect();
-        for want in
-            ["higgs", "susy", "epsilon", "criteo", "yfcc", "imagenet", "cifar10", "yelp", "year_msd", "mini8m"]
-        {
+        let names: Vec<String> = paper_catalog().into_iter().map(|e| e.spec.name).collect();
+        for want in [
+            "higgs", "susy", "epsilon", "criteo", "yfcc", "imagenet", "cifar10", "yelp",
+            "year_msd", "mini8m",
+        ] {
             assert!(names.iter().any(|n| n == want), "missing {want}");
         }
     }

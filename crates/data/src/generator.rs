@@ -103,13 +103,26 @@ impl Generator {
         // Basis vectors scaled so per-coordinate variance stays ≈ 1:
         // residual isotropic noise contributes 0.09, the k basis directions
         // the remaining 0.91.
-        let scale = if rank > 0 { (0.91 * dim as f32 / rank as f32).sqrt() } else { 0.0 };
+        let scale = if rank > 0 {
+            (0.91 * dim as f32 / rank as f32).sqrt()
+        } else {
+            0.0
+        };
         let noise_basis = (0..rank)
             .map(|_| {
-                rand_unit_vec(&mut rng, dim).into_iter().map(|v| v * scale).collect()
+                rand_unit_vec(&mut rng, dim)
+                    .into_iter()
+                    .map(|v| v * scale)
+                    .collect()
             })
             .collect();
-        Generator::DenseBinary { dim, separation, direction, offset, noise_basis }
+        Generator::DenseBinary {
+            dim,
+            separation,
+            direction,
+            offset,
+            noise_basis,
+        }
     }
 
     /// Sparse binary family; the first `dim/10` (≥ `nnz`) dimensions carry
@@ -118,7 +131,12 @@ impl Generator {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5BA2);
         let informative_len = (dim / 10).max(nnz).min(dim);
         let informative = randn_vec(&mut rng, informative_len);
-        Generator::SparseBinary { dim, nnz, informative, separation }
+        Generator::SparseBinary {
+            dim,
+            nnz,
+            informative,
+            separation,
+        }
     }
 
     /// Multi-class family with `classes` centroids at distance `separation`.
@@ -132,7 +150,11 @@ impl Generator {
                     .collect()
             })
             .collect();
-        Generator::MultiClass { dim, centroids, noise: 1.0 }
+        Generator::MultiClass {
+            dim,
+            centroids,
+            noise: 1.0,
+        }
     }
 
     /// Regression family.
@@ -140,7 +162,12 @@ impl Generator {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x4E64);
         let weights = randn_vec(&mut rng, dim);
         let bias = randn(&mut rng);
-        Generator::Regression { dim, weights, bias, noise }
+        Generator::Regression {
+            dim,
+            weights,
+            bias,
+            noise,
+        }
     }
 
     /// Feature dimensionality.
@@ -165,7 +192,13 @@ impl Generator {
     /// Draw one `(features, label)` example.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> (FeatureVec, f32) {
         match self {
-            Generator::DenseBinary { dim, separation, direction, offset, noise_basis } => {
+            Generator::DenseBinary {
+                dim,
+                separation,
+                direction,
+                offset,
+                noise_basis,
+            } => {
                 let y: f32 = if rng.gen::<bool>() { 1.0 } else { -1.0 };
                 // Full-strength isotropic noise keeps the Bayes ceiling at
                 // Φ(separation); the low-rank component rides on top and
@@ -195,7 +228,12 @@ impl Generator {
                 }
                 (FeatureVec::Dense(x), y)
             }
-            Generator::SparseBinary { dim, nnz, informative, separation } => {
+            Generator::SparseBinary {
+                dim,
+                nnz,
+                informative,
+                separation,
+            } => {
                 let y: f32 = if rng.gen::<bool>() { 1.0 } else { -1.0 };
                 // Half the non-zeros come from the informative prefix and
                 // carry signal; the rest are uniform noise features.
@@ -203,8 +241,7 @@ impl Generator {
                 let k_noise = *nnz - k_info;
                 let mut idx = sample_distinct_sorted(rng, informative.len(), k_info);
                 if k_noise > 0 && *dim > informative.len() {
-                    let noise_idx =
-                        sample_distinct_sorted(rng, *dim - informative.len(), k_noise);
+                    let noise_idx = sample_distinct_sorted(rng, *dim - informative.len(), k_noise);
                     idx.extend(noise_idx.into_iter().map(|i| i + informative.len()));
                 }
                 idx.sort_unstable();
@@ -222,7 +259,11 @@ impl Generator {
                 let indices: Vec<u32> = idx.into_iter().map(|i| i as u32).collect();
                 (FeatureVec::sparse(*dim as u32, indices, values), y)
             }
-            Generator::MultiClass { dim, centroids, noise } => {
+            Generator::MultiClass {
+                dim,
+                centroids,
+                noise,
+            } => {
                 let c = rng.gen_range(0..centroids.len());
                 let mut x = randn_vec(rng, *dim);
                 for (xi, mi) in x.iter_mut().zip(&centroids[c]) {
@@ -230,7 +271,12 @@ impl Generator {
                 }
                 (FeatureVec::Dense(x), c as f32)
             }
-            Generator::Regression { dim, weights, bias, noise } => {
+            Generator::Regression {
+                dim,
+                weights,
+                bias,
+                noise,
+            } => {
                 let x = randn_vec(rng, *dim);
                 let y: f32 = x.iter().zip(weights).map(|(a, b)| a * b).sum::<f32>()
                     + bias
@@ -263,7 +309,10 @@ mod tests {
             }
         }
         let acc = correct as f64 / n as f64;
-        assert!(acc > 0.97, "separation 3 should give ~99.9% oracle accuracy, got {acc}");
+        assert!(
+            acc > 0.97,
+            "separation 3 should give ~99.9% oracle accuracy, got {acc}"
+        );
     }
 
     #[test]
@@ -305,7 +354,10 @@ mod tests {
                 (x.dot(&w) > 0.0) == (y > 0.0)
             })
             .count();
-        assert!(correct as f64 / n as f64 > 0.9, "oracle accuracy {correct}/{n}");
+        assert!(
+            correct as f64 / n as f64 > 0.9,
+            "oracle accuracy {correct}/{n}"
+        );
     }
 
     #[test]
@@ -347,7 +399,10 @@ mod tests {
                 best as f32 == y
             })
             .count();
-        assert!(correct as f64 / n as f64 > 0.9, "oracle accuracy {correct}/{n}");
+        assert!(
+            correct as f64 / n as f64 > 0.9,
+            "oracle accuracy {correct}/{n}"
+        );
     }
 
     #[test]
@@ -369,10 +424,12 @@ mod tests {
     #[test]
     fn generators_are_seed_deterministic() {
         let g = Generator::dense_binary(8, 2.0, 42);
-        let a: Vec<(FeatureVec, f32)> =
-            (0..10).map(|_| g.sample(&mut StdRng::seed_from_u64(1))).collect();
-        let b: Vec<(FeatureVec, f32)> =
-            (0..10).map(|_| g.sample(&mut StdRng::seed_from_u64(1))).collect();
+        let a: Vec<(FeatureVec, f32)> = (0..10)
+            .map(|_| g.sample(&mut StdRng::seed_from_u64(1)))
+            .collect();
+        let b: Vec<(FeatureVec, f32)> = (0..10)
+            .map(|_| g.sample(&mut StdRng::seed_from_u64(1)))
+            .collect();
         assert_eq!(a, b);
     }
 }

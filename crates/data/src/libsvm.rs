@@ -57,7 +57,10 @@ pub fn read_libsvm<R: BufRead>(
         let mut parts = line.split_ascii_whitespace();
         let label: f32 = parts
             .next()
-            .ok_or_else(|| LibsvmError::Parse { line: lineno + 1, message: "empty line".into() })?
+            .ok_or_else(|| LibsvmError::Parse {
+                line: lineno + 1,
+                message: "empty line".into(),
+            })?
             .parse()
             .map_err(|e| LibsvmError::Parse {
                 line: lineno + 1,
@@ -99,7 +102,11 @@ pub fn read_libsvm<R: BufRead>(
         }
         rows.push((label, indices, values));
     }
-    let dim = dim.unwrap_or(if rows.iter().all(|r| r.1.is_empty()) { 0 } else { max_idx + 1 });
+    let dim = dim.unwrap_or(if rows.iter().all(|r| r.1.is_empty()) {
+        0
+    } else {
+        max_idx + 1
+    });
     Ok(rows
         .into_iter()
         .enumerate()
@@ -114,7 +121,11 @@ pub fn read_libsvm<R: BufRead>(
             } else {
                 FeatureVec::sparse(dim, indices, values)
             };
-            Tuple { id: id as u64, features, label }
+            Tuple {
+                id: id as u64,
+                features,
+                label,
+            }
         })
         .collect())
 }
@@ -265,13 +276,8 @@ mod tests {
         assert_eq!(back.len(), 3);
         assert_eq!(back[1].label, -1.0);
 
-        let table = load_libsvm_table(
-            &path,
-            TableConfig::new("imported", 3),
-            Some(50),
-            0.9,
-        )
-        .unwrap();
+        let table =
+            load_libsvm_table(&path, TableConfig::new("imported", 3), Some(50), 0.9).unwrap();
         assert_eq!(table.num_tuples(), 3);
         assert_eq!(table.get_tuple(2).unwrap().features.get(10), 3.0);
         std::fs::remove_file(path).ok();

@@ -118,6 +118,10 @@ mod tests {
         let mut sorted = a.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(a, (0..100).collect::<Vec<_>>(), "shuffle should move things");
+        assert_ne!(
+            a,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle should move things"
+        );
     }
 }

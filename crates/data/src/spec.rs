@@ -14,10 +14,9 @@ use crate::rng::shuffle_in_place;
 use corgipile_storage::{Table, TableConfig, Tuple};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 /// The example family a spec generates.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DataKind {
     /// Dense binary classification (higgs/susy/epsilon/yfcc analogues).
     DenseBinary {
@@ -57,7 +56,7 @@ pub enum DataKind {
 }
 
 /// Physical storage order of the train split.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Order {
     /// Random order — the "shuffled version" of §3.
     Shuffled,
@@ -69,7 +68,7 @@ pub enum Order {
 }
 
 /// A full dataset description.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetSpec {
     /// Dataset name (for catalogs and reports).
     pub name: String,
@@ -101,56 +100,131 @@ impl DatasetSpec {
     /// higgs-like: 28 dense features (paper Table 2), moderate separation
     /// tuned so converged accuracy lands in the 60–70 % band like higgs.
     pub fn higgs_like(train: usize) -> Self {
-        Self::new("higgs", DataKind::DenseBinary { dim: 28, separation: 0.5, noise_rank: 0 }, train)
+        Self::new(
+            "higgs",
+            DataKind::DenseBinary {
+                dim: 28,
+                separation: 0.5,
+                noise_rank: 0,
+            },
+            train,
+        )
     }
 
     /// susy-like: 18 dense features, ~79 % converged accuracy band.
     pub fn susy_like(train: usize) -> Self {
-        Self::new("susy", DataKind::DenseBinary { dim: 18, separation: 0.85, noise_rank: 0 }, train)
+        Self::new(
+            "susy",
+            DataKind::DenseBinary {
+                dim: 18,
+                separation: 0.85,
+                noise_rank: 0,
+            },
+            train,
+        )
     }
 
     /// epsilon-like: 2 000 dense features (wide, TOASTed in storage).
     pub fn epsilon_like(train: usize) -> Self {
-        Self::new("epsilon", DataKind::DenseBinary { dim: 2000, separation: 1.75, noise_rank: 24 }, train)
+        Self::new(
+            "epsilon",
+            DataKind::DenseBinary {
+                dim: 2000,
+                separation: 1.75,
+                noise_rank: 24,
+            },
+            train,
+        )
     }
 
     /// criteo-like: sparse, 1 M logical dims scaled to 100 k, 39 nnz.
     pub fn criteo_like(train: usize) -> Self {
-        Self::new("criteo", DataKind::SparseBinary { dim: 100_000, nnz: 39, separation: 0.27 }, train)
+        Self::new(
+            "criteo",
+            DataKind::SparseBinary {
+                dim: 100_000,
+                nnz: 39,
+                separation: 0.27,
+            },
+            train,
+        )
     }
 
     /// yfcc-like: 4 096 dense features (very wide, TOASTed), ~96 % band.
     pub fn yfcc_like(train: usize) -> Self {
-        Self::new("yfcc", DataKind::DenseBinary { dim: 4096, separation: 2.45, noise_rank: 24 }, train)
+        Self::new(
+            "yfcc",
+            DataKind::DenseBinary {
+                dim: 4096,
+                separation: 2.45,
+                noise_rank: 24,
+            },
+            train,
+        )
     }
 
     /// cifar-10-like: 10 classes on 128 dense features.
     pub fn cifar_like(train: usize) -> Self {
-        Self::new("cifar10", DataKind::MultiClass { dim: 128, classes: 10, separation: 2.5 }, train)
+        Self::new(
+            "cifar10",
+            DataKind::MultiClass {
+                dim: 128,
+                classes: 10,
+                separation: 2.5,
+            },
+            train,
+        )
     }
 
     /// ImageNet-like: many classes, wider features.
     pub fn imagenet_like(train: usize) -> Self {
         Self::new(
             "imagenet",
-            DataKind::MultiClass { dim: 256, classes: 100, separation: 4.0 },
+            DataKind::MultiClass {
+                dim: 256,
+                classes: 100,
+                separation: 4.0,
+            },
             train,
         )
     }
 
     /// yelp-review-like: 5 classes.
     pub fn yelp_like(train: usize) -> Self {
-        Self::new("yelp", DataKind::MultiClass { dim: 96, classes: 5, separation: 2.2 }, train)
+        Self::new(
+            "yelp",
+            DataKind::MultiClass {
+                dim: 96,
+                classes: 5,
+                separation: 2.2,
+            },
+            train,
+        )
     }
 
     /// YearPredictionMSD-like: regression on 90 dense features.
     pub fn msd_like(train: usize) -> Self {
-        Self::new("year_msd", DataKind::Regression { dim: 90, noise: 0.5 }, train)
+        Self::new(
+            "year_msd",
+            DataKind::Regression {
+                dim: 90,
+                noise: 0.5,
+            },
+            train,
+        )
     }
 
     /// mini8m-like: 10 classes on 784 dense features.
     pub fn mini8m_like(train: usize) -> Self {
-        Self::new("mini8m", DataKind::MultiClass { dim: 784, classes: 10, separation: 3.0 }, train)
+        Self::new(
+            "mini8m",
+            DataKind::MultiClass {
+                dim: 784,
+                classes: 10,
+                separation: 3.0,
+            },
+            train,
+        )
     }
 
     /// Override the storage order.
@@ -192,15 +266,21 @@ impl DatasetSpec {
 
     fn generator(&self, seed: u64) -> Generator {
         match self.kind {
-            DataKind::DenseBinary { dim, separation, noise_rank } => {
-                Generator::dense_binary_with_rank(dim, separation, noise_rank, seed)
-            }
-            DataKind::SparseBinary { dim, nnz, separation } => {
-                Generator::sparse_binary(dim, nnz, separation, seed)
-            }
-            DataKind::MultiClass { dim, classes, separation } => {
-                Generator::multi_class(dim, classes, separation, seed)
-            }
+            DataKind::DenseBinary {
+                dim,
+                separation,
+                noise_rank,
+            } => Generator::dense_binary_with_rank(dim, separation, noise_rank, seed),
+            DataKind::SparseBinary {
+                dim,
+                nnz,
+                separation,
+            } => Generator::sparse_binary(dim, nnz, separation, seed),
+            DataKind::MultiClass {
+                dim,
+                classes,
+                separation,
+            } => Generator::multi_class(dim, classes, separation, seed),
             DataKind::Regression { dim, noise } => Generator::regression(dim, noise, seed),
         }
     }
@@ -214,7 +294,11 @@ impl DatasetSpec {
         let test: Vec<Tuple> = (0..self.test)
             .map(|i| {
                 let (f, y) = gen.sample(&mut rng);
-                Tuple { id: i as u64, features: f, label: y }
+                Tuple {
+                    id: i as u64,
+                    features: f,
+                    label: y,
+                }
             })
             .collect();
 
@@ -232,9 +316,17 @@ impl DatasetSpec {
         let train: Vec<Tuple> = train
             .into_iter()
             .enumerate()
-            .map(|(i, (f, y))| Tuple { id: i as u64, features: f, label: y })
+            .map(|(i, (f, y))| Tuple {
+                id: i as u64,
+                features: f,
+                label: y,
+            })
             .collect();
-        Dataset { spec: self.clone(), train, test }
+        Dataset {
+            spec: self.clone(),
+            train,
+            test,
+        }
     }
 
     /// Convenience: build and lay out the train split as a heap table.
@@ -318,7 +410,9 @@ mod tests {
 
     #[test]
     fn to_table_roundtrips() {
-        let ds = DatasetSpec::higgs_like(200).with_order(Order::ClusteredByLabel).build(3);
+        let ds = DatasetSpec::higgs_like(200)
+            .with_order(Order::ClusteredByLabel)
+            .build(3);
         let t = ds.to_table(5).unwrap();
         assert_eq!(t.num_tuples(), 200);
         let back = t.all_tuples();
@@ -353,7 +447,10 @@ mod tests {
     #[test]
     fn epsilon_like_is_toasted_in_storage() {
         let t = DatasetSpec::epsilon_like(30).build_table(6).unwrap();
-        assert!(t.is_toasted(), "2000-dim dense tuples exceed the TOAST threshold");
+        assert!(
+            t.is_toasted(),
+            "2000-dim dense tuples exceed the TOAST threshold"
+        );
     }
 
     #[test]

@@ -67,9 +67,7 @@ impl InDbSystem {
             InDbSystem::MadlibShuffleOnce | InDbSystem::BismarckShuffleOnce => {
                 StrategyKind::ShuffleOnce
             }
-            InDbSystem::MadlibNoShuffle | InDbSystem::BismarckNoShuffle => {
-                StrategyKind::NoShuffle
-            }
+            InDbSystem::MadlibNoShuffle | InDbSystem::BismarckNoShuffle => StrategyKind::NoShuffle,
         }
     }
 
@@ -80,7 +78,10 @@ impl InDbSystem {
             InDbSystem::CorgiPile | InDbSystem::BlockOnly => base,
             InDbSystem::BismarckShuffleOnce | InDbSystem::BismarckNoShuffle => {
                 // Lean UDA, slightly heavier than a native operator.
-                ComputeCostModel { per_tuple_overhead: 1.5e-7, ..base }
+                ComputeCostModel {
+                    per_tuple_overhead: 1.5e-7,
+                    ..base
+                }
             }
             InDbSystem::MadlibShuffleOnce | InDbSystem::MadlibNoShuffle => {
                 // Auxiliary statistics per tuple; LR additionally pays the
@@ -90,7 +91,10 @@ impl InDbSystem {
                 } else {
                     0.0
                 };
-                ComputeCostModel { per_tuple_overhead: 4e-7 + stderr, ..base }
+                ComputeCostModel {
+                    per_tuple_overhead: 4e-7 + stderr,
+                    ..base
+                }
             }
         }
     }
@@ -131,15 +135,21 @@ pub fn system_trainer_config(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use corgipile_data::{DatasetSpec, Order};
     use corgipile_core::Trainer;
+    use corgipile_data::{DatasetSpec, Order};
     use corgipile_storage::SimDevice;
 
     #[test]
     fn strategies_map_correctly() {
         assert_eq!(InDbSystem::CorgiPile.strategy(), StrategyKind::CorgiPile);
-        assert_eq!(InDbSystem::MadlibShuffleOnce.strategy(), StrategyKind::ShuffleOnce);
-        assert_eq!(InDbSystem::BismarckNoShuffle.strategy(), StrategyKind::NoShuffle);
+        assert_eq!(
+            InDbSystem::MadlibShuffleOnce.strategy(),
+            StrategyKind::ShuffleOnce
+        );
+        assert_eq!(
+            InDbSystem::BismarckNoShuffle.strategy(),
+            StrategyKind::NoShuffle
+        );
         assert_eq!(InDbSystem::all().len(), 6);
     }
 
@@ -160,10 +170,18 @@ mod tests {
 
     #[test]
     fn feasibility_matches_paper() {
-        assert!(!InDbSystem::MadlibShuffleOnce.feasible(&ModelKind::LogisticRegression, 2000, false));
+        assert!(!InDbSystem::MadlibShuffleOnce.feasible(
+            &ModelKind::LogisticRegression,
+            2000,
+            false
+        ));
         assert!(InDbSystem::MadlibShuffleOnce.feasible(&ModelKind::Svm, 2000, false));
         assert!(!InDbSystem::MadlibShuffleOnce.feasible(&ModelKind::Svm, 28, true));
-        assert!(InDbSystem::BismarckShuffleOnce.feasible(&ModelKind::LogisticRegression, 4096, false));
+        assert!(InDbSystem::BismarckShuffleOnce.feasible(
+            &ModelKind::LogisticRegression,
+            4096,
+            false
+        ));
         assert!(InDbSystem::CorgiPile.feasible(&ModelKind::LogisticRegression, 4096, true));
     }
 
@@ -176,22 +194,26 @@ mod tests {
             .build_table(11)
             .unwrap();
         let run = |sys: InDbSystem| {
-            let cfg = system_trainer_config(
-                sys,
-                ModelKind::Svm,
-                28,
-                3,
-                CorgiPileConfig::default(),
-            );
+            let cfg = system_trainer_config(sys, ModelKind::Svm, 28, 3, CorgiPileConfig::default());
             let mut dev = SimDevice::hdd_scaled(1000.0, 0);
-            Trainer::new(cfg).train(&table, &mut dev, 5).unwrap().total_sim_seconds()
+            Trainer::new(cfg)
+                .train(&table, &mut dev, 5)
+                .unwrap()
+                .total_sim_seconds()
         };
         let corgi = run(InDbSystem::CorgiPile);
         let madlib = run(InDbSystem::MadlibShuffleOnce);
         let bismarck = run(InDbSystem::BismarckShuffleOnce);
-        assert!(corgi < bismarck, "CorgiPile {corgi} vs Bismarck-SO {bismarck}");
+        assert!(
+            corgi < bismarck,
+            "CorgiPile {corgi} vs Bismarck-SO {bismarck}"
+        );
         assert!(bismarck < madlib, "Bismarck {bismarck} vs MADlib {madlib}");
         // The paper reports 1.6–12.8× speedups; at this scale expect > 1.5×.
-        assert!(bismarck / corgi > 1.5, "speedup over Bismarck-SO: {}", bismarck / corgi);
+        assert!(
+            bismarck / corgi > 1.5,
+            "speedup over Bismarck-SO: {}",
+            bismarck / corgi
+        );
     }
 }

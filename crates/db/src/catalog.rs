@@ -3,12 +3,26 @@
 //! The paper stores the learned model "as an in-memory object (a C-style
 //! struct) with an ID in the PostgreSQL kernel" (§6.1); [`StoredModel`] is
 //! that object, addressable by name from `PREDICT BY` queries.
+//!
+//! The catalog is interior-synchronized (every method takes `&self`), so
+//! one `Catalog` can be shared by all sessions of a
+//! [`crate::database::Database`]: a model stored by one connection is
+//! immediately visible to `PREDICT BY` on every other.
 
 use crate::error::DbError;
 use corgipile_ml::{build_model, Model, ModelKind};
 use corgipile_storage::Table;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, RwLock};
+
+fn read<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn write<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// A trained model registered in the catalog.
 #[derive(Debug, Clone)]
@@ -85,7 +99,9 @@ impl StoredModel {
             0 => ModelKind::LogisticRegression,
             1 => ModelKind::Svm,
             2 => ModelKind::LinearRegression,
-            3 => ModelKind::Softmax { classes: read_u32(&mut pos)? as usize },
+            3 => ModelKind::Softmax {
+                classes: read_u32(&mut pos)? as usize,
+            },
             4 => {
                 let classes = read_u32(&mut pos)? as usize;
                 let layers = read_u32(&mut pos)? as usize;
@@ -116,7 +132,12 @@ impl StoredModel {
         if expected != params.len() {
             return Err(corrupt("parameter count does not match model shape"));
         }
-        Ok(StoredModel { kind, dim, params, train_loss })
+        Ok(StoredModel {
+            kind,
+            dim,
+            params,
+            train_loss,
+        })
     }
 
     /// Write to a file.
@@ -133,12 +154,13 @@ impl StoredModel {
     }
 }
 
-/// The database catalog.
+/// The database catalog. Interior-synchronized: shared by every session
+/// of an engine through `&self`.
 #[derive(Default)]
 pub struct Catalog {
-    tables: HashMap<String, Arc<Table>>,
-    models: HashMap<String, StoredModel>,
-    next_table_id: u32,
+    tables: RwLock<HashMap<String, Arc<Table>>>,
+    models: RwLock<HashMap<String, StoredModel>>,
+    next_table_id: AtomicU32,
 }
 
 impl Catalog {
@@ -148,15 +170,15 @@ impl Catalog {
     }
 
     /// Register a table under its config name, returning the shared handle.
-    pub fn register_table(&mut self, name: impl Into<String>, table: Table) -> Arc<Table> {
+    pub fn register_table(&self, name: impl Into<String>, table: Table) -> Arc<Table> {
         let handle = Arc::new(table);
-        self.tables.insert(name.into(), handle.clone());
+        write(&self.tables).insert(name.into(), handle.clone());
         handle
     }
 
     /// Look a table up.
     pub fn table(&self, name: &str) -> Result<Arc<Table>, DbError> {
-        self.tables
+        read(&self.tables)
             .get(name)
             .cloned()
             .ok_or_else(|| DbError::UnknownTable(name.to_string()))
@@ -164,32 +186,34 @@ impl Catalog {
 
     /// Registered table names.
     pub fn table_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.tables.keys().cloned().collect();
+        let mut names: Vec<String> = read(&self.tables).keys().cloned().collect();
         names.sort();
         names
     }
 
-    /// A fresh table id for derived tables (shuffled copies).
-    pub fn fresh_table_id(&mut self) -> u32 {
-        self.next_table_id += 1;
-        0x4000_0000 + self.next_table_id
+    /// A fresh table id for derived tables (shuffled copies), unique
+    /// across all sessions.
+    pub fn fresh_table_id(&self) -> u32 {
+        0x4000_0000 + self.next_table_id.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Store a trained model under a name.
-    pub fn store_model(&mut self, name: impl Into<String>, model: StoredModel) {
-        self.models.insert(name.into(), model);
+    pub fn store_model(&self, name: impl Into<String>, model: StoredModel) {
+        write(&self.models).insert(name.into(), model);
     }
 
-    /// Look a model up.
-    pub fn model(&self, name: &str) -> Result<&StoredModel, DbError> {
-        self.models
+    /// Look a model up (an owned snapshot; the catalog entry may be
+    /// replaced concurrently by another session re-training the name).
+    pub fn model(&self, name: &str) -> Result<StoredModel, DbError> {
+        read(&self.models)
             .get(name)
+            .cloned()
             .ok_or_else(|| DbError::UnknownModel(name.to_string()))
     }
 
     /// Registered model names.
     pub fn model_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.models.keys().cloned().collect();
+        let mut names: Vec<String> = read(&self.models).keys().cloned().collect();
         names.sort();
         names
     }
@@ -203,7 +227,7 @@ mod tests {
 
     #[test]
     fn register_and_lookup_tables() {
-        let mut c = Catalog::new();
+        let c = Catalog::new();
         let t = DatasetSpec::higgs_like(50).build_table(1).unwrap();
         c.register_table("higgs", t);
         assert!(c.table("higgs").is_ok());
@@ -213,7 +237,7 @@ mod tests {
 
     #[test]
     fn store_and_rehydrate_model() {
-        let mut c = Catalog::new();
+        let c = Catalog::new();
         let stored = StoredModel {
             kind: ModelKind::LogisticRegression,
             dim: 2,
@@ -237,7 +261,13 @@ mod tests {
             (ModelKind::Svm, 4),
             (ModelKind::LinearRegression, 4),
             (ModelKind::Softmax { classes: 3 }, 4),
-            (ModelKind::Mlp { hidden: vec![5, 3], classes: 2 }, 4),
+            (
+                ModelKind::Mlp {
+                    hidden: vec![5, 3],
+                    classes: 2,
+                },
+                4,
+            ),
         ];
         for (kind, dim) in kinds {
             let m = build_model(&kind, dim, 1);
@@ -280,8 +310,7 @@ mod tests {
 
     #[test]
     fn model_file_roundtrip() {
-        let path =
-            std::env::temp_dir().join(format!("corgi_model_{}.bin", std::process::id()));
+        let path = std::env::temp_dir().join(format!("corgi_model_{}.bin", std::process::id()));
         let stored = StoredModel {
             kind: ModelKind::Softmax { classes: 4 },
             dim: 6,
@@ -299,9 +328,53 @@ mod tests {
 
     #[test]
     fn fresh_table_ids_are_unique() {
-        let mut c = Catalog::new();
+        let c = Catalog::new();
         let a = c.fresh_table_id();
         let b = c.fresh_table_id();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fresh_table_ids_are_unique_across_threads() {
+        let c = std::sync::Arc::new(Catalog::new());
+        let mut ids: Vec<u32> = std::thread::scope(|s| {
+            (0..4)
+                .map(|_| {
+                    let c = c.clone();
+                    s.spawn(move || (0..100).map(|_| c.fresh_table_id()).collect::<Vec<_>>())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 400, "concurrent ids must never collide");
+    }
+
+    #[test]
+    fn catalog_is_shared_across_threads() {
+        let c = std::sync::Arc::new(Catalog::new());
+        std::thread::scope(|s| {
+            let writer = c.clone();
+            s.spawn(move || {
+                let t = DatasetSpec::higgs_like(50).build_table(7).unwrap();
+                writer.register_table("shared", t);
+                writer.store_model(
+                    "m",
+                    StoredModel {
+                        kind: ModelKind::Svm,
+                        dim: 2,
+                        params: vec![0.0; 3],
+                        train_loss: 0.0,
+                    },
+                );
+            })
+            .join()
+            .unwrap();
+        });
+        assert!(c.table("shared").is_ok());
+        assert!(c.model("m").is_ok());
     }
 }

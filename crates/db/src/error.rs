@@ -4,7 +4,11 @@ use corgipile_storage::StorageError;
 use std::fmt;
 
 /// Errors from the SQL surface and executor.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must include a wildcard
+/// arm so new error variants can be added without a breaking release.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum DbError {
     /// Query text could not be parsed.
     Parse(String),
@@ -53,7 +57,9 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(DbError::UnknownTable("foo".into()).to_string().contains("foo"));
+        assert!(DbError::UnknownTable("foo".into())
+            .to_string()
+            .contains("foo"));
         assert!(DbError::Parse("x".into()).to_string().contains("parse"));
     }
 

@@ -27,8 +27,8 @@ use corgipile_ml::{
 };
 use corgipile_shuffle::StrategyParams;
 use corgipile_storage::{
-    block_refs, run_epoch_pipeline, BufferPool, DoubleBufferModel, PipelineError,
-    PipelineReport, RetryPolicy, SimDevice, Table, Telemetry, Tuple, TupleRef,
+    block_refs, run_epoch_pipeline, DeviceHandle, DoubleBufferModel, PipelineError, PipelineReport,
+    PoolHandle, RetryPolicy, SimDevice, Table, Telemetry, Tuple, TupleRef,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -48,16 +48,23 @@ pub enum FaultAction {
 }
 
 /// Execution context threaded through the operator tree.
+///
+/// Device and pool access goes through per-connection handles
+/// ([`corgipile_storage::DeviceHandle`] / [`corgipile_storage::PoolHandle`]): the handles carry this session's
+/// fault plan and telemetry onto the shared engine state for the duration
+/// of each access, and their local stats expose only this query's I/O.
 pub struct ExecContext<'a> {
-    /// The storage device (simulated clock + OS cache).
-    pub dev: &'a mut SimDevice,
+    /// This connection's view of the storage device (simulated clock +
+    /// OS cache).
+    pub dev: &'a mut DeviceHandle,
     /// Loading cost of each buffer fill in the current epoch, pushed by the
     /// operator directly below `SGD`.
     pub fill_io: Vec<f64>,
-    /// The engine's buffer pool (`shared_buffers`), if configured. Random
-    /// block reads go through it; sequential scans bypass it, like
-    /// PostgreSQL's ring-buffer strategy for large seqscans.
-    pub pool: Option<&'a mut BufferPool>,
+    /// This connection's view of the engine's buffer pool
+    /// (`shared_buffers`), if configured. Random block reads go through it;
+    /// sequential scans bypass it, like PostgreSQL's ring-buffer strategy
+    /// for large seqscans.
+    pub pool: Option<&'a mut PoolHandle>,
     /// Retry policy applied to every block read; backoff is charged to the
     /// simulated clock.
     pub retry: RetryPolicy,
@@ -73,8 +80,8 @@ pub struct ExecContext<'a> {
 }
 
 impl<'a> ExecContext<'a> {
-    /// Create a context over a device, without a buffer pool.
-    pub fn new(dev: &'a mut SimDevice) -> Self {
+    /// Create a context over a device handle, without a buffer pool.
+    pub fn new(dev: &'a mut DeviceHandle) -> Self {
         let telemetry = dev.telemetry().clone();
         ExecContext {
             dev,
@@ -87,8 +94,8 @@ impl<'a> ExecContext<'a> {
         }
     }
 
-    /// Create a context with a buffer pool (`shared_buffers`).
-    pub fn with_pool(dev: &'a mut SimDevice, pool: &'a mut BufferPool) -> Self {
+    /// Create a context with a buffer-pool handle (`shared_buffers`).
+    pub fn with_pool(dev: &'a mut DeviceHandle, pool: &'a mut PoolHandle) -> Self {
         let mut ctx = ExecContext::new(dev);
         ctx.pool = Some(pool);
         ctx
@@ -290,14 +297,20 @@ impl BlockShuffleOp {
         let hits_before =
             ctx.dev.stats().cache_hits + ctx.pool.as_ref().map_or(0, |p| p.stats().hits);
         let retries_before = ctx.dev.stats().retries;
+        let table = &self.table;
+        let retry = &ctx.retry;
+        let first = self.next_block == 0;
         let read = match self.mode {
-            ScanMode::Sequential => self
-                .table
-                .scan_block_sequential_retry(block, self.next_block == 0, ctx.dev, &ctx.retry)
+            ScanMode::Sequential => ctx
+                .dev
+                .with(|d| table.scan_block_sequential_retry(block, first, d, retry))
                 .map(Arc::new),
             ScanMode::RandomBlocks => match ctx.pool.as_deref_mut() {
-                Some(pool) => pool.read_block_retry(&self.table, block, ctx.dev, &ctx.retry),
-                None => self.table.read_block_retry(block, ctx.dev, &ctx.retry).map(Arc::new),
+                Some(pool) => pool.read_block_retry(table, block, ctx.dev, retry),
+                None => ctx
+                    .dev
+                    .with(|d| table.read_block_retry(block, d, retry))
+                    .map(Arc::new),
             },
         };
         self.next_block += 1;
@@ -452,7 +465,8 @@ impl TupleShuffleOp {
             }
         }
         // Buffer copy + Fisher–Yates cost (§4.1 overheads).
-        ctx.dev.charge_seconds(self.params.buffering_cost(self.buffer.len(), bytes));
+        ctx.dev
+            .charge_seconds(self.params.buffering_cost(self.buffer.len(), bytes));
         let rng = &mut self.rng;
         for i in (1..self.buffer.len()).rev() {
             let j = rng.gen_range(0..=i);
@@ -694,7 +708,7 @@ impl SgdOperator {
             // seeds and the table shape, so this lands every RNG stream
             // exactly where the checkpointed run left it, without touching
             // the real device or the real clock.
-            let mut scratch_dev = SimDevice::in_memory();
+            let mut scratch_dev = DeviceHandle::private(SimDevice::in_memory());
             let mut scratch = ExecContext::new(&mut scratch_dev);
             for epoch in 0..start_epoch {
                 if epoch > 0 {
@@ -831,7 +845,8 @@ impl SgdOperator {
                         // (§6.2).
                         let flops = self.model.flops_per_example(r.features.nnz());
                         loss_sum += self.model.loss(&r.features, r.label);
-                        self.model.sgd_step(&r.features, r.label, self.optimizer.lr());
+                        self.model
+                            .sgd_step(&r.features, r.label, self.optimizer.lr());
                         gradient_steps += 1;
                         fill_compute[fill_now] += self.compute.seconds(flops, 1);
                     } else {
@@ -885,7 +900,11 @@ impl SgdOperator {
             });
             let epoch_io: f64 = io.iter().sum();
             let epoch_compute: f64 = fill_compute.iter().sum();
-            let train_loss = if tuples > 0 { loss_sum / tuples as f64 } else { 0.0 };
+            let train_loss = if tuples > 0 {
+                loss_sum / tuples as f64
+            } else {
+                0.0
+            };
             let skipped = std::mem::take(&mut ctx.skipped_blocks);
             total_io += epoch_io;
             total_compute += epoch_compute;
@@ -984,7 +1003,7 @@ mod tests {
     #[test]
     fn seq_scan_emits_table_order() {
         let t = table(300);
-        let mut dev = SimDevice::hdd_scaled(1000.0, 0);
+        let mut dev = DeviceHandle::private(SimDevice::hdd_scaled(1000.0, 0));
         let mut ctx = ExecContext::new(&mut dev);
         let mut op = BlockShuffleOp::new(t, ScanMode::Sequential, 1);
         op.init(&mut ctx);
@@ -995,7 +1014,7 @@ mod tests {
     #[test]
     fn block_shuffle_permutes_blocks_and_rescan_reshuffles() {
         let t = table(600);
-        let mut dev = SimDevice::hdd_scaled(1000.0, 0);
+        let mut dev = DeviceHandle::private(SimDevice::hdd_scaled(1000.0, 0));
         let mut ctx = ExecContext::new(&mut dev);
         let mut op = BlockShuffleOp::new(t, ScanMode::RandomBlocks, 2);
         op.init(&mut ctx);
@@ -1013,7 +1032,7 @@ mod tests {
     #[test]
     fn tuple_shuffle_covers_all_and_records_fills() {
         let t = table(600);
-        let mut dev = SimDevice::hdd_scaled(1000.0, 0);
+        let mut dev = DeviceHandle::private(SimDevice::hdd_scaled(1000.0, 0));
         let mut ctx = ExecContext::new(&mut dev);
         let child = Box::new(BlockShuffleOp::new(t, ScanMode::RandomBlocks, 3));
         let mut op = TupleShuffleOp::new(child, 120, StrategyParams::default());
@@ -1028,14 +1047,17 @@ mod tests {
     #[test]
     fn tuple_shuffle_actually_shuffles_within_fills() {
         let t = table(600);
-        let mut dev = SimDevice::hdd_scaled(1000.0, 0);
+        let mut dev = DeviceHandle::private(SimDevice::hdd_scaled(1000.0, 0));
         let mut ctx = ExecContext::new(&mut dev);
         let child = Box::new(BlockShuffleOp::new(t, ScanMode::RandomBlocks, 4));
         let mut op = TupleShuffleOp::new(child, 200, StrategyParams::default());
         op.init(&mut ctx);
         let ids = drain(&mut op, &mut ctx);
         let descents = ids.windows(2).filter(|w| w[1] < w[0]).count();
-        assert!(descents > 150, "expected shuffled stream, {descents} descents");
+        assert!(
+            descents > 150,
+            "expected shuffled stream, {descents} descents"
+        );
     }
 
     #[test]
@@ -1056,11 +1078,14 @@ mod tests {
             true,
         );
         op.eval_each_epoch = Some(t);
-        let mut dev = SimDevice::in_memory();
+        let mut dev = DeviceHandle::private(SimDevice::in_memory());
         let mut ctx = ExecContext::new(&mut dev);
         let result = op.execute(&mut ctx).unwrap();
-        let metrics: Vec<f64> =
-            result.epochs.iter().map(|e| e.train_metric.unwrap()).collect();
+        let metrics: Vec<f64> = result
+            .epochs
+            .iter()
+            .map(|e| e.train_metric.unwrap())
+            .collect();
         assert_eq!(metrics.len(), 3);
         assert!(metrics.iter().all(|&m| m > 0.4 && m <= 1.0));
         // Accuracy should not collapse across epochs.
@@ -1084,7 +1109,7 @@ mod tests {
             2,
             true,
         );
-        let mut dev = SimDevice::hdd_scaled(1000.0, 0);
+        let mut dev = DeviceHandle::private(SimDevice::hdd_scaled(1000.0, 0));
         dev.set_telemetry(Telemetry::enabled());
         let mut ctx = ExecContext::new(&mut dev);
         let result = op.execute(&mut ctx).unwrap();
@@ -1126,8 +1151,8 @@ mod tests {
     #[test]
     fn buffer_pool_makes_later_epochs_cheap() {
         let t = table(2000);
-        let mut dev = SimDevice::hdd_scaled(1000.0, 0); // no OS cache
-        let mut pool = corgipile_storage::BufferPool::new(64 << 20);
+        let mut dev = DeviceHandle::private(SimDevice::hdd_scaled(1000.0, 0)); // no OS cache
+        let mut pool = PoolHandle::private(corgipile_storage::BufferPool::new(64 << 20));
         let mut ctx = ExecContext::with_pool(&mut dev, &mut pool);
         let mut op = BlockShuffleOp::new(t, ScanMode::RandomBlocks, 5);
         op.init(&mut ctx);
@@ -1143,7 +1168,7 @@ mod tests {
     #[test]
     fn sgd_operator_trains_and_reports() {
         let t = table(3000);
-        let mut dev = SimDevice::hdd_scaled(1000.0, 0);
+        let mut dev = DeviceHandle::private(SimDevice::hdd_scaled(1000.0, 0));
         let mut ctx = ExecContext::new(&mut dev);
         let child: Box<dyn PhysicalOperator> = Box::new(TupleShuffleOp::new(
             Box::new(BlockShuffleOp::new(t.clone(), ScanMode::RandomBlocks, 5)),
@@ -1178,7 +1203,7 @@ mod tests {
         // stream is the clustered order, so training accuracy collapses to
         // the majority of the tail (the paper's No-Shuffle pathology).
         let t = table(3000);
-        let mut dev = SimDevice::hdd_scaled(1000.0, 0);
+        let mut dev = DeviceHandle::private(SimDevice::hdd_scaled(1000.0, 0));
         let mut ctx = ExecContext::new(&mut dev);
         let child: Box<dyn PhysicalOperator> =
             Box::new(BlockShuffleOp::new(t.clone(), ScanMode::Sequential, 1));
@@ -1194,14 +1219,17 @@ mod tests {
         let result = op.execute(&mut ctx).unwrap();
         let test = DatasetSpec::higgs_like(3000).build(9).test;
         let acc = corgipile_ml::accuracy(result.model.as_ref(), &test);
-        assert!(acc < 0.6, "sequential scan on clustered data should underperform, acc {acc}");
+        assert!(
+            acc < 0.6,
+            "sequential scan on clustered data should underperform, acc {acc}"
+        );
     }
 
     #[test]
     fn double_buffer_reduces_reported_epoch_time() {
         let t = table(2000);
         let run = |double| {
-            let mut dev = SimDevice::hdd_scaled(1000.0, 0);
+            let mut dev = DeviceHandle::private(SimDevice::hdd_scaled(1000.0, 0));
             let mut ctx = ExecContext::new(&mut dev);
             let child: Box<dyn PhysicalOperator> = Box::new(TupleShuffleOp::new(
                 Box::new(BlockShuffleOp::new(t.clone(), ScanMode::RandomBlocks, 5)),
@@ -1235,7 +1263,7 @@ mod tests {
         use corgipile_storage::FaultPlan;
         let t = table(600);
         let run = |plan: Option<FaultPlan>| -> Vec<u64> {
-            let mut dev = SimDevice::hdd_scaled(1000.0, 0);
+            let mut dev = DeviceHandle::private(SimDevice::hdd_scaled(1000.0, 0));
             if let Some(p) = plan {
                 dev.set_fault_plan(p);
             }
@@ -1246,16 +1274,22 @@ mod tests {
         };
         let tid = t.config().table_id;
         let clean = run(None);
-        let faulty =
-            run(Some(FaultPlan::new(7).with_transient(tid, 0, 2).with_transient(tid, 2, 1)));
-        assert_eq!(clean, faulty, "retried transients must not change the stream");
+        let faulty = run(Some(
+            FaultPlan::new(7)
+                .with_transient(tid, 0, 2)
+                .with_transient(tid, 2, 1),
+        ));
+        assert_eq!(
+            clean, faulty,
+            "retried transients must not change the stream"
+        );
     }
 
     #[test]
     fn dead_block_fails_the_query_by_default() {
         use corgipile_storage::FaultPlan;
         let t = table(600);
-        let mut dev = SimDevice::hdd_scaled(1000.0, 0);
+        let mut dev = DeviceHandle::private(SimDevice::hdd_scaled(1000.0, 0));
         dev.set_fault_plan(FaultPlan::new(7).with_permanent(t.config().table_id, 0));
         let mut ctx = ExecContext::new(&mut dev);
         ctx.retry = RetryPolicy::with_max_retries(1);
@@ -1288,7 +1322,7 @@ mod tests {
         let t = table(600);
         let dead = t.block(1).unwrap().tuples.clone();
         let dead_tuples = (dead.end - dead.start) as usize;
-        let mut dev = SimDevice::hdd_scaled(1000.0, 0);
+        let mut dev = DeviceHandle::private(SimDevice::hdd_scaled(1000.0, 0));
         dev.set_fault_plan(FaultPlan::new(7).with_permanent(t.config().table_id, 1));
         let mut ctx = ExecContext::new(&mut dev);
         ctx.retry = RetryPolicy::with_max_retries(1);
@@ -1308,7 +1342,11 @@ mod tests {
             false,
         );
         let result = op.execute(&mut ctx).unwrap();
-        assert_eq!(result.epochs.len(), 2, "training must survive the dead block");
+        assert_eq!(
+            result.epochs.len(),
+            2,
+            "training must survive the dead block"
+        );
         for e in &result.epochs {
             assert_eq!(e.skipped_blocks, vec![1], "dead block reported every epoch");
             assert_eq!(e.tuples, 600 - dead_tuples);
@@ -1318,8 +1356,8 @@ mod tests {
     #[test]
     fn halt_checkpoint_resume_is_bit_identical() {
         let t = table(1500);
-        let path = std::env::temp_dir()
-            .join(format!("corgi_db_resume_{}.ckpt", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("corgi_db_resume_{}.ckpt", std::process::id()));
         let plan = |t: &Arc<Table>| -> Box<dyn PhysicalOperator> {
             Box::new(TupleShuffleOp::new(
                 Box::new(BlockShuffleOp::new(t.clone(), ScanMode::RandomBlocks, 5)),
@@ -1339,14 +1377,14 @@ mod tests {
             )
         };
         // Uninterrupted reference run.
-        let mut dev = SimDevice::hdd_scaled(1000.0, 0);
+        let mut dev = DeviceHandle::private(SimDevice::hdd_scaled(1000.0, 0));
         let straight = sgd(&t).execute(&mut ExecContext::new(&mut dev)).unwrap();
         // Crashed run: halt after epoch 1 with a checkpoint on disk.
         let mut op = sgd(&t);
         op.checkpoint_path = Some(path.clone());
         op.checkpoint_seed = 9;
         op.halt_after_epoch = Some(1);
-        let mut dev = SimDevice::hdd_scaled(1000.0, 0);
+        let mut dev = DeviceHandle::private(SimDevice::hdd_scaled(1000.0, 0));
         let crashed = op.execute(&mut ExecContext::new(&mut dev)).unwrap();
         assert!(crashed.halted);
         assert_eq!(crashed.epochs.len(), 2);
@@ -1356,7 +1394,7 @@ mod tests {
         let mut op = sgd(&t);
         op.checkpoint_seed = 9;
         op.resume_from = Some(ck);
-        let mut dev = SimDevice::hdd_scaled(1000.0, 0);
+        let mut dev = DeviceHandle::private(SimDevice::hdd_scaled(1000.0, 0));
         let resumed = op.execute(&mut ExecContext::new(&mut dev)).unwrap();
         assert!(!resumed.halted);
         assert_eq!(resumed.epochs.len(), 2, "epochs 2 and 3 remain");
@@ -1377,7 +1415,7 @@ mod tests {
         let mut op = sgd(&t);
         op.checkpoint_seed = 10;
         op.resume_from = Some(ck);
-        let mut dev = SimDevice::hdd_scaled(1000.0, 0);
+        let mut dev = DeviceHandle::private(SimDevice::hdd_scaled(1000.0, 0));
         let err = op.execute(&mut ExecContext::new(&mut dev)).unwrap_err();
         assert!(matches!(err, DbError::Checkpoint(_)));
         std::fs::remove_file(path).ok();
@@ -1406,7 +1444,7 @@ mod tests {
                     3,
                     double,
                 );
-                let mut dev = SimDevice::hdd_scaled(1000.0, 0);
+                let mut dev = DeviceHandle::private(SimDevice::hdd_scaled(1000.0, 0));
                 op.execute(&mut ExecContext::new(&mut dev)).unwrap()
             };
             let serial = run(false);
@@ -1440,7 +1478,7 @@ mod tests {
                 2,
                 double,
             );
-            let mut dev = SimDevice::hdd_scaled(1000.0, 0);
+            let mut dev = DeviceHandle::private(SimDevice::hdd_scaled(1000.0, 0));
             op.execute(&mut ExecContext::new(&mut dev)).unwrap()
         };
         let serial = run(false);
@@ -1457,7 +1495,7 @@ mod tests {
         use corgipile_storage::FaultPlan;
         let t = table(900);
         let run = |double: bool| {
-            let mut dev = SimDevice::hdd_scaled(1000.0, 0);
+            let mut dev = DeviceHandle::private(SimDevice::hdd_scaled(1000.0, 0));
             dev.set_fault_plan(
                 FaultPlan::new(7)
                     .with_transient(t.config().table_id, 0, 1)
@@ -1503,7 +1541,7 @@ mod tests {
             2,
             true,
         );
-        let mut dev = SimDevice::hdd_scaled(1000.0, 0);
+        let mut dev = DeviceHandle::private(SimDevice::hdd_scaled(1000.0, 0));
         let result = op.execute(&mut ExecContext::new(&mut dev)).unwrap();
         assert!(result.pipeline.fills > 0);
         assert_eq!(result.pipeline.batches_consumed, result.pipeline.fills);
@@ -1526,7 +1564,7 @@ mod tests {
                 2,
                 double,
             );
-            let mut dev = SimDevice::hdd_scaled(1000.0, 0);
+            let mut dev = DeviceHandle::private(SimDevice::hdd_scaled(1000.0, 0));
             op.execute(&mut ExecContext::new(&mut dev)).unwrap()
         };
         let serial = run(false);

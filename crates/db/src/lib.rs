@@ -12,13 +12,19 @@
 //!   `SELECT * FROM t TRAIN BY svm WITH learning_rate = 0.1, max_epoch_num
 //!   = 20, block_size = 10MB` and `SELECT * FROM t PREDICT BY model`.
 //! * [`catalog`] — tables and trained models.
-//! * [`session`] — parses, plans, executes, and stores results.
+//! * [`database`] — the shared engine object: one device, one
+//!   `shared_buffers` pool, one catalog behind interior-synchronized
+//!   handles; `Arc<Database>` + [`Database::connect`] opens concurrent
+//!   sessions.
+//! * [`session`] — a connection: parses, plans, executes, and stores
+//!   results.
 //! * [`baselines`] — MADlib- and Bismarck-style UDA trainer emulations
 //!   (Shuffle-Once / No-Shuffle variants with their measured compute
 //!   characteristics), the comparison systems of Figures 1, 11 and 13.
 
 pub mod baselines;
 pub mod catalog;
+pub mod database;
 pub mod error;
 pub mod exec;
 mod proptests;
@@ -27,11 +33,12 @@ pub mod sql;
 
 pub use baselines::{system_trainer_config, InDbSystem};
 pub use catalog::{Catalog, StoredModel};
+pub use corgipile_storage::{Telemetry, TelemetrySnapshot};
+pub use database::Database;
 pub use error::DbError;
 pub use exec::{
-    BlockShuffleOp, DbEpochRecord, ExecContext, FaultAction, OpStats, PhysicalOperator,
-    ScanMode, SgdOperator, SgdRunResult, TupleShuffleOp,
+    BlockShuffleOp, DbEpochRecord, ExecContext, FaultAction, OpStats, PhysicalOperator, ScanMode,
+    SgdOperator, SgdRunResult, TupleShuffleOp,
 };
-pub use corgipile_storage::{Telemetry, TelemetrySnapshot};
 pub use session::{DbTrainSummary, QueryResult, Session};
-pub use sql::{parse, ParamValue, Query};
+pub use sql::{parse, ParamValue, Query, ShowTarget};

@@ -5,7 +5,7 @@
 
 use crate::exec::{BlockShuffleOp, ExecContext, PhysicalOperator, ScanMode, TupleShuffleOp};
 use corgipile_shuffle::StrategyParams;
-use corgipile_storage::{SimDevice, Table, TableConfig, Tuple};
+use corgipile_storage::{DeviceHandle, SimDevice, Table, TableConfig, Tuple};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -15,7 +15,11 @@ fn table(n: u64, width: usize, block_pages: usize) -> Arc<Table> {
         Table::from_tuples(
             cfg,
             (0..n).map(|id| {
-                Tuple::dense(id, vec![id as f32; width], if id % 2 == 0 { 1.0 } else { -1.0 })
+                Tuple::dense(
+                    id,
+                    vec![id as f32; width],
+                    if id % 2 == 0 { 1.0 } else { -1.0 },
+                )
             }),
         )
         .unwrap(),
@@ -45,7 +49,7 @@ proptest! {
     ) {
         let t = table(n, width, block_pages);
         let mode = if random { ScanMode::RandomBlocks } else { ScanMode::Sequential };
-        let mut dev = SimDevice::in_memory();
+        let mut dev = DeviceHandle::private(SimDevice::in_memory());
         let mut ctx = ExecContext::new(&mut dev);
         let mut op = BlockShuffleOp::new(t, mode, seed);
         op.init(&mut ctx);
@@ -66,7 +70,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let t = table(n, 4, 1);
-        let mut dev = SimDevice::in_memory();
+        let mut dev = DeviceHandle::private(SimDevice::in_memory());
         let mut ctx = ExecContext::new(&mut dev);
         let child = Box::new(BlockShuffleOp::new(t, ScanMode::RandomBlocks, seed));
         let mut op = TupleShuffleOp::new(
@@ -92,7 +96,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let t = table(n, 4, 1);
-        let mut dev = SimDevice::in_memory();
+        let mut dev = DeviceHandle::private(SimDevice::in_memory());
         let mut ctx = ExecContext::new(&mut dev);
         let child = Box::new(BlockShuffleOp::new(t, ScanMode::RandomBlocks, seed));
         let mut op = TupleShuffleOp::new(

@@ -1,8 +1,10 @@
-//! Session: parse → plan → execute.
+//! Session: a connection to a [`Database`] that parses → plans → executes.
 //!
-//! A [`Session`] owns the catalog and a simulated device, accepts the SQL
-//! surface of §6, builds the corresponding physical plan, runs it, and
-//! registers trained models:
+//! A [`Session`] is a lightweight connection opened with
+//! [`Database::connect`]: it borrows the engine's catalog and holds
+//! per-connection handles onto the shared device and buffer pool, accepts
+//! the SQL surface of §6, builds the corresponding physical plan, runs it,
+//! and registers trained models:
 //!
 //! ```text
 //! TRAIN BY … strategy='corgipile'  ⇒  SGD ← TupleShuffle ← BlockShuffle(random)
@@ -14,19 +16,27 @@
 //! Sliding-Window and MRS are *not* offered in-DB — the paper could not
 //! compare against them inside PostgreSQL either (Bismarck never released
 //! MRS; §7.1.3) — they live in the library layer instead.
+//!
+//! Sessions are independent: each carries its own telemetry scope and its
+//! own fault plan (see [`Session::inject_faults`]), so concurrent sessions
+//! neither see each other's injected faults nor pollute each other's
+//! `SHOW STATS`.
 
 use crate::catalog::{Catalog, StoredModel};
+use crate::database::Database;
 use crate::error::DbError;
 use crate::exec::{
-    BlockShuffleOp, DbEpochRecord, ExecContext, FaultAction, OpStats, PhysicalOperator,
-    ScanMode, SgdOperator, TupleShuffleOp,
+    BlockShuffleOp, DbEpochRecord, ExecContext, FaultAction, OpStats, PhysicalOperator, ScanMode,
+    SgdOperator, TupleShuffleOp,
 };
-use crate::sql::{parse, ParamValue, Query};
+use crate::sql::{parse, ParamValue, Query, ShowTarget};
 use corgipile_data::rng::shuffle_in_place;
 use corgipile_ml::{accuracy, build_model, ModelKind, OptimizerKind, TrainOptions};
-use corgipile_ml::{ComputeCostModel, r_squared, TrainCheckpoint};
+use corgipile_ml::{r_squared, ComputeCostModel, TrainCheckpoint};
 use corgipile_shuffle::StrategyParams;
-use corgipile_storage::{BufferPool, FaultPlan, RetryPolicy, SimDevice, Table, Telemetry};
+use corgipile_storage::{
+    BufferPool, DeviceHandle, FaultPlan, PoolHandle, RetryPolicy, SimDevice, Table, Telemetry,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
@@ -58,14 +68,20 @@ pub struct DbTrainSummary {
 impl DbTrainSummary {
     /// Total simulated seconds including setup.
     pub fn total_seconds(&self) -> f64 {
-        self.epochs.last().map(|e| e.sim_seconds_end).unwrap_or(self.setup_seconds)
+        self.epochs
+            .last()
+            .map(|e| e.sim_seconds_end)
+            .unwrap_or(self.setup_seconds)
     }
 
     /// All blocks skipped across epochs under `on_fault = 'skip'`
     /// (deduplicated, sorted).
     pub fn skipped_blocks(&self) -> Vec<usize> {
-        let mut all: Vec<usize> =
-            self.epochs.iter().flat_map(|e| e.skipped_blocks.iter().copied()).collect();
+        let mut all: Vec<usize> = self
+            .epochs
+            .iter()
+            .flat_map(|e| e.skipped_blocks.iter().copied())
+            .collect();
         all.sort_unstable();
         all.dedup();
         all
@@ -73,7 +89,11 @@ impl DbTrainSummary {
 }
 
 /// Result of executing one query.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must include a wildcard
+/// arm so new result variants can be added without a breaking release.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub enum QueryResult {
     /// `TRAIN BY` outcome.
     Train(DbTrainSummary),
@@ -90,28 +110,58 @@ pub enum QueryResult {
     Names(Vec<String>),
 }
 
-/// An interactive session over a catalog and a device.
+/// A connection to a [`Database`].
+///
+/// Holds the engine behind an `Arc` plus this connection's device and pool
+/// handles: queries executed here account their I/O, faults and telemetry
+/// to this session, while the blocks they fault into `shared_buffers`
+/// become cache hits for every other session.
 pub struct Session {
-    catalog: Catalog,
-    dev: SimDevice,
+    db: Arc<Database>,
+    dev: DeviceHandle,
+    pool: PoolHandle,
     compute: ComputeCostModel,
     telemetry: Telemetry,
+    /// Registry stashed by `set_telemetry_enabled(false)`, restored on
+    /// re-enable so accumulated metrics survive an opt-out round trip.
+    stashed_telemetry: Option<Telemetry>,
 }
 
 impl Session {
-    /// Open a session on the given device. Telemetry is on by default —
-    /// the instruments are bound once at setup, so the per-tuple hot path
-    /// stays allocation-free either way; use
-    /// [`Session::set_telemetry_enabled`] to opt out entirely.
-    pub fn new(mut dev: SimDevice) -> Self {
+    /// Open a connection over a shared engine (use [`Database::connect`]).
+    /// Telemetry is on by default — the instruments are bound once at
+    /// setup, so the per-tuple hot path stays allocation-free either way;
+    /// use [`Session::set_telemetry_enabled`] to opt out entirely.
+    pub(crate) fn over(db: Arc<Database>) -> Self {
         let telemetry = Telemetry::enabled();
+        let mut dev = db.device().handle();
         dev.set_telemetry(telemetry.clone());
+        let pool = db.pool().handle();
+        let compute = db.compute();
         Session {
-            catalog: Catalog::new(),
+            db,
             dev,
-            compute: ComputeCostModel::in_db_core(),
+            pool,
+            compute,
             telemetry,
+            stashed_telemetry: None,
         }
+    }
+
+    /// Open a session over a private single-connection engine.
+    #[deprecated(
+        since = "0.2.0",
+        note = "create an engine with `Database::new(dev)` and open connections \
+                via `Database::connect()`; this shim wraps a single-connection \
+                `Database`"
+    )]
+    pub fn new(dev: SimDevice) -> Self {
+        Database::new(dev).connect()
+    }
+
+    /// The engine this session is connected to.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
     }
 
     /// The session's observability handle (for `Telemetry::json`,
@@ -120,42 +170,53 @@ impl Session {
         &self.telemetry
     }
 
-    /// Enable (fresh registry) or disable telemetry. Disabled handles make
-    /// every emission a no-op; `SHOW STATS` then reports nothing.
+    /// Enable or disable telemetry. Disabled handles make every emission a
+    /// no-op; `SHOW STATS` then reports nothing. Disabling stashes the live
+    /// registry and re-enabling restores it, so metrics accumulated before
+    /// an opt-out survive the round trip.
     pub fn set_telemetry_enabled(&mut self, enabled: bool) {
-        self.telemetry = if enabled { Telemetry::enabled() } else { Telemetry::disabled() };
+        if enabled == self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry = if enabled {
+            self.stashed_telemetry
+                .take()
+                .unwrap_or_else(Telemetry::enabled)
+        } else {
+            self.stashed_telemetry = Some(self.telemetry.clone());
+            Telemetry::disabled()
+        };
         self.dev.set_telemetry(self.telemetry.clone());
     }
 
-    /// The catalog.
+    /// The shared catalog.
     pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+        self.db.catalog()
     }
 
-    /// Mutable catalog access (e.g. to register tables).
-    pub fn catalog_mut(&mut self) -> &mut Catalog {
-        &mut self.catalog
-    }
-
-    /// The device (for I/O statistics).
-    pub fn device(&self) -> &SimDevice {
+    /// This connection's device handle (for I/O statistics: the handle's
+    /// stats cover exactly the I/O this session caused).
+    pub fn device(&self) -> &DeviceHandle {
         &self.dev
     }
 
-    /// Mutable device access (e.g. to attach a fault plan).
-    pub fn device_mut(&mut self) -> &mut SimDevice {
+    /// Mutable access to this connection's device handle (e.g. to attach a
+    /// fault plan). The handle keeps the session's telemetry bound to every
+    /// access, so mutating through it cannot bypass the session scope.
+    pub fn device_mut(&mut self) -> &mut DeviceHandle {
         &mut self.dev
     }
 
-    /// Attach a [`FaultPlan`] to the session's device: subsequent queries
-    /// see the injected faults on their block reads.
+    /// Attach a [`FaultPlan`] to this connection: subsequent queries *on
+    /// this session* see the injected faults on their block reads; other
+    /// sessions on the same engine are unaffected.
     pub fn inject_faults(&mut self, plan: FaultPlan) {
         self.dev.set_fault_plan(plan);
     }
 
-    /// Register a table.
-    pub fn register_table(&mut self, name: impl Into<String>, table: Table) {
-        self.catalog.register_table(name, table);
+    /// Register a table in the shared catalog.
+    pub fn register_table(&self, name: impl Into<String>, table: Table) {
+        self.db.register_table(name, table);
     }
 
     /// Parse and execute one query.
@@ -165,14 +226,18 @@ impl Session {
 
     fn run(&mut self, query: Query) -> Result<QueryResult, DbError> {
         match query {
-            Query::Train { table, model, params } => self.train(&table, &model, params),
+            Query::Train {
+                table,
+                model,
+                params,
+            } => self.train(&table, &model, params),
             Query::Predict { table, model } => self.predict(&table, &model),
             Query::Explain(inner) => self.explain(*inner),
             Query::ExplainAnalyze(inner) => self.explain_analyze(*inner),
-            Query::Show { what } => Ok(match what.as_str() {
-                "tables" => QueryResult::Names(self.catalog.table_names()),
-                "models" => QueryResult::Names(self.catalog.model_names()),
-                _ => QueryResult::Plan(self.render_stats()),
+            Query::Show { what } => Ok(match what {
+                ShowTarget::Tables => QueryResult::Names(self.catalog().table_names()),
+                ShowTarget::Models => QueryResult::Names(self.catalog().model_names()),
+                ShowTarget::Stats => QueryResult::Plan(self.render_stats()),
             }),
         }
     }
@@ -216,15 +281,18 @@ impl Session {
                     _ => unreachable!("Train queries return Train results"),
                 };
                 let after = self.dev.stats().clone();
-                let mut lines: Vec<String> =
-                    summary.op_stats.iter().map(|s| s.render()).collect();
+                let mut lines: Vec<String> = summary.op_stats.iter().map(|s| s.render()).collect();
                 let reads = after.total_reads() - before.total_reads();
                 let hits = after.cache_hits - before.cache_hits;
                 lines.push(format!(
                     "I/O: reads={} cache_hit_rate={:.1}% device_bytes={} retries={} \
                      faults={} io={:.6}s",
                     reads,
-                    if reads == 0 { 0.0 } else { 100.0 * hits as f64 / reads as f64 },
+                    if reads == 0 {
+                        0.0
+                    } else {
+                        100.0 * hits as f64 / reads as f64
+                    },
                     after.device_bytes - before.device_bytes,
                     after.retries - before.retries,
                     after.faults - before.faults,
@@ -251,8 +319,12 @@ impl Session {
     /// EXPLAIN-style (root first).
     fn explain(&mut self, query: Query) -> Result<QueryResult, DbError> {
         match query {
-            Query::Train { table, model, params } => {
-                let t = self.catalog.table(&table)?;
+            Query::Train {
+                table,
+                model,
+                params,
+            } => {
+                let t = self.catalog().table(&table)?;
                 let strategy = params
                     .get("strategy")
                     .and_then(|v| v.as_text())
@@ -297,12 +369,16 @@ impl Session {
                     }
                     other => return Err(DbError::UnknownStrategy(other.to_string())),
                 }
-                lines.push(format!("  Scan target: {} ({} tuples)", table, t.num_tuples()));
+                lines.push(format!(
+                    "  Scan target: {} ({} tuples)",
+                    table,
+                    t.num_tuples()
+                ));
                 Ok(QueryResult::Plan(lines))
             }
             Query::Predict { table, model } => {
-                let t = self.catalog.table(&table)?;
-                self.catalog.model(&model)?;
+                let t = self.catalog().table(&table)?;
+                self.catalog().model(&model)?;
                 Ok(QueryResult::Plan(vec![
                     format!("Predict (model={model})"),
                     format!("  -> SeqScan on {table} ({} tuples)", t.num_tuples()),
@@ -318,7 +394,7 @@ impl Session {
         model_name_raw: &str,
         params: BTreeMap<String, ParamValue>,
     ) -> Result<QueryResult, DbError> {
-        let mut table = self.catalog.table(table_name)?;
+        let mut table = self.catalog().table(table_name)?;
 
         // --- Parameters -------------------------------------------------
         let get_f64 = |key: &str, default: f64| -> Result<f64, DbError> {
@@ -332,9 +408,9 @@ impl Session {
         let get_usize = |key: &str, default: usize| -> Result<usize, DbError> {
             match params.get(key) {
                 None => Ok(default),
-                Some(v) => v
-                    .as_usize()
-                    .ok_or_else(|| DbError::BadParam(format!("{key} must be a non-negative integer"))),
+                Some(v) => v.as_usize().ok_or_else(|| {
+                    DbError::BadParam(format!("{key} must be a non-negative integer"))
+                }),
             }
         };
         for key in params.keys() {
@@ -367,7 +443,9 @@ impl Session {
         let epochs = get_usize("max_epoch_num", 10)?;
         let buffer_fraction = get_f64("buffer_fraction", 0.10)?;
         if !(0.0..=1.0).contains(&buffer_fraction) || buffer_fraction == 0.0 {
-            return Err(DbError::BadParam("buffer_fraction must be in (0, 1]".into()));
+            return Err(DbError::BadParam(
+                "buffer_fraction must be in (0, 1]".into(),
+            ));
         }
         let batch_size = get_usize("batch_size", 1)?.max(1);
         let seed = get_usize("seed", 42)? as u64;
@@ -399,7 +477,9 @@ impl Session {
         };
         let resume = get_usize("resume", 0)? != 0;
         if resume && checkpoint_path.is_none() {
-            return Err(DbError::BadParam("resume = 1 requires checkpoint = '<path>'".into()));
+            return Err(DbError::BadParam(
+                "resume = 1 requires checkpoint = '<path>'".into(),
+            ));
         }
         let halt_after_epoch = match params.get("halt_after_epoch") {
             None => None,
@@ -422,8 +502,16 @@ impl Session {
         let dim = table.get_tuple(0)?.features.dim();
         let kind = self.resolve_model_kind(model_name_raw, &table)?;
         let model = build_model(&kind, dim, seed);
-        let optimizer = OptimizerKind::Sgd { lr0: learning_rate, decay }.build();
-        let options = TrainOptions { batch_size, clip_norm: 0.0, l2 };
+        let optimizer = OptimizerKind::Sgd {
+            lr0: learning_rate,
+            decay,
+        }
+        .build();
+        let options = TrainOptions {
+            batch_size,
+            clip_norm: 0.0,
+            l2,
+        };
         let sparams = StrategyParams::default()
             .with_buffer_fraction(buffer_fraction)
             .with_seed(seed);
@@ -433,32 +521,50 @@ impl Session {
         let mut setup_seconds = 0.0;
         let child: Box<dyn PhysicalOperator> = match strategy.as_str() {
             "corgipile" => Box::new(TupleShuffleOp::new(
-                Box::new(BlockShuffleOp::new(table.clone(), ScanMode::RandomBlocks, seed)),
+                Box::new(BlockShuffleOp::new(
+                    table.clone(),
+                    ScanMode::RandomBlocks,
+                    seed,
+                )),
                 buffer_tuples,
                 sparams,
             )),
-            "block_only" => {
-                Box::new(BlockShuffleOp::new(table.clone(), ScanMode::RandomBlocks, seed))
-            }
+            "block_only" => Box::new(BlockShuffleOp::new(
+                table.clone(),
+                ScanMode::RandomBlocks,
+                seed,
+            )),
             "tuple_only" => Box::new(TupleShuffleOp::new(
-                Box::new(BlockShuffleOp::new(table.clone(), ScanMode::Sequential, seed)),
+                Box::new(BlockShuffleOp::new(
+                    table.clone(),
+                    ScanMode::Sequential,
+                    seed,
+                )),
                 buffer_tuples,
                 sparams,
             )),
-            "no" => Box::new(BlockShuffleOp::new(table.clone(), ScanMode::Sequential, seed)),
+            "no" => Box::new(BlockShuffleOp::new(
+                table.clone(),
+                ScanMode::Sequential,
+                seed,
+            )),
             "once" => {
                 // Offline shuffle first (ORDER BY RANDOM(); 2× storage).
                 let io_before = self.dev.stats().io_seconds;
                 let mut order: Vec<u64> = (0..table.num_tuples()).collect();
                 shuffle_in_place(&mut StdRng::seed_from_u64(seed), &mut order);
-                let copy = table.materialize_reordered(
-                    &order,
-                    format!("{table_name}_shuffled"),
-                    self.catalog.fresh_table_id(),
-                    &mut self.dev,
-                )?;
+                let copy_name = format!("{table_name}_shuffled");
+                let copy_id = self.catalog().fresh_table_id();
+                let src = &table;
+                let copy = self
+                    .dev
+                    .with(|d| src.materialize_reordered(&order, copy_name, copy_id, d))?;
                 setup_seconds = self.dev.stats().io_seconds - io_before;
-                Box::new(BlockShuffleOp::new(Arc::new(copy), ScanMode::Sequential, seed))
+                Box::new(BlockShuffleOp::new(
+                    Arc::new(copy),
+                    ScanMode::Sequential,
+                    seed,
+                ))
             }
             other => return Err(DbError::UnknownStrategy(other.to_string())),
         };
@@ -483,12 +589,21 @@ impl Session {
             sgd.resume_from = Some(TrainCheckpoint::load(path)?);
         }
         sgd.checkpoint_path = checkpoint_path;
-        let mut pool = BufferPool::new(shared_buffers);
-        pool.set_telemetry(&self.telemetry);
-        let mut ctx = if shared_buffers > 0 {
-            ExecContext::with_pool(&mut self.dev, &mut pool)
+        // Pool choice: an explicit `shared_buffers` parameter keeps the old
+        // per-query private pool; otherwise the engine's shared pool serves
+        // the query whenever the engine has one configured.
+        let mut private_pool = if shared_buffers > 0 {
+            let mut p = PoolHandle::private(BufferPool::new(shared_buffers));
+            p.set_telemetry(&self.telemetry);
+            Some(p)
         } else {
-            ExecContext::new(&mut self.dev)
+            None
+        };
+        let mut ctx = ExecContext::new(&mut self.dev);
+        ctx.pool = match private_pool.as_mut() {
+            Some(p) => Some(p),
+            None if self.pool.capacity() > 0 => Some(&mut self.pool),
+            None => None,
         };
         ctx.retry = RetryPolicy::with_max_retries(max_retries);
         ctx.on_fault = on_fault;
@@ -507,9 +622,14 @@ impl Session {
             .map(|s| s.to_string())
             .unwrap_or_else(|| format!("{table_name}_{}", kind.name()));
         let train_loss = result.epochs.last().map(|e| e.train_loss).unwrap_or(0.0);
-        self.catalog.store_model(
+        self.catalog().store_model(
             stored_name.clone(),
-            StoredModel { kind: kind.clone(), dim, params: result.model.params().to_vec(), train_loss },
+            StoredModel {
+                kind: kind.clone(),
+                dim,
+                params: result.model.params().to_vec(),
+                train_loss,
+            },
         );
         Ok(QueryResult::Train(DbTrainSummary {
             model_name: stored_name,
@@ -538,24 +658,32 @@ impl Session {
             "lr" | "logit" | "logistic" => Ok(ModelKind::LogisticRegression),
             "linreg" | "linear_regression" => Ok(ModelKind::LinearRegression),
             "softmax" => Ok(ModelKind::Softmax { classes: classes() }),
-            "mlp" => Ok(ModelKind::Mlp { hidden: vec![32], classes: classes() }),
+            "mlp" => Ok(ModelKind::Mlp {
+                hidden: vec![32],
+                classes: classes(),
+            }),
             other => Err(DbError::UnknownModelKind(other.to_string())),
         }
     }
 
     fn predict(&mut self, table_name: &str, model_name: &str) -> Result<QueryResult, DbError> {
-        let table = self.catalog.table(table_name)?;
-        let model = self.catalog.model(model_name)?.instantiate();
+        let table = self.catalog().table(table_name)?;
+        let model = self.catalog().model(model_name)?.instantiate();
         // Inference scans the table sequentially.
-        let tuples = table.scan_all(&mut self.dev)?;
-        let predictions: Vec<f32> =
-            tuples.iter().map(|t| model.predict_label(&t.features)).collect();
+        let tuples = self.dev.with(|d| table.scan_all(d))?;
+        let predictions: Vec<f32> = tuples
+            .iter()
+            .map(|t| model.predict_label(&t.features))
+            .collect();
         let metric = if model.is_classifier() {
             accuracy(model.as_ref(), &tuples)
         } else {
             r_squared(model.as_ref(), &tuples)
         };
-        Ok(QueryResult::Predict { predictions, metric })
+        Ok(QueryResult::Predict {
+            predictions,
+            metric,
+        })
     }
 }
 
@@ -564,15 +692,18 @@ mod tests {
     use super::*;
     use corgipile_data::{DatasetSpec, Order};
 
-    fn session_with_higgs(n: usize) -> Session {
-        let table = DatasetSpec::higgs_like(n)
+    fn higgs_table(n: usize) -> Table {
+        DatasetSpec::higgs_like(n)
             .with_order(Order::ClusteredByLabel)
             .with_block_bytes(8192)
             .build_table(1)
-            .unwrap();
-        let mut s = Session::new(SimDevice::hdd_scaled(1000.0, 0));
-        s.register_table("higgs", table);
-        s
+            .unwrap()
+    }
+
+    fn session_with_higgs(n: usize) -> Session {
+        let db = Database::new(SimDevice::hdd_scaled(1000.0, 0));
+        db.register_table("higgs", higgs_table(n));
+        db.connect()
     }
 
     #[test]
@@ -595,7 +726,10 @@ mod tests {
 
         let r = s.execute("SELECT * FROM higgs PREDICT BY m1").unwrap();
         match r {
-            QueryResult::Predict { predictions, metric } => {
+            QueryResult::Predict {
+                predictions,
+                metric,
+            } => {
                 assert_eq!(predictions.len(), 3000);
                 assert!(metric > 0.5);
             }
@@ -604,9 +738,22 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_session_new_still_works() {
+        // The shim wraps a single-connection Database.
+        let mut s = Session::new(SimDevice::hdd_scaled(1000.0, 0));
+        s.register_table("higgs", higgs_table(500));
+        s.execute("SELECT * FROM higgs TRAIN BY lr WITH max_epoch_num = 1, model_name = m")
+            .unwrap();
+        assert!(s.catalog().model("m").is_ok());
+        assert!(s.database().catalog().model("m").is_ok());
+    }
+
+    #[test]
     fn default_model_name_derives_from_table() {
         let mut s = session_with_higgs(500);
-        s.execute("SELECT * FROM higgs TRAIN BY lr WITH max_epoch_num = 1").unwrap();
+        s.execute("SELECT * FROM higgs TRAIN BY lr WITH max_epoch_num = 1")
+            .unwrap();
         assert!(s.catalog().model("higgs_lr").is_ok());
     }
 
@@ -628,7 +775,10 @@ mod tests {
         let corgi = run("corgipile");
         let once = run("once");
         let no = run("no");
-        assert!((corgi - once).abs() < 0.05, "corgipile {corgi} vs once {once}");
+        assert!(
+            (corgi - once).abs() < 0.05,
+            "corgipile {corgi} vs once {once}"
+        );
         assert!(corgi > no + 0.03, "corgipile {corgi} vs no-shuffle {no}");
     }
 
@@ -636,9 +786,7 @@ mod tests {
     fn once_strategy_charges_setup() {
         let mut s = session_with_higgs(2000);
         let r = s
-            .execute(
-                "SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 1, strategy = 'once'",
-            )
+            .execute("SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 1, strategy = 'once'")
             .unwrap();
         match r {
             QueryResult::Train(t) => {
@@ -653,9 +801,8 @@ mod tests {
     fn block_size_param_rechunks() {
         let mut s = session_with_higgs(2000);
         // A 64 KB block size must work end to end.
-        let r = s.execute(
-            "SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 1, block_size = 64KB",
-        );
+        let r =
+            s.execute("SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 1, block_size = 64KB");
         assert!(r.is_ok());
     }
 
@@ -695,8 +842,9 @@ mod tests {
             .with_block_bytes(8192)
             .build_table(2)
             .unwrap();
-        let mut s = Session::new(SimDevice::ssd_scaled(1000.0, 0));
-        s.register_table("cifar", table);
+        let db = Database::new(SimDevice::ssd_scaled(1000.0, 0));
+        db.register_table("cifar", table);
+        let mut s = db.connect();
         let r = s
             .execute(
                 "SELECT * FROM cifar TRAIN BY softmax WITH learning_rate = 0.05, \
@@ -706,7 +854,11 @@ mod tests {
         match r {
             QueryResult::Train(t) => {
                 assert!(matches!(t.model_kind, ModelKind::Softmax { classes: 10 }));
-                assert!(t.final_train_metric > 0.5, "softmax acc {}", t.final_train_metric);
+                assert!(
+                    t.final_train_metric > 0.5,
+                    "softmax acc {}",
+                    t.final_train_metric
+                );
             }
             _ => unreachable!(),
         }
@@ -791,17 +943,16 @@ mod tests {
             .build_table(4)
             .unwrap();
         let run = |shared: &str| {
-            let mut s = Session::new(SimDevice::hdd_scaled(1000.0, 0));
-            s.register_table("higgs", table.clone());
+            let db = Database::new(SimDevice::hdd_scaled(1000.0, 0));
+            db.register_table("higgs", table.clone());
+            let mut s = db.connect();
             match s
                 .execute(&format!(
                     "SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 3{shared}"
                 ))
                 .unwrap()
             {
-                QueryResult::Train(t) => {
-                    t.epochs[1..].iter().map(|e| e.io_seconds).sum::<f64>()
-                }
+                QueryResult::Train(t) => t.epochs[1..].iter().map(|e| e.io_seconds).sum::<f64>(),
                 _ => unreachable!(),
             }
         };
@@ -814,11 +965,36 @@ mod tests {
     }
 
     #[test]
+    fn engine_pool_serves_queries_without_the_param() {
+        // An engine-level shared_buffers pool kicks in when the query does
+        // not request a private pool.
+        let warm_epochs = |db: &std::sync::Arc<Database>| -> f64 {
+            db.register_table("higgs", higgs_table(2000));
+            let mut s = db.connect();
+            match s
+                .execute("SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 3")
+                .unwrap()
+            {
+                QueryResult::Train(t) => t.epochs[1..].iter().map(|e| e.io_seconds).sum(),
+                _ => unreachable!(),
+            }
+        };
+        let unpooled = warm_epochs(&Database::new(SimDevice::hdd_scaled(1000.0, 0)));
+        let pooled_db = Database::with_shared_buffers(SimDevice::hdd_scaled(1000.0, 0), 64 << 20);
+        let pooled = warm_epochs(&pooled_db);
+        assert!(
+            pooled < unpooled / 5.0,
+            "engine-pooled warm epochs {pooled} should be far cheaper than unpooled {unpooled}"
+        );
+        let stats = pooled_db.pool_stats();
+        assert!(stats.hits > 0 && stats.misses > 0);
+    }
+
+    #[test]
     fn minibatch_training_in_db() {
         let mut s = session_with_higgs(2000);
-        let r = s.execute(
-            "SELECT * FROM higgs TRAIN BY lr WITH max_epoch_num = 2, batch_size = 128",
-        );
+        let r =
+            s.execute("SELECT * FROM higgs TRAIN BY lr WITH max_epoch_num = 2, batch_size = 128");
         assert!(r.is_ok());
     }
 
@@ -845,13 +1021,40 @@ mod tests {
                 .with_random_transient(0.05, 2),
         );
         let t = train_summary(faulty.execute(sql).unwrap());
-        assert!(t.skipped_blocks().is_empty(), "retries must recover every block");
+        assert!(
+            t.skipped_blocks().is_empty(),
+            "retries must recover every block"
+        );
         let faulty_params = faulty.catalog().model("m").unwrap().params.clone();
-        assert_eq!(clean_params, faulty_params, "transients must not alter training");
+        assert_eq!(
+            clean_params, faulty_params,
+            "transients must not alter training"
+        );
         // The faults did cost simulated time, though.
         assert!(
             faulty.device().stats().io_seconds > clean.device().stats().io_seconds,
             "retries and backoff must show up on the clock"
+        );
+    }
+
+    #[test]
+    fn fault_plans_do_not_leak_between_sessions() {
+        let db = Database::new(SimDevice::hdd_scaled(1000.0, 0));
+        db.register_table("higgs", higgs_table(1000));
+        let mut faulty = db.connect();
+        let mut clean = db.connect();
+        let tid = db.catalog().table("higgs").unwrap().config().table_id;
+        faulty.inject_faults(corgipile_storage::FaultPlan::new(1).with_permanent(tid, 0));
+        let sql = "SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 1, max_retries = 1";
+        assert!(
+            faulty.execute(sql).is_err(),
+            "the faulty session's plan must strike"
+        );
+        clean.execute(sql).unwrap();
+        assert_eq!(
+            clean.device().stats().faults,
+            0,
+            "no cross-session fault bleed"
         );
     }
 
@@ -870,7 +1073,10 @@ mod tests {
         assert_eq!(t.skipped_blocks(), vec![2]);
         assert!(t.epochs.iter().all(|e| e.skipped_blocks == vec![2]));
         assert!(t.final_train_metric > 0.0);
-        assert!(s.catalog().model("m").is_ok(), "degraded run still stores a model");
+        assert!(
+            s.catalog().model("m").is_ok(),
+            "degraded run still stores a model"
+        );
     }
 
     #[test]
@@ -879,17 +1085,15 @@ mod tests {
         let tid = s.catalog().table("higgs").unwrap().config().table_id;
         s.inject_faults(corgipile_storage::FaultPlan::new(1).with_permanent(tid, 2));
         let err = s
-            .execute(
-                "SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 2, max_retries = 1",
-            )
+            .execute("SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 2, max_retries = 1")
             .unwrap_err();
         assert!(matches!(err, DbError::Storage(_)), "got {err}");
     }
 
     #[test]
     fn sql_checkpoint_resume_reproduces_the_model() {
-        let path = std::env::temp_dir()
-            .join(format!("corgi_sql_resume_{}.ckpt", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("corgi_sql_resume_{}.ckpt", std::process::id()));
         let ck = path.to_string_lossy().to_string();
         let base = "SELECT * FROM higgs TRAIN BY svm WITH learning_rate = 0.05, \
                     max_epoch_num = 4, model_name = m";
@@ -902,7 +1106,9 @@ mod tests {
         let mut crashed = session_with_higgs(2000);
         let t = train_summary(
             crashed
-                .execute(&format!("{base}, checkpoint = '{ck}', halt_after_epoch = 1"))
+                .execute(&format!(
+                    "{base}, checkpoint = '{ck}', halt_after_epoch = 1"
+                ))
                 .unwrap(),
         );
         assert!(t.halted);
@@ -917,7 +1123,10 @@ mod tests {
         assert!(!t.halted);
         assert_eq!(t.epochs.len(), 2, "only epochs 2 and 3 run after resume");
         let got = resumed.catalog().model("m").unwrap().params.clone();
-        assert_eq!(got, want, "resumed SQL run must reproduce the model bit-for-bit");
+        assert_eq!(
+            got, want,
+            "resumed SQL run must reproduce the model bit-for-bit"
+        );
         std::fs::remove_file(path).ok();
     }
 
@@ -939,11 +1148,14 @@ mod tests {
             "root line: {}",
             lines[0]
         );
-        assert!(lines.iter().any(|l| l.contains("-> TupleShuffle (actual rows=4000")
-            && l.contains("fills=")));
-        assert!(lines.iter().any(|l| l.contains("-> BlockShuffle (actual rows=4000")
-            && l.contains("cache_hit_rate=")
-            && l.contains("retries=0")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("-> TupleShuffle (actual rows=4000") && l.contains("fills=")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("-> BlockShuffle (actual rows=4000")
+                && l.contains("cache_hit_rate=")
+                && l.contains("retries=0")));
         assert!(lines.iter().any(|l| l.starts_with("I/O: reads=")));
         assert!(lines.iter().any(|l| l.starts_with("Training: epochs=2")));
         // Unlike EXPLAIN, ANALYZE actually executes: the model is stored.
@@ -993,7 +1205,10 @@ mod tests {
             &mut s,
             "EXPLAIN ANALYZE SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 2",
         );
-        assert!(on.contains("overlap="), "pipelined root must report overlap: {on}");
+        assert!(
+            on.contains("overlap="),
+            "pipelined root must report overlap: {on}"
+        );
         let off = root(
             &mut s,
             "EXPLAIN ANALYZE SELECT * FROM higgs TRAIN BY svm WITH \
@@ -1005,7 +1220,8 @@ mod tests {
     #[test]
     fn show_stats_surfaces_telemetry_and_opt_out_silences_it() {
         let mut s = session_with_higgs(1000);
-        s.execute("SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 1").unwrap();
+        s.execute("SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 1")
+            .unwrap();
         let lines = match s.execute("SHOW STATS").unwrap() {
             QueryResult::Plan(lines) => lines,
             _ => panic!("expected stats lines"),
@@ -1021,13 +1237,64 @@ mod tests {
             .any(|l| l.contains("histogram db.tuple_shuffle.fill.sim_seconds")));
         // Opting out empties subsequent reports (emissions become no-ops).
         s.set_telemetry_enabled(false);
-        s.execute("SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 1").unwrap();
+        s.execute("SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 1")
+            .unwrap();
         match s.execute("SHOW STATS").unwrap() {
             QueryResult::Plan(lines) => {
                 assert_eq!(lines, vec!["events 0 recorded, 0 dropped"])
             }
             _ => panic!("expected stats lines"),
         }
+    }
+
+    #[test]
+    fn telemetry_reenable_keeps_accumulated_metrics() {
+        let mut s = session_with_higgs(1000);
+        s.execute("SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 1")
+            .unwrap();
+        let steps_before = s.telemetry().counter("db.sgd.gradient_steps").get();
+        assert_eq!(steps_before, 1000);
+        // Disable, then re-enable: the registry stashed on disable comes
+        // back, with every previously accumulated metric intact.
+        s.set_telemetry_enabled(false);
+        s.set_telemetry_enabled(true);
+        assert_eq!(
+            s.telemetry().counter("db.sgd.gradient_steps").get(),
+            steps_before
+        );
+        // Redundant toggles are no-ops and must not discard anything.
+        s.set_telemetry_enabled(true);
+        assert_eq!(
+            s.telemetry().counter("db.sgd.gradient_steps").get(),
+            steps_before
+        );
+        // New work keeps accumulating into the restored registry.
+        s.execute("SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 1")
+            .unwrap();
+        assert_eq!(
+            s.telemetry().counter("db.sgd.gradient_steps").get(),
+            2 * steps_before
+        );
+    }
+
+    #[test]
+    fn device_mut_cannot_bypass_the_session_telemetry() {
+        let mut s = session_with_higgs(500);
+        // Direct access through device_mut() goes through the handle, so
+        // the session telemetry still sees the mirrored device counters.
+        let before = s.device().stats().io_seconds;
+        s.device_mut().charge_seconds(1.5);
+        assert!(s.device().stats().io_seconds >= before + 1.5);
+        let gauge = s.telemetry().snapshot();
+        assert!(
+            gauge
+                .metrics
+                .counters
+                .iter()
+                .any(|(n, _)| n.starts_with("storage.device."))
+                || !gauge.metrics.gauges.is_empty(),
+            "handle access must mirror into the session registry"
+        );
     }
 
     #[test]

@@ -83,9 +83,34 @@ pub enum Query {
     ExplainAnalyze(Box<Query>),
     /// `SHOW TABLES` / `SHOW MODELS` / `SHOW STATS`.
     Show {
-        /// "tables", "models" or "stats".
-        what: String,
+        /// What to list.
+        what: ShowTarget,
     },
+}
+
+/// The object of a `SHOW` query.
+///
+/// Replaces the old stringly-typed `Show { what: String }`: unknown targets
+/// are rejected at parse time, so the executor matches exhaustively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShowTarget {
+    /// `SHOW TABLES`: registered tables with block/tuple counts.
+    Tables,
+    /// `SHOW MODELS`: stored models with dimensions and kind.
+    Models,
+    /// `SHOW STATS`: session telemetry counters.
+    Stats,
+}
+
+impl ShowTarget {
+    fn from_ident(ident: &str) -> Result<Self, DbError> {
+        match ident.to_ascii_lowercase().as_str() {
+            "tables" => Ok(ShowTarget::Tables),
+            "models" => Ok(ShowTarget::Models),
+            "stats" => Ok(ShowTarget::Stats),
+            other => Err(DbError::Parse(format!("SHOW {other} not supported"))),
+        }
+    }
 }
 
 struct Tokens<'a> {
@@ -154,7 +179,9 @@ impl<'a> Tokens<'a> {
                 Ok(t.to_string())
             }
             Some(t) => Err(DbError::Parse(format!("expected {what}, found {t:?}"))),
-            None => Err(DbError::Parse(format!("expected {what}, found end of input"))),
+            None => Err(DbError::Parse(format!(
+                "expected {what}, found end of input"
+            ))),
         }
     }
 }
@@ -165,7 +192,12 @@ fn parse_value(tok: &str) -> ParamValue {
     }
     // Byte sizes: <number><KB|MB|GB>.
     let upper = tok.to_ascii_uppercase();
-    for (suffix, mult) in [("KB", 1u64 << 10), ("MB", 1 << 20), ("GB", 1 << 30), ("B", 1)] {
+    for (suffix, mult) in [
+        ("KB", 1u64 << 10),
+        ("MB", 1 << 20),
+        ("GB", 1 << 30),
+        ("B", 1),
+    ] {
         if let Some(num) = upper.strip_suffix(suffix) {
             if let Ok(n) = num.parse::<f64>() {
                 return ParamValue::Bytes((n * mult as f64) as u64);
@@ -177,7 +209,10 @@ fn parse_value(tok: &str) -> ParamValue {
 
 /// Parse one query.
 pub fn parse(input: &str) -> Result<Query, DbError> {
-    let mut t = Tokens { toks: tokenize(input), pos: 0 };
+    let mut t = Tokens {
+        toks: tokenize(input),
+        pos: 0,
+    };
     parse_tokens(&mut t)
 }
 
@@ -196,10 +231,7 @@ fn parse_tokens(t: &mut Tokens) -> Result<Query, DbError> {
         }
         Some(w) if w.eq_ignore_ascii_case("SHOW") => {
             t.bump();
-            let what = t.ident("TABLES, MODELS or STATS")?.to_ascii_lowercase();
-            if what != "tables" && what != "models" && what != "stats" {
-                return Err(DbError::Parse(format!("SHOW {what} not supported")));
-            }
+            let what = ShowTarget::from_ident(&t.ident("TABLES, MODELS or STATS")?)?;
             return Ok(Query::Show { what });
         }
         _ => {}
@@ -239,17 +271,21 @@ fn parse_tokens(t: &mut Tokens) -> Result<Query, DbError> {
                 }
             }
             Some(";") | None => {}
-            Some(other) => {
-                return Err(DbError::Parse(format!("expected WITH, found {other:?}")))
-            }
+            Some(other) => return Err(DbError::Parse(format!("expected WITH, found {other:?}"))),
         }
-        Ok(Query::Train { table, model, params })
+        Ok(Query::Train {
+            table,
+            model,
+            params,
+        })
     } else if verb.eq_ignore_ascii_case("PREDICT") {
         t.expect_kw("BY")?;
         let model = t.ident("model name")?;
         Ok(Query::Predict { table, model })
     } else {
-        Err(DbError::Parse(format!("expected TRAIN or PREDICT, found {verb:?}")))
+        Err(DbError::Parse(format!(
+            "expected TRAIN or PREDICT, found {verb:?}"
+        )))
     }
 }
 
@@ -262,7 +298,11 @@ mod tests {
         let q = parse("SELECT * FROM forest TRAIN BY svm").unwrap();
         assert_eq!(
             q,
-            Query::Train { table: "forest".into(), model: "svm".into(), params: BTreeMap::new() }
+            Query::Train {
+                table: "forest".into(),
+                model: "svm".into(),
+                params: BTreeMap::new()
+            }
         );
     }
 
@@ -275,7 +315,11 @@ mod tests {
         )
         .unwrap();
         match q {
-            Query::Train { table, model, params } => {
+            Query::Train {
+                table,
+                model,
+                params,
+            } => {
                 assert_eq!(table, "t");
                 assert_eq!(model, "lr");
                 assert_eq!(params["learning_rate"], ParamValue::Number(0.1));
@@ -291,7 +335,13 @@ mod tests {
     #[test]
     fn parses_predict() {
         let q = parse("SELECT * FROM t PREDICT BY my_model").unwrap();
-        assert_eq!(q, Query::Predict { table: "t".into(), model: "my_model".into() });
+        assert_eq!(
+            q,
+            Query::Predict {
+                table: "t".into(),
+                model: "my_model".into()
+            }
+        );
     }
 
     #[test]
@@ -337,9 +387,18 @@ mod tests {
     fn parses_explain_and_show() {
         let q = parse("EXPLAIN SELECT * FROM t TRAIN BY svm").unwrap();
         assert!(matches!(q, Query::Explain(inner) if matches!(*inner, Query::Train { .. })));
-        assert_eq!(parse("SHOW TABLES").unwrap(), Query::Show { what: "tables".into() });
-        assert_eq!(parse("show models").unwrap(), Query::Show { what: "models".into() });
-        assert!(parse("SHOW SECRETS").is_err());
+        assert_eq!(
+            parse("SHOW TABLES").unwrap(),
+            Query::Show {
+                what: ShowTarget::Tables
+            }
+        );
+        assert_eq!(
+            parse("show models").unwrap(),
+            Query::Show {
+                what: ShowTarget::Models
+            }
+        );
         assert!(parse("EXPLAIN").is_err());
     }
 
@@ -349,7 +408,11 @@ mod tests {
             .unwrap();
         match q {
             Query::ExplainAnalyze(inner) => match *inner {
-                Query::Train { ref table, ref model, ref params } => {
+                Query::Train {
+                    ref table,
+                    ref model,
+                    ref params,
+                } => {
                     assert_eq!(table, "t");
                     assert_eq!(model, "svm");
                     assert_eq!(params["strategy"].as_text(), Some("corgipile"));
@@ -359,9 +422,31 @@ mod tests {
             other => panic!("expected ExplainAnalyze, got {other:?}"),
         }
         let p = parse("explain analyze SELECT * FROM t PREDICT BY m").unwrap();
-        assert!(matches!(p, Query::ExplainAnalyze(inner) if matches!(*inner, Query::Predict { .. })));
-        assert_eq!(parse("SHOW STATS").unwrap(), Query::Show { what: "stats".into() });
+        assert!(
+            matches!(p, Query::ExplainAnalyze(inner) if matches!(*inner, Query::Predict { .. }))
+        );
+        assert_eq!(
+            parse("SHOW STATS").unwrap(),
+            Query::Show {
+                what: ShowTarget::Stats
+            }
+        );
         assert!(parse("EXPLAIN ANALYZE").is_err());
+    }
+
+    #[test]
+    fn unknown_show_targets_are_parse_errors() {
+        for bad in ["SHOW SECRETS", "SHOW TABLE", "SHOW statz", "SHOW"] {
+            match parse(bad) {
+                Err(DbError::Parse(msg)) => {
+                    assert!(
+                        msg.contains("not supported") || msg.contains("end of input"),
+                        "{bad:?}: unexpected message {msg:?}"
+                    );
+                }
+                other => panic!("{bad:?}: expected parse error, got {other:?}"),
+            }
+        }
     }
 
     #[test]

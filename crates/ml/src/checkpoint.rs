@@ -70,11 +70,14 @@ impl TrainCheckpoint {
             return Err(StorageError::Corrupt("bad checkpoint magic".into()));
         }
         let body = &bytes[..bytes.len() - 4];
-        let expected =
-            u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+        let expected = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
         let actual = crc32(body);
         if actual != expected {
-            return Err(StorageError::ChecksumMismatch { block: None, expected, actual });
+            return Err(StorageError::ChecksumMismatch {
+                block: None,
+                expected,
+                actual,
+            });
         }
         let u64_at = |o: usize| u64::from_le_bytes(body[o..o + 8].try_into().expect("8 bytes"));
         let epoch_next = u64_at(8) as usize;
@@ -98,7 +101,13 @@ impl TrainCheckpoint {
             return Err(StorageError::Corrupt("checkpoint length mismatch".into()));
         }
         let optimizer_state = body[params_end + 8..].to_vec();
-        Ok(TrainCheckpoint { epoch_next, seed, sim_clock, model_params, optimizer_state })
+        Ok(TrainCheckpoint {
+            epoch_next,
+            seed,
+            sim_clock,
+            model_params,
+            optimizer_state,
+        })
     }
 
     /// Atomically write the checkpoint to `path` (temp sibling + rename —
@@ -109,8 +118,10 @@ impl TrainCheckpoint {
 
     /// Load and verify a checkpoint from `path`.
     pub fn load(path: &Path) -> Result<TrainCheckpoint> {
-        let bytes = std::fs::read(path)
-            .map_err(|e| StorageError::Io { op: "read checkpoint", message: e.to_string() })?;
+        let bytes = std::fs::read(path).map_err(|e| StorageError::Io {
+            op: "read checkpoint",
+            message: e.to_string(),
+        })?;
         TrainCheckpoint::from_bytes(&bytes)
     }
 }
@@ -141,8 +152,7 @@ mod tests {
 
     #[test]
     fn roundtrip_through_file() {
-        let path = std::env::temp_dir()
-            .join(format!("corgi_ck_{}.ckpt", std::process::id()));
+        let path = std::env::temp_dir().join(format!("corgi_ck_{}.ckpt", std::process::id()));
         let ck = sample();
         ck.save(&path).unwrap();
         assert_eq!(TrainCheckpoint::load(&path).unwrap(), ck);

@@ -32,7 +32,11 @@ pub struct LinearModel {
 impl LinearModel {
     /// A zero-initialized model for `dim` features.
     pub fn new(dim: usize, task: LinearTask) -> Self {
-        LinearModel { params: vec![0.0; dim + 1], dim, task }
+        LinearModel {
+            params: vec![0.0; dim + 1],
+            dim,
+            task,
+        }
     }
 
     /// The learning task.

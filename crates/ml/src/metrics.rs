@@ -56,8 +56,7 @@ where
     if tuples.is_empty() {
         return 0.0;
     }
-    let mean_y: f64 =
-        tuples.iter().map(|t| t.label as f64).sum::<f64>() / tuples.len() as f64;
+    let mean_y: f64 = tuples.iter().map(|t| t.label as f64).sum::<f64>() / tuples.len() as f64;
     let mut ss_res = 0.0f64;
     let mut ss_tot = 0.0f64;
     for t in &tuples {
@@ -179,8 +178,9 @@ mod tests {
 
     #[test]
     fn r2_is_one_for_exact_fit_and_zero_for_mean_predictor() {
-        let data: Vec<Tuple> =
-            (0..20).map(|i| Tuple::dense(i, vec![i as f32], 2.0 * i as f32)).collect();
+        let data: Vec<Tuple> = (0..20)
+            .map(|i| Tuple::dense(i, vec![i as f32], 2.0 * i as f32))
+            .collect();
         let mut exact = LinearModel::new(1, LinearTask::Squared);
         exact.params_mut()[0] = 2.0;
         assert!((r_squared(&exact, &data) - 1.0).abs() < 1e-9);
@@ -227,8 +227,10 @@ mod tests {
 
     #[test]
     fn log_loss_is_ln2_at_zero_and_shrinks_with_fit() {
-        let data: Vec<Tuple> =
-            vec![Tuple::dense(0, vec![1.0], 1.0), Tuple::dense(1, vec![-1.0], -1.0)];
+        let data: Vec<Tuple> = vec![
+            Tuple::dense(0, vec![1.0], 1.0),
+            Tuple::dense(1, vec![-1.0], -1.0),
+        ];
         let zero = LinearModel::new(1, LinearTask::Logistic);
         assert!((log_loss(&zero, &data) - (2.0f64).ln()).abs() < 1e-9);
         let mut fit = LinearModel::new(1, LinearTask::Logistic);
@@ -239,10 +241,16 @@ mod tests {
 
     #[test]
     fn mean_loss_matches_manual_average() {
-        let data: Vec<Tuple> =
-            vec![Tuple::dense(0, vec![1.0], 1.0), Tuple::dense(1, vec![-1.0], -1.0)];
+        let data: Vec<Tuple> = vec![
+            Tuple::dense(0, vec![1.0], 1.0),
+            Tuple::dense(1, vec![-1.0], -1.0),
+        ];
         let m = LinearModel::new(1, LinearTask::Logistic);
-        let manual: f64 = data.iter().map(|t| m.loss(&t.features, t.label)).sum::<f64>() / 2.0;
+        let manual: f64 = data
+            .iter()
+            .map(|t| m.loss(&t.features, t.label))
+            .sum::<f64>()
+            / 2.0;
         assert!((mean_loss(&m, &data) - manual).abs() < 1e-12);
     }
 }

@@ -37,7 +37,10 @@ impl Mlp {
     /// Build with He-style random initialization.
     pub fn new(dim: usize, hidden: &[usize], classes: usize, seed: u64) -> Self {
         assert!(classes >= 2, "mlp needs ≥ 2 classes");
-        assert!(!hidden.is_empty(), "mlp needs ≥ 1 hidden layer (use SoftmaxRegression otherwise)");
+        assert!(
+            !hidden.is_empty(),
+            "mlp needs ≥ 1 hidden layer (use SoftmaxRegression otherwise)"
+        );
         let mut widths = vec![dim];
         widths.extend_from_slice(hidden);
         widths.push(classes);
@@ -45,7 +48,12 @@ impl Mlp {
         let mut off = 0;
         for i in 0..widths.len() - 1 {
             let (fan_in, fan_out) = (widths[i], widths[i + 1]);
-            shapes.push(LayerShape { w_off: off, b_off: off + fan_in * fan_out, fan_in, fan_out });
+            shapes.push(LayerShape {
+                w_off: off,
+                b_off: off + fan_in * fan_out,
+                fan_in,
+                fan_out,
+            });
             off += fan_in * fan_out + fan_out;
         }
         let mut rng = StdRng::seed_from_u64(seed ^ 0x3319);
@@ -56,7 +64,12 @@ impl Mlp {
                 *w = (rng.gen::<f32>() * 2.0 - 1.0) * scale;
             }
         }
-        Mlp { params, shapes, dim, classes }
+        Mlp {
+            params,
+            shapes,
+            dim,
+            classes,
+        }
     }
 
     /// Number of classes.

@@ -114,9 +114,7 @@ impl std::fmt::Display for ModelKind {
 /// paper's systems.
 pub fn build_model(kind: &ModelKind, dim: usize, seed: u64) -> Box<dyn Model> {
     match kind {
-        ModelKind::LogisticRegression => {
-            Box::new(LinearModel::new(dim, LinearTask::Logistic))
-        }
+        ModelKind::LogisticRegression => Box::new(LinearModel::new(dim, LinearTask::Logistic)),
         ModelKind::Svm => Box::new(LinearModel::new(dim, LinearTask::Hinge)),
         ModelKind::LinearRegression => Box::new(LinearModel::new(dim, LinearTask::Squared)),
         ModelKind::Softmax { classes } => Box::new(SoftmaxRegression::new(dim, *classes)),
@@ -135,7 +133,10 @@ mod tests {
             ModelKind::Svm,
             ModelKind::LinearRegression,
             ModelKind::Softmax { classes: 3 },
-            ModelKind::Mlp { hidden: vec![8], classes: 3 },
+            ModelKind::Mlp {
+                hidden: vec![8],
+                classes: 3,
+            },
         ];
         for k in kinds {
             let m = build_model(&k, 10, 1);
@@ -149,7 +150,11 @@ mod tests {
         assert_eq!(ModelKind::LogisticRegression.name(), "lr");
         assert_eq!(ModelKind::Svm.name(), "svm");
         assert!(ModelKind::Svm.is_convex());
-        assert!(!ModelKind::Mlp { hidden: vec![4], classes: 2 }.is_convex());
+        assert!(!ModelKind::Mlp {
+            hidden: vec![4],
+            classes: 2
+        }
+        .is_convex());
         assert_eq!(ModelKind::Softmax { classes: 5 }.to_string(), "softmax(5)");
     }
 
@@ -159,8 +164,12 @@ mod tests {
         let x = FeatureVec::Dense(vec![1.0, -1.0, 0.5]);
         let mut g = vec![0.0; m.num_params()];
         m.grad(&x, 1.0, &mut g);
-        let expect: Vec<f32> =
-            m.params().iter().zip(&g).map(|(p, gi)| p - 0.1 * gi).collect();
+        let expect: Vec<f32> = m
+            .params()
+            .iter()
+            .zip(&g)
+            .map(|(p, gi)| p - 0.1 * gi)
+            .collect();
         m.sgd_step(&x, 1.0, 0.1);
         for (a, b) in m.params().iter().zip(&expect) {
             assert!((a - b).abs() < 1e-6);

@@ -71,19 +71,25 @@ impl OptimizerKind {
 
     /// The paper's Adam configuration (standard coefficients).
     pub fn default_adam(lr0: f32) -> Self {
-        OptimizerKind::Adam { lr0, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+        OptimizerKind::Adam {
+            lr0,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
     }
 
     /// Build the optimizer.
     pub fn build(&self) -> Box<dyn Optimizer> {
         match *self {
             OptimizerKind::Sgd { lr0, decay } => Box::new(Sgd::new(lr0, decay)),
-            OptimizerKind::SgdInverseTime { lr0, a } => {
-                Box::new(Sgd::inverse_time(lr0, a))
-            }
-            OptimizerKind::Adam { lr0, beta1, beta2, eps } => {
-                Box::new(Adam::new(lr0, beta1, beta2, eps))
-            }
+            OptimizerKind::SgdInverseTime { lr0, a } => Box::new(Sgd::inverse_time(lr0, a)),
+            OptimizerKind::Adam {
+                lr0,
+                beta1,
+                beta2,
+                eps,
+            } => Box::new(Adam::new(lr0, beta1, beta2, eps)),
         }
     }
 }
@@ -115,13 +121,21 @@ impl Sgd {
     /// Create with initial rate `lr0` and per-epoch exponential decay.
     pub fn new(lr0: f32, decay: f32) -> Self {
         assert!(lr0 > 0.0 && decay > 0.0 && decay <= 1.0);
-        Sgd { lr0, schedule: LrSchedule::Exponential { decay }, lr: lr0 }
+        Sgd {
+            lr0,
+            schedule: LrSchedule::Exponential { decay },
+            lr: lr0,
+        }
     }
 
     /// Create with the inverse-time schedule `η_s = lr0 · a/(s + a)`.
     pub fn inverse_time(lr0: f32, a: f32) -> Self {
         assert!(lr0 > 0.0 && a >= 1.0);
-        Sgd { lr0, schedule: LrSchedule::InverseTime { a }, lr: lr0 }
+        Sgd {
+            lr0,
+            schedule: LrSchedule::InverseTime { a },
+            lr: lr0,
+        }
     }
 
     /// The configured schedule.
@@ -174,7 +188,16 @@ impl Adam {
     /// Create a fresh Adam state.
     pub fn new(lr0: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
         assert!(lr0 > 0.0 && (0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
-        Adam { lr0, lr: lr0, beta1, beta2, eps, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr0,
+            lr: lr0,
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 }
 
@@ -263,10 +286,17 @@ mod tests {
         let target = [3.0f32, -2.0, 0.5];
         let mut p = [0.0f32; 3];
         for _ in 0..iters {
-            let g: Vec<f32> = p.iter().zip(&target).map(|(pi, ti)| 2.0 * (pi - ti)).collect();
+            let g: Vec<f32> = p
+                .iter()
+                .zip(&target)
+                .map(|(pi, ti)| 2.0 * (pi - ti))
+                .collect();
             opt.step(&mut p, &g);
         }
-        p.iter().zip(&target).map(|(pi, ti)| (pi - ti).abs()).fold(0.0, f32::max)
+        p.iter()
+            .zip(&target)
+            .map(|(pi, ti)| (pi - ti).abs())
+            .fold(0.0, f32::max)
     }
 
     #[test]
@@ -313,8 +343,11 @@ mod tests {
         for e in 0..50 {
             opt.set_epoch(e);
             for _ in 0..10 {
-                let g: Vec<f32> =
-                    p.iter().zip(&target).map(|(pi, ti)| 2.0 * (pi - ti)).collect();
+                let g: Vec<f32> = p
+                    .iter()
+                    .zip(&target)
+                    .map(|(pi, ti)| 2.0 * (pi - ti))
+                    .collect();
                 opt.step(&mut p, &g);
             }
         }
@@ -360,8 +393,9 @@ mod tests {
 
     #[test]
     fn adam_state_roundtrip_resumes_identical_trajectory() {
-        let grads: Vec<Vec<f32>> =
-            (0..10).map(|i| vec![0.1 * i as f32, -0.2, 0.05 * i as f32]).collect();
+        let grads: Vec<Vec<f32>> = (0..10)
+            .map(|i| vec![0.1 * i as f32, -0.2, 0.05 * i as f32])
+            .collect();
         // Run 10 steps straight through.
         let mut full = Adam::new(0.05, 0.9, 0.999, 1e-8);
         let mut p_full = [1.0f32, -1.0, 0.5];

@@ -24,7 +24,11 @@ pub struct TrainOptions {
 
 impl Default for TrainOptions {
     fn default() -> Self {
-        TrainOptions { batch_size: 1, clip_norm: 0.0, l2: 0.0 }
+        TrainOptions {
+            batch_size: 1,
+            clip_norm: 0.0,
+            l2: 0.0,
+        }
     }
 }
 
@@ -32,7 +36,11 @@ impl TrainOptions {
     /// Mini-batch options.
     pub fn minibatch(batch_size: usize) -> Self {
         assert!(batch_size >= 1);
-        TrainOptions { batch_size, clip_norm: 0.0, l2: 0.0 }
+        TrainOptions {
+            batch_size,
+            clip_norm: 0.0,
+            l2: 0.0,
+        }
     }
 
     /// Add L2 regularization.
@@ -67,13 +75,19 @@ impl ComputeCostModel {
     /// A single in-DB executor core (the paper binds CorgiPile to one
     /// physical core, §7.1.1).
     pub fn in_db_core() -> Self {
-        ComputeCostModel { flops_per_second: 5e9, per_tuple_overhead: 8e-8 }
+        ComputeCostModel {
+            flops_per_second: 5e9,
+            per_tuple_overhead: 8e-8,
+        }
     }
 
     /// PyTorch-outside-DB per-tuple training: same FLOPs, large per-tuple
     /// invocation overhead (§7.3.5).
     pub fn pytorch_per_tuple() -> Self {
-        ComputeCostModel { flops_per_second: 5e9, per_tuple_overhead: 3e-6 }
+        ComputeCostModel {
+            flops_per_second: 5e9,
+            per_tuple_overhead: 3e-6,
+        }
     }
 
     /// Cost of `count` examples of `flops` each.
@@ -128,7 +142,11 @@ where
             }
         }
     }
-    EpochStats { mean_loss: if n > 0 { loss_sum / n as f64 } else { 0.0 }, examples: n, updates: n }
+    EpochStats {
+        mean_loss: if n > 0 { loss_sum / n as f64 } else { 0.0 },
+        examples: n,
+        updates: n,
+    }
 }
 
 /// Incremental mini-batch accumulator: feed tuples in any grouping (e.g.
@@ -210,7 +228,11 @@ impl MinibatchTrainer {
     pub fn finish(mut self, model: &mut dyn Model, opt: &mut dyn Optimizer) -> EpochStats {
         self.flush(model, opt);
         EpochStats {
-            mean_loss: if self.n > 0 { self.loss_sum / self.n as f64 } else { 0.0 },
+            mean_loss: if self.n > 0 {
+                self.loss_sum / self.n as f64
+            } else {
+                0.0
+            },
             examples: self.n,
             updates: self.updates,
         }
@@ -262,7 +284,12 @@ mod tests {
         let e1 = train_per_tuple(&mut m, &opt, &data);
         assert_eq!(e0.examples, 100);
         assert_eq!(e0.updates, 100);
-        assert!(e1.mean_loss < e0.mean_loss, "{} !< {}", e1.mean_loss, e0.mean_loss);
+        assert!(
+            e1.mean_loss < e0.mean_loss,
+            "{} !< {}",
+            e1.mean_loss,
+            e0.mean_loss
+        );
     }
 
     #[test]
@@ -270,8 +297,7 @@ mod tests {
         let data = stream();
         let mut m = LinearModel::new(2, LinearTask::Hinge);
         let mut opt = Sgd::new(0.1, 0.95);
-        let stats =
-            train_minibatch(&mut m, &mut opt, &data, &TrainOptions::minibatch(32));
+        let stats = train_minibatch(&mut m, &mut opt, &data, &TrainOptions::minibatch(32));
         assert_eq!(stats.examples, 100);
         assert_eq!(stats.updates, 4); // 32+32+32+4
     }
@@ -298,16 +324,19 @@ mod tests {
         let mut last = f64::INFINITY;
         for e in 0..5 {
             opt.set_epoch(e);
-            last = train_minibatch(&mut m, &mut opt, &data, &TrainOptions::minibatch(16))
-                .mean_loss;
+            last = train_minibatch(&mut m, &mut opt, &data, &TrainOptions::minibatch(16)).mean_loss;
         }
-        assert!(last < 0.2, "adam should learn the separable set, loss {last}");
+        assert!(
+            last < 0.2,
+            "adam should learn the separable set, loss {last}"
+        );
     }
 
     #[test]
     fn l2_shrinks_weights_in_both_paths() {
-        let data: Vec<Tuple> =
-            (0..64).map(|i| Tuple::dense(i, vec![1.0, 1.0], 1.0)).collect();
+        let data: Vec<Tuple> = (0..64)
+            .map(|i| Tuple::dense(i, vec![1.0, 1.0], 1.0))
+            .collect();
         // Per-tuple: regularized weights must be strictly smaller.
         let mut plain = LinearModel::new(2, LinearTask::Logistic);
         let mut reg = LinearModel::new(2, LinearTask::Logistic);
@@ -317,10 +346,18 @@ mod tests {
             &mut reg,
             &opt,
             &data,
-            &TrainOptions { l2: 0.5, ..TrainOptions::default() },
+            &TrainOptions {
+                l2: 0.5,
+                ..TrainOptions::default()
+            },
         );
         let norm = |m: &LinearModel| m.params().iter().map(|p| p * p).sum::<f32>();
-        assert!(norm(&reg) < norm(&plain), "{} !< {}", norm(&reg), norm(&plain));
+        assert!(
+            norm(&reg) < norm(&plain),
+            "{} !< {}",
+            norm(&reg),
+            norm(&plain)
+        );
 
         // Mini-batch: same property.
         let mut plain_mb = LinearModel::new(2, LinearTask::Logistic);
@@ -342,7 +379,11 @@ mod tests {
         let data = vec![Tuple::dense(0, vec![1000.0, 1000.0], 1.0)];
         let mut m = LinearModel::new(2, LinearTask::Squared);
         let mut opt = Sgd::new(1.0, 1.0);
-        let opts = TrainOptions { batch_size: 1, clip_norm: 1.0, l2: 0.0 };
+        let opts = TrainOptions {
+            batch_size: 1,
+            clip_norm: 1.0,
+            l2: 0.0,
+        };
         train_minibatch(&mut m, &mut opt, &data, &opts);
         let norm: f32 = m.params().iter().map(|p| p * p).sum::<f32>().sqrt();
         assert!(norm <= 1.0 + 1e-4, "clipped update norm {norm}");
@@ -361,6 +402,9 @@ mod tests {
         let flops = 100.0;
         let db = ComputeCostModel::in_db_core().seconds(flops, 1000);
         let py = ComputeCostModel::pytorch_per_tuple().seconds(flops, 1000);
-        assert!(py > 5.0 * db, "PyTorch per-tuple overhead should dominate: {py} vs {db}");
+        assert!(
+            py > 5.0 * db,
+            "PyTorch per-tuple overhead should dominate: {py} vs {db}"
+        );
     }
 }

@@ -19,7 +19,11 @@ impl SoftmaxRegression {
     /// A zero-initialized model.
     pub fn new(dim: usize, classes: usize) -> Self {
         assert!(classes >= 2, "softmax needs ≥ 2 classes");
-        SoftmaxRegression { params: vec![0.0; classes * dim + classes], dim, classes }
+        SoftmaxRegression {
+            params: vec![0.0; classes * dim + classes],
+            dim,
+            classes,
+        }
     }
 
     /// Number of classes.

@@ -43,7 +43,10 @@ impl ShuffleStrategy for BlockOnlyShuffle {
             let tuples = table.read_block(b, dev).expect("block id in range");
             segments.push(Segment::new(tuples, dev.stats().io_seconds - before));
         }
-        EpochPlan { segments, setup_seconds: 0.0 }
+        EpochPlan {
+            segments,
+            setup_seconds: 0.0,
+        }
     }
 
     fn reset(&mut self) {
@@ -84,7 +87,10 @@ mod tests {
         let plan = s.next_epoch(&t, &mut dev);
         for seg in &plan.segments {
             let ids: Vec<u64> = seg.tuples.iter().map(|t| t.id).collect();
-            assert!(ids.windows(2).all(|w| w[1] == w[0] + 1), "run not contiguous: {ids:?}");
+            assert!(
+                ids.windows(2).all(|w| w[1] == w[0] + 1),
+                "run not contiguous: {ids:?}"
+            );
         }
     }
 

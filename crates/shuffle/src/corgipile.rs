@@ -58,12 +58,7 @@ impl CorgiPile {
     }
 
     /// Fill one buffer from `blocks`, shuffle it, and cost the work.
-    fn fill_segment(
-        &mut self,
-        table: &Table,
-        blocks: &[usize],
-        dev: &mut SimDevice,
-    ) -> Segment {
+    fn fill_segment(&mut self, table: &Table, blocks: &[usize], dev: &mut SimDevice) -> Segment {
         let mut span = dev.telemetry().clone().span("shuffle.corgipile.fill");
         let before = dev.stats().io_seconds;
         let mut bytes = 0usize;
@@ -100,7 +95,10 @@ impl ShuffleStrategy for CorgiPile {
             segments.push(seg);
             true
         });
-        EpochPlan { segments, setup_seconds }
+        EpochPlan {
+            segments,
+            setup_seconds,
+        }
     }
 
     fn stream_epoch(
@@ -308,6 +306,9 @@ mod tests {
         assert_eq!(plan.segments.len(), 1);
         let labels = plan.label_sequence();
         let head_pos = labels[..100].iter().filter(|&&l| l > 0.0).count();
-        assert!(head_pos > 25 && head_pos < 75, "head positives {head_pos} not mixed");
+        assert!(
+            head_pos > 25 && head_pos < 75,
+            "head positives {head_pos} not mixed"
+        );
     }
 }

@@ -104,8 +104,22 @@ mod tests {
         let labels = vec![-1.0, -1.0, 1.0, 1.0, 1.0, -1.0];
         let d = label_distribution(&labels, 3);
         assert_eq!(d.len(), 2);
-        assert_eq!(d[0], LabelWindow { start: 0, negative: 2, positive: 1 });
-        assert_eq!(d[1], LabelWindow { start: 3, negative: 1, positive: 2 });
+        assert_eq!(
+            d[0],
+            LabelWindow {
+                start: 0,
+                negative: 2,
+                positive: 1
+            }
+        );
+        assert_eq!(
+            d[1],
+            LabelWindow {
+                start: 3,
+                negative: 1,
+                positive: 2
+            }
+        );
     }
 
     #[test]
@@ -135,8 +149,9 @@ mod tests {
     #[test]
     fn uniformity_scores_separate_clustered_from_shuffled() {
         // Clustered: 500 negatives then 500 positives.
-        let clustered: Vec<f32> =
-            (0..1000).map(|i| if i < 500 { -1.0 } else { 1.0 }).collect();
+        let clustered: Vec<f32> = (0..1000)
+            .map(|i| if i < 500 { -1.0 } else { 1.0 })
+            .collect();
         let mut shuffled = clustered.clone();
         shuffle_in_place(&mut StdRng::seed_from_u64(2), &mut shuffled);
         let s_clustered = label_uniformity_score(&clustered, 20);

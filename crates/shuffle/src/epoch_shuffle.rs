@@ -39,8 +39,16 @@ impl ShuffleStrategy for EpochShuffle {
         // Charge the per-epoch offline shuffle: two read+write passes.
         let before = dev.stats().io_seconds;
         for _ in 0..2 {
-            dev.read(None, table.total_bytes(), corgipile_storage::device::Access::Random, None);
-            dev.write(table.total_bytes(), corgipile_storage::device::Access::Sequential);
+            dev.read(
+                None,
+                table.total_bytes(),
+                corgipile_storage::device::Access::Random,
+                None,
+            );
+            dev.write(
+                table.total_bytes(),
+                corgipile_storage::device::Access::Sequential,
+            );
         }
         let setup = dev.stats().io_seconds - before;
 
@@ -70,7 +78,10 @@ impl ShuffleStrategy for EpochShuffle {
                 .collect();
             segments.push(Segment::new(tuples, dev.stats().io_seconds - io_before));
         }
-        EpochPlan { segments, setup_seconds: setup }
+        EpochPlan {
+            segments,
+            setup_seconds: setup,
+        }
     }
 
     fn disk_space_factor(&self) -> f64 {
@@ -119,7 +130,10 @@ mod tests {
         let e0 = s.next_epoch(&t, &mut dev);
         let e1 = s.next_epoch(&t, &mut dev);
         assert!(e0.setup_seconds > 0.0);
-        assert!(e1.setup_seconds > 0.0, "Epoch Shuffle pays the shuffle every epoch");
+        assert!(
+            e1.setup_seconds > 0.0,
+            "Epoch Shuffle pays the shuffle every epoch"
+        );
     }
 
     #[test]

@@ -44,7 +44,9 @@ pub mod tuple_only;
 
 pub use block_only::BlockOnlyShuffle;
 pub use corgipile::{BlockSampleMode, CorgiPile};
-pub use diagnostics::{label_distribution, label_uniformity_score, order_displacement, tuple_id_trace, LabelWindow};
+pub use diagnostics::{
+    label_distribution, label_uniformity_score, order_displacement, tuple_id_trace, LabelWindow,
+};
 pub use epoch_shuffle::EpochShuffle;
 pub use mrs::MrsShuffle;
 pub use no_shuffle::NoShuffle;

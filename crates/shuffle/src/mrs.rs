@@ -33,7 +33,11 @@ impl MrsShuffle {
     /// Create an MRS strategy with reservoir size `buffer_fraction × m`.
     pub fn new(params: StrategyParams) -> Self {
         let rng = StdRng::seed_from_u64(params.seed ^ 0x3E5E);
-        MrsShuffle { params, rng, reservoir: Vec::new() }
+        MrsShuffle {
+            params,
+            rng,
+            reservoir: Vec::new(),
+        }
     }
 }
 
@@ -81,7 +85,8 @@ impl ShuffleStrategy for MrsShuffle {
                 emitted.push(dropped);
                 drops += 1;
                 // Thread B: loop over the buffer at the multiplex rate.
-                if drops.is_multiple_of(interval) && b_emitted < r_cap && !self.reservoir.is_empty() {
+                if drops.is_multiple_of(interval) && b_emitted < r_cap && !self.reservoir.is_empty()
+                {
                     let pick = self.rng.gen_range(0..self.reservoir.len());
                     emitted.push(self.reservoir[pick].clone());
                     b_emitted += 1;
@@ -100,7 +105,10 @@ impl ShuffleStrategy for MrsShuffle {
         if !tail.is_empty() {
             segments.push(Segment::new(tail, 0.0));
         }
-        EpochPlan { segments, setup_seconds: 0.0 }
+        EpochPlan {
+            segments,
+            setup_seconds: 0.0,
+        }
     }
 
     fn buffer_tuples(&self, table: &Table) -> usize {
@@ -186,6 +194,9 @@ mod tests {
         let labels = s.next_epoch(&t, &mut dev).label_sequence();
         let head = &labels[..400];
         let neg = head.iter().filter(|&&l| l < 0.0).count();
-        assert!(neg > 320, "MRS head should stay mostly negative, got {neg}/400");
+        assert!(
+            neg > 320,
+            "MRS head should stay mostly negative, got {neg}/400"
+        );
     }
 }

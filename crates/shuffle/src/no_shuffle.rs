@@ -34,7 +34,10 @@ impl ShuffleStrategy for NoShuffle {
                 .expect("block id in range");
             segments.push(Segment::new(tuples, dev.stats().io_seconds - before));
         }
-        EpochPlan { segments, setup_seconds: 0.0 }
+        EpochPlan {
+            segments,
+            setup_seconds: 0.0,
+        }
     }
 
     fn reset(&mut self) {}
@@ -62,7 +65,10 @@ mod tests {
 
     #[test]
     fn io_is_sequential_rate() {
-        let t = DatasetSpec::higgs_like(2000).with_block_bytes(64 * 8192).build_table(2).unwrap();
+        let t = DatasetSpec::higgs_like(2000)
+            .with_block_bytes(64 * 8192)
+            .build_table(2)
+            .unwrap();
         let mut s = NoShuffle::new();
         let mut dev = SimDevice::hdd(0);
         let plan = s.next_epoch(&t, &mut dev);
@@ -74,7 +80,10 @@ mod tests {
 
     #[test]
     fn second_epoch_hits_cache() {
-        let t = DatasetSpec::susy_like(1000).with_block_bytes(16 * 8192).build_table(3).unwrap();
+        let t = DatasetSpec::susy_like(1000)
+            .with_block_bytes(16 * 8192)
+            .build_table(3)
+            .unwrap();
         let mut s = NoShuffle::new();
         let mut dev = SimDevice::hdd(t.total_bytes() * 2);
         let e0 = s.next_epoch(&t, &mut dev).io_seconds();

@@ -25,7 +25,10 @@ pub struct ShuffleOnce {
 impl ShuffleOnce {
     /// Create a Shuffle-Once strategy.
     pub fn new(params: StrategyParams) -> Self {
-        ShuffleOnce { params, shuffled: None }
+        ShuffleOnce {
+            params,
+            shuffled: None,
+        }
     }
 
     /// Access the materialized shuffled copy, if already prepared.
@@ -66,7 +69,10 @@ impl ShuffleStrategy for ShuffleOnce {
                 .expect("block id in range");
             segments.push(Segment::new(tuples, dev.stats().io_seconds - before));
         }
-        EpochPlan { segments, setup_seconds: setup }
+        EpochPlan {
+            segments,
+            setup_seconds: setup,
+        }
     }
 
     fn disk_space_factor(&self) -> f64 {
@@ -98,7 +104,11 @@ mod tests {
         let mut dev = SimDevice::hdd(0);
         let plan = s.next_epoch(&t, &mut dev);
         let mut ids = plan.id_sequence();
-        assert_ne!(ids, (0..500).collect::<Vec<_>>(), "must not be the stored order");
+        assert_ne!(
+            ids,
+            (0..500).collect::<Vec<_>>(),
+            "must not be the stored order"
+        );
         ids.sort_unstable();
         assert_eq!(ids, (0..500).collect::<Vec<_>>());
     }

@@ -67,7 +67,10 @@ impl ShuffleStrategy for SlidingWindowShuffle {
             drain.push(window.swap_remove(slot));
         }
         segments.push(Segment::new(drain, 0.0));
-        EpochPlan { segments, setup_seconds: 0.0 }
+        EpochPlan {
+            segments,
+            setup_seconds: 0.0,
+        }
     }
 
     fn buffer_tuples(&self, table: &Table) -> usize {
@@ -105,11 +108,14 @@ mod tests {
     #[test]
     fn order_is_locally_shuffled_but_globally_linear() {
         let t = clustered(2000);
-        let mut s =
-            SlidingWindowShuffle::new(StrategyParams::default().with_buffer_fraction(0.1));
+        let mut s = SlidingWindowShuffle::new(StrategyParams::default().with_buffer_fraction(0.1));
         let mut dev = SimDevice::hdd(0);
         let ids = s.next_epoch(&t, &mut dev).id_sequence();
-        assert_ne!(ids, (0..2000).collect::<Vec<_>>(), "some shuffling must happen");
+        assert_ne!(
+            ids,
+            (0..2000).collect::<Vec<_>>(),
+            "some shuffling must happen"
+        );
         // Figure 3(b): the emitted order stays near the diagonal — the mean
         // displacement is on the order of the window size, far below what a
         // full shuffle would produce (~ m/3).
@@ -119,15 +125,20 @@ mod tests {
             .map(|(pos, &id)| (id as f64 - pos as f64).abs())
             .sum::<f64>()
             / ids.len() as f64;
-        assert!(mean_disp < 500.0, "mean displacement {mean_disp} too global");
-        assert!(mean_disp > 10.0, "mean displacement {mean_disp} suspiciously tiny");
+        assert!(
+            mean_disp < 500.0,
+            "mean displacement {mean_disp} too global"
+        );
+        assert!(
+            mean_disp > 10.0,
+            "mean displacement {mean_disp} suspiciously tiny"
+        );
     }
 
     #[test]
     fn clustered_labels_stay_mostly_ordered() {
         let t = clustered(2000);
-        let mut s =
-            SlidingWindowShuffle::new(StrategyParams::default().with_buffer_fraction(0.1));
+        let mut s = SlidingWindowShuffle::new(StrategyParams::default().with_buffer_fraction(0.1));
         let mut dev = SimDevice::hdd(0);
         let labels = s.next_epoch(&t, &mut dev).label_sequence();
         // Figure 3(f): the first quarter is still almost all negatives.
@@ -139,13 +150,15 @@ mod tests {
     #[test]
     fn io_close_to_no_shuffle() {
         let t = clustered(2000);
-        let mut sw =
-            SlidingWindowShuffle::new(StrategyParams::default().with_buffer_fraction(0.1));
+        let mut sw = SlidingWindowShuffle::new(StrategyParams::default().with_buffer_fraction(0.1));
         let mut dev = SimDevice::hdd(0);
         let sw_io = sw.next_epoch(&t, &mut dev).io_seconds();
         let mut ns = crate::no_shuffle::NoShuffle::new();
         let mut dev2 = SimDevice::hdd(0);
         let ns_io = ns.next_epoch(&t, &mut dev2).io_seconds();
-        assert!(sw_io < ns_io * 1.15, "sliding window {sw_io} vs no shuffle {ns_io}");
+        assert!(
+            sw_io < ns_io * 1.15,
+            "sliding window {sw_io} vs no shuffle {ns_io}"
+        );
     }
 }

@@ -198,9 +198,7 @@ pub fn build_strategy(kind: StrategyKind, params: StrategyParams) -> Box<dyn Shu
         StrategyKind::Mrs => Box::new(MrsShuffle::new(params)),
         StrategyKind::BlockOnly => Box::new(BlockOnlyShuffle::new(params)),
         StrategyKind::TupleOnly => Box::new(TupleOnlyShuffle::new(params)),
-        StrategyKind::CorgiPile => {
-            Box::new(CorgiPile::new(params, BlockSampleMode::FullCoverage))
-        }
+        StrategyKind::CorgiPile => Box::new(CorgiPile::new(params, BlockSampleMode::FullCoverage)),
     }
 }
 

@@ -52,16 +52,24 @@ impl ShuffleStrategy for TupleOnlyShuffle {
             for &b in chunk {
                 bytes += table.block(b).expect("in range").bytes;
                 buffer.fill_from(
-                    table.scan_block_sequential(b, first, dev).expect("in range"),
+                    table
+                        .scan_block_sequential(b, first, dev)
+                        .expect("in range"),
                 );
                 first = false;
             }
             dev.charge_seconds(self.params.buffering_cost(buffer.len(), bytes));
             let rng = &mut self.rng;
             buffer.shuffle_with(|i| rng.gen_range(0..=i));
-            segments.push(Segment::new(buffer.drain(), dev.stats().io_seconds - before));
+            segments.push(Segment::new(
+                buffer.drain(),
+                dev.stats().io_seconds - before,
+            ));
         }
-        EpochPlan { segments, setup_seconds: 0.0 }
+        EpochPlan {
+            segments,
+            setup_seconds: 0.0,
+        }
     }
 
     fn buffer_tuples(&self, table: &Table) -> usize {
@@ -99,8 +107,7 @@ mod tests {
     #[test]
     fn buffers_are_contiguous_ranges_shuffled_within() {
         let t = clustered(2000);
-        let mut s =
-            TupleOnlyShuffle::new(StrategyParams::default().with_buffer_fraction(0.1));
+        let mut s = TupleOnlyShuffle::new(StrategyParams::default().with_buffer_fraction(0.1));
         let mut dev = SimDevice::hdd(0);
         let plan = s.next_epoch(&t, &mut dev);
         assert!(plan.segments.len() >= 5);
@@ -123,17 +130,23 @@ mod tests {
         let mut s = TupleOnlyShuffle::new(StrategyParams::default());
         let mut dev = SimDevice::hdd(0);
         s.next_epoch(&t, &mut dev);
-        assert_eq!(dev.stats().random_reads, 1, "only the initial seek is random");
+        assert_eq!(
+            dev.stats().random_reads,
+            1,
+            "only the initial seek is random"
+        );
     }
 
     #[test]
     fn on_clustered_data_labels_stay_globally_ordered() {
         let t = clustered(2000);
-        let mut s =
-            TupleOnlyShuffle::new(StrategyParams::default().with_buffer_fraction(0.1));
+        let mut s = TupleOnlyShuffle::new(StrategyParams::default().with_buffer_fraction(0.1));
         let mut dev = SimDevice::hdd(0);
         let labels = s.next_epoch(&t, &mut dev).label_sequence();
         let head_neg = labels[..600].iter().filter(|&&l| l < 0.0).count();
-        assert!(head_neg > 550, "head must remain ~all negative: {head_neg}/600");
+        assert!(
+            head_neg > 550,
+            "head must remain ~all negative: {head_neg}/600"
+        );
     }
 }

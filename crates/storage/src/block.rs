@@ -40,7 +40,11 @@ impl BlockMeta {
 /// Greedily packs pages into blocks of at most `block_bytes` each; a single
 /// page larger than `block_bytes` (a jumbo page) gets its own block. Every
 /// page lands in exactly one block and page order is preserved.
-pub fn plan_blocks(page_bytes: &[usize], page_tuples: &[usize], block_bytes: usize) -> Vec<BlockMeta> {
+pub fn plan_blocks(
+    page_bytes: &[usize],
+    page_tuples: &[usize],
+    block_bytes: usize,
+) -> Vec<BlockMeta> {
     assert_eq!(page_bytes.len(), page_tuples.len());
     assert!(block_bytes > 0, "block size must be positive");
     let mut blocks = Vec::new();

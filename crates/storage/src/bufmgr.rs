@@ -104,6 +104,39 @@ impl BufferPool {
         self.frames.contains_key(&(table_id, block))
     }
 
+    /// Probe the pool for a block, recording a hit or miss. A hit returns
+    /// the shared tuple handle and touches its LRU stamp; a miss returns
+    /// `None` — the caller reads the block from storage and offers it back
+    /// via [`BufferPool::admit_block`]. Splitting the probe from the admit
+    /// lets shared-pool callers release the pool lock during the device
+    /// read.
+    pub fn lookup(&mut self, table_id: u32, block: BlockId) -> Option<Arc<Vec<Tuple>>> {
+        self.stamp += 1;
+        if let Some(frame) = self.frames.get_mut(&(table_id, block)) {
+            frame.stamp = self.stamp;
+            self.stats.hits += 1;
+            self.metrics.hits.inc();
+            Some(frame.tuples.clone())
+        } else {
+            self.stats.misses += 1;
+            self.metrics.misses.inc();
+            None
+        }
+    }
+
+    /// Offer a block read from storage for caching (LRU eviction applies;
+    /// oversized blocks are served uncached). If another caller admitted
+    /// the same block while this one was reading, the duplicate is a no-op.
+    pub fn admit_block(
+        &mut self,
+        table_id: u32,
+        block: BlockId,
+        tuples: Arc<Vec<Tuple>>,
+        bytes: usize,
+    ) {
+        self.admit((table_id, block), tuples, bytes);
+    }
+
     /// Fetch a block through the pool: hit → shared handle at zero device
     /// cost; miss → random block read through `dev`, then admit.
     pub fn read_block(
@@ -112,19 +145,13 @@ impl BufferPool {
         block: BlockId,
         dev: &mut SimDevice,
     ) -> Result<Arc<Vec<Tuple>>> {
-        let key = (table.config().table_id, block);
-        self.stamp += 1;
-        if let Some(frame) = self.frames.get_mut(&key) {
-            frame.stamp = self.stamp;
-            self.stats.hits += 1;
-            self.metrics.hits.inc();
-            return Ok(frame.tuples.clone());
+        let table_id = table.config().table_id;
+        if let Some(tuples) = self.lookup(table_id, block) {
+            return Ok(tuples);
         }
-        self.stats.misses += 1;
-        self.metrics.misses.inc();
         let tuples = Arc::new(table.read_block(block, dev)?);
         let bytes = table.block(block)?.bytes;
-        self.admit(key, tuples.clone(), bytes);
+        self.admit_block(table_id, block, tuples.clone(), bytes);
         Ok(tuples)
     }
 
@@ -137,19 +164,13 @@ impl BufferPool {
         dev: &mut SimDevice,
         policy: &crate::retry::RetryPolicy,
     ) -> Result<Arc<Vec<Tuple>>> {
-        let key = (table.config().table_id, block);
-        self.stamp += 1;
-        if let Some(frame) = self.frames.get_mut(&key) {
-            frame.stamp = self.stamp;
-            self.stats.hits += 1;
-            self.metrics.hits.inc();
-            return Ok(frame.tuples.clone());
+        let table_id = table.config().table_id;
+        if let Some(tuples) = self.lookup(table_id, block) {
+            return Ok(tuples);
         }
-        self.stats.misses += 1;
-        self.metrics.misses.inc();
         let tuples = Arc::new(table.read_block_retry(block, dev, policy)?);
         let bytes = table.block(block)?.bytes;
-        self.admit(key, tuples.clone(), bytes);
+        self.admit_block(table_id, block, tuples.clone(), bytes);
         Ok(tuples)
     }
 
@@ -162,6 +183,9 @@ impl BufferPool {
     fn admit(&mut self, key: (u32, BlockId), tuples: Arc<Vec<Tuple>>, bytes: usize) {
         if bytes > self.capacity_bytes {
             return; // oversized block: serve uncached
+        }
+        if self.frames.contains_key(&key) {
+            return; // concurrent duplicate admit: keep the resident frame
         }
         while self.used_bytes + bytes > self.capacity_bytes {
             let victim = self
@@ -180,7 +204,14 @@ impl BufferPool {
             }
         }
         self.stamp += 1;
-        self.frames.insert(key, Frame { tuples, bytes, stamp: self.stamp });
+        self.frames.insert(
+            key,
+            Frame {
+                tuples,
+                bytes,
+                stamp: self.stamp,
+            },
+        );
         self.used_bytes += bytes;
     }
 }
@@ -193,11 +224,7 @@ mod tests {
 
     fn table(id: u32, n: u64) -> Table {
         let cfg = TableConfig::new(format!("t{id}"), id).with_block_bytes(8192);
-        Table::from_tuples(
-            cfg,
-            (0..n).map(|i| Tuple::dense(i, vec![i as f32; 8], 1.0)),
-        )
-        .unwrap()
+        Table::from_tuples(cfg, (0..n).map(|i| Tuple::dense(i, vec![i as f32; 8], 1.0))).unwrap()
     }
 
     #[test]
@@ -210,7 +237,14 @@ mod tests {
         let b = pool.read_block(&t, 0, &mut dev).unwrap();
         assert_eq!(dev.stats().io_seconds, io_after_miss, "hit must be free");
         assert!(Arc::ptr_eq(&a, &b));
-        assert_eq!(pool.stats(), BufferPoolStats { hits: 1, misses: 1, evictions: 0 });
+        assert_eq!(
+            pool.stats(),
+            BufferPoolStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
         assert!((pool.stats().hit_ratio() - 0.5).abs() < 1e-12);
     }
 
@@ -265,8 +299,14 @@ mod tests {
         pool.read_block(&t, 1, &mut dev).unwrap();
         pool.read_block(&t, 2, &mut dev).unwrap(); // evicts
         assert_eq!(tel.counter("storage.pool.hits").get(), pool.stats().hits);
-        assert_eq!(tel.counter("storage.pool.misses").get(), pool.stats().misses);
-        assert_eq!(tel.counter("storage.pool.evictions").get(), pool.stats().evictions);
+        assert_eq!(
+            tel.counter("storage.pool.misses").get(),
+            pool.stats().misses
+        );
+        assert_eq!(
+            tel.counter("storage.pool.evictions").get(),
+            pool.stats().evictions
+        );
         assert!(pool.stats().evictions > 0);
     }
 

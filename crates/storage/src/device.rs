@@ -46,12 +46,20 @@ pub struct DeviceProfile {
 impl DeviceProfile {
     /// Magnetic disk: ~8 ms seek, 140 MB/s (paper §7.1.1).
     pub fn hdd() -> Self {
-        DeviceProfile { name: "hdd".into(), seek_latency_s: 8e-3, bandwidth: 140e6 }
+        DeviceProfile {
+            name: "hdd".into(),
+            seek_latency_s: 8e-3,
+            bandwidth: 140e6,
+        }
     }
 
     /// NVMe-class SSD: ~0.1 ms latency, 1 GB/s (paper §7.1.1).
     pub fn ssd() -> Self {
-        DeviceProfile { name: "ssd".into(), seek_latency_s: 1e-4, bandwidth: 1e9 }
+        DeviceProfile {
+            name: "ssd".into(),
+            seek_latency_s: 1e-4,
+            bandwidth: 1e9,
+        }
     }
 
     /// HDD profile for experiments scaled down by `scale`.
@@ -74,12 +82,20 @@ impl DeviceProfile {
     /// [`DeviceProfile::hdd_scaled`]).
     pub fn ssd_scaled(scale: f64) -> Self {
         assert!(scale >= 1.0);
-        DeviceProfile { name: "ssd".into(), seek_latency_s: 1e-4 / scale, bandwidth: 1e9 }
+        DeviceProfile {
+            name: "ssd".into(),
+            seek_latency_s: 1e-4 / scale,
+            bandwidth: 1e9,
+        }
     }
 
     /// Main memory (used for the OS cache tier): ~10 GB/s, negligible latency.
     pub fn memory() -> Self {
-        DeviceProfile { name: "memory".into(), seek_latency_s: 1e-7, bandwidth: 10e9 }
+        DeviceProfile {
+            name: "memory".into(),
+            seek_latency_s: 1e-7,
+            bandwidth: 10e9,
+        }
     }
 
     /// Time to read `bytes` with the given access pattern.
@@ -110,7 +126,10 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// A cache of `capacity` bytes served at memory speed.
     pub fn with_capacity(capacity: usize) -> Self {
-        CacheConfig { capacity, hit_profile: DeviceProfile::memory() }
+        CacheConfig {
+            capacity,
+            hit_profile: DeviceProfile::memory(),
+        }
     }
 
     /// No caching: every read hits the device (the paper clears the OS cache
@@ -162,6 +181,23 @@ impl IoStats {
         } else {
             self.cache_hits as f64 / total as f64
         }
+    }
+
+    /// Accumulate the `before` → `after` change of another stats object
+    /// into `self`. Counters saturate at zero so a [`SimDevice::reset`]
+    /// between the snapshots never underflows.
+    pub fn add_delta(&mut self, before: &IoStats, after: &IoStats) {
+        self.random_reads += after.random_reads.saturating_sub(before.random_reads);
+        self.sequential_reads += after
+            .sequential_reads
+            .saturating_sub(before.sequential_reads);
+        self.device_bytes += after.device_bytes.saturating_sub(before.device_bytes);
+        self.cache_bytes += after.cache_bytes.saturating_sub(before.cache_bytes);
+        self.written_bytes += after.written_bytes.saturating_sub(before.written_bytes);
+        self.cache_hits += after.cache_hits.saturating_sub(before.cache_hits);
+        self.retries += after.retries.saturating_sub(before.retries);
+        self.faults += after.faults.saturating_sub(before.faults);
+        self.io_seconds += (after.io_seconds - before.io_seconds).max(0.0);
     }
 }
 
@@ -251,22 +287,34 @@ impl SimDevice {
 
     /// HDD with a cache of `cache_bytes`.
     pub fn hdd(cache_bytes: usize) -> Self {
-        Self::new(DeviceProfile::hdd(), CacheConfig::with_capacity(cache_bytes))
+        Self::new(
+            DeviceProfile::hdd(),
+            CacheConfig::with_capacity(cache_bytes),
+        )
     }
 
     /// SSD with a cache of `cache_bytes`.
     pub fn ssd(cache_bytes: usize) -> Self {
-        Self::new(DeviceProfile::ssd(), CacheConfig::with_capacity(cache_bytes))
+        Self::new(
+            DeviceProfile::ssd(),
+            CacheConfig::with_capacity(cache_bytes),
+        )
     }
 
     /// Scale-preserving HDD (see [`DeviceProfile::hdd_scaled`]).
     pub fn hdd_scaled(scale: f64, cache_bytes: usize) -> Self {
-        Self::new(DeviceProfile::hdd_scaled(scale), CacheConfig::with_capacity(cache_bytes))
+        Self::new(
+            DeviceProfile::hdd_scaled(scale),
+            CacheConfig::with_capacity(cache_bytes),
+        )
     }
 
     /// Scale-preserving SSD (see [`DeviceProfile::ssd_scaled`]).
     pub fn ssd_scaled(scale: f64, cache_bytes: usize) -> Self {
-        Self::new(DeviceProfile::ssd_scaled(scale), CacheConfig::with_capacity(cache_bytes))
+        Self::new(
+            DeviceProfile::ssd_scaled(scale),
+            CacheConfig::with_capacity(cache_bytes),
+        )
     }
 
     /// Pure in-memory device (no meaningful I/O cost).
@@ -314,7 +362,11 @@ impl SimDevice {
         throughput_cap: Option<f64>,
     ) -> f64 {
         let cached = key.map(|k| self.touch(k)).unwrap_or(false);
-        let profile = if cached { &self.cache.hit_profile } else { &self.profile };
+        let profile = if cached {
+            &self.cache.hit_profile
+        } else {
+            &self.profile
+        };
         let mut time = profile.read_time(bytes, access);
         if let Some(cap) = throughput_cap {
             // A slower decompression/transform stage bounds throughput.
@@ -385,12 +437,9 @@ impl SimDevice {
         throughput_cap: Option<f64>,
     ) -> Result<f64> {
         let key = ((table_id as u64) << 32) | block as u64;
-        if self.injector.is_some() && !self.is_resident(key) {
-            let outcome = self
-                .injector
-                .as_mut()
-                .expect("checked above")
-                .on_read(table_id, block);
+        let resident = self.is_resident(key);
+        if let Some(injector) = self.injector.as_mut().filter(|_| !resident) {
+            let outcome = injector.on_read(table_id, block);
             match outcome {
                 ReadOutcome::Ok => {}
                 ReadOutcome::Delay(seconds) => {
@@ -640,11 +689,14 @@ mod tests {
         dev.set_fault_plan(crate::fault::FaultPlan::new(1).with_transient(3, 7, 2));
         let seek = dev.profile().seek_latency_s;
         let full = dev.profile().read_time(50_000, Access::Random);
-        dev.read_guarded(3, 7, 50_000, Access::Random, None).unwrap_err();
+        dev.read_guarded(3, 7, 50_000, Access::Random, None)
+            .unwrap_err();
         assert!((dev.stats().io_seconds - seek).abs() < 1e-12);
-        dev.read_guarded(3, 7, 50_000, Access::Random, None).unwrap_err();
+        dev.read_guarded(3, 7, 50_000, Access::Random, None)
+            .unwrap_err();
         assert!((dev.stats().io_seconds - 2.0 * seek).abs() < 1e-12);
-        dev.read_guarded(3, 7, 50_000, Access::Random, None).unwrap();
+        dev.read_guarded(3, 7, 50_000, Access::Random, None)
+            .unwrap();
         assert!((dev.stats().io_seconds - (2.0 * seek + full)).abs() < 1e-12);
         assert_eq!(dev.stats().faults, 2);
     }
@@ -696,12 +748,18 @@ mod tests {
         let mut dev = SimDevice::hdd(0);
         dev.set_fault_plan(crate::fault::FaultPlan::new(1).with_transient(3, 7, 1));
         let before = dev.stats().io_seconds;
-        let err = dev.read_guarded(3, 7, 50_000, Access::Random, None).unwrap_err();
+        let err = dev
+            .read_guarded(3, 7, 50_000, Access::Random, None)
+            .unwrap_err();
         assert!(err.is_retryable());
         let after_fail = dev.stats().io_seconds;
-        assert!(after_fail > before, "failed attempt must cost simulated time");
+        assert!(
+            after_fail > before,
+            "failed attempt must cost simulated time"
+        );
         // Second attempt succeeds (transient fault exhausted).
-        dev.read_guarded(3, 7, 50_000, Access::Random, None).unwrap();
+        dev.read_guarded(3, 7, 50_000, Access::Random, None)
+            .unwrap();
         assert_eq!(dev.fault_injector().unwrap().stats().transient_failures, 1);
     }
 
@@ -711,7 +769,9 @@ mod tests {
         dev.set_fault_plan(crate::fault::FaultPlan::new(1).with_latency_spike(1, 0, 0.5));
         let t_spiked = dev.read_guarded(1, 0, 1000, Access::Random, None).unwrap();
         let mut plain = SimDevice::ssd(0);
-        let t_plain = plain.read_guarded(1, 0, 1000, Access::Random, None).unwrap();
+        let t_plain = plain
+            .read_guarded(1, 0, 1000, Access::Random, None)
+            .unwrap();
         // The returned per-read time excludes the spike, but the clock
         // includes it.
         assert_eq!(t_spiked, t_plain);
@@ -722,13 +782,16 @@ mod tests {
     fn cache_resident_extents_bypass_injection() {
         let mut dev = SimDevice::hdd(1 << 20);
         // Warm the cache with no faults, then make the block permanently bad.
-        dev.read_guarded(1, 0, 10_000, Access::Random, None).unwrap();
+        dev.read_guarded(1, 0, 10_000, Access::Random, None)
+            .unwrap();
         dev.set_fault_plan(crate::fault::FaultPlan::new(1).with_permanent(1, 0));
         dev.read_guarded(1, 0, 10_000, Access::Random, None)
             .expect("cached read must not fault");
         // Once evicted, the fault strikes.
         dev.drop_cache();
-        assert!(dev.read_guarded(1, 0, 10_000, Access::Random, None).is_err());
+        assert!(dev
+            .read_guarded(1, 0, 10_000, Access::Random, None)
+            .is_err());
     }
 
     proptest! {

@@ -23,10 +23,18 @@ pub enum StorageError {
     Io { op: &'static str, message: String },
     /// Stored bytes failed checksum verification. `block` is `None` when the
     /// mismatch is in a file header rather than a data block.
-    ChecksumMismatch { block: Option<usize>, expected: u32, actual: u32 },
+    ChecksumMismatch {
+        block: Option<usize>,
+        expected: u32,
+        actual: u32,
+    },
     /// A block read failed after `attempts` attempts (faults, exhausted
     /// retries).
-    ReadFailed { block: usize, attempts: u32, message: String },
+    ReadFailed {
+        block: usize,
+        attempts: u32,
+        message: String,
+    },
 }
 
 impl StorageError {
@@ -62,7 +70,11 @@ impl fmt::Display for StorageError {
             StorageError::EmptyTable => write!(f, "operation requires a non-empty table"),
             StorageError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             StorageError::Io { op, message } => write!(f, "io error during {op}: {message}"),
-            StorageError::ChecksumMismatch { block, expected, actual } => match block {
+            StorageError::ChecksumMismatch {
+                block,
+                expected,
+                actual,
+            } => match block {
                 Some(b) => write!(
                     f,
                     "checksum mismatch in block {b}: expected {expected:#010x}, got {actual:#010x}"
@@ -72,8 +84,15 @@ impl fmt::Display for StorageError {
                     "header checksum mismatch: expected {expected:#010x}, got {actual:#010x}"
                 ),
             },
-            StorageError::ReadFailed { block, attempts, message } => {
-                write!(f, "read of block {block} failed after {attempts} attempt(s): {message}")
+            StorageError::ReadFailed {
+                block,
+                attempts,
+                message,
+            } => {
+                write!(
+                    f,
+                    "read of block {block} failed after {attempts} attempt(s): {message}"
+                )
             }
         }
     }
@@ -87,36 +106,73 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = StorageError::PageFull { needed: 100, free: 10 };
+        let e = StorageError::PageFull {
+            needed: 100,
+            free: 10,
+        };
         assert!(e.to_string().contains("needed 100"));
-        let e = StorageError::BlockOutOfRange { block: 7, blocks: 3 };
+        let e = StorageError::BlockOutOfRange {
+            block: 7,
+            blocks: 3,
+        };
         assert!(e.to_string().contains("block 7"));
         assert!(e.to_string().contains("3 blocks"));
     }
 
     #[test]
     fn retryable_classification() {
-        assert!(StorageError::Io { op: "read", message: "eio".into() }.is_retryable());
-        assert!(StorageError::ChecksumMismatch { block: Some(1), expected: 1, actual: 2 }
-            .is_retryable());
-        assert!(StorageError::ReadFailed { block: 0, attempts: 3, message: "x".into() }
-            .is_retryable());
+        assert!(StorageError::Io {
+            op: "read",
+            message: "eio".into()
+        }
+        .is_retryable());
+        assert!(StorageError::ChecksumMismatch {
+            block: Some(1),
+            expected: 1,
+            actual: 2
+        }
+        .is_retryable());
+        assert!(StorageError::ReadFailed {
+            block: 0,
+            attempts: 3,
+            message: "x".into()
+        }
+        .is_retryable());
         assert!(!StorageError::EmptyTable.is_retryable());
-        assert!(!StorageError::BlockOutOfRange { block: 1, blocks: 1 }.is_retryable());
+        assert!(!StorageError::BlockOutOfRange {
+            block: 1,
+            blocks: 1
+        }
+        .is_retryable());
         assert!(!StorageError::Corrupt("bad".into()).is_retryable());
         assert!(!StorageError::InvalidConfig("bad".into()).is_retryable());
     }
 
     #[test]
     fn new_variant_messages_are_informative() {
-        let e = StorageError::ChecksumMismatch { block: Some(4), expected: 0xAB, actual: 0xCD };
+        let e = StorageError::ChecksumMismatch {
+            block: Some(4),
+            expected: 0xAB,
+            actual: 0xCD,
+        };
         assert!(e.to_string().contains("block 4"));
-        let e = StorageError::ChecksumMismatch { block: None, expected: 1, actual: 2 };
+        let e = StorageError::ChecksumMismatch {
+            block: None,
+            expected: 1,
+            actual: 2,
+        };
         assert!(e.to_string().contains("header"));
-        let e = StorageError::ReadFailed { block: 9, attempts: 5, message: "dead".into() };
+        let e = StorageError::ReadFailed {
+            block: 9,
+            attempts: 5,
+            message: "dead".into(),
+        };
         assert!(e.to_string().contains("block 9"));
         assert!(e.to_string().contains("5 attempt"));
-        let e = StorageError::Io { op: "rename", message: "denied".into() };
+        let e = StorageError::Io {
+            op: "rename",
+            message: "denied".into(),
+        };
         assert!(e.to_string().contains("rename"));
     }
 

@@ -57,31 +57,40 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// An empty plan (no faults) with the given seed.
     pub fn new(seed: u64) -> Self {
-        FaultPlan { seed, transient_rate: 0.0, max_consecutive: 0, targeted: BTreeMap::new() }
+        FaultPlan {
+            seed,
+            transient_rate: 0.0,
+            max_consecutive: 0,
+            targeted: BTreeMap::new(),
+        }
     }
 
     /// Fail the next `failures` reads of `(table_id, block)`, then recover.
     pub fn with_transient(mut self, table_id: u32, block: usize, failures: u32) -> Self {
-        self.targeted.insert((table_id, block), FaultKind::Transient { failures });
+        self.targeted
+            .insert((table_id, block), FaultKind::Transient { failures });
         self
     }
 
     /// Make `(table_id, block)` permanently unreadable.
     pub fn with_permanent(mut self, table_id: u32, block: usize) -> Self {
-        self.targeted.insert((table_id, block), FaultKind::Permanent);
+        self.targeted
+            .insert((table_id, block), FaultKind::Permanent);
         self
     }
 
     /// Make every read of `(table_id, block)` report checksum corruption.
     pub fn with_corruption(mut self, table_id: u32, block: usize) -> Self {
-        self.targeted.insert((table_id, block), FaultKind::Corruption);
+        self.targeted
+            .insert((table_id, block), FaultKind::Corruption);
         self
     }
 
     /// Charge `seconds` of extra latency on every read of `(table_id, block)`.
     pub fn with_latency_spike(mut self, table_id: u32, block: usize, seconds: f64) -> Self {
         assert!(seconds >= 0.0, "latency spike must be non-negative");
-        self.targeted.insert((table_id, block), FaultKind::LatencySpike { seconds });
+        self.targeted
+            .insert((table_id, block), FaultKind::LatencySpike { seconds });
         self
     }
 
@@ -299,7 +308,11 @@ mod tests {
     fn corruption_reports_checksum_mismatch() {
         let mut inj = FaultInjector::new(FaultPlan::new(1).with_corruption(1, 5));
         match inj.on_read(1, 5) {
-            ReadOutcome::Fail(StorageError::ChecksumMismatch { block, expected, actual }) => {
+            ReadOutcome::Fail(StorageError::ChecksumMismatch {
+                block,
+                expected,
+                actual,
+            }) => {
                 assert_eq!(block, Some(5));
                 assert_ne!(expected, actual);
             }
@@ -325,7 +338,10 @@ mod tests {
                 assert_eq!(a.on_read(1, block), b.on_read(1, block));
             }
         }
-        assert!(a.stats().transient_failures > 0, "rate 0.3 should fire in 200 reads");
+        assert!(
+            a.stats().transient_failures > 0,
+            "rate 0.3 should fire in 200 reads"
+        );
         assert_eq!(a.stats(), b.stats());
     }
 
@@ -350,10 +366,12 @@ mod tests {
     fn different_seeds_give_different_schedules() {
         let mut a = FaultInjector::new(FaultPlan::new(1).with_random_transient(0.5, 1));
         let mut b = FaultInjector::new(FaultPlan::new(2).with_random_transient(0.5, 1));
-        let fa: Vec<bool> =
-            (0..64).map(|i| matches!(a.on_read(1, i), ReadOutcome::Fail(_))).collect();
-        let fb: Vec<bool> =
-            (0..64).map(|i| matches!(b.on_read(1, i), ReadOutcome::Fail(_))).collect();
+        let fa: Vec<bool> = (0..64)
+            .map(|i| matches!(a.on_read(1, i), ReadOutcome::Fail(_)))
+            .collect();
+        let fb: Vec<bool> = (0..64)
+            .map(|i| matches!(b.on_read(1, i), ReadOutcome::Fail(_)))
+            .collect();
         assert_ne!(fa, fb);
     }
 

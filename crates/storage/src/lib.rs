@@ -8,7 +8,7 @@
 //! all I/O goes through a buffer manager over HDD/SSD. This crate rebuilds
 //! that substrate from scratch:
 //!
-//! * [`tuple`] — the training-tuple format (`⟨id, features, label⟩`, dense or
+//! * [`mod@tuple`] — the training-tuple format (`⟨id, features, label⟩`, dense or
 //!   sparse), with a compact binary encoding;
 //! * [`page`] — fixed-size slotted pages, PostgreSQL-style;
 //! * [`block`] — block metadata (a block is a batch of contiguous pages, the
@@ -24,6 +24,9 @@
 //!   permanent read failures, checksum corruption, latency spikes);
 //! * [`retry`] — bounded exponential-backoff retry shared by all block
 //!   readers, charging backoff to the simulated clock;
+//! * [`shared`] — interior-synchronized [`SharedDevice`]/[`SharedBufferPool`]
+//!   engine objects handing out per-connection [`DeviceHandle`]s and
+//!   [`PoolHandle`]s with local stats, fault plans and telemetry scopes;
 //! * telemetry — [`SimDevice`] and [`BufferPool`] mirror their counters
 //!   into a shared [`Telemetry`] handle (re-exported from
 //!   `corgipile-telemetry`) when one is attached via `set_telemetry`;
@@ -44,6 +47,7 @@ pub mod page;
 pub mod persist;
 pub mod pipeline;
 pub mod retry;
+pub mod shared;
 pub mod table;
 pub mod tuple;
 
@@ -61,6 +65,7 @@ pub use pipeline::{
     PIPELINE_SLOTS,
 };
 pub use retry::RetryPolicy;
+pub use shared::{DeviceHandle, PoolHandle, SharedBufferPool, SharedDevice};
 pub use table::{Table, TableBuilder, TableConfig};
 pub use tuple::{
     dense_axpy, dense_axpy_scalar, dense_dot, dense_dot_scalar, tuple_clone_count, FeatureVec,

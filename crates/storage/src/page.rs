@@ -30,12 +30,20 @@ pub struct Page {
 impl Page {
     /// Create an empty page of standard size.
     pub fn new() -> Self {
-        Page { capacity: PAGE_SIZE, data: Vec::new(), slots: Vec::new() }
+        Page {
+            capacity: PAGE_SIZE,
+            data: Vec::new(),
+            slots: Vec::new(),
+        }
     }
 
     /// Create a jumbo page sized to hold exactly one tuple of `bytes` bytes.
     pub fn new_jumbo(bytes: usize) -> Self {
-        Page { capacity: bytes.max(PAGE_SIZE), data: Vec::new(), slots: Vec::new() }
+        Page {
+            capacity: bytes.max(PAGE_SIZE),
+            data: Vec::new(),
+            slots: Vec::new(),
+        }
     }
 
     /// True if this page was allocated as a jumbo page.
@@ -75,7 +83,10 @@ impl Page {
     pub fn push(&mut self, tuple: &Tuple) -> Result<()> {
         let len = tuple.encoded_len();
         if !self.fits(len) {
-            return Err(StorageError::PageFull { needed: len, free: self.free_bytes() });
+            return Err(StorageError::PageFull {
+                needed: len,
+                free: self.free_bytes(),
+            });
         }
         self.slots.push(self.data.len() as u32);
         tuple.encode(&mut self.data);
@@ -94,7 +105,10 @@ impl Page {
 
     /// Iterate all tuples on the page in slot order.
     pub fn tuples(&self) -> PageTuples<'_> {
-        PageTuples { page: self, next: 0 }
+        PageTuples {
+            page: self,
+            next: 0,
+        }
     }
 }
 
@@ -135,7 +149,11 @@ mod tests {
     use proptest::prelude::*;
 
     fn tiny(id: u64) -> Tuple {
-        Tuple::dense(id, vec![id as f32, -1.0], if id % 2 == 0 { 1.0 } else { -1.0 })
+        Tuple::dense(
+            id,
+            vec![id as f32, -1.0],
+            if id % 2 == 0 { 1.0 } else { -1.0 },
+        )
     }
 
     #[test]

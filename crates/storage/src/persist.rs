@@ -49,7 +49,10 @@ const MAGIC_V3: &[u8; 8] = b"CORGIPL3";
 const MAGIC_V2: &[u8; 8] = b"CORGIPL2";
 
 fn io_err(op: &'static str, e: io::Error) -> StorageError {
-    StorageError::Io { op, message: e.to_string() }
+    StorageError::Io {
+        op,
+        message: e.to_string(),
+    }
 }
 
 /// Sibling path used for atomic writes (`<name>.tmp` in the same directory,
@@ -139,7 +142,8 @@ pub fn save_table(table: &Table, path: &Path) -> Result<()> {
         let f = std::fs::File::create(&tmp).map_err(|e| io_err("create temp", e))?;
         let mut w = io::BufWriter::new(f);
         w.write_all(MAGIC_V3).map_err(|e| io_err("write", e))?;
-        w.write_all(&crc32(&hdr).to_le_bytes()).map_err(|e| io_err("write", e))?;
+        w.write_all(&crc32(&hdr).to_le_bytes())
+            .map_err(|e| io_err("write", e))?;
         w.write_all(&hdr).map_err(|e| io_err("write", e))?;
         for (_, _, data) in &regions {
             w.write_all(data).map_err(|e| io_err("write", e))?;
@@ -164,27 +168,37 @@ pub fn save_table(table: &Table, path: &Path) -> Result<()> {
 /// older builds wrote; new code should use [`save_table`].
 #[doc(hidden)]
 pub fn save_table_v2(table: &Table, path: &Path) -> Result<()> {
-    let mut f =
-        io::BufWriter::new(std::fs::File::create(path).map_err(|e| io_err("create", e))?);
+    let mut f = io::BufWriter::new(std::fs::File::create(path).map_err(|e| io_err("create", e))?);
     let cfg = table.config();
     let regions = encode_regions(table)?;
     let name = cfg.name.as_bytes();
     f.write_all(MAGIC_V2).map_err(|e| io_err("write", e))?;
-    f.write_all(&(name.len() as u32).to_le_bytes()).map_err(|e| io_err("write", e))?;
+    f.write_all(&(name.len() as u32).to_le_bytes())
+        .map_err(|e| io_err("write", e))?;
     f.write_all(name).map_err(|e| io_err("write", e))?;
-    f.write_all(&cfg.table_id.to_le_bytes()).map_err(|e| io_err("write", e))?;
-    f.write_all(&(cfg.block_bytes as u64).to_le_bytes()).map_err(|e| io_err("write", e))?;
-    f.write_all(&(cfg.toast_threshold as u64).to_le_bytes()).map_err(|e| io_err("write", e))?;
-    f.write_all(&cfg.toast_cap.to_le_bytes()).map_err(|e| io_err("write", e))?;
-    f.write_all(&table.num_tuples().to_le_bytes()).map_err(|e| io_err("write", e))?;
-    f.write_all(&(table.num_blocks() as u64).to_le_bytes()).map_err(|e| io_err("write", e))?;
+    f.write_all(&cfg.table_id.to_le_bytes())
+        .map_err(|e| io_err("write", e))?;
+    f.write_all(&(cfg.block_bytes as u64).to_le_bytes())
+        .map_err(|e| io_err("write", e))?;
+    f.write_all(&(cfg.toast_threshold as u64).to_le_bytes())
+        .map_err(|e| io_err("write", e))?;
+    f.write_all(&cfg.toast_cap.to_le_bytes())
+        .map_err(|e| io_err("write", e))?;
+    f.write_all(&table.num_tuples().to_le_bytes())
+        .map_err(|e| io_err("write", e))?;
+    f.write_all(&(table.num_blocks() as u64).to_le_bytes())
+        .map_err(|e| io_err("write", e))?;
     let header_end = 8 + 4 + name.len() + 4 + 8 + 8 + 8 + 8 + 8 + regions.len() * 32;
     let mut off = header_end as u64;
     for (first, count, data) in &regions {
-        f.write_all(&first.to_le_bytes()).map_err(|e| io_err("write", e))?;
-        f.write_all(&count.to_le_bytes()).map_err(|e| io_err("write", e))?;
-        f.write_all(&off.to_le_bytes()).map_err(|e| io_err("write", e))?;
-        f.write_all(&(data.len() as u64).to_le_bytes()).map_err(|e| io_err("write", e))?;
+        f.write_all(&first.to_le_bytes())
+            .map_err(|e| io_err("write", e))?;
+        f.write_all(&count.to_le_bytes())
+            .map_err(|e| io_err("write", e))?;
+        f.write_all(&off.to_le_bytes())
+            .map_err(|e| io_err("write", e))?;
+        f.write_all(&(data.len() as u64).to_le_bytes())
+            .map_err(|e| io_err("write", e))?;
         off += data.len() as u64;
     }
     for (_, _, data) in &regions {
@@ -233,23 +247,36 @@ impl<R: Read> Read for TeeReader<'_, R> {
 
 fn read_header<R: Read>(f: &mut R) -> Result<FileHeader> {
     let mut magic = [0u8; 8];
-    f.read_exact(&mut magic).map_err(|e| io_err("read magic", e))?;
+    f.read_exact(&mut magic)
+        .map_err(|e| io_err("read magic", e))?;
     let version: u8 = if &magic == MAGIC_V3 {
         3
     } else if &magic == MAGIC_V2 {
         2
     } else {
-        return Err(StorageError::Corrupt("bad magic (not a corgipile heap file)".into()));
+        return Err(StorageError::Corrupt(
+            "bad magic (not a corgipile heap file)".into(),
+        ));
     };
-    let expected_crc = if version == 3 { Some(read_u32(f)?) } else { None };
-    let mut tee = TeeReader { inner: f, seen: Vec::new() };
+    let expected_crc = if version == 3 {
+        Some(read_u32(f)?)
+    } else {
+        None
+    };
+    let mut tee = TeeReader {
+        inner: f,
+        seen: Vec::new(),
+    };
     let f = &mut tee;
     let name_len = read_u32(f)? as usize;
     if name_len > 1 << 16 {
-        return Err(StorageError::Corrupt(format!("implausible name length {name_len}")));
+        return Err(StorageError::Corrupt(format!(
+            "implausible name length {name_len}"
+        )));
     }
     let mut name = vec![0u8; name_len];
-    f.read_exact(&mut name).map_err(|e| io_err("read header", e))?;
+    f.read_exact(&mut name)
+        .map_err(|e| io_err("read header", e))?;
     let name = String::from_utf8(name)
         .map_err(|_| StorageError::Corrupt("table name is not UTF-8".into()))?;
     let table_id = read_u32(f)?;
@@ -259,7 +286,9 @@ fn read_header<R: Read>(f: &mut R) -> Result<FileHeader> {
     let tuple_count = read_u64(f)?;
     let block_count = read_u64(f)? as usize;
     if block_count > 1 << 24 {
-        return Err(StorageError::Corrupt(format!("implausible block count {block_count}")));
+        return Err(StorageError::Corrupt(format!(
+            "implausible block count {block_count}"
+        )));
     }
     let mut blocks = Vec::with_capacity(block_count);
     for _ in 0..block_count {
@@ -268,19 +297,32 @@ fn read_header<R: Read>(f: &mut R) -> Result<FileHeader> {
             tuple_count: read_u64(f)?,
             data_off: read_u64(f)?,
             data_len: read_u64(f)?,
-            crc: if version == 3 { Some(read_u32(f)?) } else { None },
+            crc: if version == 3 {
+                Some(read_u32(f)?)
+            } else {
+                None
+            },
         });
     }
     if let Some(expected) = expected_crc {
         let actual = crc32(&tee.seen);
         if actual != expected {
-            return Err(StorageError::ChecksumMismatch { block: None, expected, actual });
+            return Err(StorageError::ChecksumMismatch {
+                block: None,
+                expected,
+                actual,
+            });
         }
     }
     let mut config = TableConfig::new(name, table_id).with_block_bytes(block_bytes.max(1));
     config.toast_threshold = toast_threshold;
     config.toast_cap = toast_cap;
-    Ok(FileHeader { config, tuple_count, blocks, version })
+    Ok(FileHeader {
+        config,
+        tuple_count,
+        blocks,
+        version,
+    })
 }
 
 /// Verify a block's data region against its stored checksum (v3 files).
@@ -334,7 +376,8 @@ pub fn load_table(path: &Path) -> Result<Table> {
     let mut seen = 0u64;
     for (blk, meta) in header.blocks.iter().enumerate() {
         let mut data = vec![0u8; meta.data_len as usize];
-        f.read_exact(&mut data).map_err(|e| io_err("read block", e))?;
+        f.read_exact(&mut data)
+            .map_err(|e| io_err("read block", e))?;
         verify_block_crc(blk, meta, &data)?;
         for t in decode_block(&data, meta.tuple_count)? {
             builder.append(&t)?;
@@ -427,10 +470,10 @@ impl FileTable {
 
     /// Read one block with a real positioned read, verifying its checksum.
     pub fn read_block(&self, id: usize) -> Result<Vec<Tuple>> {
-        let meta = *self
-            .blocks
-            .get(id)
-            .ok_or(StorageError::BlockOutOfRange { block: id, blocks: self.blocks.len() })?;
+        let meta = *self.blocks.get(id).ok_or(StorageError::BlockOutOfRange {
+            block: id,
+            blocks: self.blocks.len(),
+        })?;
         if let Some(inj) = self.injector.lock().as_mut() {
             match inj.on_read(self.config.table_id, id) {
                 ReadOutcome::Ok => {}
@@ -443,8 +486,10 @@ impl FileTable {
         let mut data = vec![0u8; meta.data_len as usize];
         {
             let mut f = self.file.lock();
-            f.seek(SeekFrom::Start(meta.data_off)).map_err(|e| io_err("seek", e))?;
-            f.read_exact(&mut data).map_err(|e| io_err("read block", e))?;
+            f.seek(SeekFrom::Start(meta.data_off))
+                .map_err(|e| io_err("seek", e))?;
+            f.read_exact(&mut data)
+                .map_err(|e| io_err("read block", e))?;
         }
         verify_block_crc(id, &meta, &data)?;
         decode_block(&data, meta.tuple_count)
@@ -519,7 +564,13 @@ mod tests {
             cfg,
             (0..n).map(|id| {
                 if id % 3 == 0 {
-                    Tuple::sparse(id, 1000, vec![1, id as u32 % 900 + 2], vec![0.5, -1.5], -1.0)
+                    Tuple::sparse(
+                        id,
+                        1000,
+                        vec![1, id as u32 % 900 + 2],
+                        vec![0.5, -1.5],
+                        -1.0,
+                    )
                 } else {
                     Tuple::dense(id, vec![id as f32, 2.0, 3.0], 1.0)
                 }
@@ -551,8 +602,7 @@ mod tests {
 
     #[test]
     fn empty_table_roundtrips() {
-        let table =
-            Table::from_tuples(TableConfig::new("empty", 1), std::iter::empty()).unwrap();
+        let table = Table::from_tuples(TableConfig::new("empty", 1), std::iter::empty()).unwrap();
         let path = tmp("empty.tbl");
         save_table(&table, &path).unwrap();
         let back = load_table(&path).unwrap();
@@ -570,7 +620,10 @@ mod tests {
         save_table(&table, &path).unwrap();
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
-        assert!(load_table(&path).is_err(), "truncated file must fail cleanly");
+        assert!(
+            load_table(&path).is_err(),
+            "truncated file must fail cleanly"
+        );
         std::fs::remove_file(path).ok();
     }
 
@@ -590,7 +643,10 @@ mod tests {
         // with the new, and the temp sibling must be gone afterwards.
         save_table(&sample_table(20), &path).unwrap();
         save_table(&table, &path).unwrap();
-        assert!(!temp_sibling(&path).exists(), "temp file must be renamed away");
+        assert!(
+            !temp_sibling(&path).exists(),
+            "temp file must be renamed away"
+        );
         let back = load_table(&path).unwrap();
         assert_eq!(back.num_tuples(), 100);
         std::fs::remove_file(path).ok();
@@ -645,7 +701,11 @@ mod tests {
             })
             .expect("victim byte lies in some block");
         match ft.read_block(bad_block) {
-            Err(StorageError::ChecksumMismatch { block, expected, actual }) => {
+            Err(StorageError::ChecksumMismatch {
+                block,
+                expected,
+                actual,
+            }) => {
                 assert_eq!(block, Some(bad_block));
                 assert_ne!(expected, actual);
             }
@@ -672,18 +732,28 @@ mod tests {
         // Flip a byte inside the block index (after magic + crc + name).
         bytes[40] ^= 0x01;
         std::fs::write(&path, &bytes).unwrap();
-        assert!(load_table(&path).is_err(), "header corruption must be detected");
+        assert!(
+            load_table(&path).is_err(),
+            "header corruption must be detected"
+        );
         std::fs::remove_file(path).ok();
     }
 
     #[test]
     fn fault_plan_on_file_table_injects_and_recovers() {
         let table = sample_table(1500);
-        assert!(table.num_blocks() >= 2, "test needs a second block to fault");
+        assert!(
+            table.num_blocks() >= 2,
+            "test needs a second block to fault"
+        );
         let path = tmp("ft_faults.tbl");
         save_table(&table, &path).unwrap();
         let ft = FileTable::open(&path).unwrap();
-        ft.set_fault_plan(FaultPlan::new(3).with_transient(7, 0, 2).with_permanent(7, 1));
+        ft.set_fault_plan(
+            FaultPlan::new(3)
+                .with_transient(7, 0, 2)
+                .with_permanent(7, 1),
+        );
 
         // Transient: fails twice, then read_block_retry recovers.
         assert!(ft.read_block(0).is_err());
@@ -692,7 +762,9 @@ mod tests {
 
         // Permanent: exhausts retries with a typed error.
         match ft.read_block_retry(1, &RetryPolicy::with_max_retries(2)) {
-            Err(StorageError::ReadFailed { block, attempts, .. }) => {
+            Err(StorageError::ReadFailed {
+                block, attempts, ..
+            }) => {
                 assert_eq!(block, 1);
                 assert_eq!(attempts, 3);
             }

@@ -68,7 +68,10 @@ impl TupleRef {
     /// Reference tuple `idx` of `block`.
     pub fn new(block: Arc<Vec<Tuple>>, idx: usize) -> Self {
         debug_assert!(idx < block.len());
-        TupleRef { block, idx: idx as u32 }
+        TupleRef {
+            block,
+            idx: idx as u32,
+        }
     }
 
     /// The referenced tuple.
@@ -204,7 +207,12 @@ where
             };
             let outcome = produce(&mut sender);
             let clones = tuple_clone_count() - clones_before;
-            (outcome, sender.fills, sender.backpressure_wall_seconds, clones)
+            (
+                outcome,
+                sender.fills,
+                sender.backpressure_wall_seconds,
+                clones,
+            )
         });
 
         let mut report = PipelineReport::default();
@@ -328,7 +336,9 @@ mod tests {
         // In-flight batches drain first, then the typed error surfaces.
         assert_eq!(got, vec![1, 2]);
         match err {
-            PipelineError::Producer(StorageError::ReadFailed { block, attempts, .. }) => {
+            PipelineError::Producer(StorageError::ReadFailed {
+                block, attempts, ..
+            }) => {
                 assert_eq!((block, attempts), (7, 3));
             }
             other => panic!("unexpected error: {other:?}"),
@@ -382,7 +392,9 @@ mod tests {
     #[test]
     fn tuple_refs_share_the_block_without_cloning() {
         let block: Arc<Vec<Tuple>> = Arc::new(
-            (0..10).map(|i| Tuple::dense(i, vec![i as f32], 1.0)).collect(),
+            (0..10)
+                .map(|i| Tuple::dense(i, vec![i as f32], 1.0))
+                .collect(),
         );
         let before = tuple_clone_count();
         let mut refs: Vec<TupleRef> = block_refs(&block).collect();
@@ -391,7 +403,11 @@ mod tests {
         assert_eq!(refs[0].id, 9);
         assert_eq!(refs[9].tuple().id, 0);
         assert_eq!(refs[3].features.dim(), 1);
-        assert_eq!(tuple_clone_count(), before, "TupleRef must never clone tuples");
+        assert_eq!(
+            tuple_clone_count(),
+            before,
+            "TupleRef must never clone tuples"
+        );
     }
 
     #[test]
@@ -430,8 +446,9 @@ mod tests {
         for seed in 0u64..8 {
             for epoch in 0..4u64 {
                 let tel = Telemetry::disabled();
-                let expected: Vec<u64> =
-                    (0..64).map(|i| i ^ (seed.wrapping_mul(0x9E37) + epoch)).collect();
+                let expected: Vec<u64> = (0..64)
+                    .map(|i| i ^ (seed.wrapping_mul(0x9E37) + epoch))
+                    .collect();
                 let send_side = expected.clone();
                 let mut got = Vec::new();
                 run_epoch_pipeline::<_, StorageError, _, _>(

@@ -23,19 +23,30 @@ pub struct RetryPolicy {
 impl Default for RetryPolicy {
     /// 4 retries, 1 ms → 2 ms → 4 ms → 8 ms, capped at 100 ms.
     fn default() -> Self {
-        RetryPolicy { max_retries: 4, base_backoff_s: 1e-3, multiplier: 2.0, max_backoff_s: 0.1 }
+        RetryPolicy {
+            max_retries: 4,
+            base_backoff_s: 1e-3,
+            multiplier: 2.0,
+            max_backoff_s: 0.1,
+        }
     }
 }
 
 impl RetryPolicy {
     /// No retries: the first failure is final.
     pub fn none() -> Self {
-        RetryPolicy { max_retries: 0, ..Default::default() }
+        RetryPolicy {
+            max_retries: 0,
+            ..Default::default()
+        }
     }
 
     /// A policy with `max_retries` retries and default backoff shape.
     pub fn with_max_retries(max_retries: u32) -> Self {
-        RetryPolicy { max_retries, ..Default::default() }
+        RetryPolicy {
+            max_retries,
+            ..Default::default()
+        }
     }
 
     /// Backoff before retry number `attempt` (0-based). Monotone
@@ -62,7 +73,10 @@ mod tests {
         assert!((p.backoff(0) - 1e-3).abs() < 1e-12);
         assert!((p.backoff(1) - 2e-3).abs() < 1e-12);
         assert!((p.backoff(2) - 4e-3).abs() < 1e-12);
-        assert!((p.backoff(20) - 0.1).abs() < 1e-12, "capped at max_backoff_s");
+        assert!(
+            (p.backoff(20) - 0.1).abs() < 1e-12,
+            "capped at max_backoff_s"
+        );
     }
 
     #[test]

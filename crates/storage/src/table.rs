@@ -61,7 +61,9 @@ impl TableConfig {
 
     fn validate(&self) -> Result<()> {
         if self.block_bytes == 0 {
-            return Err(StorageError::InvalidConfig("block_bytes must be > 0".into()));
+            return Err(StorageError::InvalidConfig(
+                "block_bytes must be > 0".into(),
+            ));
         }
         Ok(())
     }
@@ -80,7 +82,12 @@ impl TableBuilder {
     /// Start building a table.
     pub fn new(config: TableConfig) -> Result<Self> {
         config.validate()?;
-        Ok(TableBuilder { config, pages: Vec::new(), tuple_count: 0, any_toast: false })
+        Ok(TableBuilder {
+            config,
+            pages: Vec::new(),
+            tuple_count: 0,
+            any_toast: false,
+        })
     }
 
     /// Append one tuple (placed on the current page, a fresh page, or a
@@ -98,7 +105,10 @@ impl TableBuilder {
             }
             self.pages.push(fresh);
         }
-        self.pages.last_mut().expect("page pushed above").push(tuple)?;
+        self.pages
+            .last_mut()
+            .expect("page pushed above")
+            .push(tuple)?;
         self.tuple_count += 1;
         Ok(())
     }
@@ -185,9 +195,10 @@ impl Table {
 
     /// Block metadata.
     pub fn block(&self, id: BlockId) -> Result<&BlockMeta> {
-        self.blocks
-            .get(id)
-            .ok_or(StorageError::BlockOutOfRange { block: id, blocks: self.blocks.len() })
+        self.blocks.get(id).ok_or(StorageError::BlockOutOfRange {
+            block: id,
+            blocks: self.blocks.len(),
+        })
     }
 
     /// All block metadata in table order.
@@ -224,7 +235,13 @@ impl Table {
     /// error; see [`Table::read_block_retry`].
     pub fn read_block(&self, id: BlockId, dev: &mut SimDevice) -> Result<Vec<Tuple>> {
         let meta = self.block(id)?;
-        dev.read_guarded(self.config.table_id, id, meta.bytes, Access::Random, self.toast_cap())?;
+        dev.read_guarded(
+            self.config.table_id,
+            id,
+            meta.bytes,
+            Access::Random,
+            self.toast_cap(),
+        )?;
         self.block_tuples(id)
     }
 
@@ -238,8 +255,18 @@ impl Table {
         dev: &mut SimDevice,
     ) -> Result<Vec<Tuple>> {
         let meta = self.block(id)?;
-        let access = if first { Access::Random } else { Access::Sequential };
-        dev.read_guarded(self.config.table_id, id, meta.bytes, access, self.toast_cap())?;
+        let access = if first {
+            Access::Random
+        } else {
+            Access::Sequential
+        };
+        dev.read_guarded(
+            self.config.table_id,
+            id,
+            meta.bytes,
+            access,
+            self.toast_cap(),
+        )?;
         self.block_tuples(id)
     }
 
@@ -267,7 +294,9 @@ impl Table {
         dev: &mut SimDevice,
         policy: &RetryPolicy,
     ) -> Result<Vec<Tuple>> {
-        retry_block_read(id, dev, policy, |dev| self.scan_block_sequential(id, first, dev))
+        retry_block_read(id, dev, policy, |dev| {
+            self.scan_block_sequential(id, first, dev)
+        })
     }
 
     /// Full sequential scan of the table, charging the device.
@@ -287,9 +316,7 @@ impl Table {
                 self.tuple_count
             )));
         }
-        let block = self
-            .blocks
-            .partition_point(|b| b.tuples.end <= tid);
+        let block = self.blocks.partition_point(|b| b.tuples.end <= tid);
         // Find the page within the block.
         let meta = &self.blocks[block];
         let mut first_on_page = meta.tuples.start;
@@ -300,7 +327,9 @@ impl Table {
             }
             first_on_page += cnt;
         }
-        Err(StorageError::Corrupt(format!("tuple {tid} not found in block {block}")))
+        Err(StorageError::Corrupt(format!(
+            "tuple {tid} not found in block {block}"
+        )))
     }
 
     /// Read a single tuple by position with random access: one seek + one
@@ -320,7 +349,10 @@ impl Table {
     /// Decode a tuple by position without charging a device.
     pub fn get_tuple(&self, tid: TupleId) -> Result<Tuple> {
         let (_, page) = self.locate(tid)?;
-        let first_on_page: u64 = self.pages[..page].iter().map(|p| p.tuple_count() as u64).sum();
+        let first_on_page: u64 = self.pages[..page]
+            .iter()
+            .map(|p| p.tuple_count() as u64)
+            .sum();
         self.pages[page].tuple((tid - first_on_page) as usize)
     }
 
@@ -338,7 +370,9 @@ impl Table {
     /// `block_size = …` parameter (§6.1).
     pub fn rechunk(&self, block_bytes: usize) -> Result<Table> {
         if block_bytes == 0 {
-            return Err(StorageError::InvalidConfig("block_bytes must be > 0".into()));
+            return Err(StorageError::InvalidConfig(
+                "block_bytes must be > 0".into(),
+            ));
         }
         let page_bytes: Vec<usize> = self.pages.iter().map(|p| p.disk_bytes()).collect();
         let page_tuples: Vec<usize> = self.pages.iter().map(|p| p.tuple_count()).collect();
@@ -367,7 +401,11 @@ impl Table {
         new_table_id: u32,
         dev: &mut SimDevice,
     ) -> Result<Table> {
-        assert_eq!(order.len() as u64, self.tuple_count, "order must be a permutation");
+        assert_eq!(
+            order.len() as u64,
+            self.tuple_count,
+            "order must be a permutation"
+        );
         // Two passes of read+write at sequential bandwidth.
         for _pass in 0..2 {
             dev.read(None, self.total_bytes, Access::Random, self.toast_cap());
@@ -426,7 +464,13 @@ mod tests {
         let cfg = TableConfig::new("t", 1).with_block_bytes(block_bytes);
         Table::from_tuples(
             cfg,
-            (0..n).map(|id| Tuple::dense(id, vec![id as f32; width], if id % 2 == 0 { 1.0 } else { -1.0 })),
+            (0..n).map(|id| {
+                Tuple::dense(
+                    id,
+                    vec![id as f32; width],
+                    if id % 2 == 0 { 1.0 } else { -1.0 },
+                )
+            }),
         )
         .unwrap()
     }
@@ -480,8 +524,14 @@ mod tests {
         }
         let tup = d3.stats().io_seconds;
 
-        assert!(seq <= blk, "sequential {seq} should be <= block-random {blk}");
-        assert!(blk < tup / 50.0, "block-random {blk} should be ≪ tuple-random {tup}");
+        assert!(
+            seq <= blk,
+            "sequential {seq} should be <= block-random {blk}"
+        );
+        assert!(
+            blk < tup / 50.0,
+            "block-random {blk} should be ≪ tuple-random {tup}"
+        );
     }
 
     #[test]
@@ -492,7 +542,10 @@ mod tests {
         let first = dev.stats().io_seconds;
         t.scan_all(&mut dev).unwrap();
         let second = dev.stats().io_seconds - first;
-        assert!(second < first / 10.0, "cached epoch {second} not ≪ cold epoch {first}");
+        assert!(
+            second < first / 10.0,
+            "cached epoch {second} not ≪ cold epoch {first}"
+        );
     }
 
     #[test]
@@ -509,7 +562,10 @@ mod tests {
         let capped = ssd.stats().io_seconds;
         // At 130MB/s cap the time must exceed raw SSD time by ~7x.
         let raw = t.total_bytes() as f64 / 1e9;
-        assert!(capped > 5.0 * raw, "TOAST cap not applied: {capped} vs raw {raw}");
+        assert!(
+            capped > 5.0 * raw,
+            "TOAST cap not applied: {capped} vs raw {raw}"
+        );
     }
 
     #[test]
@@ -595,7 +651,9 @@ mod tests {
         dev.set_fault_plan(FaultPlan::new(5).with_permanent(1, 0));
         let policy = RetryPolicy::with_max_retries(3);
         match t.read_block_retry(0, &mut dev, &policy) {
-            Err(StorageError::ReadFailed { block, attempts, .. }) => {
+            Err(StorageError::ReadFailed {
+                block, attempts, ..
+            }) => {
                 assert_eq!(block, 0);
                 assert_eq!(attempts, 4, "1 try + 3 retries");
             }
@@ -623,7 +681,9 @@ mod tests {
         let policy = RetryPolicy::default();
         for id in 0..t.num_blocks() {
             let x = t.scan_block_sequential(id, id == 0, &mut a).unwrap();
-            let y = t.scan_block_sequential_retry(id, id == 0, &mut b, &policy).unwrap();
+            let y = t
+                .scan_block_sequential_retry(id, id == 0, &mut b, &policy)
+                .unwrap();
             assert_eq!(x, y);
         }
         assert_eq!(a.stats(), b.stats());

@@ -9,7 +9,7 @@
 
 use crate::error::StorageError;
 use crate::Result;
-use serde::{Deserialize, Serialize};
+
 use std::cell::Cell;
 
 /// Identifier of a tuple within a table (its insertion position).
@@ -105,7 +105,7 @@ pub fn dense_axpy_scalar(scale: f32, x: &[f32], w: &mut [f32]) {
 }
 
 /// A feature vector, dense or sparse, with `f32` components.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum FeatureVec {
     /// Dense layout: `values[i]` is the value of feature `i`.
     Dense(Vec<f32>),
@@ -133,7 +133,11 @@ impl FeatureVec {
             "sparse indices must be strictly increasing"
         );
         debug_assert!(indices.iter().all(|&i| i < dim), "index out of dimension");
-        FeatureVec::Sparse { dim, indices, values }
+        FeatureVec::Sparse {
+            dim,
+            indices,
+            values,
+        }
     }
 
     /// Logical dimensionality of the vector.
@@ -156,7 +160,9 @@ impl FeatureVec {
     pub fn get(&self, i: usize) -> f32 {
         match self {
             FeatureVec::Dense(v) => v.get(i).copied().unwrap_or(0.0),
-            FeatureVec::Sparse { indices, values, .. } => indices
+            FeatureVec::Sparse {
+                indices, values, ..
+            } => indices
                 .binary_search(&(i as u32))
                 .map(|pos| values[pos])
                 .unwrap_or(0.0),
@@ -169,7 +175,9 @@ impl FeatureVec {
     pub fn dot(&self, w: &[f32]) -> f32 {
         match self {
             FeatureVec::Dense(v) => dense_dot(v, w),
-            FeatureVec::Sparse { indices, values, .. } => indices
+            FeatureVec::Sparse {
+                indices, values, ..
+            } => indices
                 .iter()
                 .zip(values)
                 .map(|(&i, &v)| v * w[i as usize])
@@ -181,7 +189,9 @@ impl FeatureVec {
     pub fn axpy_into(&self, scale: f32, w: &mut [f32]) {
         match self {
             FeatureVec::Dense(v) => dense_axpy(scale, v, w),
-            FeatureVec::Sparse { indices, values, .. } => {
+            FeatureVec::Sparse {
+                indices, values, ..
+            } => {
                 for (&i, &v) in indices.iter().zip(values) {
                     w[i as usize] += scale * v;
                 }
@@ -201,12 +211,9 @@ impl FeatureVec {
     pub fn iter(&self) -> Box<dyn Iterator<Item = (usize, f32)> + '_> {
         match self {
             FeatureVec::Dense(v) => Box::new(v.iter().copied().enumerate()),
-            FeatureVec::Sparse { indices, values, .. } => Box::new(
-                indices
-                    .iter()
-                    .zip(values)
-                    .map(|(&i, &v)| (i as usize, v)),
-            ),
+            FeatureVec::Sparse {
+                indices, values, ..
+            } => Box::new(indices.iter().zip(values).map(|(&i, &v)| (i as usize, v))),
         }
     }
 }
@@ -216,7 +223,7 @@ impl FeatureVec {
 /// `Clone` is implemented by hand so every clone bumps the thread-local
 /// counter behind [`tuple_clone_count`] — the zero-copy guarantee of the
 /// pipelined fill path is asserted against it.
-#[derive(Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq)]
 pub struct Tuple {
     /// Position of the tuple in the original table order (`tuple_id` in the
     /// paper's Figure 3/4 diagnostics).
@@ -231,7 +238,11 @@ pub struct Tuple {
 impl Clone for Tuple {
     fn clone(&self) -> Self {
         TUPLE_CLONES.with(|c| c.set(c.get() + 1));
-        Tuple { id: self.id, features: self.features.clone(), label: self.label }
+        Tuple {
+            id: self.id,
+            features: self.features.clone(),
+            label: self.label,
+        }
     }
 }
 
@@ -242,12 +253,20 @@ const TAG_SPARSE: u8 = 1;
 impl Tuple {
     /// Create a dense tuple.
     pub fn dense(id: TupleId, values: Vec<f32>, label: f32) -> Self {
-        Tuple { id, features: FeatureVec::Dense(values), label }
+        Tuple {
+            id,
+            features: FeatureVec::Dense(values),
+            label,
+        }
     }
 
     /// Create a sparse tuple.
     pub fn sparse(id: TupleId, dim: u32, indices: Vec<u32>, values: Vec<f32>, label: f32) -> Self {
-        Tuple { id, features: FeatureVec::sparse(dim, indices, values), label }
+        Tuple {
+            id,
+            features: FeatureVec::sparse(dim, indices, values),
+            label,
+        }
     }
 
     /// Size in bytes of the binary encoding produced by [`Tuple::encode`].
@@ -256,9 +275,9 @@ impl Tuple {
         let header = 8 + 4 + 1 + 4 + 4;
         match &self.features {
             FeatureVec::Dense(v) => header + 4 * v.len(),
-            FeatureVec::Sparse { indices, values, .. } => {
-                header + 4 * indices.len() + 4 * values.len()
-            }
+            FeatureVec::Sparse {
+                indices, values, ..
+            } => header + 4 * indices.len() + 4 * values.len(),
         }
     }
 
@@ -275,7 +294,11 @@ impl Tuple {
                     out.extend_from_slice(&x.to_le_bytes());
                 }
             }
-            FeatureVec::Sparse { dim, indices, values } => {
+            FeatureVec::Sparse {
+                dim,
+                indices,
+                values,
+            } => {
                 out.push(TAG_SPARSE);
                 out.extend_from_slice(&dim.to_le_bytes());
                 out.extend_from_slice(&(indices.len() as u32).to_le_bytes());
@@ -317,7 +340,14 @@ impl Tuple {
                     v.push(f32::from_le_bytes(buf[off..off + 4].try_into().unwrap()));
                     off += 4;
                 }
-                Ok((Tuple { id, features: FeatureVec::Dense(v), label }, off))
+                Ok((
+                    Tuple {
+                        id,
+                        features: FeatureVec::Dense(v),
+                        label,
+                    },
+                    off,
+                ))
             }
             TAG_SPARSE => {
                 need(off + 8 * nnz)?;
@@ -332,11 +362,21 @@ impl Tuple {
                     off += 4;
                 }
                 Ok((
-                    Tuple { id, features: FeatureVec::Sparse { dim, indices, values }, label },
+                    Tuple {
+                        id,
+                        features: FeatureVec::Sparse {
+                            dim,
+                            indices,
+                            values,
+                        },
+                        label,
+                    },
                     off,
                 ))
             }
-            other => Err(StorageError::Corrupt(format!("unknown feature tag {other}"))),
+            other => Err(StorageError::Corrupt(format!(
+                "unknown feature tag {other}"
+            ))),
         }
     }
 }
@@ -373,7 +413,10 @@ mod tests {
         let mut buf = Vec::new();
         t.encode(&mut buf);
         for cut in [0, 5, 20, buf.len() - 1] {
-            assert!(Tuple::decode(&buf[..cut]).is_err(), "cut at {cut} should fail");
+            assert!(
+                Tuple::decode(&buf[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
         }
     }
 

@@ -79,9 +79,7 @@ impl Gauge {
 
 /// Upper bounds (seconds) for histogram buckets. Chosen for I/O and fill
 /// durations: sub-millisecond cache hits up to multi-minute epochs.
-pub const BUCKET_BOUNDS: [f64; 10] = [
-    0.0001, 0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0,
-];
+pub const BUCKET_BOUNDS: [f64; 10] = [0.0001, 0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0];
 
 #[derive(Debug, Default)]
 pub(crate) struct HistCore {
@@ -99,12 +97,8 @@ fn cas_f64(cell: &AtomicU64, value: f64, keep: impl Fn(f64, f64) -> bool) {
         if !keep(value, seen) {
             return;
         }
-        match cell.compare_exchange_weak(
-            cur,
-            value.to_bits(),
-            Ordering::Relaxed,
-            Ordering::Relaxed,
-        ) {
+        match cell.compare_exchange_weak(cur, value.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+        {
             Ok(_) => return,
             Err(now) => cur = now,
         }
@@ -118,10 +112,12 @@ impl HistCore {
         let mut cur = self.sum_bits.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(cur) + value).to_bits();
-            match self
-                .sum_bits
-                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
-            {
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
                 Ok(_) => break,
                 Err(seen) => cur = seen,
             }
@@ -180,7 +176,9 @@ impl Histogram {
     }
 
     pub fn count(&self) -> u64 {
-        self.0.as_ref().map_or(0, |c| c.count.load(Ordering::Relaxed))
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.count.load(Ordering::Relaxed))
     }
 
     pub fn sum(&self) -> f64 {

@@ -37,7 +37,10 @@ fn main() {
         seed: 9,
         ..Default::default()
     };
-    let kind = ModelKind::Mlp { hidden: vec![48], classes: spec.num_classes() };
+    let kind = ModelKind::Mlp {
+        hidden: vec![48],
+        classes: spec.num_classes(),
+    };
     let mut model = build_model(&kind, spec.dim(), 1);
     let mut opt = Sgd::new(0.1, 0.95);
     println!("epoch  mean_loss  test_acc");

@@ -15,7 +15,7 @@
 //! comparing the `corgipile`, `once`, `block_only` and `no` physical plans.
 
 use corgipile::data::{DatasetSpec, Order};
-use corgipile::db::{QueryResult, Session};
+use corgipile::db::{Database, QueryResult};
 use corgipile::storage::SimDevice;
 
 fn main() {
@@ -25,10 +25,13 @@ fn main() {
         .build_table(3)
         .expect("table builds");
     let cache = table.total_bytes() * 3;
-    let mut session = Session::new(SimDevice::ssd_scaled(1280.0, cache));
+    let mut session = Database::new(SimDevice::ssd_scaled(1280.0, cache)).connect();
     session.register_table("forest", table);
 
-    println!("{:<12} {:>10} {:>12} {:>12}", "strategy", "train acc", "setup", "total");
+    println!(
+        "{:<12} {:>10} {:>12} {:>12}",
+        "strategy", "train acc", "setup", "total"
+    );
     for strategy in ["corgipile", "once", "block_only", "no"] {
         let sql = format!(
             "SELECT * FROM forest TRAIN BY svm WITH learning_rate = 0.03, decay = 0.8, \
@@ -52,7 +55,10 @@ fn main() {
         .execute("SELECT * FROM forest PREDICT BY m_corgipile")
         .expect("predict runs")
     {
-        QueryResult::Predict { predictions, metric } => {
+        QueryResult::Predict {
+            predictions,
+            metric,
+        } => {
             println!(
                 "\nPREDICT BY m_corgipile → {} predictions, accuracy {:.1}%",
                 predictions.len(),

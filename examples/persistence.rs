@@ -12,10 +12,10 @@
 //! 4. train via SQL, export the model blob, reload it in a fresh session
 //!    and predict with it.
 
+use corgipile::core::ThreadedLoader;
 use corgipile::data::libsvm::{load_libsvm_table, write_libsvm_file};
 use corgipile::data::{DatasetSpec, Order};
-use corgipile::db::{QueryResult, Session, StoredModel};
-use corgipile::core::ThreadedLoader;
+use corgipile::db::{Database, QueryResult, StoredModel};
 use corgipile::storage::{load_table, save_table, FileTable, SimDevice, TableConfig};
 use std::sync::Arc;
 
@@ -37,8 +37,7 @@ fn main() {
 
     // 2. Import into a heap table.
     let cfg = TableConfig::new("criteo", 1).with_block_bytes(16 << 10);
-    let table = load_libsvm_table(&libsvm_path, cfg, Some(100_000), 0.5)
-        .expect("import libsvm");
+    let table = load_libsvm_table(&libsvm_path, cfg, Some(100_000), 0.5).expect("import libsvm");
     println!(
         "imported: {} tuples in {} blocks of ~{:.0} tuples",
         table.num_tuples(),
@@ -67,7 +66,7 @@ fn main() {
     );
 
     // 4. Train in a session, export the model, reload elsewhere.
-    let mut session = Session::new(SimDevice::ssd_scaled(640.0, 64 << 20));
+    let mut session = Database::new(SimDevice::ssd_scaled(640.0, 64 << 20)).connect();
     session.register_table("criteo", reloaded.clone());
     let summary = match session
         .execute(
@@ -95,11 +94,14 @@ fn main() {
         .expect("save model");
 
     // A brand-new session, as a different process would see it.
-    let mut fresh = Session::new(SimDevice::ssd_scaled(640.0, 64 << 20));
+    let mut fresh = Database::new(SimDevice::ssd_scaled(640.0, 64 << 20)).connect();
     fresh.register_table("criteo", reloaded);
     let restored = StoredModel::load(&model_path).expect("load model");
-    fresh.catalog_mut().store_model("clicks", restored);
-    match fresh.execute("SELECT * FROM criteo PREDICT BY clicks").expect("predict") {
+    fresh.catalog().store_model("clicks", restored);
+    match fresh
+        .execute("SELECT * FROM criteo PREDICT BY clicks")
+        .expect("predict")
+    {
         QueryResult::Predict { metric, .. } => {
             println!(
                 "model blob round-trip OK: fresh session predicts at {:.1}%",

@@ -42,7 +42,10 @@ fn main() {
     ] {
         let cfg = TrainerConfig::new(ModelKind::Svm, 8)
             .with_strategy(strategy)
-            .with_optimizer(OptimizerKind::Sgd { lr0: 0.03, decay: 0.8 })
+            .with_optimizer(OptimizerKind::Sgd {
+                lr0: 0.03,
+                decay: 0.8,
+            })
             .with_corgipile(CorgiPileConfig::default().with_buffer_fraction(0.1));
         // Simulated HDD with the paper-preserving seek/transfer ratio.
         let mut dev = SimDevice::hdd_scaled(1280.0, table.total_bytes() * 3);

@@ -18,7 +18,11 @@ use corgipile::storage::SimDevice;
 fn main() {
     let spec = DatasetSpec::new(
         "toy",
-        DataKind::DenseBinary { dim: 90, separation: 1.0, noise_rank: 0 },
+        DataKind::DenseBinary {
+            dim: 90,
+            separation: 1.0,
+            noise_rank: 0,
+        },
         1_000,
     )
     .with_order(Order::ClusteredByLabel)
@@ -54,8 +58,7 @@ fn main() {
                 } else if w.negative == 0 {
                     '+'
                 } else {
-                    char::from_digit(((w.positive * 9) / total).clamp(1, 9) as u32, 10)
-                        .unwrap()
+                    char::from_digit(((w.positive * 9) / total).clamp(1, 9) as u32, 10).unwrap()
                 }
             })
             .collect();

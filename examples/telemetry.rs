@@ -13,7 +13,7 @@
 //! text.
 
 use corgipile::data::{DatasetSpec, Order};
-use corgipile::db::{QueryResult, Session};
+use corgipile::db::{Database, QueryResult};
 use corgipile::storage::SimDevice;
 
 fn main() {
@@ -23,7 +23,7 @@ fn main() {
         .build_table(5)
         .expect("table builds");
     let cache = table.total_bytes() * 3;
-    let mut session = Session::new(SimDevice::ssd_scaled(1280.0, cache));
+    let mut session = Database::new(SimDevice::ssd_scaled(1280.0, cache)).connect();
     session.register_table("susy", table);
 
     // 1. EXPLAIN ANALYZE: run the training query and annotate every plan
@@ -68,7 +68,11 @@ fn main() {
 
     // Per-epoch events drive Figure-7-style I/O traces.
     println!("\n=== per-epoch events ===");
-    for ev in telemetry.events().iter().filter(|e| e.name == "db.epoch.io_seconds") {
+    for ev in telemetry
+        .events()
+        .iter()
+        .filter(|e| e.name == "db.epoch.io_seconds")
+    {
         println!("epoch {}: io = {:.4}s", ev.epoch, ev.value);
     }
 }

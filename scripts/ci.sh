@@ -18,11 +18,23 @@ cargo fmt --check
 banner "Clippy"
 cargo clippy --workspace -- -D warnings
 
+banner "Docs (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+banner "Concurrency stress (N sessions over one engine, bit-identical)"
+cargo test --release --test concurrent_sessions
+
 banner "Pipeline bench (smoke scale)"
 # Completes-and-emits-valid-JSON check only — no performance gating in CI.
 CORGI_PIPELINE_TUPLES=1500 CORGI_PIPELINE_EPOCHS=2 \
-  cargo run --release --bin corgi-bench -- pipeline
+  cargo run --release -p corgipile-bench --bin corgi-bench -- pipeline
 python3 -c "import json; json.load(open('BENCH_pipeline.json'))" \
   || { echo "BENCH_pipeline.json is not valid JSON"; exit 1; }
+
+banner "Concurrency bench (smoke scale)"
+CORGI_CONCURRENCY_TUPLES=2000 CORGI_CONCURRENCY_EPOCHS=1 \
+  cargo run --release -p corgipile-bench --bin corgi-bench -- concurrency
+python3 -c "import json; json.load(open('BENCH_concurrency.json'))" \
+  || { echo "BENCH_concurrency.json is not valid JSON"; exit 1; }
 
 banner "CI gate passed"

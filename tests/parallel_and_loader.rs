@@ -21,7 +21,10 @@ fn clustered_cifar() -> (Table, Vec<corgipile::storage::Tuple>) {
 #[test]
 fn multi_worker_matches_single_process_accuracy() {
     let (table, test) = clustered_cifar();
-    let kind = ModelKind::Mlp { hidden: vec![32], classes: 10 };
+    let kind = ModelKind::Mlp {
+        hidden: vec![32],
+        classes: 10,
+    };
 
     // Single-process CorgiPile, batch 128.
     let cfg = TrainerConfig::new(kind.clone(), 6)
@@ -75,7 +78,9 @@ fn multi_worker_order_is_statistically_equivalent_to_single() {
 
     let mut dataset = CorgiPileDataset::new(
         table.clone(),
-        CorgiPileConfig::default().with_buffer_fraction(0.2).with_seed(5),
+        CorgiPileConfig::default()
+            .with_buffer_fraction(0.2)
+            .with_seed(5),
     );
     let mut dev = SimDevice::in_memory();
     let sp: Vec<_> = dataset.epoch_iter(&mut dev).collect();
@@ -84,11 +89,17 @@ fn multi_worker_order_is_statistically_equivalent_to_single() {
 
     let d_multi = order_displacement(&ids);
     let d_single = order_displacement(&sp_ids);
-    assert!((d_multi - d_single).abs() < 0.08, "{d_multi:.3} vs {d_single:.3}");
+    assert!(
+        (d_multi - d_single).abs() < 0.08,
+        "{d_multi:.3} vs {d_single:.3}"
+    );
     // Label windows within 2x of each other's (small) nonuniformity.
     let u_multi = label_uniformity_score(&labels, 100);
     let u_single = label_uniformity_score(&sp_labels, 100);
-    assert!(u_multi < 0.15 && u_single < 0.15, "{u_multi:.4} / {u_single:.4}");
+    assert!(
+        u_multi < 0.15 && u_single < 0.15,
+        "{u_multi:.4} / {u_single:.4}"
+    );
 }
 
 #[test]
@@ -104,7 +115,10 @@ fn threaded_loader_stream_equals_strategy_coverage() {
 #[test]
 fn training_from_threaded_loader_learns() {
     let (table, test) = clustered_cifar();
-    let kind = ModelKind::Mlp { hidden: vec![32], classes: 10 };
+    let kind = ModelKind::Mlp {
+        hidden: vec![32],
+        classes: 10,
+    };
     let mut model = build_model(&kind, 128, 1);
     let mut opt = Sgd::new(0.1, 0.95);
     for epoch in 0..6 {

@@ -4,7 +4,7 @@
 
 use corgipile::data::libsvm::{load_libsvm_table, write_libsvm_file};
 use corgipile::data::{DatasetSpec, Order};
-use corgipile::db::{QueryResult, Session, StoredModel};
+use corgipile::db::{Database, QueryResult, StoredModel};
 use corgipile::ml::accuracy;
 use corgipile::storage::{load_table, save_table, FileTable, SimDevice, TableConfig};
 use std::sync::Arc;
@@ -52,7 +52,7 @@ fn full_persistence_pipeline() {
     }
 
     // Train via SQL over the reloaded table with a buffer pool.
-    let mut s = Session::new(SimDevice::hdd_scaled(1280.0, 0));
+    let mut s = Database::new(SimDevice::hdd_scaled(1280.0, 0)).connect();
     s.register_table("susy", reloaded);
     let summary = match s
         .execute(
@@ -64,7 +64,11 @@ fn full_persistence_pipeline() {
         QueryResult::Train(t) => t,
         _ => panic!("expected train result"),
     };
-    assert!(summary.final_train_metric > 0.7, "acc {}", summary.final_train_metric);
+    assert!(
+        summary.final_train_metric > 0.7,
+        "acc {}",
+        summary.final_train_metric
+    );
     // Warm epochs are pool-served: their loading cost collapses.
     let cold = summary.epochs[0].io_seconds;
     let warm = summary.epochs[2].io_seconds;

@@ -1,7 +1,7 @@
 //! Integration: the SQL surface over the Volcano executor, end to end.
 
 use corgipile::data::{DatasetSpec, Order};
-use corgipile::db::{DbError, QueryResult, Session};
+use corgipile::db::{Database, DbError, QueryResult, Session};
 use corgipile::storage::SimDevice;
 
 fn session() -> Session {
@@ -11,7 +11,7 @@ fn session() -> Session {
         .build_table(1)
         .unwrap();
     let cache = table.total_bytes() * 3;
-    let mut s = Session::new(SimDevice::ssd_scaled(1280.0, cache));
+    let s = Database::new(SimDevice::ssd_scaled(1280.0, cache)).connect();
     s.register_table("susy", table);
     s
 }
@@ -44,7 +44,10 @@ fn paper_query_template_works_end_to_end() {
 
     // Inference against the stored model.
     match s.execute("SELECT * FROM susy PREDICT BY susy_svm").unwrap() {
-        QueryResult::Predict { predictions, metric } => {
+        QueryResult::Predict {
+            predictions,
+            metric,
+        } => {
             assert_eq!(predictions.len(), 8_000);
             assert!(metric > 0.70);
         }
@@ -77,17 +80,15 @@ fn sql_strategies_reproduce_the_accuracy_ordering() {
 #[test]
 fn once_pays_setup_corgipile_does_not() {
     let mut s = session();
-    let total = |strategy: &str, s: &mut Session| {
-        match s
-            .execute(&format!(
-                "SELECT * FROM susy TRAIN BY svm WITH max_epoch_num = 3, \
+    let total = |strategy: &str, s: &mut Session| match s
+        .execute(&format!(
+            "SELECT * FROM susy TRAIN BY svm WITH max_epoch_num = 3, \
                  strategy = '{strategy}', model_name = t_{strategy}"
-            ))
-            .unwrap()
-        {
-            QueryResult::Train(t) => (t.setup_seconds, t.total_seconds()),
-            _ => unreachable!(),
-        }
+        ))
+        .unwrap()
+    {
+        QueryResult::Train(t) => (t.setup_seconds, t.total_seconds()),
+        _ => unreachable!(),
     };
     let (corgi_setup, corgi_total) = total("corgipile", &mut s);
     let (once_setup, once_total) = total("once", &mut s);
@@ -123,7 +124,10 @@ fn explain_analyze_reports_per_operator_actuals() {
     assert!(text.contains("cache_hit_rate="), "scan actuals: {text}");
     assert!(text.contains("retries=0"), "retry actuals: {text}");
     // I/O summary and training summary lines.
-    assert!(lines.iter().any(|l| l.starts_with("I/O:")), "io line: {text}");
+    assert!(
+        lines.iter().any(|l| l.starts_with("I/O:")),
+        "io line: {text}"
+    );
     assert!(
         lines.iter().any(|l| l.starts_with("Training: epochs=3")),
         "training line: {text}"
@@ -148,9 +152,18 @@ fn show_stats_exposes_telemetry_counters() {
         _ => panic!("expected stats output"),
     };
     let text = lines.join("\n");
-    assert!(text.contains("counter storage.device."), "device counters: {text}");
-    assert!(text.contains("counter db.sgd.gradient_steps"), "sgd counter: {text}");
-    assert!(text.contains("histogram db.tuple_shuffle.fill"), "fill spans: {text}");
+    assert!(
+        text.contains("counter storage.device."),
+        "device counters: {text}"
+    );
+    assert!(
+        text.contains("counter db.sgd.gradient_steps"),
+        "sgd counter: {text}"
+    );
+    assert!(
+        text.contains("histogram db.tuple_shuffle.fill"),
+        "fill spans: {text}"
+    );
     assert!(text.contains("events "), "event summary: {text}");
 }
 
@@ -161,7 +174,10 @@ fn sql_errors_surface_cleanly() {
         s.execute("SELECT * FROM missing TRAIN BY svm"),
         Err(DbError::UnknownTable(_))
     ));
-    assert!(matches!(s.execute("DROP TABLE susy"), Err(DbError::Parse(_))));
+    assert!(matches!(
+        s.execute("DROP TABLE susy"),
+        Err(DbError::Parse(_))
+    ));
     assert!(matches!(
         s.execute("SELECT * FROM susy TRAIN BY svm WITH learning_rate = fast"),
         Err(DbError::BadParam(_))
@@ -174,7 +190,7 @@ fn regression_model_via_sql_reports_r2() {
         .with_block_bytes(8 << 10)
         .build_table(2)
         .unwrap();
-    let mut s = Session::new(SimDevice::ssd_scaled(1280.0, table.total_bytes() * 3));
+    let mut s = Database::new(SimDevice::ssd_scaled(1280.0, table.total_bytes() * 3)).connect();
     s.register_table("songs", table);
     let r = s
         .execute(

@@ -83,16 +83,26 @@ fn sample_n_mode_convergence_improves_with_buffer_like_the_bound() {
     let run = |frac: f64, epochs: usize| {
         let cfg = TrainerConfig::new(ModelKind::LogisticRegression, epochs)
             .with_strategy(StrategyKind::CorgiPile)
-            .with_optimizer(OptimizerKind::Sgd { lr0: 0.02, decay: 1.0 })
+            .with_optimizer(OptimizerKind::Sgd {
+                lr0: 0.02,
+                decay: 1.0,
+            })
             .with_corgipile(
                 CorgiPileConfig::default()
                     .with_buffer_fraction(frac)
                     .with_sample_mode(BlockSampleMode::SampleN),
             );
         let mut dev = SimDevice::in_memory();
-        let r = Trainer::new(cfg).train_with_test(&table, &ds.test, &mut dev, 9).unwrap();
-        let vals: Vec<f64> =
-            r.epochs.iter().rev().take(3).filter_map(|e| e.test_metric).collect();
+        let r = Trainer::new(cfg)
+            .train_with_test(&table, &ds.test, &mut dev, 9)
+            .unwrap();
+        let vals: Vec<f64> = r
+            .epochs
+            .iter()
+            .rev()
+            .take(3)
+            .filter_map(|e| e.test_metric)
+            .collect();
         vals.iter().sum::<f64>() / vals.len() as f64
     };
     // Equal tuple budget: 40 epochs × 2% == 8 epochs × 10%. With a constant
@@ -118,12 +128,22 @@ fn full_buffer_degenerates_to_full_shuffle() {
     let run = |strategy: StrategyKind, frac: f64| {
         let cfg = TrainerConfig::new(ModelKind::LogisticRegression, 5)
             .with_strategy(strategy)
-            .with_optimizer(OptimizerKind::Sgd { lr0: 0.03, decay: 0.8 })
+            .with_optimizer(OptimizerKind::Sgd {
+                lr0: 0.03,
+                decay: 0.8,
+            })
             .with_corgipile(CorgiPileConfig::default().with_buffer_fraction(frac));
         let mut dev = SimDevice::in_memory();
-        let r = Trainer::new(cfg).train_with_test(&table, &ds.test, &mut dev, 11).unwrap();
-        let vals: Vec<f64> =
-            r.epochs.iter().rev().take(3).filter_map(|e| e.test_metric).collect();
+        let r = Trainer::new(cfg)
+            .train_with_test(&table, &ds.test, &mut dev, 11)
+            .unwrap();
+        let vals: Vec<f64> = r
+            .epochs
+            .iter()
+            .rev()
+            .take(3)
+            .filter_map(|e| e.test_metric)
+            .collect();
         vals.iter().sum::<f64>() / vals.len() as f64
     };
     let so = run(StrategyKind::ShuffleOnce, 1.0);

@@ -1,0 +1,390 @@
+//! Hermetic vendored subset of the `crossbeam` 0.8 API.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the slice of crossbeam it uses: [`thread::scope`] (bridged onto
+//! `std::thread::scope`, which has been stable since Rust 1.63),
+//! [`channel::bounded`] (bridged onto `std::sync::mpsc::sync_channel`),
+//! and [`deque`] (a mutex-based implementation of the `Injector` /
+//! `Worker` / `Stealer` work-stealing interface).
+//!
+//! The deques favour simplicity over lock-freedom: every queue is a
+//! `Mutex<VecDeque>`. For this workspace's workloads — task granularity of
+//! whole storage blocks or gradient chunks — queue transfer cost is noise
+//! next to the work items themselves.
+
+/// Scoped threads with the crossbeam calling convention (the closure and
+/// each spawn receive a `&Scope` handle usable for nested spawns).
+pub mod thread {
+    /// Result alias matching `std::thread::Result`.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope handle; spawned threads may borrow from the enclosing
+    /// stack frame and are all joined before `scope` returns.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives the scope
+        /// handle again so it can spawn nested threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish; `Err` if it panicked.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing threads can be spawned; all
+    /// threads are joined before this returns. A panic in an unjoined
+    /// spawned thread propagates as a panic (the crossbeam version returns
+    /// it as `Err`; every caller in this workspace unwraps immediately, so
+    /// the observable behaviour is identical).
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+/// Bounded multi-producer channels.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half of a bounded channel.
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender { inner: self.inner.clone() }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Block until the value is accepted; `Err` when disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Block for the next value; `Err` when empty and disconnected.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Blocking iterator draining the channel until disconnect.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.inner.iter()
+        }
+    }
+
+    /// The channel is disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Why a non-blocking receive returned nothing.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No value ready.
+        Empty,
+        /// All senders dropped.
+        Disconnected,
+    }
+
+    /// The receiver was dropped; the unsent value is returned.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// A channel holding at most `cap` in-flight values (`cap == 0` is a
+    /// rendezvous channel).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}
+
+/// Work-stealing deques: one [`deque::Worker`] per executor thread, a
+/// global [`deque::Injector`] for submission, and cloneable
+/// [`deque::Stealer`]s for idle threads to take work from the back of
+/// other workers' queues.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex, MutexGuard};
+
+    fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+        m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// A task was stolen.
+        Success(T),
+        /// The attempt lost a race and should be retried. (The mutex-based
+        /// queues never race, but callers written against the lock-free
+        /// interface loop on this variant, so it is kept.)
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// Whether the attempt should be retried.
+        pub fn is_retry(&self) -> bool {
+            matches!(self, Steal::Retry)
+        }
+
+        /// The stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    /// A worker-owned queue; the owner pushes and pops the front, stealers
+    /// take from the back.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// A FIFO worker queue (tasks pop in push order).
+        pub fn new_fifo() -> Self {
+            Worker { queue: Arc::new(Mutex::new(VecDeque::new())) }
+        }
+
+        /// Push a task onto the owner's end.
+        pub fn push(&self, task: T) {
+            lock(&self.queue).push_back(task);
+        }
+
+        /// Pop the next task from the owner's end.
+        pub fn pop(&self) -> Option<T> {
+            lock(&self.queue).pop_front()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+
+        /// A handle other threads can steal through.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer { queue: self.queue.clone() }
+        }
+    }
+
+    /// A handle for stealing from another thread's [`Worker`].
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer { queue: self.queue.clone() }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steal one task from the victim's back end.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.queue).pop_back() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    /// A global FIFO submission queue shared by all executor threads.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// An empty injector.
+        pub fn new() -> Self {
+            Injector { queue: Mutex::new(VecDeque::new()) }
+        }
+
+        /// Submit a task.
+        pub fn push(&self, task: T) {
+            lock(&self.queue).push_back(task);
+        }
+
+        /// Take one task.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.queue).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Move a batch of tasks into `dest` and return one of them.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut q = lock(&self.queue);
+            match q.pop_front() {
+                None => Steal::Empty,
+                Some(first) => {
+                    // Migrate up to half of the backlog, like the lock-free
+                    // original, so subsequent pops stay local.
+                    let batch = q.len() / 2;
+                    let mut dq = lock(&dest.queue);
+                    for _ in 0..batch {
+                        match q.pop_front() {
+                            Some(t) => dq.push_back(t),
+                            None => break,
+                        }
+                    }
+                    Steal::Success(first)
+                }
+            }
+        }
+
+        /// Whether the injector is currently empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn worker_fifo_and_stealer_lifo_ends() {
+            let w = Worker::new_fifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert_eq!(s.steal(), Steal::Success(3), "stealers take the back");
+            assert_eq!(w.pop(), Some(1), "owner pops the front");
+            assert_eq!(w.pop(), Some(2));
+            assert_eq!(w.pop(), None);
+            assert_eq!(s.steal(), Steal::Empty);
+        }
+
+        #[test]
+        fn injector_batch_migrates_work() {
+            let inj = Injector::new();
+            let w = Worker::new_fifo();
+            for i in 0..10 {
+                inj.push(i);
+            }
+            assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+            assert!(!w.is_empty(), "a batch must land in the worker");
+            let mut seen = vec![0];
+            while let Some(t) = w.pop() {
+                seen.push(t);
+            }
+            while let Steal::Success(t) = inj.steal() {
+                seen.push(t);
+            }
+            seen.sort_unstable();
+            assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn concurrent_stealing_loses_nothing() {
+            let inj = std::sync::Arc::new(Injector::new());
+            let n = 10_000u64;
+            for i in 0..n {
+                inj.push(i);
+            }
+            let total: u64 = std::thread::scope(|sc| {
+                (0..4)
+                    .map(|_| {
+                        let inj = inj.clone();
+                        sc.spawn(move || {
+                            let w = Worker::new_fifo();
+                            let mut sum = 0u64;
+                            loop {
+                                match inj.steal_batch_and_pop(&w) {
+                                    Steal::Success(t) => sum += t,
+                                    Steal::Empty => break,
+                                    Steal::Retry => continue,
+                                }
+                                while let Some(t) = w.pop() {
+                                    sum += t;
+                                }
+                            }
+                            sum
+                        })
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .sum()
+            });
+            assert_eq!(total, n * (n - 1) / 2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let sum: u64 = crate::thread::scope(|scope| {
+            let handles: Vec<_> =
+                (0..data.len()).map(|i| scope.spawn(move |_| data[i] * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(sum, 100);
+    }
+
+    #[test]
+    fn bounded_channel_roundtrip_and_disconnect() {
+        let (tx, rx) = crate::channel::bounded::<u32>(1);
+        let h = std::thread::spawn(move || {
+            for i in 0..5 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<u32> = (0..5).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        h.join().unwrap();
+        assert!(rx.recv().is_err(), "disconnect after sender drops");
+    }
+}

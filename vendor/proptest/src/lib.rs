@@ -1,0 +1,469 @@
+//! Hermetic vendored subset of the `proptest` API.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the slice of proptest it uses: the [`proptest!`] macro over named
+//! `pattern in strategy` arguments, range / [`Just`] / [`prop_oneof!`] /
+//! [`collection::vec`] / tuple strategies, `any::<T>()` for primitives,
+//! and `ProptestConfig::with_cases`.
+//!
+//! Differences from the real crate, deliberate for a hermetic test
+//! dependency:
+//!
+//! * **No shrinking.** A failing case reports the seed and inputs via the
+//!   panic message (every strategy here is `Debug`-printable through the
+//!   generated binding names) but is not minimized.
+//! * **Deterministic seeding.** Case `i` of test `f` derives its RNG seed
+//!   from `(name_hash(f), i)`, so failures reproduce exactly and CI runs
+//!   are stable — there is no `PROPTEST_` environment handling.
+//! * `prop_assert!` / `prop_assert_eq!` panic immediately (they are the
+//!   std asserts), rather than returning `TestCaseError`.
+
+pub mod test_runner {
+    /// Per-test configuration; only `cases` is interpreted.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of sampled cases to run.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` sampled cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // The real crate's default; the workspace's proptests either
+            // accept it or override with `with_cases`.
+            Config { cases: 256 }
+        }
+    }
+}
+
+pub mod rng {
+    /// The deterministic generator behind every strategy sample:
+    /// xoshiro256++ seeded via SplitMix64 from `(test-name hash, case)`.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Generator for one (test, case) pair.
+        pub fn for_case(name_hash: u64, case: u64) -> Self {
+            let mut sm = name_hash ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            TestRng { s: [next(), next(), next(), next()] }
+        }
+
+        /// Next 64 random bits (xoshiro256++).
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform draw from `[0, span)`; `span == 0` means the full
+        /// `u64` domain.
+        pub fn below(&mut self, span: u64) -> u64 {
+            if span == 0 {
+                self.next_u64()
+            } else {
+                ((self.next_u64() as u128 * span as u128) >> 64) as u64
+            }
+        }
+
+        /// Uniform draw from `[0, 1)` with 53 bits of precision.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// FNV-1a of a test name, for per-test seed separation.
+    pub fn name_hash(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+}
+
+pub mod strategy {
+    use crate::rng::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for sampling values of one type.
+    pub trait Strategy {
+        /// The type of the sampled values.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// A strategy producing one fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let v = self.start
+                        + (self.end - self.start) * rng.unit_f64() as $t;
+                    if v < self.end { v } else { self.start }
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    lo + (hi - lo) * rng.unit_f64() as $t
+                }
+            }
+        )*};
+    }
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($n:ident),+)),+ $(,)?) => {$(
+            #[allow(non_snake_case)]
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($n,)+) = self;
+                    ($($n.sample(rng),)+)
+                }
+            }
+        )+};
+    }
+    tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
+    /// A uniform choice among boxed strategies of one value type (what
+    /// [`crate::prop_oneof!`] builds).
+    pub struct Union<T> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over the given arms (must be non-empty).
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].sample(rng)
+        }
+    }
+
+    /// Erase a strategy's concrete type (used by [`crate::prop_oneof!`]
+    /// so arm types unify through the vector element type).
+    pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
+    }
+}
+
+pub mod arbitrary {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw one value from the full domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Finite values only, spread over a wide dynamic range.
+            (rng.unit_f64() - 0.5) * 2e12
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            ((rng.unit_f64() - 0.5) * 2e6) as f32
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive-exclusive length range for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec length range");
+            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    /// Strategy for vectors of element samples (built by [`vec`]).
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Vectors whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+/// Everything a `proptest!` test needs in scope.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Immediate-panic form of proptest's `prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Immediate-panic form of proptest's `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Immediate-panic form of proptest's `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// A uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {{
+        let mut arms = Vec::new();
+        $(arms.push($crate::strategy::boxed($arm));)+
+        $crate::strategy::Union::new(arms)
+    }};
+}
+
+/// Define `#[test]` functions whose arguments are sampled from
+/// strategies. Each function runs `config.cases` deterministic cases; a
+/// failure panics with the offending case index in the standard panic
+/// location info.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand ($cfg) $($rest)*);
+    };
+    (@expand ($cfg:expr)) => {};
+    (@expand ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let name_hash = $crate::rng::name_hash(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases as u64 {
+                let mut proptest_rng = $crate::rng::TestRng::for_case(name_hash, case);
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut proptest_rng);)+
+                $body
+            }
+        }
+        $crate::proptest!(@expand ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@expand ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::rng::TestRng;
+
+    #[test]
+    fn strategies_sample_in_bounds() {
+        let mut rng = TestRng::for_case(1, 0);
+        for _ in 0..1000 {
+            let a = (3usize..9).sample(&mut rng);
+            assert!((3..9).contains(&a));
+            let b = (0.5f64..2.0).sample(&mut rng);
+            assert!((0.5..2.0).contains(&b));
+            let c = Just(41i32).sample(&mut rng);
+            assert_eq!(c, 41);
+            let (x, y) = ((0u64..8), (1usize..4)).sample(&mut rng);
+            assert!(x < 8 && (1..4).contains(&y));
+            let v = crate::collection::vec(-1.0f32..1.0, 2..5).sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|e| (-1.0..1.0).contains(e)));
+            let u = prop_oneof![Just(1usize), Just(32), Just(100)].sample(&mut rng);
+            assert!([1, 32, 100].contains(&u));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_name() {
+        let draw = |case| {
+            let mut rng = TestRng::for_case(crate::rng::name_hash("x"), case);
+            (0u64..1_000_000).sample(&mut rng)
+        };
+        assert_eq!(draw(3), draw(3));
+        assert_ne!(draw(3), draw(4));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro wires config, metas, and multi-arg sampling.
+        #[test]
+        fn macro_generates_running_tests(
+            n in 1usize..50,
+            scale in prop_oneof![Just(1.0f64), Just(2.0)],
+            seed in any::<u64>(),
+        ) {
+            prop_assert!(n >= 1 && n < 50);
+            prop_assert!(scale == 1.0 || scale == 2.0);
+            let _ = seed;
+            prop_assert_eq!(n + 1, 1 + n);
+            prop_assert_ne!(n, n + 1);
+        }
+    }
+}
