@@ -31,7 +31,7 @@ fn run_epoch(table: &Arc<Table>, plan: &str, double: bool) -> f64 {
                 ScanMode::RandomBlocks,
                 1,
             )),
-            800,
+            table.num_blocks().div_ceil(10).max(1),
             StrategyParams::default(),
         )),
     };

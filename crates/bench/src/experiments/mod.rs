@@ -11,6 +11,7 @@ pub mod indb;
 pub mod io;
 pub mod order_diag;
 pub mod pipeline;
+pub mod pushdown;
 pub mod tables;
 
 use crate::common::ExpData;
@@ -58,6 +59,7 @@ pub fn registry() -> Vec<Experiment> {
         Experiment { id: "ablation", what: "extension: block-level vs tuple-level shuffle contribution", run: ablation::ablation },
         Experiment { id: "theory", what: "extension: Theorem 1 bound vs measured convergence", run: ablation::theory },
         Experiment { id: "concurrency", what: "extension: work-stealing train_parallel vs fixed interleaver (wall time) + cross-session shared buffers", run: concurrency::concurrency },
+        Experiment { id: "pushdown", what: "extension: WHERE pushdown below TupleShuffle vs post-buffer filtering (buffered tuples, I/O, bit identity)", run: pushdown::pushdown },
     ]
 }
 

@@ -20,6 +20,9 @@ pub enum DbError {
     UnknownModelKind(String),
     /// Unknown strategy name.
     UnknownStrategy(String),
+    /// Unknown or out-of-range column in a projection or predicate
+    /// (detected at parse or logical-planning time, never at execution).
+    UnknownColumn(String),
     /// Parameter error (bad name, type or value).
     BadParam(String),
     /// Checkpoint/resume failure (mismatched seed, shape, or optimizer).
@@ -36,6 +39,7 @@ impl fmt::Display for DbError {
             DbError::UnknownModel(m) => write!(f, "unknown model: {m}"),
             DbError::UnknownModelKind(m) => write!(f, "unknown model kind: {m}"),
             DbError::UnknownStrategy(s) => write!(f, "unknown strategy: {s}"),
+            DbError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
             DbError::BadParam(m) => write!(f, "bad parameter: {m}"),
             DbError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
             DbError::Storage(e) => write!(f, "storage error: {e}"),

@@ -21,6 +21,7 @@
 //!   inner plan) to reshuffle and re-read for the next epoch.
 
 use crate::error::DbError;
+use crate::sql::Predicate;
 use corgipile_data::rng::shuffle_in_place;
 use corgipile_ml::{
     train_minibatch, ComputeCostModel, Model, Optimizer, TrainCheckpoint, TrainOptions,
@@ -31,7 +32,7 @@ use corgipile_storage::{
     PoolHandle, RetryPolicy, SimDevice, Table, Telemetry, Tuple, TupleRef,
 };
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -135,6 +136,13 @@ pub struct OpStats {
     /// overlapping loading with compute (SGD root only; 0 when the plan ran
     /// without double buffering or there was nothing to overlap).
     pub overlap_ratio: f64,
+    /// Tuples dropped by this operator's predicate (PostgreSQL's
+    /// "Rows Removed by Filter").
+    pub rows_filtered: u64,
+    /// Rendered predicate evaluated at this node, if any.
+    pub predicate: Option<String>,
+    /// Rendered projection applied at this node, if any.
+    pub projection: Option<String>,
 }
 
 impl OpStats {
@@ -184,6 +192,57 @@ impl OpStats {
         line.push(')');
         line
     }
+
+    /// The node line plus PostgreSQL-style sub-lines (`Output:`, `Filter:`,
+    /// `Rows Removed by Filter:`), indented under the node.
+    pub fn render_lines(&self) -> Vec<String> {
+        let mut lines = vec![self.render()];
+        // Sub-lines align with the node name, past the "-> " arrow.
+        let pad = " ".repeat(2 * self.depth + if self.depth > 0 { 5 } else { 2 });
+        if let Some(p) = &self.projection {
+            lines.push(format!("{pad}Output: {p}"));
+        }
+        if let Some(p) = &self.predicate {
+            lines.push(format!("{pad}Filter: ({p})"));
+            lines.push(format!(
+                "{pad}Rows Removed by Filter: {}",
+                self.rows_filtered
+            ));
+        }
+        lines
+    }
+
+    /// Fraction of evaluated tuples that passed this node's predicate
+    /// (1.0 when nothing was filtered).
+    pub fn selectivity(&self) -> f64 {
+        let seen = self.rows + self.rows_filtered;
+        if seen == 0 {
+            1.0
+        } else {
+            self.rows as f64 / seen as f64
+        }
+    }
+}
+
+/// SplitMix64 finalizer: a bijective avalanche mix on `u64`. Used to derive
+/// the per-tuple shuffle keys — distinct inputs always produce distinct
+/// keys, so a sort over them is a total order with no tie-break needed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+///// Materialize the projection of one tuple: a fresh dense tuple over the
+/// selected feature columns (constructed, not cloned, so the zero-clone
+/// accounting of the fill path is preserved).
+pub(crate) fn project_tuple(t: &Tuple, cols: &[usize]) -> Tuple {
+    Tuple::dense(
+        t.id,
+        cols.iter().map(|&i| t.features.get(i)).collect(),
+        t.label,
+    )
 }
 
 /// A pull-based physical operator.
@@ -219,6 +278,15 @@ pub trait PhysicalOperator: Send {
         }
         Ok(if batch.is_empty() { None } else { Some(batch) })
     }
+    /// Produce the surviving tuples of the next *source block*, or `None`
+    /// when the scan is exhausted. Unlike [`PhysicalOperator::next_batch`],
+    /// a fully filtered (or dead, skipped) block yields `Some(vec![])`, so
+    /// a buffering parent counting blocks sees identical fill boundaries
+    /// whether a predicate ran below it or not — the invariant behind
+    /// bit-identical pushdown. Default: one `next_batch` per call.
+    fn next_block(&mut self, ctx: &mut ExecContext) -> Result<Option<Vec<TupleRef>>, DbError> {
+        self.next_batch(ctx)
+    }
     /// Reset for another pass (PostgreSQL `ExecReScan*`); block orders are
     /// re-randomized.
     fn rescan(&mut self, ctx: &mut ExecContext);
@@ -241,6 +309,12 @@ pub enum ScanMode {
 }
 
 /// The `BlockShuffle` operator.
+///
+/// Optionally carries a fused predicate and projection (WHERE/SELECT
+/// pushdown): the predicate is evaluated on each decoded tuple *before* its
+/// ref enters any queue or buffer, so filtered tuples never occupy
+/// TupleShuffle capacity, and the projection materializes only surviving
+/// tuples.
 pub struct BlockShuffleOp {
     table: Arc<Table>,
     mode: ScanMode,
@@ -249,6 +323,8 @@ pub struct BlockShuffleOp {
     order: Vec<usize>,
     next_block: usize,
     queue: VecDeque<TupleRef>,
+    predicate: Option<Predicate>,
+    projection: Option<Vec<usize>>,
     initialized: bool,
     actuals: OpStats,
 }
@@ -264,9 +340,25 @@ impl BlockShuffleOp {
             order: Vec::new(),
             next_block: 0,
             queue: VecDeque::new(),
+            predicate: None,
+            projection: None,
             initialized: false,
             actuals: OpStats::default(),
         }
+    }
+
+    /// Fuse a pushed-down predicate into the scan (evaluated zero-copy on
+    /// each decoded tuple before it is queued or buffered).
+    pub fn with_predicate(mut self, predicate: Predicate) -> Self {
+        self.predicate = Some(predicate);
+        self
+    }
+
+    /// Fuse a pushed-down projection (feature column indices) into the
+    /// scan: surviving tuples are re-materialized over the selected columns.
+    pub fn with_projection(mut self, columns: Vec<usize>) -> Self {
+        self.projection = Some(columns);
+        self
     }
 
     /// The underlying table.
@@ -326,7 +418,37 @@ impl BlockShuffleOp {
                 let fill = ctx.dev.stats().io_seconds - io_before;
                 ctx.fill_io.push(fill);
                 self.actuals.io_seconds += fill;
-                self.queue.extend(block_refs(&tuples));
+                match (&self.predicate, &self.projection) {
+                    (None, None) => self.queue.extend(block_refs(&tuples)),
+                    (pred, Some(cols)) => {
+                        // Projection (optionally after the predicate):
+                        // materialize surviving tuples over the selected
+                        // columns as one fresh Arc-shared block.
+                        let mut out = Vec::new();
+                        for t in tuples.iter() {
+                            if pred.as_ref().is_none_or(|p| p.matches(t)) {
+                                out.push(project_tuple(t, cols));
+                            } else {
+                                self.actuals.rows_filtered += 1;
+                            }
+                        }
+                        if !out.is_empty() {
+                            self.queue.extend(block_refs(&Arc::new(out)));
+                        }
+                    }
+                    (Some(pred), None) => {
+                        // Zero-copy fast path: evaluate the predicate on the
+                        // Arc-shared ref before it enters any buffer; dropped
+                        // tuples cost no clone and no buffer slot.
+                        for r in block_refs(&tuples) {
+                            if pred.matches(&r) {
+                                self.queue.push_back(r);
+                            } else {
+                                self.actuals.rows_filtered += 1;
+                            }
+                        }
+                    }
+                }
             }
             Err(e) if ctx.on_fault == FaultAction::SkipBlock && e.is_retryable() => {
                 // Dead block after exhausted retries: degrade by moving
@@ -388,6 +510,19 @@ impl PhysicalOperator for BlockShuffleOp {
         }
     }
 
+    fn next_block(&mut self, ctx: &mut ExecContext) -> Result<Option<Vec<TupleRef>>, DbError> {
+        debug_assert!(self.initialized, "next() before init()");
+        if self.queue.is_empty() && !self.load_next_block(ctx)? {
+            return Ok(None);
+        }
+        // Unlike next_batch, an empty result after a consumed block (fully
+        // filtered, or dead and skipped) is reported as `Some(vec![])`:
+        // block-counting parents must see every source block.
+        let refs: Vec<TupleRef> = self.queue.drain(..).collect();
+        self.actuals.rows += refs.len() as u64;
+        Ok(Some(refs))
+    }
+
     fn rescan(&mut self, _ctx: &mut ExecContext) {
         self.reshuffle();
         self.actuals.loops += 1;
@@ -406,16 +541,35 @@ impl PhysicalOperator for BlockShuffleOp {
             ScanMode::RandomBlocks => self.name().to_string(),
         };
         stats.depth = depth;
+        stats.predicate = self.predicate.as_ref().map(|p| p.to_string());
+        stats.projection = self.projection.as_ref().map(|cols| {
+            let mut s = cols
+                .iter()
+                .map(|i| format!("f{i}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            s.push_str(", label");
+            s
+        });
         out.push(stats);
     }
 }
 
 /// The `TupleShuffle` operator.
+///
+/// Fill windows are counted in *source blocks* pulled via
+/// [`PhysicalOperator::next_block`] (not in buffered tuples), and the
+/// in-buffer shuffle orders tuples by a deterministic per-(seed, epoch,
+/// tuple-id) hash key. Together these make the emitted stream invariant to
+/// where a predicate runs: a pushdown plan (filter below the buffer) and a
+/// post-buffer filter see the same fill boundaries and the same surviving
+/// order, so they train bit-identical models — while the pushdown plan
+/// buffers only survivors.
 pub struct TupleShuffleOp {
     child: Box<dyn PhysicalOperator>,
-    capacity: usize,
+    capacity_blocks: usize,
     params: StrategyParams,
-    rng: StdRng,
+    epoch: u64,
     buffer: Vec<TupleRef>,
     emit: usize,
     exhausted: bool,
@@ -423,16 +577,20 @@ pub struct TupleShuffleOp {
 }
 
 impl TupleShuffleOp {
-    /// Buffer up to `capacity` tuples per fill (the paper's `n` blocks'
-    /// worth, computed by the planner from `buffer_fraction`).
-    pub fn new(child: Box<dyn PhysicalOperator>, capacity: usize, params: StrategyParams) -> Self {
-        assert!(capacity >= 1, "buffer must hold at least one tuple");
-        let seed = params.seed ^ 0x70_5F;
+    /// Buffer up to `capacity_blocks` source blocks' worth of surviving
+    /// tuples per fill (the paper's buffered-block count, computed by the
+    /// planner from `buffer_fraction`).
+    pub fn new(
+        child: Box<dyn PhysicalOperator>,
+        capacity_blocks: usize,
+        params: StrategyParams,
+    ) -> Self {
+        assert!(capacity_blocks >= 1, "buffer must hold at least one block");
         TupleShuffleOp {
             child,
-            capacity,
+            capacity_blocks,
             params,
-            rng: StdRng::seed_from_u64(seed),
+            epoch: 0,
             buffer: Vec::new(),
             emit: 0,
             exhausted: false,
@@ -440,10 +598,12 @@ impl TupleShuffleOp {
         }
     }
 
-    /// Pull one buffer's worth from the child, shuffle, and record the fill
+    /// Pull one buffer window from the child, shuffle, and record the fill
     /// cost into `ctx.fill_io`. Zero-copy: the buffer holds [`TupleRef`]s
-    /// into the child's `Arc`-shared blocks, and the Fisher–Yates pass
-    /// permutes those refs — no tuple is cloned on the fill path.
+    /// into the child's `Arc`-shared blocks, and the key sort permutes
+    /// those refs — no tuple is cloned on the fill path. A window whose
+    /// blocks were all filtered out (or skipped as dead) merges into the
+    /// next window rather than surfacing an empty fill.
     fn refill(&mut self, ctx: &mut ExecContext) -> Result<(), DbError> {
         self.buffer.clear();
         self.emit = 0;
@@ -452,26 +612,43 @@ impl TupleShuffleOp {
         let io_before = ctx.dev.stats().io_seconds;
         let mut span = ctx.telemetry.span("db.tuple_shuffle.fill");
         let mut bytes = 0usize;
-        while self.buffer.len() < self.capacity {
-            match self.child.next_ref(ctx)? {
-                Some(r) => {
-                    bytes += r.encoded_len();
-                    self.buffer.push(r);
-                }
-                None => {
-                    self.exhausted = true;
-                    break;
+        while self.buffer.is_empty() && !self.exhausted {
+            let mut blocks = 0usize;
+            while blocks < self.capacity_blocks {
+                match self.child.next_block(ctx)? {
+                    Some(refs) => {
+                        blocks += 1;
+                        for r in refs {
+                            bytes += r.encoded_len();
+                            self.buffer.push(r);
+                        }
+                    }
+                    None => {
+                        self.exhausted = true;
+                        break;
+                    }
                 }
             }
         }
-        // Buffer copy + Fisher–Yates cost (§4.1 overheads).
+        // Buffer copy + shuffle cost (§4.1 overheads), charged on what was
+        // actually buffered — pushdown plans pay only for survivors.
         ctx.dev
             .charge_seconds(self.params.buffering_cost(self.buffer.len(), bytes));
-        let rng = &mut self.rng;
-        for i in (1..self.buffer.len()).rev() {
-            let j = rng.gen_range(0..=i);
-            self.buffer.swap(i, j);
-        }
+        // Deterministic in-buffer shuffle: order by a per-(seed, epoch,
+        // tuple-id) hash key. splitmix64 is bijective, so keys are unique
+        // within an epoch and the order does not depend on buffer arrival
+        // positions — filtering below or above the buffer leaves the
+        // survivors' relative order unchanged.
+        let salt = splitmix64(
+            (self.params.seed ^ 0x70_5F).wrapping_add(self.epoch.wrapping_mul(0x9E37_79B9)),
+        );
+        let mut keyed: Vec<(u64, TupleRef)> = self
+            .buffer
+            .drain(..)
+            .map(|r| (splitmix64(salt ^ r.id), r))
+            .collect();
+        keyed.sort_unstable_by_key(|(k, _)| *k);
+        self.buffer = keyed.into_iter().map(|(_, r)| r).collect();
         ctx.fill_io.truncate(fills_base);
         if self.buffer.is_empty() {
             // End-of-stream probe, not a fill: record nothing.
@@ -495,7 +672,7 @@ impl PhysicalOperator for TupleShuffleOp {
 
     fn init(&mut self, ctx: &mut ExecContext) {
         self.child.init(ctx);
-        self.rng = StdRng::seed_from_u64(self.params.seed ^ 0x70_5F);
+        self.epoch = 0;
         self.buffer.clear();
         self.emit = 0;
         self.exhausted = false;
@@ -544,6 +721,7 @@ impl PhysicalOperator for TupleShuffleOp {
 
     fn rescan(&mut self, ctx: &mut ExecContext) {
         self.child.rescan(ctx);
+        self.epoch += 1;
         self.buffer.clear();
         self.emit = 0;
         self.exhausted = false;
@@ -559,6 +737,185 @@ impl PhysicalOperator for TupleShuffleOp {
         let mut stats = self.actuals.clone();
         stats.name = self.name().to_string();
         stats.depth = depth;
+        out.push(stats);
+        self.child.collect_stats(depth + 1, out);
+    }
+}
+
+/// The `Filter` operator: a standalone predicate node used when pushdown is
+/// disabled (`WITH pushdown = 0`) — tuples pass through the buffer first
+/// and are filtered on the way out, PostgreSQL's plain `Filter` above a
+/// materialization. The reference plan pushdown is checked against.
+pub struct FilterOp {
+    child: Box<dyn PhysicalOperator>,
+    predicate: Predicate,
+    actuals: OpStats,
+}
+
+impl FilterOp {
+    /// Filter the child's stream by `predicate`.
+    pub fn new(child: Box<dyn PhysicalOperator>, predicate: Predicate) -> Self {
+        FilterOp {
+            child,
+            predicate,
+            actuals: OpStats::default(),
+        }
+    }
+}
+
+impl PhysicalOperator for FilterOp {
+    fn name(&self) -> &'static str {
+        "Filter"
+    }
+
+    fn init(&mut self, ctx: &mut ExecContext) {
+        self.child.init(ctx);
+        self.actuals.loops += 1;
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Tuple>, DbError> {
+        Ok(self.next_ref(ctx)?.map(|r| r.tuple().clone()))
+    }
+
+    fn next_ref(&mut self, ctx: &mut ExecContext) -> Result<Option<TupleRef>, DbError> {
+        loop {
+            match self.child.next_ref(ctx)? {
+                Some(r) => {
+                    if self.predicate.matches(&r) {
+                        self.actuals.rows += 1;
+                        return Ok(Some(r));
+                    }
+                    self.actuals.rows_filtered += 1;
+                }
+                None => return Ok(None),
+            }
+        }
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecContext) -> Result<Option<Vec<TupleRef>>, DbError> {
+        // Preserve the child's batch (= fill) boundaries; a batch whose
+        // tuples are all filtered is skipped, like a fully filtered fill.
+        loop {
+            match self.child.next_batch(ctx)? {
+                Some(batch) => {
+                    let before = batch.len();
+                    let kept: Vec<TupleRef> = batch
+                        .into_iter()
+                        .filter(|r| self.predicate.matches(r))
+                        .collect();
+                    self.actuals.rows_filtered += (before - kept.len()) as u64;
+                    if !kept.is_empty() {
+                        self.actuals.rows += kept.len() as u64;
+                        return Ok(Some(kept));
+                    }
+                }
+                None => return Ok(None),
+            }
+        }
+    }
+
+    fn rescan(&mut self, ctx: &mut ExecContext) {
+        self.child.rescan(ctx);
+        self.actuals.loops += 1;
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext) {
+        self.child.close(ctx);
+    }
+
+    fn collect_stats(&self, depth: usize, out: &mut Vec<OpStats>) {
+        let mut stats = self.actuals.clone();
+        stats.name = self.name().to_string();
+        stats.depth = depth;
+        stats.predicate = Some(self.predicate.to_string());
+        out.push(stats);
+        self.child.collect_stats(depth + 1, out);
+    }
+}
+
+/// The `Project` operator: a standalone projection node used when pushdown
+/// is disabled. Each surviving tuple is re-materialized over the selected
+/// feature columns (one fresh block per batch).
+pub struct ProjectOp {
+    child: Box<dyn PhysicalOperator>,
+    columns: Vec<usize>,
+    actuals: OpStats,
+}
+
+impl ProjectOp {
+    /// Project the child's stream onto `columns` (feature indices).
+    pub fn new(child: Box<dyn PhysicalOperator>, columns: Vec<usize>) -> Self {
+        ProjectOp {
+            child,
+            columns,
+            actuals: OpStats::default(),
+        }
+    }
+
+    fn output_desc(&self) -> String {
+        let mut s = self
+            .columns
+            .iter()
+            .map(|i| format!("f{i}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        s.push_str(", label");
+        s
+    }
+}
+
+impl PhysicalOperator for ProjectOp {
+    fn name(&self) -> &'static str {
+        "Project"
+    }
+
+    fn init(&mut self, ctx: &mut ExecContext) {
+        self.child.init(ctx);
+        self.actuals.loops += 1;
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Tuple>, DbError> {
+        match self.child.next_ref(ctx)? {
+            Some(r) => {
+                self.actuals.rows += 1;
+                Ok(Some(project_tuple(&r, &self.columns)))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn next_ref(&mut self, ctx: &mut ExecContext) -> Result<Option<TupleRef>, DbError> {
+        Ok(self.next(ctx)?.map(|t| TupleRef::new(Arc::new(vec![t]), 0)))
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecContext) -> Result<Option<Vec<TupleRef>>, DbError> {
+        match self.child.next_batch(ctx)? {
+            Some(batch) => {
+                self.actuals.rows += batch.len() as u64;
+                let projected: Vec<Tuple> = batch
+                    .iter()
+                    .map(|r| project_tuple(r, &self.columns))
+                    .collect();
+                Ok(Some(block_refs(&Arc::new(projected)).collect()))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn rescan(&mut self, ctx: &mut ExecContext) {
+        self.child.rescan(ctx);
+        self.actuals.loops += 1;
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext) {
+        self.child.close(ctx);
+    }
+
+    fn collect_stats(&self, depth: usize, out: &mut Vec<OpStats>) {
+        let mut stats = self.actuals.clone();
+        stats.name = self.name().to_string();
+        stats.depth = depth;
+        stats.projection = Some(self.output_desc());
         out.push(stats);
         self.child.collect_stats(depth + 1, out);
     }
@@ -630,9 +987,11 @@ pub struct SgdOperator {
     /// Extra one-off cost charged before epoch 0 (e.g. a baseline's
     /// pre-shuffle), for bookkeeping parity with the library trainer.
     pub setup_seconds: f64,
-    /// Evaluate the training metric over the table after each epoch
+    /// Evaluate the training metric over these tuples after each epoch
     /// (§6's per-epoch accuracy output; costs one extra pass per epoch).
-    pub eval_each_epoch: Option<Arc<Table>>,
+    /// The planner passes the training view — table tuples after any
+    /// `WHERE` filter and projection — so metrics match what SGD saw.
+    pub eval_each_epoch: Option<Arc<Vec<Tuple>>>,
     /// Write a [`TrainCheckpoint`] here (atomically) after every epoch.
     pub checkpoint_path: Option<PathBuf>,
     /// Resume from this checkpoint: completed epochs are replayed against a
@@ -890,12 +1249,11 @@ impl SgdOperator {
                 DoubleBufferModel::single_buffer(&io, &fill_compute)
             };
             sim_clock += epoch_seconds;
-            let train_metric = self.eval_each_epoch.as_ref().map(|table| {
-                let all = table.all_tuples();
+            let train_metric = self.eval_each_epoch.as_ref().map(|all| {
                 if self.model.is_classifier() {
-                    corgipile_ml::accuracy(self.model.as_ref(), &all)
+                    corgipile_ml::accuracy(self.model.as_ref(), all.iter())
                 } else {
-                    corgipile_ml::r_squared(self.model.as_ref(), &all)
+                    corgipile_ml::r_squared(self.model.as_ref(), all.iter())
                 }
             });
             let epoch_io: f64 = io.iter().sum();
@@ -1032,13 +1390,18 @@ mod tests {
     #[test]
     fn tuple_shuffle_covers_all_and_records_fills() {
         let t = table(600);
+        let blocks = t.num_blocks();
         let mut dev = DeviceHandle::private(SimDevice::hdd_scaled(1000.0, 0));
         let mut ctx = ExecContext::new(&mut dev);
         let child = Box::new(BlockShuffleOp::new(t, ScanMode::RandomBlocks, 3));
-        let mut op = TupleShuffleOp::new(child, 120, StrategyParams::default());
+        let mut op = TupleShuffleOp::new(child, 2, StrategyParams::default());
         op.init(&mut ctx);
         let mut ids = drain(&mut op, &mut ctx);
-        assert_eq!(ctx.fill_io.len(), 5, "600 tuples / 120 per fill");
+        assert_eq!(
+            ctx.fill_io.len(),
+            blocks.div_ceil(2),
+            "one fill per two source blocks"
+        );
         assert!(ctx.fill_io.iter().all(|&io| io > 0.0));
         ids.sort_unstable();
         assert_eq!(ids, (0..600).collect::<Vec<_>>());
@@ -1050,7 +1413,7 @@ mod tests {
         let mut dev = DeviceHandle::private(SimDevice::hdd_scaled(1000.0, 0));
         let mut ctx = ExecContext::new(&mut dev);
         let child = Box::new(BlockShuffleOp::new(t, ScanMode::RandomBlocks, 4));
-        let mut op = TupleShuffleOp::new(child, 200, StrategyParams::default());
+        let mut op = TupleShuffleOp::new(child, 3, StrategyParams::default());
         op.init(&mut ctx);
         let ids = drain(&mut op, &mut ctx);
         let descents = ids.windows(2).filter(|w| w[1] < w[0]).count();
@@ -1065,7 +1428,7 @@ mod tests {
         let t = table(2000);
         let child: Box<dyn PhysicalOperator> = Box::new(TupleShuffleOp::new(
             Box::new(BlockShuffleOp::new(t.clone(), ScanMode::RandomBlocks, 5)),
-            200,
+            3,
             StrategyParams::default(),
         ));
         let mut op = SgdOperator::new(
@@ -1077,7 +1440,7 @@ mod tests {
             3,
             true,
         );
-        op.eval_each_epoch = Some(t);
+        op.eval_each_epoch = Some(Arc::new(t.all_tuples()));
         let mut dev = DeviceHandle::private(SimDevice::in_memory());
         let mut ctx = ExecContext::new(&mut dev);
         let result = op.execute(&mut ctx).unwrap();
@@ -1097,7 +1460,7 @@ mod tests {
         let t = table(2000);
         let child: Box<dyn PhysicalOperator> = Box::new(TupleShuffleOp::new(
             Box::new(BlockShuffleOp::new(t, ScanMode::RandomBlocks, 5)),
-            200,
+            3,
             StrategyParams::default(),
         ));
         let op = SgdOperator::new(
@@ -1172,7 +1535,7 @@ mod tests {
         let mut ctx = ExecContext::new(&mut dev);
         let child: Box<dyn PhysicalOperator> = Box::new(TupleShuffleOp::new(
             Box::new(BlockShuffleOp::new(t.clone(), ScanMode::RandomBlocks, 5)),
-            300,
+            4,
             StrategyParams::default(),
         ));
         let model = build_model(&ModelKind::Svm, 28, 1);
@@ -1233,7 +1596,7 @@ mod tests {
             let mut ctx = ExecContext::new(&mut dev);
             let child: Box<dyn PhysicalOperator> = Box::new(TupleShuffleOp::new(
                 Box::new(BlockShuffleOp::new(t.clone(), ScanMode::RandomBlocks, 5)),
-                200,
+                3,
                 StrategyParams::default(),
             ));
             let op = SgdOperator::new(
@@ -1251,7 +1614,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one tuple")]
+    #[should_panic(expected = "at least one block")]
     fn zero_capacity_buffer_rejected() {
         let t = table(10);
         let child = Box::new(BlockShuffleOp::new(t, ScanMode::Sequential, 1));
@@ -1329,7 +1692,7 @@ mod tests {
         ctx.on_fault = FaultAction::SkipBlock;
         let child: Box<dyn PhysicalOperator> = Box::new(TupleShuffleOp::new(
             Box::new(BlockShuffleOp::new(t.clone(), ScanMode::RandomBlocks, 5)),
-            120,
+            2,
             StrategyParams::default(),
         ));
         let op = SgdOperator::new(
@@ -1361,7 +1724,7 @@ mod tests {
         let plan = |t: &Arc<Table>| -> Box<dyn PhysicalOperator> {
             Box::new(TupleShuffleOp::new(
                 Box::new(BlockShuffleOp::new(t.clone(), ScanMode::RandomBlocks, 5)),
-                150,
+                2,
                 StrategyParams::default(),
             ))
         };
@@ -1422,10 +1785,10 @@ mod tests {
     }
 
     /// SGD ← TupleShuffle ← BlockShuffle plan over `n` tuples.
-    fn corgi_plan(t: &Arc<Table>, buffer: usize, seed: u64) -> Box<dyn PhysicalOperator> {
+    fn corgi_plan(t: &Arc<Table>, buffer_blocks: usize, seed: u64) -> Box<dyn PhysicalOperator> {
         Box::new(TupleShuffleOp::new(
             Box::new(BlockShuffleOp::new(t.clone(), ScanMode::RandomBlocks, seed)),
-            buffer,
+            buffer_blocks,
             StrategyParams::default(),
         ))
     }
@@ -1436,7 +1799,7 @@ mod tests {
         for seed in [1u64, 7, 42] {
             let run = |double: bool| {
                 let op = SgdOperator::new(
-                    corgi_plan(&t, 150, seed),
+                    corgi_plan(&t, 2, seed),
                     build_model(&ModelKind::LogisticRegression, 28, seed),
                     OptimizerKind::default_sgd(0.05).build(),
                     TrainOptions::default(),
@@ -1470,7 +1833,7 @@ mod tests {
         let t = table(1500);
         let run = |double: bool| {
             let op = SgdOperator::new(
-                corgi_plan(&t, 150, 5),
+                corgi_plan(&t, 2, 5),
                 build_model(&ModelKind::Svm, 28, 3),
                 OptimizerKind::default_adam(0.01).build(),
                 TrainOptions::minibatch(32),
@@ -1505,7 +1868,7 @@ mod tests {
             ctx.retry = RetryPolicy::with_max_retries(1);
             ctx.on_fault = FaultAction::SkipBlock;
             let op = SgdOperator::new(
-                corgi_plan(&t, 120, 5),
+                corgi_plan(&t, 2, 5),
                 build_model(&ModelKind::Svm, 28, 1),
                 OptimizerKind::default_sgd(0.05).build(),
                 TrainOptions::default(),
@@ -1533,7 +1896,7 @@ mod tests {
     fn pipelined_fill_path_makes_zero_tuple_clones() {
         let t = table(1500);
         let op = SgdOperator::new(
-            corgi_plan(&t, 150, 5),
+            corgi_plan(&t, 2, 5),
             build_model(&ModelKind::Svm, 28, 1),
             OptimizerKind::default_sgd(0.05).build(),
             TrainOptions::default(),
@@ -1556,7 +1919,7 @@ mod tests {
         let t = table(2000);
         let run = |double: bool| {
             let op = SgdOperator::new(
-                corgi_plan(&t, 200, 5),
+                corgi_plan(&t, 3, 5),
                 build_model(&ModelKind::Svm, 28, 1),
                 OptimizerKind::default_sgd(0.05).build(),
                 TrainOptions::default(),

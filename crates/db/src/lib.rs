@@ -27,6 +27,7 @@ pub mod catalog;
 pub mod database;
 pub mod error;
 pub mod exec;
+pub mod plan;
 mod proptests;
 pub mod session;
 pub mod sql;
@@ -37,8 +38,11 @@ pub use corgipile_storage::{Telemetry, TelemetrySnapshot};
 pub use database::Database;
 pub use error::DbError;
 pub use exec::{
-    BlockShuffleOp, DbEpochRecord, ExecContext, FaultAction, OpStats, PhysicalOperator, ScanMode,
-    SgdOperator, SgdRunResult, TupleShuffleOp,
+    BlockShuffleOp, DbEpochRecord, ExecContext, FaultAction, FilterOp, OpStats, PhysicalOperator,
+    ProjectOp, ScanMode, SgdOperator, SgdRunResult, TupleShuffleOp,
 };
+pub use plan::{build_physical, LogicalPlan, PhysicalPlan, ScanOrder, TrainPlanSpec};
 pub use session::{DbTrainSummary, QueryResult, Session};
-pub use sql::{parse, ParamValue, Query, ShowTarget};
+pub use sql::{
+    parse, CmpOp, ColumnRef, ParamValue, Predicate, Projection, Query, ShowTarget, StrategyKind,
+};

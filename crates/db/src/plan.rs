@@ -1,0 +1,664 @@
+//! Query planning: logical plans, pushdown rewrites, and physical
+//! operator construction.
+//!
+//! This is the single plan-construction site of the engine. A parsed
+//! `TRAIN BY` query becomes a [`LogicalPlan`] tree
+//!
+//! ```text
+//! Sgd ← Project? ← Filter? ← TupleShuffle? ← Scan
+//! ```
+//!
+//! validated against the catalog (feature indices in predicates and
+//! projections must exist; `id` is not selectable as a training input),
+//! then rewritten by [`LogicalPlan::push_down`], which moves `Filter` and
+//! `Project` *below* the tuple-shuffle buffer and fuses them into the
+//! block scan. Pushdown matters for convergence-per-byte: the buffer
+//! holds a fixed block budget, so filtering before buffering raises the
+//! effective buffer fraction of the post-filter dataset that CorgiPile's
+//! convergence analysis depends on — and the projection shrinks every
+//! buffered tuple besides.
+//!
+//! Pushdown is an *equivalence*: the tuple shuffle counts its window in
+//! source blocks (not tuples) and orders survivors by a deterministic
+//! per-tuple key, so the tuple visit sequence — and therefore the trained
+//! model, bit for bit — is identical whether a tuple is dropped before
+//! the buffer or after it. [`Session::train`](crate::Session) exposes the
+//! un-rewritten plan under `WITH pushdown = 0` for exactly that A/B.
+
+use crate::catalog::Catalog;
+use crate::error::DbError;
+use crate::exec::{
+    BlockShuffleOp, FilterOp, PhysicalOperator, ProjectOp, ScanMode, TupleShuffleOp,
+};
+use crate::sql::{ColumnRef, Predicate, Projection, StrategyKind};
+use corgipile_data::rng::shuffle_in_place;
+use corgipile_shuffle::StrategyParams;
+use corgipile_storage::{DeviceHandle, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Block visit order of the fused scan at the bottom of every plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanOrder {
+    /// Stored block order (No Shuffle / Tuple-Only).
+    Sequential,
+    /// Random block permutation per epoch (CorgiPile / Block-Only).
+    RandomBlocks,
+    /// Sequential over an offline-shuffled copy (`strategy = 'once'`,
+    /// the MADlib `ORDER BY RANDOM()` baseline; pays a one-off setup).
+    SequentialShuffledCopy,
+}
+
+/// Planner input distilled from a parsed `TRAIN BY` query.
+#[derive(Debug, Clone)]
+pub struct TrainPlanSpec {
+    /// Source table name (for plan rendering).
+    pub table: String,
+    /// Resolved model kind name (for plan rendering).
+    pub model: String,
+    /// Number of epochs (`max_epoch_num`).
+    pub epochs: usize,
+    /// Shuffle strategy.
+    pub strategy: StrategyKind,
+    /// Projection list.
+    pub projection: Projection,
+    /// Optional `WHERE` predicate.
+    pub filter: Option<Predicate>,
+    /// Tuple-shuffle buffer capacity in source blocks.
+    pub buffer_blocks: usize,
+}
+
+/// A logical operator tree, root first.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// The training root: re-scans its input once per epoch.
+    Sgd {
+        /// Model kind name.
+        model: String,
+        /// Epoch count.
+        epochs: usize,
+        /// Input plan.
+        input: Box<LogicalPlan>,
+    },
+    /// Keep only the named feature columns (the label always rides along).
+    Project {
+        /// Feature indices to keep, in declared order.
+        columns: Vec<usize>,
+        /// Input plan.
+        input: Box<LogicalPlan>,
+    },
+    /// Drop tuples failing the predicate.
+    Filter {
+        /// The predicate.
+        predicate: Predicate,
+        /// Input plan.
+        input: Box<LogicalPlan>,
+    },
+    /// Buffered tuple shuffle over block windows.
+    TupleShuffle {
+        /// Buffer capacity in source blocks.
+        buffer_blocks: usize,
+        /// Input plan.
+        input: Box<LogicalPlan>,
+    },
+    /// The block scan, with optionally fused predicate/projection.
+    Scan {
+        /// Table name.
+        table: String,
+        /// Block visit order.
+        order: ScanOrder,
+        /// Number of blocks in the table.
+        blocks: usize,
+        /// Number of tuples in the table.
+        tuples: u64,
+        /// Predicate fused into the scan (evaluated before buffering).
+        predicate: Option<Predicate>,
+        /// Projection fused into the scan (applied after the predicate).
+        projection: Option<Vec<usize>>,
+    },
+}
+
+impl LogicalPlan {
+    /// Build the canonical (pre-rewrite) logical plan for a training
+    /// query, validating every column reference against the table's
+    /// feature count. Errors here are planning-time [`DbError`]s — an
+    /// out-of-range `f<N>` never survives to execution.
+    pub fn build(spec: &TrainPlanSpec, table: &Table) -> Result<LogicalPlan, DbError> {
+        let dim = table.get_tuple(0)?.features.dim();
+        validate_columns(spec, dim)?;
+        let order = match spec.strategy {
+            StrategyKind::CorgiPile | StrategyKind::BlockOnly => ScanOrder::RandomBlocks,
+            StrategyKind::TupleOnly | StrategyKind::NoShuffle => ScanOrder::Sequential,
+            StrategyKind::ShuffleOnce => ScanOrder::SequentialShuffledCopy,
+        };
+        let mut node = LogicalPlan::Scan {
+            table: spec.table.clone(),
+            order,
+            blocks: table.num_blocks(),
+            tuples: table.num_tuples(),
+            predicate: None,
+            projection: None,
+        };
+        if spec.strategy.uses_tuple_shuffle() {
+            node = LogicalPlan::TupleShuffle {
+                buffer_blocks: spec.buffer_blocks,
+                input: Box::new(node),
+            };
+        }
+        if let Some(p) = &spec.filter {
+            node = LogicalPlan::Filter {
+                predicate: p.clone(),
+                input: Box::new(node),
+            };
+        }
+        if let Some(cols) = spec.projection.feature_indices() {
+            node = LogicalPlan::Project {
+                columns: cols,
+                input: Box::new(node),
+            };
+        }
+        Ok(LogicalPlan::Sgd {
+            model: spec.model.clone(),
+            epochs: spec.epochs,
+            input: Box::new(node),
+        })
+    }
+
+    /// Rewrite rules: push `Filter` and `Project` below `TupleShuffle`
+    /// and fuse them into the scan. The scan evaluates its predicate
+    /// *before* its projection, so fusing both preserves semantics even
+    /// though the predicate references pre-projection feature indices.
+    pub fn push_down(self) -> LogicalPlan {
+        match self {
+            LogicalPlan::Sgd {
+                model,
+                epochs,
+                input,
+            } => LogicalPlan::Sgd {
+                model,
+                epochs,
+                input: Box::new(input.push_down()),
+            },
+            LogicalPlan::Filter { predicate, input } => match input.push_down() {
+                LogicalPlan::TupleShuffle {
+                    buffer_blocks,
+                    input,
+                } => LogicalPlan::TupleShuffle {
+                    buffer_blocks,
+                    input: Box::new(LogicalPlan::Filter { predicate, input }.push_down()),
+                },
+                LogicalPlan::Scan {
+                    table,
+                    order,
+                    blocks,
+                    tuples,
+                    predicate: None,
+                    projection,
+                } => LogicalPlan::Scan {
+                    table,
+                    order,
+                    blocks,
+                    tuples,
+                    predicate: Some(predicate),
+                    projection,
+                },
+                other => LogicalPlan::Filter {
+                    predicate,
+                    input: Box::new(other),
+                },
+            },
+            LogicalPlan::Project { columns, input } => match input.push_down() {
+                LogicalPlan::TupleShuffle {
+                    buffer_blocks,
+                    input,
+                } => LogicalPlan::TupleShuffle {
+                    buffer_blocks,
+                    input: Box::new(LogicalPlan::Project { columns, input }.push_down()),
+                },
+                LogicalPlan::Scan {
+                    table,
+                    order,
+                    blocks,
+                    tuples,
+                    predicate,
+                    projection: None,
+                } => LogicalPlan::Scan {
+                    table,
+                    order,
+                    blocks,
+                    tuples,
+                    predicate,
+                    projection: Some(columns),
+                },
+                other => LogicalPlan::Project {
+                    columns,
+                    input: Box::new(other),
+                },
+            },
+            LogicalPlan::TupleShuffle {
+                buffer_blocks,
+                input,
+            } => LogicalPlan::TupleShuffle {
+                buffer_blocks,
+                input: Box::new(input.push_down()),
+            },
+            scan @ LogicalPlan::Scan { .. } => scan,
+        }
+    }
+
+    /// Render the plan, PostgreSQL `EXPLAIN`-style (root first). The
+    /// scan's fused predicate/projection appear as `Filter:` / `Output:`
+    /// sub-lines on the scan node itself.
+    pub fn explain_lines(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        let mut target = None;
+        self.render_into(0, &mut lines, &mut target);
+        if let Some((table, tuples)) = target {
+            lines.push(format!("  Scan target: {table} ({tuples} tuples)"));
+        }
+        lines
+    }
+
+    fn render_into(
+        &self,
+        depth: usize,
+        lines: &mut Vec<String>,
+        target: &mut Option<(String, u64)>,
+    ) {
+        let head = if depth == 0 {
+            String::new()
+        } else {
+            format!("{}-> ", " ".repeat(2 + 6 * (depth - 1)))
+        };
+        let pad = " ".repeat(2 * depth + if depth > 0 { 5 } else { 2 });
+        match self {
+            LogicalPlan::Sgd {
+                model,
+                epochs,
+                input,
+            } => {
+                lines.push(format!(
+                    "{head}SGD (model={model}, epochs={epochs}, re-scan per epoch)"
+                ));
+                input.render_into(depth + 1, lines, target);
+            }
+            LogicalPlan::Project { columns, input } => {
+                lines.push(format!("{head}Project ({})", feature_list(columns)));
+                input.render_into(depth + 1, lines, target);
+            }
+            LogicalPlan::Filter { predicate, input } => {
+                lines.push(format!("{head}Filter ({predicate})"));
+                input.render_into(depth + 1, lines, target);
+            }
+            LogicalPlan::TupleShuffle {
+                buffer_blocks,
+                input,
+            } => {
+                lines.push(format!(
+                    "{head}TupleShuffle (double-buffered, buffer={buffer_blocks} blocks)"
+                ));
+                input.render_into(depth + 1, lines, target);
+            }
+            LogicalPlan::Scan {
+                table,
+                order,
+                blocks,
+                tuples,
+                predicate,
+                projection,
+            } => {
+                let desc = match order {
+                    ScanOrder::Sequential => format!("sequential over {blocks} blocks"),
+                    ScanOrder::RandomBlocks => format!("random order over {blocks} blocks"),
+                    ScanOrder::SequentialShuffledCopy => {
+                        format!("sequential over {blocks} blocks of the shuffled copy")
+                    }
+                };
+                lines.push(format!("{head}BlockShuffle ({desc})"));
+                if let Some(cols) = projection {
+                    lines.push(format!("{pad}Output: {}", feature_list(cols)));
+                }
+                if let Some(p) = predicate {
+                    lines.push(format!("{pad}Filter: ({p})"));
+                }
+                if *order == ScanOrder::SequentialShuffledCopy {
+                    lines.push(format!(
+                        "{pad}(setup: offline full shuffle, ORDER BY RANDOM(), 2x storage)"
+                    ));
+                }
+                *target = Some((table.clone(), *tuples));
+            }
+        }
+    }
+}
+
+/// `"f0, f3, label"`-style rendering of a projected feature list.
+pub(crate) fn feature_list(columns: &[usize]) -> String {
+    let mut s = String::new();
+    for c in columns {
+        s.push_str(&format!("f{c}, "));
+    }
+    s.push_str("label");
+    s
+}
+
+fn validate_columns(spec: &TrainPlanSpec, dim: usize) -> Result<(), DbError> {
+    let check_feature = |i: usize| -> Result<(), DbError> {
+        if i >= dim {
+            Err(DbError::UnknownColumn(format!(
+                "f{i} (table has features f0..f{})",
+                dim - 1
+            )))
+        } else {
+            Ok(())
+        }
+    };
+    if let Some(p) = &spec.filter {
+        let mut cols = Vec::new();
+        p.for_each_column(&mut |c| cols.push(c));
+        for c in cols {
+            if let ColumnRef::Feature(i) = c {
+                check_feature(i)?;
+            }
+        }
+    }
+    if let Projection::Columns(cols) = &spec.projection {
+        let mut seen = Vec::new();
+        for c in cols {
+            match c {
+                ColumnRef::Id => {
+                    return Err(DbError::UnknownColumn(
+                        "id (not selectable as a training input)".into(),
+                    ))
+                }
+                ColumnRef::Label => {}
+                ColumnRef::Feature(i) => check_feature(*i)?,
+            }
+            if seen.contains(c) {
+                return Err(DbError::Parse(format!(
+                    "duplicate column {c} in projection"
+                )));
+            }
+            seen.push(*c);
+        }
+        if !cols.iter().any(|c| matches!(c, ColumnRef::Feature(_))) {
+            return Err(DbError::Parse(
+                "projection must include at least one feature column".into(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// A built physical plan: the operator tree below the SGD root, plus the
+/// one-off setup cost charged while building it (`strategy = 'once'`
+/// pays its offline shuffle here).
+pub struct PhysicalPlan {
+    /// Input operator for [`crate::exec::SgdOperator`].
+    pub child: Box<dyn PhysicalOperator>,
+    /// Simulated seconds spent on one-off setup (offline shuffle).
+    pub setup_seconds: f64,
+}
+
+/// Lower a logical plan to physical operators. This is the only place in
+/// the engine that constructs scan/shuffle/filter/project operators for
+/// queries — `Session::train` and `EXPLAIN ANALYZE` both route here.
+pub fn build_physical(
+    plan: &LogicalPlan,
+    table: &Arc<Table>,
+    table_name: &str,
+    params: &StrategyParams,
+    seed: u64,
+    dev: &mut DeviceHandle,
+    catalog: &Catalog,
+) -> Result<PhysicalPlan, DbError> {
+    let mut setup_seconds = 0.0;
+    let child = build_node(
+        plan,
+        table,
+        table_name,
+        params,
+        seed,
+        dev,
+        catalog,
+        &mut setup_seconds,
+    )?;
+    Ok(PhysicalPlan {
+        child,
+        setup_seconds,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_node(
+    node: &LogicalPlan,
+    table: &Arc<Table>,
+    table_name: &str,
+    params: &StrategyParams,
+    seed: u64,
+    dev: &mut DeviceHandle,
+    catalog: &Catalog,
+    setup_seconds: &mut f64,
+) -> Result<Box<dyn PhysicalOperator>, DbError> {
+    match node {
+        LogicalPlan::Sgd { input, .. } => build_node(
+            input,
+            table,
+            table_name,
+            params,
+            seed,
+            dev,
+            catalog,
+            setup_seconds,
+        ),
+        LogicalPlan::Project { columns, input } => {
+            let child = build_node(
+                input,
+                table,
+                table_name,
+                params,
+                seed,
+                dev,
+                catalog,
+                setup_seconds,
+            )?;
+            Ok(Box::new(ProjectOp::new(child, columns.clone())))
+        }
+        LogicalPlan::Filter { predicate, input } => {
+            let child = build_node(
+                input,
+                table,
+                table_name,
+                params,
+                seed,
+                dev,
+                catalog,
+                setup_seconds,
+            )?;
+            Ok(Box::new(FilterOp::new(child, predicate.clone())))
+        }
+        LogicalPlan::TupleShuffle {
+            buffer_blocks,
+            input,
+        } => {
+            let child = build_node(
+                input,
+                table,
+                table_name,
+                params,
+                seed,
+                dev,
+                catalog,
+                setup_seconds,
+            )?;
+            Ok(Box::new(TupleShuffleOp::new(
+                child,
+                *buffer_blocks,
+                params.clone(),
+            )))
+        }
+        LogicalPlan::Scan {
+            order,
+            predicate,
+            projection,
+            ..
+        } => {
+            let (src, mode) = match order {
+                ScanOrder::Sequential => (table.clone(), ScanMode::Sequential),
+                ScanOrder::RandomBlocks => (table.clone(), ScanMode::RandomBlocks),
+                ScanOrder::SequentialShuffledCopy => {
+                    // Offline shuffle first (ORDER BY RANDOM(); 2× storage).
+                    let io_before = dev.stats().io_seconds;
+                    let mut order: Vec<u64> = (0..table.num_tuples()).collect();
+                    shuffle_in_place(&mut StdRng::seed_from_u64(seed), &mut order);
+                    let copy_name = format!("{table_name}_shuffled");
+                    let copy_id = catalog.fresh_table_id();
+                    let copy =
+                        dev.with(|d| table.materialize_reordered(&order, copy_name, copy_id, d))?;
+                    *setup_seconds += dev.stats().io_seconds - io_before;
+                    (Arc::new(copy), ScanMode::Sequential)
+                }
+            };
+            let mut op = BlockShuffleOp::new(src, mode, seed);
+            if let Some(p) = predicate {
+                op = op.with_predicate(p.clone());
+            }
+            if let Some(cols) = projection {
+                op = op.with_projection(cols.clone());
+            }
+            Ok(Box::new(op))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::CmpOp;
+    use corgipile_data::{DatasetSpec, Order};
+
+    fn spec(strategy: StrategyKind) -> TrainPlanSpec {
+        TrainPlanSpec {
+            table: "t".into(),
+            model: "svm".into(),
+            epochs: 3,
+            strategy,
+            projection: Projection::All,
+            filter: None,
+            buffer_blocks: 2,
+        }
+    }
+
+    fn table() -> Table {
+        DatasetSpec::higgs_like(500)
+            .with_order(Order::ClusteredByLabel)
+            .with_block_bytes(8192)
+            .build_table(1)
+            .unwrap()
+    }
+
+    fn pred() -> Predicate {
+        Predicate::Cmp {
+            col: ColumnRef::Feature(0),
+            op: CmpOp::Gt,
+            value: 0.0,
+        }
+    }
+
+    #[test]
+    fn pushdown_fuses_filter_and_project_into_the_scan() {
+        let mut s = spec(StrategyKind::CorgiPile);
+        s.filter = Some(pred());
+        s.projection = Projection::Columns(vec![ColumnRef::Feature(1), ColumnRef::Feature(3)]);
+        let plan = LogicalPlan::build(&s, &table()).unwrap().push_down();
+        // Shape: Sgd -> TupleShuffle -> Scan{pred, proj}.
+        let LogicalPlan::Sgd { input, .. } = plan else {
+            panic!("root must be Sgd")
+        };
+        let LogicalPlan::TupleShuffle { input, .. } = *input else {
+            panic!("filter/project must sit below the tuple shuffle")
+        };
+        let LogicalPlan::Scan {
+            predicate,
+            projection,
+            ..
+        } = *input
+        else {
+            panic!("filter/project must fuse into the scan")
+        };
+        assert_eq!(predicate, Some(pred()));
+        assert_eq!(projection, Some(vec![1, 3]));
+    }
+
+    #[test]
+    fn without_pushdown_filter_stays_above_the_shuffle() {
+        let mut s = spec(StrategyKind::CorgiPile);
+        s.filter = Some(pred());
+        let plan = LogicalPlan::build(&s, &table()).unwrap();
+        let LogicalPlan::Sgd { input, .. } = plan else {
+            panic!()
+        };
+        assert!(matches!(*input, LogicalPlan::Filter { .. }));
+    }
+
+    #[test]
+    fn explain_shows_predicate_on_the_scan_node() {
+        let mut s = spec(StrategyKind::CorgiPile);
+        s.filter = Some(pred());
+        let lines = LogicalPlan::build(&s, &table())
+            .unwrap()
+            .push_down()
+            .explain_lines();
+        assert!(lines[0].starts_with("SGD (model=svm, epochs=3"));
+        assert!(lines.iter().any(|l| l.contains("TupleShuffle")));
+        let scan = lines
+            .iter()
+            .position(|l| l.contains("BlockShuffle (random"))
+            .expect("scan node");
+        assert!(
+            lines[scan + 1].trim_start().starts_with("Filter: (f0 > 0)"),
+            "predicate must annotate the scan node: {lines:?}"
+        );
+        assert!(!lines.iter().any(|l| l.contains("-> Filter")));
+    }
+
+    #[test]
+    fn once_plan_renders_setup_line_and_sequential_copy_scan() {
+        let lines = LogicalPlan::build(&spec(StrategyKind::ShuffleOnce), &table())
+            .unwrap()
+            .push_down()
+            .explain_lines();
+        assert!(lines.iter().any(|l| l.contains("of the shuffled copy")));
+        assert!(lines.iter().any(|l| l.contains("offline full shuffle")));
+    }
+
+    #[test]
+    fn out_of_range_feature_is_a_planning_error() {
+        let mut s = spec(StrategyKind::CorgiPile);
+        s.filter = Some(Predicate::Cmp {
+            col: ColumnRef::Feature(99),
+            op: CmpOp::Gt,
+            value: 0.0,
+        });
+        assert!(matches!(
+            LogicalPlan::build(&s, &table()),
+            Err(DbError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn id_and_duplicates_are_rejected_in_projections() {
+        let t = table();
+        let mut s = spec(StrategyKind::CorgiPile);
+        s.projection = Projection::Columns(vec![ColumnRef::Id]);
+        assert!(matches!(
+            LogicalPlan::build(&s, &t),
+            Err(DbError::UnknownColumn(_))
+        ));
+        s.projection = Projection::Columns(vec![ColumnRef::Feature(1), ColumnRef::Feature(1)]);
+        assert!(matches!(LogicalPlan::build(&s, &t), Err(DbError::Parse(_))));
+        s.projection = Projection::Columns(vec![ColumnRef::Label]);
+        assert!(matches!(LogicalPlan::build(&s, &t), Err(DbError::Parse(_))));
+    }
+}

@@ -3,7 +3,9 @@
 
 #![cfg(test)]
 
+use crate::database::Database;
 use crate::exec::{BlockShuffleOp, ExecContext, PhysicalOperator, ScanMode, TupleShuffleOp};
+use crate::session::QueryResult;
 use corgipile_shuffle::StrategyParams;
 use corgipile_storage::{DeviceHandle, SimDevice, Table, TableConfig, Tuple};
 use proptest::prelude::*;
@@ -61,21 +63,22 @@ proptest! {
         }
     }
 
-    /// TupleShuffle preserves coverage for any buffer capacity, and its
-    /// fill accounting tiles the stream.
+    /// TupleShuffle preserves coverage for any buffer capacity (counted
+    /// in source blocks), and its fill accounting tiles the stream.
     #[test]
     fn prop_tuple_shuffle_coverage_and_fills(
         n in 1u64..400,
-        capacity in 1usize..200,
+        capacity_blocks in 1usize..8,
         seed in any::<u64>(),
     ) {
         let t = table(n, 4, 1);
+        let blocks = t.num_blocks();
         let mut dev = DeviceHandle::private(SimDevice::in_memory());
         let mut ctx = ExecContext::new(&mut dev);
         let child = Box::new(BlockShuffleOp::new(t, ScanMode::RandomBlocks, seed));
         let mut op = TupleShuffleOp::new(
             child,
-            capacity,
+            capacity_blocks,
             StrategyParams::default().with_seed(seed | 1),
         );
         op.init(&mut ctx);
@@ -83,8 +86,8 @@ proptest! {
         prop_assert_eq!(ids.len() as u64, n);
         ids.sort_unstable();
         prop_assert_eq!(ids, (0..n).collect::<Vec<_>>());
-        // One fill entry per ceil(n / capacity) fills.
-        let expected_fills = (n as usize).div_ceil(capacity);
+        // One fill entry per ceil(blocks / capacity) block windows.
+        let expected_fills = blocks.div_ceil(capacity_blocks);
         prop_assert_eq!(ctx.fill_io.len(), expected_fills);
     }
 
@@ -120,5 +123,48 @@ proptest! {
         if n as usize > 2 * 8192 / 40 {
             prop_assert_ne!(first, second);
         }
+    }
+
+    /// Pushing a random WHERE predicate below the tuple-shuffle buffer is
+    /// an equivalence: for any seed, the pushdown plan and the post-buffer
+    /// `FilterOp` plan visit the surviving tuples in the same order, so
+    /// the trained models are bit-identical and the SGD node sees the
+    /// same `rows_out` — while the pushdown plan buffers fewer tuples.
+    #[test]
+    fn prop_pushdown_filter_is_bit_identical_to_post_buffer(
+        n in 100u64..500,
+        seed in 0u64..1_000_000,
+        cutoff in 0.05f64..0.95,
+        op_idx in 0usize..4,
+        disjunct in any::<bool>(),
+    ) {
+        let ops = ["<", "<=", ">", ">="];
+        let thr = (n as f64 * cutoff).round();
+        let mut pred = format!("f0 {} {thr}", ops[op_idx]);
+        if disjunct {
+            pred = format!("{pred} OR label = 1");
+        }
+        let run = |pushdown: usize| {
+            let db = Database::new(SimDevice::in_memory());
+            db.register_table("t", (*table(n, 4, 1)).clone());
+            let mut s = db.connect();
+            let r = s
+                .execute(&format!(
+                    "SELECT * FROM t WHERE {pred} TRAIN BY svm WITH \
+                     max_epoch_num = 2, seed = {seed}, buffer_fraction = 0.5, \
+                     pushdown = {pushdown}, model_name = m"
+                ))
+                .unwrap();
+            let summary = match r {
+                QueryResult::Train(t) => t,
+                _ => unreachable!("TRAIN returns a train summary"),
+            };
+            let params = s.catalog().model("m").unwrap().params.clone();
+            (params, summary.op_stats[0].rows)
+        };
+        let (pushed_params, pushed_rows) = run(1);
+        let (post_params, post_rows) = run(0);
+        prop_assert_eq!(pushed_params, post_params);
+        prop_assert_eq!(pushed_rows, post_rows);
     }
 }

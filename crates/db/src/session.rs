@@ -25,20 +25,16 @@
 use crate::catalog::{Catalog, StoredModel};
 use crate::database::Database;
 use crate::error::DbError;
-use crate::exec::{
-    BlockShuffleOp, DbEpochRecord, ExecContext, FaultAction, OpStats, PhysicalOperator, ScanMode,
-    SgdOperator, TupleShuffleOp,
-};
-use crate::sql::{parse, ParamValue, Query, ShowTarget};
-use corgipile_data::rng::shuffle_in_place;
+use crate::exec::{project_tuple, DbEpochRecord, ExecContext, FaultAction, OpStats, SgdOperator};
+use crate::plan::{build_physical, LogicalPlan, TrainPlanSpec};
+use crate::sql::{parse, ParamValue, Predicate, Projection, Query, ShowTarget, StrategyKind};
 use corgipile_ml::{accuracy, build_model, ModelKind, OptimizerKind, TrainOptions};
 use corgipile_ml::{r_squared, ComputeCostModel, TrainCheckpoint};
 use corgipile_shuffle::StrategyParams;
 use corgipile_storage::{
     BufferPool, DeviceHandle, FaultPlan, PoolHandle, RetryPolicy, SimDevice, Table, Telemetry,
+    Tuple,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -229,8 +225,11 @@ impl Session {
             Query::Train {
                 table,
                 model,
+                projection,
+                filter,
+                strategy,
                 params,
-            } => self.train(&table, &model, params),
+            } => self.train(&table, &model, projection, filter, strategy, params),
             Query::Predict { table, model } => self.predict(&table, &model),
             Query::Explain(inner) => self.explain(*inner),
             Query::ExplainAnalyze(inner) => self.explain_analyze(*inner),
@@ -281,7 +280,11 @@ impl Session {
                     _ => unreachable!("Train queries return Train results"),
                 };
                 let after = self.dev.stats().clone();
-                let mut lines: Vec<String> = summary.op_stats.iter().map(|s| s.render()).collect();
+                let mut lines: Vec<String> = summary
+                    .op_stats
+                    .iter()
+                    .flat_map(|s| s.render_lines())
+                    .collect();
                 let reads = after.total_reads() - before.total_reads();
                 let hits = after.cache_hits - before.cache_hits;
                 lines.push(format!(
@@ -315,66 +318,56 @@ impl Session {
         }
     }
 
-    /// Render the physical plan a query would execute, PostgreSQL
-    /// EXPLAIN-style (root first).
+    /// Render the plan a query would execute, PostgreSQL EXPLAIN-style
+    /// (root first), without executing it. The logical plan is built and
+    /// validated exactly as `train` would — unknown columns or ill-typed
+    /// predicates fail here with the same structured [`DbError`].
     fn explain(&mut self, query: Query) -> Result<QueryResult, DbError> {
         match query {
             Query::Train {
                 table,
                 model,
+                projection,
+                filter,
+                strategy,
                 params,
             } => {
                 let t = self.catalog().table(&table)?;
-                let strategy = params
-                    .get("strategy")
-                    .and_then(|v| v.as_text())
-                    .unwrap_or("corgipile")
-                    .to_string();
                 let kind = self.resolve_model_kind(&model, &t)?;
                 let epochs = params
                     .get("max_epoch_num")
                     .and_then(|v| v.as_usize())
                     .unwrap_or(10);
-                let blocks = t.num_blocks();
-                let mut lines = vec![format!(
-                    "SGD (model={}, epochs={epochs}, re-scan per epoch)",
-                    kind.name()
-                )];
-                match strategy.as_str() {
-                    "corgipile" => {
-                        lines.push("  -> TupleShuffle (double-buffered)".into());
-                        lines.push(format!(
-                            "        -> BlockShuffle (random order over {blocks} blocks)"
-                        ));
-                    }
-                    "tuple_only" => {
-                        lines.push("  -> TupleShuffle (double-buffered)".into());
-                        lines.push(format!(
-                            "        -> BlockShuffle (sequential over {blocks} blocks)"
-                        ));
-                    }
-                    "block_only" => lines.push(format!(
-                        "  -> BlockShuffle (random order over {blocks} blocks)"
-                    )),
-                    "no" => lines.push(format!(
-                        "  -> BlockShuffle (sequential over {blocks} blocks)"
-                    )),
-                    "once" => {
-                        lines.push(format!(
-                            "  -> BlockShuffle (sequential over {blocks} blocks of the shuffled copy)"
-                        ));
-                        lines.push(
-                            "  (setup: offline full shuffle, ORDER BY RANDOM(), 2x storage)".into(),
-                        );
-                    }
-                    other => return Err(DbError::UnknownStrategy(other.to_string())),
-                }
-                lines.push(format!(
-                    "  Scan target: {} ({} tuples)",
+                let buffer_fraction = params
+                    .get("buffer_fraction")
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or(0.10);
+                let pushdown = params
+                    .get("pushdown")
+                    .and_then(|v| v.as_usize())
+                    .unwrap_or(1)
+                    != 0;
+                let sparams = StrategyParams::default().with_buffer_fraction(
+                    if (0.0..=1.0).contains(&buffer_fraction) && buffer_fraction > 0.0 {
+                        buffer_fraction
+                    } else {
+                        0.10
+                    },
+                );
+                let spec = TrainPlanSpec {
                     table,
-                    t.num_tuples()
-                ));
-                Ok(QueryResult::Plan(lines))
+                    model: kind.name().to_string(),
+                    epochs,
+                    strategy,
+                    projection,
+                    filter,
+                    buffer_blocks: sparams.buffer_blocks(&t),
+                };
+                let mut plan = LogicalPlan::build(&spec, &t)?;
+                if pushdown {
+                    plan = plan.push_down();
+                }
+                Ok(QueryResult::Plan(plan.explain_lines()))
             }
             Query::Predict { table, model } => {
                 let t = self.catalog().table(&table)?;
@@ -392,6 +385,9 @@ impl Session {
         &mut self,
         table_name: &str,
         model_name_raw: &str,
+        projection: Projection,
+        filter: Option<Predicate>,
+        strategy: StrategyKind,
         params: BTreeMap<String, ParamValue>,
     ) -> Result<QueryResult, DbError> {
         let mut table = self.catalog().table(table_name)?;
@@ -424,7 +420,7 @@ impl Session {
                 "block_size",
                 "buffer_fraction",
                 "batch_size",
-                "strategy",
+                "pushdown",
                 "model_name",
                 "seed",
                 "double_buffer",
@@ -487,10 +483,7 @@ impl Session {
                 DbError::BadParam("halt_after_epoch must be a non-negative integer".into())
             })?),
         };
-        let strategy = params
-            .get("strategy")
-            .map(|v| v.as_text().unwrap_or("").to_string())
-            .unwrap_or_else(|| "corgipile".to_string());
+        let pushdown = get_usize("pushdown", 1)? != 0;
         if let Some(bs) = params.get("block_size") {
             let bytes = bs
                 .as_usize()
@@ -498,9 +491,29 @@ impl Session {
             table = Arc::new(table.rechunk(bytes)?);
         }
 
-        // --- Model ------------------------------------------------------
-        let dim = table.get_tuple(0)?.features.dim();
+        // --- Logical plan (validates columns against the catalog) -------
         let kind = self.resolve_model_kind(model_name_raw, &table)?;
+        let sparams = StrategyParams::default()
+            .with_buffer_fraction(buffer_fraction)
+            .with_seed(seed);
+        let spec = TrainPlanSpec {
+            table: table_name.to_string(),
+            model: kind.name().to_string(),
+            epochs,
+            strategy,
+            projection: projection.clone(),
+            filter: filter.clone(),
+            buffer_blocks: sparams.buffer_blocks(&table),
+        };
+        let mut plan = LogicalPlan::build(&spec, &table)?;
+        if pushdown {
+            plan = plan.push_down();
+        }
+
+        // --- Model ------------------------------------------------------
+        let dim_all = table.get_tuple(0)?.features.dim();
+        let projected = projection.feature_indices();
+        let dim = projected.as_ref().map(|c| c.len()).unwrap_or(dim_all);
         let model = build_model(&kind, dim, seed);
         let optimizer = OptimizerKind::Sgd {
             lr0: learning_rate,
@@ -512,65 +525,22 @@ impl Session {
             clip_norm: 0.0,
             l2,
         };
-        let sparams = StrategyParams::default()
-            .with_buffer_fraction(buffer_fraction)
-            .with_seed(seed);
-        let buffer_tuples = sparams.buffer_tuples(&table);
 
-        // --- Physical plan ----------------------------------------------
-        let mut setup_seconds = 0.0;
-        let child: Box<dyn PhysicalOperator> = match strategy.as_str() {
-            "corgipile" => Box::new(TupleShuffleOp::new(
-                Box::new(BlockShuffleOp::new(
-                    table.clone(),
-                    ScanMode::RandomBlocks,
-                    seed,
-                )),
-                buffer_tuples,
-                sparams,
-            )),
-            "block_only" => Box::new(BlockShuffleOp::new(
-                table.clone(),
-                ScanMode::RandomBlocks,
-                seed,
-            )),
-            "tuple_only" => Box::new(TupleShuffleOp::new(
-                Box::new(BlockShuffleOp::new(
-                    table.clone(),
-                    ScanMode::Sequential,
-                    seed,
-                )),
-                buffer_tuples,
-                sparams,
-            )),
-            "no" => Box::new(BlockShuffleOp::new(
-                table.clone(),
-                ScanMode::Sequential,
-                seed,
-            )),
-            "once" => {
-                // Offline shuffle first (ORDER BY RANDOM(); 2× storage).
-                let io_before = self.dev.stats().io_seconds;
-                let mut order: Vec<u64> = (0..table.num_tuples()).collect();
-                shuffle_in_place(&mut StdRng::seed_from_u64(seed), &mut order);
-                let copy_name = format!("{table_name}_shuffled");
-                let copy_id = self.catalog().fresh_table_id();
-                let src = &table;
-                let copy = self
-                    .dev
-                    .with(|d| src.materialize_reordered(&order, copy_name, copy_id, d))?;
-                setup_seconds = self.dev.stats().io_seconds - io_before;
-                Box::new(BlockShuffleOp::new(
-                    Arc::new(copy),
-                    ScanMode::Sequential,
-                    seed,
-                ))
-            }
-            other => return Err(DbError::UnknownStrategy(other.to_string())),
-        };
+        // --- Physical plan (single construction site: plan.rs) ----------
+        let catalog = self.db.catalog();
+        let physical = build_physical(
+            &plan,
+            &table,
+            table_name,
+            &sparams,
+            seed,
+            &mut self.dev,
+            catalog,
+        )?;
+        let setup_seconds = physical.setup_seconds;
 
         let mut sgd = SgdOperator::new(
-            child,
+            physical.child,
             model,
             optimizer,
             options,
@@ -579,8 +549,26 @@ impl Session {
             double_buffer,
         );
         sgd.setup_seconds = setup_seconds;
+        // Evaluation sees exactly what training saw: the filtered,
+        // projected tuple set.
+        let eval: Arc<Vec<Tuple>> = {
+            let all = table.all_tuples();
+            if filter.is_some() || projected.is_some() {
+                Arc::new(
+                    all.iter()
+                        .filter(|t| filter.as_ref().is_none_or(|p| p.matches(t)))
+                        .map(|t| match &projected {
+                            Some(cols) => project_tuple(t, cols),
+                            None => t.clone(),
+                        })
+                        .collect(),
+                )
+            } else {
+                Arc::new(all)
+            }
+        };
         if report_metrics {
-            sgd.eval_each_epoch = Some(table.clone());
+            sgd.eval_each_epoch = Some(eval.clone());
         }
         sgd.checkpoint_seed = seed;
         sgd.halt_after_epoch = halt_after_epoch;
@@ -609,12 +597,20 @@ impl Session {
         ctx.on_fault = on_fault;
         let result = sgd.execute(&mut ctx)?;
 
+        // Selectivity is observable even when telemetry consumers never
+        // look at op stats: total rows the scan's fused predicate dropped.
+        let filtered: u64 = result.op_stats.iter().map(|s| s.rows_filtered).sum();
+        if filtered > 0 {
+            self.telemetry
+                .counter("db.scan.rows_filtered")
+                .add(filtered);
+        }
+
         // --- Evaluate & store --------------------------------------------
-        let all = table.all_tuples();
         let final_metric = if result.model.is_classifier() {
-            accuracy(result.model.as_ref(), &all)
+            accuracy(result.model.as_ref(), eval.iter())
         } else {
-            r_squared(result.model.as_ref(), &all)
+            r_squared(result.model.as_ref(), eval.iter())
         };
         let stored_name = params
             .get("model_name")
@@ -634,7 +630,7 @@ impl Session {
         Ok(QueryResult::Train(DbTrainSummary {
             model_name: stored_name,
             model_kind: kind,
-            strategy,
+            strategy: strategy.name().to_string(),
             setup_seconds,
             epochs: result.epochs,
             final_train_metric: final_metric,
@@ -890,6 +886,162 @@ mod tests {
         assert!(s
             .execute("EXPLAIN SELECT * FROM higgs TRAIN BY svm WITH strategy = 'bogus'")
             .is_err());
+    }
+
+    #[test]
+    fn where_predicate_trains_on_the_matching_subset() {
+        let mut s = session_with_higgs(2000);
+        let t = train_summary(
+            s.execute(
+                "SELECT * FROM higgs WHERE id < 500 TRAIN BY svm WITH \
+                 max_epoch_num = 2, model_name = m",
+            )
+            .unwrap(),
+        );
+        // The SGD node sees only the 500 survivors, each epoch.
+        assert_eq!(t.op_stats[0].rows, 1000);
+        let dropped: u64 = t.op_stats.iter().map(|s| s.rows_filtered).sum();
+        assert_eq!(dropped, 2 * 1500);
+        assert!(s.catalog().model("m").is_ok());
+    }
+
+    #[test]
+    fn projection_shrinks_the_model_dimension() {
+        let mut s = session_with_higgs(1000);
+        let t = train_summary(
+            s.execute(
+                "SELECT f0, f3, f5 FROM higgs TRAIN BY svm WITH \
+                 max_epoch_num = 1, model_name = m",
+            )
+            .unwrap(),
+        );
+        assert!(t.final_train_metric > 0.0);
+        let m = s.catalog().model("m").unwrap();
+        assert_eq!(m.dim, 3);
+    }
+
+    #[test]
+    fn explain_shows_pushed_predicate_on_the_scan_node() {
+        let mut s = session_with_higgs(1000);
+        let lines = match s
+            .execute("EXPLAIN SELECT f0, f1 FROM higgs WHERE f0 > 0.5 AND label = 1 TRAIN BY svm")
+            .unwrap()
+        {
+            QueryResult::Plan(lines) => lines,
+            _ => panic!("expected a plan"),
+        };
+        let scan = lines
+            .iter()
+            .position(|l| l.contains("BlockShuffle (random"))
+            .expect("scan node");
+        assert!(
+            lines[scan + 1]
+                .trim_start()
+                .starts_with("Output: f0, f1, label"),
+            "projection on scan node: {lines:?}"
+        );
+        assert!(
+            lines[scan + 2]
+                .trim_start()
+                .starts_with("Filter: (f0 > 0.5 AND label = 1)"),
+            "predicate on scan node: {lines:?}"
+        );
+        assert!(
+            !lines.iter().any(|l| l.contains("-> Filter")),
+            "no separate Filter node above TupleShuffle: {lines:?}"
+        );
+        // With pushdown disabled the filter/project stay above the shuffle.
+        let lines = match s
+            .execute("EXPLAIN SELECT * FROM higgs WHERE f0 > 0.5 TRAIN BY svm WITH pushdown = 0")
+            .unwrap()
+        {
+            QueryResult::Plan(lines) => lines,
+            _ => panic!("expected a plan"),
+        };
+        assert!(lines.iter().any(|l| l.contains("-> Filter (f0 > 0.5)")));
+    }
+
+    #[test]
+    fn explain_rejects_unknown_columns_at_planning_time() {
+        let mut s = session_with_higgs(300);
+        // f40 is out of range for the 28-feature table: structured error,
+        // raised by EXPLAIN without executing anything.
+        assert!(matches!(
+            s.execute("EXPLAIN SELECT * FROM higgs WHERE f40 > 0 TRAIN BY svm"),
+            Err(DbError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            s.execute("EXPLAIN SELECT f99 FROM higgs TRAIN BY svm"),
+            Err(DbError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            s.execute("SELECT id FROM higgs TRAIN BY svm"),
+            Err(DbError::UnknownColumn(_))
+        ));
+        match s.execute("SHOW MODELS").unwrap() {
+            QueryResult::Names(names) => assert!(names.is_empty()),
+            _ => panic!("expected names"),
+        }
+    }
+
+    #[test]
+    fn explain_analyze_reports_rows_removed_by_filter() {
+        let mut s = session_with_higgs(2000);
+        let lines = match s
+            .execute(
+                "EXPLAIN ANALYZE SELECT * FROM higgs WHERE id < 1000 TRAIN BY svm \
+                 WITH max_epoch_num = 2",
+            )
+            .unwrap()
+        {
+            QueryResult::Plan(lines) => lines,
+            _ => panic!("expected plan lines"),
+        };
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.trim_start() == "Rows Removed by Filter: 2000"),
+            "rows removed: {lines:?}"
+        );
+        assert!(lines
+            .iter()
+            .any(|l| l.trim_start().starts_with("Filter: (id < 1000)")));
+    }
+
+    #[test]
+    fn pushdown_buffers_fewer_tuples_with_bit_identical_models() {
+        let mut s = session_with_higgs(4000);
+        let mut run = |pushdown: usize| -> DbTrainSummary {
+            train_summary(
+                s.execute(&format!(
+                    "SELECT * FROM higgs WHERE id < 400 TRAIN BY svm WITH \
+                     max_epoch_num = 2, pushdown = {pushdown}, model_name = m_p{pushdown}"
+                ))
+                .unwrap(),
+            )
+        };
+        let pushed = run(1);
+        let post = run(0);
+        assert_eq!(
+            s.catalog().model("m_p1").unwrap().params,
+            s.catalog().model("m_p0").unwrap().params,
+            "pushdown must not change the visit order"
+        );
+        // At 10% selectivity the post-filter plan buffers the whole table
+        // every epoch, the pushdown plan only the survivors: 10x fewer.
+        let buffered = |t: &DbTrainSummary| {
+            t.op_stats
+                .iter()
+                .find(|o| o.name == "TupleShuffle")
+                .map(|o| o.buffered_tuples)
+                .unwrap()
+        };
+        assert!(
+            buffered(&post) >= 5 * buffered(&pushed),
+            "pushdown {} vs post-filter {}",
+            buffered(&pushed),
+            buffered(&post)
+        );
     }
 
     #[test]

@@ -4,16 +4,21 @@
 //! SELECT * FROM forest TRAIN BY svm WITH learning_rate = 0.1,
 //!        max_epoch_num = 20, block_size = 10MB, buffer_fraction = 0.1,
 //!        strategy = 'corgipile', model_name = 'forest_svm';
+//! SELECT f0, f3, label FROM forest WHERE f2 > 0.5 AND label = 1 TRAIN BY svm;
 //! SELECT * FROM forest PREDICT BY forest_svm;
 //! ```
 //!
 //! The grammar is a tiny hand-rolled recursive-descent parser: keywords are
 //! case-insensitive, parameters are `name = value` pairs where values are
 //! numbers, quoted strings, bare identifiers, or byte sizes (`10MB`,
-//! `512KB`).
+//! `512KB`). The `WHERE` clause is a typed predicate AST over the columns
+//! `id`, `label`, and `f<N>` (feature index `N`), with `AND` binding tighter
+//! than `OR` and parentheses for grouping.
 
 use crate::error::DbError;
+use corgipile_storage::Tuple;
 use std::collections::BTreeMap;
+use std::fmt;
 
 /// A parsed parameter value.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,16 +61,310 @@ impl ParamValue {
     }
 }
 
+/// A column reference in a projection list or predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ColumnRef {
+    /// The tuple id (stable storage identifier; useful for exact-selectivity
+    /// predicates like `id < 4000`).
+    Id,
+    /// The training label.
+    Label,
+    /// Feature at index `N`, written `f<N>`.
+    Feature(usize),
+}
+
+impl ColumnRef {
+    /// Parse a column name. Unknown names are structured
+    /// [`DbError::UnknownColumn`] errors, not generic parse errors.
+    pub fn parse(name: &str) -> Result<Self, DbError> {
+        let lower = name.to_ascii_lowercase();
+        match lower.as_str() {
+            "id" => Ok(ColumnRef::Id),
+            "label" => Ok(ColumnRef::Label),
+            s => {
+                if let Some(idx) = s.strip_prefix('f') {
+                    if !idx.is_empty() && idx.bytes().all(|b| b.is_ascii_digit()) {
+                        if let Ok(i) = idx.parse::<usize>() {
+                            return Ok(ColumnRef::Feature(i));
+                        }
+                    }
+                }
+                Err(DbError::UnknownColumn(format!(
+                    "{name} (expected id, label, or f<N>)"
+                )))
+            }
+        }
+    }
+
+    /// Numeric value of this column for a tuple.
+    pub fn value_of(self, t: &Tuple) -> f64 {
+        match self {
+            ColumnRef::Id => t.id as f64,
+            ColumnRef::Label => f64::from(t.label),
+            ColumnRef::Feature(i) => f64::from(t.features.get(i)),
+        }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnRef::Id => write!(f, "id"),
+            ColumnRef::Label => write!(f, "label"),
+            ColumnRef::Feature(i) => write!(f, "f{i}"),
+        }
+    }
+}
+
+/// Comparison operator in a predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+}
+
+impl CmpOp {
+    fn parse(tok: &str) -> Option<Self> {
+        match tok {
+            "<" => Some(CmpOp::Lt),
+            "<=" => Some(CmpOp::Le),
+            ">" => Some(CmpOp::Gt),
+            ">=" => Some(CmpOp::Ge),
+            "=" => Some(CmpOp::Eq),
+            "!=" | "<>" => Some(CmpOp::Ne),
+            _ => None,
+        }
+    }
+
+    fn eval(self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A typed `WHERE` predicate: comparisons on `id` / `label` / `f<N>`
+/// combined with `AND` (binds tighter) and `OR`, plus parentheses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `<column> <op> <number>`.
+    Cmp {
+        /// Left-hand column.
+        col: ColumnRef,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right-hand numeric literal.
+        value: f64,
+    },
+    /// Conjunction (binds tighter than `Or`).
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+}
+
+impl Predicate {
+    /// Evaluate the predicate against one tuple.
+    pub fn matches(&self, t: &Tuple) -> bool {
+        match self {
+            Predicate::Cmp { col, op, value } => op.eval(col.value_of(t), *value),
+            Predicate::And(a, b) => a.matches(t) && b.matches(t),
+            Predicate::Or(a, b) => a.matches(t) || b.matches(t),
+        }
+    }
+
+    /// Visit every column referenced by the predicate (for validation
+    /// against the catalog's feature count at planning time).
+    pub fn for_each_column(&self, f: &mut impl FnMut(ColumnRef)) {
+        match self {
+            Predicate::Cmp { col, .. } => f(*col),
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.for_each_column(f);
+                b.for_each_column(f);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // `AND` children that are `OR` nodes need parentheses to round-trip;
+        // everything else renders flat.
+        fn side(p: &Predicate, under_and: bool, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            if under_and && matches!(p, Predicate::Or(..)) {
+                write!(f, "({p})")
+            } else {
+                write!(f, "{p}")
+            }
+        }
+        match self {
+            Predicate::Cmp { col, op, value } => write!(f, "{col} {op} {value}"),
+            Predicate::And(a, b) => {
+                side(a, true, f)?;
+                write!(f, " AND ")?;
+                side(b, true, f)
+            }
+            Predicate::Or(a, b) => {
+                side(a, false, f)?;
+                write!(f, " OR ")?;
+                side(b, false, f)
+            }
+        }
+    }
+}
+
+/// The `SELECT` projection list.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum Projection {
+    /// `SELECT *`: every feature plus the label.
+    #[default]
+    All,
+    /// Explicit column list (feature columns, optionally `label`; the label
+    /// is always retained for training regardless).
+    Columns(Vec<ColumnRef>),
+}
+
+impl Projection {
+    /// True for `SELECT *`.
+    pub fn is_all(&self) -> bool {
+        matches!(self, Projection::All)
+    }
+
+    /// The projected feature indices in declared order, or `None` for `*`.
+    pub fn feature_indices(&self) -> Option<Vec<usize>> {
+        match self {
+            Projection::All => None,
+            Projection::Columns(cols) => Some(
+                cols.iter()
+                    .filter_map(|c| match c {
+                        ColumnRef::Feature(i) => Some(*i),
+                        _ => None,
+                    })
+                    .collect(),
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Projection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Projection::All => write!(f, "*"),
+            Projection::Columns(cols) => {
+                for (i, c) in cols.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Shuffle strategy for `TRAIN BY ... WITH strategy = '...'`.
+///
+/// Replaces the old stringly `"corgipile" | "block_only" | ...` match in
+/// the session: unknown names are rejected at parse time with
+/// [`DbError::UnknownStrategy`], and the planner matches exhaustively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StrategyKind {
+    /// Block shuffle + tuple shuffle (the paper's two-level scheme).
+    #[default]
+    CorgiPile,
+    /// Block-level shuffle only.
+    BlockOnly,
+    /// Buffered tuple-level shuffle over a sequential scan.
+    TupleOnly,
+    /// No shuffling at all (stored order).
+    NoShuffle,
+    /// One offline full shuffle into a materialized copy, then sequential.
+    ShuffleOnce,
+}
+
+impl StrategyKind {
+    /// Parse the strategy name used in `WITH strategy = '<name>'`.
+    pub fn from_name(name: &str) -> Result<Self, DbError> {
+        match name.to_ascii_lowercase().as_str() {
+            "corgipile" => Ok(StrategyKind::CorgiPile),
+            "block_only" => Ok(StrategyKind::BlockOnly),
+            "tuple_only" => Ok(StrategyKind::TupleOnly),
+            "no" => Ok(StrategyKind::NoShuffle),
+            "once" => Ok(StrategyKind::ShuffleOnce),
+            other => Err(DbError::UnknownStrategy(other.to_string())),
+        }
+    }
+
+    /// The canonical SQL name (what `from_name` accepts).
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::CorgiPile => "corgipile",
+            StrategyKind::BlockOnly => "block_only",
+            StrategyKind::TupleOnly => "tuple_only",
+            StrategyKind::NoShuffle => "no",
+            StrategyKind::ShuffleOnce => "once",
+        }
+    }
+
+    /// Does this strategy interpose a buffered tuple shuffle above the scan?
+    pub fn uses_tuple_shuffle(self) -> bool {
+        matches!(self, StrategyKind::CorgiPile | StrategyKind::TupleOnly)
+    }
+}
+
+impl fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
 /// A parsed query.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Query {
-    /// `SELECT * FROM <table> TRAIN BY <model> [WITH k = v, …]`.
+    /// `SELECT <cols|*> FROM <table> [WHERE <pred>] TRAIN BY <model>
+    /// [WITH k = v, …]`.
     Train {
         /// Source table.
         table: String,
         /// Model kind name (`svm`, `lr`, `linreg`, `softmax`, `mlp`).
         model: String,
-        /// `WITH` parameters.
+        /// Projection list (`*` or explicit columns).
+        projection: Projection,
+        /// Optional `WHERE` predicate.
+        filter: Option<Predicate>,
+        /// Shuffle strategy (from the `strategy` parameter; defaults to
+        /// CorgiPile).
+        strategy: StrategyKind,
+        /// Remaining `WITH` parameters.
         params: BTreeMap<String, ParamValue>,
     },
     /// `SELECT * FROM <table> PREDICT BY <model_name>`.
@@ -129,6 +428,16 @@ fn tokenize(input: &str) -> Vec<&str> {
         } else if c == ',' || c == '=' || c == '*' || c == ';' || c == '(' || c == ')' {
             toks.push(&input[i..i + 1]);
             i += 1;
+        } else if c == '<' || c == '>' || c == '!' {
+            // Comparison operators, including the two-character forms
+            // `<=`, `>=`, `!=`, `<>`.
+            let next = bytes.get(i + 1).map(|&b| b as char);
+            let len = match (c, next) {
+                (_, Some('=')) | ('<', Some('>')) => 2,
+                _ => 1,
+            };
+            toks.push(&input[i..i + len]);
+            i += len;
         } else if c == '\'' {
             let start = i + 1;
             let mut j = start;
@@ -143,7 +452,12 @@ fn tokenize(input: &str) -> Vec<&str> {
             let start = i;
             while i < bytes.len() {
                 let c = bytes[i] as char;
-                if c.is_whitespace() || matches!(c, ',' | '=' | '*' | ';' | '(' | ')' | '\'') {
+                if c.is_whitespace()
+                    || matches!(
+                        c,
+                        ',' | '=' | '*' | ';' | '(' | ')' | '\'' | '<' | '>' | '!'
+                    )
+                {
                     break;
                 }
                 i += 1;
@@ -216,6 +530,81 @@ pub fn parse(input: &str) -> Result<Query, DbError> {
     parse_tokens(&mut t)
 }
 
+// Predicate grammar (lowest to highest precedence):
+//   pred    := and (OR and)*
+//   and     := primary (AND primary)*
+//   primary := '(' pred ')' | column cmp number
+fn parse_predicate(t: &mut Tokens) -> Result<Predicate, DbError> {
+    let mut left = parse_and(t)?;
+    while matches!(t.peek(), Some(w) if w.eq_ignore_ascii_case("OR")) {
+        t.bump();
+        let right = parse_and(t)?;
+        left = Predicate::Or(Box::new(left), Box::new(right));
+    }
+    Ok(left)
+}
+
+fn parse_and(t: &mut Tokens) -> Result<Predicate, DbError> {
+    let mut left = parse_cmp_or_group(t)?;
+    while matches!(t.peek(), Some(w) if w.eq_ignore_ascii_case("AND")) {
+        t.bump();
+        let right = parse_cmp_or_group(t)?;
+        left = Predicate::And(Box::new(left), Box::new(right));
+    }
+    Ok(left)
+}
+
+fn parse_cmp_or_group(t: &mut Tokens) -> Result<Predicate, DbError> {
+    if t.peek() == Some("(") {
+        t.bump();
+        let inner = parse_predicate(t)?;
+        match t.bump() {
+            Some(")") => return Ok(inner),
+            Some(other) => {
+                return Err(DbError::Parse(format!("expected ')', found {other:?}")));
+            }
+            None => return Err(DbError::Parse("expected ')', found end of input".into())),
+        }
+    }
+    let col = ColumnRef::parse(&t.ident("predicate column")?)?;
+    let op = match t.bump() {
+        Some(tok) => CmpOp::parse(tok).ok_or_else(|| {
+            DbError::Parse(format!(
+                "expected comparison operator (< <= > >= = != <>), found {tok:?}"
+            ))
+        })?,
+        None => {
+            return Err(DbError::Parse(
+                "expected comparison operator, found end of input".into(),
+            ));
+        }
+    };
+    match t.bump() {
+        Some(tok) => match tok.parse::<f64>() {
+            Ok(value) if value.is_finite() => Ok(Predicate::Cmp { col, op, value }),
+            _ => Err(DbError::Parse(format!(
+                "predicate {col} {op} {tok}: right-hand side must be a finite numeric literal"
+            ))),
+        },
+        None => Err(DbError::Parse(
+            "expected numeric literal, found end of input".into(),
+        )),
+    }
+}
+
+fn parse_projection(t: &mut Tokens) -> Result<Projection, DbError> {
+    if t.peek() == Some("*") {
+        t.bump();
+        return Ok(Projection::All);
+    }
+    let mut cols = vec![ColumnRef::parse(&t.ident("projection column")?)?];
+    while t.peek() == Some(",") {
+        t.bump();
+        cols.push(ColumnRef::parse(&t.ident("projection column")?)?);
+    }
+    Ok(Projection::Columns(cols))
+}
+
 /// Parse one query from the remaining token stream. `EXPLAIN [ANALYZE]`
 /// recurses over the tokens that follow the keyword rather than re-finding
 /// a substring in the raw input.
@@ -237,9 +626,16 @@ fn parse_tokens(t: &mut Tokens) -> Result<Query, DbError> {
         _ => {}
     }
     t.expect_kw("SELECT")?;
-    t.expect_kw("*")?;
+    let projection = parse_projection(t)?;
     t.expect_kw("FROM")?;
     let table = t.ident("table name")?;
+    let filter = match t.peek() {
+        Some(w) if w.eq_ignore_ascii_case("WHERE") => {
+            t.bump();
+            Some(parse_predicate(t)?)
+        }
+        _ => None,
+    };
     let verb = t
         .bump()
         .ok_or_else(|| DbError::Parse("expected TRAIN or PREDICT".into()))?;
@@ -247,6 +643,7 @@ fn parse_tokens(t: &mut Tokens) -> Result<Query, DbError> {
         t.expect_kw("BY")?;
         let model = t.ident("model kind")?.to_ascii_lowercase();
         let mut params = BTreeMap::new();
+        let mut strategy = StrategyKind::default();
         match t.peek() {
             Some(w) if w.eq_ignore_ascii_case("WITH") => {
                 t.bump();
@@ -256,7 +653,21 @@ fn parse_tokens(t: &mut Tokens) -> Result<Query, DbError> {
                     let val = t
                         .bump()
                         .ok_or_else(|| DbError::Parse(format!("missing value for {key}")))?;
-                    params.insert(key, parse_value(val));
+                    if key == "strategy" {
+                        // Typed at parse time: unknown names never reach the
+                        // planner.
+                        let name = match parse_value(val) {
+                            ParamValue::Text(s) => s,
+                            other => {
+                                return Err(DbError::BadParam(format!(
+                                    "strategy must be a name, got {other:?}"
+                                )))
+                            }
+                        };
+                        strategy = StrategyKind::from_name(&name)?;
+                    } else {
+                        params.insert(key, parse_value(val));
+                    }
                     match t.peek() {
                         Some(",") => {
                             t.bump();
@@ -276,9 +687,22 @@ fn parse_tokens(t: &mut Tokens) -> Result<Query, DbError> {
         Ok(Query::Train {
             table,
             model,
+            projection,
+            filter,
+            strategy,
             params,
         })
     } else if verb.eq_ignore_ascii_case("PREDICT") {
+        if !projection.is_all() {
+            return Err(DbError::Parse(
+                "PREDICT BY requires SELECT * (projections apply to TRAIN only)".into(),
+            ));
+        }
+        if filter.is_some() {
+            return Err(DbError::Parse(
+                "PREDICT BY does not support WHERE (filters apply to TRAIN only)".into(),
+            ));
+        }
         t.expect_kw("BY")?;
         let model = t.ident("model name")?;
         Ok(Query::Predict { table, model })
@@ -293,6 +717,20 @@ fn parse_tokens(t: &mut Tokens) -> Result<Query, DbError> {
 mod tests {
     use super::*;
 
+    fn train_parts(input: &str) -> (String, String, Projection, Option<Predicate>, StrategyKind) {
+        match parse(input).unwrap() {
+            Query::Train {
+                table,
+                model,
+                projection,
+                filter,
+                strategy,
+                ..
+            } => (table, model, projection, filter, strategy),
+            other => panic!("expected Train, got {other:?}"),
+        }
+    }
+
     #[test]
     fn parses_minimal_train() {
         let q = parse("SELECT * FROM forest TRAIN BY svm").unwrap();
@@ -301,6 +739,9 @@ mod tests {
             Query::Train {
                 table: "forest".into(),
                 model: "svm".into(),
+                projection: Projection::All,
+                filter: None,
+                strategy: StrategyKind::CorgiPile,
                 params: BTreeMap::new()
             }
         );
@@ -318,14 +759,17 @@ mod tests {
             Query::Train {
                 table,
                 model,
+                strategy,
                 params,
+                ..
             } => {
                 assert_eq!(table, "t");
                 assert_eq!(model, "lr");
                 assert_eq!(params["learning_rate"], ParamValue::Number(0.1));
                 assert_eq!(params["max_epoch_num"].as_usize(), Some(20));
                 assert_eq!(params["block_size"], ParamValue::Bytes(10 << 20));
-                assert_eq!(params["strategy"].as_text(), Some("corgipile"));
+                assert_eq!(strategy, StrategyKind::CorgiPile);
+                assert!(!params.contains_key("strategy"), "strategy is typed now");
                 assert_eq!(params["model_name"].as_text(), Some("m1"));
             }
             _ => panic!("wrong variant"),
@@ -411,11 +855,12 @@ mod tests {
                 Query::Train {
                     ref table,
                     ref model,
-                    ref params,
+                    strategy,
+                    ..
                 } => {
                     assert_eq!(table, "t");
                     assert_eq!(model, "svm");
-                    assert_eq!(params["strategy"].as_text(), Some("corgipile"));
+                    assert_eq!(strategy, StrategyKind::CorgiPile);
                 }
                 ref other => panic!("expected Train inside, got {other:?}"),
             },
@@ -470,10 +915,222 @@ mod tests {
     fn trailing_semicolon_and_quotes() {
         let q = parse("SELECT * FROM t TRAIN BY svm WITH strategy = 'once';").unwrap();
         match q {
-            Query::Train { params, .. } => {
-                assert_eq!(params["strategy"].as_text(), Some("once"));
+            Query::Train { strategy, .. } => {
+                assert_eq!(strategy, StrategyKind::ShuffleOnce);
             }
             _ => panic!(),
         }
+    }
+
+    #[test]
+    fn unknown_strategy_is_rejected_at_parse_time() {
+        for bad in ["mrs", "sliding_window", "CORGI", ""] {
+            match parse(&format!(
+                "SELECT * FROM t TRAIN BY svm WITH strategy = '{bad}'"
+            )) {
+                Err(DbError::UnknownStrategy(s)) => assert_eq!(s, bad.to_ascii_lowercase()),
+                other => panic!("strategy {bad:?}: expected UnknownStrategy, got {other:?}"),
+            }
+        }
+        // Non-text strategy values are parameter errors, not strategies.
+        assert!(matches!(
+            parse("SELECT * FROM t TRAIN BY svm WITH strategy = 3"),
+            Err(DbError::BadParam(_))
+        ));
+    }
+
+    #[test]
+    fn strategy_names_round_trip() {
+        for kind in [
+            StrategyKind::CorgiPile,
+            StrategyKind::BlockOnly,
+            StrategyKind::TupleOnly,
+            StrategyKind::NoShuffle,
+            StrategyKind::ShuffleOnce,
+        ] {
+            assert_eq!(StrategyKind::from_name(kind.name()).unwrap(), kind);
+        }
+        assert!(StrategyKind::CorgiPile.uses_tuple_shuffle());
+        assert!(StrategyKind::TupleOnly.uses_tuple_shuffle());
+        assert!(!StrategyKind::NoShuffle.uses_tuple_shuffle());
+    }
+
+    #[test]
+    fn parses_where_predicates_with_all_operators() {
+        let (_, _, _, filter, _) = train_parts("SELECT * FROM t WHERE f3 >= 0.5 TRAIN BY svm");
+        assert_eq!(
+            filter,
+            Some(Predicate::Cmp {
+                col: ColumnRef::Feature(3),
+                op: CmpOp::Ge,
+                value: 0.5
+            })
+        );
+        for (text, op) in [
+            ("<", CmpOp::Lt),
+            ("<=", CmpOp::Le),
+            (">", CmpOp::Gt),
+            (">=", CmpOp::Ge),
+            ("=", CmpOp::Eq),
+            ("!=", CmpOp::Ne),
+            ("<>", CmpOp::Ne),
+        ] {
+            let (_, _, _, filter, _) = train_parts(&format!(
+                "SELECT * FROM t WHERE label {text} 1 TRAIN BY svm"
+            ));
+            match filter {
+                Some(Predicate::Cmp {
+                    col: ColumnRef::Label,
+                    op: got,
+                    value,
+                }) => {
+                    assert_eq!(got, op, "{text}");
+                    assert_eq!(value, 1.0);
+                }
+                other => panic!("{text}: {other:?}"),
+            }
+        }
+        // Operators bind without whitespace too.
+        let (_, _, _, filter, _) = train_parts("SELECT * FROM t WHERE f0<=-1.5 TRAIN BY svm");
+        assert_eq!(
+            filter,
+            Some(Predicate::Cmp {
+                col: ColumnRef::Feature(0),
+                op: CmpOp::Le,
+                value: -1.5
+            })
+        );
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        let (_, _, _, filter, _) =
+            train_parts("SELECT * FROM t WHERE f1 > 0 AND f2 > 0 OR label = 1 TRAIN BY svm");
+        // (f1 > 0 AND f2 > 0) OR label = 1
+        match filter.unwrap() {
+            Predicate::Or(lhs, rhs) => {
+                assert!(matches!(*lhs, Predicate::And(..)), "lhs: {lhs:?}");
+                assert!(
+                    matches!(
+                        *rhs,
+                        Predicate::Cmp {
+                            col: ColumnRef::Label,
+                            ..
+                        }
+                    ),
+                    "rhs: {rhs:?}"
+                );
+            }
+            other => panic!("expected OR at root, got {other:?}"),
+        }
+        // OR then AND: the AND still groups its own operands.
+        let (_, _, _, filter, _) =
+            train_parts("SELECT * FROM t WHERE label = 1 OR f1 > 0 AND f2 > 0 TRAIN BY svm");
+        match filter.unwrap() {
+            Predicate::Or(lhs, rhs) => {
+                assert!(matches!(*lhs, Predicate::Cmp { .. }));
+                assert!(matches!(*rhs, Predicate::And(..)));
+            }
+            other => panic!("expected OR at root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parentheses_override_precedence() {
+        let (_, _, _, filter, _) =
+            train_parts("SELECT * FROM t WHERE f1 > 0 AND (f2 > 0 OR label = 1) TRAIN BY svm");
+        match filter.unwrap() {
+            Predicate::And(lhs, rhs) => {
+                assert!(matches!(*lhs, Predicate::Cmp { .. }));
+                assert!(matches!(*rhs, Predicate::Or(..)), "rhs: {rhs:?}");
+            }
+            other => panic!("expected AND at root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn predicate_display_round_trips_precedence() {
+        let (_, _, _, filter, _) =
+            train_parts("SELECT * FROM t WHERE f1 > 0 AND (f2 > 0 OR label = 1) TRAIN BY svm");
+        let rendered = filter.clone().unwrap().to_string();
+        assert_eq!(rendered, "f1 > 0 AND (f2 > 0 OR label = 1)");
+        let (_, _, _, reparsed, _) =
+            train_parts(&format!("SELECT * FROM t WHERE {rendered} TRAIN BY svm"));
+        assert_eq!(reparsed, filter);
+    }
+
+    #[test]
+    fn predicate_matches_tuples() {
+        let t = Tuple::dense(7, vec![0.5, -2.0, 3.0], 1.0);
+        let (_, _, _, filter, _) =
+            train_parts("SELECT * FROM x WHERE f0 >= 0.5 AND f1 < 0 AND label = 1 TRAIN BY svm");
+        assert!(filter.as_ref().unwrap().matches(&t));
+        let (_, _, _, filter, _) =
+            train_parts("SELECT * FROM x WHERE id < 7 OR f2 > 2.5 TRAIN BY svm");
+        assert!(filter.as_ref().unwrap().matches(&t));
+        let (_, _, _, filter, _) =
+            train_parts("SELECT * FROM x WHERE id < 7 AND f2 > 2.5 TRAIN BY svm");
+        assert!(!filter.as_ref().unwrap().matches(&t));
+    }
+
+    #[test]
+    fn parses_projection_lists() {
+        let (_, _, projection, _, _) = train_parts("SELECT f0, f3, label FROM t TRAIN BY svm");
+        assert_eq!(
+            projection,
+            Projection::Columns(vec![
+                ColumnRef::Feature(0),
+                ColumnRef::Feature(3),
+                ColumnRef::Label
+            ])
+        );
+        assert_eq!(projection.feature_indices(), Some(vec![0, 3]));
+        assert_eq!(projection.to_string(), "f0, f3, label");
+        assert_eq!(Projection::All.feature_indices(), None);
+    }
+
+    #[test]
+    fn unknown_columns_are_structured_errors() {
+        for bad in [
+            "SELECT qty FROM t TRAIN BY svm",
+            "SELECT * FROM t WHERE qty > 1 TRAIN BY svm",
+            "SELECT f FROM t TRAIN BY svm",
+            "SELECT fx1 FROM t TRAIN BY svm",
+        ] {
+            assert!(
+                matches!(parse(bad), Err(DbError::UnknownColumn(_))),
+                "{bad:?} should be UnknownColumn, got {:?}",
+                parse(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_predicates_are_parse_errors() {
+        for bad in [
+            "SELECT * FROM t WHERE TRAIN BY svm",
+            "SELECT * FROM t WHERE f1 TRAIN BY svm",
+            "SELECT * FROM t WHERE f1 > TRAIN BY svm",
+            "SELECT * FROM t WHERE f1 > abc TRAIN BY svm",
+            "SELECT * FROM t WHERE (f1 > 1 TRAIN BY svm",
+            "SELECT * FROM t WHERE f1 > 1 AND TRAIN BY svm",
+        ] {
+            match parse(bad) {
+                Err(DbError::Parse(_)) | Err(DbError::UnknownColumn(_)) => {}
+                other => panic!("{bad:?}: expected parse error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn predict_rejects_projection_and_where() {
+        assert!(matches!(
+            parse("SELECT f0 FROM t PREDICT BY m"),
+            Err(DbError::Parse(_))
+        ));
+        assert!(matches!(
+            parse("SELECT * FROM t WHERE f0 > 1 PREDICT BY m"),
+            Err(DbError::Parse(_))
+        ));
     }
 }

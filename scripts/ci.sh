@@ -37,4 +37,10 @@ CORGI_CONCURRENCY_TUPLES=2000 CORGI_CONCURRENCY_EPOCHS=1 \
 python3 -c "import json; json.load(open('BENCH_concurrency.json'))" \
   || { echo "BENCH_concurrency.json is not valid JSON"; exit 1; }
 
+banner "Pushdown bench (smoke scale)"
+CORGI_PUSHDOWN_TUPLES=2000 CORGI_PUSHDOWN_EPOCHS=1 \
+  cargo run --release -p corgipile-bench --bin corgi-bench -- pushdown
+python3 -c "import json; json.load(open('BENCH_pushdown.json'))" \
+  || { echo "BENCH_pushdown.json is not valid JSON"; exit 1; }
+
 banner "CI gate passed"

@@ -205,3 +205,85 @@ fn regression_model_via_sql_reports_r2() {
         _ => unreachable!(),
     }
 }
+
+#[test]
+fn where_pushdown_end_to_end() {
+    let mut s = session();
+    // Train on the first quarter of the table only; the predicate is fused
+    // into the block scan, below the shuffle buffer.
+    let run = |s: &mut Session, pushdown: usize| {
+        let r = s
+            .execute(&format!(
+                "SELECT * FROM susy WHERE id < 2000 TRAIN BY svm WITH \
+                 learning_rate = 0.03, max_epoch_num = 3, pushdown = {pushdown}, \
+                 model_name = m_pd{pushdown}"
+            ))
+            .unwrap();
+        match r {
+            QueryResult::Train(t) => t,
+            _ => panic!("expected train summary"),
+        }
+    };
+    let pushed = run(&mut s, 1);
+    let post = run(&mut s, 0);
+    // Equivalence: same models bit for bit, same rows at the SGD root.
+    assert_eq!(
+        s.catalog().model("m_pd1").unwrap().params,
+        s.catalog().model("m_pd0").unwrap().params,
+    );
+    assert_eq!(pushed.op_stats[0].rows, 3 * 2000);
+    assert_eq!(post.op_stats[0].rows, 3 * 2000);
+    // Economy: the pushdown plan buffers 4x fewer tuples.
+    let buffered = |t: &corgipile::db::DbTrainSummary| {
+        t.op_stats
+            .iter()
+            .find(|o| o.name == "TupleShuffle")
+            .map(|o| o.buffered_tuples)
+            .unwrap()
+    };
+    assert!(buffered(&post) >= 3 * buffered(&pushed));
+
+    // EXPLAIN shows the predicate on the scan node, not a Filter node.
+    let lines = match s
+        .execute("EXPLAIN SELECT f0, f2 FROM susy WHERE f0 > 0 OR label = 1 TRAIN BY svm")
+        .unwrap()
+    {
+        QueryResult::Plan(lines) => lines,
+        _ => panic!("expected a plan"),
+    };
+    let scan = lines
+        .iter()
+        .position(|l| l.contains("BlockShuffle (random"))
+        .expect("scan node");
+    assert!(lines[scan + 1]
+        .trim_start()
+        .starts_with("Output: f0, f2, label"));
+    assert!(lines[scan + 2]
+        .trim_start()
+        .starts_with("Filter: (f0 > 0 OR label = 1)"));
+    assert!(!lines.iter().any(|l| l.contains("-> Filter")));
+
+    // EXPLAIN ANALYZE reports PostgreSQL-style "Rows Removed by Filter".
+    let lines = match s
+        .execute(
+            "EXPLAIN ANALYZE SELECT * FROM susy WHERE id < 2000 TRAIN BY svm \
+             WITH max_epoch_num = 2",
+        )
+        .unwrap()
+    {
+        QueryResult::Plan(lines) => lines,
+        _ => panic!("expected plan lines"),
+    };
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.trim_start() == "Rows Removed by Filter: 12000"),
+        "rows removed: {lines:?}"
+    );
+
+    // Unknown columns fail at planning time with a structured error.
+    assert!(matches!(
+        s.execute("EXPLAIN SELECT * FROM susy WHERE f99 > 0 TRAIN BY svm"),
+        Err(DbError::UnknownColumn(_))
+    ));
+}
