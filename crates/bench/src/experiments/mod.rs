@@ -12,6 +12,7 @@ pub mod io;
 pub mod order_diag;
 pub mod pipeline;
 pub mod pushdown;
+pub mod recovery;
 pub mod tables;
 
 use crate::common::ExpData;
@@ -60,6 +61,7 @@ pub fn registry() -> Vec<Experiment> {
         Experiment { id: "theory", what: "extension: Theorem 1 bound vs measured convergence", run: ablation::theory },
         Experiment { id: "concurrency", what: "extension: work-stealing train_parallel vs fixed interleaver (wall time) + cross-session shared buffers", run: concurrency::concurrency },
         Experiment { id: "pushdown", what: "extension: WHERE pushdown below TupleShuffle vs post-buffer filtering (buffered tuples, I/O, bit identity)", run: pushdown::pushdown },
+        Experiment { id: "recovery", what: "extension: WAL recovery scan time, durable-training overhead, crash-matrix bit-identity", run: recovery::recovery },
     ]
 }
 

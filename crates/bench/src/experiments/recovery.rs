@@ -1,0 +1,434 @@
+//! Recovery benchmark: WAL replay cost, durable-training overhead, and
+//! crash-matrix bit-identity.
+//!
+//! Three measurements back the durability design (DESIGN.md §12):
+//!
+//! 1. **Recovery time vs WAL length** — a model store is filled with an
+//!    increasing number of checkpoint records (compaction disabled so the
+//!    log grows), then reopened cold; `ModelStore::open` scans the whole
+//!    log, so recovery time should grow linearly in WAL bytes.
+//! 2. **Durable-training overhead** — the same `TRAIN BY` query runs with
+//!    `durable = 0` and `durable = 1` (best-of-`reps` wall clock). The
+//!    durable run pays one CRC-framed append + fsync per *epoch*, which
+//!    must stay under 10% of end-to-end training time.
+//! 3. **Crash matrix (sampled)** — kill the durable run at representative
+//!    write sites, recover on a clean engine, resume with the same SQL,
+//!    and require bit-identity with an uninterrupted run
+//!    (`bit_identical_all`). The full matrix lives in
+//!    `tests/crash_recovery.rs`; this samples it under benchmark scale.
+//!
+//! Writes `results/recovery.{tsv,json}` plus the root-level
+//! `BENCH_recovery.json` artifact (directory override:
+//! `CORGI_BENCH_ROOT`). `CORGI_RECOVERY_TUPLES` / `CORGI_RECOVERY_EPOCHS`
+//! shrink the run for CI smoke tests.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use crate::report::Report;
+use corgipile_data::{DatasetSpec, Order};
+use corgipile_db::{Database, DbError, ModelStore, ModelStoreOptions, StoredModel};
+use corgipile_ml::{ModelKind, TrainCheckpoint};
+use corgipile_storage::{sites, FaultPlan, SimDevice, StorageError, Table};
+
+/// Cold-open cost of one WAL length.
+#[derive(Debug, Clone)]
+pub struct RecoveryRun {
+    /// Checkpoint records appended before the cold open.
+    pub records: u64,
+    /// WAL bytes scanned at open.
+    pub wal_bytes: u64,
+    /// Wall milliseconds for `ModelStore::open` (recovery scan + replay).
+    pub recovery_ms: f64,
+}
+
+/// Durable-on vs durable-off training cost.
+#[derive(Debug, Clone)]
+pub struct OverheadRun {
+    /// Best wall seconds with `durable = 0`.
+    pub plain_wall_seconds: f64,
+    /// Best wall seconds with `durable = 1`.
+    pub durable_wall_seconds: f64,
+    /// Per-rep (plain, durable) wall-second pairs, interleaved.
+    pub pair_seconds: Vec<(f64, f64)>,
+    /// WAL appends the durable run made (one per epoch).
+    pub appends: u64,
+    /// fsyncs the durable run made.
+    pub fsyncs: u64,
+    /// WAL bytes after the durable run.
+    pub wal_bytes: u64,
+}
+
+impl OverheadRun {
+    /// Durable overhead in percent of the durable-off wall time: the
+    /// median of the paired per-rep ratios (pairing + interleaving cancels
+    /// machine-load drift that would swamp an unpaired min-vs-min).
+    pub fn overhead_pct(&self) -> f64 {
+        let mut ratios: Vec<f64> = self
+            .pair_seconds
+            .iter()
+            .map(|&(plain, durable)| durable / plain)
+            .collect();
+        ratios.sort_by(|a, b| a.total_cmp(b));
+        let median = match ratios.len() {
+            0 => 1.0,
+            n if n % 2 == 1 => ratios[n / 2],
+            n => (ratios[n / 2 - 1] + ratios[n / 2]) / 2.0,
+        };
+        (median - 1.0) * 100.0
+    }
+}
+
+/// One sampled crash-matrix cell.
+#[derive(Debug, Clone)]
+pub struct CrashRun {
+    /// Crash-site label ("crash@wal.after_fsync#2", …).
+    pub label: String,
+    /// Epochs the resumed run still had to train.
+    pub resumed_epochs: u64,
+    /// Recovered + resumed model equals the uninterrupted run bit for bit.
+    pub bit_identical: bool,
+}
+
+fn clustered(n: usize) -> Table {
+    DatasetSpec::higgs_like(n)
+        .with_order(Order::ClusteredByLabel)
+        .with_block_bytes(8 << 10)
+        .build_table(1)
+        .unwrap()
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("corgi_bench_recovery_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+fn train_sql(epochs: usize, durable: usize) -> String {
+    format!(
+        "SELECT * FROM higgs TRAIN BY svm WITH learning_rate = 0.05, \
+         max_epoch_num = {epochs}, seed = 7, model_name = m, durable = {durable}"
+    )
+}
+
+fn engine(table: &Table, dir: &Path, opts: ModelStoreOptions) -> std::sync::Arc<Database> {
+    let db = Database::with_model_store_opts(SimDevice::hdd_scaled(1000.0, 0), 0, dir, opts)
+        .expect("open engine with model store");
+    db.register_table("higgs", table.clone());
+    db
+}
+
+/// Measure the cold-open (recovery) time at each WAL record count.
+pub fn measure_recovery(record_counts: &[u64]) -> Vec<RecoveryRun> {
+    record_counts
+        .iter()
+        .map(|&n| {
+            let dir = bench_dir(&format!("scan_{n}"));
+            // Compaction off so the log keeps every record.
+            let opts = ModelStoreOptions {
+                compact_threshold_bytes: u64::MAX,
+                ..Default::default()
+            };
+            let wal_bytes = {
+                let store = ModelStore::open_with(&dir, opts.clone()).expect("seed store");
+                let ck = TrainCheckpoint {
+                    epoch_next: 1,
+                    seed: 7,
+                    sim_clock: 0.0,
+                    model_params: vec![0.5; 32],
+                    optimizer_state: Vec::new(),
+                };
+                // dim + 1: the linear model carries weights plus a bias.
+                let stored = StoredModel {
+                    kind: ModelKind::Svm,
+                    dim: 32,
+                    params: vec![0.5; 33],
+                    train_loss: 0.0,
+                };
+                for epoch in 1..=n {
+                    let mut c = ck.clone();
+                    c.epoch_next = epoch as usize + 1;
+                    store
+                        .record_checkpoint("m", "higgs", 1, stored.clone(), c)
+                        .expect("append checkpoint");
+                }
+                store.stats().wal_len_bytes
+            };
+            let start = Instant::now();
+            let store = ModelStore::open_with(&dir, opts).expect("cold open");
+            let recovery_ms = start.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(store.stats().recovered_records, n);
+            std::fs::remove_dir_all(&dir).ok();
+            RecoveryRun {
+                records: n,
+                wal_bytes,
+                recovery_ms,
+            }
+        })
+        .collect()
+}
+
+/// Measure durable-on vs durable-off wall time: `reps` interleaved
+/// (plain, durable) pairs after one untimed warmup pair, so both arms see
+/// the same machine conditions and the paired ratio isolates WAL cost.
+pub fn measure_overhead(n_tuples: usize, epochs: usize, reps: usize) -> OverheadRun {
+    let table = clustered(n_tuples);
+    let mut pairs = Vec::with_capacity(reps);
+    let mut appends = 0;
+    let mut fsyncs = 0;
+    let mut wal_bytes = 0;
+    for rep in 0..=reps {
+        let db = Database::new(SimDevice::hdd_scaled(1000.0, 0));
+        db.register_table("higgs", table.clone());
+        let start = Instant::now();
+        db.connect()
+            .execute(&train_sql(epochs, 0))
+            .expect("durable-off train");
+        let plain = start.elapsed().as_secs_f64();
+
+        let dir = bench_dir(&format!("overhead_{rep}"));
+        let db = engine(&table, &dir, ModelStoreOptions::default());
+        let start = Instant::now();
+        db.connect()
+            .execute(&train_sql(epochs, 1))
+            .expect("durable-on train");
+        let durable = start.elapsed().as_secs_f64();
+        if rep > 0 {
+            pairs.push((plain, durable));
+        }
+        let stats = db.model_store().unwrap().stats();
+        appends = stats.appends;
+        fsyncs = stats.fsyncs;
+        wal_bytes = stats.wal_len_bytes;
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    OverheadRun {
+        plain_wall_seconds: pairs.iter().map(|p| p.0).fold(f64::INFINITY, f64::min),
+        durable_wall_seconds: pairs.iter().map(|p| p.1).fold(f64::INFINITY, f64::min),
+        pair_seconds: pairs,
+        appends,
+        fsyncs,
+        wal_bytes,
+    }
+}
+
+/// Kill at sampled write sites; recover, resume, compare bit for bit.
+pub fn measure_crash_matrix(n_tuples: usize, epochs: usize) -> Vec<CrashRun> {
+    let table = clustered(n_tuples);
+    let reference = {
+        let dir = bench_dir("reference");
+        let db = engine(&table, &dir, ModelStoreOptions::default());
+        db.connect()
+            .execute(&train_sql(epochs, 1))
+            .expect("reference train");
+        let params = db.catalog().model("m").unwrap().params.clone();
+        std::fs::remove_dir_all(&dir).ok();
+        params
+    };
+    let cases: Vec<(&str, ModelStoreOptions)> = vec![
+        (
+            "crash@wal.after_fsync#2",
+            ModelStoreOptions {
+                faults: Some(FaultPlan::new(7).with_crash_point(sites::WAL_AFTER_FSYNC, 2)),
+                ..Default::default()
+            },
+        ),
+        (
+            "torn@wal.after_append_before_fsync",
+            ModelStoreOptions {
+                faults: Some(
+                    FaultPlan::new(7).with_torn_write(sites::WAL_AFTER_APPEND_BEFORE_FSYNC, 7),
+                ),
+                ..Default::default()
+            },
+        ),
+        (
+            "crash@model_store.post_snapshot#1",
+            ModelStoreOptions {
+                compact_threshold_bytes: 64,
+                faults: Some(
+                    FaultPlan::new(7).with_crash_point(sites::MODEL_STORE_POST_SNAPSHOT, 1),
+                ),
+                ..Default::default()
+            },
+        ),
+    ];
+    cases
+        .into_iter()
+        .map(|(label, opts)| {
+            let dir = bench_dir(&label.replace(['.', '@', '#'], "_"));
+            {
+                let db = engine(&table, &dir, opts.clone());
+                match db.connect().execute(&train_sql(epochs, 1)) {
+                    Err(DbError::Storage(StorageError::Crashed { .. })) => {}
+                    other => panic!("{label}: expected the injected crash, got {other:?}"),
+                }
+            }
+            let clean = ModelStoreOptions {
+                faults: None,
+                ..opts
+            };
+            let db = engine(&table, &dir, clean);
+            let resumed_epochs = match db.connect().execute(&train_sql(epochs, 1)) {
+                Ok(corgipile_db::QueryResult::Train(t)) => t.epochs.len() as u64,
+                other => panic!("{label}: resume failed: {other:?}"),
+            };
+            let got = db.catalog().model("m").unwrap().params.clone();
+            std::fs::remove_dir_all(&dir).ok();
+            CrashRun {
+                label: label.to_string(),
+                resumed_epochs,
+                bit_identical: got == reference,
+            }
+        })
+        .collect()
+}
+
+/// Render the root-level `BENCH_recovery.json` artifact.
+pub fn render_bench_json(
+    recovery: &[RecoveryRun],
+    overhead: &OverheadRun,
+    crashes: &[CrashRun],
+) -> String {
+    let mut out = String::from("{\n  \"id\": \"recovery\",\n  \"recovery\": [\n");
+    for (i, r) in recovery.iter().enumerate() {
+        let comma = if i + 1 < recovery.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"records\": {}, \"wal_bytes\": {}, \"recovery_ms\": {:.4}}}{}\n",
+            r.records, r.wal_bytes, r.recovery_ms, comma,
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"overhead\": {{\"plain_wall_seconds\": {:.6}, \
+         \"durable_wall_seconds\": {:.6}, \"overhead_pct\": {:.4}, \
+         \"appends\": {}, \"fsyncs\": {}, \"wal_bytes\": {}}},\n  \"crash\": [\n",
+        overhead.plain_wall_seconds,
+        overhead.durable_wall_seconds,
+        overhead.overhead_pct(),
+        overhead.appends,
+        overhead.fsyncs,
+        overhead.wal_bytes,
+    ));
+    for (i, c) in crashes.iter().enumerate() {
+        let comma = if i + 1 < crashes.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"resumed_epochs\": {}, \"bit_identical\": {}}}{}\n",
+            c.label, c.resumed_epochs, c.bit_identical, comma,
+        ));
+    }
+    let all_identical = crashes.iter().all(|c| c.bit_identical);
+    out.push_str(&format!(
+        "  ],\n  \"overhead_pct\": {:.4},\n  \"bit_identical_all\": {all_identical}\n}}",
+        overhead.overhead_pct(),
+    ));
+    out
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The `recovery` experiment: WAL-scan sweep, overhead, sampled crash
+/// matrix, plus the root JSON artifact.
+pub fn recovery() {
+    let n = env_usize("CORGI_RECOVERY_TUPLES", 50_000);
+    let epochs = env_usize("CORGI_RECOVERY_EPOCHS", 4);
+    let scan = measure_recovery(&[8, 64, 512]);
+    let overhead = measure_overhead(n, epochs, 5);
+    let crashes = measure_crash_matrix(n, epochs);
+
+    let mut rep = Report::new(
+        "recovery",
+        "WAL recovery scan, durable-training overhead, crash-matrix bit-identity",
+        &["metric", "value"],
+    );
+    for r in &scan {
+        rep.row_strings(vec![
+            format!("recovery_ms @ {} records ({} B)", r.records, r.wal_bytes),
+            format!("{:.4}", r.recovery_ms),
+        ]);
+    }
+    rep.row_strings(vec![
+        "durable-off wall s".into(),
+        format!("{:.4}", overhead.plain_wall_seconds),
+    ]);
+    rep.row_strings(vec![
+        "durable-on wall s".into(),
+        format!("{:.4}", overhead.durable_wall_seconds),
+    ]);
+    rep.row_strings(vec![
+        "durable overhead %".into(),
+        format!("{:.2}", overhead.overhead_pct()),
+    ]);
+    for c in &crashes {
+        rep.row_strings(vec![
+            format!("bit_identical after {}", c.label),
+            format!("{} (resumed {} epochs)", c.bit_identical, c.resumed_epochs),
+        ]);
+    }
+    rep.note(
+        "durable = 1 appends one CRC-framed, fsynced checkpoint record per epoch; \
+         recovery scans the longest valid WAL prefix and auto-resume replays the \
+         remaining epochs from the last durable one, reproducing the \
+         uninterrupted model bit for bit.",
+    );
+    rep.finish();
+
+    let root = std::env::var("CORGI_BENCH_ROOT").unwrap_or_else(|_| ".".into());
+    let path = std::path::Path::new(&root).join("BENCH_recovery.json");
+    match std::fs::write(&path, render_bench_json(&scan, &overhead, &crashes) + "\n") {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovery_scan_grows_with_wal_length() {
+        let runs = measure_recovery(&[4, 64]);
+        assert_eq!(runs.len(), 2);
+        assert!(runs[1].wal_bytes > runs[0].wal_bytes);
+        assert!(runs.iter().all(|r| r.recovery_ms >= 0.0));
+    }
+
+    #[test]
+    fn sampled_crash_matrix_is_bit_identical() {
+        let crashes = measure_crash_matrix(1_500, 3);
+        assert!(
+            crashes.iter().all(|c| c.bit_identical),
+            "diverged: {crashes:?}"
+        );
+    }
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        let scan = vec![RecoveryRun {
+            records: 8,
+            wal_bytes: 1024,
+            recovery_ms: 0.5,
+        }];
+        let overhead = OverheadRun {
+            plain_wall_seconds: 1.0,
+            durable_wall_seconds: 1.05,
+            pair_seconds: vec![(1.0, 1.02), (1.0, 1.05), (1.0, 1.2)],
+            appends: 4,
+            fsyncs: 5,
+            wal_bytes: 2048,
+        };
+        let crashes = vec![CrashRun {
+            label: "crash@wal.after_fsync#2".into(),
+            resumed_epochs: 2,
+            bit_identical: true,
+        }];
+        let json = render_bench_json(&scan, &overhead, &crashes);
+        assert!(json.contains("\"overhead_pct\": 5.0000"));
+        assert!(json.contains("\"bit_identical_all\": true"));
+        assert!(json.ends_with('}'));
+    }
+}

@@ -42,4 +42,4 @@ pub use parallel::{
     StealingExecutor,
 };
 pub use theory::{block_variance_factor, CorgiFactors, Theorem1Bound};
-pub use trainer::{EpochRecord, TrainReport, Trainer, TrainerConfig};
+pub use trainer::{EpochRecord, EpochSink, TrainReport, Trainer, TrainerConfig};

@@ -182,6 +182,11 @@ impl TrainReport {
     }
 }
 
+/// Per-epoch checkpoint sink: receives the freshly-built
+/// [`TrainCheckpoint`] and the epoch's mean training loss; an `Err`
+/// aborts the run at that epoch boundary.
+pub type EpochSink<'a> = &'a mut dyn FnMut(&TrainCheckpoint, f64) -> corgipile_storage::Result<()>;
+
 /// Runs training jobs described by a [`TrainerConfig`].
 #[derive(Debug, Clone)]
 pub struct Trainer {
@@ -243,6 +248,26 @@ impl Trainer {
         seed: u64,
         resume: Option<&TrainCheckpoint>,
         checkpoint_path: Option<&Path>,
+    ) -> corgipile_storage::Result<TrainReport> {
+        self.train_resumable_sink(table, test, dev, seed, resume, checkpoint_path, None)
+    }
+
+    /// [`Trainer::train_resumable`] with a per-epoch checkpoint sink,
+    /// mirroring the in-DB `SGD` operator's: `sink` receives the
+    /// freshly-built [`TrainCheckpoint`] and the epoch's mean training loss
+    /// after every epoch (alongside any `checkpoint_path` file write). An
+    /// `Err` from the sink aborts the run at that epoch boundary — the
+    /// library-layer hook for WAL-backed durable stores.
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_resumable_sink(
+        &self,
+        table: &Table,
+        test: &[Tuple],
+        dev: &mut SimDevice,
+        seed: u64,
+        resume: Option<&TrainCheckpoint>,
+        checkpoint_path: Option<&Path>,
+        mut sink: Option<EpochSink<'_>>,
     ) -> corgipile_storage::Result<TrainReport> {
         if table.num_tuples() == 0 {
             return Err(corgipile_storage::StorageError::EmptyTable);
@@ -442,15 +467,20 @@ impl Trainer {
                 train_loss,
                 test_metric,
             });
-            if let Some(path) = checkpoint_path {
-                TrainCheckpoint {
+            if checkpoint_path.is_some() || sink.is_some() {
+                let ck = TrainCheckpoint {
                     epoch_next: epoch + 1,
                     seed,
                     sim_clock,
                     model_params: model.params().to_vec(),
                     optimizer_state: optimizer.state_bytes(),
+                };
+                if let Some(path) = checkpoint_path {
+                    ck.save(path)?;
                 }
-                .save(path)?;
+                if let Some(sink) = sink.as_mut() {
+                    sink(&ck, train_loss)?;
+                }
             }
         }
 
@@ -857,6 +887,59 @@ mod tests {
             resumed.total_sim_seconds(),
             straight.total_sim_seconds(),
         )
+    }
+
+    #[test]
+    fn checkpoint_sink_sees_every_epoch_and_can_abort() {
+        let (table, _) = clustered_higgs(600);
+        let cfg = TrainerConfig::new(ModelKind::Svm, 3);
+        // The sink fires once per epoch with the same checkpoint the file
+        // path would have written.
+        let mut seen: Vec<(usize, usize)> = Vec::new();
+        let mut sink = |ck: &TrainCheckpoint, loss: f64| {
+            assert!(loss.is_finite());
+            seen.push((ck.epoch_next, ck.model_params.len()));
+            Ok(())
+        };
+        let r = Trainer::new(cfg.clone())
+            .train_resumable_sink(
+                &table,
+                &[],
+                &mut SimDevice::hdd(0),
+                7,
+                None,
+                None,
+                Some(&mut sink),
+            )
+            .unwrap();
+        let nparams = r.model.params().len();
+        assert_eq!(seen, vec![(1, nparams), (2, nparams), (3, nparams)]);
+        // An erroring sink aborts the run at that epoch boundary, the way
+        // an injected WAL crash would kill a durable training query.
+        let mut fail = |ck: &TrainCheckpoint, _loss: f64| {
+            if ck.epoch_next == 2 {
+                Err(corgipile_storage::StorageError::Crashed {
+                    site: "wal.after_fsync".into(),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        let err = Trainer::new(cfg)
+            .train_resumable_sink(
+                &table,
+                &[],
+                &mut SimDevice::hdd(0),
+                7,
+                None,
+                None,
+                Some(&mut fail),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            corgipile_storage::StorageError::Crashed { .. }
+        ));
     }
 
     #[test]

@@ -25,11 +25,14 @@
 //! to the same queries run serially on a private engine.
 
 use crate::catalog::Catalog;
+use crate::error::DbError;
+use crate::model_store::{ModelStore, ModelStoreOptions};
 use crate::session::Session;
 use corgipile_ml::ComputeCostModel;
 use corgipile_storage::{
     BufferPoolStats, IoStats, SharedBufferPool, SharedDevice, SimDevice, Table, Telemetry,
 };
+use std::path::Path;
 use std::sync::Arc;
 
 /// The engine: one simulated device, one `shared_buffers` pool, one
@@ -42,6 +45,7 @@ pub struct Database {
     catalog: Catalog,
     telemetry: Telemetry,
     compute: ComputeCostModel,
+    model_store: Option<Arc<ModelStore>>,
 }
 
 impl Database {
@@ -54,7 +58,60 @@ impl Database {
     /// An engine over `dev` with a `shared_buffers` pool of
     /// `pool_capacity_bytes`, shared by every connection: blocks one
     /// session faulted in are served to the others at zero device cost.
-    pub fn with_shared_buffers(mut dev: SimDevice, pool_capacity_bytes: usize) -> Arc<Self> {
+    pub fn with_shared_buffers(dev: SimDevice, pool_capacity_bytes: usize) -> Arc<Self> {
+        Database::assemble(dev, pool_capacity_bytes, None)
+    }
+
+    /// An engine with a WAL-backed durable model store at `dir`.
+    ///
+    /// Opening **is** recovery: the store's snapshot and write-ahead log
+    /// are replayed (torn tails truncated, later `(version, epoch)` pairs
+    /// winning) and the latest valid version of every model is registered
+    /// in the catalog, immediately visible to `PREDICT BY` and resumable
+    /// by `WITH durable = 1` training. Recovery facts are published on the
+    /// engine telemetry as `storage.wal.recovered_records`,
+    /// `storage.wal.torn_tail_bytes` and `storage.wal.snapshot_models`.
+    pub fn with_model_store(
+        dev: SimDevice,
+        pool_capacity_bytes: usize,
+        dir: &Path,
+    ) -> Result<Arc<Self>, DbError> {
+        Database::with_model_store_opts(dev, pool_capacity_bytes, dir, ModelStoreOptions::default())
+    }
+
+    /// [`Database::with_model_store`] with explicit store options
+    /// (compaction threshold, retry policy, write-fault plan — the crash
+    /// matrix opens engines through here).
+    pub fn with_model_store_opts(
+        dev: SimDevice,
+        pool_capacity_bytes: usize,
+        dir: &Path,
+        opts: ModelStoreOptions,
+    ) -> Result<Arc<Self>, DbError> {
+        let store = Arc::new(ModelStore::open_with(dir, opts)?);
+        let db = Database::assemble(dev, pool_capacity_bytes, Some(store.clone()));
+        // Recovery registration: the latest durable version of every model
+        // becomes the catalog object, exactly as if its training query had
+        // just stored it.
+        for rec in store.models() {
+            db.catalog.store_model(&rec.name, rec.stored);
+        }
+        let s = store.stats();
+        let tel = &db.telemetry;
+        tel.counter("storage.wal.recovered_records")
+            .add(s.recovered_records);
+        tel.counter("storage.wal.torn_tail_bytes")
+            .add(s.torn_tail_bytes);
+        tel.counter("storage.wal.snapshot_models")
+            .add(s.snapshot_models);
+        Ok(db)
+    }
+
+    fn assemble(
+        mut dev: SimDevice,
+        pool_capacity_bytes: usize,
+        model_store: Option<Arc<ModelStore>>,
+    ) -> Arc<Self> {
         let telemetry = Telemetry::enabled();
         // The engine registry is the device's *resting* telemetry: it
         // receives mirrors for access made outside any session handle,
@@ -68,6 +125,7 @@ impl Database {
             catalog: Catalog::new(),
             telemetry,
             compute: ComputeCostModel::in_db_core(),
+            model_store,
         })
     }
 
@@ -107,6 +165,12 @@ impl Database {
     /// Capacity of the shared buffer pool in bytes (0 = none).
     pub fn shared_buffers(&self) -> usize {
         self.pool.capacity()
+    }
+
+    /// The durable model store, when the engine was opened with one
+    /// ([`Database::with_model_store`]); `WITH durable = 1` requires it.
+    pub fn model_store(&self) -> Option<&Arc<ModelStore>> {
+        self.model_store.as_ref()
     }
 
     /// The engine's compute cost model.

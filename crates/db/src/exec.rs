@@ -975,6 +975,14 @@ impl std::fmt::Debug for SgdRunResult {
     }
 }
 
+/// Per-epoch checkpoint consumer: receives the freshly-built
+/// [`TrainCheckpoint`] and the epoch's mean training loss after every
+/// epoch. The durable model store hangs off this to WAL-append a
+/// versioned model record per epoch; an `Err` (e.g. a
+/// [`corgipile_storage::StorageError::Crashed`] from an injected crash
+/// point) aborts the run exactly where a dead process would have stopped.
+pub type CheckpointSink = Box<dyn FnMut(&TrainCheckpoint, f64) -> Result<(), DbError>>;
+
 /// The `SGD` operator: the root of the training plan.
 pub struct SgdOperator {
     child: Box<dyn PhysicalOperator>,
@@ -1003,6 +1011,9 @@ pub struct SgdOperator {
     /// Stop after this epoch completes (0-based) — a deterministic
     /// simulated crash for exercising resume.
     pub halt_after_epoch: Option<usize>,
+    /// Invoked with the checkpoint and mean training loss after every
+    /// epoch (the durable model store's WAL append).
+    pub checkpoint_sink: Option<CheckpointSink>,
 }
 
 impl SgdOperator {
@@ -1030,6 +1041,7 @@ impl SgdOperator {
             resume_from: None,
             checkpoint_seed: 0,
             halt_after_epoch: None,
+            checkpoint_sink: None,
         }
     }
 
@@ -1289,15 +1301,20 @@ impl SgdOperator {
                 tuples,
                 skipped_blocks: skipped,
             });
-            if let Some(path) = &self.checkpoint_path {
-                TrainCheckpoint {
+            if self.checkpoint_path.is_some() || self.checkpoint_sink.is_some() {
+                let ck = TrainCheckpoint {
                     epoch_next: epoch + 1,
                     seed: self.checkpoint_seed,
                     sim_clock,
                     model_params: self.model.params().to_vec(),
                     optimizer_state: self.optimizer.state_bytes(),
+                };
+                if let Some(path) = &self.checkpoint_path {
+                    ck.save(path)?;
                 }
-                .save(path)?;
+                if let Some(sink) = self.checkpoint_sink.as_mut() {
+                    sink(&ck, train_loss)?;
+                }
             }
             if self.halt_after_epoch == Some(epoch) {
                 halted = true;

@@ -12,6 +12,9 @@
 //!   `SELECT * FROM t TRAIN BY svm WITH learning_rate = 0.1, max_epoch_num
 //!   = 20, block_size = 10MB` and `SELECT * FROM t PREDICT BY model`.
 //! * [`catalog`] — tables and trained models.
+//! * [`model_store`] — the WAL-backed durable model store: epoch-granular
+//!   checkpoints under `WITH durable = 1`, compaction snapshots, and
+//!   replay-based recovery to bit-identical models after a crash.
 //! * [`database`] — the shared engine object: one device, one
 //!   `shared_buffers` pool, one catalog behind interior-synchronized
 //!   handles; `Arc<Database>` + [`Database::connect`] opens concurrent
@@ -27,6 +30,7 @@ pub mod catalog;
 pub mod database;
 pub mod error;
 pub mod exec;
+pub mod model_store;
 pub mod plan;
 mod proptests;
 pub mod session;
@@ -38,9 +42,10 @@ pub use corgipile_storage::{Telemetry, TelemetrySnapshot};
 pub use database::Database;
 pub use error::DbError;
 pub use exec::{
-    BlockShuffleOp, DbEpochRecord, ExecContext, FaultAction, FilterOp, OpStats, PhysicalOperator,
-    ProjectOp, ScanMode, SgdOperator, SgdRunResult, TupleShuffleOp,
+    BlockShuffleOp, CheckpointSink, DbEpochRecord, ExecContext, FaultAction, FilterOp, OpStats,
+    PhysicalOperator, ProjectOp, ScanMode, SgdOperator, SgdRunResult, TupleShuffleOp,
 };
+pub use model_store::{ModelRecord, ModelStore, ModelStoreOptions, ModelStoreStats};
 pub use plan::{build_physical, LogicalPlan, PhysicalPlan, ScanOrder, TrainPlanSpec};
 pub use session::{DbTrainSummary, QueryResult, Session};
 pub use sql::{

@@ -1,0 +1,652 @@
+//! WAL-backed durable model store.
+//!
+//! The paper keeps trained models "as an in-memory object … in the
+//! PostgreSQL kernel" (§6.1), which dies with the process. This module
+//! gives the engine the durability story a real database has: every
+//! epoch-granular [`TrainCheckpoint`] produced by a `WITH durable = 1`
+//! training query is appended to an append-only, CRC-framed `CORGIWL1`
+//! write-ahead log ([`corgipile_storage::Wal`]) and fsynced before the
+//! epoch is acknowledged. When the log grows past a threshold it is
+//! *compacted*: the latest version of every model is written to a
+//! `CORGIMS1` snapshot file (atomically, with a parent-directory fsync)
+//! and the log is truncated back to its magic.
+//!
+//! Recovery is replay: [`ModelStore::open_with`] loads the snapshot, then
+//! replays the WAL's valid prefix on top of it — later `(version, epoch)`
+//! pairs win, so replay is idempotent and a crash *between* the snapshot
+//! and the log truncation (the `model_store.post_snapshot` site) merely
+//! re-applies records the snapshot already holds. Because a trained model
+//! depends only on the tuple stream order and the RNG seeds, resuming
+//! from the recovered checkpoint replays the remaining epochs to a final
+//! model **bit-identical** to an uninterrupted run — no checkpoint knobs,
+//! no partial-epoch loss beyond the epoch in flight.
+//!
+//! Fault injection: the store threads an optional
+//! [`FaultInjector`] through every write ([`Wal::append`] visits the
+//! three `wal.*` sites, the snapshot visits `atomic_write.mid_rename`,
+//! and compaction visits `model_store.post_snapshot`), so the crash
+//! matrix in `tests/crash_recovery.rs` can kill the engine at any named
+//! write site and assert recovery. After a [`StorageError::Crashed`]
+//! bubbles out, the store models a dead process: drop it and reopen.
+
+use crate::catalog::StoredModel;
+use crate::error::DbError;
+use corgipile_ml::TrainCheckpoint;
+use corgipile_storage::{
+    atomic_write_bytes_faulted, crc32, sites, FaultInjector, FaultPlan, RetryPolicy, StorageError,
+    Wal, WriteOutcome,
+};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// WAL record type: a full versioned model record (name, source table,
+/// version, epoch, model blob, checkpoint blob).
+pub const RT_MODEL: u8 = 1;
+
+/// Snapshot file magic.
+const SNAPSHOT_MAGIC: &[u8; 8] = b"CORGIMS1";
+/// WAL file name inside the store directory.
+const WAL_FILE: &str = "models.wal";
+/// Snapshot file name inside the store directory.
+const SNAPSHOT_FILE: &str = "models.snap";
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// One versioned, durable model record.
+///
+/// `epoch` counts *completed* epochs (it equals the checkpoint's
+/// `epoch_next`), so a record with `epoch == max_epoch_num` is a finished
+/// training run and anything smaller is resumable.
+#[derive(Debug, Clone)]
+pub struct ModelRecord {
+    /// Model name (the `PREDICT BY` / catalog key).
+    pub name: String,
+    /// Source table the model was trained on.
+    pub source: String,
+    /// Version number, 1-based; retraining a finished name bumps it.
+    pub version: u32,
+    /// Completed epochs under this version.
+    pub epoch: u32,
+    /// The model parameters at this epoch (catalog form).
+    pub stored: StoredModel,
+    /// The resumable training state at this epoch.
+    pub checkpoint: TrainCheckpoint,
+}
+
+/// Tuning knobs for [`ModelStore::open_with`].
+#[derive(Debug, Clone)]
+pub struct ModelStoreOptions {
+    /// Compact (snapshot + truncate) once the log exceeds this many bytes.
+    pub compact_threshold_bytes: u64,
+    /// Retry policy for WAL appends (shared shape with block reads).
+    pub retry: RetryPolicy,
+    /// Optional write-fault plan, driving the crash-point matrix.
+    pub faults: Option<FaultPlan>,
+}
+
+impl Default for ModelStoreOptions {
+    /// 256 KiB compaction threshold, default retries, no faults.
+    fn default() -> Self {
+        ModelStoreOptions {
+            compact_threshold_bytes: 256 * 1024,
+            retry: RetryPolicy::default(),
+            faults: None,
+        }
+    }
+}
+
+/// A snapshot of the store's durability counters (cumulative since open).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ModelStoreStats {
+    /// Records appended (and fsynced) since open.
+    pub appends: u64,
+    /// Frame bytes appended since open.
+    pub appended_bytes: u64,
+    /// Fsyncs issued by the WAL since open.
+    pub fsyncs: u64,
+    /// Current valid log length in bytes (magic included).
+    pub wal_len_bytes: u64,
+    /// Compactions (snapshot + truncate) performed since open.
+    pub compactions: u64,
+    /// WAL records replayed during recovery at open.
+    pub recovered_records: u64,
+    /// Torn-tail bytes truncated during recovery at open.
+    pub torn_tail_bytes: u64,
+    /// Models loaded from the snapshot file at open.
+    pub snapshot_models: u64,
+}
+
+struct StoreInner {
+    wal: Wal,
+    injector: Option<FaultInjector>,
+    latest: BTreeMap<String, ModelRecord>,
+    appends: u64,
+    compactions: u64,
+    recovered_records: u64,
+    torn_tail_bytes: u64,
+    snapshot_models: u64,
+}
+
+/// The durable model store: one WAL + one snapshot per directory,
+/// interior-synchronized so it can hang off the shared
+/// [`crate::Database`] engine.
+pub struct ModelStore {
+    dir: PathBuf,
+    compact_threshold: u64,
+    retry: RetryPolicy,
+    inner: Mutex<StoreInner>,
+}
+
+impl std::fmt::Debug for ModelStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelStore")
+            .field("dir", &self.dir)
+            .field("compact_threshold", &self.compact_threshold)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ModelStore {
+    /// Open (or create) the store at `dir` with default options,
+    /// recovering snapshot + WAL.
+    pub fn open(dir: &Path) -> Result<ModelStore, DbError> {
+        ModelStore::open_with(dir, ModelStoreOptions::default())
+    }
+
+    /// Open (or create) the store at `dir`.
+    ///
+    /// Recovery: load the snapshot (if any), then replay the WAL's valid
+    /// prefix over it — the highest `(version, epoch)` per name wins, so
+    /// replay is idempotent against records the snapshot already holds.
+    pub fn open_with(dir: &Path, opts: ModelStoreOptions) -> Result<ModelStore, DbError> {
+        std::fs::create_dir_all(dir).map_err(|e| {
+            DbError::Storage(StorageError::Io {
+                op: "create model store dir",
+                message: format!("{}: {e}", dir.display()),
+            })
+        })?;
+        let mut latest: BTreeMap<String, ModelRecord> = BTreeMap::new();
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        let mut snapshot_models = 0u64;
+        match std::fs::read(&snap_path) {
+            Ok(bytes) => {
+                for payload in decode_snapshot(&bytes)? {
+                    apply(&mut latest, decode_record(&payload)?);
+                    snapshot_models += 1;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => {
+                return Err(DbError::Storage(StorageError::Io {
+                    op: "read model snapshot",
+                    message: e.to_string(),
+                }))
+            }
+        }
+        let (wal, records) = Wal::open(&dir.join(WAL_FILE))?;
+        let recovered_records = records.len() as u64;
+        let torn_tail_bytes = wal.torn_tail_bytes();
+        for r in &records {
+            if r.rtype == RT_MODEL {
+                apply(&mut latest, decode_record(&r.payload)?);
+            }
+        }
+        Ok(ModelStore {
+            dir: dir.to_path_buf(),
+            compact_threshold: opts.compact_threshold_bytes,
+            retry: opts.retry,
+            inner: Mutex::new(StoreInner {
+                wal,
+                injector: opts.faults.map(FaultInjector::new),
+                latest,
+                appends: 0,
+                compactions: 0,
+                recovered_records,
+                torn_tail_bytes,
+                snapshot_models,
+            }),
+        })
+    }
+
+    /// Append one versioned model record and fsync it; compacts when the
+    /// log passes the threshold.
+    ///
+    /// A returned [`StorageError::Crashed`] (via [`DbError::Storage`])
+    /// models the process dying at an injected crash point: the on-disk
+    /// state is exactly what a real kill would leave, and the store must
+    /// be dropped and reopened — recovery is [`ModelStore::open_with`].
+    pub fn record_checkpoint(
+        &self,
+        name: &str,
+        source: &str,
+        version: u32,
+        stored: StoredModel,
+        checkpoint: TrainCheckpoint,
+    ) -> Result<(), DbError> {
+        let rec = ModelRecord {
+            name: name.to_string(),
+            source: source.to_string(),
+            version,
+            epoch: checkpoint.epoch_next as u32,
+            stored,
+            checkpoint,
+        };
+        let payload = encode_record(&rec);
+        let mut inner = lock(&self.inner);
+        let StoreInner { wal, injector, .. } = &mut *inner;
+        wal.append_retry(RT_MODEL, &payload, injector.as_mut(), &self.retry)?;
+        inner.appends += 1;
+        apply(&mut inner.latest, rec);
+        if inner.wal.len_bytes() > self.compact_threshold {
+            self.compact_locked(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Force a compaction now (snapshot the latest versions, truncate the
+    /// log). Used by tests and by shutdown paths that want a short log.
+    pub fn compact(&self) -> Result<(), DbError> {
+        let mut inner = lock(&self.inner);
+        self.compact_locked(&mut inner)
+    }
+
+    fn compact_locked(&self, inner: &mut StoreInner) -> Result<(), DbError> {
+        let bytes = encode_snapshot(inner.latest.values());
+        atomic_write_bytes_faulted(
+            &self.dir.join(SNAPSHOT_FILE),
+            &bytes,
+            inner.injector.as_mut(),
+        )?;
+        if let Some(i) = inner.injector.as_mut() {
+            // The named gap between "snapshot durable" and "log truncated":
+            // a crash here leaves the records in both places, which replay
+            // handles idempotently.
+            match i.on_write(sites::MODEL_STORE_POST_SNAPSHOT) {
+                WriteOutcome::Ok => {}
+                WriteOutcome::Fail(e) => return Err(e.into()),
+                WriteOutcome::Torn { .. } | WriteOutcome::Crash => {
+                    return Err(StorageError::Crashed {
+                        site: sites::MODEL_STORE_POST_SNAPSHOT.into(),
+                    }
+                    .into())
+                }
+            }
+        }
+        inner.wal.reset()?;
+        inner.compactions += 1;
+        Ok(())
+    }
+
+    /// Latest durable record for `name`, if any.
+    pub fn latest(&self, name: &str) -> Option<ModelRecord> {
+        lock(&self.inner).latest.get(name).cloned()
+    }
+
+    /// Latest durable record of every model, sorted by name.
+    pub fn models(&self) -> Vec<ModelRecord> {
+        lock(&self.inner).latest.values().cloned().collect()
+    }
+
+    /// The version a *fresh* training run of `name` should write:
+    /// `latest + 1`, or 1 for an unseen name.
+    pub fn next_version(&self, name: &str) -> u32 {
+        lock(&self.inner)
+            .latest
+            .get(name)
+            .map(|r| r.version + 1)
+            .unwrap_or(1)
+    }
+
+    /// Durability counters (cumulative since open).
+    pub fn stats(&self) -> ModelStoreStats {
+        let inner = lock(&self.inner);
+        ModelStoreStats {
+            appends: inner.appends,
+            appended_bytes: inner.wal.appended_bytes(),
+            fsyncs: inner.wal.fsync_count(),
+            wal_len_bytes: inner.wal.len_bytes(),
+            compactions: inner.compactions,
+            recovered_records: inner.recovered_records,
+            torn_tail_bytes: inner.torn_tail_bytes,
+            snapshot_models: inner.snapshot_models,
+        }
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+/// Keep the newer of two records for the same name: higher `(version,
+/// epoch)` wins, ties go to the later arrival (replay order is append
+/// order, so the last writer's bytes win exactly as they did in the log).
+fn apply(latest: &mut BTreeMap<String, ModelRecord>, rec: ModelRecord) {
+    match latest.get(&rec.name) {
+        Some(old) if (old.version, old.epoch) > (rec.version, rec.epoch) => {}
+        _ => {
+            latest.insert(rec.name.clone(), rec);
+        }
+    }
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+fn encode_record(rec: &ModelRecord) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_bytes(&mut out, rec.name.as_bytes());
+    put_bytes(&mut out, rec.source.as_bytes());
+    out.extend_from_slice(&rec.version.to_le_bytes());
+    out.extend_from_slice(&rec.epoch.to_le_bytes());
+    put_bytes(&mut out, &rec.stored.to_bytes());
+    put_bytes(&mut out, &rec.checkpoint.to_bytes());
+    out
+}
+
+fn corrupt(m: &str) -> DbError {
+    DbError::Storage(StorageError::Corrupt(format!("model record: {m}")))
+}
+
+fn decode_record(payload: &[u8]) -> Result<ModelRecord, DbError> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], DbError> {
+        if *pos + n > payload.len() {
+            return Err(corrupt("truncated"));
+        }
+        let s = &payload[*pos..*pos + n];
+        *pos += n;
+        Ok(s)
+    };
+    let take_bytes = |pos: &mut usize| -> Result<&[u8], DbError> {
+        let n = u32::from_le_bytes(take(pos, 4)?.try_into().unwrap()) as usize;
+        take(pos, n)
+    };
+    let name = String::from_utf8(take_bytes(&mut pos)?.to_vec())
+        .map_err(|_| corrupt("name is not utf-8"))?;
+    let source = String::from_utf8(take_bytes(&mut pos)?.to_vec())
+        .map_err(|_| corrupt("source is not utf-8"))?;
+    let version = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+    let epoch = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+    let stored = StoredModel::from_bytes(take_bytes(&mut pos)?)?;
+    let checkpoint = TrainCheckpoint::from_bytes(take_bytes(&mut pos)?)?;
+    if pos != payload.len() {
+        return Err(corrupt("trailing bytes"));
+    }
+    Ok(ModelRecord {
+        name,
+        source,
+        version,
+        epoch,
+        stored,
+        checkpoint,
+    })
+}
+
+fn encode_snapshot<'a>(records: impl Iterator<Item = &'a ModelRecord>) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(SNAPSHOT_MAGIC);
+    let mut count = 0u32;
+    let mut body = Vec::new();
+    for rec in records {
+        put_bytes(&mut body, &encode_record(rec));
+        count += 1;
+    }
+    out.extend_from_slice(&count.to_le_bytes());
+    out.extend_from_slice(&body);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+fn decode_snapshot(bytes: &[u8]) -> Result<Vec<Vec<u8>>, DbError> {
+    let bad = |m: &str| DbError::Storage(StorageError::Corrupt(format!("model snapshot: {m}")));
+    if bytes.len() < SNAPSHOT_MAGIC.len() + 8 {
+        return Err(bad("too short"));
+    }
+    if &bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+        return Err(bad("bad magic"));
+    }
+    let body_end = bytes.len() - 4;
+    let stored_crc = u32::from_le_bytes(bytes[body_end..].try_into().unwrap());
+    if crc32(&bytes[..body_end]) != stored_crc {
+        return Err(bad("checksum mismatch"));
+    }
+    let count = u32::from_le_bytes(
+        bytes[SNAPSHOT_MAGIC.len()..SNAPSHOT_MAGIC.len() + 4]
+            .try_into()
+            .unwrap(),
+    ) as usize;
+    let mut pos = SNAPSHOT_MAGIC.len() + 4;
+    let mut payloads = Vec::with_capacity(count);
+    for _ in 0..count {
+        if pos + 4 > body_end {
+            return Err(bad("truncated record header"));
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 4;
+        if pos + len > body_end {
+            return Err(bad("truncated record"));
+        }
+        payloads.push(bytes[pos..pos + len].to_vec());
+        pos += len;
+    }
+    if pos != body_end {
+        return Err(bad("trailing bytes"));
+    }
+    Ok(payloads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corgipile_ml::ModelKind;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("corgi_store_{}_{}", tag, std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    fn record(name: &str, version: u32, epoch: usize, bias: f32) -> (StoredModel, TrainCheckpoint) {
+        let stored = StoredModel {
+            kind: ModelKind::Svm,
+            dim: 2,
+            params: vec![bias, 0.5, -0.5],
+            train_loss: 0.1 * epoch as f64,
+        };
+        let ck = TrainCheckpoint {
+            epoch_next: epoch,
+            seed: 42,
+            sim_clock: epoch as f64,
+            model_params: stored.params.clone(),
+            optimizer_state: vec![version as u8],
+        };
+        let _ = name;
+        (stored, ck)
+    }
+
+    #[test]
+    fn records_survive_reopen() {
+        let dir = tmpdir("reopen");
+        {
+            let store = ModelStore::open(&dir).unwrap();
+            for epoch in 1..=3 {
+                let (m, ck) = record("m", 1, epoch, 1.0);
+                store.record_checkpoint("m", "t", 1, m, ck).unwrap();
+            }
+            let (m, ck) = record("other", 1, 1, 2.0);
+            store.record_checkpoint("other", "u", 1, m, ck).unwrap();
+        }
+        let store = ModelStore::open(&dir).unwrap();
+        let rec = store.latest("m").unwrap();
+        assert_eq!((rec.version, rec.epoch), (1, 3));
+        assert_eq!(rec.source, "t");
+        assert_eq!(rec.checkpoint.epoch_next, 3);
+        assert_eq!(store.models().len(), 2);
+        assert_eq!(store.stats().recovered_records, 4);
+        assert_eq!(store.next_version("m"), 2);
+        assert_eq!(store.next_version("new"), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_snapshots_and_truncates() {
+        let dir = tmpdir("compact");
+        let opts = ModelStoreOptions {
+            compact_threshold_bytes: 64, // force a compaction on every append
+            ..Default::default()
+        };
+        {
+            let store = ModelStore::open_with(&dir, opts.clone()).unwrap();
+            for epoch in 1..=5 {
+                let (m, ck) = record("m", 1, epoch, 1.0);
+                store.record_checkpoint("m", "t", 1, m, ck).unwrap();
+            }
+            let s = store.stats();
+            assert!(s.compactions >= 4, "threshold of 64B must compact eagerly");
+            assert!(dir.join(SNAPSHOT_FILE).exists());
+            assert_eq!(
+                s.wal_len_bytes, 8,
+                "log truncated back to its magic after the last compaction"
+            );
+        }
+        let store = ModelStore::open_with(&dir, opts).unwrap();
+        let s = store.stats();
+        assert_eq!(s.snapshot_models, 1);
+        assert_eq!(s.recovered_records, 0, "records live in the snapshot now");
+        assert_eq!(store.latest("m").unwrap().epoch, 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_during_append_loses_only_the_record_in_flight() {
+        let dir = tmpdir("crash_append");
+        let opts = ModelStoreOptions {
+            faults: Some(
+                FaultPlan::new(7).with_crash_point(sites::WAL_AFTER_APPEND_BEFORE_FSYNC, 2),
+            ),
+            ..Default::default()
+        };
+        {
+            let store = ModelStore::open_with(&dir, opts).unwrap();
+            let (m, ck) = record("m", 1, 1, 1.0);
+            store.record_checkpoint("m", "t", 1, m, ck).unwrap();
+            let (m, ck) = record("m", 1, 2, 1.5);
+            let err = store.record_checkpoint("m", "t", 1, m, ck).unwrap_err();
+            assert!(
+                matches!(err, DbError::Storage(StorageError::Crashed { .. })),
+                "expected a simulated crash, got {err:?}"
+            );
+        }
+        let store = ModelStore::open(&dir).unwrap();
+        assert_eq!(
+            store.latest("m").unwrap().epoch,
+            1,
+            "the unsynced epoch-2 record died with the page cache"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_between_snapshot_and_truncate_replays_idempotently() {
+        let dir = tmpdir("crash_post_snapshot");
+        let opts = ModelStoreOptions {
+            compact_threshold_bytes: 64,
+            faults: Some(FaultPlan::new(7).with_crash_point(sites::MODEL_STORE_POST_SNAPSHOT, 1)),
+            ..Default::default()
+        };
+        {
+            let store = ModelStore::open_with(&dir, opts).unwrap();
+            let (m, ck) = record("m", 1, 1, 1.0);
+            let err = store.record_checkpoint("m", "t", 1, m, ck).unwrap_err();
+            assert!(matches!(
+                err,
+                DbError::Storage(StorageError::Crashed { .. })
+            ));
+        }
+        // Snapshot written, log NOT truncated: the record exists twice.
+        let store = ModelStore::open(&dir).unwrap();
+        let s = store.stats();
+        assert_eq!(s.snapshot_models, 1);
+        assert_eq!(s.recovered_records, 1);
+        assert_eq!(
+            store.models().len(),
+            1,
+            "replay deduplicates by (version, epoch)"
+        );
+        assert_eq!(store.latest("m").unwrap().epoch, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_wal_tail_is_counted_and_discarded() {
+        let dir = tmpdir("torn_tail");
+        {
+            let store = ModelStore::open(&dir).unwrap();
+            let (m, ck) = record("m", 1, 1, 1.0);
+            store.record_checkpoint("m", "t", 1, m, ck).unwrap();
+        }
+        // Tear the log by hand: append garbage past the valid prefix.
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join(WAL_FILE))
+            .unwrap();
+        f.write_all(&[0xDE, 0xAD, 0xBE]).unwrap();
+        drop(f);
+        let store = ModelStore::open(&dir).unwrap();
+        let s = store.stats();
+        assert_eq!(s.torn_tail_bytes, 3);
+        assert_eq!(s.recovered_records, 1);
+        assert_eq!(store.latest("m").unwrap().epoch, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_corruption_is_detected() {
+        let dir = tmpdir("snap_corrupt");
+        {
+            let store = ModelStore::open(&dir).unwrap();
+            let (m, ck) = record("m", 1, 1, 1.0);
+            store.record_checkpoint("m", "t", 1, m, ck).unwrap();
+            store.compact().unwrap();
+        }
+        let snap = dir.join(SNAPSHOT_FILE);
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&snap, &bytes).unwrap();
+        assert!(
+            ModelStore::open(&dir).is_err(),
+            "a flipped snapshot byte must fail the CRC"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn newer_version_wins_replay() {
+        let dir = tmpdir("version_wins");
+        {
+            let store = ModelStore::open(&dir).unwrap();
+            for (version, epoch) in [(1, 1), (1, 2), (2, 1)] {
+                let (m, ck) = record("m", version, epoch, version as f32);
+                store.record_checkpoint("m", "t", version, m, ck).unwrap();
+            }
+        }
+        let store = ModelStore::open(&dir).unwrap();
+        let rec = store.latest("m").unwrap();
+        assert_eq!(
+            (rec.version, rec.epoch),
+            (2, 1),
+            "version ranks above epoch in recency"
+        );
+        assert_eq!(store.next_version("m"), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -231,14 +231,55 @@ impl Session {
                 params,
             } => self.train(&table, &model, projection, filter, strategy, params),
             Query::Predict { table, model } => self.predict(&table, &model),
+            Query::LoadModel { name } => self.load_model(&name),
             Query::Explain(inner) => self.explain(*inner),
             Query::ExplainAnalyze(inner) => self.explain_analyze(*inner),
             Query::Show { what } => Ok(match what {
                 ShowTarget::Tables => QueryResult::Names(self.catalog().table_names()),
-                ShowTarget::Models => QueryResult::Names(self.catalog().model_names()),
+                ShowTarget::Models => QueryResult::Names(self.render_models()),
                 ShowTarget::Stats => QueryResult::Plan(self.render_stats()),
             }),
         }
+    }
+
+    /// `SHOW MODELS`: catalog names, annotated with durable version /
+    /// epoch / source when the engine has a model store tracking them.
+    /// Models the store does not know (non-durable training) stay bare.
+    fn render_models(&self) -> Vec<String> {
+        let names = self.catalog().model_names();
+        match self.db.model_store() {
+            None => names,
+            Some(store) => names
+                .into_iter()
+                .map(|n| match store.latest(&n) {
+                    Some(r) => {
+                        format!("{n} v{} epoch={} source={}", r.version, r.epoch, r.source)
+                    }
+                    None => n,
+                })
+                .collect(),
+        }
+    }
+
+    /// `LOAD MODEL <name>`: re-register the store's latest durable version
+    /// of `name` into the catalog (e.g. after another session overwrote the
+    /// in-memory object with a non-durable retrain).
+    fn load_model(&mut self, name: &str) -> Result<QueryResult, DbError> {
+        let store = self.db.model_store().ok_or_else(|| {
+            DbError::BadParam(
+                "LOAD MODEL requires an engine opened with a model store \
+                 (Database::with_model_store)"
+                    .into(),
+            )
+        })?;
+        let rec = store
+            .latest(name)
+            .ok_or_else(|| DbError::UnknownModel(name.to_string()))?;
+        self.catalog().store_model(name, rec.stored.clone());
+        Ok(QueryResult::Names(vec![format!(
+            "{name} v{} epoch={} source={}",
+            rec.version, rec.epoch, rec.source
+        )]))
     }
 
     /// `SHOW STATS`: one line per telemetry instrument, sorted by name.
@@ -274,6 +315,21 @@ impl Session {
     fn explain_analyze(&mut self, query: Query) -> Result<QueryResult, DbError> {
         match query {
             q @ Query::Train { .. } => {
+                let durable = match &q {
+                    Query::Train { params, .. } => {
+                        params
+                            .get("durable")
+                            .and_then(|v| v.as_usize())
+                            .unwrap_or(0)
+                            != 0
+                    }
+                    _ => false,
+                };
+                let wal_before = if durable {
+                    self.db.model_store().map(|s| s.stats())
+                } else {
+                    None
+                };
                 let before = self.dev.stats().clone();
                 let summary = match self.run(q)? {
                     QueryResult::Train(t) => t,
@@ -311,6 +367,16 @@ impl Session {
                 let skipped = summary.skipped_blocks();
                 if !skipped.is_empty() {
                     lines.push(format!("Skipped blocks: {skipped:?}"));
+                }
+                if let (Some(before), Some(store)) = (wal_before, self.db.model_store()) {
+                    let s = store.stats();
+                    lines.push(format!(
+                        "WAL: appends={} bytes={} fsyncs={} compactions={}",
+                        s.appends - before.appends,
+                        s.appended_bytes - before.appended_bytes,
+                        s.fsyncs - before.fsyncs,
+                        s.compactions - before.compactions,
+                    ));
                 }
                 Ok(QueryResult::Plan(lines))
             }
@@ -410,7 +476,7 @@ impl Session {
             }
         };
         for key in params.keys() {
-            const KNOWN: [&str; 18] = [
+            const KNOWN: [&str; 19] = [
                 "l2",
                 "shared_buffers",
                 "report_metrics",
@@ -429,6 +495,7 @@ impl Session {
                 "checkpoint",
                 "resume",
                 "halt_after_epoch",
+                "durable",
             ];
             if !KNOWN.contains(&key.as_str()) {
                 return Err(DbError::BadParam(format!("unknown parameter {key}")));
@@ -482,6 +549,11 @@ impl Session {
             Some(v) => Some(v.as_usize().ok_or_else(|| {
                 DbError::BadParam("halt_after_epoch must be a non-negative integer".into())
             })?),
+        };
+        let durable = match get_usize("durable", 0)? {
+            0 => false,
+            1 => true,
+            _ => return Err(DbError::BadParam("durable must be 0 or 1".into())),
         };
         let pushdown = get_usize("pushdown", 1)? != 0;
         if let Some(bs) = params.get("block_size") {
@@ -577,6 +649,62 @@ impl Session {
             sgd.resume_from = Some(TrainCheckpoint::load(path)?);
         }
         sgd.checkpoint_path = checkpoint_path;
+
+        // --- Durable training (WAL-backed model store) -------------------
+        let stored_name = params
+            .get("model_name")
+            .and_then(|v| v.as_text())
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| format!("{table_name}_{}", kind.name()));
+        let mut durable_store = None;
+        if durable {
+            let store = self.db.model_store().cloned().ok_or_else(|| {
+                DbError::BadParam(
+                    "durable = 1 requires an engine opened with a model store \
+                     (Database::with_model_store)"
+                        .into(),
+                )
+            })?;
+            // Auto-resume: the latest durable version of this name continues
+            // where it left off iff it matches this query (same seed, source
+            // table and model shape) and is unfinished; anything else trains
+            // a fresh version. An explicit `resume = 1` checkpoint file wins
+            // over the store's record.
+            let mut version = store.next_version(&stored_name);
+            if !resume {
+                if let Some(rec) = store.latest(&stored_name) {
+                    let resumable = rec.checkpoint.seed == seed
+                        && rec.source == table_name
+                        && rec.stored.kind == kind
+                        && rec.stored.dim == dim
+                        && (rec.epoch as usize) < epochs;
+                    if resumable {
+                        sgd.resume_from = Some(rec.checkpoint.clone());
+                        version = rec.version;
+                    }
+                }
+            }
+            let sink_store = store.clone();
+            let sink_name = stored_name.clone();
+            let sink_source = table_name.to_string();
+            let sink_kind = kind.clone();
+            sgd.checkpoint_sink = Some(Box::new(move |ck, epoch_loss| {
+                sink_store.record_checkpoint(
+                    &sink_name,
+                    &sink_source,
+                    version,
+                    StoredModel {
+                        kind: sink_kind.clone(),
+                        dim,
+                        params: ck.model_params.clone(),
+                        train_loss: epoch_loss,
+                    },
+                    ck.clone(),
+                )
+            }));
+            durable_store = Some(store);
+        }
+        let wal_before = durable_store.as_ref().map(|s| s.stats());
         // Pool choice: an explicit `shared_buffers` parameter keeps the old
         // per-query private pool; otherwise the engine's shared pool serves
         // the query whenever the engine has one configured.
@@ -597,6 +725,25 @@ impl Session {
         ctx.on_fault = on_fault;
         let result = sgd.execute(&mut ctx)?;
 
+        // Durability cost is observable per session: the WAL work this
+        // query caused, mirrored as `storage.wal.*` counters (the same
+        // numbers EXPLAIN ANALYZE renders on its WAL line).
+        if let (Some(store), Some(before)) = (&durable_store, wal_before) {
+            let s = store.stats();
+            self.telemetry
+                .counter("storage.wal.appends")
+                .add(s.appends - before.appends);
+            self.telemetry
+                .counter("storage.wal.appended_bytes")
+                .add(s.appended_bytes - before.appended_bytes);
+            self.telemetry
+                .counter("storage.wal.fsyncs")
+                .add(s.fsyncs - before.fsyncs);
+            self.telemetry
+                .counter("storage.wal.compactions")
+                .add(s.compactions - before.compactions);
+        }
+
         // Selectivity is observable even when telemetry consumers never
         // look at op stats: total rows the scan's fused predicate dropped.
         let filtered: u64 = result.op_stats.iter().map(|s| s.rows_filtered).sum();
@@ -612,11 +759,6 @@ impl Session {
         } else {
             r_squared(result.model.as_ref(), eval.iter())
         };
-        let stored_name = params
-            .get("model_name")
-            .and_then(|v| v.as_text())
-            .map(|s| s.to_string())
-            .unwrap_or_else(|| format!("{table_name}_{}", kind.name()));
         let train_loss = result.epochs.last().map(|e| e.train_loss).unwrap_or(0.0);
         self.catalog().store_model(
             stored_name.clone(),
@@ -1498,5 +1640,164 @@ mod tests {
             ),
             Err(DbError::Storage(_))
         ));
+    }
+
+    fn store_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("corgi_db_store_{}_{}", tag, std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    fn durable_session(n: usize, dir: &std::path::Path) -> Session {
+        let db = Database::with_model_store(SimDevice::hdd_scaled(1000.0, 0), 0, dir).unwrap();
+        db.register_table("higgs", higgs_table(n));
+        db.connect()
+    }
+
+    #[test]
+    fn durable_param_is_validated() {
+        let mut s = session_with_higgs(200);
+        assert!(matches!(
+            s.execute("SELECT * FROM higgs TRAIN BY svm WITH durable = 2"),
+            Err(DbError::BadParam(_))
+        ));
+        // durable = 1 without a model store is a clear error, not a panic.
+        match s.execute("SELECT * FROM higgs TRAIN BY svm WITH durable = 1, max_epoch_num = 1") {
+            Err(DbError::BadParam(msg)) => assert!(msg.contains("model store"), "{msg}"),
+            other => panic!("expected BadParam, got {other:?}"),
+        }
+        // durable = 0 on a plain engine is a no-op, not an error.
+        s.execute("SELECT * FROM higgs TRAIN BY svm WITH durable = 0, max_epoch_num = 1")
+            .unwrap();
+    }
+
+    #[test]
+    fn durable_training_recovers_and_resumes_bit_identical() {
+        let base = "SELECT * FROM higgs TRAIN BY svm WITH learning_rate = 0.05, \
+                    max_epoch_num = 4, model_name = m, durable = 1";
+
+        // Reference: an uninterrupted durable run.
+        let ref_dir = store_dir("ref");
+        let mut straight = durable_session(2000, &ref_dir);
+        straight.execute(base).unwrap();
+        let want = straight.catalog().model("m").unwrap().params.clone();
+
+        // Interrupted: halt after epoch 1 (2 epochs durable), then reopen
+        // the engine over the same store directory — recovery replays the
+        // WAL — and re-issue the *same* SQL: the run auto-resumes from the
+        // durable checkpoint, no checkpoint/resume knobs involved.
+        let dir = store_dir("resume");
+        {
+            let mut s = durable_session(2000, &dir);
+            let t = train_summary(s.execute(&format!("{base}, halt_after_epoch = 1")).unwrap());
+            assert!(t.halted);
+            assert_eq!(t.epochs.len(), 2);
+        }
+        let mut s = durable_session(2000, &dir);
+        // Recovery registered the partial model in the catalog…
+        assert!(s.catalog().model("m").is_ok());
+        // …and SHOW MODELS reports its durable lineage.
+        match s.execute("SHOW MODELS").unwrap() {
+            QueryResult::Names(names) => {
+                assert_eq!(names, vec!["m v1 epoch=2 source=higgs".to_string()])
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let t = train_summary(s.execute(base).unwrap());
+        assert!(!t.halted);
+        assert_eq!(t.epochs.len(), 2, "only epochs 2 and 3 run after resume");
+        let got = s.catalog().model("m").unwrap().params.clone();
+        assert_eq!(got, want, "durable resume must be bit-identical");
+        // The finished version no longer resumes: re-running trains v2.
+        let t = train_summary(s.execute(base).unwrap());
+        assert_eq!(t.epochs.len(), 4);
+        let store = s.database().model_store().unwrap().clone();
+        let rec = store.latest("m").unwrap();
+        assert_eq!((rec.version, rec.epoch), (2, 4));
+        std::fs::remove_dir_all(&ref_dir).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durable_runs_emit_wal_telemetry_and_explain_analyze_line() {
+        let dir = store_dir("telemetry");
+        let mut s = durable_session(500, &dir);
+        let lines = match s
+            .execute(
+                "EXPLAIN ANALYZE SELECT * FROM higgs TRAIN BY svm WITH \
+                 max_epoch_num = 2, model_name = m, durable = 1",
+            )
+            .unwrap()
+        {
+            QueryResult::Plan(lines) => lines,
+            other => panic!("unexpected {other:?}"),
+        };
+        let wal = lines
+            .iter()
+            .find(|l| l.starts_with("WAL: "))
+            .expect("durable EXPLAIN ANALYZE must render a WAL line");
+        assert!(wal.contains("appends=2"), "one append per epoch: {wal}");
+        assert!(wal.contains("fsyncs="), "{wal}");
+        let snap = s.telemetry().snapshot();
+        let counter = |n: &str| {
+            snap.metrics
+                .counters
+                .iter()
+                .find(|(k, _)| k == n)
+                .map(|(_, v)| *v)
+        };
+        assert_eq!(counter("storage.wal.appends"), Some(2));
+        assert!(counter("storage.wal.appended_bytes").unwrap() > 0);
+        // Non-durable runs render no WAL line and emit no WAL counters.
+        let lines = match s
+            .execute(
+                "EXPLAIN ANALYZE SELECT * FROM higgs TRAIN BY svm WITH \
+                 max_epoch_num = 1, model_name = m2",
+            )
+            .unwrap()
+        {
+            QueryResult::Plan(lines) => lines,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(!lines.iter().any(|l| l.starts_with("WAL: ")));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_model_restores_the_durable_version() {
+        let dir = store_dir("load");
+        let mut s = durable_session(500, &dir);
+        s.execute(
+            "SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 2, \
+             model_name = m, durable = 1",
+        )
+        .unwrap();
+        let want = s.catalog().model("m").unwrap().params.clone();
+        // A non-durable retrain overwrites the in-memory object…
+        s.execute(
+            "SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 1, \
+             learning_rate = 0.9, model_name = m",
+        )
+        .unwrap();
+        assert_ne!(s.catalog().model("m").unwrap().params, want);
+        // …and LOAD MODEL brings the durable version back.
+        match s.execute("LOAD MODEL m").unwrap() {
+            QueryResult::Names(names) => {
+                assert_eq!(names, vec!["m v1 epoch=2 source=higgs".to_string()])
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(s.catalog().model("m").unwrap().params, want);
+        assert!(matches!(
+            s.execute("LOAD MODEL ghost"),
+            Err(DbError::UnknownModel(_))
+        ));
+        // On a storeless engine LOAD MODEL is a clear error.
+        let mut plain = session_with_higgs(100);
+        assert!(matches!(
+            plain.execute("LOAD MODEL m"),
+            Err(DbError::BadParam(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -385,6 +385,12 @@ pub enum Query {
         /// What to list.
         what: ShowTarget,
     },
+    /// `LOAD MODEL <name>`: re-register the durable model store's latest
+    /// version of `name` into the in-memory catalog.
+    LoadModel {
+        /// Model name in the store.
+        name: String,
+    },
 }
 
 /// The object of a `SHOW` query.
@@ -622,6 +628,12 @@ fn parse_tokens(t: &mut Tokens) -> Result<Query, DbError> {
             t.bump();
             let what = ShowTarget::from_ident(&t.ident("TABLES, MODELS or STATS")?)?;
             return Ok(Query::Show { what });
+        }
+        Some(w) if w.eq_ignore_ascii_case("LOAD") => {
+            t.bump();
+            t.expect_kw("MODEL")?;
+            let name = t.ident("model name")?;
+            return Ok(Query::LoadModel { name });
         }
         _ => {}
     }
@@ -877,6 +889,22 @@ mod tests {
             }
         );
         assert!(parse("EXPLAIN ANALYZE").is_err());
+    }
+
+    #[test]
+    fn parses_load_model() {
+        assert_eq!(
+            parse("LOAD MODEL m1").unwrap(),
+            Query::LoadModel { name: "m1".into() }
+        );
+        assert_eq!(
+            parse("load model forest_svm").unwrap(),
+            Query::LoadModel {
+                name: "forest_svm".into()
+            }
+        );
+        assert!(parse("LOAD MODEL").is_err(), "name is required");
+        assert!(parse("LOAD m1").is_err(), "MODEL keyword is required");
     }
 
     #[test]

@@ -35,21 +35,35 @@ pub enum StorageError {
         attempts: u32,
         message: String,
     },
+    /// A write at a named write site failed after `attempts` attempts
+    /// (transient media faults, exhausted retries). The write-path mirror of
+    /// [`StorageError::ReadFailed`].
+    WriteFailed {
+        site: String,
+        attempts: u32,
+        message: String,
+    },
+    /// A deterministic injected crash fired at a named write site: the
+    /// simulated process died mid-write. Never retryable — the only way
+    /// forward is recovery from durable state.
+    Crashed { site: String },
 }
 
 impl StorageError {
     /// Whether a retry of the failed operation could plausibly succeed.
     ///
     /// Transient I/O errors, checksum mismatches (a torn transfer may read
-    /// clean the second time), and fault-injected read failures are
+    /// clean the second time), and fault-injected read/write failures are
     /// retryable; structural errors (out-of-range ids, bad configuration,
-    /// undecodable tuples) are not.
+    /// undecodable tuples) are not, and neither is an injected crash — a
+    /// dead process cannot retry anything.
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
             StorageError::Io { .. }
                 | StorageError::ChecksumMismatch { .. }
                 | StorageError::ReadFailed { .. }
+                | StorageError::WriteFailed { .. }
         )
     }
 }
@@ -93,6 +107,19 @@ impl fmt::Display for StorageError {
                     f,
                     "read of block {block} failed after {attempts} attempt(s): {message}"
                 )
+            }
+            StorageError::WriteFailed {
+                site,
+                attempts,
+                message,
+            } => {
+                write!(
+                    f,
+                    "write at {site} failed after {attempts} attempt(s): {message}"
+                )
+            }
+            StorageError::Crashed { site } => {
+                write!(f, "simulated crash at write site {site}")
             }
         }
     }
@@ -146,6 +173,40 @@ mod tests {
         .is_retryable());
         assert!(!StorageError::Corrupt("bad".into()).is_retryable());
         assert!(!StorageError::InvalidConfig("bad".into()).is_retryable());
+    }
+
+    #[test]
+    fn write_path_retryable_classification() {
+        // WriteFailed mirrors ReadFailed: a transient media fault may clear on
+        // the next attempt.
+        assert!(StorageError::WriteFailed {
+            site: "wal.append".into(),
+            attempts: 3,
+            message: "enospc".into()
+        }
+        .is_retryable());
+        // An injected crash is terminal: the simulated process is gone.
+        assert!(!StorageError::Crashed {
+            site: "wal.after_append_before_fsync".into()
+        }
+        .is_retryable());
+    }
+
+    #[test]
+    fn write_path_messages_are_informative() {
+        let e = StorageError::WriteFailed {
+            site: "atomic_write.mid_rename".into(),
+            attempts: 4,
+            message: "eio".into(),
+        };
+        assert!(e.to_string().contains("atomic_write.mid_rename"));
+        assert!(e.to_string().contains("4 attempt"));
+        assert!(e.to_string().contains("eio"));
+        let e = StorageError::Crashed {
+            site: "wal.after_fsync".into(),
+        };
+        assert!(e.to_string().contains("crash"));
+        assert!(e.to_string().contains("wal.after_fsync"));
     }
 
     #[test]

@@ -11,6 +11,15 @@
 //! Faults are keyed by `(table_id, block)` — the same extent identity the
 //! device cache uses — so a plan written for a table follows its blocks
 //! through any reader (executor, loader, buffer pool).
+//!
+//! Write-path faults are keyed by **named write sites** (see [`sites`])
+//! instead of blocks: a write site is a specific point in a write protocol
+//! (before a WAL append, between append and fsync, mid-rename in an atomic
+//! replace) where a real process can die. [`FaultInjector::on_write`]
+//! decides, deterministically, whether a given visit to a site proceeds,
+//! fails retryably ([`WriteFault::Failed`]), lands only a prefix of its
+//! bytes ([`WriteFault::Torn`]), or kills the simulated process outright
+//! ([`WriteFault::Crash`]).
 
 use crate::error::StorageError;
 use std::collections::{BTreeMap, HashMap};
@@ -35,6 +44,69 @@ pub enum FaultKind {
     },
 }
 
+/// Well-known write-site names used by the storage write paths.
+///
+/// Each constant names a point in a write protocol where a crash leaves
+/// observably different on-disk state. The crash-matrix harness iterates
+/// [`sites::crash_sites`] to prove recovery from every one of them.
+pub mod sites {
+    /// Before a WAL record's bytes are appended: nothing of the record lands.
+    pub const WAL_BEFORE_APPEND: &str = "wal.before_append";
+    /// After the append but before fsync: the record's bytes are in the OS
+    /// page cache only and are lost with the process.
+    pub const WAL_AFTER_APPEND_BEFORE_FSYNC: &str = "wal.after_append_before_fsync";
+    /// After the fsync: the record is durable; the crash loses nothing.
+    pub const WAL_AFTER_FSYNC: &str = "wal.after_fsync";
+    /// Between writing the temp sibling and renaming it over the target in
+    /// [`atomic_write_bytes`](crate::persist::atomic_write_bytes): the old
+    /// file survives intact.
+    pub const ATOMIC_WRITE_MID_RENAME: &str = "atomic_write.mid_rename";
+    /// Same window inside [`save_table`](crate::persist::save_table).
+    pub const SAVE_TABLE_MID_RENAME: &str = "save_table.mid_rename";
+    /// After a model-store snapshot is renamed in but before the WAL is
+    /// truncated: both snapshot and full WAL exist (replay must be
+    /// idempotent).
+    pub const MODEL_STORE_POST_SNAPSHOT: &str = "model_store.post_snapshot";
+
+    /// Every registered crash site, in deterministic order — the rows of the
+    /// crash matrix.
+    pub fn crash_sites() -> &'static [&'static str] {
+        &[
+            WAL_BEFORE_APPEND,
+            WAL_AFTER_APPEND_BEFORE_FSYNC,
+            WAL_AFTER_FSYNC,
+            ATOMIC_WRITE_MID_RENAME,
+            SAVE_TABLE_MID_RENAME,
+            MODEL_STORE_POST_SNAPSHOT,
+        ]
+    }
+}
+
+/// One kind of injected write fault, attached to a named write site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WriteFault {
+    /// The next `failures` visits to the site fail with a retryable
+    /// [`StorageError::WriteFailed`]; visits after that succeed. The
+    /// write-path mirror of [`FaultKind::Transient`].
+    Failed {
+        /// How many consecutive writes fail before the site recovers.
+        failures: u32,
+    },
+    /// The first visit to the site lands only `valid_bytes` of its payload
+    /// and then the simulated process dies (a torn write *is* a crash — the
+    /// partial bytes are only observable because nothing ran afterwards).
+    Torn {
+        /// How many payload bytes reach the medium before the tear.
+        valid_bytes: usize,
+    },
+    /// The `hit`-th visit (1-based) to the site kills the simulated process
+    /// with [`StorageError::Crashed`]. Earlier and later visits proceed.
+    Crash {
+        /// Which visit dies.
+        hit: u64,
+    },
+}
+
 /// A seeded, deterministic description of which reads fail and how.
 ///
 /// Two layers compose:
@@ -52,6 +124,7 @@ pub struct FaultPlan {
     transient_rate: f64,
     max_consecutive: u32,
     targeted: BTreeMap<(u32, usize), FaultKind>,
+    writes: BTreeMap<String, WriteFault>,
 }
 
 impl FaultPlan {
@@ -62,6 +135,7 @@ impl FaultPlan {
             transient_rate: 0.0,
             max_consecutive: 0,
             targeted: BTreeMap::new(),
+            writes: BTreeMap::new(),
         }
     }
 
@@ -103,9 +177,33 @@ impl FaultPlan {
         self
     }
 
+    /// Fail the next `failures` writes at `site` with a retryable
+    /// [`StorageError::WriteFailed`], then recover.
+    pub fn with_write_failed(mut self, site: &str, failures: u32) -> Self {
+        self.writes
+            .insert(site.to_string(), WriteFault::Failed { failures });
+        self
+    }
+
+    /// Tear the first write at `site`: `valid_bytes` of the payload land,
+    /// then the simulated process dies.
+    pub fn with_torn_write(mut self, site: &str, valid_bytes: usize) -> Self {
+        self.writes
+            .insert(site.to_string(), WriteFault::Torn { valid_bytes });
+        self
+    }
+
+    /// Kill the simulated process on the `hit`-th (1-based) visit to `site`.
+    pub fn with_crash_point(mut self, site: &str, hit: u64) -> Self {
+        assert!(hit >= 1, "crash-point hits are 1-based");
+        self.writes
+            .insert(site.to_string(), WriteFault::Crash { hit });
+        self
+    }
+
     /// Whether the plan injects anything at all.
     pub fn is_empty(&self) -> bool {
-        self.targeted.is_empty() && self.transient_rate == 0.0
+        self.targeted.is_empty() && self.transient_rate == 0.0 && self.writes.is_empty()
     }
 }
 
@@ -122,12 +220,23 @@ pub struct FaultStats {
     pub latency_spikes: u64,
     /// Total extra seconds injected by latency spikes.
     pub injected_latency_seconds: f64,
+    /// Retryable write failures injected.
+    pub write_failures: u64,
+    /// Torn writes injected.
+    pub torn_writes: u64,
+    /// Crash points fired.
+    pub crash_points: u64,
 }
 
 impl FaultStats {
     /// Total injected read errors of any kind.
     pub fn total_failures(&self) -> u64 {
         self.transient_failures + self.permanent_failures + self.corruption_failures
+    }
+
+    /// Total injected write-path events (failures, tears, crashes).
+    pub fn total_write_events(&self) -> u64 {
+        self.write_failures + self.torn_writes + self.crash_points
     }
 }
 
@@ -142,11 +251,31 @@ pub enum ReadOutcome {
     Fail(StorageError),
 }
 
+/// What the injector decided for one visit to a write site.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WriteOutcome {
+    /// The write proceeds normally.
+    Ok,
+    /// The write fails with the given (retryable) error.
+    Fail(StorageError),
+    /// Only `valid_bytes` of the payload land, then the process dies. The
+    /// write path must truncate its output accordingly and surface
+    /// [`StorageError::Crashed`].
+    Torn {
+        /// Payload bytes that reach the medium before the tear.
+        valid_bytes: usize,
+    },
+    /// The simulated process dies at the site with nothing extra written.
+    Crash,
+}
+
 /// Stateful executor of a [`FaultPlan`].
 ///
 /// Attach one to a [`SimDevice`](crate::SimDevice) via
 /// `set_fault_injector`, or to a [`FileTable`](crate::FileTable) via
 /// `set_fault_plan`; block readers consult it once per read attempt.
+/// Write paths consult [`FaultInjector::on_write`] once per visit to a
+/// named write site.
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
     plan: FaultPlan,
@@ -156,6 +285,10 @@ pub struct FaultInjector {
     streak: HashMap<(u32, usize), u32>,
     /// Read-attempt counter per block (drives the random hash).
     attempts: HashMap<(u32, usize), u64>,
+    /// Visit counter per write site (drives crash-point hit matching).
+    write_hits: HashMap<String, u64>,
+    /// Remaining failures for transient write faults.
+    write_remaining: HashMap<String, u32>,
     stats: FaultStats,
 }
 
@@ -176,6 +309,8 @@ impl FaultInjector {
             remaining: HashMap::new(),
             streak: HashMap::new(),
             attempts: HashMap::new(),
+            write_hits: HashMap::new(),
+            write_remaining: HashMap::new(),
             stats: FaultStats::default(),
         }
     }
@@ -263,6 +398,52 @@ impl FaultInjector {
             *streak = 0;
         }
         ReadOutcome::Ok
+    }
+
+    /// Decide the fate of one visit to the named write `site`.
+    ///
+    /// Visits are counted per site, so a [`WriteFault::Crash`] can target
+    /// "the third append" while letting the first two land — the lever the
+    /// crash matrix uses to kill runs mid-training rather than only at the
+    /// first write.
+    pub fn on_write(&mut self, site: &str) -> WriteOutcome {
+        let hits = self.write_hits.entry(site.to_string()).or_insert(0);
+        *hits += 1;
+        let visit = *hits;
+
+        match self.plan.writes.get(site) {
+            Some(&WriteFault::Failed { failures }) => {
+                let left = self
+                    .write_remaining
+                    .entry(site.to_string())
+                    .or_insert(failures);
+                if *left > 0 {
+                    *left -= 1;
+                    self.stats.write_failures += 1;
+                    return WriteOutcome::Fail(StorageError::WriteFailed {
+                        site: site.to_string(),
+                        attempts: 1,
+                        message: "injected transient write fault".into(),
+                    });
+                }
+            }
+            Some(&WriteFault::Torn { valid_bytes }) if visit == 1 => {
+                self.stats.torn_writes += 1;
+                self.stats.crash_points += 1;
+                return WriteOutcome::Torn { valid_bytes };
+            }
+            Some(&WriteFault::Crash { hit }) if visit == hit => {
+                self.stats.crash_points += 1;
+                return WriteOutcome::Crash;
+            }
+            _ => {}
+        }
+        WriteOutcome::Ok
+    }
+
+    /// How many times `site` has been visited so far.
+    pub fn write_visits(&self, site: &str) -> u64 {
+        self.write_hits.get(site).copied().unwrap_or(0)
     }
 }
 
@@ -380,5 +561,82 @@ mod tests {
         assert!(FaultPlan::new(3).is_empty());
         assert!(!FaultPlan::new(3).with_permanent(1, 0).is_empty());
         assert!(!FaultPlan::new(3).with_random_transient(0.1, 1).is_empty());
+        assert!(!FaultPlan::new(3)
+            .with_crash_point(sites::WAL_AFTER_FSYNC, 1)
+            .is_empty());
+    }
+
+    #[test]
+    fn write_failed_fails_then_recovers() {
+        let mut inj =
+            FaultInjector::new(FaultPlan::new(1).with_write_failed(sites::WAL_BEFORE_APPEND, 2));
+        for _ in 0..2 {
+            match inj.on_write(sites::WAL_BEFORE_APPEND) {
+                WriteOutcome::Fail(e) => {
+                    assert!(e.is_retryable(), "WriteFailed must be retryable");
+                    assert!(e.to_string().contains(sites::WAL_BEFORE_APPEND));
+                }
+                other => panic!("expected failure, got {other:?}"),
+            }
+        }
+        assert_eq!(inj.on_write(sites::WAL_BEFORE_APPEND), WriteOutcome::Ok);
+        // Other sites untouched.
+        assert_eq!(inj.on_write(sites::WAL_AFTER_FSYNC), WriteOutcome::Ok);
+        assert_eq!(inj.stats().write_failures, 2);
+        assert_eq!(inj.stats().total_write_events(), 2);
+    }
+
+    #[test]
+    fn torn_write_fires_once() {
+        let mut inj =
+            FaultInjector::new(FaultPlan::new(1).with_torn_write(sites::SAVE_TABLE_MID_RENAME, 17));
+        assert_eq!(
+            inj.on_write(sites::SAVE_TABLE_MID_RENAME),
+            WriteOutcome::Torn { valid_bytes: 17 }
+        );
+        // After the tear the "process" restarts; subsequent visits succeed.
+        assert_eq!(inj.on_write(sites::SAVE_TABLE_MID_RENAME), WriteOutcome::Ok);
+        assert_eq!(inj.stats().torn_writes, 1);
+    }
+
+    #[test]
+    fn crash_point_targets_nth_visit() {
+        let mut inj = FaultInjector::new(
+            FaultPlan::new(1).with_crash_point(sites::WAL_AFTER_APPEND_BEFORE_FSYNC, 3),
+        );
+        assert_eq!(
+            inj.on_write(sites::WAL_AFTER_APPEND_BEFORE_FSYNC),
+            WriteOutcome::Ok
+        );
+        assert_eq!(
+            inj.on_write(sites::WAL_AFTER_APPEND_BEFORE_FSYNC),
+            WriteOutcome::Ok
+        );
+        assert_eq!(
+            inj.on_write(sites::WAL_AFTER_APPEND_BEFORE_FSYNC),
+            WriteOutcome::Crash
+        );
+        assert_eq!(
+            inj.on_write(sites::WAL_AFTER_APPEND_BEFORE_FSYNC),
+            WriteOutcome::Ok
+        );
+        assert_eq!(inj.stats().crash_points, 1);
+        assert_eq!(inj.write_visits(sites::WAL_AFTER_APPEND_BEFORE_FSYNC), 4);
+    }
+
+    #[test]
+    fn crash_sites_registry_is_stable() {
+        let s = sites::crash_sites();
+        assert!(s.contains(&sites::WAL_BEFORE_APPEND));
+        assert!(s.contains(&sites::WAL_AFTER_APPEND_BEFORE_FSYNC));
+        assert!(s.contains(&sites::WAL_AFTER_FSYNC));
+        assert!(s.contains(&sites::ATOMIC_WRITE_MID_RENAME));
+        assert!(s.contains(&sites::SAVE_TABLE_MID_RENAME));
+        assert!(s.contains(&sites::MODEL_STORE_POST_SNAPSHOT));
+        // Names are unique.
+        let mut dedup = s.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), s.len());
     }
 }

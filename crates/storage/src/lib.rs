@@ -21,7 +21,11 @@
 //! * [`buffer`] — in-memory tuple buffers used by tuple-level shuffling,
 //!   including the double-buffering cost model from the paper's §6.3;
 //! * [`fault`] — seeded, deterministic fault injection (transient and
-//!   permanent read failures, checksum corruption, latency spikes);
+//!   permanent read failures, checksum corruption, latency spikes, and
+//!   write-path faults: retryable write failures, torn writes, and named
+//!   crash points);
+//! * [`wal`] — append-only, CRC-framed `CORGIWL1` write-ahead log with
+//!   longest-valid-prefix recovery, backing the durable model store;
 //! * [`retry`] — bounded exponential-backoff retry shared by all block
 //!   readers, charging backoff to the simulated clock;
 //! * [`shared`] — interior-synchronized [`SharedDevice`]/[`SharedBufferPool`]
@@ -50,6 +54,7 @@ pub mod retry;
 pub mod shared;
 pub mod table;
 pub mod tuple;
+pub mod wal;
 
 pub use block::{BlockId, BlockMeta};
 pub use buffer::{DoubleBufferModel, TupleBuffer, INITIAL_RESERVATION_CAP};
@@ -57,9 +62,14 @@ pub use bufmgr::{BufferPool, BufferPoolStats};
 pub use crc::crc32;
 pub use device::{Access, CacheConfig, DeviceProfile, IoStats, SimDevice};
 pub use error::StorageError;
-pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultStats, ReadOutcome};
+pub use fault::{
+    sites, FaultInjector, FaultKind, FaultPlan, FaultStats, ReadOutcome, WriteFault, WriteOutcome,
+};
 pub use page::{Page, PAGE_SIZE};
-pub use persist::{atomic_write_bytes, load_table, save_table, FileBlockMeta, FileTable};
+pub use persist::{
+    atomic_write_bytes, atomic_write_bytes_faulted, load_table, save_table, save_table_faulted,
+    FileBlockMeta, FileTable,
+};
 pub use pipeline::{
     block_refs, run_epoch_pipeline, PipelineError, PipelineReport, PipelineSender, TupleRef,
     PIPELINE_SLOTS,
@@ -71,6 +81,7 @@ pub use tuple::{
     dense_axpy, dense_axpy_scalar, dense_dot, dense_dot_scalar, tuple_clone_count, FeatureVec,
     Tuple, TupleId, DENSE_LANES,
 };
+pub use wal::{scan_valid_prefix, Wal, WalRecord, WAL_MAGIC, WAL_MAX_PAYLOAD};
 
 // Telemetry types appear in storage APIs (`SimDevice::set_telemetry`);
 // re-export them so downstream crates need not depend on the telemetry

@@ -152,7 +152,7 @@ mod tests {
         Tuple::dense(
             id,
             vec![id as f32, -1.0],
-            if id % 2 == 0 { 1.0 } else { -1.0 },
+            if id.is_multiple_of(2) { 1.0 } else { -1.0 },
         )
     }
 

@@ -36,10 +36,11 @@
 
 use crate::crc::crc32;
 use crate::error::StorageError;
-use crate::fault::{FaultInjector, FaultPlan, FaultStats, ReadOutcome};
+use crate::fault::{sites, FaultInjector, FaultPlan, FaultStats, ReadOutcome, WriteOutcome};
 use crate::retry::RetryPolicy;
 use crate::table::{Table, TableBuilder, TableConfig};
 use crate::tuple::Tuple;
+use crate::wal::fsync_parent_dir;
 use crate::Result;
 use parking_lot::Mutex;
 use std::io::{self, Read, Seek, SeekFrom, Write};
@@ -70,7 +71,26 @@ fn temp_sibling(path: &Path) -> PathBuf {
 /// then rename it into place. Used by table persistence and training
 /// checkpoints; a crash at any point leaves either the old file or the new
 /// one, never a torn mix.
+///
+/// The parent directory is fsynced after the rename — without it the
+/// rename lives only in the directory's page-cache entry, and a power loss
+/// can resurrect the old file (or no file) even though the rename
+/// "succeeded". This is the classic fsync-the-directory bug; the guarantee
+/// is pinned by `atomic_write_survives_mid_rename_crash` and documented in
+/// DESIGN.md §12.
 pub fn atomic_write_bytes(path: &Path, bytes: &[u8]) -> Result<()> {
+    atomic_write_bytes_faulted(path, bytes, None)
+}
+
+/// [`atomic_write_bytes`] visiting [`sites::ATOMIC_WRITE_MID_RENAME`] on
+/// `inj` between the temp-file sync and the rename: an injected crash
+/// there leaves the synced temp sibling on disk and the target untouched —
+/// exactly what a real kill between the two syscalls leaves.
+pub fn atomic_write_bytes_faulted(
+    path: &Path,
+    bytes: &[u8],
+    inj: Option<&mut FaultInjector>,
+) -> Result<()> {
     let tmp = temp_sibling(path);
     let write = (|| -> Result<()> {
         let mut f = std::fs::File::create(&tmp).map_err(|e| io_err("create temp", e))?;
@@ -82,10 +102,39 @@ pub fn atomic_write_bytes(path: &Path, bytes: &[u8]) -> Result<()> {
         let _ = std::fs::remove_file(&tmp);
         return Err(e);
     }
+    if let Some(i) = inj {
+        match i.on_write(sites::ATOMIC_WRITE_MID_RENAME) {
+            WriteOutcome::Ok => {}
+            WriteOutcome::Fail(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                return Err(e);
+            }
+            WriteOutcome::Torn { valid_bytes } => {
+                // The temp file was synced whole, but the crash models dying
+                // with only a prefix of it durable.
+                let f = std::fs::OpenOptions::new()
+                    .write(true)
+                    .open(&tmp)
+                    .map_err(|e| io_err("open temp", e))?;
+                f.set_len(valid_bytes.min(bytes.len()) as u64)
+                    .map_err(|e| io_err("truncate temp", e))?;
+                f.sync_all().map_err(|e| io_err("sync temp", e))?;
+                return Err(StorageError::Crashed {
+                    site: sites::ATOMIC_WRITE_MID_RENAME.into(),
+                });
+            }
+            WriteOutcome::Crash => {
+                return Err(StorageError::Crashed {
+                    site: sites::ATOMIC_WRITE_MID_RENAME.into(),
+                });
+            }
+        }
+    }
     std::fs::rename(&tmp, path).map_err(|e| {
         let _ = std::fs::remove_file(&tmp);
         io_err("rename temp", e)
-    })
+    })?;
+    fsync_parent_dir(path)
 }
 
 /// Serialize every block's tuple data: `(first_tuple, tuple_count, bytes)`.
@@ -109,8 +158,19 @@ fn encode_regions(table: &Table) -> Result<Vec<(u64, u64, Vec<u8>)>> {
 /// Write `table` to `path` in the checksummed `CORGIPL3` heap format.
 ///
 /// The write is atomic: data goes to a synced temp sibling which is renamed
-/// over `path`, so a crash never leaves a torn file.
+/// over `path`, so a crash never leaves a torn file; the parent directory
+/// is fsynced afterwards so the rename itself is durable.
 pub fn save_table(table: &Table, path: &Path) -> Result<()> {
+    save_table_faulted(table, path, None)
+}
+
+/// [`save_table`] visiting [`sites::SAVE_TABLE_MID_RENAME`] on `inj`
+/// between the temp-file sync and the rename.
+pub fn save_table_faulted(
+    table: &Table,
+    path: &Path,
+    inj: Option<&mut FaultInjector>,
+) -> Result<()> {
     let cfg = table.config();
     let regions = encode_regions(table)?;
     let name = cfg.name.as_bytes();
@@ -156,10 +216,29 @@ pub fn save_table(table: &Table, path: &Path) -> Result<()> {
         let _ = std::fs::remove_file(&tmp);
         return Err(e);
     }
+    if let Some(i) = inj {
+        match i.on_write(sites::SAVE_TABLE_MID_RENAME) {
+            WriteOutcome::Ok => {}
+            WriteOutcome::Fail(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                return Err(e);
+            }
+            // A tear inside save_table's window behaves like a plain crash:
+            // the synced temp sibling survives, the target is untouched (the
+            // heap format's own CRCs reject any partial temp a weaker sync
+            // discipline could leave).
+            WriteOutcome::Torn { .. } | WriteOutcome::Crash => {
+                return Err(StorageError::Crashed {
+                    site: sites::SAVE_TABLE_MID_RENAME.into(),
+                });
+            }
+        }
+    }
     std::fs::rename(&tmp, path).map_err(|e| {
         let _ = std::fs::remove_file(&tmp);
         io_err("rename temp", e)
-    })
+    })?;
+    fsync_parent_dir(path)
 }
 
 /// Write `table` in the legacy `CORGIPL2` format (no checksums, non-atomic).
@@ -653,6 +732,78 @@ mod tests {
     }
 
     #[test]
+    fn atomic_write_survives_mid_rename_crash() {
+        // Durability contract of `atomic_write_bytes`: the temp sibling is
+        // synced, the rename is atomic, and the parent directory is fsynced
+        // after the rename — so at *every* crash point either the complete
+        // old content or the complete new content is durable, never a mix
+        // and never a resurrect-the-old-file window. The mid-rename site is
+        // the interesting one: the synced temp exists, the target is
+        // untouched.
+        let path = tmp("atomic_crash.bin");
+        atomic_write_bytes(&path, b"old content").unwrap();
+        let mut inj = FaultInjector::new(
+            FaultPlan::new(1).with_crash_point(sites::ATOMIC_WRITE_MID_RENAME, 1),
+        );
+        match atomic_write_bytes_faulted(&path, b"new content", Some(&mut inj)) {
+            Err(StorageError::Crashed { site }) => {
+                assert_eq!(site, sites::ATOMIC_WRITE_MID_RENAME);
+            }
+            other => panic!("expected crash, got {other:?}"),
+        }
+        // Old file intact; the synced temp sibling is the crash residue.
+        assert_eq!(std::fs::read(&path).unwrap(), b"old content");
+        assert!(temp_sibling(&path).exists());
+        // A rerun (the recovered process) completes the replace and cleans
+        // the sibling up.
+        atomic_write_bytes(&path, b"new content").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"new content");
+        assert!(!temp_sibling(&path).exists());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn atomic_write_retryable_failure_cleans_up() {
+        let path = tmp("atomic_fail.bin");
+        atomic_write_bytes(&path, b"old").unwrap();
+        let mut inj = FaultInjector::new(
+            FaultPlan::new(1).with_write_failed(sites::ATOMIC_WRITE_MID_RENAME, 1),
+        );
+        match atomic_write_bytes_faulted(&path, b"new", Some(&mut inj)) {
+            Err(e) => assert!(e.is_retryable()),
+            other => panic!("expected retryable failure, got {other:?}"),
+        }
+        assert_eq!(std::fs::read(&path).unwrap(), b"old");
+        assert!(!temp_sibling(&path).exists(), "failed write must clean up");
+        // The retry succeeds (the injected fault was single-shot).
+        atomic_write_bytes_faulted(&path, b"new", Some(&mut inj)).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"new");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn save_table_survives_mid_rename_crash() {
+        let old = sample_table(40);
+        let new = sample_table(120);
+        let path = tmp("save_crash.tbl");
+        save_table(&old, &path).unwrap();
+        let mut inj =
+            FaultInjector::new(FaultPlan::new(1).with_crash_point(sites::SAVE_TABLE_MID_RENAME, 1));
+        assert!(matches!(
+            save_table_faulted(&new, &path, Some(&mut inj)),
+            Err(StorageError::Crashed { .. })
+        ));
+        // The old table is fully readable — never a torn mix.
+        let back = load_table(&path).unwrap();
+        assert_eq!(back.all_tuples(), old.all_tuples());
+        // Recovery rerun replaces it cleanly.
+        save_table(&new, &path).unwrap();
+        assert_eq!(load_table(&path).unwrap().num_tuples(), 120);
+        assert!(!temp_sibling(&path).exists());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
     fn corgipl2_files_still_load() {
         let table = sample_table(200);
         let path = tmp("legacy_v2.tbl");
@@ -813,7 +964,7 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 let mut count = 0u64;
                 for id in 0..ft.num_blocks() {
-                    if (id as u64 + t) % 2 == 0 {
+                    if (id as u64 + t).is_multiple_of(2) {
                         count += ft.read_block(id).unwrap().len() as u64;
                     }
                 }

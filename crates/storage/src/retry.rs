@@ -84,6 +84,29 @@ mod tests {
         assert_eq!(RetryPolicy::none().max_retries, 0);
     }
 
+    #[test]
+    fn one_policy_drives_read_and_write_retries() {
+        // The policy is error-agnostic: retry loops gate on
+        // `StorageError::is_retryable`, so the same policy instance governs
+        // block reads and WAL appends symmetrically.
+        use crate::error::StorageError;
+        let read = StorageError::ReadFailed {
+            block: 0,
+            attempts: 1,
+            message: "x".into(),
+        };
+        let write = StorageError::WriteFailed {
+            site: "wal.before_append".into(),
+            attempts: 1,
+            message: "x".into(),
+        };
+        assert_eq!(read.is_retryable(), write.is_retryable());
+        let crash = StorageError::Crashed {
+            site: "wal.after_fsync".into(),
+        };
+        assert!(!crash.is_retryable(), "no policy may retry a crash");
+    }
+
     proptest! {
         /// Satellite requirement: backoff cost is monotone in attempt count
         /// and never negative, for any policy shape.

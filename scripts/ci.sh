@@ -24,6 +24,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 banner "Concurrency stress (N sessions over one engine, bit-identical)"
 cargo test --release --test concurrent_sessions
 
+banner "Crash matrix (kill at every WAL write site, recover, bit-identical)"
+cargo test --release --test crash_recovery
+
 banner "Pipeline bench (smoke scale)"
 # Completes-and-emits-valid-JSON check only — no performance gating in CI.
 CORGI_PIPELINE_TUPLES=1500 CORGI_PIPELINE_EPOCHS=2 \
@@ -42,5 +45,11 @@ CORGI_PUSHDOWN_TUPLES=2000 CORGI_PUSHDOWN_EPOCHS=1 \
   cargo run --release -p corgipile-bench --bin corgi-bench -- pushdown
 python3 -c "import json; json.load(open('BENCH_pushdown.json'))" \
   || { echo "BENCH_pushdown.json is not valid JSON"; exit 1; }
+
+banner "Recovery bench (smoke scale)"
+CORGI_RECOVERY_TUPLES=2000 CORGI_RECOVERY_EPOCHS=2 \
+  cargo run --release -p corgipile-bench --bin corgi-bench -- recovery
+python3 -c "import json; json.load(open('BENCH_recovery.json'))" \
+  || { echo "BENCH_recovery.json is not valid JSON"; exit 1; }
 
 banner "CI gate passed"

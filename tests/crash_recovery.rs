@@ -1,0 +1,260 @@
+//! Crash matrix: kill a durable training run at every injected write
+//! site, recover, resume, and require the final model to be bit-identical
+//! to an uninterrupted run.
+//!
+//! This is the durability contract of the WAL-backed model store: a
+//! `WITH durable = 1` training query appends an epoch-granular checkpoint
+//! to the `CORGIWL1` log (fsynced before the epoch is acknowledged), so a
+//! process killed at *any* point — before an append, with the frame torn,
+//! with the frame unsynced in the page cache, after the fsync, mid-rename
+//! of the compaction snapshot, or between the snapshot and the log
+//! truncation — recovers to a consistent prefix of epochs and resumes by
+//! replay to the exact same final parameters. No checkpoint knobs, no
+//! non-determinism.
+//!
+//! The matrix runs every reachable crash site × {pre-fsync crash,
+//! post-fsync crash, torn write}, plus a concurrent-sessions variant
+//! where the killed session shares the engine (and the WAL) with a
+//! surviving one. (`save_table.mid_rename` is not on the durable-training
+//! path; its recovery is proven by the storage-layer persist tests.)
+
+use corgipile::data::{DatasetSpec, Order};
+use corgipile::db::{Database, DbError, ModelStoreOptions, QueryResult};
+use corgipile::storage::{sites, FaultPlan, SimDevice, StorageError, Table};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const EPOCHS: usize = 4;
+
+fn higgs(n: usize) -> Table {
+    DatasetSpec::higgs_like(n)
+        .with_order(Order::ClusteredByLabel)
+        .with_block_bytes(8192)
+        .build_table(1)
+        .unwrap()
+}
+
+fn train_sql(name: &str, seed: usize) -> String {
+    format!(
+        "SELECT * FROM higgs TRAIN BY svm WITH learning_rate = 0.05, \
+         max_epoch_num = {EPOCHS}, seed = {seed}, model_name = {name}, durable = 1"
+    )
+}
+
+fn store_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "corgi_crashmx_{}_{}",
+        tag.replace(['.', '@'], "_"),
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+fn engine(table: &Table, dir: &Path, opts: ModelStoreOptions) -> Arc<Database> {
+    let db = Database::with_model_store_opts(SimDevice::hdd_scaled(1000.0, 0), 0, dir, opts)
+        .expect("open engine with model store");
+    db.register_table("higgs", table.clone());
+    db
+}
+
+/// The uninterrupted run: fresh store, no faults, straight to completion.
+fn reference_params(table: &Table, name: &str, seed: usize) -> Vec<f32> {
+    let dir = store_dir(&format!("ref_{name}_{seed}"));
+    let db = engine(table, &dir, ModelStoreOptions::default());
+    db.connect().execute(&train_sql(name, seed)).unwrap();
+    let params = db.catalog().model(name).unwrap().params.clone();
+    std::fs::remove_dir_all(&dir).ok();
+    params
+}
+
+/// One matrix cell: kill the run under `plan`, then recover on a clean
+/// engine over the same directory and re-issue the *same* SQL.
+fn kill_recover_resume(label: &str, table: &Table, want: &[f32], opts: ModelStoreOptions) {
+    let dir = store_dir(label);
+    {
+        let db = engine(table, &dir, opts.clone());
+        let err = db
+            .connect()
+            .execute(&train_sql("m", 7))
+            .expect_err(&format!("{label}: the injected fault must kill the run"));
+        match err {
+            DbError::Storage(StorageError::Crashed { site }) => {
+                assert!(
+                    sites::crash_sites().contains(&site.as_str()),
+                    "{label}: crashed at unregistered site {site}"
+                );
+            }
+            other => panic!("{label}: expected a simulated crash, got {other:?}"),
+        }
+        // The kill must not have published a finished model.
+        assert!(db.catalog().model("m").is_err(), "{label}");
+    }
+    // Recovery: a clean process opens the same store and re-issues the
+    // same query — auto-resume picks up from the last durable epoch.
+    let clean = ModelStoreOptions {
+        faults: None,
+        ..opts
+    };
+    let db = engine(table, &dir, clean);
+    db.connect().execute(&train_sql("m", 7)).unwrap();
+    let got = db.catalog().model("m").unwrap().params.clone();
+    assert_eq!(
+        got, want,
+        "{label}: recovered+resumed model must be bit-identical"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn crash_matrix_every_site_recovers_bit_identical() {
+    let table = higgs(1500);
+    let want = reference_params(&table, "m", 7);
+    // Tiny compaction threshold so snapshot sites fire during the run.
+    let compacting = |faults: FaultPlan| ModelStoreOptions {
+        compact_threshold_bytes: 64,
+        faults: Some(faults),
+        ..Default::default()
+    };
+    let plain = |faults: FaultPlan| ModelStoreOptions {
+        faults: Some(faults),
+        ..Default::default()
+    };
+    let cases: Vec<(&str, ModelStoreOptions)> = vec![
+        // WAL append sites: pre-append, pre-fsync, post-fsync crashes.
+        (
+            "crash@wal.before_append#1",
+            plain(FaultPlan::new(7).with_crash_point(sites::WAL_BEFORE_APPEND, 1)),
+        ),
+        (
+            "crash@wal.before_append#3",
+            plain(FaultPlan::new(7).with_crash_point(sites::WAL_BEFORE_APPEND, 3)),
+        ),
+        (
+            "crash@wal.after_append_before_fsync#2",
+            plain(FaultPlan::new(7).with_crash_point(sites::WAL_AFTER_APPEND_BEFORE_FSYNC, 2)),
+        ),
+        (
+            "crash@wal.after_fsync#1",
+            plain(FaultPlan::new(7).with_crash_point(sites::WAL_AFTER_FSYNC, 1)),
+        ),
+        (
+            "crash@wal.after_fsync#3",
+            plain(FaultPlan::new(7).with_crash_point(sites::WAL_AFTER_FSYNC, 3)),
+        ),
+        // Torn writes: a prefix of the frame reaches the medium, then death.
+        (
+            "torn@wal.before_append",
+            plain(FaultPlan::new(7).with_torn_write(sites::WAL_BEFORE_APPEND, 5)),
+        ),
+        (
+            "torn@wal.after_append_before_fsync",
+            plain(FaultPlan::new(7).with_torn_write(sites::WAL_AFTER_APPEND_BEFORE_FSYNC, 7)),
+        ),
+        // Compaction sites: mid-rename of the snapshot, and the gap between
+        // a durable snapshot and the log truncation.
+        (
+            "crash@atomic_write.mid_rename#1",
+            compacting(FaultPlan::new(7).with_crash_point(sites::ATOMIC_WRITE_MID_RENAME, 1)),
+        ),
+        (
+            "torn@atomic_write.mid_rename",
+            compacting(FaultPlan::new(7).with_torn_write(sites::ATOMIC_WRITE_MID_RENAME, 3)),
+        ),
+        (
+            "crash@model_store.post_snapshot#1",
+            compacting(FaultPlan::new(7).with_crash_point(sites::MODEL_STORE_POST_SNAPSHOT, 1)),
+        ),
+        (
+            "crash@model_store.post_snapshot#2",
+            compacting(FaultPlan::new(7).with_crash_point(sites::MODEL_STORE_POST_SNAPSHOT, 2)),
+        ),
+    ];
+    for (label, opts) in cases {
+        kill_recover_resume(label, &table, &want, opts);
+    }
+}
+
+#[test]
+fn repeated_kills_converge_to_the_same_model() {
+    // Kill every restart on its *first* post-fsync append: each attempt
+    // makes exactly one more epoch durable before dying, so progress is
+    // strictly monotone and the final clean run trains only the last epoch.
+    let table = higgs(1500);
+    let want = reference_params(&table, "m", 7);
+    let dir = store_dir("repeated_kills");
+    for attempt in 1..=3u64 {
+        let opts = ModelStoreOptions {
+            faults: Some(FaultPlan::new(7).with_crash_point(sites::WAL_AFTER_FSYNC, 1)),
+            ..Default::default()
+        };
+        let db = engine(&table, &dir, opts);
+        // Recovery sees exactly the epochs made durable by earlier attempts.
+        let durable = db.model_store().unwrap().latest("m").map(|r| r.epoch);
+        assert_eq!(durable, (attempt > 1).then_some(attempt as u32 - 1));
+        let r = db.connect().execute(&train_sql("m", 7));
+        assert!(
+            matches!(r, Err(DbError::Storage(StorageError::Crashed { .. }))),
+            "kill {attempt} must crash, got {r:?}"
+        );
+    }
+    let db = engine(&table, &dir, ModelStoreOptions::default());
+    assert_eq!(db.model_store().unwrap().latest("m").unwrap().epoch, 3);
+    let r = db.connect().execute(&train_sql("m", 7)).unwrap();
+    match r {
+        QueryResult::Train(t) => assert_eq!(t.epochs.len(), 1, "only the last epoch remains"),
+        other => panic!("unexpected {other:?}"),
+    }
+    assert_eq!(db.catalog().model("m").unwrap().params, want);
+    let rec = db.model_store().unwrap().latest("m").unwrap();
+    assert_eq!((rec.version, rec.epoch), (1, EPOCHS as u32));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn crash_under_concurrent_sessions_recovers_both_models() {
+    // Two sessions train durable models over ONE engine and ONE WAL; a
+    // crash point on the shared store kills whichever session's append
+    // visits it. The survivor's model must be untouched, and recovery must
+    // resume the victim to bit-identity.
+    let table = higgs(1500);
+    let want_a = reference_params(&table, "a", 3);
+    let want_b = reference_params(&table, "b", 5);
+
+    let dir = store_dir("concurrent");
+    let opts = ModelStoreOptions {
+        faults: Some(FaultPlan::new(7).with_crash_point(sites::WAL_AFTER_APPEND_BEFORE_FSYNC, 5)),
+        ..Default::default()
+    };
+    let mut crashes = 0usize;
+    {
+        let db = engine(&table, &dir, opts);
+        let results: Vec<Result<(), DbError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = [("a", 3usize), ("b", 5usize)]
+                .into_iter()
+                .map(|(name, seed)| {
+                    let db = Arc::clone(&db);
+                    scope.spawn(move || db.connect().execute(&train_sql(name, seed)).map(|_| ()))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for r in results {
+            match r {
+                Ok(()) => {}
+                Err(DbError::Storage(StorageError::Crashed { .. })) => crashes += 1,
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        }
+        assert_eq!(crashes, 1, "exactly one session hits the 5th append");
+    }
+    // Clean recovery + re-issue of both queries (the finished one retrains
+    // a fresh version; the killed one resumes).
+    let db = engine(&table, &dir, ModelStoreOptions::default());
+    let mut s = db.connect();
+    s.execute(&train_sql("a", 3)).unwrap();
+    s.execute(&train_sql("b", 5)).unwrap();
+    assert_eq!(db.catalog().model("a").unwrap().params, want_a);
+    assert_eq!(db.catalog().model("b").unwrap().params, want_b);
+    std::fs::remove_dir_all(&dir).ok();
+}
