@@ -123,6 +123,38 @@ fn main() {
                 )
                 .ok();
             }
+            Ok(QueryResult::Serve(p)) => {
+                let metric = p
+                    .metric
+                    .map(|m| format!("{:.2}%", m * 100.0))
+                    .unwrap_or_else(|| "n/a".into());
+                let (p50, p99) = (
+                    p.latency_quantile(0.5).unwrap_or(0.0) * 1e3,
+                    p.latency_quantile(0.99).unwrap_or(0.0) * 1e3,
+                );
+                writeln!(
+                    out,
+                    "SERVE OK: model {} v{} ({}), {} rows in {} batches, metric {}, \
+                     batch p50 {:.4}ms p99 {:.4}ms, io {:.3}ms compute {:.3}ms \
+                     (first 10: {:?})",
+                    p.model_name,
+                    p.version,
+                    if p.cache_hit {
+                        "cache hit"
+                    } else {
+                        "cache miss"
+                    },
+                    p.rows,
+                    p.batches,
+                    metric,
+                    p50,
+                    p99,
+                    p.io_seconds * 1e3,
+                    p.compute_seconds * 1e3,
+                    &p.predictions[..p.predictions.len().min(10)]
+                )
+                .ok();
+            }
             Ok(QueryResult::Plan(lines)) => {
                 for l in lines {
                     writeln!(out, "{l}").ok();

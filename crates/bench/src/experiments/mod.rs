@@ -13,6 +13,7 @@ pub mod order_diag;
 pub mod pipeline;
 pub mod pushdown;
 pub mod recovery;
+pub mod serving;
 pub mod tables;
 
 use crate::common::ExpData;
@@ -62,6 +63,7 @@ pub fn registry() -> Vec<Experiment> {
         Experiment { id: "concurrency", what: "extension: work-stealing train_parallel vs fixed interleaver (wall time) + cross-session shared buffers", run: concurrency::concurrency },
         Experiment { id: "pushdown", what: "extension: WHERE pushdown below TupleShuffle vs post-buffer filtering (buffered tuples, I/O, bit identity)", run: pushdown::pushdown },
         Experiment { id: "recovery", what: "extension: WAL recovery scan time, durable-training overhead, crash-matrix bit-identity", run: recovery::recovery },
+        Experiment { id: "serving", what: "extension: batched PREDICT serving throughput/latency at 1/4/8 sessions, cold vs warm cache, hot-reload bit-identity", run: serving::serving },
     ]
 }
 

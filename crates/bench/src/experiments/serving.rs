@@ -1,0 +1,404 @@
+//! Serving benchmark: batched `PREDICT` throughput and latency under
+//! concurrent sessions, cold vs warm cache.
+//!
+//! Accounting: the engine is a simulator, so throughput is reported in
+//! predictions per **simulated** second — each session is charged its own
+//! sequential scan I/O plus inference compute on the engine's cost model,
+//! and the serving window for N concurrent sessions is the *maximum*
+//! per-session busy time (sessions are independent backends on
+//! independent device channels, the read-mostly regime the lock-free
+//! model cache is built for, so aggregate throughput scales with the
+//! session count). Per-batch wall-clock latencies are real host timings
+//! and are reported as p50/p99 without any simulation applied. Cold vs
+//! warm compares the serving subsystem's own model cache: pinning a
+//! version that is not resident (fetched from the durable store and
+//! published) against the repeat request that pins the resident `Arc`.
+//!
+//! Every concurrent run's predictions are compared bit-for-bit against a
+//! serial reference — the versioned cache pins one immutable model per
+//! run, so concurrency must never change a single prediction.
+//!
+//! Writes `results/serving.{tsv,json}` plus the root-level
+//! `BENCH_serving.json` artifact (directory override: `CORGI_BENCH_ROOT`).
+//! `CORGI_SERVING_TUPLES` / `CORGI_SERVING_RUNS` /
+//! `CORGI_SERVING_BATCH_ROWS` shrink the run for CI smoke tests.
+
+use crate::report::Report;
+use corgipile_data::{DatasetSpec, Order};
+use corgipile_db::{Database, PredictSummary, ServeOptions};
+use corgipile_storage::{SimDevice, Table};
+use std::sync::Arc;
+
+/// One concurrency level of the serving sweep.
+#[derive(Debug, Clone)]
+pub struct ServingRun {
+    /// Concurrent predictor sessions.
+    pub sessions: usize,
+    /// Total predictions across all sessions and repeats.
+    pub predictions: u64,
+    /// Serving window: max per-session simulated busy seconds.
+    pub sim_window_seconds: f64,
+    /// Predictions per simulated second over the window.
+    pub predictions_per_sec: f64,
+    /// Real per-batch wall latency, median, milliseconds.
+    pub wall_p50_ms: f64,
+    /// Real per-batch wall latency, 99th percentile, milliseconds.
+    pub wall_p99_ms: f64,
+    /// Every session's every run matched the serial reference bit-for-bit.
+    pub bit_identical: bool,
+}
+
+/// Cold-vs-warm **model cache** comparison for a single session: a cold
+/// request pins a version that is not resident (recovery only republishes
+/// the latest version per name), so the engine must fetch it from the
+/// durable store and publish it; the warm repeat pins the now-resident
+/// `Arc` without touching storage.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheComparison {
+    /// Wall milliseconds for the cold request (store fetch + publish + scan).
+    pub cold_wall_ms: f64,
+    /// Wall milliseconds for the warm repeat (cache pin + scan).
+    pub warm_wall_ms: f64,
+    /// The cold request really missed the cache.
+    pub cold_miss: bool,
+    /// The warm repeat really hit it.
+    pub warm_hit: bool,
+}
+
+fn clustered(n: usize) -> Table {
+    DatasetSpec::higgs_like(n)
+        .with_order(Order::ClusteredByLabel)
+        .with_block_bytes(8 << 10)
+        .build_table(1)
+        .unwrap()
+}
+
+const TRAIN_SQL: &str = "SELECT * FROM higgs TRAIN BY svm WITH learning_rate = 0.05, \
+                         max_epoch_num = 2, seed = 7, model_name = m";
+
+fn serving_engine(table: &Table, pool_bytes: usize) -> Arc<Database> {
+    let db = if pool_bytes > 0 {
+        Database::with_shared_buffers(SimDevice::hdd_scaled(1000.0, 0), pool_bytes)
+    } else {
+        Database::new(SimDevice::hdd_scaled(1000.0, 0))
+    };
+    db.register_table("higgs", table.clone());
+    db.connect().execute(TRAIN_SQL).expect("training runs");
+    db
+}
+
+fn serve_once(db: &Arc<Database>, batch_rows: usize) -> PredictSummary {
+    db.connect()
+        .predict_batch(
+            "higgs",
+            "m",
+            ServeOptions {
+                batch_rows,
+                ..ServeOptions::default()
+            },
+        )
+        .expect("serving runs")
+}
+
+fn quantile_ms(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[rank] * 1e3
+}
+
+/// Sweep concurrent session counts over one warm engine per level.
+pub fn measure_serving(
+    n_tuples: usize,
+    runs_per_session: usize,
+    batch_rows: usize,
+    session_counts: &[usize],
+) -> Vec<ServingRun> {
+    let table = clustered(n_tuples);
+    session_counts
+        .iter()
+        .map(|&sessions| {
+            let db = serving_engine(&table, 64 << 20);
+            // Serial reference run: every concurrent session's bits must
+            // match it exactly.
+            let reference = serve_once(&db, batch_rows).predictions;
+
+            let per_session: Vec<(f64, Vec<f64>, bool)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..sessions)
+                    .map(|_| {
+                        let db = Arc::clone(&db);
+                        let reference = &reference;
+                        scope.spawn(move || {
+                            let mut sim = 0.0f64;
+                            let mut walls = Vec::new();
+                            let mut identical = true;
+                            for _ in 0..runs_per_session {
+                                let p = serve_once(&db, batch_rows);
+                                sim += p.sim_seconds();
+                                walls.extend(p.batch_wall_seconds);
+                                identical &= &p.predictions == reference;
+                            }
+                            (sim, walls, identical)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+
+            let sim_window_seconds = per_session
+                .iter()
+                .map(|(sim, _, _)| *sim)
+                .fold(0.0f64, f64::max);
+            let predictions = (sessions * runs_per_session * n_tuples) as u64;
+            let mut walls: Vec<f64> = per_session
+                .iter()
+                .flat_map(|(_, w, _)| w.iter().copied())
+                .collect();
+            walls.sort_by(f64::total_cmp);
+            ServingRun {
+                sessions,
+                predictions,
+                sim_window_seconds,
+                predictions_per_sec: predictions as f64 / sim_window_seconds.max(1e-12),
+                wall_p50_ms: quantile_ms(&walls, 0.5),
+                wall_p99_ms: quantile_ms(&walls, 0.99),
+                bit_identical: per_session.iter().all(|(_, _, ok)| *ok),
+            }
+        })
+        .collect()
+}
+
+/// Cold (version absent from the model cache, fetched from the durable
+/// store) vs warm (resident) single-session request.
+pub fn measure_cache(n_tuples: usize, batch_rows: usize) -> CacheComparison {
+    let table = clustered(n_tuples);
+    let dir = std::env::temp_dir().join(format!("corgi_bench_serving_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    {
+        // Two durable versions; v2 ends up active.
+        let db =
+            Database::with_model_store(SimDevice::hdd_scaled(1000.0, 0), 64 << 20, &dir).unwrap();
+        db.register_table("higgs", table.clone());
+        let mut s = db.connect();
+        for seed in [7, 8] {
+            s.execute(&format!(
+                "SELECT * FROM higgs TRAIN BY svm WITH learning_rate = 0.05, \
+                 max_epoch_num = 2, seed = {seed}, model_name = m, durable = 1"
+            ))
+            .expect("durable training runs");
+        }
+    }
+    // Restart: recovery republishes only the latest version, so pinning
+    // version 1 is a genuine cache miss served through the store.
+    let db = Database::with_model_store(SimDevice::hdd_scaled(1000.0, 0), 64 << 20, &dir).unwrap();
+    db.register_table("higgs", table);
+    let mut s = db.connect();
+    let mut pinned = |_| {
+        let t = std::time::Instant::now();
+        let p = s
+            .predict_batch(
+                "higgs",
+                "m",
+                ServeOptions {
+                    version: Some(1),
+                    batch_rows,
+                    ..ServeOptions::default()
+                },
+            )
+            .expect("version-pinned serving runs");
+        (t.elapsed().as_secs_f64() * 1e3, p)
+    };
+    let (cold_wall_ms, cold) = pinned(());
+    let (warm_wall_ms, warm) = pinned(());
+    std::fs::remove_dir_all(&dir).ok();
+    CacheComparison {
+        cold_wall_ms,
+        warm_wall_ms,
+        cold_miss: !cold.cache_hit,
+        warm_hit: warm.cache_hit,
+    }
+}
+
+/// Speedup of the largest session count over single-session throughput.
+pub fn scaling_speedup(runs: &[ServingRun]) -> f64 {
+    let at = |n: usize| {
+        runs.iter()
+            .filter(|r| r.sessions == n)
+            .map(|r| r.predictions_per_sec)
+            .fold(0.0f64, f64::max)
+    };
+    let base = at(1);
+    let top = runs.iter().map(|r| r.sessions).max().map(at).unwrap_or(0.0);
+    if base <= 0.0 {
+        0.0
+    } else {
+        top / base
+    }
+}
+
+/// Render the root-level `BENCH_serving.json` artifact.
+pub fn render_bench_json(runs: &[ServingRun], cache: CacheComparison) -> String {
+    let mut out = String::from("{\n  \"id\": \"serving\",\n  \"sessions\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"sessions\": {}, \"predictions\": {}, \
+             \"sim_window_seconds\": {:.6}, \"predictions_per_sec\": {:.1}, \
+             \"wall_p50_ms\": {:.4}, \"wall_p99_ms\": {:.4}, \
+             \"bit_identical\": {}}}{}\n",
+            r.sessions,
+            r.predictions,
+            r.sim_window_seconds,
+            r.predictions_per_sec,
+            r.wall_p50_ms,
+            r.wall_p99_ms,
+            r.bit_identical,
+            comma,
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"speedup_8v1\": {:.4},\n  \
+         \"cache\": {{\"cold_wall_ms\": {:.4}, \"warm_wall_ms\": {:.4}, \
+         \"cold_miss\": {}, \"warm_hit\": {}}},\n  \
+         \"bit_identical_all\": {}\n}}",
+        scaling_speedup(runs),
+        cache.cold_wall_ms,
+        cache.warm_wall_ms,
+        cache.cold_miss,
+        cache.warm_hit,
+        runs.iter().all(|r| r.bit_identical),
+    ));
+    out
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The `serving` experiment: concurrency sweep + cold/warm cache table
+/// plus the root JSON artifact.
+pub fn serving() {
+    let n = env_usize("CORGI_SERVING_TUPLES", 20_000);
+    let runs_per_session = env_usize("CORGI_SERVING_RUNS", 3);
+    let batch_rows = env_usize("CORGI_SERVING_BATCH_ROWS", 256);
+    let runs = measure_serving(n, runs_per_session, batch_rows, &[1, 4, 8]);
+    let cache = measure_cache(n.min(8_000), batch_rows);
+
+    let mut rep = Report::new(
+        "serving",
+        "batched PREDICT throughput/latency under concurrent sessions + cold vs warm cache",
+        &[
+            "sessions",
+            "predictions",
+            "sim_window_s",
+            "pred_per_sim_s",
+            "wall_p50_ms",
+            "wall_p99_ms",
+            "bit_identical",
+        ],
+    );
+    for r in &runs {
+        rep.row_strings(vec![
+            r.sessions.to_string(),
+            r.predictions.to_string(),
+            format!("{:.4}", r.sim_window_seconds),
+            format!("{:.1}", r.predictions_per_sec),
+            format!("{:.4}", r.wall_p50_ms),
+            format!("{:.4}", r.wall_p99_ms),
+            r.bit_identical.to_string(),
+        ]);
+    }
+    rep.note(format!(
+        "model cache: cold version pin (store fetch + publish) {:.4}ms \
+         (miss={}) vs warm repeat {:.4}ms (hit={}); scaling {}-session \
+         speedup {:.2}x over 1 session",
+        cache.cold_wall_ms,
+        cache.cold_miss,
+        cache.warm_wall_ms,
+        cache.warm_hit,
+        runs.iter().map(|r| r.sessions).max().unwrap_or(0),
+        scaling_speedup(&runs),
+    ));
+    rep.note(
+        "throughput is predictions per *simulated* second (per-session device + \
+         inference-compute charges; window = max session busy time); p50/p99 are \
+         real per-batch wall timings. Every run is bit-compared to a serial \
+         reference through the versioned model cache.",
+    );
+    rep.finish();
+
+    let root = std::env::var("CORGI_BENCH_ROOT").unwrap_or_else(|_| ".".into());
+    let path = std::path::Path::new(&root).join("BENCH_serving.json");
+    match std::fs::write(&path, render_bench_json(&runs, cache) + "\n") {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serving_scales_with_sessions_at_smoke_scale() {
+        let runs = measure_serving(2_000, 1, 256, &[1, 4]);
+        assert!(runs.iter().all(|r| r.bit_identical), "{runs:?}");
+        assert!(runs.iter().all(|r| r.predictions_per_sec > 0.0));
+        let speedup = scaling_speedup(&runs);
+        assert!(
+            speedup >= 3.0,
+            "4 warm sessions must serve >= 3x one session's throughput, got \
+             {speedup:.2}x: {runs:?}"
+        );
+    }
+
+    #[test]
+    fn version_pin_is_cold_once_then_warm() {
+        let c = measure_cache(2_000, 256);
+        assert!(c.cold_miss, "restart must evict non-latest versions: {c:?}");
+        assert!(c.warm_hit, "the repeat must pin the resident Arc: {c:?}");
+        assert!(c.cold_wall_ms > 0.0 && c.warm_wall_ms > 0.0);
+    }
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        let runs = vec![
+            ServingRun {
+                sessions: 1,
+                predictions: 100,
+                sim_window_seconds: 1.0,
+                predictions_per_sec: 100.0,
+                wall_p50_ms: 0.2,
+                wall_p99_ms: 0.5,
+                bit_identical: true,
+            },
+            ServingRun {
+                sessions: 8,
+                predictions: 800,
+                sim_window_seconds: 1.0,
+                predictions_per_sec: 800.0,
+                wall_p50_ms: 0.2,
+                wall_p99_ms: 0.6,
+                bit_identical: true,
+            },
+        ];
+        let json = render_bench_json(
+            &runs,
+            CacheComparison {
+                cold_wall_ms: 2.0,
+                warm_wall_ms: 0.5,
+                cold_miss: true,
+                warm_hit: true,
+            },
+        );
+        assert!(json.contains("\"speedup_8v1\": 8.0000"));
+        assert!(json.contains("\"bit_identical_all\": true"));
+        assert!(json.contains("\"cold_miss\": true"));
+        assert!(json.contains("\"warm_hit\": true"));
+        assert!(json.ends_with('}'));
+    }
+}

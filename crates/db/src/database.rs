@@ -27,6 +27,7 @@
 use crate::catalog::Catalog;
 use crate::error::DbError;
 use crate::model_store::{ModelStore, ModelStoreOptions};
+use crate::serving::{ModelCache, ServableModel};
 use crate::session::Session;
 use corgipile_ml::ComputeCostModel;
 use corgipile_storage::{
@@ -46,6 +47,7 @@ pub struct Database {
     telemetry: Telemetry,
     compute: ComputeCostModel,
     model_store: Option<Arc<ModelStore>>,
+    model_cache: ModelCache,
 }
 
 impl Database {
@@ -92,9 +94,12 @@ impl Database {
         let db = Database::assemble(dev, pool_capacity_bytes, Some(store.clone()));
         // Recovery registration: the latest durable version of every model
         // becomes the catalog object, exactly as if its training query had
-        // just stored it.
+        // just stored it — and the serving cache's active version, so
+        // `PREDICT` traffic survives an engine restart warm.
         for rec in store.models() {
-            db.catalog.store_model(&rec.name, rec.stored);
+            db.catalog.store_model(&rec.name, rec.stored.clone());
+            db.model_cache
+                .publish(ServableModel::new(&rec.name, rec.version, rec.stored), true);
         }
         let s = store.stats();
         let tel = &db.telemetry;
@@ -126,6 +131,7 @@ impl Database {
             telemetry,
             compute: ComputeCostModel::in_db_core(),
             model_store,
+            model_cache: ModelCache::new(),
         })
     }
 
@@ -171,6 +177,13 @@ impl Database {
     /// ([`Database::with_model_store`]); `WITH durable = 1` requires it.
     pub fn model_store(&self) -> Option<&Arc<ModelStore>> {
         self.model_store.as_ref()
+    }
+
+    /// The serving subsystem's versioned model cache (see
+    /// [`crate::serving`]): immutable `Arc<ServableModel>` entries that
+    /// `PREDICT` batches pin while training hot-reloads new versions.
+    pub fn model_cache(&self) -> &ModelCache {
+        &self.model_cache
     }
 
     /// The engine's compute cost model.

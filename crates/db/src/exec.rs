@@ -1351,6 +1351,168 @@ impl SgdOperator {
     }
 }
 
+/// Result of running the `Predict` operator to completion (one serving
+/// batch query).
+#[derive(Debug)]
+pub struct PredictRunResult {
+    /// Predicted labels in scan order (post-filter survivors only).
+    pub predictions: Vec<f32>,
+    /// Tuples predicted.
+    pub rows: u64,
+    /// Prediction batches executed.
+    pub batches: u64,
+    /// Tuples dropped by the pushed-down predicate.
+    pub rows_filtered: u64,
+    /// Simulated scan I/O seconds.
+    pub io_seconds: f64,
+    /// Simulated inference compute seconds.
+    pub compute_seconds: f64,
+    /// Wall-clock seconds per prediction batch (real latency, for the
+    /// serving bench's p50/p99; the simulated clock is separate).
+    pub batch_wall_seconds: Vec<f64>,
+    /// Accuracy (classifiers) / R² (regression) against the stored labels,
+    /// `None` when nothing survived the filter.
+    pub metric: Option<f64>,
+    /// Per-operator actual statistics (EXPLAIN ANALYZE), root first.
+    pub op_stats: Vec<OpStats>,
+}
+
+/// The `Predict` operator: the root of a serving plan.
+///
+/// Like [`SgdOperator`] it is a driver, not a [`PhysicalOperator`]: it
+/// owns its child pipeline and a *pinned* immutable model
+/// ([`crate::ServableModel`]), pulls zero-copy [`TupleRef`] blocks, and
+/// regroups them into `batch_rows`-sized prediction batches run through
+/// [`Model::predict_batch_into`]. The pin is taken before the first block
+/// is read, so a hot-reload publishing a newer version mid-scan never
+/// changes this batch's predictions.
+pub struct PredictOperator {
+    child: Box<dyn PhysicalOperator>,
+    model: Arc<crate::serving::ServableModel>,
+    compute: ComputeCostModel,
+    batch_rows: usize,
+}
+
+impl PredictOperator {
+    /// Assemble the serving root over a built scan pipeline.
+    pub fn new(
+        child: Box<dyn PhysicalOperator>,
+        model: Arc<crate::serving::ServableModel>,
+        compute: ComputeCostModel,
+        batch_rows: usize,
+    ) -> Self {
+        PredictOperator {
+            child,
+            model,
+            compute,
+            batch_rows: batch_rows.max(1),
+        }
+    }
+
+    /// Run the scan to completion, predicting in batches.
+    pub fn execute(mut self, ctx: &mut ExecContext) -> Result<PredictRunResult, DbError> {
+        let io_before = ctx.dev.stats().io_seconds;
+        self.child.init(ctx);
+        let m = self.model.model();
+        let is_classifier = m.is_classifier();
+        let mut predictions: Vec<f32> = Vec::new();
+        let mut batch: Vec<TupleRef> = Vec::with_capacity(self.batch_rows);
+        let mut batch_wall_seconds: Vec<f64> = Vec::new();
+        let mut compute_seconds = 0.0f64;
+        // Online metric accumulators: exact-match count for classifiers;
+        // (Σy, Σy², Σ(y−ŷ)²) for R², matching `corgipile_ml::r_squared`.
+        let mut correct = 0u64;
+        let (mut sum_y, mut sum_y2, mut ss_res) = (0.0f64, 0.0f64, 0.0f64);
+        let mut batches = 0u64;
+
+        {
+            // Scoped so the closure's borrows of the accumulators end here.
+            let mut flush = |batch: &mut Vec<TupleRef>| {
+                if batch.is_empty() {
+                    return;
+                }
+                let started = std::time::Instant::now();
+                let xs: Vec<&corgipile_storage::FeatureVec> =
+                    batch.iter().map(|r| &r.features).collect();
+                let start = predictions.len();
+                m.predict_batch_into(&xs, &mut predictions);
+                let flops = m.inference_flops_per_example(batch[0].features.nnz());
+                compute_seconds += self.compute.seconds(flops, batch.len());
+                for (r, pred) in batch.iter().zip(&predictions[start..]) {
+                    let y = f64::from(r.label);
+                    if is_classifier {
+                        if *pred == r.label {
+                            correct += 1;
+                        }
+                    } else {
+                        let e = y - f64::from(*pred);
+                        sum_y += y;
+                        sum_y2 += y * y;
+                        ss_res += e * e;
+                    }
+                }
+                batches += 1;
+                batch_wall_seconds.push(started.elapsed().as_secs_f64());
+                batch.clear();
+            };
+
+            while let Some(refs) = self.child.next_block(ctx)? {
+                for r in refs {
+                    batch.push(r);
+                    if batch.len() >= self.batch_rows {
+                        flush(&mut batch);
+                    }
+                }
+            }
+            flush(&mut batch);
+        }
+
+        let rows = predictions.len() as u64;
+        let metric = if rows == 0 {
+            None
+        } else if is_classifier {
+            Some(correct as f64 / rows as f64)
+        } else {
+            let n = rows as f64;
+            let mean_y = sum_y / n;
+            let ss_tot = sum_y2 - n * mean_y * mean_y;
+            Some(if ss_tot <= 0.0 {
+                if ss_res == 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else {
+                1.0 - ss_res / ss_tot
+            })
+        };
+        let io_seconds = ctx.dev.stats().io_seconds - io_before;
+        let mut op_stats = vec![OpStats {
+            name: "Predict".to_string(),
+            depth: 0,
+            rows,
+            loops: 1,
+            io_seconds,
+            compute_seconds,
+            ..OpStats::default()
+        }];
+        self.child.collect_stats(1, &mut op_stats);
+        self.child.close(ctx);
+        let rows_filtered = op_stats.iter().skip(1).map(|s| s.rows_filtered).sum();
+        Ok(PredictRunResult {
+            predictions,
+            rows,
+            batches,
+            rows_filtered,
+            io_seconds,
+            compute_seconds,
+            batch_wall_seconds,
+            metric,
+            op_stats,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,6 +15,11 @@
 //! * [`model_store`] — the WAL-backed durable model store: epoch-granular
 //!   checkpoints under `WITH durable = 1`, compaction snapshots, and
 //!   replay-based recovery to bit-identical models after a crash.
+//! * [`serving`] — the read-mostly inference subsystem: a versioned
+//!   [`ModelCache`] of immutable `Arc<ServableModel>` entries with
+//!   epoch/version pinning and mid-traffic hot-reload, behind
+//!   `PREDICT <model> [VERSION n] ON <table>` and
+//!   [`Session::predict_batch`].
 //! * [`database`] — the shared engine object: one device, one
 //!   `shared_buffers` pool, one catalog behind interior-synchronized
 //!   handles; `Arc<Database>` + [`Database::connect`] opens concurrent
@@ -33,6 +38,7 @@ pub mod exec;
 pub mod model_store;
 pub mod plan;
 mod proptests;
+pub mod serving;
 pub mod session;
 pub mod sql;
 
@@ -43,11 +49,15 @@ pub use database::Database;
 pub use error::DbError;
 pub use exec::{
     BlockShuffleOp, CheckpointSink, DbEpochRecord, ExecContext, FaultAction, FilterOp, OpStats,
-    PhysicalOperator, ProjectOp, ScanMode, SgdOperator, SgdRunResult, TupleShuffleOp,
+    PhysicalOperator, PredictOperator, PredictRunResult, ProjectOp, ScanMode, SgdOperator,
+    SgdRunResult, TupleShuffleOp,
 };
 pub use model_store::{ModelRecord, ModelStore, ModelStoreOptions, ModelStoreStats};
-pub use plan::{build_physical, LogicalPlan, PhysicalPlan, ScanOrder, TrainPlanSpec};
-pub use session::{DbTrainSummary, QueryResult, Session};
+pub use plan::{
+    build_physical, LogicalPlan, PhysicalPlan, PredictPlanSpec, ScanOrder, TrainPlanSpec,
+};
+pub use serving::{CacheStats, ModelCache, ServableModel};
+pub use session::{DbTrainSummary, PredictSummary, QueryResult, ServeOptions, Session};
 pub use sql::{
     parse, CmpOp, ColumnRef, ParamValue, Predicate, Projection, Query, ShowTarget, StrategyKind,
 };

@@ -122,7 +122,10 @@ pub struct ModelStoreStats {
 struct StoreInner {
     wal: Wal,
     injector: Option<FaultInjector>,
-    latest: BTreeMap<String, ModelRecord>,
+    /// Per-name version history: every durable version is retained (the
+    /// serving layer pins old versions while traffic drains), keyed by
+    /// version number so `PREDICT … VERSION n` can load any of them.
+    history: BTreeMap<String, BTreeMap<u32, ModelRecord>>,
     appends: u64,
     compactions: u64,
     recovered_records: u64,
@@ -168,13 +171,13 @@ impl ModelStore {
                 message: format!("{}: {e}", dir.display()),
             })
         })?;
-        let mut latest: BTreeMap<String, ModelRecord> = BTreeMap::new();
+        let mut history: BTreeMap<String, BTreeMap<u32, ModelRecord>> = BTreeMap::new();
         let snap_path = dir.join(SNAPSHOT_FILE);
         let mut snapshot_models = 0u64;
         match std::fs::read(&snap_path) {
             Ok(bytes) => {
                 for payload in decode_snapshot(&bytes)? {
-                    apply(&mut latest, decode_record(&payload)?);
+                    apply(&mut history, decode_record(&payload)?);
                     snapshot_models += 1;
                 }
             }
@@ -191,7 +194,7 @@ impl ModelStore {
         let torn_tail_bytes = wal.torn_tail_bytes();
         for r in &records {
             if r.rtype == RT_MODEL {
-                apply(&mut latest, decode_record(&r.payload)?);
+                apply(&mut history, decode_record(&r.payload)?);
             }
         }
         Ok(ModelStore {
@@ -201,7 +204,7 @@ impl ModelStore {
             inner: Mutex::new(StoreInner {
                 wal,
                 injector: opts.faults.map(FaultInjector::new),
-                latest,
+                history,
                 appends: 0,
                 compactions: 0,
                 recovered_records,
@@ -239,7 +242,7 @@ impl ModelStore {
         let StoreInner { wal, injector, .. } = &mut *inner;
         wal.append_retry(RT_MODEL, &payload, injector.as_mut(), &self.retry)?;
         inner.appends += 1;
-        apply(&mut inner.latest, rec);
+        apply(&mut inner.history, rec);
         if inner.wal.len_bytes() > self.compact_threshold {
             self.compact_locked(&mut inner)?;
         }
@@ -254,7 +257,7 @@ impl ModelStore {
     }
 
     fn compact_locked(&self, inner: &mut StoreInner) -> Result<(), DbError> {
-        let bytes = encode_snapshot(inner.latest.values());
+        let bytes = encode_snapshot(inner.history.values().flat_map(|v| v.values()));
         atomic_write_bytes_faulted(
             &self.dir.join(SNAPSHOT_FILE),
             &bytes,
@@ -280,23 +283,51 @@ impl ModelStore {
         Ok(())
     }
 
-    /// Latest durable record for `name`, if any.
+    /// Latest durable record for `name` (highest version), if any.
     pub fn latest(&self, name: &str) -> Option<ModelRecord> {
-        lock(&self.inner).latest.get(name).cloned()
+        lock(&self.inner)
+            .history
+            .get(name)
+            .and_then(|v| v.values().next_back())
+            .cloned()
+    }
+
+    /// A specific durable version of `name`, if retained.
+    pub fn version(&self, name: &str, version: u32) -> Option<ModelRecord> {
+        lock(&self.inner)
+            .history
+            .get(name)
+            .and_then(|v| v.get(&version))
+            .cloned()
+    }
+
+    /// Every retained version number of `name`, ascending.
+    pub fn versions(&self, name: &str) -> Vec<u32> {
+        lock(&self.inner)
+            .history
+            .get(name)
+            .map(|v| v.keys().copied().collect())
+            .unwrap_or_default()
     }
 
     /// Latest durable record of every model, sorted by name.
     pub fn models(&self) -> Vec<ModelRecord> {
-        lock(&self.inner).latest.values().cloned().collect()
+        lock(&self.inner)
+            .history
+            .values()
+            .filter_map(|v| v.values().next_back())
+            .cloned()
+            .collect()
     }
 
     /// The version a *fresh* training run of `name` should write:
     /// `latest + 1`, or 1 for an unseen name.
     pub fn next_version(&self, name: &str) -> u32 {
         lock(&self.inner)
-            .latest
+            .history
             .get(name)
-            .map(|r| r.version + 1)
+            .and_then(|v| v.keys().next_back())
+            .map(|v| v + 1)
             .unwrap_or(1)
     }
 
@@ -321,14 +352,16 @@ impl ModelStore {
     }
 }
 
-/// Keep the newer of two records for the same name: higher `(version,
-/// epoch)` wins, ties go to the later arrival (replay order is append
-/// order, so the last writer's bytes win exactly as they did in the log).
-fn apply(latest: &mut BTreeMap<String, ModelRecord>, rec: ModelRecord) {
-    match latest.get(&rec.name) {
-        Some(old) if (old.version, old.epoch) > (rec.version, rec.epoch) => {}
+/// Fold a record into the version history. Every version is retained;
+/// within one version the higher epoch wins, ties going to the later
+/// arrival (replay order is append order, so the last writer's bytes win
+/// exactly as they did in the log).
+fn apply(history: &mut BTreeMap<String, BTreeMap<u32, ModelRecord>>, rec: ModelRecord) {
+    let versions = history.entry(rec.name.clone()).or_default();
+    match versions.get(&rec.version) {
+        Some(old) if old.epoch > rec.epoch => {}
         _ => {
-            latest.insert(rec.name.clone(), rec);
+            versions.insert(rec.version, rec);
         }
     }
 }
@@ -626,6 +659,31 @@ mod tests {
             ModelStore::open(&dir).is_err(),
             "a flipped snapshot byte must fail the CRC"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn version_history_is_retained_across_compaction_and_reopen() {
+        let dir = tmpdir("history");
+        {
+            let store = ModelStore::open(&dir).unwrap();
+            for (version, epoch) in [(1, 1), (1, 2), (2, 1), (2, 3), (3, 1)] {
+                let (m, ck) = record("m", version, epoch, version as f32);
+                store.record_checkpoint("m", "t", version, m, ck).unwrap();
+            }
+            store.compact().unwrap();
+        }
+        let store = ModelStore::open(&dir).unwrap();
+        assert_eq!(store.versions("m"), vec![1, 2, 3]);
+        // Each version keeps its own highest epoch through the snapshot.
+        assert_eq!(store.version("m", 1).unwrap().epoch, 2);
+        assert_eq!(store.version("m", 2).unwrap().epoch, 3);
+        assert_eq!(store.version("m", 3).unwrap().epoch, 1);
+        assert!(store.version("m", 9).is_none());
+        assert!(store.versions("ghost").is_empty());
+        // `models()` still reports one latest record per name.
+        assert_eq!(store.models().len(), 1);
+        assert_eq!(store.latest("m").unwrap().version, 3);
         std::fs::remove_dir_all(&dir).ok();
     }
 

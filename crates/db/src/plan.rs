@@ -69,9 +69,36 @@ pub struct TrainPlanSpec {
     pub buffer_blocks: usize,
 }
 
+/// Planner input distilled from a parsed `PREDICT … ON …` query (the
+/// serving subsystem's batched inference path).
+#[derive(Debug, Clone)]
+pub struct PredictPlanSpec {
+    /// Source table name (for plan rendering).
+    pub table: String,
+    /// Served model name (for plan rendering).
+    pub model: String,
+    /// Explicit version pin, `None` for the active version.
+    pub version: Option<u32>,
+    /// Optional `WHERE` predicate.
+    pub filter: Option<Predicate>,
+    /// Tuples per prediction batch.
+    pub batch_rows: usize,
+}
+
 /// A logical operator tree, root first.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LogicalPlan {
+    /// The serving root: one sequential pass of batched inference.
+    Predict {
+        /// Served model name.
+        model: String,
+        /// Explicit version pin, `None` for the active version.
+        version: Option<u32>,
+        /// Tuples per prediction batch.
+        batch_rows: usize,
+        /// Input plan.
+        input: Box<LogicalPlan>,
+    },
     /// The training root: re-scans its input once per epoch.
     Sgd {
         /// Model kind name.
@@ -165,12 +192,56 @@ impl LogicalPlan {
         })
     }
 
+    /// Build the canonical logical plan for a serving query:
+    /// `Predict ← Filter? ← Scan(sequential)`. Pushdown then fuses the
+    /// filter into the scan exactly as for training — inference scans
+    /// use the same rewrite, so a predicate is evaluated on the zero-copy
+    /// block path before any tuple is batched.
+    pub fn build_predict(spec: &PredictPlanSpec, table: &Table) -> Result<LogicalPlan, DbError> {
+        let dim = table.get_tuple(0)?.features.dim();
+        validate_filter(spec.filter.as_ref(), dim)?;
+        if spec.batch_rows == 0 {
+            return Err(DbError::BadParam("batch_rows must be >= 1".into()));
+        }
+        let mut node = LogicalPlan::Scan {
+            table: spec.table.clone(),
+            order: ScanOrder::Sequential,
+            blocks: table.num_blocks(),
+            tuples: table.num_tuples(),
+            predicate: None,
+            projection: None,
+        };
+        if let Some(p) = &spec.filter {
+            node = LogicalPlan::Filter {
+                predicate: p.clone(),
+                input: Box::new(node),
+            };
+        }
+        Ok(LogicalPlan::Predict {
+            model: spec.model.clone(),
+            version: spec.version,
+            batch_rows: spec.batch_rows,
+            input: Box::new(node),
+        })
+    }
+
     /// Rewrite rules: push `Filter` and `Project` below `TupleShuffle`
     /// and fuse them into the scan. The scan evaluates its predicate
     /// *before* its projection, so fusing both preserves semantics even
     /// though the predicate references pre-projection feature indices.
     pub fn push_down(self) -> LogicalPlan {
         match self {
+            LogicalPlan::Predict {
+                model,
+                version,
+                batch_rows,
+                input,
+            } => LogicalPlan::Predict {
+                model,
+                version,
+                batch_rows,
+                input: Box::new(input.push_down()),
+            },
             LogicalPlan::Sgd {
                 model,
                 epochs,
@@ -273,6 +344,21 @@ impl LogicalPlan {
         };
         let pad = " ".repeat(2 * depth + if depth > 0 { 5 } else { 2 });
         match self {
+            LogicalPlan::Predict {
+                model,
+                version,
+                batch_rows,
+                input,
+            } => {
+                let pin = match version {
+                    Some(v) => format!("version={v}"),
+                    None => "version=active".to_string(),
+                };
+                lines.push(format!(
+                    "{head}Predict (model={model}, {pin}, batch_rows={batch_rows})"
+                ));
+                input.render_into(depth + 1, lines, target);
+            }
             LogicalPlan::Sgd {
                 model,
                 epochs,
@@ -343,26 +429,35 @@ pub(crate) fn feature_list(columns: &[usize]) -> String {
     s
 }
 
-fn validate_columns(spec: &TrainPlanSpec, dim: usize) -> Result<(), DbError> {
-    let check_feature = |i: usize| -> Result<(), DbError> {
-        if i >= dim {
-            Err(DbError::UnknownColumn(format!(
-                "f{i} (table has features f0..f{})",
-                dim - 1
-            )))
-        } else {
-            Ok(())
-        }
-    };
-    if let Some(p) = &spec.filter {
+fn check_feature(i: usize, dim: usize) -> Result<(), DbError> {
+    if i >= dim {
+        Err(DbError::UnknownColumn(format!(
+            "f{i} (table has features f0..f{})",
+            dim - 1
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+/// Validate every feature index a predicate references against the
+/// table's dimensionality (shared by the train and predict planners).
+fn validate_filter(filter: Option<&Predicate>, dim: usize) -> Result<(), DbError> {
+    if let Some(p) = filter {
         let mut cols = Vec::new();
         p.for_each_column(&mut |c| cols.push(c));
         for c in cols {
             if let ColumnRef::Feature(i) = c {
-                check_feature(i)?;
+                check_feature(i, dim)?;
             }
         }
     }
+    Ok(())
+}
+
+fn validate_columns(spec: &TrainPlanSpec, dim: usize) -> Result<(), DbError> {
+    let check_feature = |i: usize| check_feature(i, dim);
+    validate_filter(spec.filter.as_ref(), dim)?;
     if let Projection::Columns(cols) = &spec.projection {
         let mut seen = Vec::new();
         for c in cols {
@@ -442,7 +537,7 @@ fn build_node(
     setup_seconds: &mut f64,
 ) -> Result<Box<dyn PhysicalOperator>, DbError> {
     match node {
-        LogicalPlan::Sgd { input, .. } => build_node(
+        LogicalPlan::Predict { input, .. } | LogicalPlan::Sgd { input, .. } => build_node(
             input,
             table,
             table_name,
@@ -631,6 +726,75 @@ mod tests {
             .explain_lines();
         assert!(lines.iter().any(|l| l.contains("of the shuffled copy")));
         assert!(lines.iter().any(|l| l.contains("offline full shuffle")));
+    }
+
+    #[test]
+    fn predict_plan_pushes_filter_into_a_sequential_scan() {
+        let s = PredictPlanSpec {
+            table: "t".into(),
+            model: "m".into(),
+            version: Some(2),
+            filter: Some(pred()),
+            batch_rows: 256,
+        };
+        let plan = LogicalPlan::build_predict(&s, &table())
+            .unwrap()
+            .push_down();
+        let LogicalPlan::Predict {
+            version,
+            batch_rows,
+            input,
+            ..
+        } = plan
+        else {
+            panic!("root must be Predict")
+        };
+        assert_eq!((version, batch_rows), (Some(2), 256));
+        let LogicalPlan::Scan {
+            order, predicate, ..
+        } = *input
+        else {
+            panic!("filter must fuse into the scan")
+        };
+        assert_eq!(order, ScanOrder::Sequential);
+        assert_eq!(predicate, Some(pred()));
+    }
+
+    #[test]
+    fn predict_plan_renders_and_validates() {
+        let s = PredictPlanSpec {
+            table: "t".into(),
+            model: "m".into(),
+            version: None,
+            filter: None,
+            batch_rows: 64,
+        };
+        let lines = LogicalPlan::build_predict(&s, &table())
+            .unwrap()
+            .push_down()
+            .explain_lines();
+        assert!(
+            lines[0].starts_with("Predict (model=m, version=active, batch_rows=64)"),
+            "{lines:?}"
+        );
+        assert!(lines.iter().any(|l| l.contains("BlockShuffle (sequential")));
+
+        let mut bad = s.clone();
+        bad.batch_rows = 0;
+        assert!(matches!(
+            LogicalPlan::build_predict(&bad, &table()),
+            Err(DbError::BadParam(_))
+        ));
+        let mut bad = s;
+        bad.filter = Some(Predicate::Cmp {
+            col: ColumnRef::Feature(99),
+            op: CmpOp::Gt,
+            value: 0.0,
+        });
+        assert!(matches!(
+            LogicalPlan::build_predict(&bad, &table()),
+            Err(DbError::UnknownColumn(_))
+        ));
     }
 
     #[test]

@@ -25,15 +25,17 @@
 use crate::catalog::{Catalog, StoredModel};
 use crate::database::Database;
 use crate::error::DbError;
-use crate::exec::{project_tuple, DbEpochRecord, ExecContext, FaultAction, OpStats, SgdOperator};
-use crate::plan::{build_physical, LogicalPlan, TrainPlanSpec};
+use crate::exec::{
+    project_tuple, DbEpochRecord, ExecContext, FaultAction, OpStats, PredictOperator, SgdOperator,
+};
+use crate::plan::{build_physical, LogicalPlan, PredictPlanSpec, TrainPlanSpec};
+use crate::serving::ServableModel;
 use crate::sql::{parse, ParamValue, Predicate, Projection, Query, ShowTarget, StrategyKind};
 use corgipile_ml::{accuracy, build_model, ModelKind, OptimizerKind, TrainOptions};
 use corgipile_ml::{r_squared, ComputeCostModel, TrainCheckpoint};
 use corgipile_shuffle::StrategyParams;
 use corgipile_storage::{
-    BufferPool, DeviceHandle, FaultPlan, PoolHandle, RetryPolicy, SimDevice, Table, Telemetry,
-    Tuple,
+    BufferPool, DeviceHandle, FaultPlan, PoolHandle, RetryPolicy, Table, Telemetry, Tuple,
 };
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -84,6 +86,83 @@ impl DbTrainSummary {
     }
 }
 
+/// Options for [`Session::predict_batch`], the programmatic face of
+/// `PREDICT <model> [VERSION n] ON <table> [WHERE …]`.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Explicit version pin; `None` serves the cache-active version.
+    pub version: Option<u32>,
+    /// Optional row predicate, lowered through the planner's pushdown so
+    /// it is evaluated on the zero-copy block path before batching.
+    pub filter: Option<Predicate>,
+    /// Tuples per prediction batch.
+    pub batch_rows: usize,
+}
+
+impl Default for ServeOptions {
+    /// Active version, no predicate, 256-tuple batches.
+    fn default() -> Self {
+        ServeOptions {
+            version: None,
+            filter: None,
+            batch_rows: 256,
+        }
+    }
+}
+
+/// Summary of one batched `PREDICT … ON …` run (the serving path).
+#[derive(Debug, Clone)]
+pub struct PredictSummary {
+    /// Served model name.
+    pub model_name: String,
+    /// The version this run was pinned to — every prediction in
+    /// `predictions` came from exactly this version, even if training
+    /// published a newer one mid-scan.
+    pub version: u32,
+    /// Predicted labels in scan order (post-filter survivors only).
+    pub predictions: Vec<f32>,
+    /// Accuracy (classifiers) / R² (regression) against stored labels,
+    /// `None` when nothing survived the filter.
+    pub metric: Option<f64>,
+    /// Tuples predicted.
+    pub rows: u64,
+    /// Prediction batches executed.
+    pub batches: u64,
+    /// Tuples dropped by the pushed-down predicate.
+    pub rows_filtered: u64,
+    /// True when the pin was served straight from the model cache (no
+    /// store/catalog fallback instantiation).
+    pub cache_hit: bool,
+    /// Simulated scan I/O seconds.
+    pub io_seconds: f64,
+    /// Simulated inference compute seconds.
+    pub compute_seconds: f64,
+    /// Wall-clock seconds per prediction batch (real latency; the
+    /// simulated clock is `io_seconds + compute_seconds`).
+    pub batch_wall_seconds: Vec<f64>,
+    /// Per-operator actual statistics (EXPLAIN ANALYZE), root first.
+    pub op_stats: Vec<OpStats>,
+}
+
+impl PredictSummary {
+    /// Total simulated seconds for the run (scan I/O + inference compute).
+    pub fn sim_seconds(&self) -> f64 {
+        self.io_seconds + self.compute_seconds
+    }
+
+    /// Wall-clock per-batch latency quantile (`0.5` = p50, `0.99` = p99),
+    /// by nearest-rank over the recorded batches; `None` before any batch.
+    pub fn latency_quantile(&self, q: f64) -> Option<f64> {
+        if self.batch_wall_seconds.is_empty() {
+            return None;
+        }
+        let mut sorted = self.batch_wall_seconds.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(sorted[rank])
+    }
+}
+
 /// Result of executing one query.
 ///
 /// Marked `#[non_exhaustive]`: downstream matches must include a wildcard
@@ -100,6 +179,8 @@ pub enum QueryResult {
         /// Accuracy (classifiers) or R² (regression) against stored labels.
         metric: f64,
     },
+    /// Batched `PREDICT … ON …` outcome (the serving path).
+    Serve(PredictSummary),
     /// `EXPLAIN` output: one line per plan node, root first.
     Plan(Vec<String>),
     /// `SHOW TABLES` / `SHOW MODELS` output.
@@ -142,17 +223,6 @@ impl Session {
             telemetry,
             stashed_telemetry: None,
         }
-    }
-
-    /// Open a session over a private single-connection engine.
-    #[deprecated(
-        since = "0.2.0",
-        note = "create an engine with `Database::new(dev)` and open connections \
-                via `Database::connect()`; this shim wraps a single-connection \
-                `Database`"
-    )]
-    pub fn new(dev: SimDevice) -> Self {
-        Database::new(dev).connect()
     }
 
     /// The engine this session is connected to.
@@ -231,7 +301,39 @@ impl Session {
                 params,
             } => self.train(&table, &model, projection, filter, strategy, params),
             Query::Predict { table, model } => self.predict(&table, &model),
-            Query::LoadModel { name } => self.load_model(&name),
+            Query::PredictServe {
+                model,
+                version,
+                table,
+                filter,
+                params,
+            } => {
+                let mut opts = ServeOptions {
+                    version,
+                    filter,
+                    ..ServeOptions::default()
+                };
+                for (key, v) in &params {
+                    match key.as_str() {
+                        "batch_rows" => {
+                            opts.batch_rows = v.as_usize().filter(|n| *n > 0).ok_or_else(|| {
+                                DbError::BadParam("batch_rows must be a positive integer".into())
+                            })?;
+                        }
+                        other => {
+                            return Err(DbError::BadParam(format!("unknown parameter {other}")))
+                        }
+                    }
+                }
+                Ok(QueryResult::Serve(
+                    self.predict_batch(&table, &model, opts)?,
+                ))
+            }
+            Query::LoadModel {
+                name,
+                version,
+                activate,
+            } => self.load_model(&name, version, activate),
             Query::Explain(inner) => self.explain(*inner),
             Query::ExplainAnalyze(inner) => self.explain_analyze(*inner),
             Query::Show { what } => Ok(match what {
@@ -243,28 +345,52 @@ impl Session {
     }
 
     /// `SHOW MODELS`: catalog names, annotated with durable version /
-    /// epoch / source when the engine has a model store tracking them.
-    /// Models the store does not know (non-durable training) stay bare.
+    /// epoch / source when the engine has a model store tracking them, and
+    /// a `*` on the version the serving cache currently routes `PREDICT`
+    /// traffic to. When the cache serves a *different* version than the
+    /// store's latest, the line says so (`active=vN`). Models neither
+    /// durably stored nor cached stay bare.
     fn render_models(&self) -> Vec<String> {
-        let names = self.catalog().model_names();
-        match self.db.model_store() {
-            None => names,
-            Some(store) => names
-                .into_iter()
-                .map(|n| match store.latest(&n) {
+        let cache = self.db.model_cache();
+        self.catalog()
+            .model_names()
+            .into_iter()
+            .map(|n| {
+                let active = cache.active_version(&n);
+                match self.db.model_store().and_then(|s| s.latest(&n)) {
                     Some(r) => {
-                        format!("{n} v{} epoch={} source={}", r.version, r.epoch, r.source)
+                        let star = if active == Some(r.version) { "*" } else { "" };
+                        let mut line = format!(
+                            "{n} v{}{star} epoch={} source={}",
+                            r.version, r.epoch, r.source
+                        );
+                        if let Some(a) = active.filter(|a| *a != r.version) {
+                            line.push_str(&format!(" active=v{a}"));
+                        }
+                        line
                     }
-                    None => n,
-                })
-                .collect(),
-        }
+                    None => match active {
+                        Some(a) => format!("{n} v{a}*"),
+                        None => n,
+                    },
+                }
+            })
+            .collect()
     }
 
-    /// `LOAD MODEL <name>`: re-register the store's latest durable version
-    /// of `name` into the catalog (e.g. after another session overwrote the
-    /// in-memory object with a non-durable retrain).
-    fn load_model(&mut self, name: &str) -> Result<QueryResult, DbError> {
+    /// `LOAD MODEL <name> [VERSION n] [AS ACTIVE]`: re-register a durable
+    /// version of `name` into the catalog (e.g. after another session
+    /// overwrote the in-memory object with a non-durable retrain) and stash
+    /// it in the serving cache. Without `AS ACTIVE` the cache's routing is
+    /// untouched — in-flight and future `PREDICT` traffic keeps its active
+    /// version; `AS ACTIVE` promotes the loaded version (the explicit
+    /// rollback / rollforward path).
+    fn load_model(
+        &mut self,
+        name: &str,
+        version: Option<u32>,
+        activate: bool,
+    ) -> Result<QueryResult, DbError> {
         let store = self.db.model_store().ok_or_else(|| {
             DbError::BadParam(
                 "LOAD MODEL requires an engine opened with a model store \
@@ -272,12 +398,26 @@ impl Session {
                     .into(),
             )
         })?;
-        let rec = store
-            .latest(name)
-            .ok_or_else(|| DbError::UnknownModel(name.to_string()))?;
+        let rec = match version {
+            None => store
+                .latest(name)
+                .ok_or_else(|| DbError::UnknownModel(name.to_string()))?,
+            Some(v) => store
+                .version(name, v)
+                .ok_or_else(|| DbError::UnknownModel(format!("{name} version {v}")))?,
+        };
         self.catalog().store_model(name, rec.stored.clone());
+        let cache = self.db.model_cache();
+        cache.publish(
+            ServableModel::new(name, rec.version, rec.stored.clone()),
+            false,
+        );
+        if activate {
+            cache.promote(name, rec.version);
+        }
+        let mark = if activate { " (active)" } else { "" };
         Ok(QueryResult::Names(vec![format!(
-            "{name} v{} epoch={} source={}",
+            "{name} v{} epoch={} source={}{mark}",
             rec.version, rec.epoch, rec.source
         )]))
     }
@@ -380,6 +520,29 @@ impl Session {
                 }
                 Ok(QueryResult::Plan(lines))
             }
+            q @ Query::PredictServe { .. } => {
+                let summary = match self.run(q)? {
+                    QueryResult::Serve(s) => s,
+                    _ => unreachable!("PredictServe queries return Serve results"),
+                };
+                let mut lines: Vec<String> = summary
+                    .op_stats
+                    .iter()
+                    .flat_map(|s| s.render_lines())
+                    .collect();
+                lines.push(format!(
+                    "Serving: model={} v{} rows={} batches={} cache={} \
+                     io={:.6}s compute={:.6}s",
+                    summary.model_name,
+                    summary.version,
+                    summary.rows,
+                    summary.batches,
+                    if summary.cache_hit { "hit" } else { "miss" },
+                    summary.io_seconds,
+                    summary.compute_seconds,
+                ));
+                Ok(QueryResult::Plan(lines))
+            }
             other => self.explain(other),
         }
     }
@@ -442,6 +605,31 @@ impl Session {
                     format!("Predict (model={model})"),
                     format!("  -> SeqScan on {table} ({} tuples)", t.num_tuples()),
                 ]))
+            }
+            Query::PredictServe {
+                model,
+                version,
+                table,
+                filter,
+                params,
+            } => {
+                let t = self.catalog().table(&table)?;
+                self.servable_exists(&model, version)?;
+                let batch_rows = match params.get("batch_rows") {
+                    None => ServeOptions::default().batch_rows,
+                    Some(v) => v.as_usize().filter(|n| *n > 0).ok_or_else(|| {
+                        DbError::BadParam("batch_rows must be a positive integer".into())
+                    })?,
+                };
+                let spec = PredictPlanSpec {
+                    table,
+                    model,
+                    version,
+                    filter,
+                    batch_rows,
+                };
+                let plan = LogicalPlan::build_predict(&spec, &t)?.push_down();
+                Ok(QueryResult::Plan(plan.explain_lines()))
             }
             other => self.run(other),
         }
@@ -657,6 +845,7 @@ impl Session {
             .map(|s| s.to_string())
             .unwrap_or_else(|| format!("{table_name}_{}", kind.name()));
         let mut durable_store = None;
+        let mut durable_version = None;
         if durable {
             let store = self.db.model_store().cloned().ok_or_else(|| {
                 DbError::BadParam(
@@ -684,6 +873,7 @@ impl Session {
                     }
                 }
             }
+            durable_version = Some(version);
             let sink_store = store.clone();
             let sink_name = stored_name.clone();
             let sink_source = table_name.to_string();
@@ -760,15 +950,22 @@ impl Session {
             r_squared(result.model.as_ref(), eval.iter())
         };
         let train_loss = result.epochs.last().map(|e| e.train_loss).unwrap_or(0.0);
-        self.catalog().store_model(
-            stored_name.clone(),
-            StoredModel {
-                kind: kind.clone(),
-                dim,
-                params: result.model.params().to_vec(),
-                train_loss,
-            },
-        );
+        let stored = StoredModel {
+            kind: kind.clone(),
+            dim,
+            params: result.model.params().to_vec(),
+            train_loss,
+        };
+        self.catalog()
+            .store_model(stored_name.clone(), stored.clone());
+        // Hot-reload: every completed TRAIN publishes its result to the
+        // serving cache as the new active version. In-flight PREDICT
+        // batches finish on the version they pinned; the next pin serves
+        // this one. Durable runs reuse their WAL version number so the
+        // cache, store and SHOW MODELS agree.
+        let cache = self.db.model_cache();
+        let version = durable_version.unwrap_or_else(|| cache.next_version(&stored_name));
+        cache.publish(ServableModel::new(&stored_name, version, stored), true);
         Ok(QueryResult::Train(DbTrainSummary {
             model_name: stored_name,
             model_kind: kind,
@@ -823,12 +1020,175 @@ impl Session {
             metric,
         })
     }
+
+    /// Batched inference — the engine behind
+    /// `PREDICT <model> [VERSION n] ON <table> [WHERE …]`.
+    ///
+    /// Pins an immutable [`ServableModel`] from the engine's model cache
+    /// *before* the first block is read, lowers the scan through the
+    /// planner (an optional predicate is pushed into the scan and
+    /// evaluated zero-copy, before any tuple is batched), and runs
+    /// [`PredictOperator`] over `batch_rows`-sized batches. A concurrent
+    /// `TRAIN` publishing a newer version mid-scan never changes this
+    /// run's predictions — the pin holds until the run returns.
+    ///
+    /// Cache-miss fallbacks: an explicit `VERSION n` not in the cache is
+    /// loaded from the durable store's version history (stashed in the
+    /// cache without activating it); an unknown active pin falls back to
+    /// the catalog object and becomes the active version.
+    pub fn predict_batch(
+        &mut self,
+        table_name: &str,
+        model_name: &str,
+        opts: ServeOptions,
+    ) -> Result<PredictSummary, DbError> {
+        let table = self.catalog().table(table_name)?;
+        let (servable, cache_hit) = self.resolve_servable(model_name, opts.version)?;
+        let dim = table.get_tuple(0)?.features.dim();
+        if servable.dim() != dim {
+            return Err(DbError::BadParam(format!(
+                "model {model_name} v{} expects {} features, table {table_name} has {dim}",
+                servable.version(),
+                servable.dim(),
+            )));
+        }
+        let spec = PredictPlanSpec {
+            table: table_name.to_string(),
+            model: model_name.to_string(),
+            version: opts.version,
+            filter: opts.filter.clone(),
+            batch_rows: opts.batch_rows,
+        };
+        let plan = LogicalPlan::build_predict(&spec, &table)?.push_down();
+        let sparams = StrategyParams::default();
+        let physical = build_physical(
+            &plan,
+            &table,
+            table_name,
+            &sparams,
+            0,
+            &mut self.dev,
+            self.db.catalog(),
+        )?;
+        let version = servable.version();
+        let op = PredictOperator::new(physical.child, servable, self.compute, opts.batch_rows);
+        let mut ctx = ExecContext::new(&mut self.dev);
+        if self.pool.capacity() > 0 {
+            ctx.pool = Some(&mut self.pool);
+        }
+        let r = op.execute(&mut ctx)?;
+
+        self.telemetry.counter("serving.predictions").add(r.rows);
+        self.telemetry.counter("serving.batches").add(r.batches);
+        self.telemetry
+            .counter(if cache_hit {
+                "serving.cache.hits"
+            } else {
+                "serving.cache.misses"
+            })
+            .add(1);
+        self.telemetry
+            .gauge("serving.cache.generation")
+            .set(self.db.model_cache().generation() as f64);
+        let hist = self.telemetry.histogram("serving.batch.wall_seconds");
+        for w in &r.batch_wall_seconds {
+            hist.record(*w);
+        }
+        if r.rows_filtered > 0 {
+            self.telemetry
+                .counter("db.scan.rows_filtered")
+                .add(r.rows_filtered);
+        }
+
+        Ok(PredictSummary {
+            model_name: model_name.to_string(),
+            version,
+            predictions: r.predictions,
+            metric: r.metric,
+            rows: r.rows,
+            batches: r.batches,
+            rows_filtered: r.rows_filtered,
+            cache_hit,
+            io_seconds: r.io_seconds,
+            compute_seconds: r.compute_seconds,
+            batch_wall_seconds: r.batch_wall_seconds,
+            op_stats: r.op_stats,
+        })
+    }
+
+    /// Resolve a serving pin: cache first, then the durable store's
+    /// version history (explicit pins) or the catalog object (active
+    /// pins). Returns the pinned model and whether the cache had it.
+    fn resolve_servable(
+        &mut self,
+        name: &str,
+        version: Option<u32>,
+    ) -> Result<(Arc<ServableModel>, bool), DbError> {
+        let cache = self.db.model_cache();
+        match version {
+            Some(v) => {
+                if let Some(pin) = cache.pin_version(name, v) {
+                    return Ok((pin, true));
+                }
+                let rec = self
+                    .db
+                    .model_store()
+                    .and_then(|s| s.version(name, v))
+                    .ok_or_else(|| DbError::UnknownModel(format!("{name} version {v}")))?;
+                // Stash without activating: an explicit pin must not
+                // steal traffic from the active version.
+                Ok((
+                    cache.publish(ServableModel::new(name, v, rec.stored), false),
+                    false,
+                ))
+            }
+            None => {
+                if let Some(pin) = cache.pin(name) {
+                    return Ok((pin, true));
+                }
+                // Models registered before the serving layer saw them
+                // (e.g. straight catalog writes) become the active
+                // version on first use.
+                let stored = self.catalog().model(name)?;
+                let v = cache.next_version(name);
+                Ok((
+                    cache.publish(ServableModel::new(name, v, stored), true),
+                    false,
+                ))
+            }
+        }
+    }
+
+    /// Planning-time check that a serving pin would resolve, without
+    /// executing anything or touching the cache (used by `EXPLAIN`).
+    fn servable_exists(&self, name: &str, version: Option<u32>) -> Result<(), DbError> {
+        let cache = self.db.model_cache();
+        let known = match version {
+            Some(v) => {
+                cache.versions(name).contains(&v)
+                    || self
+                        .db
+                        .model_store()
+                        .is_some_and(|s| s.version(name, v).is_some())
+            }
+            None => cache.active_version(name).is_some() || self.catalog().model(name).is_ok(),
+        };
+        if known {
+            Ok(())
+        } else {
+            Err(DbError::UnknownModel(match version {
+                Some(v) => format!("{name} version {v}"),
+                None => name.to_string(),
+            }))
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use corgipile_data::{DatasetSpec, Order};
+    use corgipile_storage::SimDevice;
 
     fn higgs_table(n: usize) -> Table {
         DatasetSpec::higgs_like(n)
@@ -873,18 +1233,6 @@ mod tests {
             }
             _ => panic!("expected predictions"),
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_session_new_still_works() {
-        // The shim wraps a single-connection Database.
-        let mut s = Session::new(SimDevice::hdd_scaled(1000.0, 0));
-        s.register_table("higgs", higgs_table(500));
-        s.execute("SELECT * FROM higgs TRAIN BY lr WITH max_epoch_num = 1, model_name = m")
-            .unwrap();
-        assert!(s.catalog().model("m").is_ok());
-        assert!(s.database().catalog().model("m").is_ok());
     }
 
     #[test]
@@ -1699,7 +2047,7 @@ mod tests {
         // …and SHOW MODELS reports its durable lineage.
         match s.execute("SHOW MODELS").unwrap() {
             QueryResult::Names(names) => {
-                assert_eq!(names, vec!["m v1 epoch=2 source=higgs".to_string()])
+                assert_eq!(names, vec!["m v1* epoch=2 source=higgs".to_string()])
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1799,5 +2147,228 @@ mod tests {
             Err(DbError::BadParam(_))
         ));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn predict_serve_is_bit_identical_to_the_per_tuple_path() {
+        let mut s = session_with_higgs(2000);
+        s.execute(
+            "SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 2, \
+             model_name = m",
+        )
+        .unwrap();
+        let per_tuple = match s.execute("SELECT * FROM higgs PREDICT BY m").unwrap() {
+            QueryResult::Predict {
+                predictions,
+                metric,
+            } => (predictions, metric),
+            other => panic!("unexpected {other:?}"),
+        };
+        // Odd batch size: the tail batch is smaller than the rest.
+        let served = match s
+            .execute("PREDICT m ON higgs WITH batch_rows = 97")
+            .unwrap()
+        {
+            QueryResult::Serve(p) => p,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(served.predictions, per_tuple.0);
+        assert_eq!(served.metric, Some(per_tuple.1));
+        assert_eq!(served.rows, 2000);
+        assert_eq!(served.batches, 2000_u64.div_ceil(97));
+        assert_eq!(served.batch_wall_seconds.len() as u64, served.batches);
+        assert!(served.cache_hit, "TRAIN publishes into the serving cache");
+        assert!(served.io_seconds > 0.0 && served.compute_seconds > 0.0);
+        assert!(served.latency_quantile(0.5).unwrap() <= served.latency_quantile(0.99).unwrap());
+        // Serving telemetry accumulated on the session (the per-tuple
+        // path emits none).
+        assert_eq!(s.telemetry().counter("serving.predictions").get(), 2000);
+        assert_eq!(s.telemetry().counter("serving.cache.hits").get(), 1);
+    }
+
+    #[test]
+    fn predict_serve_filter_pushes_down_and_validates() {
+        let mut s = session_with_higgs(2000);
+        s.execute("SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 1, model_name = m")
+            .unwrap();
+        let served = match s
+            .execute("PREDICT m ON higgs WHERE id < 500 WITH batch_rows = 128")
+            .unwrap()
+        {
+            QueryResult::Serve(p) => p,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(served.rows, 500);
+        assert_eq!(served.predictions.len(), 500);
+        assert_eq!(served.rows_filtered, 1500);
+        // EXPLAIN renders the pushed-down serving plan without executing.
+        match s
+            .execute("EXPLAIN PREDICT m ON higgs WHERE id < 500")
+            .unwrap()
+        {
+            QueryResult::Plan(lines) => {
+                assert!(
+                    lines[0].starts_with("Predict (model=m, version=active, batch_rows=256)"),
+                    "{lines:?}"
+                );
+                assert!(lines.iter().any(|l| l.contains("BlockShuffle (sequential")));
+                assert!(
+                    lines.iter().any(|l| l.trim_start().starts_with("Filter:")),
+                    "filter fused into the scan: {lines:?}"
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // EXPLAIN ANALYZE executes and appends the serving summary line.
+        match s
+            .execute("EXPLAIN ANALYZE PREDICT m ON higgs WITH batch_rows = 512")
+            .unwrap()
+        {
+            QueryResult::Plan(lines) => {
+                assert!(
+                    lines[0].starts_with("Predict (actual rows=2000"),
+                    "{lines:?}"
+                );
+                assert!(
+                    lines.iter().any(|l| l.starts_with("Serving: model=m v1")),
+                    "{lines:?}"
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Unknown model / column are planning errors.
+        assert!(matches!(
+            s.execute("PREDICT ghost ON higgs"),
+            Err(DbError::UnknownModel(_))
+        ));
+        assert!(matches!(
+            s.execute("EXPLAIN PREDICT ghost ON higgs"),
+            Err(DbError::UnknownModel(_))
+        ));
+        assert!(matches!(
+            s.execute("PREDICT m ON higgs WHERE f99 > 0"),
+            Err(DbError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            s.execute("PREDICT m ON higgs WITH batch_rows = 0"),
+            Err(DbError::BadParam(_))
+        ));
+        assert!(matches!(
+            s.execute("PREDICT m ON higgs WITH bogus = 1"),
+            Err(DbError::BadParam(_))
+        ));
+    }
+
+    #[test]
+    fn predict_serve_version_pin_survives_hot_reload() {
+        let dir = store_dir("serve_pin");
+        let mut s = durable_session(1000, &dir);
+        let train = |lr: &str| {
+            format!(
+                "SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 2, \
+                 learning_rate = {lr}, model_name = m, durable = 1"
+            )
+        };
+        s.execute(&train("0.05")).unwrap();
+        let v1 = match s.execute("PREDICT m ON higgs").unwrap() {
+            QueryResult::Serve(p) => p,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(v1.version, 1);
+        // Retrain: v2 becomes active, but VERSION 1 stays servable and
+        // bit-identical to what v1 served before the reload.
+        s.execute(&train("0.9")).unwrap();
+        let active = match s.execute("PREDICT m ON higgs").unwrap() {
+            QueryResult::Serve(p) => p,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(active.version, 2);
+        let pinned = match s.execute("PREDICT m VERSION 1 ON higgs").unwrap() {
+            QueryResult::Serve(p) => p,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(pinned.version, 1);
+        assert_eq!(pinned.predictions, v1.predictions);
+        // An explicit pin does not steal traffic from the active version.
+        assert_eq!(s.database().model_cache().active_version("m"), Some(2));
+        // Unknown version is a structured error.
+        assert!(matches!(
+            s.execute("PREDICT m VERSION 9 ON higgs"),
+            Err(DbError::UnknownModel(_))
+        ));
+        // LOAD MODEL … AS ACTIVE is the explicit rollback path.
+        match s.execute("LOAD MODEL m VERSION 1 AS ACTIVE").unwrap() {
+            QueryResult::Names(names) => {
+                assert_eq!(
+                    names,
+                    vec!["m v1 epoch=2 source=higgs (active)".to_string()]
+                )
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(s.database().model_cache().active_version("m"), Some(1));
+        let rolled_back = match s.execute("PREDICT m ON higgs").unwrap() {
+            QueryResult::Serve(p) => p,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(rolled_back.version, 1);
+        assert_eq!(rolled_back.predictions, v1.predictions);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn show_models_marks_the_cache_active_version() {
+        // Storeless engine: non-durable training still publishes to the
+        // cache, so SHOW MODELS marks the served version.
+        let mut s = session_with_higgs(300);
+        s.execute("SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 1, model_name = m")
+            .unwrap();
+        match s.execute("SHOW MODELS").unwrap() {
+            QueryResult::Names(names) => assert_eq!(names, vec!["m v1*".to_string()]),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Durable engine: the store's latest and the cache's active can
+        // diverge (non-durable retrain bumps only the cache).
+        let dir = store_dir("show_models");
+        let mut s = durable_session(300, &dir);
+        s.execute(
+            "SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 2, \
+             model_name = m, durable = 1",
+        )
+        .unwrap();
+        match s.execute("SHOW MODELS").unwrap() {
+            QueryResult::Names(names) => {
+                assert_eq!(names, vec!["m v1* epoch=2 source=higgs".to_string()])
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        s.execute("SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 1, model_name = m")
+            .unwrap();
+        match s.execute("SHOW MODELS").unwrap() {
+            QueryResult::Names(names) => {
+                assert_eq!(
+                    names,
+                    vec!["m v1 epoch=2 source=higgs active=v2".to_string()]
+                )
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn predict_batch_rejects_a_dimension_mismatch() {
+        let mut s = session_with_higgs(300);
+        // Train on a 3-column projection, then serve against the full
+        // 28-feature table: a clear error, not garbage predictions.
+        s.execute(
+            "SELECT f0, f1, f2 FROM higgs TRAIN BY svm WITH max_epoch_num = 1, \
+             model_name = narrow",
+        )
+        .unwrap();
+        match s.execute("PREDICT narrow ON higgs") {
+            Err(DbError::BadParam(msg)) => assert!(msg.contains("features"), "{msg}"),
+            other => panic!("expected BadParam, got {other:?}"),
+        }
     }
 }

@@ -6,6 +6,9 @@
 //!        strategy = 'corgipile', model_name = 'forest_svm';
 //! SELECT f0, f3, label FROM forest WHERE f2 > 0.5 AND label = 1 TRAIN BY svm;
 //! SELECT * FROM forest PREDICT BY forest_svm;
+//! PREDICT forest_svm ON forest WHERE f2 > 0.5 WITH batch_rows = 512;
+//! PREDICT forest_svm VERSION 2 ON forest;
+//! LOAD MODEL forest_svm VERSION 1 AS ACTIVE;
 //! ```
 //!
 //! The grammar is a tiny hand-rolled recursive-descent parser: keywords are
@@ -374,6 +377,22 @@ pub enum Query {
         /// Stored model name.
         model: String,
     },
+    /// `PREDICT <model> [VERSION n] ON <table> [WHERE pred] [WITH k = v, …]`:
+    /// the serving subsystem's batched inference query. The batch pins one
+    /// immutable cached model version for its whole run; without `VERSION`
+    /// it pins whatever version is active at dispatch.
+    PredictServe {
+        /// Served model name.
+        model: String,
+        /// Explicit version pin (`VERSION n`); `None` pins the active one.
+        version: Option<u32>,
+        /// Source table.
+        table: String,
+        /// Optional `WHERE` predicate, pushed down into the scan.
+        filter: Option<Predicate>,
+        /// `WITH` parameters (`batch_rows`, …).
+        params: BTreeMap<String, ParamValue>,
+    },
     /// `EXPLAIN <train query>`: show the physical plan without running it.
     Explain(Box<Query>),
     /// `EXPLAIN ANALYZE <query>`: run the query and annotate the plan with
@@ -385,11 +404,17 @@ pub enum Query {
         /// What to list.
         what: ShowTarget,
     },
-    /// `LOAD MODEL <name>`: re-register the durable model store's latest
-    /// version of `name` into the in-memory catalog.
+    /// `LOAD MODEL <name> [VERSION n] [AS ACTIVE]`: re-register a durable
+    /// model store version of `name` into the in-memory catalog (the latest
+    /// without `VERSION`), and with `AS ACTIVE` promote it to the version
+    /// the serving cache pins for new `PREDICT` batches.
     LoadModel {
         /// Model name in the store.
         name: String,
+        /// Explicit store version; `None` loads the latest.
+        version: Option<u32>,
+        /// Promote the loaded version to serving-active (`AS ACTIVE`).
+        activate: bool,
     },
 }
 
@@ -598,6 +623,58 @@ fn parse_cmp_or_group(t: &mut Tokens) -> Result<Predicate, DbError> {
     }
 }
 
+/// Optional `VERSION <n>` clause (`PREDICT`, `LOAD MODEL`).
+fn parse_version(t: &mut Tokens) -> Result<Option<u32>, DbError> {
+    if !matches!(t.peek(), Some(w) if w.eq_ignore_ascii_case("VERSION")) {
+        return Ok(None);
+    }
+    t.bump();
+    match t.bump() {
+        Some(tok) => match tok.parse::<u32>() {
+            Ok(v) if v >= 1 => Ok(Some(v)),
+            _ => Err(DbError::Parse(format!(
+                "VERSION expects a positive integer, found {tok:?}"
+            ))),
+        },
+        None => Err(DbError::Parse(
+            "expected version number, found end of input".into(),
+        )),
+    }
+}
+
+/// Optional `WITH k = v, …` tail without keyword special-casing (the
+/// `TRAIN BY` loop handles `strategy` itself).
+fn parse_with_params(t: &mut Tokens) -> Result<BTreeMap<String, ParamValue>, DbError> {
+    let mut params = BTreeMap::new();
+    match t.peek() {
+        Some(w) if w.eq_ignore_ascii_case("WITH") => {
+            t.bump();
+            loop {
+                let key = t.ident("parameter name")?.to_ascii_lowercase();
+                t.expect_kw("=")?;
+                let val = t
+                    .bump()
+                    .ok_or_else(|| DbError::Parse(format!("missing value for {key}")))?;
+                params.insert(key, parse_value(val));
+                match t.peek() {
+                    Some(",") => {
+                        t.bump();
+                    }
+                    Some(";") | None => break,
+                    Some(other) => {
+                        return Err(DbError::Parse(format!(
+                            "expected ',' or end of query, found {other:?}"
+                        )))
+                    }
+                }
+            }
+        }
+        Some(";") | None => {}
+        Some(other) => return Err(DbError::Parse(format!("expected WITH, found {other:?}"))),
+    }
+    Ok(params)
+}
+
 fn parse_projection(t: &mut Tokens) -> Result<Projection, DbError> {
     if t.peek() == Some("*") {
         t.bump();
@@ -633,7 +710,44 @@ fn parse_tokens(t: &mut Tokens) -> Result<Query, DbError> {
             t.bump();
             t.expect_kw("MODEL")?;
             let name = t.ident("model name")?;
-            return Ok(Query::LoadModel { name });
+            let version = parse_version(t)?;
+            let activate = match t.peek() {
+                Some(w) if w.eq_ignore_ascii_case("AS") => {
+                    t.bump();
+                    t.expect_kw("ACTIVE")?;
+                    true
+                }
+                _ => false,
+            };
+            return Ok(Query::LoadModel {
+                name,
+                version,
+                activate,
+            });
+        }
+        Some(w) if w.eq_ignore_ascii_case("PREDICT") => {
+            // The serving query: `PREDICT <model> [VERSION n] ON <table>
+            // [WHERE pred] [WITH k = v, …]`.
+            t.bump();
+            let model = t.ident("model name")?;
+            let version = parse_version(t)?;
+            t.expect_kw("ON")?;
+            let table = t.ident("table name")?;
+            let filter = match t.peek() {
+                Some(w) if w.eq_ignore_ascii_case("WHERE") => {
+                    t.bump();
+                    Some(parse_predicate(t)?)
+                }
+                _ => None,
+            };
+            let params = parse_with_params(t)?;
+            return Ok(Query::PredictServe {
+                model,
+                version,
+                table,
+                filter,
+                params,
+            });
         }
         _ => {}
     }
@@ -895,16 +1009,111 @@ mod tests {
     fn parses_load_model() {
         assert_eq!(
             parse("LOAD MODEL m1").unwrap(),
-            Query::LoadModel { name: "m1".into() }
+            Query::LoadModel {
+                name: "m1".into(),
+                version: None,
+                activate: false
+            }
         );
         assert_eq!(
             parse("load model forest_svm").unwrap(),
             Query::LoadModel {
-                name: "forest_svm".into()
+                name: "forest_svm".into(),
+                version: None,
+                activate: false
             }
         );
         assert!(parse("LOAD MODEL").is_err(), "name is required");
         assert!(parse("LOAD m1").is_err(), "MODEL keyword is required");
+    }
+
+    #[test]
+    fn parses_load_model_version_and_activation() {
+        assert_eq!(
+            parse("LOAD MODEL m VERSION 3").unwrap(),
+            Query::LoadModel {
+                name: "m".into(),
+                version: Some(3),
+                activate: false
+            }
+        );
+        assert_eq!(
+            parse("load model m version 2 as active;").unwrap(),
+            Query::LoadModel {
+                name: "m".into(),
+                version: Some(2),
+                activate: true
+            }
+        );
+        assert_eq!(
+            parse("LOAD MODEL m AS ACTIVE").unwrap(),
+            Query::LoadModel {
+                name: "m".into(),
+                version: None,
+                activate: true
+            }
+        );
+        for bad in [
+            "LOAD MODEL m VERSION",
+            "LOAD MODEL m VERSION 0",
+            "LOAD MODEL m VERSION two",
+            "LOAD MODEL m AS",
+            "LOAD MODEL m AS PASSIVE",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn parses_predict_serve() {
+        assert_eq!(
+            parse("PREDICT m ON t").unwrap(),
+            Query::PredictServe {
+                model: "m".into(),
+                version: None,
+                table: "t".into(),
+                filter: None,
+                params: BTreeMap::new()
+            }
+        );
+        match parse("predict fsvm version 2 on forest where f1 > 0.5 with batch_rows = 512;")
+            .unwrap()
+        {
+            Query::PredictServe {
+                model,
+                version,
+                table,
+                filter,
+                params,
+            } => {
+                assert_eq!(model, "fsvm");
+                assert_eq!(version, Some(2));
+                assert_eq!(table, "forest");
+                assert_eq!(
+                    filter,
+                    Some(Predicate::Cmp {
+                        col: ColumnRef::Feature(1),
+                        op: CmpOp::Gt,
+                        value: 0.5
+                    })
+                );
+                assert_eq!(params["batch_rows"].as_usize(), Some(512));
+            }
+            other => panic!("expected PredictServe, got {other:?}"),
+        }
+        let q = parse("EXPLAIN PREDICT m ON t WHERE label = 1").unwrap();
+        assert!(matches!(q, Query::Explain(inner)
+            if matches!(*inner, Query::PredictServe { .. })));
+        for bad in [
+            "PREDICT ON t",
+            "PREDICT m t",
+            "PREDICT m ON",
+            "PREDICT m VERSION x ON t",
+            "PREDICT m ON t WITH",
+            "PREDICT m ON t WHERE qty > 1",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
     }
 
     #[test]

@@ -133,6 +133,20 @@ impl Model for LinearModel {
         }
     }
 
+    fn predict_batch_into(&self, xs: &[&FeatureVec], out: &mut Vec<f32>) {
+        // Serving fast path: the weight slice and bias are hoisted once, so
+        // the batch loop is a bare `dense_dot` per tuple.
+        let (w, b) = (&self.params[..self.dim], self.params[self.dim]);
+        out.reserve(xs.len());
+        match self.task {
+            LinearTask::Squared => out.extend(xs.iter().map(|x| x.dot(w) + b)),
+            _ => out.extend(
+                xs.iter()
+                    .map(|x| if x.dot(w) + b >= 0.0 { 1.0 } else { -1.0 }),
+            ),
+        }
+    }
+
     fn is_classifier(&self) -> bool {
         !matches!(self.task, LinearTask::Squared)
     }
@@ -162,7 +176,7 @@ mod tests {
         let mut g = vec![0.0f32; m.num_params()];
         m.grad(x, y, &mut g);
         let eps = 1e-3f32;
-        for i in 0..m.num_params() {
+        for (i, gi) in g.iter().enumerate() {
             let orig = m.params()[i];
             m.params_mut()[i] = orig + eps;
             let lp = m.loss(x, y);
@@ -171,9 +185,8 @@ mod tests {
             m.params_mut()[i] = orig;
             let num = ((lp - lm) / (2.0 * eps as f64)) as f32;
             assert!(
-                (num - g[i]).abs() < 2e-2,
-                "{task:?} param {i}: numeric {num} vs analytic {}",
-                g[i]
+                (num - gi).abs() < 2e-2,
+                "{task:?} param {i}: numeric {num} vs analytic {gi}"
             );
         }
     }

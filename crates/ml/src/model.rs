@@ -47,6 +47,27 @@ pub trait Model: Send + Sync {
     /// multi-class, real value for regression.
     fn predict_label(&self, x: &FeatureVec) -> f32;
 
+    /// Batched inference: the predicted label of every feature vector in
+    /// `xs`, appended to `out` in order (the serving path's unit of work).
+    ///
+    /// The default loops [`Model::predict_label`]; linear and softmax
+    /// models override it to hoist the weight slices out of the per-tuple
+    /// path so the loop runs straight over the unrolled `dense_dot`
+    /// kernel. Overrides must stay bit-identical to the default.
+    fn predict_batch_into(&self, xs: &[&FeatureVec], out: &mut Vec<f32>) {
+        out.reserve(xs.len());
+        for x in xs {
+            out.push(self.predict_label(x));
+        }
+    }
+
+    /// FLOPs per example for inference (forward pass only), for the
+    /// serving path's simulated compute clock. Defaults to half the
+    /// training estimate (which covers forward + backward).
+    fn inference_flops_per_example(&self, nnz: usize) -> f64 {
+        self.flops_per_example(nnz) / 2.0
+    }
+
     /// True for classifiers (accuracy applies), false for regression.
     fn is_classifier(&self) -> bool {
         true
@@ -156,6 +177,45 @@ mod tests {
         }
         .is_convex());
         assert_eq!(ModelKind::Softmax { classes: 5 }.to_string(), "softmax(5)");
+    }
+
+    #[test]
+    fn batched_prediction_is_bit_identical_to_per_tuple() {
+        // The serving path leans on predict_batch_into overrides; any
+        // divergence from predict_label would break the hot-reload
+        // bit-identity guarantee.
+        let kinds = [
+            ModelKind::LogisticRegression,
+            ModelKind::Svm,
+            ModelKind::LinearRegression,
+            ModelKind::Softmax { classes: 4 },
+            ModelKind::Mlp {
+                hidden: vec![6],
+                classes: 3,
+            },
+        ];
+        let xs: Vec<FeatureVec> = (0..40)
+            .map(|i| {
+                FeatureVec::Dense(
+                    (0..5)
+                        .map(|j| ((i * 7 + j * 3) % 11) as f32 / 3.0 - 1.5)
+                        .collect(),
+                )
+            })
+            .collect();
+        let refs: Vec<&FeatureVec> = xs.iter().collect();
+        for k in kinds {
+            let mut m = build_model(&k, 5, 9);
+            // Non-trivial parameters so argmax/sign branches are exercised.
+            for (i, p) in m.params_mut().iter_mut().enumerate() {
+                *p = 0.05 * (i as f32 + 1.0) * if i % 3 == 0 { -1.0 } else { 1.0 };
+            }
+            let mut batched = Vec::new();
+            m.predict_batch_into(&refs, &mut batched);
+            let scalar: Vec<f32> = xs.iter().map(|x| m.predict_label(x)).collect();
+            assert_eq!(batched, scalar, "{k}");
+            assert!(m.inference_flops_per_example(5) <= m.flops_per_example(5));
+        }
     }
 
     #[test]

@@ -110,6 +110,26 @@ impl Model for SoftmaxRegression {
             .unwrap_or(0.0)
     }
 
+    fn predict_batch_into(&self, xs: &[&FeatureVec], out: &mut Vec<f32>) {
+        // Argmax over logits only — the softmax normalization is monotone,
+        // so serving skips it. Ties keep the *last* maximum class, exactly
+        // like `predict_label`'s `max_by`.
+        let (w, b) = self.params.split_at(self.classes * self.dim);
+        out.reserve(xs.len());
+        for x in xs {
+            let mut best = 0usize;
+            let mut best_score = f32::NEG_INFINITY;
+            for c in 0..self.classes {
+                let s = x.dot(&w[c * self.dim..(c + 1) * self.dim]) + b[c];
+                if s >= best_score {
+                    best_score = s;
+                    best = c;
+                }
+            }
+            out.push(best as f32);
+        }
+    }
+
     fn flops_per_example(&self, nnz: usize) -> f64 {
         // k dot products + k axpys + softmax.
         (self.classes * (4 * nnz + 8)) as f64
@@ -154,7 +174,7 @@ mod tests {
         let mut g = vec![0.0f32; m.num_params()];
         m.grad(&x, y, &mut g);
         let eps = 1e-3f32;
-        for i in 0..m.num_params() {
+        for (i, gi) in g.iter().enumerate() {
             let orig = m.params()[i];
             m.params_mut()[i] = orig + eps;
             let lp = m.loss(&x, y);
@@ -162,7 +182,7 @@ mod tests {
             let lm = m.loss(&x, y);
             m.params_mut()[i] = orig;
             let num = ((lp - lm) / (2.0 * eps as f64)) as f32;
-            assert!((num - g[i]).abs() < 1e-2, "param {i}: {num} vs {}", g[i]);
+            assert!((num - gi).abs() < 1e-2, "param {i}: {num} vs {gi}");
         }
     }
 

@@ -52,4 +52,17 @@ CORGI_RECOVERY_TUPLES=2000 CORGI_RECOVERY_EPOCHS=2 \
 python3 -c "import json; json.load(open('BENCH_recovery.json'))" \
   || { echo "BENCH_recovery.json is not valid JSON"; exit 1; }
 
+banner "Serving hot-reload (predictors racing durable trains, bit-identical)"
+cargo test --release --test serving_hot_reload
+
+banner "Serving bench (smoke scale)"
+CORGI_SERVING_TUPLES=2000 CORGI_SERVING_RUNS=1 CORGI_SERVING_BATCH_ROWS=128 \
+  cargo run --release -p corgipile-bench --bin corgi-bench -- serving
+python3 -c "
+import json
+d = json.load(open('BENCH_serving.json'))
+assert all(s['predictions_per_sec'] > 0 for s in d['sessions']), d['sessions']
+assert d['bit_identical_all'], 'concurrent serving diverged from the serial reference'
+" || { echo "BENCH_serving.json failed the serving gate"; exit 1; }
+
 banner "CI gate passed"
