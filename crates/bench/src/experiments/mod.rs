@@ -15,6 +15,7 @@ pub mod pushdown;
 pub mod recovery;
 pub mod serving;
 pub mod tables;
+pub mod vectorize;
 
 use crate::common::ExpData;
 use corgipile_core::{TrainReport, Trainer, TrainerConfig};
@@ -64,6 +65,7 @@ pub fn registry() -> Vec<Experiment> {
         Experiment { id: "pushdown", what: "extension: WHERE pushdown below TupleShuffle vs post-buffer filtering (buffered tuples, I/O, bit identity)", run: pushdown::pushdown },
         Experiment { id: "recovery", what: "extension: WAL recovery scan time, durable-training overhead, crash-matrix bit-identity", run: recovery::recovery },
         Experiment { id: "serving", what: "extension: batched PREDICT serving throughput/latency at 1/4/8 sessions, cold vs warm cache, hot-reload bit-identity", run: serving::serving },
+        Experiment { id: "vectorize", what: "extension: fused batch-at-a-time pipeline vs interpreted operator tree (sim-compute speedup, bit identity)", run: vectorize::vectorize },
     ]
 }
 

@@ -82,12 +82,9 @@ fn run_once(
 }
 
 fn buffered_tuples(summary: &DbTrainSummary) -> u64 {
-    summary
-        .op_stats
-        .iter()
-        .find(|o| o.name == "TupleShuffle")
-        .map(|o| o.buffered_tuples)
-        .unwrap_or(0)
+    // Under the default fused plan the whole chain reports one stats
+    // node, so sum buffer occupancy across whatever nodes exist.
+    summary.op_stats.iter().map(|o| o.buffered_tuples).sum()
 }
 
 fn sim_io_seconds(summary: &DbTrainSummary) -> f64 {

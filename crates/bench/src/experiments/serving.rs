@@ -65,6 +65,29 @@ pub struct CacheComparison {
     pub warm_hit: bool,
 }
 
+/// Fused vs interpreted `PREDICT` batch execution for one warm session:
+/// the same scan served through the fused scan→predict pipeline
+/// (`fuse = 1`, batched compute accounting) and through the interpreted
+/// operator tree (`fuse = 0`, per-tuple dispatch charges).
+#[derive(Debug, Clone, Copy)]
+pub struct FusedServing {
+    /// Predictions per run (both paths serve the same rows).
+    pub predictions: u64,
+    /// Simulated inference compute seconds, fused pipeline.
+    pub fused_compute_seconds: f64,
+    /// Simulated inference compute seconds, interpreted tree.
+    pub interp_compute_seconds: f64,
+    /// The two paths produced bit-identical prediction vectors.
+    pub bit_identical: bool,
+}
+
+impl FusedServing {
+    /// Sim-compute throughput speedup of fused over interpreted PREDICT.
+    pub fn speedup(&self) -> f64 {
+        self.interp_compute_seconds / self.fused_compute_seconds.max(1e-12)
+    }
+}
+
 fn clustered(n: usize) -> Table {
     DatasetSpec::higgs_like(n)
         .with_order(Order::ClusteredByLabel)
@@ -220,6 +243,35 @@ pub fn measure_cache(n_tuples: usize, batch_rows: usize) -> CacheComparison {
     }
 }
 
+/// Fused vs interpreted PREDICT batch throughput on one warm engine.
+pub fn measure_fused(n_tuples: usize, batch_rows: usize) -> FusedServing {
+    let table = clustered(n_tuples);
+    let db = serving_engine(&table, 64 << 20);
+    let serve = |fuse: bool| {
+        db.connect()
+            .predict_batch(
+                "higgs",
+                "m",
+                ServeOptions {
+                    batch_rows,
+                    fuse,
+                    ..ServeOptions::default()
+                },
+            )
+            .expect("serving runs")
+    };
+    let fused = serve(true);
+    let interp = serve(false);
+    FusedServing {
+        predictions: fused.rows,
+        fused_compute_seconds: fused.compute_seconds,
+        interp_compute_seconds: interp.compute_seconds,
+        bit_identical: fused.predictions == interp.predictions
+            && fused.rows == interp.rows
+            && fused.metric == interp.metric,
+    }
+}
+
 /// Speedup of the largest session count over single-session throughput.
 pub fn scaling_speedup(runs: &[ServingRun]) -> f64 {
     let at = |n: usize| {
@@ -238,7 +290,11 @@ pub fn scaling_speedup(runs: &[ServingRun]) -> f64 {
 }
 
 /// Render the root-level `BENCH_serving.json` artifact.
-pub fn render_bench_json(runs: &[ServingRun], cache: CacheComparison) -> String {
+pub fn render_bench_json(
+    runs: &[ServingRun],
+    cache: CacheComparison,
+    fused: FusedServing,
+) -> String {
     let mut out = String::from("{\n  \"id\": \"serving\",\n  \"sessions\": [\n");
     for (i, r) in runs.iter().enumerate() {
         let comma = if i + 1 < runs.len() { "," } else { "" };
@@ -261,13 +317,21 @@ pub fn render_bench_json(runs: &[ServingRun], cache: CacheComparison) -> String 
         "  ],\n  \"speedup_8v1\": {:.4},\n  \
          \"cache\": {{\"cold_wall_ms\": {:.4}, \"warm_wall_ms\": {:.4}, \
          \"cold_miss\": {}, \"warm_hit\": {}}},\n  \
+         \"fused_predict\": {{\"predictions\": {}, \
+         \"fused_compute_seconds\": {:.6}, \"interp_compute_seconds\": {:.6}, \
+         \"compute_speedup\": {:.4}, \"bit_identical\": {}}},\n  \
          \"bit_identical_all\": {}\n}}",
         scaling_speedup(runs),
         cache.cold_wall_ms,
         cache.warm_wall_ms,
         cache.cold_miss,
         cache.warm_hit,
-        runs.iter().all(|r| r.bit_identical),
+        fused.predictions,
+        fused.fused_compute_seconds,
+        fused.interp_compute_seconds,
+        fused.speedup(),
+        fused.bit_identical,
+        runs.iter().all(|r| r.bit_identical) && fused.bit_identical,
     ));
     out
 }
@@ -287,6 +351,7 @@ pub fn serving() {
     let batch_rows = env_usize("CORGI_SERVING_BATCH_ROWS", 256);
     let runs = measure_serving(n, runs_per_session, batch_rows, &[1, 4, 8]);
     let cache = measure_cache(n.min(8_000), batch_rows);
+    let fused = measure_fused(n, batch_rows);
 
     let mut rep = Report::new(
         "serving",
@@ -329,11 +394,19 @@ pub fn serving() {
          real per-batch wall timings. Every run is bit-compared to a serial \
          reference through the versioned model cache.",
     );
+    rep.note(format!(
+        "fused scan→predict pipeline: {:.6}s sim compute vs {:.6}s interpreted \
+         ({:.2}x, bit_identical={})",
+        fused.fused_compute_seconds,
+        fused.interp_compute_seconds,
+        fused.speedup(),
+        fused.bit_identical,
+    ));
     rep.finish();
 
     let root = std::env::var("CORGI_BENCH_ROOT").unwrap_or_else(|_| ".".into());
     let path = std::path::Path::new(&root).join("BENCH_serving.json");
-    match std::fs::write(&path, render_bench_json(&runs, cache) + "\n") {
+    match std::fs::write(&path, render_bench_json(&runs, cache, fused) + "\n") {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
     }
@@ -394,11 +467,29 @@ mod tests {
                 cold_miss: true,
                 warm_hit: true,
             },
+            FusedServing {
+                predictions: 100,
+                fused_compute_seconds: 0.1,
+                interp_compute_seconds: 0.3,
+                bit_identical: true,
+            },
         );
         assert!(json.contains("\"speedup_8v1\": 8.0000"));
         assert!(json.contains("\"bit_identical_all\": true"));
         assert!(json.contains("\"cold_miss\": true"));
         assert!(json.contains("\"warm_hit\": true"));
+        assert!(json.contains("\"compute_speedup\": 3.0000"));
         assert!(json.ends_with('}'));
+    }
+
+    #[test]
+    fn fused_predict_beats_interpreted_bit_identically() {
+        let f = measure_fused(2_000, 256);
+        assert!(f.bit_identical, "fused PREDICT diverged: {f:?}");
+        assert!(
+            f.speedup() >= 1.5,
+            "expected >=1.5x PREDICT compute speedup, got {:.2}x: {f:?}",
+            f.speedup()
+        );
     }
 }

@@ -28,12 +28,12 @@ use corgipile_ml::{
 };
 use corgipile_shuffle::StrategyParams;
 use corgipile_storage::{
-    block_refs, run_epoch_pipeline, DeviceHandle, DoubleBufferModel, PipelineError, PipelineReport,
-    PoolHandle, RetryPolicy, SimDevice, Table, Telemetry, Tuple, TupleRef,
+    block_refs, run_epoch_pipeline, Counter, DeviceHandle, DoubleBufferModel, PipelineError,
+    PipelineReport, PoolHandle, RetryPolicy, SimDevice, Table, Telemetry, Tuple, TupleBatch,
+    TupleRef,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -132,6 +132,9 @@ pub struct OpStats {
     pub fills: u64,
     /// Tuples buffered across all fills (TupleShuffle).
     pub buffered_tuples: u64,
+    /// Batches emitted by a batch-at-a-time node (fused pipelines report
+    /// their per-batch actuals here).
+    pub batches: u64,
     /// Fraction of the serial (single-buffer) epoch time saved by
     /// overlapping loading with compute (SGD root only; 0 when the plan ran
     /// without double buffering or there was nothing to overlap).
@@ -189,6 +192,9 @@ impl OpStats {
                 self.fills, self.buffered_tuples
             ));
         }
+        if self.batches > 0 {
+            line.push_str(&format!(" batches={}", self.batches));
+        }
         line.push(')');
         line
     }
@@ -245,7 +251,35 @@ pub(crate) fn project_tuple(t: &Tuple, cols: &[usize]) -> Tuple {
     )
 }
 
-/// A pull-based physical operator.
+/// Compatibility-shim state backing the default [`PhysicalOperator::next`]
+/// and [`PhysicalOperator::next_ref`] implementations: the most recent
+/// batch pulled via [`PhysicalOperator::next_batch`] plus a read position.
+/// Every operator owns one and exposes it through
+/// [`PhysicalOperator::cursor`]; batch-native callers never touch it.
+#[derive(Debug, Default)]
+pub struct BatchCursor {
+    batch: TupleBatch,
+    pos: usize,
+}
+
+impl BatchCursor {
+    /// Drop any unread refs and reset the read position (keeps capacity).
+    pub fn reset(&mut self) {
+        self.batch.clear();
+        self.pos = 0;
+    }
+}
+
+/// A pull-based physical operator, batch-at-a-time.
+///
+/// The primary interface is [`PhysicalOperator::next_batch`]: the caller
+/// hands down a reusable [`TupleBatch`] and the operator refills it with
+/// the next run of zero-copy [`TupleRef`]s, so the steady-state inner loop
+/// makes **one virtual call per batch** instead of one per tuple (and,
+/// once capacities are warm, zero allocations). The tuple-at-a-time
+/// `next`/`next_ref` methods survive as thin compatibility shims draining
+/// a [`BatchCursor`]; do not interleave them with direct `next_batch`
+/// calls within one pass — the cursor may hold undrained refs.
 ///
 /// `Send` is a supertrait so a boxed plan can be mutably borrowed into the
 /// producer thread of the double-buffered pipeline (see
@@ -255,37 +289,54 @@ pub trait PhysicalOperator: Send {
     fn name(&self) -> &'static str;
     /// Initialize state (PostgreSQL `ExecInit*`).
     fn init(&mut self, ctx: &mut ExecContext);
-    /// Produce the next tuple, or `Ok(None)` at end of stream. Storage
-    /// failures that survive the retry policy (and are not absorbed by
+    /// Clear `out` and refill it with the next batch of tuples. Returns
+    /// `Ok(false)` at end of stream; `Ok(true)` guarantees a non-empty
+    /// `out`. Batch boundaries align with buffer fills (one batch per
+    /// block read for scans, one per buffer fill for TupleShuffle), which
+    /// is what the double-buffered pipeline hands producer→consumer and
+    /// what the `fill_io` attribution keys on. Storage failures that
+    /// survive the retry policy (and are not absorbed by
     /// [`FaultAction::SkipBlock`]) propagate as [`DbError::Storage`].
-    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Tuple>, DbError>;
-    /// Zero-copy variant of [`PhysicalOperator::next`]: the tuple stays in
-    /// its `Arc`-shared block and only a [`TupleRef`] moves. Operators that
-    /// materialize tuples anyway may keep the default (one `Arc` per tuple);
-    /// the scan/shuffle operators override it to avoid cloning tuples.
-    fn next_ref(&mut self, ctx: &mut ExecContext) -> Result<Option<TupleRef>, DbError> {
-        Ok(self.next(ctx)?.map(|t| TupleRef::new(Arc::new(vec![t]), 0)))
-    }
-    /// Produce the next *buffer* of tuples — the unit the double-buffered
-    /// pipeline hands from its producer thread to the training loop. The
-    /// stream concatenated over all batches must equal the `next_ref`
-    /// stream. Default: the remaining stream as one batch (no overlap);
-    /// buffering operators override it with one batch per fill.
-    fn next_batch(&mut self, ctx: &mut ExecContext) -> Result<Option<Vec<TupleRef>>, DbError> {
-        let mut batch = Vec::new();
-        while let Some(r) = self.next_ref(ctx)? {
-            batch.push(r);
-        }
-        Ok(if batch.is_empty() { None } else { Some(batch) })
-    }
-    /// Produce the surviving tuples of the next *source block*, or `None`
-    /// when the scan is exhausted. Unlike [`PhysicalOperator::next_batch`],
-    /// a fully filtered (or dead, skipped) block yields `Some(vec![])`, so
-    /// a buffering parent counting blocks sees identical fill boundaries
+    fn next_batch(&mut self, ctx: &mut ExecContext, out: &mut TupleBatch) -> Result<bool, DbError>;
+    /// Clear `out` and refill it with the surviving tuples of the next
+    /// *source block*, or return `Ok(false)` when the scan is exhausted.
+    /// Unlike [`PhysicalOperator::next_batch`], a fully filtered (or dead,
+    /// skipped) block yields `Ok(true)` with an **empty** `out`, so a
+    /// buffering parent counting blocks sees identical fill boundaries
     /// whether a predicate ran below it or not — the invariant behind
     /// bit-identical pushdown. Default: one `next_batch` per call.
-    fn next_block(&mut self, ctx: &mut ExecContext) -> Result<Option<Vec<TupleRef>>, DbError> {
-        self.next_batch(ctx)
+    fn next_block(&mut self, ctx: &mut ExecContext, out: &mut TupleBatch) -> Result<bool, DbError> {
+        self.next_batch(ctx, out)
+    }
+    /// The operator's compatibility-shim cursor (state for the default
+    /// `next`/`next_ref`). Must be reset on `init` and `rescan`.
+    fn cursor(&mut self) -> &mut BatchCursor;
+    /// Tuple-at-a-time compatibility shim over [`PhysicalOperator::next_batch`]:
+    /// drains the cursor's current batch one zero-copy ref at a time,
+    /// pulling the next batch when it runs dry.
+    fn next_ref(&mut self, ctx: &mut ExecContext) -> Result<Option<TupleRef>, DbError> {
+        loop {
+            let cur = self.cursor();
+            if cur.pos < cur.batch.len() {
+                let r = cur.batch[cur.pos].clone();
+                cur.pos += 1;
+                return Ok(Some(r));
+            }
+            // Take the batch out of the cursor so `self` is free for the
+            // `next_batch` call, then put it back (keeping its capacity).
+            let mut batch = std::mem::take(&mut self.cursor().batch);
+            let more = self.next_batch(ctx, &mut batch)?;
+            let cur = self.cursor();
+            cur.batch = batch;
+            cur.pos = 0;
+            if !more {
+                return Ok(None);
+            }
+        }
+    }
+    /// Materializing compatibility shim: one cloned [`Tuple`] per call.
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Tuple>, DbError> {
+        Ok(self.next_ref(ctx)?.map(|r| r.tuple().clone()))
     }
     /// Reset for another pass (PostgreSQL `ExecReScan*`); block orders are
     /// re-randomized.
@@ -322,10 +373,11 @@ pub struct BlockShuffleOp {
     rng: StdRng,
     order: Vec<usize>,
     next_block: usize,
-    queue: VecDeque<TupleRef>,
     predicate: Option<Predicate>,
     projection: Option<Vec<usize>>,
+    shared_scan: bool,
     initialized: bool,
+    shim: BatchCursor,
     actuals: OpStats,
 }
 
@@ -339,10 +391,11 @@ impl BlockShuffleOp {
             rng: StdRng::seed_from_u64(seed ^ 0xB5_0F),
             order: Vec::new(),
             next_block: 0,
-            queue: VecDeque::new(),
             predicate: None,
             projection: None,
+            shared_scan: false,
             initialized: false,
+            shim: BatchCursor::default(),
             actuals: OpStats::default(),
         }
     }
@@ -361,26 +414,39 @@ impl BlockShuffleOp {
         self
     }
 
+    /// Route sequential scans through the shared buffer pool (when the
+    /// context carries one) instead of the ring-buffer-style device path:
+    /// a hot serving table then stops re-paying device I/O on every scan.
+    pub fn with_shared_scan(mut self, shared_scan: bool) -> Self {
+        self.shared_scan = shared_scan;
+        self
+    }
+
     /// The underlying table.
     pub fn table(&self) -> &Table {
         &self.table
     }
 
     fn reshuffle(&mut self) {
-        self.order = (0..self.table.num_blocks()).collect();
+        self.order.clear();
+        self.order.extend(0..self.table.num_blocks());
         if self.mode == ScanMode::RandomBlocks {
             shuffle_in_place(&mut self.rng, &mut self.order);
         }
         self.next_block = 0;
-        self.queue.clear();
     }
 
-    /// Read the next block of the shuffled order into the queue as
-    /// `Arc`-shared [`TupleRef`]s (zero tuple clones: the buffer-pool path
-    /// shares the cached `Arc`, the decode paths wrap the freshly decoded
-    /// block once). Returns `Ok(false)` when no blocks remain; after a
-    /// skipped dead block the queue may still be empty.
-    fn load_next_block(&mut self, ctx: &mut ExecContext) -> Result<bool, DbError> {
+    /// Read the next block of the shuffled order, appending its surviving
+    /// tuples to `out` as `Arc`-shared [`TupleRef`]s (zero tuple clones:
+    /// the buffer-pool path shares the cached `Arc`, the decode paths wrap
+    /// the freshly decoded block once). Returns `Ok(false)` when no blocks
+    /// remain; after a fully filtered or skipped dead block `out` may be
+    /// left unchanged.
+    fn load_next_block(
+        &mut self,
+        ctx: &mut ExecContext,
+        out: &mut TupleBatch,
+    ) -> Result<bool, DbError> {
         if self.next_block >= self.order.len() {
             return Ok(false);
         }
@@ -393,10 +459,18 @@ impl BlockShuffleOp {
         let retry = &ctx.retry;
         let first = self.next_block == 0;
         let read = match self.mode {
-            ScanMode::Sequential => ctx
-                .dev
-                .with(|d| table.scan_block_sequential_retry(block, first, d, retry))
-                .map(Arc::new),
+            ScanMode::Sequential => match ctx.pool.as_deref_mut() {
+                // `WITH shared_scan = 1`: a sequential scan opts into the
+                // shared buffer pool, so repeated scans of a hot serving
+                // table hit cached blocks instead of re-reading the device.
+                Some(pool) if self.shared_scan => {
+                    pool.read_block_retry(table, block, ctx.dev, retry)
+                }
+                _ => ctx
+                    .dev
+                    .with(|d| table.scan_block_sequential_retry(block, first, d, retry))
+                    .map(Arc::new),
+            },
             ScanMode::RandomBlocks => match ctx.pool.as_deref_mut() {
                 Some(pool) => pool.read_block_retry(table, block, ctx.dev, retry),
                 None => ctx
@@ -419,21 +493,27 @@ impl BlockShuffleOp {
                 ctx.fill_io.push(fill);
                 self.actuals.io_seconds += fill;
                 match (&self.predicate, &self.projection) {
-                    (None, None) => self.queue.extend(block_refs(&tuples)),
+                    (None, None) => {
+                        for r in block_refs(&tuples) {
+                            out.push(r);
+                        }
+                    }
                     (pred, Some(cols)) => {
                         // Projection (optionally after the predicate):
                         // materialize surviving tuples over the selected
                         // columns as one fresh Arc-shared block.
-                        let mut out = Vec::new();
+                        let mut projected = Vec::new();
                         for t in tuples.iter() {
                             if pred.as_ref().is_none_or(|p| p.matches(t)) {
-                                out.push(project_tuple(t, cols));
+                                projected.push(project_tuple(t, cols));
                             } else {
                                 self.actuals.rows_filtered += 1;
                             }
                         }
-                        if !out.is_empty() {
-                            self.queue.extend(block_refs(&Arc::new(out)));
+                        if !projected.is_empty() {
+                            for r in block_refs(&Arc::new(projected)) {
+                                out.push(r);
+                            }
                         }
                     }
                     (Some(pred), None) => {
@@ -442,7 +522,7 @@ impl BlockShuffleOp {
                         // tuples cost no clone and no buffer slot.
                         for r in block_refs(&tuples) {
                             if pred.matches(&r) {
-                                self.queue.push_back(r);
+                                out.push(r);
                             } else {
                                 self.actuals.rows_filtered += 1;
                             }
@@ -474,63 +554,54 @@ impl PhysicalOperator for BlockShuffleOp {
         self.rng = StdRng::seed_from_u64(self.seed ^ 0xB5_0F);
         self.reshuffle();
         self.initialized = true;
+        self.shim.reset();
         self.actuals.loops += 1;
     }
 
-    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Tuple>, DbError> {
-        Ok(self.next_ref(ctx)?.map(|r| r.tuple().clone()))
-    }
-
-    fn next_ref(&mut self, ctx: &mut ExecContext) -> Result<Option<TupleRef>, DbError> {
-        debug_assert!(self.initialized, "next() before init()");
-        loop {
-            if let Some(r) = self.queue.pop_front() {
-                self.actuals.rows += 1;
-                return Ok(Some(r));
-            }
-            if !self.load_next_block(ctx)? {
-                return Ok(None);
-            }
-        }
-    }
-
-    fn next_batch(&mut self, ctx: &mut ExecContext) -> Result<Option<Vec<TupleRef>>, DbError> {
-        debug_assert!(self.initialized, "next() before init()");
+    fn next_batch(&mut self, ctx: &mut ExecContext, out: &mut TupleBatch) -> Result<bool, DbError> {
+        debug_assert!(self.initialized, "next_batch() before init()");
         // One batch per block read: aligns each batch with the `fill_io`
         // entry its read pushed, which the pipelined SGD consumer uses to
         // attribute compute to fills.
+        out.clear();
         loop {
-            if !self.queue.is_empty() {
-                self.actuals.rows += self.queue.len() as u64;
-                return Ok(Some(self.queue.drain(..).collect()));
+            if !self.load_next_block(ctx, out)? {
+                return Ok(false);
             }
-            if !self.load_next_block(ctx)? {
-                return Ok(None);
+            if !out.is_empty() {
+                self.actuals.rows += out.len() as u64;
+                self.actuals.batches += 1;
+                return Ok(true);
             }
         }
     }
 
-    fn next_block(&mut self, ctx: &mut ExecContext) -> Result<Option<Vec<TupleRef>>, DbError> {
-        debug_assert!(self.initialized, "next() before init()");
-        if self.queue.is_empty() && !self.load_next_block(ctx)? {
-            return Ok(None);
+    fn next_block(&mut self, ctx: &mut ExecContext, out: &mut TupleBatch) -> Result<bool, DbError> {
+        debug_assert!(self.initialized, "next_block() before init()");
+        out.clear();
+        if !self.load_next_block(ctx, out)? {
+            return Ok(false);
         }
         // Unlike next_batch, an empty result after a consumed block (fully
-        // filtered, or dead and skipped) is reported as `Some(vec![])`:
+        // filtered, or dead and skipped) is reported as `Ok(true)`:
         // block-counting parents must see every source block.
-        let refs: Vec<TupleRef> = self.queue.drain(..).collect();
-        self.actuals.rows += refs.len() as u64;
-        Ok(Some(refs))
+        self.actuals.rows += out.len() as u64;
+        Ok(true)
+    }
+
+    fn cursor(&mut self) -> &mut BatchCursor {
+        &mut self.shim
     }
 
     fn rescan(&mut self, _ctx: &mut ExecContext) {
         self.reshuffle();
+        self.shim.reset();
         self.actuals.loops += 1;
     }
 
     fn close(&mut self, _ctx: &mut ExecContext) {
-        self.queue.clear();
         self.order.clear();
+        self.shim.reset();
         self.initialized = false;
     }
 
@@ -571,8 +642,13 @@ pub struct TupleShuffleOp {
     params: StrategyParams,
     epoch: u64,
     buffer: Vec<TupleRef>,
-    emit: usize,
+    /// Scratch batch the child's `next_block` fills into (capacity reused
+    /// across fills — the child is pulled block-at-a-time, never per tuple).
+    fetch: TupleBatch,
+    /// Persistent sort scratch for the keyed in-buffer shuffle.
+    keyed: Vec<(u64, TupleRef)>,
     exhausted: bool,
+    shim: BatchCursor,
     actuals: OpStats,
 }
 
@@ -592,8 +668,10 @@ impl TupleShuffleOp {
             params,
             epoch: 0,
             buffer: Vec::new(),
-            emit: 0,
+            fetch: TupleBatch::new(),
+            keyed: Vec::new(),
             exhausted: false,
+            shim: BatchCursor::default(),
             actuals: OpStats::default(),
         }
     }
@@ -606,7 +684,6 @@ impl TupleShuffleOp {
     /// next window rather than surfacing an empty fill.
     fn refill(&mut self, ctx: &mut ExecContext) -> Result<(), DbError> {
         self.buffer.clear();
-        self.emit = 0;
         // Child fills recorded below us are folded into our own entry.
         let fills_base = ctx.fill_io.len();
         let io_before = ctx.dev.stats().io_seconds;
@@ -615,19 +692,15 @@ impl TupleShuffleOp {
         while self.buffer.is_empty() && !self.exhausted {
             let mut blocks = 0usize;
             while blocks < self.capacity_blocks {
-                match self.child.next_block(ctx)? {
-                    Some(refs) => {
-                        blocks += 1;
-                        for r in refs {
-                            bytes += r.encoded_len();
-                            self.buffer.push(r);
-                        }
-                    }
-                    None => {
-                        self.exhausted = true;
-                        break;
-                    }
+                if !self.child.next_block(ctx, &mut self.fetch)? {
+                    self.exhausted = true;
+                    break;
                 }
+                blocks += 1;
+                for r in self.fetch.iter() {
+                    bytes += r.encoded_len();
+                }
+                self.buffer.extend(self.fetch.iter().cloned());
             }
         }
         // Buffer copy + shuffle cost (§4.1 overheads), charged on what was
@@ -638,17 +711,16 @@ impl TupleShuffleOp {
         // tuple-id) hash key. splitmix64 is bijective, so keys are unique
         // within an epoch and the order does not depend on buffer arrival
         // positions — filtering below or above the buffer leaves the
-        // survivors' relative order unchanged.
+        // survivors' relative order unchanged. The keyed scratch persists
+        // across fills, so steady-state fills reuse both allocations.
         let salt = splitmix64(
             (self.params.seed ^ 0x70_5F).wrapping_add(self.epoch.wrapping_mul(0x9E37_79B9)),
         );
-        let mut keyed: Vec<(u64, TupleRef)> = self
-            .buffer
-            .drain(..)
-            .map(|r| (splitmix64(salt ^ r.id), r))
-            .collect();
-        keyed.sort_unstable_by_key(|(k, _)| *k);
-        self.buffer = keyed.into_iter().map(|(_, r)| r).collect();
+        self.keyed.clear();
+        self.keyed
+            .extend(self.buffer.drain(..).map(|r| (splitmix64(salt ^ r.id), r)));
+        self.keyed.sort_unstable_by_key(|(k, _)| *k);
+        self.buffer.extend(self.keyed.drain(..).map(|(_, r)| r));
         ctx.fill_io.truncate(fills_base);
         if self.buffer.is_empty() {
             // End-of-stream probe, not a fill: record nothing.
@@ -674,63 +746,49 @@ impl PhysicalOperator for TupleShuffleOp {
         self.child.init(ctx);
         self.epoch = 0;
         self.buffer.clear();
-        self.emit = 0;
         self.exhausted = false;
+        self.shim.reset();
         self.actuals.loops += 1;
     }
 
-    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Tuple>, DbError> {
-        Ok(self.next_ref(ctx)?.map(|r| r.tuple().clone()))
-    }
-
-    fn next_ref(&mut self, ctx: &mut ExecContext) -> Result<Option<TupleRef>, DbError> {
-        if self.emit >= self.buffer.len() {
-            if self.exhausted {
-                return Ok(None);
-            }
-            self.refill(ctx)?;
-            if self.buffer.is_empty() {
-                return Ok(None);
-            }
-        }
-        let r = self.buffer[self.emit].clone();
-        self.emit += 1;
-        self.actuals.rows += 1;
-        Ok(Some(r))
-    }
-
-    fn next_batch(&mut self, ctx: &mut ExecContext) -> Result<Option<Vec<TupleRef>>, DbError> {
+    fn next_batch(&mut self, ctx: &mut ExecContext, out: &mut TupleBatch) -> Result<bool, DbError> {
         // One batch per buffer fill: the whole shuffled buffer moves out in
         // one handover, so the pipelined SGD consumer drains fill k while
         // the producer builds fill k+1.
-        if self.emit >= self.buffer.len() {
+        out.clear();
+        if self.buffer.is_empty() {
             if self.exhausted {
-                return Ok(None);
+                return Ok(false);
             }
             self.refill(ctx)?;
             if self.buffer.is_empty() {
-                return Ok(None);
+                return Ok(false);
             }
         }
-        let batch: Vec<TupleRef> = self.buffer.drain(self.emit..).collect();
+        out.extend_from_slice(&self.buffer);
         self.buffer.clear();
-        self.emit = 0;
-        self.actuals.rows += batch.len() as u64;
-        Ok(Some(batch))
+        self.actuals.rows += out.len() as u64;
+        self.actuals.batches += 1;
+        Ok(true)
+    }
+
+    fn cursor(&mut self) -> &mut BatchCursor {
+        &mut self.shim
     }
 
     fn rescan(&mut self, ctx: &mut ExecContext) {
         self.child.rescan(ctx);
         self.epoch += 1;
         self.buffer.clear();
-        self.emit = 0;
         self.exhausted = false;
+        self.shim.reset();
         self.actuals.loops += 1;
     }
 
     fn close(&mut self, ctx: &mut ExecContext) {
         self.child.close(ctx);
         self.buffer.clear();
+        self.shim.reset();
     }
 
     fn collect_stats(&self, depth: usize, out: &mut Vec<OpStats>) {
@@ -749,6 +807,8 @@ impl PhysicalOperator for TupleShuffleOp {
 pub struct FilterOp {
     child: Box<dyn PhysicalOperator>,
     predicate: Predicate,
+    scratch: TupleBatch,
+    shim: BatchCursor,
     actuals: OpStats,
 }
 
@@ -758,6 +818,8 @@ impl FilterOp {
         FilterOp {
             child,
             predicate,
+            scratch: TupleBatch::new(),
+            shim: BatchCursor::default(),
             actuals: OpStats::default(),
         }
     }
@@ -770,57 +832,45 @@ impl PhysicalOperator for FilterOp {
 
     fn init(&mut self, ctx: &mut ExecContext) {
         self.child.init(ctx);
+        self.shim.reset();
         self.actuals.loops += 1;
     }
 
-    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Tuple>, DbError> {
-        Ok(self.next_ref(ctx)?.map(|r| r.tuple().clone()))
-    }
-
-    fn next_ref(&mut self, ctx: &mut ExecContext) -> Result<Option<TupleRef>, DbError> {
-        loop {
-            match self.child.next_ref(ctx)? {
-                Some(r) => {
-                    if self.predicate.matches(&r) {
-                        self.actuals.rows += 1;
-                        return Ok(Some(r));
-                    }
-                    self.actuals.rows_filtered += 1;
-                }
-                None => return Ok(None),
-            }
-        }
-    }
-
-    fn next_batch(&mut self, ctx: &mut ExecContext) -> Result<Option<Vec<TupleRef>>, DbError> {
+    fn next_batch(&mut self, ctx: &mut ExecContext, out: &mut TupleBatch) -> Result<bool, DbError> {
         // Preserve the child's batch (= fill) boundaries; a batch whose
         // tuples are all filtered is skipped, like a fully filtered fill.
+        out.clear();
         loop {
-            match self.child.next_batch(ctx)? {
-                Some(batch) => {
-                    let before = batch.len();
-                    let kept: Vec<TupleRef> = batch
-                        .into_iter()
-                        .filter(|r| self.predicate.matches(r))
-                        .collect();
-                    self.actuals.rows_filtered += (before - kept.len()) as u64;
-                    if !kept.is_empty() {
-                        self.actuals.rows += kept.len() as u64;
-                        return Ok(Some(kept));
-                    }
+            if !self.child.next_batch(ctx, &mut self.scratch)? {
+                return Ok(false);
+            }
+            for r in self.scratch.iter() {
+                if self.predicate.matches(r) {
+                    out.push(r.clone());
+                } else {
+                    self.actuals.rows_filtered += 1;
                 }
-                None => return Ok(None),
+            }
+            if !out.is_empty() {
+                self.actuals.rows += out.len() as u64;
+                return Ok(true);
             }
         }
+    }
+
+    fn cursor(&mut self) -> &mut BatchCursor {
+        &mut self.shim
     }
 
     fn rescan(&mut self, ctx: &mut ExecContext) {
         self.child.rescan(ctx);
+        self.shim.reset();
         self.actuals.loops += 1;
     }
 
     fn close(&mut self, ctx: &mut ExecContext) {
         self.child.close(ctx);
+        self.shim.reset();
     }
 
     fn collect_stats(&self, depth: usize, out: &mut Vec<OpStats>) {
@@ -839,6 +889,8 @@ impl PhysicalOperator for FilterOp {
 pub struct ProjectOp {
     child: Box<dyn PhysicalOperator>,
     columns: Vec<usize>,
+    scratch: TupleBatch,
+    shim: BatchCursor,
     actuals: OpStats,
 }
 
@@ -848,6 +900,8 @@ impl ProjectOp {
         ProjectOp {
             child,
             columns,
+            scratch: TupleBatch::new(),
+            shim: BatchCursor::default(),
             actuals: OpStats::default(),
         }
     }
@@ -871,44 +925,42 @@ impl PhysicalOperator for ProjectOp {
 
     fn init(&mut self, ctx: &mut ExecContext) {
         self.child.init(ctx);
+        self.shim.reset();
         self.actuals.loops += 1;
     }
 
-    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Tuple>, DbError> {
-        match self.child.next_ref(ctx)? {
-            Some(r) => {
-                self.actuals.rows += 1;
-                Ok(Some(project_tuple(&r, &self.columns)))
-            }
-            None => Ok(None),
+    fn next_batch(&mut self, ctx: &mut ExecContext, out: &mut TupleBatch) -> Result<bool, DbError> {
+        out.clear();
+        if !self.child.next_batch(ctx, &mut self.scratch)? {
+            return Ok(false);
         }
+        self.actuals.rows += self.scratch.len() as u64;
+        // One fresh Arc-shared block of projected tuples per batch — the
+        // only materializing stage of the batch pipeline (pushdown = 0).
+        let projected: Vec<Tuple> = self
+            .scratch
+            .iter()
+            .map(|r| project_tuple(r, &self.columns))
+            .collect();
+        for r in block_refs(&Arc::new(projected)) {
+            out.push(r);
+        }
+        Ok(true)
     }
 
-    fn next_ref(&mut self, ctx: &mut ExecContext) -> Result<Option<TupleRef>, DbError> {
-        Ok(self.next(ctx)?.map(|t| TupleRef::new(Arc::new(vec![t]), 0)))
-    }
-
-    fn next_batch(&mut self, ctx: &mut ExecContext) -> Result<Option<Vec<TupleRef>>, DbError> {
-        match self.child.next_batch(ctx)? {
-            Some(batch) => {
-                self.actuals.rows += batch.len() as u64;
-                let projected: Vec<Tuple> = batch
-                    .iter()
-                    .map(|r| project_tuple(r, &self.columns))
-                    .collect();
-                Ok(Some(block_refs(&Arc::new(projected)).collect()))
-            }
-            None => Ok(None),
-        }
+    fn cursor(&mut self) -> &mut BatchCursor {
+        &mut self.shim
     }
 
     fn rescan(&mut self, ctx: &mut ExecContext) {
         self.child.rescan(ctx);
+        self.shim.reset();
         self.actuals.loops += 1;
     }
 
     fn close(&mut self, ctx: &mut ExecContext) {
         self.child.close(ctx);
+        self.shim.reset();
     }
 
     fn collect_stats(&self, depth: usize, out: &mut Vec<OpStats>) {
@@ -918,6 +970,292 @@ impl PhysicalOperator for ProjectOp {
         stats.projection = Some(self.output_desc());
         out.push(stats);
         self.child.collect_stats(depth + 1, out);
+    }
+}
+
+/// Source stage of a [`FusedPipelineOp`]: the concrete scan/shuffle
+/// operators, *not* trait objects — every call into the source statically
+/// dispatches, so the fused inner loop makes no per-tuple virtual calls.
+/// (A `Tuple` source still holds its scan child behind one `Box<dyn>`,
+/// costing a single virtual call per *block* pull.)
+pub enum FusedSource {
+    /// `(Block)Shuffle ← Scan`, with any pushed-down predicate/projection
+    /// fused into the scan.
+    Block(BlockShuffleOp),
+    /// `TupleShuffle ← (Block)Shuffle ← Scan`.
+    Tuple(TupleShuffleOp),
+}
+
+impl FusedSource {
+    fn next_batch(&mut self, ctx: &mut ExecContext, out: &mut TupleBatch) -> Result<bool, DbError> {
+        match self {
+            FusedSource::Block(op) => op.next_batch(ctx, out),
+            FusedSource::Tuple(op) => op.next_batch(ctx, out),
+        }
+    }
+
+    fn next_block(&mut self, ctx: &mut ExecContext, out: &mut TupleBatch) -> Result<bool, DbError> {
+        match self {
+            FusedSource::Block(op) => op.next_block(ctx, out),
+            FusedSource::Tuple(op) => op.next_block(ctx, out),
+        }
+    }
+
+    fn init(&mut self, ctx: &mut ExecContext) {
+        match self {
+            FusedSource::Block(op) => op.init(ctx),
+            FusedSource::Tuple(op) => op.init(ctx),
+        }
+    }
+
+    fn rescan(&mut self, ctx: &mut ExecContext) {
+        match self {
+            FusedSource::Block(op) => op.rescan(ctx),
+            FusedSource::Tuple(op) => op.rescan(ctx),
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext) {
+        match self {
+            FusedSource::Block(op) => op.close(ctx),
+            FusedSource::Tuple(op) => op.close(ctx),
+        }
+    }
+
+    fn collect_stats(&self, depth: usize, out: &mut Vec<OpStats>) {
+        match self {
+            FusedSource::Block(op) => op.collect_stats(depth, out),
+            FusedSource::Tuple(op) => op.collect_stats(depth, out),
+        }
+    }
+}
+
+/// Post-source stage of a [`FusedPipelineOp`], chosen **once at build
+/// time** by the planner's fusion pass: the specialized inner loop runs
+/// the selected predicate/projection combination with no per-tuple
+/// dispatch and no intermediate operator hops. `None` streams source
+/// batches through untouched (zero extra copies).
+pub enum PostStage {
+    /// Pass source batches straight through.
+    None,
+    /// Post-buffer predicate (`pushdown = 0` plans).
+    Filter(Predicate),
+    /// Post-buffer projection.
+    Project(Vec<usize>),
+    /// Predicate then projection, fused into one pass.
+    FilterProject(Predicate, Vec<usize>),
+}
+
+/// A whole lowered pipeline collapsed into one operator: the planner's
+/// fusion pass rewrites `Sgd←Project?←Filter?←(Tuple|Block)Shuffle←Scan`
+/// (and the Predict equivalent) into `Sgd←FusedPipelineOp` when
+/// `WITH fuse = 1` (the default). Batches flow source→post→root with one
+/// virtual call per batch; the interpreted operator tree stays available
+/// behind `WITH fuse = 0` as the bit-identity oracle.
+pub struct FusedPipelineOp {
+    source: FusedSource,
+    post: PostStage,
+    label: String,
+    scratch: TupleBatch,
+    shim: BatchCursor,
+    batch_ctr: Counter,
+    tuple_ctr: Counter,
+    actuals: OpStats,
+}
+
+impl FusedPipelineOp {
+    /// Assemble over a built source and a specialized post stage. `label`
+    /// names the fused stages in execution order (e.g. `scan→filter→sgd`)
+    /// for EXPLAIN.
+    pub fn new(source: FusedSource, post: PostStage, label: impl Into<String>) -> Self {
+        let disabled = Telemetry::disabled();
+        FusedPipelineOp {
+            source,
+            post,
+            label: label.into(),
+            scratch: TupleBatch::new(),
+            shim: BatchCursor::default(),
+            batch_ctr: disabled.counter("db.exec.batches"),
+            tuple_ctr: disabled.counter("db.exec.fused_tuples"),
+            actuals: OpStats::default(),
+        }
+    }
+
+    /// The fused stage chain, e.g. `scan→filter→shuffle→sgd`.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn apply_post(
+        post: &PostStage,
+        scratch: &TupleBatch,
+        out: &mut TupleBatch,
+        rows_filtered: &mut u64,
+    ) {
+        match post {
+            PostStage::None => unreachable!("PostStage::None streams directly"),
+            PostStage::Filter(pred) => {
+                for r in scratch.iter() {
+                    if pred.matches(r) {
+                        out.push(r.clone());
+                    } else {
+                        *rows_filtered += 1;
+                    }
+                }
+            }
+            PostStage::Project(cols) => {
+                let projected: Vec<Tuple> =
+                    scratch.iter().map(|r| project_tuple(r, cols)).collect();
+                for r in block_refs(&Arc::new(projected)) {
+                    out.push(r);
+                }
+            }
+            PostStage::FilterProject(pred, cols) => {
+                let mut projected = Vec::new();
+                for r in scratch.iter() {
+                    if pred.matches(r) {
+                        projected.push(project_tuple(r, cols));
+                    } else {
+                        *rows_filtered += 1;
+                    }
+                }
+                if !projected.is_empty() {
+                    for r in block_refs(&Arc::new(projected)) {
+                        out.push(r);
+                    }
+                }
+            }
+        }
+    }
+
+    fn note_batch(&mut self, rows: usize) {
+        self.actuals.rows += rows as u64;
+        self.actuals.batches += 1;
+        self.batch_ctr.add(1);
+        self.tuple_ctr.add(rows as u64);
+    }
+}
+
+impl PhysicalOperator for FusedPipelineOp {
+    fn name(&self) -> &'static str {
+        "Fused Pipeline"
+    }
+
+    fn init(&mut self, ctx: &mut ExecContext) {
+        self.batch_ctr = ctx.telemetry.counter("db.exec.batches");
+        self.tuple_ctr = ctx.telemetry.counter("db.exec.fused_tuples");
+        self.source.init(ctx);
+        self.shim.reset();
+        self.actuals.loops += 1;
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecContext, out: &mut TupleBatch) -> Result<bool, DbError> {
+        out.clear();
+        if matches!(self.post, PostStage::None) {
+            // Straight-through: the source fills `out` directly, no copy.
+            if !self.source.next_batch(ctx, out)? {
+                return Ok(false);
+            }
+            self.note_batch(out.len());
+            return Ok(true);
+        }
+        loop {
+            if !self.source.next_batch(ctx, &mut self.scratch)? {
+                return Ok(false);
+            }
+            Self::apply_post(
+                &self.post,
+                &self.scratch,
+                out,
+                &mut self.actuals.rows_filtered,
+            );
+            if !out.is_empty() {
+                self.note_batch(out.len());
+                return Ok(true);
+            }
+        }
+    }
+
+    fn next_block(&mut self, ctx: &mut ExecContext, out: &mut TupleBatch) -> Result<bool, DbError> {
+        out.clear();
+        if matches!(self.post, PostStage::None) {
+            if !self.source.next_block(ctx, out)? {
+                return Ok(false);
+            }
+        } else {
+            if !self.source.next_block(ctx, &mut self.scratch)? {
+                return Ok(false);
+            }
+            Self::apply_post(
+                &self.post,
+                &self.scratch,
+                out,
+                &mut self.actuals.rows_filtered,
+            );
+        }
+        // Consumed-but-empty blocks surface as Ok(true) with empty `out`,
+        // preserving block-counting parents' fill alignment.
+        self.note_batch(out.len());
+        Ok(true)
+    }
+
+    fn cursor(&mut self) -> &mut BatchCursor {
+        &mut self.shim
+    }
+
+    fn rescan(&mut self, ctx: &mut ExecContext) {
+        self.source.rescan(ctx);
+        self.shim.reset();
+        self.actuals.loops += 1;
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext) {
+        self.source.close(ctx);
+        self.shim.reset();
+    }
+
+    fn collect_stats(&self, depth: usize, out: &mut Vec<OpStats>) {
+        // Fold the fused stages' actuals into ONE plan node: per-batch
+        // actuals from this operator, I/O and buffering actuals from the
+        // collapsed source chain.
+        let mut inner = Vec::new();
+        self.source.collect_stats(0, &mut inner);
+        let mut stats = self.actuals.clone();
+        stats.name = format!("Fused Pipeline ({})", self.label);
+        stats.depth = depth;
+        for s in &inner {
+            stats.io_seconds += s.io_seconds;
+            stats.blocks_read += s.blocks_read;
+            stats.cache_hits += s.cache_hits;
+            stats.retries += s.retries;
+            stats.skipped_blocks += s.skipped_blocks;
+            stats.fills += s.fills;
+            stats.buffered_tuples += s.buffered_tuples;
+            stats.rows_filtered += s.rows_filtered;
+            if stats.predicate.is_none() {
+                stats.predicate.clone_from(&s.predicate);
+            }
+            if stats.projection.is_none() {
+                stats.projection.clone_from(&s.projection);
+            }
+        }
+        match &self.post {
+            PostStage::Filter(p) => stats.predicate = Some(p.to_string()),
+            PostStage::Project(cols) | PostStage::FilterProject(_, cols) => {
+                if let PostStage::FilterProject(p, _) = &self.post {
+                    stats.predicate = Some(p.to_string());
+                }
+                let mut s = cols
+                    .iter()
+                    .map(|i| format!("f{i}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                s.push_str(", label");
+                stats.projection = Some(s);
+            }
+            PostStage::None => {}
+        }
+        out.push(stats);
     }
 }
 
@@ -992,6 +1330,12 @@ pub struct SgdOperator {
     compute: ComputeCostModel,
     epochs: usize,
     double_buffer: bool,
+    /// Fused-pipeline accounting: charge the per-tuple invocation overhead
+    /// once per batch ([`ComputeCostModel::seconds_batched`]) and train
+    /// through the batched kernel ([`Model::sgd_batch`]). The tuple stream
+    /// and every model update are bit-identical to the interpreted path —
+    /// only the simulated compute clock (and the real inner loop) change.
+    pub fused: bool,
     /// Extra one-off cost charged before epoch 0 (e.g. a baseline's
     /// pre-shuffle), for bookkeeping parity with the library trainer.
     pub setup_seconds: f64,
@@ -1035,6 +1379,7 @@ impl SgdOperator {
             compute,
             epochs,
             double_buffer,
+            fused: false,
             setup_seconds: 0.0,
             eval_each_epoch: None,
             checkpoint_path: None,
@@ -1081,11 +1426,12 @@ impl SgdOperator {
             // the real device or the real clock.
             let mut scratch_dev = DeviceHandle::private(SimDevice::in_memory());
             let mut scratch = ExecContext::new(&mut scratch_dev);
+            let mut replay = TupleBatch::new();
             for epoch in 0..start_epoch {
                 if epoch > 0 {
                     self.child.rescan(&mut scratch);
                 }
-                while self.child.next_batch(&mut scratch)?.is_some() {}
+                while self.child.next_batch(&mut scratch, &mut replay)? {}
             }
             self.model.params_mut().copy_from_slice(&ck.model_params);
             if !self.optimizer.load_state(&ck.optimizer_state) {
@@ -1096,7 +1442,12 @@ impl SgdOperator {
             sim_clock = ck.sim_clock;
         }
         let per_tuple_mode = self.options.batch_size <= 1 && self.optimizer.name() == "sgd";
+        let fused = self.fused;
         let mut pipeline_total = PipelineReport::default();
+        // Serial-path batch, reused (capacity-preserving) across pulls and
+        // epochs: after the first epoch warms it, the steady-state drain
+        // performs zero allocations.
+        let mut serial_batch = TupleBatch::new();
         for epoch in start_epoch..self.epochs {
             if epoch > 0 {
                 ctx.fill_io.clear();
@@ -1128,7 +1479,13 @@ impl SgdOperator {
                     );
                     loss_sum += stats.mean_loss * stats.examples as f64;
                     gradient_steps += 1;
-                    fill_compute[$fill_idx] += self.compute.seconds(flops, batch.len());
+                    // Fused pipelines pay the invocation overhead once per
+                    // mini-batch; the interpreted tree pays it per tuple.
+                    fill_compute[$fill_idx] += if fused {
+                        self.compute.seconds_batched(flops * batch.len() as f64)
+                    } else {
+                        self.compute.seconds(flops, batch.len())
+                    };
                     batch.clear();
                 }};
             }
@@ -1147,34 +1504,53 @@ impl SgdOperator {
                 let ctx = &mut *ctx;
                 let result = run_epoch_pipeline::<(Vec<TupleRef>, usize), DbError, _, _>(
                     &tel,
-                    |sender| loop {
-                        let io_before = ctx.dev.stats().io_seconds;
-                        let batch = match child.next_batch(ctx)? {
-                            Some(b) => b,
-                            None => return Ok(()),
-                        };
-                        let fill_sim = ctx.dev.stats().io_seconds - io_before;
-                        let fill_idx = ctx.fill_io.len().saturating_sub(1);
-                        if !sender.fill_and_send(|span| {
-                            span.add_sim_seconds(fill_sim);
-                            (batch, fill_idx)
-                        }) {
-                            return Ok(());
+                    |sender| {
+                        let mut fill = TupleBatch::new();
+                        loop {
+                            let io_before = ctx.dev.stats().io_seconds;
+                            if !child.next_batch(ctx, &mut fill)? {
+                                return Ok(());
+                            }
+                            let fill_sim = ctx.dev.stats().io_seconds - io_before;
+                            let fill_idx = ctx.fill_io.len().saturating_sub(1);
+                            // Cross-thread handover surrenders the backing
+                            // Vec (one allocation per fill, inherent to
+                            // moving ownership through the channel).
+                            let refs = fill.take_refs();
+                            if !sender.fill_and_send(|span| {
+                                span.add_sim_seconds(fill_sim);
+                                (refs, fill_idx)
+                            }) {
+                                return Ok(());
+                            }
                         }
                     },
                     |(batch, fill_idx)| {
                         while fill_compute.len() <= fill_idx {
                             fill_compute.push(0.0);
                         }
-                        for r in batch {
-                            tuples += 1;
-                            if per_tuple_mode {
+                        tuples += batch.len();
+                        if per_tuple_mode && fused {
+                            // Fused kernel: one virtual call per batch, the
+                            // invocation overhead amortized across it. Same
+                            // update sequence as the per-tuple loop.
+                            let mut total_flops = 0.0f64;
+                            for r in &batch {
+                                total_flops += model.flops_per_example(r.features.nnz());
+                            }
+                            model.sgd_batch(&batch, optimizer.lr(), &mut loss_sum);
+                            gradient_steps += batch.len() as u64;
+                            fill_compute[fill_idx] += self.compute.seconds_batched(total_flops);
+                        } else if per_tuple_mode {
+                            for r in &batch {
                                 let flops = model.flops_per_example(r.features.nnz());
                                 loss_sum += model.loss(&r.features, r.label);
                                 model.sgd_step(&r.features, r.label, optimizer.lr());
                                 gradient_steps += 1;
                                 fill_compute[fill_idx] += self.compute.seconds(flops, 1);
-                            } else {
+                            }
+                        } else {
+                            for r in batch {
                                 pending.push(r);
                                 if pending.len() >= self.options.batch_size {
                                     flush_minibatch!(
@@ -1205,33 +1581,53 @@ impl SgdOperator {
                     }
                 }
             } else {
-                while let Some(r) = self.child.next_ref(ctx)? {
+                // Batch-at-a-time serial drain: one virtual call per batch
+                // through the operator tree, reusing `serial_batch`'s
+                // capacity across pulls — no per-tuple `next_ref` calls.
+                while self.child.next_batch(ctx, &mut serial_batch)? {
                     let fill_now = ctx.fill_io.len().saturating_sub(1);
                     while fill_compute.len() <= fill_now {
                         fill_compute.push(0.0);
                     }
-                    tuples += 1;
-                    if per_tuple_mode {
-                        // Standard SGD: update per tuple as it is pulled
-                        // (§6.2).
-                        let flops = self.model.flops_per_example(r.features.nnz());
-                        loss_sum += self.model.loss(&r.features, r.label);
+                    tuples += serial_batch.len();
+                    if per_tuple_mode && fused {
+                        // Fused kernel: the batch runs through one
+                        // monomorphized `sgd_batch` call (same update
+                        // sequence as the per-tuple loop), and the
+                        // invocation overhead is charged once per batch.
+                        let mut total_flops = 0.0f64;
+                        for r in serial_batch.iter() {
+                            total_flops += self.model.flops_per_example(r.features.nnz());
+                        }
                         self.model
-                            .sgd_step(&r.features, r.label, self.optimizer.lr());
-                        gradient_steps += 1;
-                        fill_compute[fill_now] += self.compute.seconds(flops, 1);
+                            .sgd_batch(&serial_batch, self.optimizer.lr(), &mut loss_sum);
+                        gradient_steps += serial_batch.len() as u64;
+                        fill_compute[fill_now] += self.compute.seconds_batched(total_flops);
+                    } else if per_tuple_mode {
+                        // Standard SGD: update per tuple in batch order
+                        // (§6.2), overhead charged per tuple.
+                        for r in serial_batch.iter() {
+                            let flops = self.model.flops_per_example(r.features.nnz());
+                            loss_sum += self.model.loss(&r.features, r.label);
+                            self.model
+                                .sgd_step(&r.features, r.label, self.optimizer.lr());
+                            gradient_steps += 1;
+                            fill_compute[fill_now] += self.compute.seconds(flops, 1);
+                        }
                     } else {
                         // Mini-batch SGD: batches span buffer fills, like a
                         // DataLoader's batches span its internal buffers.
-                        pending.push(r);
-                        if pending.len() >= self.options.batch_size {
-                            flush_minibatch!(
-                                &mut pending,
-                                fill_now,
-                                true,
-                                self.model,
-                                self.optimizer
-                            );
+                        for r in serial_batch.iter() {
+                            pending.push(r.clone());
+                            if pending.len() >= self.options.batch_size {
+                                flush_minibatch!(
+                                    &mut pending,
+                                    fill_now,
+                                    true,
+                                    self.model,
+                                    self.optimizer
+                                );
+                            }
                         }
                     }
                 }
@@ -1391,6 +1787,10 @@ pub struct PredictOperator {
     model: Arc<crate::serving::ServableModel>,
     compute: ComputeCostModel,
     batch_rows: usize,
+    /// Fused-pipeline accounting: inference invocation overhead charged
+    /// once per prediction batch instead of once per tuple. Predictions
+    /// are bit-identical either way.
+    pub fused: bool,
 }
 
 impl PredictOperator {
@@ -1406,6 +1806,7 @@ impl PredictOperator {
             model,
             compute,
             batch_rows: batch_rows.max(1),
+            fused: false,
         }
     }
 
@@ -1424,6 +1825,7 @@ impl PredictOperator {
         let mut correct = 0u64;
         let (mut sum_y, mut sum_y2, mut ss_res) = (0.0f64, 0.0f64, 0.0f64);
         let mut batches = 0u64;
+        let fused = self.fused;
 
         {
             // Scoped so the closure's borrows of the accumulators end here.
@@ -1437,7 +1839,11 @@ impl PredictOperator {
                 let start = predictions.len();
                 m.predict_batch_into(&xs, &mut predictions);
                 let flops = m.inference_flops_per_example(batch[0].features.nnz());
-                compute_seconds += self.compute.seconds(flops, batch.len());
+                compute_seconds += if fused {
+                    self.compute.seconds_batched(flops * batch.len() as f64)
+                } else {
+                    self.compute.seconds(flops, batch.len())
+                };
                 for (r, pred) in batch.iter().zip(&predictions[start..]) {
                     let y = f64::from(r.label);
                     if is_classifier {
@@ -1456,9 +1862,12 @@ impl PredictOperator {
                 batch.clear();
             };
 
-            while let Some(refs) = self.child.next_block(ctx)? {
-                for r in refs {
-                    batch.push(r);
+            // Block-at-a-time drain into `batch_rows`-sized prediction
+            // batches; the fetch batch's capacity is reused across blocks.
+            let mut fetch = TupleBatch::new();
+            while self.child.next_block(ctx, &mut fetch)? {
+                for r in fetch.iter() {
+                    batch.push(r.clone());
                     if batch.len() >= self.batch_rows {
                         flush(&mut batch);
                     }
@@ -1494,6 +1903,7 @@ impl PredictOperator {
             loops: 1,
             io_seconds,
             compute_seconds,
+            batches,
             ..OpStats::default()
         }];
         self.child.collect_stats(1, &mut op_stats);
@@ -1599,6 +2009,118 @@ mod tests {
         assert!(
             descents > 150,
             "expected shuffled stream, {descents} descents"
+        );
+    }
+
+    fn id_pred(op: crate::sql::CmpOp, value: f64) -> Predicate {
+        Predicate::Cmp {
+            col: crate::sql::ColumnRef::Id,
+            op,
+            value,
+        }
+    }
+
+    #[test]
+    fn fused_pipeline_skips_fully_filtered_batches() {
+        // ClusteredByLabel puts each class in contiguous blocks, so a
+        // label predicate annihilates entire source blocks: the fused
+        // loop must skip them without ever emitting an empty batch.
+        let t = table(1000);
+        let survivors = t.all_tuples().iter().filter(|tp| tp.label == 1.0).count();
+        assert!(survivors > 0 && survivors < 1000);
+        let scan = BlockShuffleOp::new(t, ScanMode::RandomBlocks, 11);
+        let mut op = FusedPipelineOp::new(
+            FusedSource::Block(scan),
+            PostStage::Filter(Predicate::Cmp {
+                col: crate::sql::ColumnRef::Label,
+                op: crate::sql::CmpOp::Eq,
+                value: 1.0,
+            }),
+            "scan→filter→sgd",
+        );
+        let mut dev = DeviceHandle::private(SimDevice::in_memory());
+        let mut ctx = ExecContext::new(&mut dev);
+        op.init(&mut ctx);
+        let mut out = TupleBatch::new();
+        let mut rows = 0usize;
+        while op.next_batch(&mut ctx, &mut out).unwrap() {
+            assert!(!out.is_empty(), "next_batch must never yield empty");
+            assert!(out.iter().all(|r| r.label == 1.0));
+            rows += out.len();
+        }
+        assert_eq!(rows, survivors);
+        let mut stats = Vec::new();
+        op.collect_stats(1, &mut stats);
+        assert_eq!(stats.len(), 1, "fused chain folds into one node");
+        assert_eq!(stats[0].rows_filtered as usize, 1000 - survivors);
+    }
+
+    #[test]
+    fn fused_pipeline_empty_result_and_partial_last_block() {
+        // A predicate nothing matches ends the stream cleanly...
+        let t = table(500);
+        let scan = BlockShuffleOp::new(t.clone(), ScanMode::Sequential, 1)
+            .with_predicate(id_pred(crate::sql::CmpOp::Lt, 0.0));
+        let mut op = FusedPipelineOp::new(FusedSource::Block(scan), PostStage::None, "scan→sgd");
+        let mut dev = DeviceHandle::private(SimDevice::in_memory());
+        let mut ctx = ExecContext::new(&mut dev);
+        op.init(&mut ctx);
+        let mut out = TupleBatch::new();
+        assert!(!op.next_batch(&mut ctx, &mut out).unwrap());
+        assert!(out.is_empty());
+        op.close(&mut ctx);
+
+        // ...and a table whose last block is partial is covered exactly,
+        // across rescans (the batch reuse must not leak stale tuples).
+        let scan = BlockShuffleOp::new(t, ScanMode::RandomBlocks, 3);
+        let mut op = FusedPipelineOp::new(FusedSource::Block(scan), PostStage::None, "scan→sgd");
+        op.init(&mut ctx);
+        for _pass in 0..2 {
+            let mut ids = Vec::new();
+            while op.next_batch(&mut ctx, &mut out).unwrap() {
+                ids.extend(out.iter().map(|r| r.id));
+            }
+            ids.sort_unstable();
+            assert_eq!(ids, (0..500).collect::<Vec<_>>());
+            op.rescan(&mut ctx);
+        }
+    }
+
+    #[test]
+    fn warm_rescans_do_not_grow_batch_allocations() {
+        // Epoch 1 warms every TupleBatch to its high-water capacity; a
+        // steady-state epoch must then run without a single batch
+        // reallocation (the zero-alloc contract of the batch executor).
+        let t = table(1200);
+        let scan = BlockShuffleOp::new(t, ScanMode::RandomBlocks, 7);
+        let mut op = FusedPipelineOp::new(
+            FusedSource::Tuple(TupleShuffleOp::new(
+                Box::new(scan),
+                2,
+                StrategyParams::default(),
+            )),
+            PostStage::Filter(id_pred(crate::sql::CmpOp::Ge, 100.0)),
+            "scan→shuffle→filter→sgd",
+        );
+        let mut dev = DeviceHandle::private(SimDevice::in_memory());
+        let mut ctx = ExecContext::new(&mut dev);
+        op.init(&mut ctx);
+        let mut out = TupleBatch::new();
+        let mut rows0 = 0usize;
+        while op.next_batch(&mut ctx, &mut out).unwrap() {
+            rows0 += out.len();
+        }
+        op.rescan(&mut ctx);
+        let grows_before = corgipile_storage::batch_grow_count();
+        let mut rows1 = 0usize;
+        while op.next_batch(&mut ctx, &mut out).unwrap() {
+            rows1 += out.len();
+        }
+        assert_eq!(rows0, rows1);
+        assert_eq!(
+            corgipile_storage::batch_grow_count() - grows_before,
+            0,
+            "warm epoch must not reallocate any TupleBatch"
         );
     }
 

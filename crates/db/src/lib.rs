@@ -48,13 +48,14 @@ pub use corgipile_storage::{Telemetry, TelemetrySnapshot};
 pub use database::Database;
 pub use error::DbError;
 pub use exec::{
-    BlockShuffleOp, CheckpointSink, DbEpochRecord, ExecContext, FaultAction, FilterOp, OpStats,
-    PhysicalOperator, PredictOperator, PredictRunResult, ProjectOp, ScanMode, SgdOperator,
-    SgdRunResult, TupleShuffleOp,
+    BatchCursor, BlockShuffleOp, CheckpointSink, DbEpochRecord, ExecContext, FaultAction, FilterOp,
+    FusedPipelineOp, FusedSource, OpStats, PhysicalOperator, PostStage, PredictOperator,
+    PredictRunResult, ProjectOp, ScanMode, SgdOperator, SgdRunResult, TupleShuffleOp,
 };
 pub use model_store::{ModelRecord, ModelStore, ModelStoreOptions, ModelStoreStats};
 pub use plan::{
-    build_physical, LogicalPlan, PhysicalPlan, PredictPlanSpec, ScanOrder, TrainPlanSpec,
+    build_physical, build_physical_with, BuildOptions, LogicalPlan, PhysicalPlan, PredictPlanSpec,
+    ScanOrder, TrainPlanSpec,
 };
 pub use serving::{CacheStats, ModelCache, ServableModel};
 pub use session::{DbTrainSummary, PredictSummary, QueryResult, ServeOptions, Session};

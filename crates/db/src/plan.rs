@@ -24,11 +24,25 @@
 //! model, bit for bit — is identical whether a tuple is dropped before
 //! the buffer or after it. [`Session::train`](crate::Session) exposes the
 //! un-rewritten plan under `WITH pushdown = 0` for exactly that A/B.
+//!
+//! After (optional) pushdown, lowering runs a *pipeline-fusion* pass:
+//! [`build_physical_with`] recognizes the full
+//! `Sgd|Predict ← Project? ← Filter? ← TupleShuffle? ← Scan` chain and
+//! collapses it into a single [`FusedPipelineOp`] whose inner loop moves
+//! whole [`TupleBatch`](corgipile_storage::TupleBatch)es with the
+//! predicate, projection, and source shape specialized once at build
+//! time — no per-tuple virtual calls. Fusion never changes semantics:
+//! the interpreted operator tree stays available under `WITH fuse = 0`
+//! as the bit-identity oracle, and both paths replay the same tuple
+//! sequence. Only the *compute accounting* differs (the fused path
+//! charges its per-tuple dispatch overhead once per batch), which is the
+//! vectorization speedup the `vectorize` experiment measures.
 
 use crate::catalog::Catalog;
 use crate::error::DbError;
 use crate::exec::{
-    BlockShuffleOp, FilterOp, PhysicalOperator, ProjectOp, ScanMode, TupleShuffleOp,
+    BlockShuffleOp, FilterOp, FusedPipelineOp, FusedSource, PhysicalOperator, PostStage, ProjectOp,
+    ScanMode, TupleShuffleOp,
 };
 use crate::sql::{ColumnRef, Predicate, Projection, StrategyKind};
 use corgipile_data::rng::shuffle_in_place;
@@ -318,6 +332,77 @@ impl LogicalPlan {
         }
     }
 
+    /// Render the plan as the vectorized executor will run it: the root
+    /// kernel, then one `Fused Pipeline (…)` node standing in for the
+    /// whole collapsed chain, annotated with the scan order, buffer, and
+    /// any predicate/projection. Falls back to [`Self::explain_lines`]
+    /// when the shape is not fusable (the current planner always is).
+    pub fn explain_lines_fused(&self) -> Vec<String> {
+        let Some(chain) = fuse_chain(self) else {
+            return self.explain_lines();
+        };
+        let mut lines = Vec::new();
+        match self {
+            LogicalPlan::Sgd { model, epochs, .. } => lines.push(format!(
+                "SGD (model={model}, epochs={epochs}, re-scan per epoch)"
+            )),
+            LogicalPlan::Predict {
+                model,
+                version,
+                batch_rows,
+                ..
+            } => {
+                let pin = match version {
+                    Some(v) => format!("version={v}"),
+                    None => "version=active".to_string(),
+                };
+                lines.push(format!(
+                    "Predict (model={model}, {pin}, batch_rows={batch_rows})"
+                ));
+            }
+            _ => unreachable!("fuse_chain roots are Sgd/Predict"),
+        }
+        lines.push(format!("  -> Fused Pipeline ({})", chain.label()));
+        let pad = "       ";
+        let LogicalPlan::Scan {
+            table,
+            order,
+            blocks,
+            tuples,
+            predicate,
+            projection,
+        } = chain.scan
+        else {
+            unreachable!("fuse_chain scan is Scan")
+        };
+        let desc = match order {
+            ScanOrder::Sequential => format!("sequential over {blocks} blocks"),
+            ScanOrder::RandomBlocks => format!("random order over {blocks} blocks"),
+            ScanOrder::SequentialShuffledCopy => {
+                format!("sequential over {blocks} blocks of the shuffled copy")
+            }
+        };
+        lines.push(format!("{pad}Scan: {desc}"));
+        if let Some(bb) = chain.shuffle_blocks {
+            lines.push(format!(
+                "{pad}Buffer: {bb} source blocks (double-buffered tuple shuffle)"
+            ));
+        }
+        if let Some(cols) = projection.as_ref().or(chain.post_project) {
+            lines.push(format!("{pad}Output: {}", feature_list(cols)));
+        }
+        if let Some(p) = predicate.as_ref().or(chain.post_filter) {
+            lines.push(format!("{pad}Filter: ({p})"));
+        }
+        if *order == ScanOrder::SequentialShuffledCopy {
+            lines.push(format!(
+                "{pad}(setup: offline full shuffle, ORDER BY RANDOM(), 2x storage)"
+            ));
+        }
+        lines.push(format!("  Scan target: {table} ({tuples} tuples)"));
+        lines
+    }
+
     /// Render the plan, PostgreSQL `EXPLAIN`-style (root first). The
     /// scan's fused predicate/projection appear as `Filter:` / `Output:`
     /// sub-lines on the scan node itself.
@@ -419,6 +504,99 @@ impl LogicalPlan {
     }
 }
 
+/// The decomposed fusable chain `Sgd|Predict ← Project? ← Filter? ←
+/// TupleShuffle? ← Scan`, borrowed from a lowered logical plan. Produced
+/// by [`fuse_chain`]; consumed by the fusion pass in
+/// [`build_physical_with`] and by fused `EXPLAIN` rendering.
+struct FuseChain<'a> {
+    /// `"sgd"` or `"predict"` — the root kernel, last stage of the label.
+    kernel: &'static str,
+    /// Post-buffer predicate (`pushdown = 0` plans only).
+    post_filter: Option<&'a Predicate>,
+    /// Post-buffer projection (`pushdown = 0` plans only).
+    post_project: Option<&'a Vec<usize>>,
+    /// Tuple-shuffle buffer capacity in source blocks, if the strategy
+    /// buffers at all.
+    shuffle_blocks: Option<usize>,
+    /// The `LogicalPlan::Scan` leaf.
+    scan: &'a LogicalPlan,
+}
+
+impl FuseChain<'_> {
+    /// Stage list in execution order, e.g. `scan→filter→sgd` for a
+    /// pushed-down block-only TRAIN or `scan→shuffle→filter→predict`
+    /// for an unpushed filtered PREDICT over a buffered strategy.
+    fn label(&self) -> String {
+        let LogicalPlan::Scan {
+            predicate,
+            projection,
+            ..
+        } = self.scan
+        else {
+            unreachable!("fuse_chain scan is Scan")
+        };
+        let mut stages = vec!["scan"];
+        if predicate.is_some() {
+            stages.push("filter");
+        }
+        if projection.is_some() {
+            stages.push("project");
+        }
+        if self.shuffle_blocks.is_some() {
+            stages.push("shuffle");
+        }
+        if self.post_filter.is_some() {
+            stages.push("filter");
+        }
+        if self.post_project.is_some() {
+            stages.push("project");
+        }
+        stages.push(self.kernel);
+        stages.join("→")
+    }
+}
+
+/// Decompose a lowered plan into the fusable chain, or `None` for shapes
+/// the fusion pass doesn't cover. The current planner only ever emits
+/// fusable shapes (with or without pushdown), so the `None` arm is a
+/// totality guard for future plan nodes, not a live path.
+fn fuse_chain(plan: &LogicalPlan) -> Option<FuseChain<'_>> {
+    let (kernel, mut node) = match plan {
+        LogicalPlan::Sgd { input, .. } => ("sgd", input.as_ref()),
+        LogicalPlan::Predict { input, .. } => ("predict", input.as_ref()),
+        _ => return None,
+    };
+    let mut post_project = None;
+    if let LogicalPlan::Project { columns, input } = node {
+        post_project = Some(columns);
+        node = input.as_ref();
+    }
+    let mut post_filter = None;
+    if let LogicalPlan::Filter { predicate, input } = node {
+        post_filter = Some(predicate);
+        node = input.as_ref();
+    }
+    let mut shuffle_blocks = None;
+    if let LogicalPlan::TupleShuffle {
+        buffer_blocks,
+        input,
+    } = node
+    {
+        shuffle_blocks = Some(*buffer_blocks);
+        node = input.as_ref();
+    }
+    match node {
+        scan @ LogicalPlan::Scan { .. } => Some(FuseChain {
+            kernel,
+            post_filter,
+            post_project,
+            shuffle_blocks,
+            scan,
+        }),
+        _ => None,
+    }
+}
+
 /// `"f0, f3, label"`-style rendering of a projected feature list.
 pub(crate) fn feature_list(columns: &[usize]) -> String {
     let mut s = String::new();
@@ -494,11 +672,26 @@ pub struct PhysicalPlan {
     pub child: Box<dyn PhysicalOperator>,
     /// Simulated seconds spent on one-off setup (offline shuffle).
     pub setup_seconds: f64,
+    /// Whether lowering collapsed the chain into a [`FusedPipelineOp`]
+    /// (the root operator should then run in batched-accounting mode).
+    pub fused: bool,
 }
 
-/// Lower a logical plan to physical operators. This is the only place in
-/// the engine that constructs scan/shuffle/filter/project operators for
-/// queries — `Session::train` and `EXPLAIN ANALYZE` both route here.
+/// Lowering knobs threaded from `WITH` parameters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BuildOptions {
+    /// Collapse the fusable chain into a single [`FusedPipelineOp`]
+    /// (`WITH fuse = 1`, the session default). Off, lowering emits the
+    /// interpreted operator tree — the bit-identity oracle.
+    pub fuse: bool,
+    /// Route sequential scans through the shared buffer pool when the
+    /// context carries one (`WITH shared_scan = 1`, serving only).
+    pub shared_scan: bool,
+}
+
+/// Lower a logical plan to the interpreted operator tree (no fusion, no
+/// shared scan). Kept as the plain entry point for operator-level tests
+/// and oracles; `Session` routes through [`build_physical_with`].
 pub fn build_physical(
     plan: &LogicalPlan,
     table: &Arc<Table>,
@@ -508,7 +701,74 @@ pub fn build_physical(
     dev: &mut DeviceHandle,
     catalog: &Catalog,
 ) -> Result<PhysicalPlan, DbError> {
+    build_physical_with(
+        plan,
+        table,
+        table_name,
+        params,
+        seed,
+        dev,
+        catalog,
+        BuildOptions::default(),
+    )
+}
+
+/// Lower a logical plan to physical operators. This is the only place in
+/// the engine that constructs scan/shuffle/filter/project operators for
+/// queries — `Session::train`, `Session::predict_batch`, and
+/// `EXPLAIN ANALYZE` all route here.
+///
+/// With `opts.fuse` set, the pass recognizes the full
+/// `Sgd|Predict ← Project? ← Filter? ← TupleShuffle? ← Scan` chain and
+/// emits one [`FusedPipelineOp`]: the scan (with any pushed-down
+/// predicate/projection) and the optional tuple shuffle become a
+/// statically-dispatched [`FusedSource`], and any post-buffer
+/// filter/project becomes a [`PostStage`] chosen once here rather than
+/// re-decided per tuple.
+#[allow(clippy::too_many_arguments)]
+pub fn build_physical_with(
+    plan: &LogicalPlan,
+    table: &Arc<Table>,
+    table_name: &str,
+    params: &StrategyParams,
+    seed: u64,
+    dev: &mut DeviceHandle,
+    catalog: &Catalog,
+    opts: BuildOptions,
+) -> Result<PhysicalPlan, DbError> {
     let mut setup_seconds = 0.0;
+    if opts.fuse {
+        if let Some(chain) = fuse_chain(plan) {
+            let label = chain.label();
+            let scan_op = build_scan_op(
+                chain.scan,
+                table,
+                table_name,
+                seed,
+                dev,
+                catalog,
+                opts.shared_scan,
+                &mut setup_seconds,
+            )?;
+            let source = match chain.shuffle_blocks {
+                Some(bb) => {
+                    FusedSource::Tuple(TupleShuffleOp::new(Box::new(scan_op), bb, params.clone()))
+                }
+                None => FusedSource::Block(scan_op),
+            };
+            let post = match (chain.post_filter, chain.post_project) {
+                (None, None) => PostStage::None,
+                (Some(p), None) => PostStage::Filter(p.clone()),
+                (None, Some(c)) => PostStage::Project(c.clone()),
+                (Some(p), Some(c)) => PostStage::FilterProject(p.clone(), c.clone()),
+            };
+            return Ok(PhysicalPlan {
+                child: Box::new(FusedPipelineOp::new(source, post, label)),
+                setup_seconds,
+                fused: true,
+            });
+        }
+    }
     let child = build_node(
         plan,
         table,
@@ -517,11 +777,13 @@ pub fn build_physical(
         seed,
         dev,
         catalog,
+        opts,
         &mut setup_seconds,
     )?;
     Ok(PhysicalPlan {
         child,
         setup_seconds,
+        fused: false,
     })
 }
 
@@ -534,6 +796,7 @@ fn build_node(
     seed: u64,
     dev: &mut DeviceHandle,
     catalog: &Catalog,
+    opts: BuildOptions,
     setup_seconds: &mut f64,
 ) -> Result<Box<dyn PhysicalOperator>, DbError> {
     match node {
@@ -545,6 +808,7 @@ fn build_node(
             seed,
             dev,
             catalog,
+            opts,
             setup_seconds,
         ),
         LogicalPlan::Project { columns, input } => {
@@ -556,6 +820,7 @@ fn build_node(
                 seed,
                 dev,
                 catalog,
+                opts,
                 setup_seconds,
             )?;
             Ok(Box::new(ProjectOp::new(child, columns.clone())))
@@ -569,6 +834,7 @@ fn build_node(
                 seed,
                 dev,
                 catalog,
+                opts,
                 setup_seconds,
             )?;
             Ok(Box::new(FilterOp::new(child, predicate.clone())))
@@ -585,6 +851,7 @@ fn build_node(
                 seed,
                 dev,
                 catalog,
+                opts,
                 setup_seconds,
             )?;
             Ok(Box::new(TupleShuffleOp::new(
@@ -593,38 +860,69 @@ fn build_node(
                 params.clone(),
             )))
         }
-        LogicalPlan::Scan {
-            order,
-            predicate,
-            projection,
-            ..
-        } => {
-            let (src, mode) = match order {
-                ScanOrder::Sequential => (table.clone(), ScanMode::Sequential),
-                ScanOrder::RandomBlocks => (table.clone(), ScanMode::RandomBlocks),
-                ScanOrder::SequentialShuffledCopy => {
-                    // Offline shuffle first (ORDER BY RANDOM(); 2× storage).
-                    let io_before = dev.stats().io_seconds;
-                    let mut order: Vec<u64> = (0..table.num_tuples()).collect();
-                    shuffle_in_place(&mut StdRng::seed_from_u64(seed), &mut order);
-                    let copy_name = format!("{table_name}_shuffled");
-                    let copy_id = catalog.fresh_table_id();
-                    let copy =
-                        dev.with(|d| table.materialize_reordered(&order, copy_name, copy_id, d))?;
-                    *setup_seconds += dev.stats().io_seconds - io_before;
-                    (Arc::new(copy), ScanMode::Sequential)
-                }
-            };
-            let mut op = BlockShuffleOp::new(src, mode, seed);
-            if let Some(p) = predicate {
-                op = op.with_predicate(p.clone());
-            }
-            if let Some(cols) = projection {
-                op = op.with_projection(cols.clone());
-            }
+        scan @ LogicalPlan::Scan { .. } => {
+            let op = build_scan_op(
+                scan,
+                table,
+                table_name,
+                seed,
+                dev,
+                catalog,
+                opts.shared_scan,
+                setup_seconds,
+            )?;
             Ok(Box::new(op))
         }
     }
+}
+
+/// Build the leaf [`BlockShuffleOp`] for a `LogicalPlan::Scan` node —
+/// shared by the interpreted lowering (which boxes it) and the fusion
+/// pass (which embeds it unboxed in a [`FusedSource`], so the fused
+/// inner loop reaches it by static dispatch).
+#[allow(clippy::too_many_arguments)]
+fn build_scan_op(
+    scan: &LogicalPlan,
+    table: &Arc<Table>,
+    table_name: &str,
+    seed: u64,
+    dev: &mut DeviceHandle,
+    catalog: &Catalog,
+    shared_scan: bool,
+    setup_seconds: &mut f64,
+) -> Result<BlockShuffleOp, DbError> {
+    let LogicalPlan::Scan {
+        order,
+        predicate,
+        projection,
+        ..
+    } = scan
+    else {
+        unreachable!("build_scan_op takes a Scan node")
+    };
+    let (src, mode) = match order {
+        ScanOrder::Sequential => (table.clone(), ScanMode::Sequential),
+        ScanOrder::RandomBlocks => (table.clone(), ScanMode::RandomBlocks),
+        ScanOrder::SequentialShuffledCopy => {
+            // Offline shuffle first (ORDER BY RANDOM(); 2× storage).
+            let io_before = dev.stats().io_seconds;
+            let mut order: Vec<u64> = (0..table.num_tuples()).collect();
+            shuffle_in_place(&mut StdRng::seed_from_u64(seed), &mut order);
+            let copy_name = format!("{table_name}_shuffled");
+            let copy_id = catalog.fresh_table_id();
+            let copy = dev.with(|d| table.materialize_reordered(&order, copy_name, copy_id, d))?;
+            *setup_seconds += dev.stats().io_seconds - io_before;
+            (Arc::new(copy), ScanMode::Sequential)
+        }
+    };
+    let mut op = BlockShuffleOp::new(src, mode, seed).with_shared_scan(shared_scan);
+    if let Some(p) = predicate {
+        op = op.with_predicate(p.clone());
+    }
+    if let Some(cols) = projection {
+        op = op.with_projection(cols.clone());
+    }
+    Ok(op)
 }
 
 #[cfg(test)]
@@ -795,6 +1093,103 @@ mod tests {
             LogicalPlan::build_predict(&bad, &table()),
             Err(DbError::UnknownColumn(_))
         ));
+    }
+
+    #[test]
+    fn fuse_chain_labels_follow_execution_order() {
+        let t = table();
+        // Pushed-down CorgiPile TRAIN with filter + projection.
+        let mut s = spec(StrategyKind::CorgiPile);
+        s.filter = Some(pred());
+        s.projection = Projection::Columns(vec![ColumnRef::Feature(1)]);
+        let plan = LogicalPlan::build(&s, &t).unwrap().push_down();
+        assert_eq!(
+            fuse_chain(&plan).unwrap().label(),
+            "scan→filter→project→shuffle→sgd"
+        );
+        // Same query without pushdown: filter/project stay post-buffer.
+        let plan = LogicalPlan::build(&s, &t).unwrap();
+        assert_eq!(
+            fuse_chain(&plan).unwrap().label(),
+            "scan→shuffle→filter→project→sgd"
+        );
+        // Block-only (no tuple shuffle) with a pushed filter: the exact
+        // chain the issue's acceptance criterion names.
+        let mut s = spec(StrategyKind::BlockOnly);
+        s.filter = Some(pred());
+        let plan = LogicalPlan::build(&s, &t).unwrap().push_down();
+        assert_eq!(fuse_chain(&plan).unwrap().label(), "scan→filter→sgd");
+        // Serving chain.
+        let ps = PredictPlanSpec {
+            table: "t".into(),
+            model: "m".into(),
+            version: None,
+            filter: Some(pred()),
+            batch_rows: 64,
+        };
+        let plan = LogicalPlan::build_predict(&ps, &t).unwrap().push_down();
+        assert_eq!(fuse_chain(&plan).unwrap().label(), "scan→filter→predict");
+    }
+
+    #[test]
+    fn fused_explain_renders_one_pipeline_node() {
+        let mut s = spec(StrategyKind::BlockOnly);
+        s.filter = Some(pred());
+        let lines = LogicalPlan::build(&s, &table())
+            .unwrap()
+            .push_down()
+            .explain_lines_fused();
+        assert!(lines[0].starts_with("SGD (model=svm"), "{lines:?}");
+        assert_eq!(lines[1], "  -> Fused Pipeline (scan→filter→sgd)");
+        assert!(
+            lines.iter().any(|l| l.trim() == "Filter: (f0 > 0)"),
+            "{lines:?}"
+        );
+        assert!(
+            lines.last().unwrap().starts_with("  Scan target: t ("),
+            "{lines:?}"
+        );
+        // No interpreted operator nodes survive fusion.
+        assert!(!lines.iter().any(|l| l.contains("-> BlockShuffle")));
+        assert!(!lines.iter().any(|l| l.contains("-> Filter")));
+    }
+
+    #[test]
+    fn fused_lowering_builds_one_pipeline_operator() {
+        use corgipile_storage::{CacheConfig, DeviceProfile, SimDevice};
+        let t = Arc::new(table());
+        let catalog = Catalog::new();
+        let shared = corgipile_storage::SharedDevice::new(SimDevice::new(
+            DeviceProfile::ssd(),
+            CacheConfig::disabled(),
+        ));
+        let mut dev = shared.handle();
+        let mut s = spec(StrategyKind::CorgiPile);
+        s.filter = Some(pred());
+        let plan = LogicalPlan::build(&s, &t).unwrap().push_down();
+        let params = StrategyParams {
+            seed: 1,
+            ..Default::default()
+        };
+        let fused = build_physical_with(
+            &plan,
+            &t,
+            "t",
+            &params,
+            1,
+            &mut dev,
+            &catalog,
+            BuildOptions {
+                fuse: true,
+                shared_scan: false,
+            },
+        )
+        .unwrap();
+        assert!(fused.fused);
+        assert_eq!(fused.child.name(), "Fused Pipeline");
+        let interp = build_physical(&plan, &t, "t", &params, 1, &mut dev, &catalog).unwrap();
+        assert!(!interp.fused);
+        assert_eq!(interp.child.name(), "TupleShuffle");
     }
 
     #[test]

@@ -167,4 +167,72 @@ proptest! {
         prop_assert_eq!(pushed_params, post_params);
         prop_assert_eq!(pushed_rows, post_rows);
     }
+
+    /// The fused pipeline is an exact oracle match of the interpreted
+    /// operator tree: for any seed, selectivity, strategy, and pushdown
+    /// setting, `fuse = 1` and `fuse = 0` train bit-identical models, drop
+    /// the same number of rows, report bit-identical training loss and
+    /// final metric — while the fused run's simulated compute never
+    /// exceeds the interpreted run's (batched overhead accounting).
+    #[test]
+    fn prop_fused_is_bit_identical_to_interpreted(
+        n in 100u64..400,
+        seed in 0u64..1_000_000,
+        cutoff in 0.05f64..0.95,
+        strat_idx in 0usize..5,
+        pushdown in any::<bool>(),
+        filtered in any::<bool>(),
+    ) {
+        let strategies = ["corgipile", "block_only", "no", "once", "tuple_only"];
+        let strategy = strategies[strat_idx];
+        let thr = (n as f64 * cutoff).round();
+        let wher = if filtered {
+            format!("WHERE f0 < {thr} OR label = 1 ")
+        } else {
+            String::new()
+        };
+        let run = |fuse: usize| {
+            let db = Database::new(SimDevice::in_memory());
+            db.register_table("t", (*table(n, 4, 1)).clone());
+            let mut s = db.connect();
+            let r = s
+                .execute(&format!(
+                    "SELECT * FROM t {wher}TRAIN BY svm WITH \
+                     max_epoch_num = 2, seed = {seed}, buffer_fraction = 0.5, \
+                     strategy = '{strategy}', pushdown = {}, fuse = {fuse}, \
+                     report_metrics = 1, model_name = m",
+                    pushdown as usize,
+                ))
+                .unwrap();
+            let summary = match r {
+                QueryResult::Train(t) => t,
+                _ => unreachable!("TRAIN returns a train summary"),
+            };
+            let params = s.catalog().model("m").unwrap().params.clone();
+            let filtered: u64 = summary.op_stats.iter().map(|o| o.rows_filtered).sum();
+            let losses: Vec<u64> = summary
+                .epochs
+                .iter()
+                .map(|e| e.train_loss.to_bits())
+                .collect();
+            let compute: f64 = summary
+                .epochs
+                .iter()
+                .map(|e| e.compute_seconds)
+                .sum();
+            (params, filtered, losses, summary.final_train_metric.to_bits(), compute)
+        };
+        let (f_params, f_filtered, f_losses, f_metric, f_compute) = run(1);
+        let (i_params, i_filtered, i_losses, i_metric, i_compute) = run(0);
+        prop_assert_eq!(f_params, i_params);
+        prop_assert_eq!(f_filtered, i_filtered);
+        prop_assert_eq!(f_losses, i_losses);
+        prop_assert_eq!(f_metric, i_metric);
+        prop_assert!(
+            f_compute <= i_compute,
+            "fused compute {} must not exceed interpreted {}",
+            f_compute,
+            i_compute
+        );
+    }
 }

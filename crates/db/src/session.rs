@@ -28,7 +28,7 @@ use crate::error::DbError;
 use crate::exec::{
     project_tuple, DbEpochRecord, ExecContext, FaultAction, OpStats, PredictOperator, SgdOperator,
 };
-use crate::plan::{build_physical, LogicalPlan, PredictPlanSpec, TrainPlanSpec};
+use crate::plan::{build_physical_with, BuildOptions, LogicalPlan, PredictPlanSpec, TrainPlanSpec};
 use crate::serving::ServableModel;
 use crate::sql::{parse, ParamValue, Predicate, Projection, Query, ShowTarget, StrategyKind};
 use corgipile_ml::{accuracy, build_model, ModelKind, OptimizerKind, TrainOptions};
@@ -97,15 +97,26 @@ pub struct ServeOptions {
     pub filter: Option<Predicate>,
     /// Tuples per prediction batch.
     pub batch_rows: usize,
+    /// Lower through the pipeline-fusion pass (`WITH fuse = 1`, the
+    /// default). Off, the interpreted operator tree runs — the serving
+    /// bit-identity oracle.
+    pub fuse: bool,
+    /// Route the sequential scan through the engine's shared buffer pool
+    /// (`WITH shared_scan = 1`), so repeated PREDICT scans of the same
+    /// table hit warm buffers instead of the device.
+    pub shared_scan: bool,
 }
 
 impl Default for ServeOptions {
-    /// Active version, no predicate, 256-tuple batches.
+    /// Active version, no predicate, 256-tuple batches, fused lowering,
+    /// private (unshared) scans.
     fn default() -> Self {
         ServeOptions {
             version: None,
             filter: None,
             batch_rows: 256,
+            fuse: true,
+            shared_scan: false,
         }
     }
 }
@@ -133,6 +144,10 @@ pub struct PredictSummary {
     /// True when the pin was served straight from the model cache (no
     /// store/catalog fallback instantiation).
     pub cache_hit: bool,
+    /// Buffer-cache hit rate of the scan (hits / block reads, 0.0 when
+    /// nothing was read). Rises above zero on repeat scans under
+    /// `WITH shared_scan = 1`, when the shared pool serves warm blocks.
+    pub scan_cache_hit_rate: f64,
     /// Simulated scan I/O seconds.
     pub io_seconds: f64,
     /// Simulated inference compute seconds.
@@ -319,6 +334,18 @@ impl Session {
                             opts.batch_rows = v.as_usize().filter(|n| *n > 0).ok_or_else(|| {
                                 DbError::BadParam("batch_rows must be a positive integer".into())
                             })?;
+                        }
+                        "fuse" => {
+                            opts.fuse =
+                                v.as_usize().filter(|n| *n <= 1).ok_or_else(|| {
+                                    DbError::BadParam("fuse must be 0 or 1".into())
+                                })? != 0;
+                        }
+                        "shared_scan" => {
+                            opts.shared_scan =
+                                v.as_usize().filter(|n| *n <= 1).ok_or_else(|| {
+                                    DbError::BadParam("shared_scan must be 0 or 1".into())
+                                })? != 0;
                         }
                         other => {
                             return Err(DbError::BadParam(format!("unknown parameter {other}")))
@@ -532,12 +559,13 @@ impl Session {
                     .collect();
                 lines.push(format!(
                     "Serving: model={} v{} rows={} batches={} cache={} \
-                     io={:.6}s compute={:.6}s",
+                     scan_hit_rate={:.1}% io={:.6}s compute={:.6}s",
                     summary.model_name,
                     summary.version,
                     summary.rows,
                     summary.batches,
                     if summary.cache_hit { "hit" } else { "miss" },
+                    100.0 * summary.scan_cache_hit_rate,
                     summary.io_seconds,
                     summary.compute_seconds,
                 ));
@@ -592,11 +620,16 @@ impl Session {
                     filter,
                     buffer_blocks: sparams.buffer_blocks(&t),
                 };
+                let fuse = params.get("fuse").and_then(|v| v.as_usize()).unwrap_or(1) != 0;
                 let mut plan = LogicalPlan::build(&spec, &t)?;
                 if pushdown {
                     plan = plan.push_down();
                 }
-                Ok(QueryResult::Plan(plan.explain_lines()))
+                Ok(QueryResult::Plan(if fuse {
+                    plan.explain_lines_fused()
+                } else {
+                    plan.explain_lines()
+                }))
             }
             Query::Predict { table, model } => {
                 let t = self.catalog().table(&table)?;
@@ -628,8 +661,13 @@ impl Session {
                     filter,
                     batch_rows,
                 };
+                let fuse = params.get("fuse").and_then(|v| v.as_usize()).unwrap_or(1) != 0;
                 let plan = LogicalPlan::build_predict(&spec, &t)?.push_down();
-                Ok(QueryResult::Plan(plan.explain_lines()))
+                Ok(QueryResult::Plan(if fuse {
+                    plan.explain_lines_fused()
+                } else {
+                    plan.explain_lines()
+                }))
             }
             other => self.run(other),
         }
@@ -664,7 +702,8 @@ impl Session {
             }
         };
         for key in params.keys() {
-            const KNOWN: [&str; 19] = [
+            const KNOWN: [&str; 20] = [
+                "fuse",
                 "l2",
                 "shared_buffers",
                 "report_metrics",
@@ -744,6 +783,11 @@ impl Session {
             _ => return Err(DbError::BadParam("durable must be 0 or 1".into())),
         };
         let pushdown = get_usize("pushdown", 1)? != 0;
+        let fuse = match get_usize("fuse", 1)? {
+            0 => false,
+            1 => true,
+            _ => return Err(DbError::BadParam("fuse must be 0 or 1".into())),
+        };
         if let Some(bs) = params.get("block_size") {
             let bytes = bs
                 .as_usize()
@@ -788,7 +832,7 @@ impl Session {
 
         // --- Physical plan (single construction site: plan.rs) ----------
         let catalog = self.db.catalog();
-        let physical = build_physical(
+        let physical = build_physical_with(
             &plan,
             &table,
             table_name,
@@ -796,6 +840,10 @@ impl Session {
             seed,
             &mut self.dev,
             catalog,
+            BuildOptions {
+                fuse,
+                shared_scan: false,
+            },
         )?;
         let setup_seconds = physical.setup_seconds;
 
@@ -809,6 +857,7 @@ impl Session {
             double_buffer,
         );
         sgd.setup_seconds = setup_seconds;
+        sgd.fused = physical.fused;
         // Evaluation sees exactly what training saw: the filtered,
         // projected tuple set.
         let eval: Arc<Vec<Tuple>> = {
@@ -1061,7 +1110,7 @@ impl Session {
         };
         let plan = LogicalPlan::build_predict(&spec, &table)?.push_down();
         let sparams = StrategyParams::default();
-        let physical = build_physical(
+        let physical = build_physical_with(
             &plan,
             &table,
             table_name,
@@ -1069,9 +1118,14 @@ impl Session {
             0,
             &mut self.dev,
             self.db.catalog(),
+            BuildOptions {
+                fuse: opts.fuse,
+                shared_scan: opts.shared_scan,
+            },
         )?;
         let version = servable.version();
-        let op = PredictOperator::new(physical.child, servable, self.compute, opts.batch_rows);
+        let mut op = PredictOperator::new(physical.child, servable, self.compute, opts.batch_rows);
+        op.fused = physical.fused;
         let mut ctx = ExecContext::new(&mut self.dev);
         if self.pool.capacity() > 0 {
             ctx.pool = Some(&mut self.pool);
@@ -1100,6 +1154,8 @@ impl Session {
                 .add(r.rows_filtered);
         }
 
+        let scan_reads: u64 = r.op_stats.iter().map(|s| s.blocks_read).sum();
+        let scan_hits: u64 = r.op_stats.iter().map(|s| s.cache_hits).sum();
         Ok(PredictSummary {
             model_name: model_name.to_string(),
             version,
@@ -1109,6 +1165,11 @@ impl Session {
             batches: r.batches,
             rows_filtered: r.rows_filtered,
             cache_hit,
+            scan_cache_hit_rate: if scan_reads == 0 {
+                0.0
+            } else {
+                scan_hits as f64 / scan_reads as f64
+            },
             io_seconds: r.io_seconds,
             compute_seconds: r.compute_seconds,
             batch_wall_seconds: r.batch_wall_seconds,
@@ -1353,14 +1414,34 @@ mod tests {
     #[test]
     fn explain_and_show_queries() {
         let mut s = session_with_higgs(300);
+        // Default lowering is fused: one pipeline node, no operator tree.
         match s
             .execute("EXPLAIN SELECT * FROM higgs TRAIN BY svm WITH strategy = 'corgipile'")
             .unwrap()
         {
             QueryResult::Plan(lines) => {
                 assert!(lines[0].starts_with("SGD"));
+                assert!(lines
+                    .iter()
+                    .any(|l| l.contains("Fused Pipeline (scan→shuffle→sgd)")));
+                assert!(lines.iter().any(|l| l.contains("Scan: random order over")));
+                assert!(!lines.iter().any(|l| l.contains("-> TupleShuffle")));
+            }
+            _ => panic!("expected a plan"),
+        }
+        // `fuse = 0` restores the interpreted operator tree.
+        match s
+            .execute(
+                "EXPLAIN SELECT * FROM higgs TRAIN BY svm WITH \
+                 strategy = 'corgipile', fuse = 0",
+            )
+            .unwrap()
+        {
+            QueryResult::Plan(lines) => {
+                assert!(lines[0].starts_with("SGD"));
                 assert!(lines.iter().any(|l| l.contains("TupleShuffle")));
                 assert!(lines.iter().any(|l| l.contains("BlockShuffle (random")));
+                assert!(!lines.iter().any(|l| l.contains("Fused Pipeline")));
             }
             _ => panic!("expected a plan"),
         }
@@ -1413,8 +1494,30 @@ mod tests {
     #[test]
     fn explain_shows_pushed_predicate_on_the_scan_node() {
         let mut s = session_with_higgs(1000);
+        // Fused rendering (the default) carries the same annotations on
+        // the pipeline node.
         let lines = match s
             .execute("EXPLAIN SELECT f0, f1 FROM higgs WHERE f0 > 0.5 AND label = 1 TRAIN BY svm")
+            .unwrap()
+        {
+            QueryResult::Plan(lines) => lines,
+            _ => panic!("expected a plan"),
+        };
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("Fused Pipeline (scan→filter→project→shuffle→sgd)")),
+            "{lines:?}"
+        );
+        assert!(lines.iter().any(|l| l
+            .trim_start()
+            .starts_with("Filter: (f0 > 0.5 AND label = 1)")));
+        // The interpreted tree keeps the predicate on the scan node.
+        let lines = match s
+            .execute(
+                "EXPLAIN SELECT f0, f1 FROM higgs WHERE f0 > 0.5 AND label = 1 \
+                 TRAIN BY svm WITH fuse = 0",
+            )
             .unwrap()
         {
             QueryResult::Plan(lines) => lines,
@@ -1442,7 +1545,10 @@ mod tests {
         );
         // With pushdown disabled the filter/project stay above the shuffle.
         let lines = match s
-            .execute("EXPLAIN SELECT * FROM higgs WHERE f0 > 0.5 TRAIN BY svm WITH pushdown = 0")
+            .execute(
+                "EXPLAIN SELECT * FROM higgs WHERE f0 > 0.5 TRAIN BY svm WITH \
+                 pushdown = 0, fuse = 0",
+            )
             .unwrap()
         {
             QueryResult::Plan(lines) => lines,
@@ -1519,12 +1625,14 @@ mod tests {
         );
         // At 10% selectivity the post-filter plan buffers the whole table
         // every epoch, the pushdown plan only the survivors: 10x fewer.
+        // Fused plans fold the shuffle's stats into the pipeline node, so
+        // sum across nodes instead of naming the TupleShuffle operator.
         let buffered = |t: &DbTrainSummary| {
             t.op_stats
                 .iter()
-                .find(|o| o.name == "TupleShuffle")
                 .map(|o| o.buffered_tuples)
-                .unwrap()
+                .sum::<u64>()
+                .max(1)
         };
         assert!(
             buffered(&post) >= 5 * buffered(&pushed),
@@ -1680,6 +1788,108 @@ mod tests {
     }
 
     #[test]
+    fn fuse_oracle_is_bit_identical_and_charges_less_compute() {
+        // The fused pipeline vs the interpreted tree, crossed with the
+        // double-buffer knob: all four runs must train the same bits,
+        // while fused runs charge strictly less simulated compute (the
+        // per-tuple dispatch overhead is paid once per batch).
+        let mut s = session_with_higgs(3000);
+        let mut run = |fuse: usize, dbuf: usize| -> DbTrainSummary {
+            train_summary(
+                s.execute(&format!(
+                    "SELECT * FROM higgs WHERE f0 > 0.2 TRAIN BY svm WITH \
+                     learning_rate = 0.05, max_epoch_num = 2, fuse = {fuse}, \
+                     double_buffer = {dbuf}, model_name = m_f{fuse}d{dbuf}"
+                ))
+                .unwrap(),
+            )
+        };
+        let f_serial = run(1, 0);
+        let f_piped = run(1, 1);
+        let i_serial = run(0, 0);
+        let i_piped = run(0, 1);
+        let params = |name: &str| s.catalog().model(name).unwrap().params.clone();
+        let want = params("m_f1d0");
+        for name in ["m_f1d1", "m_f0d0", "m_f0d1"] {
+            assert_eq!(want, params(name), "{name} diverged");
+        }
+        for (f, i) in [(&f_serial, &i_serial), (&f_piped, &i_piped)] {
+            let fc: f64 = f.epochs.iter().map(|e| e.compute_seconds).sum();
+            let ic: f64 = i.epochs.iter().map(|e| e.compute_seconds).sum();
+            assert!(fc < ic, "fused compute {fc} must undercut interpreted {ic}");
+            assert_eq!(
+                f.epochs.last().unwrap().train_loss.to_bits(),
+                i.epochs.last().unwrap().train_loss.to_bits(),
+                "training loss must stay bit-identical"
+            );
+            let ff: u64 = f.op_stats.iter().map(|o| o.rows_filtered).sum();
+            let ii: u64 = i.op_stats.iter().map(|o| o.rows_filtered).sum();
+            assert_eq!(ff, ii, "rows_filtered must agree");
+        }
+    }
+
+    #[test]
+    fn fuse_oracle_holds_under_injected_faults_and_skip() {
+        let sql = |fuse: usize| {
+            format!(
+                "SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 2, \
+                 max_retries = 1, on_fault = 'skip', fuse = {fuse}, \
+                 model_name = m_f{fuse}"
+            )
+        };
+        // Fresh session (and device) per run: injected fault decisions
+        // depend on device read position, so both runs must start cold to
+        // see the identical fault schedule.
+        let run = |fuse: usize| -> (DbTrainSummary, Vec<f32>) {
+            let mut s = session_with_higgs(2000);
+            let tid = s.catalog().table("higgs").unwrap().config().table_id;
+            s.inject_faults(
+                corgipile_storage::FaultPlan::new(9)
+                    .with_permanent(tid, 2)
+                    .with_random_transient(0.05, 2),
+            );
+            let t = train_summary(s.execute(&sql(fuse)).unwrap());
+            let params = s
+                .catalog()
+                .model(&format!("m_f{fuse}"))
+                .unwrap()
+                .params
+                .clone();
+            (t, params)
+        };
+        let (fused, fused_params) = run(1);
+        let (interp, interp_params) = run(0);
+        assert!(fused.skipped_blocks().contains(&2));
+        assert_eq!(fused.skipped_blocks(), interp.skipped_blocks());
+        assert_eq!(
+            fused_params, interp_params,
+            "degraded fused run must match the degraded interpreted run"
+        );
+    }
+
+    #[test]
+    fn fused_train_emits_batch_telemetry() {
+        let mut s = session_with_higgs(1000);
+        s.execute("SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 1")
+            .unwrap();
+        let lines = match s.execute("SHOW STATS").unwrap() {
+            QueryResult::Plan(lines) => lines,
+            _ => panic!("expected stats lines"),
+        };
+        let count = |name: &str| -> u64 {
+            lines
+                .iter()
+                .find_map(|l| {
+                    l.strip_prefix(&format!("counter {name} = "))
+                        .and_then(|v| v.parse().ok())
+                })
+                .unwrap_or(0)
+        };
+        assert!(count("db.exec.batches") > 0, "{lines:?}");
+        assert_eq!(count("db.exec.fused_tuples"), 1000, "{lines:?}");
+    }
+
+    #[test]
     fn fault_plans_do_not_leak_between_sessions() {
         let db = Database::new(SimDevice::hdd_scaled(1000.0, 0));
         db.register_table("higgs", higgs_table(1000));
@@ -1790,6 +2000,31 @@ mod tests {
             "root line: {}",
             lines[0]
         );
+        // The fused run folds the whole chain into one node carrying the
+        // per-batch actuals plus the chain's I/O and fill statistics.
+        assert!(
+            lines.iter().any(|l| l
+                .contains("-> Fused Pipeline (scan→shuffle→sgd) (actual rows=4000")
+                && l.contains("fills=")
+                && l.contains("cache_hit_rate=")
+                && l.contains("batches=")),
+            "fused node: {lines:?}"
+        );
+        assert!(lines.iter().any(|l| l.starts_with("I/O: reads=")));
+        assert!(lines.iter().any(|l| l.starts_with("Training: epochs=2")));
+        // Unlike EXPLAIN, ANALYZE actually executes: the model is stored.
+        assert!(s.catalog().model("m").is_ok());
+        // The interpreted tree (fuse = 0) still renders per operator.
+        let lines = match s
+            .execute(
+                "EXPLAIN ANALYZE SELECT * FROM higgs TRAIN BY svm WITH \
+                 max_epoch_num = 2, model_name = m0, fuse = 0",
+            )
+            .unwrap()
+        {
+            QueryResult::Plan(lines) => lines,
+            _ => panic!("expected plan lines"),
+        };
         assert!(lines
             .iter()
             .any(|l| l.contains("-> TupleShuffle (actual rows=4000") && l.contains("fills=")));
@@ -1798,10 +2033,6 @@ mod tests {
             .any(|l| l.contains("-> BlockShuffle (actual rows=4000")
                 && l.contains("cache_hit_rate=")
                 && l.contains("retries=0")));
-        assert!(lines.iter().any(|l| l.starts_with("I/O: reads=")));
-        assert!(lines.iter().any(|l| l.starts_with("Training: epochs=2")));
-        // Unlike EXPLAIN, ANALYZE actually executes: the model is stored.
-        assert!(s.catalog().model("m").is_ok());
     }
 
     #[test]
@@ -2187,6 +2418,70 @@ mod tests {
     }
 
     #[test]
+    fn predict_fuse_oracle_and_shared_scan_hit_rate() {
+        // Shared-pool engine: repeated PREDICT scans under shared_scan = 1
+        // serve warm blocks from the pool; fused and interpreted serving
+        // paths stay bit-identical throughout.
+        let db = Database::with_shared_buffers(SimDevice::hdd_scaled(1000.0, 0), 64 << 20);
+        db.register_table("higgs", higgs_table(2000));
+        let mut s = db.connect();
+        s.execute("SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 1, model_name = m")
+            .unwrap();
+        let serve = |s: &mut Session, q: &str| match s.execute(q).unwrap() {
+            QueryResult::Serve(p) => p,
+            other => panic!("unexpected {other:?}"),
+        };
+        let fused = serve(
+            &mut s,
+            "PREDICT m ON higgs WHERE id < 700 WITH batch_rows = 128, fuse = 1",
+        );
+        let interp = serve(
+            &mut s,
+            "PREDICT m ON higgs WHERE id < 700 WITH batch_rows = 128, fuse = 0",
+        );
+        assert_eq!(fused.predictions, interp.predictions);
+        assert_eq!(fused.metric, interp.metric);
+        assert_eq!(fused.rows_filtered, interp.rows_filtered);
+        assert_eq!(fused.batches, interp.batches);
+        assert!(
+            fused.compute_seconds < interp.compute_seconds,
+            "fused serving must charge less compute: {} vs {}",
+            fused.compute_seconds,
+            interp.compute_seconds
+        );
+        // shared_scan: the second pass over the same table hits the pool.
+        let first = serve(&mut s, "PREDICT m ON higgs WITH shared_scan = 1");
+        let second = serve(&mut s, "PREDICT m ON higgs WITH shared_scan = 1");
+        assert_eq!(first.predictions, second.predictions);
+        assert!(
+            second.scan_cache_hit_rate > 0.9,
+            "second shared scan must be pool-warm, got {}",
+            second.scan_cache_hit_rate
+        );
+        // Hit rate surfaces on the EXPLAIN ANALYZE serving line.
+        match s
+            .execute("EXPLAIN ANALYZE PREDICT m ON higgs WITH shared_scan = 1")
+            .unwrap()
+        {
+            QueryResult::Plan(lines) => {
+                let serving = lines
+                    .iter()
+                    .find(|l| l.starts_with("Serving:"))
+                    .expect("serving line");
+                assert!(serving.contains("scan_hit_rate="), "{serving}");
+                assert!(!serving.contains("scan_hit_rate=0.0%"), "{serving}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // A private-pool engine leaves shared_scan inert but valid.
+        let mut p = session_with_higgs(500);
+        p.execute("SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 1, model_name = m")
+            .unwrap();
+        let r = serve(&mut p, "PREDICT m ON higgs WITH shared_scan = 1");
+        assert_eq!(r.rows, 500);
+    }
+
+    #[test]
     fn predict_serve_filter_pushes_down_and_validates() {
         let mut s = session_with_higgs(2000);
         s.execute("SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 1, model_name = m")
@@ -2211,7 +2506,13 @@ mod tests {
                     lines[0].starts_with("Predict (model=m, version=active, batch_rows=256)"),
                     "{lines:?}"
                 );
-                assert!(lines.iter().any(|l| l.contains("BlockShuffle (sequential")));
+                assert!(
+                    lines
+                        .iter()
+                        .any(|l| l.contains("Fused Pipeline (scan→filter→predict)")),
+                    "{lines:?}"
+                );
+                assert!(lines.iter().any(|l| l.contains("Scan: sequential over")));
                 assert!(
                     lines.iter().any(|l| l.trim_start().starts_with("Filter:")),
                     "filter fused into the scan: {lines:?}"

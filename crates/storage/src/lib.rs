@@ -71,8 +71,8 @@ pub use persist::{
     FileBlockMeta, FileTable,
 };
 pub use pipeline::{
-    block_refs, run_epoch_pipeline, PipelineError, PipelineReport, PipelineSender, TupleRef,
-    PIPELINE_SLOTS,
+    batch_grow_count, block_refs, run_epoch_pipeline, PipelineError, PipelineReport,
+    PipelineSender, TupleBatch, TupleRef, PIPELINE_SLOTS,
 };
 pub use retry::RetryPolicy;
 pub use shared::{DeviceHandle, PoolHandle, SharedBufferPool, SharedDevice};
@@ -86,7 +86,7 @@ pub use wal::{scan_valid_prefix, Wal, WalRecord, WAL_MAGIC, WAL_MAX_PAYLOAD};
 // Telemetry types appear in storage APIs (`SimDevice::set_telemetry`);
 // re-export them so downstream crates need not depend on the telemetry
 // crate directly for the common cases.
-pub use corgipile_telemetry::{Telemetry, TelemetrySnapshot};
+pub use corgipile_telemetry::{Counter, Telemetry, TelemetrySnapshot};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, StorageError>;

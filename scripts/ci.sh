@@ -65,4 +65,16 @@ assert all(s['predictions_per_sec'] > 0 for s in d['sessions']), d['sessions']
 assert d['bit_identical_all'], 'concurrent serving diverged from the serial reference'
 " || { echo "BENCH_serving.json failed the serving gate"; exit 1; }
 
+banner "Vectorize bench (smoke scale)"
+# Gated: the fused pipeline must beat the interpreted tree by >= 1.3x
+# simulated compute on every grid cell and stay bit-identical.
+CORGI_VECTORIZE_TUPLES=2000 CORGI_VECTORIZE_EPOCHS=1 \
+  cargo run --release -p corgipile-bench --bin corgi-bench -- vectorize
+python3 -c "
+import json
+d = json.load(open('BENCH_vectorize.json'))
+assert d['speedup'] >= 1.3, f\"fused speedup {d['speedup']} < 1.3x\"
+assert d['bit_identical_all'], 'fused pipeline diverged from the interpreted oracle'
+" || { echo "BENCH_vectorize.json failed the vectorize gate"; exit 1; }
+
 banner "CI gate passed"

@@ -118,8 +118,13 @@ fn explain_analyze_reports_per_operator_actuals() {
         "root line: {}",
         lines[0]
     );
-    assert!(text.contains("TupleShuffle"), "plan: {text}");
-    assert!(text.contains("BlockShuffle"), "plan: {text}");
+    // The default plan fuses the whole chain into one pipeline node with
+    // per-batch actuals.
+    assert!(
+        text.contains("-> Fused Pipeline (scan→shuffle→sgd)"),
+        "plan: {text}"
+    );
+    assert!(text.contains("batches="), "batch actuals: {text}");
     assert!(text.contains("fills="), "buffer fill actuals: {text}");
     assert!(text.contains("cache_hit_rate="), "scan actuals: {text}");
     assert!(text.contains("retries=0"), "retry actuals: {text}");
@@ -137,6 +142,23 @@ fn explain_analyze_reports_per_operator_actuals() {
         QueryResult::Predict { predictions, .. } => assert_eq!(predictions.len(), 8_000),
         _ => panic!("expected predictions"),
     }
+
+    // fuse = 0 restores the interpreted operator tree, node by node.
+    let r = s
+        .execute(
+            "EXPLAIN ANALYZE SELECT * FROM susy TRAIN BY svm WITH learning_rate = 0.03, \
+             max_epoch_num = 3, buffer_fraction = 0.1, strategy = 'corgipile', \
+             fuse = 0, model_name = ea_svm0",
+        )
+        .unwrap();
+    let lines = match r {
+        QueryResult::Plan(lines) => lines,
+        _ => panic!("expected plan output"),
+    };
+    let text = lines.join("\n");
+    assert!(text.contains("TupleShuffle"), "plan: {text}");
+    assert!(text.contains("BlockShuffle"), "plan: {text}");
+    assert!(!text.contains("Fused Pipeline"), "plan: {text}");
 }
 
 #[test]
@@ -233,19 +255,45 @@ fn where_pushdown_end_to_end() {
     );
     assert_eq!(pushed.op_stats[0].rows, 3 * 2000);
     assert_eq!(post.op_stats[0].rows, 3 * 2000);
-    // Economy: the pushdown plan buffers 4x fewer tuples.
+    // Economy: the pushdown plan buffers 4x fewer tuples. (The fused
+    // default folds the chain into one stats node, so sum across nodes.)
     let buffered = |t: &corgipile::db::DbTrainSummary| {
         t.op_stats
             .iter()
-            .find(|o| o.name == "TupleShuffle")
             .map(|o| o.buffered_tuples)
-            .unwrap()
+            .sum::<u64>()
+            .max(1)
     };
     assert!(buffered(&post) >= 3 * buffered(&pushed));
 
-    // EXPLAIN shows the predicate on the scan node, not a Filter node.
+    // EXPLAIN (fused default) folds the predicate into the pipeline node.
     let lines = match s
         .execute("EXPLAIN SELECT f0, f2 FROM susy WHERE f0 > 0 OR label = 1 TRAIN BY svm")
+        .unwrap()
+    {
+        QueryResult::Plan(lines) => lines,
+        _ => panic!("expected a plan"),
+    };
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains("-> Fused Pipeline (scan→filter→project→shuffle→sgd)")),
+        "fused node: {lines:?}"
+    );
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.trim_start().starts_with("Filter: (f0 > 0 OR label = 1)")),
+        "fused filter sub-line: {lines:?}"
+    );
+
+    // With fuse = 0, the predicate sits on the interpreted scan node, not
+    // a Filter node.
+    let lines = match s
+        .execute(
+            "EXPLAIN SELECT f0, f2 FROM susy WHERE f0 > 0 OR label = 1 TRAIN BY svm \
+             WITH fuse = 0",
+        )
         .unwrap()
     {
         QueryResult::Plan(lines) => lines,
