@@ -11,6 +11,7 @@ pub mod indb;
 pub mod io;
 pub mod order_diag;
 pub mod pipeline;
+pub mod planner;
 pub mod pushdown;
 pub mod recovery;
 pub mod serving;
@@ -66,6 +67,7 @@ pub fn registry() -> Vec<Experiment> {
         Experiment { id: "recovery", what: "extension: WAL recovery scan time, durable-training overhead, crash-matrix bit-identity", run: recovery::recovery },
         Experiment { id: "serving", what: "extension: batched PREDICT serving throughput/latency at 1/4/8 sessions, cold vs warm cache, hot-reload bit-identity", run: serving::serving },
         Experiment { id: "vectorize", what: "extension: fused batch-at-a-time pipeline vs interpreted operator tree (sim-compute speedup, bit identity)", run: vectorize::vectorize },
+        Experiment { id: "planner", what: "extension: cost-based shuffle planning — strategy grid vs planner choice on clustered data, RECLUSTER io_budget probe", run: planner::planner },
     ]
 }
 

@@ -1,0 +1,289 @@
+//! Planner benchmark: the cost-based strategy chooser on the
+//! convergence-vs-I/O frontier.
+//!
+//! On adversarially clustered data every strategy trades converged
+//! accuracy against epoch I/O differently: No-Shuffle reads
+//! sequentially but barely converges, Block-Only pays block-random
+//! seeks for partial mixing, CorgiPile adds the tuple buffer,
+//! Block-Reversal alternates rotated/reversed near-sequential orders,
+//! and Corgi² spends a bounded offline RECLUSTER pass
+//! (`io_budget` × full-shuffle I/O) to make every later epoch cheaper
+//! and better mixed. The experiment trains the same query under each
+//! explicit strategy, then lets the planner choose (`strategy`
+//! omitted), and checks the choice lands on the frontier: no explicit
+//! strategy both converges better and finishes faster. A pre-shuffled
+//! control table checks the planner keeps plain CorgiPile when setup
+//! I/O cannot pay for itself, and a standalone `RECLUSTER` run checks
+//! the bounded pass stays within its declared budget.
+//!
+//! Writes `results/planner.{tsv,json}` plus the root-level
+//! `BENCH_planner.json` artifact (directory override:
+//! `CORGI_BENCH_ROOT`). `CORGI_PLANNER_TUPLES` / `CORGI_PLANNER_EPOCHS`
+//! shrink the run for CI smoke tests.
+
+use crate::report::Report;
+use corgipile_data::{DatasetSpec, Order};
+use corgipile_db::{Database, DbTrainSummary, QueryResult};
+use corgipile_storage::{SimDevice, Table};
+
+/// One trained (strategy, clustered-table) cell.
+#[derive(Debug, Clone)]
+pub struct PlannerRun {
+    /// Strategy the query trained with.
+    pub strategy: String,
+    /// Whether the cost-based planner picked this strategy itself.
+    pub chosen: bool,
+    /// Converged train metric (accuracy for the SVM).
+    pub final_metric: f64,
+    /// One-off setup I/O seconds (offline shuffle / bounded RECLUSTER).
+    pub setup_seconds: f64,
+    /// End-to-end simulated seconds including setup.
+    pub total_seconds: f64,
+}
+
+/// Everything `BENCH_planner.json` reports.
+#[derive(Debug, Clone)]
+pub struct PlannerOutcome {
+    /// Explicit-strategy grid plus the planner's own run, clustered table.
+    pub runs: Vec<PlannerRun>,
+    /// What the planner picked on the clustered table.
+    pub choice_clustered: String,
+    /// What the planner picked on the pre-shuffled control table.
+    pub choice_shuffled: String,
+    /// True when no explicit strategy both converges better by more than
+    /// the run-to-run noise floor (0.02 converged accuracy) and finishes
+    /// faster than the planner's pick.
+    pub choice_on_frontier: bool,
+    /// `RECLUSTER` I/O actually spent, in seconds.
+    pub recluster_io_seconds: f64,
+    /// The declared budget (`io_budget` × full-shuffle I/O), in seconds.
+    pub recluster_budget_io: f64,
+}
+
+impl PlannerOutcome {
+    /// Whether the bounded RECLUSTER pass honored its declared budget.
+    pub fn recluster_within_budget(&self) -> bool {
+        self.recluster_io_seconds <= self.recluster_budget_io * 1.000001
+    }
+}
+
+fn higgs(n: usize, order: Order) -> Table {
+    DatasetSpec::higgs_like(n)
+        .with_order(order)
+        .with_block_bytes(8 << 10)
+        .build_table(1)
+        .unwrap()
+}
+
+/// The seek-dominated profile where shuffle planning matters most.
+fn hdd() -> SimDevice {
+    SimDevice::hdd_scaled(1000.0, 0)
+}
+
+fn train(table: &Table, strategy: Option<&str>, epochs: usize) -> DbTrainSummary {
+    let db = Database::new(hdd());
+    db.register_table("higgs", table.clone());
+    let mut s = db.connect();
+    let clause = strategy
+        .map(|k| format!("strategy = '{k}', "))
+        .unwrap_or_default();
+    let sql = format!(
+        "SELECT * FROM higgs TRAIN BY svm WITH {clause}max_epoch_num = {epochs}, \
+         seed = 41, model_name = m"
+    );
+    match s.execute(&sql).expect("training runs") {
+        QueryResult::Train(t) => t,
+        other => panic!("expected a train result, got {other:?}"),
+    }
+}
+
+fn recluster_budget_check(table: &Table) -> (f64, f64) {
+    let db = Database::new(hdd());
+    db.register_table("higgs", table.clone());
+    let mut s = db.connect();
+    match s
+        .execute("RECLUSTER higgs WITH io_budget = 0.25, seed = 41")
+        .expect("recluster runs")
+    {
+        QueryResult::Recluster {
+            io_seconds,
+            budget_io,
+            ..
+        } => (io_seconds, budget_io),
+        other => panic!("expected a recluster result, got {other:?}"),
+    }
+}
+
+/// Run the full grid: every explicit strategy on the clustered table, the
+/// planner on both tables, and the RECLUSTER budget probe.
+pub fn measure(n_tuples: usize, epochs: usize) -> PlannerOutcome {
+    let clustered = higgs(n_tuples, Order::ClusteredByLabel);
+    let shuffled = higgs(n_tuples, Order::Shuffled);
+
+    let picked = train(&clustered, None, epochs);
+    let choice_clustered = picked.strategy.clone();
+    let choice_shuffled = train(&shuffled, None, epochs).strategy;
+
+    let mut runs = Vec::new();
+    for strategy in ["no", "block_only", "corgipile", "block_reversal", "corgi2"] {
+        let t = train(&clustered, Some(strategy), epochs);
+        runs.push(PlannerRun {
+            strategy: t.strategy.clone(),
+            chosen: t.strategy == choice_clustered,
+            final_metric: t.final_train_metric,
+            setup_seconds: t.setup_seconds,
+            total_seconds: t.total_seconds(),
+        });
+    }
+
+    let pick = runs
+        .iter()
+        .find(|r| r.chosen)
+        .expect("planner choice is in the explicit grid")
+        .clone();
+    // The cost model predicts I/O, not convergence, so the frontier gate
+    // allows the converged-accuracy noise floor at bench scale: a rival
+    // only knocks the pick off the frontier by beating it on *both* axes
+    // with a metric gap no seed-to-seed rerun could explain away.
+    let choice_on_frontier = !runs.iter().any(|r| {
+        r.strategy != pick.strategy
+            && r.final_metric > pick.final_metric + 0.02
+            && r.total_seconds < pick.total_seconds
+    });
+
+    let (recluster_io_seconds, recluster_budget_io) = recluster_budget_check(&clustered);
+    PlannerOutcome {
+        runs,
+        choice_clustered,
+        choice_shuffled,
+        choice_on_frontier,
+        recluster_io_seconds,
+        recluster_budget_io,
+    }
+}
+
+/// Render the root-level `BENCH_planner.json` artifact.
+pub fn render_bench_json(o: &PlannerOutcome) -> String {
+    let mut out =
+        String::from("{\n  \"id\": \"planner\",\n  \"profile\": \"hdd\",\n  \"runs\": [\n");
+    for (i, r) in o.runs.iter().enumerate() {
+        let comma = if i + 1 < o.runs.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"strategy\": \"{}\", \"chosen\": {}, \"final_metric\": {:.4}, \
+             \"setup_seconds\": {:.6}, \"total_seconds\": {:.6}}}{}\n",
+            r.strategy, r.chosen, r.final_metric, r.setup_seconds, r.total_seconds, comma,
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"choice_clustered\": \"{}\",\n  \"choice_shuffled\": \"{}\",\n  \
+         \"choice_on_frontier\": {},\n  \"recluster_io_seconds\": {:.6},\n  \
+         \"recluster_budget_io\": {:.6},\n  \"recluster_within_budget\": {}\n}}",
+        o.choice_clustered,
+        o.choice_shuffled,
+        o.choice_on_frontier,
+        o.recluster_io_seconds,
+        o.recluster_budget_io,
+        o.recluster_within_budget(),
+    ));
+    out
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The `planner` experiment: strategy grid, planner choices, RECLUSTER
+/// budget probe, and the root JSON artifact.
+pub fn planner() {
+    let n = env_usize("CORGI_PLANNER_TUPLES", 8_000);
+    let epochs = env_usize("CORGI_PLANNER_EPOCHS", 20);
+    let o = measure(n, epochs);
+
+    let mut rep = Report::new(
+        "planner",
+        "cost-based shuffle planning: convergence vs I/O per strategy, planner choice, \
+         RECLUSTER budget",
+        &["strategy", "chosen", "final_metric", "setup_s", "total_s"],
+    );
+    for r in &o.runs {
+        rep.row_strings(vec![
+            r.strategy.clone(),
+            r.chosen.to_string(),
+            format!("{:.4}", r.final_metric),
+            format!("{:.6}", r.setup_seconds),
+            format!("{:.6}", r.total_seconds),
+        ]);
+    }
+    rep.note(format!(
+        "planner picked {} on clustered data and {} on the pre-shuffled control; \
+         choice_on_frontier={} (no explicit strategy both converges better and finishes \
+         faster); RECLUSTER spent {:.6}s of a {:.6}s budget.",
+        o.choice_clustered,
+        o.choice_shuffled,
+        o.choice_on_frontier,
+        o.recluster_io_seconds,
+        o.recluster_budget_io,
+    ));
+    rep.finish();
+
+    let root = std::env::var("CORGI_BENCH_ROOT").unwrap_or_else(|_| ".".into());
+    let path = std::path::Path::new(&root).join("BENCH_planner.json");
+    match std::fs::write(&path, render_bench_json(&o) + "\n") {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planner_choice_is_setup_paying_and_on_frontier() {
+        let o = measure(8_000, 20);
+        assert!(
+            o.choice_clustered == "corgi2" || o.choice_clustered == "block_reversal",
+            "clustered + 20 epochs should pay for re-clustering, got {}",
+            o.choice_clustered
+        );
+        assert_eq!(o.choice_shuffled, "corgipile");
+        assert!(o.choice_on_frontier, "{o:?}");
+        assert!(o.recluster_within_budget(), "{o:?}");
+        // The pick must dominate the naive baselines on convergence.
+        let pick = o.runs.iter().find(|r| r.chosen).unwrap();
+        for baseline in ["no_shuffle", "block_only"] {
+            let b = o.runs.iter().find(|r| r.strategy == baseline).unwrap();
+            assert!(
+                pick.final_metric > b.final_metric + 0.02,
+                "{} should out-converge {baseline}: {o:?}",
+                pick.strategy
+            );
+        }
+    }
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        let o = PlannerOutcome {
+            runs: vec![PlannerRun {
+                strategy: "corgi2".into(),
+                chosen: true,
+                final_metric: 0.61,
+                setup_seconds: 0.01,
+                total_seconds: 0.5,
+            }],
+            choice_clustered: "corgi2".into(),
+            choice_shuffled: "corgipile".into(),
+            choice_on_frontier: true,
+            recluster_io_seconds: 0.01,
+            recluster_budget_io: 0.02,
+        };
+        let json = render_bench_json(&o);
+        assert!(json.contains("\"choice_clustered\": \"corgi2\""));
+        assert!(json.contains("\"choice_shuffled\": \"corgipile\""));
+        assert!(json.contains("\"recluster_within_budget\": true"));
+        assert!(json.ends_with('}'));
+    }
+}

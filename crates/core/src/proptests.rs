@@ -25,7 +25,7 @@ proptest! {
     /// report: monotone cumulative time, full-coverage epochs, finite loss.
     #[test]
     fn prop_trainer_reports_are_well_formed(
-        strategy_idx in 0usize..8,
+        strategy_idx in 0usize..10,
         batch in prop_oneof![Just(1usize), Just(32), Just(100)],
         frac_pct in 5u32..40,
         seed in any::<u64>(),
@@ -55,7 +55,7 @@ proptest! {
 
     /// Same seed ⇒ bit-identical training trajectory, for every strategy.
     #[test]
-    fn prop_training_is_seed_deterministic(strategy_idx in 0usize..8, seed in any::<u64>()) {
+    fn prop_training_is_seed_deterministic(strategy_idx in 0usize..10, seed in any::<u64>()) {
         let strategy = StrategyKind::all()[strategy_idx];
         let (table, test) = tiny_table(400, 51);
         let run = || {

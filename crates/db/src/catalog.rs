@@ -154,12 +154,24 @@ impl StoredModel {
     }
 }
 
+/// A cached block-variance estimate (ĥ_D), valid for one registered
+/// version of a table: re-registering the name invalidates it, and a
+/// stale `table_id` never matches.
+#[derive(Debug, Clone, Copy)]
+pub struct CachedBlockVariance {
+    /// The table id the estimate was computed for.
+    pub table_id: u32,
+    /// The normalized block-variance estimate ĥ_D in `[0, 1]`.
+    pub hd: f64,
+}
+
 /// The database catalog. Interior-synchronized: shared by every session
 /// of an engine through `&self`.
 #[derive(Default)]
 pub struct Catalog {
     tables: RwLock<HashMap<String, Arc<Table>>>,
     models: RwLock<HashMap<String, StoredModel>>,
+    stats: RwLock<HashMap<String, CachedBlockVariance>>,
     next_table_id: AtomicU32,
 }
 
@@ -170,9 +182,12 @@ impl Catalog {
     }
 
     /// Register a table under its config name, returning the shared handle.
+    /// Re-registering a name invalidates any cached statistics for it.
     pub fn register_table(&self, name: impl Into<String>, table: Table) -> Arc<Table> {
+        let name = name.into();
         let handle = Arc::new(table);
-        write(&self.tables).insert(name.into(), handle.clone());
+        write(&self.stats).remove(&name);
+        write(&self.tables).insert(name, handle.clone());
         handle
     }
 
@@ -195,6 +210,20 @@ impl Catalog {
     /// across all sessions.
     pub fn fresh_table_id(&self) -> u32 {
         0x4000_0000 + self.next_table_id.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// The cached ĥ_D for `name`, if one was computed for exactly this
+    /// `table_id` (the per-table-version validity check).
+    pub fn cached_block_variance(&self, name: &str, table_id: u32) -> Option<f64> {
+        read(&self.stats)
+            .get(name)
+            .filter(|c| c.table_id == table_id)
+            .map(|c| c.hd)
+    }
+
+    /// Cache a freshly computed ĥ_D for this version of `name`.
+    pub fn cache_block_variance(&self, name: impl Into<String>, table_id: u32, hd: f64) {
+        write(&self.stats).insert(name.into(), CachedBlockVariance { table_id, hd });
     }
 
     /// Store a trained model under a name.
@@ -324,6 +353,23 @@ mod tests {
         assert_eq!(back.kind, stored.kind);
         assert_eq!(back.params, stored.params);
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn block_variance_cache_is_invalidated_by_reregistration() {
+        let c = Catalog::new();
+        let t = DatasetSpec::higgs_like(50).build_table(1).unwrap();
+        let tid = t.config().table_id;
+        c.register_table("higgs", t);
+        assert_eq!(c.cached_block_variance("higgs", tid), None);
+        c.cache_block_variance("higgs", tid, 0.7);
+        assert_eq!(c.cached_block_variance("higgs", tid), Some(0.7));
+        // A different table id never matches the cached entry.
+        assert_eq!(c.cached_block_variance("higgs", tid + 1), None);
+        // Re-registering the name drops the entry.
+        let t2 = DatasetSpec::higgs_like(60).build_table(1).unwrap();
+        c.register_table("higgs", t2);
+        assert_eq!(c.cached_block_variance("higgs", tid), None);
     }
 
     #[test]

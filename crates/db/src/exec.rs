@@ -26,14 +26,14 @@ use corgipile_data::rng::shuffle_in_place;
 use corgipile_ml::{
     train_minibatch, ComputeCostModel, Model, Optimizer, TrainCheckpoint, TrainOptions,
 };
-use corgipile_shuffle::StrategyParams;
+use corgipile_shuffle::{BlockReversalShuffle, StrategyParams};
 use corgipile_storage::{
     block_refs, run_epoch_pipeline, Counter, DeviceHandle, DoubleBufferModel, PipelineError,
     PipelineReport, PoolHandle, RetryPolicy, SimDevice, Table, Telemetry, Tuple, TupleBatch,
     TupleRef,
 };
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -357,6 +357,9 @@ pub enum ScanMode {
     Sequential,
     /// Random block order (CorgiPile's block-level shuffle).
     RandomBlocks,
+    /// Epoch-indexed rotation/reversal order (Block-Reversal): adjacent
+    /// blocks stream sequentially, only discontinuities pay a seek.
+    Reversal,
 }
 
 /// The `BlockShuffle` operator.
@@ -373,6 +376,7 @@ pub struct BlockShuffleOp {
     rng: StdRng,
     order: Vec<usize>,
     next_block: usize,
+    epoch: u64,
     predicate: Option<Predicate>,
     projection: Option<Vec<usize>>,
     shared_scan: bool,
@@ -391,6 +395,7 @@ impl BlockShuffleOp {
             rng: StdRng::seed_from_u64(seed ^ 0xB5_0F),
             order: Vec::new(),
             next_block: 0,
+            epoch: 0,
             predicate: None,
             projection: None,
             shared_scan: false,
@@ -429,10 +434,21 @@ impl BlockShuffleOp {
 
     fn reshuffle(&mut self) {
         self.order.clear();
-        self.order.extend(0..self.table.num_blocks());
-        if self.mode == ScanMode::RandomBlocks {
-            shuffle_in_place(&mut self.rng, &mut self.order);
+        match self.mode {
+            ScanMode::Sequential => self.order.extend(0..self.table.num_blocks()),
+            ScanMode::RandomBlocks => {
+                self.order.extend(0..self.table.num_blocks());
+                shuffle_in_place(&mut self.rng, &mut self.order);
+            }
+            ScanMode::Reversal => {
+                // Same order the standalone strategy produces: a seeded
+                // rotation, traversed in reverse on odd epochs.
+                let n = self.table.num_blocks();
+                let offset = if n > 0 { self.rng.gen_range(0..n) } else { 0 };
+                self.order = BlockReversalShuffle::epoch_order(offset, self.epoch % 2 == 1, n);
+            }
         }
+        self.epoch += 1;
         self.next_block = 0;
     }
 
@@ -478,6 +494,14 @@ impl BlockShuffleOp {
                     .with(|d| table.read_block_retry(block, d, retry))
                     .map(Arc::new),
             },
+            ScanMode::Reversal => {
+                // Adjacent blocks (either direction) continue the stream;
+                // the epoch start and the rotation wrap pay the seek.
+                let seek = first || self.order[self.next_block - 1].abs_diff(block) != 1;
+                ctx.dev
+                    .with(|d| table.scan_block_sequential_retry(block, seek, d, retry))
+                    .map(Arc::new)
+            }
         };
         self.next_block += 1;
         self.actuals.blocks_read += 1;
@@ -552,6 +576,7 @@ impl PhysicalOperator for BlockShuffleOp {
 
     fn init(&mut self, _ctx: &mut ExecContext) {
         self.rng = StdRng::seed_from_u64(self.seed ^ 0xB5_0F);
+        self.epoch = 0;
         self.reshuffle();
         self.initialized = true;
         self.shim.reset();
@@ -610,6 +635,7 @@ impl PhysicalOperator for BlockShuffleOp {
         stats.name = match self.mode {
             ScanMode::Sequential => "SeqScan".to_string(),
             ScanMode::RandomBlocks => self.name().to_string(),
+            ScanMode::Reversal => "BlockReversalScan".to_string(),
         };
         stats.depth = depth;
         stats.predicate = self.predicate.as_ref().map(|p| p.to_string());

@@ -36,6 +36,7 @@ pub mod database;
 pub mod error;
 pub mod exec;
 pub mod model_store;
+pub mod options;
 pub mod plan;
 mod proptests;
 pub mod serving;
@@ -53,6 +54,9 @@ pub use exec::{
     PredictRunResult, ProjectOp, ScanMode, SgdOperator, SgdRunResult, TupleShuffleOp,
 };
 pub use model_store::{ModelRecord, ModelStore, ModelStoreOptions, ModelStoreStats};
+pub use options::{
+    effective_line, known_keys, OptionSpec, OptionType, QueryOptions, Statement, OPTIONS,
+};
 pub use plan::{
     build_physical, build_physical_with, BuildOptions, LogicalPlan, PhysicalPlan, PredictPlanSpec,
     ScanOrder, TrainPlanSpec,
@@ -60,5 +64,6 @@ pub use plan::{
 pub use serving::{CacheStats, ModelCache, ServableModel};
 pub use session::{DbTrainSummary, PredictSummary, QueryResult, ServeOptions, Session};
 pub use sql::{
-    parse, CmpOp, ColumnRef, ParamValue, Predicate, Projection, Query, ShowTarget, StrategyKind,
+    parse, parse_strategy_name, CmpOp, ColumnRef, ParamValue, Predicate, Projection, Query,
+    ShowTarget, StrategyKind,
 };

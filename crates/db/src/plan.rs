@@ -46,7 +46,7 @@ use crate::exec::{
 };
 use crate::sql::{ColumnRef, Predicate, Projection, StrategyKind};
 use corgipile_data::rng::shuffle_in_place;
-use corgipile_shuffle::StrategyParams;
+use corgipile_shuffle::{recluster_table, StrategyParams};
 use corgipile_storage::{DeviceHandle, Table};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -62,6 +62,12 @@ pub enum ScanOrder {
     /// Sequential over an offline-shuffled copy (`strategy = 'once'`,
     /// the MADlib `ORDER BY RANDOM()` baseline; pays a one-off setup).
     SequentialShuffledCopy,
+    /// Random blocks over a bounded-I/O partially re-clustered copy
+    /// (Corgi²; pays `io_budget × full-shuffle` as a one-off setup).
+    ReclusteredCopy,
+    /// Epoch-indexed rotation/reversal order at near-sequential cost
+    /// (Block-Reversal).
+    BlockReversal,
 }
 
 /// Planner input distilled from a parsed `TRAIN BY` query.
@@ -172,6 +178,9 @@ impl LogicalPlan {
             StrategyKind::CorgiPile | StrategyKind::BlockOnly => ScanOrder::RandomBlocks,
             StrategyKind::TupleOnly | StrategyKind::NoShuffle => ScanOrder::Sequential,
             StrategyKind::ShuffleOnce => ScanOrder::SequentialShuffledCopy,
+            StrategyKind::Corgi2 => ScanOrder::ReclusteredCopy,
+            StrategyKind::BlockReversal => ScanOrder::BlockReversal,
+            other => return Err(DbError::UnknownStrategy(other.name().to_string())),
         };
         let mut node = LogicalPlan::Scan {
             table: spec.table.clone(),
@@ -181,7 +190,7 @@ impl LogicalPlan {
             predicate: None,
             projection: None,
         };
-        if spec.strategy.uses_tuple_shuffle() {
+        if spec.strategy.is_tuple_buffered() {
             node = LogicalPlan::TupleShuffle {
                 buffer_blocks: spec.buffer_blocks,
                 input: Box::new(node),
@@ -381,6 +390,12 @@ impl LogicalPlan {
             ScanOrder::SequentialShuffledCopy => {
                 format!("sequential over {blocks} blocks of the shuffled copy")
             }
+            ScanOrder::ReclusteredCopy => {
+                format!("random order over {blocks} blocks of the reclustered copy")
+            }
+            ScanOrder::BlockReversal => {
+                format!("rotated/reversed near-sequential over {blocks} blocks")
+            }
         };
         lines.push(format!("{pad}Scan: {desc}"));
         if let Some(bb) = chain.shuffle_blocks {
@@ -397,6 +412,11 @@ impl LogicalPlan {
         if *order == ScanOrder::SequentialShuffledCopy {
             lines.push(format!(
                 "{pad}(setup: offline full shuffle, ORDER BY RANDOM(), 2x storage)"
+            ));
+        }
+        if *order == ScanOrder::ReclusteredCopy {
+            lines.push(format!(
+                "{pad}(setup: bounded RECLUSTER, io_budget x full shuffle)"
             ));
         }
         lines.push(format!("  Scan target: {table} ({tuples} tuples)"));
@@ -485,6 +505,12 @@ impl LogicalPlan {
                     ScanOrder::SequentialShuffledCopy => {
                         format!("sequential over {blocks} blocks of the shuffled copy")
                     }
+                    ScanOrder::ReclusteredCopy => {
+                        format!("random order over {blocks} blocks of the reclustered copy")
+                    }
+                    ScanOrder::BlockReversal => {
+                        format!("rotated/reversed near-sequential over {blocks} blocks")
+                    }
                 };
                 lines.push(format!("{head}BlockShuffle ({desc})"));
                 if let Some(cols) = projection {
@@ -496,6 +522,11 @@ impl LogicalPlan {
                 if *order == ScanOrder::SequentialShuffledCopy {
                     lines.push(format!(
                         "{pad}(setup: offline full shuffle, ORDER BY RANDOM(), 2x storage)"
+                    ));
+                }
+                if *order == ScanOrder::ReclusteredCopy {
+                    lines.push(format!(
+                        "{pad}(setup: bounded RECLUSTER, io_budget x full shuffle)"
                     ));
                 }
                 *target = Some((table.clone(), *tuples));
@@ -744,6 +775,7 @@ pub fn build_physical_with(
                 chain.scan,
                 table,
                 table_name,
+                params,
                 seed,
                 dev,
                 catalog,
@@ -865,6 +897,7 @@ fn build_node(
                 scan,
                 table,
                 table_name,
+                params,
                 seed,
                 dev,
                 catalog,
@@ -885,6 +918,7 @@ fn build_scan_op(
     scan: &LogicalPlan,
     table: &Arc<Table>,
     table_name: &str,
+    params: &StrategyParams,
     seed: u64,
     dev: &mut DeviceHandle,
     catalog: &Catalog,
@@ -903,6 +937,7 @@ fn build_scan_op(
     let (src, mode) = match order {
         ScanOrder::Sequential => (table.clone(), ScanMode::Sequential),
         ScanOrder::RandomBlocks => (table.clone(), ScanMode::RandomBlocks),
+        ScanOrder::BlockReversal => (table.clone(), ScanMode::Reversal),
         ScanOrder::SequentialShuffledCopy => {
             // Offline shuffle first (ORDER BY RANDOM(); 2× storage).
             let io_before = dev.stats().io_seconds;
@@ -913,6 +948,17 @@ fn build_scan_op(
             let copy = dev.with(|d| table.materialize_reordered(&order, copy_name, copy_id, d))?;
             *setup_seconds += dev.stats().io_seconds - io_before;
             (Arc::new(copy), ScanMode::Sequential)
+        }
+        ScanOrder::ReclusteredCopy => {
+            // Corgi²: bounded-I/O partial offline re-cluster, then the
+            // regular CorgiPile online pipeline over the copy.
+            let io_before = dev.stats().io_seconds;
+            let copy_name = format!("{table_name}_reclustered");
+            let copy_id = catalog.fresh_table_id();
+            let out = dev
+                .with(|d| recluster_table(table, copy_name, copy_id, params.io_budget, seed, d))?;
+            *setup_seconds += dev.stats().io_seconds - io_before;
+            (Arc::new(out.table), ScanMode::RandomBlocks)
         }
     };
     let mut op = BlockShuffleOp::new(src, mode, seed).with_shared_scan(shared_scan);
@@ -1219,5 +1265,38 @@ mod tests {
         assert!(matches!(LogicalPlan::build(&s, &t), Err(DbError::Parse(_))));
         s.projection = Projection::Columns(vec![ColumnRef::Label]);
         assert!(matches!(LogicalPlan::build(&s, &t), Err(DbError::Parse(_))));
+    }
+
+    #[test]
+    fn corgi2_and_block_reversal_map_to_their_scan_orders() {
+        let t = table();
+        // Corgi²: tuple-buffered shuffle over the reclustered copy.
+        let plan = LogicalPlan::build(&spec(StrategyKind::Corgi2), &t).unwrap();
+        let LogicalPlan::Sgd { input, .. } = &plan else {
+            panic!("Sgd root expected");
+        };
+        let LogicalPlan::TupleShuffle { input, .. } = input.as_ref() else {
+            panic!("corgi2 keeps the tuple-level shuffle");
+        };
+        let LogicalPlan::Scan { order, .. } = input.as_ref() else {
+            panic!("Scan leaf expected");
+        };
+        assert_eq!(*order, ScanOrder::ReclusteredCopy);
+
+        // Block reversal: block-granular, no tuple buffer.
+        let plan = LogicalPlan::build(&spec(StrategyKind::BlockReversal), &t).unwrap();
+        let LogicalPlan::Sgd { input, .. } = &plan else {
+            panic!("Sgd root expected");
+        };
+        let LogicalPlan::Scan { order, .. } = input.as_ref() else {
+            panic!("block_reversal scans directly under Sgd");
+        };
+        assert_eq!(*order, ScanOrder::BlockReversal);
+
+        // Library-only strategies stay rejected at plan time.
+        assert!(matches!(
+            LogicalPlan::build(&spec(StrategyKind::Mrs), &t),
+            Err(DbError::UnknownStrategy(_))
+        ));
     }
 }

@@ -28,14 +28,16 @@ use crate::error::DbError;
 use crate::exec::{
     project_tuple, DbEpochRecord, ExecContext, FaultAction, OpStats, PredictOperator, SgdOperator,
 };
+use crate::options::{QueryOptions, Statement};
 use crate::plan::{build_physical_with, BuildOptions, LogicalPlan, PredictPlanSpec, TrainPlanSpec};
 use crate::serving::ServableModel;
 use crate::sql::{parse, ParamValue, Predicate, Projection, Query, ShowTarget, StrategyKind};
 use corgipile_ml::{accuracy, build_model, ModelKind, OptimizerKind, TrainOptions};
 use corgipile_ml::{r_squared, ComputeCostModel, TrainCheckpoint};
-use corgipile_shuffle::StrategyParams;
+use corgipile_shuffle::{block_variance_sampled, recluster_table, CostModel, StrategyParams};
 use corgipile_storage::{
-    BufferPool, DeviceHandle, FaultPlan, PoolHandle, RetryPolicy, Table, Telemetry, Tuple,
+    BufferPool, DeviceHandle, FaultPlan, PoolHandle, RetryPolicy, SimDevice, Table, Telemetry,
+    Tuple,
 };
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -200,6 +202,22 @@ pub enum QueryResult {
     Plan(Vec<String>),
     /// `SHOW TABLES` / `SHOW MODELS` output.
     Names(Vec<String>),
+    /// `RECLUSTER` outcome: the bounded-I/O offline pass that backs the
+    /// `corgi2` strategy, run as a standalone statement.
+    Recluster {
+        /// Table that was re-clustered (re-registered under its own name).
+        table: String,
+        /// Blocks rewritten by the bounded pass.
+        blocks_rewritten: usize,
+        /// Total blocks in the table.
+        blocks_total: usize,
+        /// Simulated I/O seconds the pass cost.
+        io_seconds: f64,
+        /// The declared budget in I/O seconds (`io_budget` × full shuffle).
+        budget_io: f64,
+        /// What a full offline shuffle would have cost, for comparison.
+        full_shuffle_io: f64,
+    },
 }
 
 /// A connection to a [`Database`].
@@ -323,39 +341,20 @@ impl Session {
                 filter,
                 params,
             } => {
-                let mut opts = ServeOptions {
+                let defaults = ServeOptions::default();
+                let q = QueryOptions::parse(Statement::Predict, &params)?;
+                let opts = ServeOptions {
                     version,
                     filter,
-                    ..ServeOptions::default()
+                    batch_rows: q.positive_int("batch_rows", defaults.batch_rows)?,
+                    fuse: q.flag("fuse", defaults.fuse)?,
+                    shared_scan: q.flag("shared_scan", defaults.shared_scan)?,
                 };
-                for (key, v) in &params {
-                    match key.as_str() {
-                        "batch_rows" => {
-                            opts.batch_rows = v.as_usize().filter(|n| *n > 0).ok_or_else(|| {
-                                DbError::BadParam("batch_rows must be a positive integer".into())
-                            })?;
-                        }
-                        "fuse" => {
-                            opts.fuse =
-                                v.as_usize().filter(|n| *n <= 1).ok_or_else(|| {
-                                    DbError::BadParam("fuse must be 0 or 1".into())
-                                })? != 0;
-                        }
-                        "shared_scan" => {
-                            opts.shared_scan =
-                                v.as_usize().filter(|n| *n <= 1).ok_or_else(|| {
-                                    DbError::BadParam("shared_scan must be 0 or 1".into())
-                                })? != 0;
-                        }
-                        other => {
-                            return Err(DbError::BadParam(format!("unknown parameter {other}")))
-                        }
-                    }
-                }
                 Ok(QueryResult::Serve(
                     self.predict_batch(&table, &model, opts)?,
                 ))
             }
+            Query::Recluster { table, params } => self.recluster(&table, &params),
             Query::LoadModel {
                 name,
                 version,
@@ -591,26 +590,43 @@ impl Session {
             } => {
                 let t = self.catalog().table(&table)?;
                 let kind = self.resolve_model_kind(&model, &t)?;
-                let epochs = params
-                    .get("max_epoch_num")
-                    .and_then(|v| v.as_usize())
-                    .unwrap_or(10);
-                let buffer_fraction = params
-                    .get("buffer_fraction")
-                    .and_then(|v| v.as_f64())
-                    .unwrap_or(0.10);
-                let pushdown = params
-                    .get("pushdown")
-                    .and_then(|v| v.as_usize())
-                    .unwrap_or(1)
-                    != 0;
-                let sparams = StrategyParams::default().with_buffer_fraction(
-                    if (0.0..=1.0).contains(&buffer_fraction) && buffer_fraction > 0.0 {
-                        buffer_fraction
-                    } else {
-                        0.10
-                    },
-                );
+                let opts = QueryOptions::parse(Statement::Train, &params)?;
+                let epochs = opts.nonneg_int("max_epoch_num", 10)?;
+                let buffer_fraction = opts.fraction("buffer_fraction", 0.10)?;
+                let io_budget = opts.fraction("io_budget", StrategyParams::default().io_budget)?;
+                let seed = opts.nonneg_int("seed", 42)? as u64;
+                let pushdown = opts.flag("pushdown", true)?;
+                let fuse = opts.flag("fuse", true)?;
+                let planner = opts.flag("planner", true)?;
+                let mut sparams = StrategyParams::default()
+                    .with_buffer_fraction(buffer_fraction)
+                    .with_seed(seed)
+                    .with_io_budget(io_budget);
+                // Resolve the strategy exactly as `train` would, and render
+                // the planner's evidence when the choice was cost-based.
+                let mut planner_line = None;
+                let strategy = match strategy {
+                    Some(kind) => kind,
+                    None if !planner => StrategyKind::CorgiPile,
+                    None => {
+                        let hd = self.block_variance(&table, &t, seed, true);
+                        let profile = self.dev.profile();
+                        let pick = CostModel::new(epochs).choose(&t, &profile, &sparams, hd);
+                        if !opts.is_set("buffer_fraction") {
+                            sparams = sparams.with_buffer_fraction(pick.buffer_fraction);
+                        }
+                        planner_line = Some(format!(
+                            "Planner: strategy={} h_d={:.3} buffer_fraction={:.2} \
+                             predicted_epoch_io={:.6}s setup_io={:.6}s",
+                            pick.kind.name(),
+                            pick.hd,
+                            pick.buffer_fraction,
+                            pick.predicted_epoch_io,
+                            pick.predicted_setup_io,
+                        ));
+                        pick.kind
+                    }
+                };
                 let spec = TrainPlanSpec {
                     table,
                     model: kind.name().to_string(),
@@ -620,16 +636,20 @@ impl Session {
                     filter,
                     buffer_blocks: sparams.buffer_blocks(&t),
                 };
-                let fuse = params.get("fuse").and_then(|v| v.as_usize()).unwrap_or(1) != 0;
                 let mut plan = LogicalPlan::build(&spec, &t)?;
                 if pushdown {
                     plan = plan.push_down();
                 }
-                Ok(QueryResult::Plan(if fuse {
+                let mut lines = if fuse {
                     plan.explain_lines_fused()
                 } else {
                     plan.explain_lines()
-                }))
+                };
+                lines.push(opts.line());
+                if let Some(line) = planner_line {
+                    lines.push(line);
+                }
+                Ok(QueryResult::Plan(lines))
             }
             Query::Predict { table, model } => {
                 let t = self.catalog().table(&table)?;
@@ -679,74 +699,29 @@ impl Session {
         model_name_raw: &str,
         projection: Projection,
         filter: Option<Predicate>,
-        strategy: StrategyKind,
+        strategy: Option<StrategyKind>,
         params: BTreeMap<String, ParamValue>,
     ) -> Result<QueryResult, DbError> {
         let mut table = self.catalog().table(table_name)?;
 
-        // --- Parameters -------------------------------------------------
-        let get_f64 = |key: &str, default: f64| -> Result<f64, DbError> {
-            match params.get(key) {
-                None => Ok(default),
-                Some(v) => v
-                    .as_f64()
-                    .ok_or_else(|| DbError::BadParam(format!("{key} must be numeric"))),
-            }
-        };
-        let get_usize = |key: &str, default: usize| -> Result<usize, DbError> {
-            match params.get(key) {
-                None => Ok(default),
-                Some(v) => v.as_usize().ok_or_else(|| {
-                    DbError::BadParam(format!("{key} must be a non-negative integer"))
-                }),
-            }
-        };
-        for key in params.keys() {
-            const KNOWN: [&str; 20] = [
-                "fuse",
-                "l2",
-                "shared_buffers",
-                "report_metrics",
-                "learning_rate",
-                "decay",
-                "max_epoch_num",
-                "block_size",
-                "buffer_fraction",
-                "batch_size",
-                "pushdown",
-                "model_name",
-                "seed",
-                "double_buffer",
-                "max_retries",
-                "on_fault",
-                "checkpoint",
-                "resume",
-                "halt_after_epoch",
-                "durable",
-            ];
-            if !KNOWN.contains(&key.as_str()) {
-                return Err(DbError::BadParam(format!("unknown parameter {key}")));
-            }
-        }
-        let learning_rate = get_f64("learning_rate", 0.1)? as f32;
-        let decay = get_f64("decay", 0.95)? as f32;
-        let epochs = get_usize("max_epoch_num", 10)?;
-        let buffer_fraction = get_f64("buffer_fraction", 0.10)?;
-        if !(0.0..=1.0).contains(&buffer_fraction) || buffer_fraction == 0.0 {
-            return Err(DbError::BadParam(
-                "buffer_fraction must be in (0, 1]".into(),
-            ));
-        }
-        let batch_size = get_usize("batch_size", 1)?.max(1);
-        let seed = get_usize("seed", 42)? as u64;
-        let double_buffer = get_usize("double_buffer", 1)? != 0;
-        let l2 = get_f64("l2", 0.0)? as f32;
+        // --- Parameters (validated against the typed option registry) ---
+        let opts = QueryOptions::parse(Statement::Train, &params)?;
+        let learning_rate = opts.float("learning_rate", 0.1)? as f32;
+        let decay = opts.float("decay", 0.95)? as f32;
+        let epochs = opts.nonneg_int("max_epoch_num", 10)?;
+        let buffer_fraction = opts.fraction("buffer_fraction", 0.10)?;
+        let io_budget = opts.fraction("io_budget", StrategyParams::default().io_budget)?;
+        let batch_size = opts.nonneg_int("batch_size", 1)?.max(1);
+        let seed = opts.nonneg_int("seed", 42)? as u64;
+        let double_buffer = opts.flag("double_buffer", true)?;
+        let l2 = opts.float("l2", 0.0)? as f32;
         if l2 < 0.0 {
             return Err(DbError::BadParam("l2 must be non-negative".into()));
         }
-        let shared_buffers = get_usize("shared_buffers", 0)?;
-        let report_metrics = get_usize("report_metrics", 0)? != 0;
-        let max_retries = get_usize("max_retries", 4)? as u32;
+        let shared_buffers = opts.nonneg_int("shared_buffers", 0)?;
+        let report_metrics = opts.flag("report_metrics", false)?;
+        let planner = opts.flag("planner", true)?;
+        let max_retries = opts.nonneg_int("max_retries", 4)? as u32;
         let on_fault = match params.get("on_fault") {
             None => FaultAction::Fail,
             Some(v) => match v.as_text() {
@@ -765,7 +740,7 @@ impl Session {
                 DbError::BadParam("checkpoint must be a path string".into())
             })?)),
         };
-        let resume = get_usize("resume", 0)? != 0;
+        let resume = opts.flag("resume", false)?;
         if resume && checkpoint_path.is_none() {
             return Err(DbError::BadParam(
                 "resume = 1 requires checkpoint = '<path>'".into(),
@@ -777,17 +752,10 @@ impl Session {
                 DbError::BadParam("halt_after_epoch must be a non-negative integer".into())
             })?),
         };
-        let durable = match get_usize("durable", 0)? {
-            0 => false,
-            1 => true,
-            _ => return Err(DbError::BadParam("durable must be 0 or 1".into())),
-        };
-        let pushdown = get_usize("pushdown", 1)? != 0;
-        let fuse = match get_usize("fuse", 1)? {
-            0 => false,
-            1 => true,
-            _ => return Err(DbError::BadParam("fuse must be 0 or 1".into())),
-        };
+        let durable = opts.flag("durable", false)?;
+        let pushdown = opts.flag("pushdown", true)?;
+        let fuse = opts.flag("fuse", true)?;
+        let rechunked = params.contains_key("block_size");
         if let Some(bs) = params.get("block_size") {
             let bytes = bs
                 .as_usize()
@@ -797,9 +765,31 @@ impl Session {
 
         // --- Logical plan (validates columns against the catalog) -------
         let kind = self.resolve_model_kind(model_name_raw, &table)?;
-        let sparams = StrategyParams::default()
+        let mut sparams = StrategyParams::default()
             .with_buffer_fraction(buffer_fraction)
-            .with_seed(seed);
+            .with_seed(seed)
+            .with_io_budget(io_budget);
+
+        // --- Cost-based strategy planning --------------------------------
+        // A query that names a strategy gets exactly that strategy;
+        // `planner = 0` pins the historical default (plain CorgiPile), the
+        // A/B oracle for the chooser. Otherwise the cost model combines the
+        // (cached) block-variance estimate ĥ_D with the device profile and
+        // picks both the strategy and its buffer fraction — an explicit
+        // `buffer_fraction` parameter stays authoritative.
+        let strategy = match strategy {
+            Some(kind) => kind,
+            None if !planner => StrategyKind::CorgiPile,
+            None => {
+                let hd = self.block_variance(table_name, &table, seed, !rechunked);
+                let profile = self.dev.profile();
+                let pick = CostModel::new(epochs).choose(&table, &profile, &sparams, hd);
+                if !opts.is_set("buffer_fraction") {
+                    sparams = sparams.with_buffer_fraction(pick.buffer_fraction);
+                }
+                pick.kind
+            }
+        };
         let spec = TrainPlanSpec {
             table: table_name.to_string(),
             model: kind.name().to_string(),
@@ -1025,6 +1015,64 @@ impl Session {
             halted: result.halted,
             op_stats: result.op_stats,
         }))
+    }
+
+    /// The planner's ĥ_D estimate for a table: catalog cache when valid
+    /// for this exact table version, else a bounded block sample.
+    ///
+    /// Sampling runs on a scratch device so planning charges no I/O to the
+    /// session's stats and never trips a session fault plan; the bounded
+    /// sample cost is reported inside the estimate itself (EXPLAIN). The
+    /// result is cached per (name, table_id) unless the query rechunked
+    /// the table — a rechunked copy shares the id but not the block
+    /// partition, so its ĥ_D must not overwrite the registered table's.
+    fn block_variance(&self, table_name: &str, table: &Table, seed: u64, cacheable: bool) -> f64 {
+        let table_id = table.config().table_id;
+        if cacheable {
+            if let Some(hd) = self.catalog().cached_block_variance(table_name, table_id) {
+                return hd;
+            }
+        }
+        let mut scratch = SimDevice::ssd(0);
+        let hd = block_variance_sampled(table, 0.25, seed, &mut scratch).hd;
+        if cacheable {
+            self.catalog()
+                .cache_block_variance(table_name, table_id, hd);
+        }
+        hd
+    }
+
+    /// `RECLUSTER <table> [WITH io_budget = f, seed = n]`: the bounded-I/O
+    /// offline pass of Corgi² run as a standalone statement. The result
+    /// replaces the table under its own name (later queries — and the
+    /// planner's cached ĥ_D — see the re-clustered layout), and the
+    /// outcome reports the I/O actually spent against the declared budget.
+    fn recluster(
+        &mut self,
+        table_name: &str,
+        params: &BTreeMap<String, ParamValue>,
+    ) -> Result<QueryResult, DbError> {
+        let opts = QueryOptions::parse(Statement::Recluster, params)?;
+        let io_budget = opts.fraction("io_budget", StrategyParams::default().io_budget)?;
+        let seed = opts.nonneg_int("seed", 42)? as u64;
+        let table = self.catalog().table(table_name)?;
+        let copy_id = self.catalog().fresh_table_id();
+        let out = self
+            .dev
+            .with(|d| recluster_table(&table, table_name, copy_id, io_budget, seed, d))?;
+        self.telemetry
+            .counter("db.recluster.blocks_rewritten")
+            .add(out.blocks_rewritten as u64);
+        // Re-registering under the same name invalidates the cached ĥ_D.
+        self.register_table(table_name, out.table);
+        Ok(QueryResult::Recluster {
+            table: table_name.to_string(),
+            blocks_rewritten: out.blocks_rewritten,
+            blocks_total: out.blocks_total,
+            io_seconds: out.io_seconds,
+            budget_io: out.budget_io,
+            full_shuffle_io: out.full_shuffle_io,
+        })
     }
 
     fn resolve_model_kind(&self, name: &str, table: &Table) -> Result<ModelKind, DbError> {
@@ -2671,5 +2719,244 @@ mod tests {
             Err(DbError::BadParam(msg)) => assert!(msg.contains("features"), "{msg}"),
             other => panic!("expected BadParam, got {other:?}"),
         }
+    }
+
+    // --- Cost-based planner, RECLUSTER, and the typed option registry ---
+
+    fn run_train(s: &mut Session, sql: &str) -> DbTrainSummary {
+        train_summary(s.execute(sql).unwrap())
+    }
+
+    #[test]
+    fn planner_prefers_corgi2_on_clustered_data_over_many_epochs() {
+        // Adversarially clustered data + enough epochs to amortize the
+        // bounded RECLUSTER pass: the chooser must move off plain
+        // CorgiPile onto the Corgi²-style strategy.
+        let mut s = session_with_higgs(2000);
+        let t = run_train(
+            &mut s,
+            "SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 20, model_name = m",
+        );
+        assert_eq!(t.strategy, "corgi2", "clustered + 20 epochs");
+        assert!(t.setup_seconds > 0.0, "bounded recluster must be charged");
+    }
+
+    #[test]
+    fn planner_prefers_plain_corgipile_on_preshuffled_data() {
+        let table = DatasetSpec::higgs_like(2000)
+            .with_order(Order::Shuffled)
+            .with_block_bytes(8192)
+            .build_table(1)
+            .unwrap();
+        let db = Database::new(SimDevice::hdd_scaled(1000.0, 0));
+        db.register_table("higgs", table);
+        let mut s = db.connect();
+        let t = run_train(
+            &mut s,
+            "SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 20, model_name = m",
+        );
+        assert_eq!(t.strategy, "corgipile", "pre-shuffled data needs no setup");
+        assert_eq!(t.setup_seconds, 0.0);
+    }
+
+    #[test]
+    fn planner_zero_pins_the_historical_default() {
+        // `planner = 0` is the A/B oracle: same query as the corgi2 test
+        // above, but the chooser is off and plain CorgiPile runs.
+        let mut s = session_with_higgs(2000);
+        let t = run_train(
+            &mut s,
+            "SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 20, planner = 0, \
+             model_name = m",
+        );
+        assert_eq!(t.strategy, "corgipile");
+    }
+
+    #[test]
+    fn explain_renders_options_and_planner_evidence() {
+        let mut s = session_with_higgs(2000);
+        let lines = match s
+            .execute("EXPLAIN SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 20")
+            .unwrap()
+        {
+            QueryResult::Plan(lines) => lines,
+            other => panic!("expected Plan, got {other:?}"),
+        };
+        let options = lines
+            .iter()
+            .find(|l| l.starts_with("Options: "))
+            .expect("effective options line");
+        assert!(options.contains("max_epoch_num=20"), "{options}");
+        assert!(options.contains("planner=1"), "{options}");
+        let planner = lines
+            .iter()
+            .find(|l| l.starts_with("Planner: "))
+            .expect("planner evidence line");
+        assert!(planner.contains("strategy=corgi2"), "{planner}");
+        assert!(planner.contains("h_d="), "{planner}");
+        assert!(planner.contains("predicted_epoch_io="), "{planner}");
+
+        // An explicit strategy skips the chooser — no Planner line.
+        let lines = match s
+            .execute(
+                "EXPLAIN SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 20, \
+                 strategy = 'block_only'",
+            )
+            .unwrap()
+        {
+            QueryResult::Plan(lines) => lines,
+            other => panic!("expected Plan, got {other:?}"),
+        };
+        assert!(lines.iter().any(|l| l.starts_with("Options: ")));
+        assert!(!lines.iter().any(|l| l.starts_with("Planner: ")));
+    }
+
+    #[test]
+    fn explain_renders_the_new_strategies() {
+        let mut s = session_with_higgs(1000);
+        for (strategy, needle) in [
+            ("corgi2", "reclustered copy"),
+            ("block_reversal", "rotated/reversed near-sequential"),
+        ] {
+            let lines = match s
+                .execute(&format!(
+                    "EXPLAIN SELECT * FROM higgs TRAIN BY svm WITH strategy = '{strategy}'"
+                ))
+                .unwrap()
+            {
+                QueryResult::Plan(lines) => lines,
+                other => panic!("expected Plan, got {other:?}"),
+            };
+            assert!(
+                lines.iter().any(|l| l.contains(needle)),
+                "{strategy}: {lines:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_parameter_suggests_the_nearest_key() {
+        let mut s = session_with_higgs(100);
+        match s.execute("SELECT * FROM higgs TRAIN BY svm WITH buffer_fractoin = 0.2") {
+            Err(DbError::BadParam(msg)) => {
+                assert!(msg.contains("unknown parameter buffer_fractoin"), "{msg}");
+                assert!(msg.contains("did you mean buffer_fraction?"), "{msg}");
+            }
+            other => panic!("expected BadParam, got {other:?}"),
+        }
+        // Statement-scoped: planner is a TRAIN option, not a PREDICT one.
+        s.execute("SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 1, model_name = m")
+            .unwrap();
+        match s.execute("PREDICT m ON higgs WITH planner = 1") {
+            Err(DbError::BadParam(msg)) => {
+                assert!(msg.contains("unknown parameter planner"), "{msg}")
+            }
+            other => panic!("expected BadParam, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recluster_statement_stays_within_budget_and_replaces_the_table() {
+        let mut s = session_with_higgs(3000);
+        let (io, budget, full) = match s
+            .execute("RECLUSTER higgs WITH io_budget = 0.3, seed = 7")
+            .unwrap()
+        {
+            QueryResult::Recluster {
+                table,
+                blocks_rewritten,
+                blocks_total,
+                io_seconds,
+                budget_io,
+                full_shuffle_io,
+            } => {
+                assert_eq!(table, "higgs");
+                assert!(blocks_rewritten > 0, "budget admits at least one group");
+                assert!(blocks_rewritten <= blocks_total);
+                (io_seconds, budget_io, full_shuffle_io)
+            }
+            other => panic!("expected Recluster, got {other:?}"),
+        };
+        assert!(io > 0.0);
+        assert!(io <= budget * 1.000001, "io {io} vs budget {budget}");
+        assert!((budget - 0.3 * full).abs() < 1e-12);
+        // The re-clustered table replaced the original under its own name
+        // and remains fully queryable.
+        let t = run_train(
+            &mut s,
+            "SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 2, model_name = m",
+        );
+        assert!(t.final_train_metric > 0.5);
+    }
+
+    #[test]
+    fn recluster_validates_its_options() {
+        let mut s = session_with_higgs(200);
+        match s.execute("RECLUSTER higgs WITH io_budget = 1.5") {
+            Err(DbError::BadParam(msg)) => {
+                assert_eq!(msg, "io_budget must be in (0, 1]")
+            }
+            other => panic!("expected BadParam, got {other:?}"),
+        }
+        match s.execute("RECLUSTER higgs WITH fuse = 1") {
+            Err(DbError::BadParam(msg)) => {
+                assert!(msg.contains("unknown parameter fuse"), "{msg}")
+            }
+            other => panic!("expected BadParam, got {other:?}"),
+        }
+        assert!(matches!(
+            s.execute("RECLUSTER nope"),
+            Err(DbError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn new_strategies_are_bit_reproducible_across_executor_configs() {
+        // For a fixed seed, corgi2 and block_reversal must produce
+        // bit-identical models across every fuse × double_buffer ×
+        // pushdown combination — the same oracle the original strategies
+        // are held to.
+        for strategy in ["corgi2", "block_reversal"] {
+            let mut reference: Option<Vec<f32>> = None;
+            for fuse in [0, 1] {
+                for double_buffer in [0, 1] {
+                    for pushdown in [0, 1] {
+                        let mut s = session_with_higgs(1000);
+                        let sql = format!(
+                            "SELECT * FROM higgs TRAIN BY svm WITH strategy = '{strategy}', \
+                             max_epoch_num = 3, seed = 7, fuse = {fuse}, \
+                             double_buffer = {double_buffer}, pushdown = {pushdown}, \
+                             model_name = m"
+                        );
+                        run_train(&mut s, &sql);
+                        let params = s.catalog().model("m").unwrap().params.clone();
+                        match &reference {
+                            None => reference = Some(params),
+                            Some(r) => assert_eq!(
+                                r, &params,
+                                "{strategy} fuse={fuse} db={double_buffer} pd={pushdown}"
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_variance_is_cached_until_the_table_changes() {
+        let mut s = session_with_higgs(1000);
+        s.execute("EXPLAIN SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 20")
+            .unwrap();
+        let table = s.catalog().table("higgs").unwrap();
+        let tid = table.config().table_id;
+        let hd = s
+            .catalog()
+            .cached_block_variance("higgs", tid)
+            .expect("planner caches its estimate");
+        assert!((0.0..=1.0).contains(&hd));
+        // RECLUSTER re-registers the table: the stale estimate must go.
+        s.execute("RECLUSTER higgs WITH io_budget = 0.5").unwrap();
+        assert_eq!(s.catalog().cached_block_variance("higgs", tid), None);
     }
 }

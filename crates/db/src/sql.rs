@@ -19,6 +19,7 @@
 //! than `OR` and parentheses for grouping.
 
 use crate::error::DbError;
+pub use corgipile_shuffle::StrategyKind;
 use corgipile_storage::Tuple;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -294,59 +295,17 @@ impl fmt::Display for Projection {
     }
 }
 
-/// Shuffle strategy for `TRAIN BY ... WITH strategy = '...'`.
-///
-/// Replaces the old stringly `"corgipile" | "block_only" | ...` match in
-/// the session: unknown names are rejected at parse time with
-/// [`DbError::UnknownStrategy`], and the planner matches exhaustively.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum StrategyKind {
-    /// Block shuffle + tuple shuffle (the paper's two-level scheme).
-    #[default]
-    CorgiPile,
-    /// Block-level shuffle only.
-    BlockOnly,
-    /// Buffered tuple-level shuffle over a sequential scan.
-    TupleOnly,
-    /// No shuffling at all (stored order).
-    NoShuffle,
-    /// One offline full shuffle into a materialized copy, then sequential.
-    ShuffleOnce,
-}
-
-impl StrategyKind {
-    /// Parse the strategy name used in `WITH strategy = '<name>'`.
-    pub fn from_name(name: &str) -> Result<Self, DbError> {
-        match name.to_ascii_lowercase().as_str() {
-            "corgipile" => Ok(StrategyKind::CorgiPile),
-            "block_only" => Ok(StrategyKind::BlockOnly),
-            "tuple_only" => Ok(StrategyKind::TupleOnly),
-            "no" => Ok(StrategyKind::NoShuffle),
-            "once" => Ok(StrategyKind::ShuffleOnce),
-            other => Err(DbError::UnknownStrategy(other.to_string())),
-        }
-    }
-
-    /// The canonical SQL name (what `from_name` accepts).
-    pub fn name(self) -> &'static str {
-        match self {
-            StrategyKind::CorgiPile => "corgipile",
-            StrategyKind::BlockOnly => "block_only",
-            StrategyKind::TupleOnly => "tuple_only",
-            StrategyKind::NoShuffle => "no",
-            StrategyKind::ShuffleOnce => "once",
-        }
-    }
-
-    /// Does this strategy interpose a buffered tuple shuffle above the scan?
-    pub fn uses_tuple_shuffle(self) -> bool {
-        matches!(self, StrategyKind::CorgiPile | StrategyKind::TupleOnly)
-    }
-}
-
-impl fmt::Display for StrategyKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.name())
+/// Parse a `WITH strategy = '<name>'` value into the shared
+/// [`StrategyKind`] (the shuffle crate's enum is the single source of
+/// truth; this crate re-exports it). Unknown names — and kinds that exist
+/// for bench parity but are not plannable in the DB (MRS, sliding-window,
+/// epoch shuffle) — are rejected with [`DbError::UnknownStrategy`] at
+/// parse time, so the planner matches exhaustively over plannable kinds.
+pub fn parse_strategy_name(name: &str) -> Result<StrategyKind, DbError> {
+    let lower = name.to_ascii_lowercase();
+    match StrategyKind::from_name(&lower) {
+        Some(kind) if kind.available_in_db() => Ok(kind),
+        _ => Err(DbError::UnknownStrategy(lower)),
     }
 }
 
@@ -364,10 +323,21 @@ pub enum Query {
         projection: Projection,
         /// Optional `WHERE` predicate.
         filter: Option<Predicate>,
-        /// Shuffle strategy (from the `strategy` parameter; defaults to
-        /// CorgiPile).
-        strategy: StrategyKind,
+        /// Shuffle strategy from the `strategy` parameter. `None` means the
+        /// query left the choice to the cost-based planner.
+        strategy: Option<StrategyKind>,
         /// Remaining `WITH` parameters.
+        params: BTreeMap<String, ParamValue>,
+    },
+    /// `RECLUSTER <table> [WITH io_budget = f, seed = n]`: Corgi²-style
+    /// bounded-I/O offline partial re-clustering. Rewrites the most
+    /// variance-reducing block prefix of a full shuffle, spending at most
+    /// `io_budget` × (full-shuffle I/O), and registers the re-clustered
+    /// table under `<table>_reclustered`.
+    Recluster {
+        /// Table to re-cluster.
+        table: String,
+        /// `WITH` parameters (`io_budget`, `seed`).
         params: BTreeMap<String, ParamValue>,
     },
     /// `SELECT * FROM <table> PREDICT BY <model_name>`.
@@ -725,6 +695,12 @@ fn parse_tokens(t: &mut Tokens) -> Result<Query, DbError> {
                 activate,
             });
         }
+        Some(w) if w.eq_ignore_ascii_case("RECLUSTER") => {
+            t.bump();
+            let table = t.ident("table name")?;
+            let params = parse_with_params(t)?;
+            return Ok(Query::Recluster { table, params });
+        }
         Some(w) if w.eq_ignore_ascii_case("PREDICT") => {
             // The serving query: `PREDICT <model> [VERSION n] ON <table>
             // [WHERE pred] [WITH k = v, …]`.
@@ -769,7 +745,7 @@ fn parse_tokens(t: &mut Tokens) -> Result<Query, DbError> {
         t.expect_kw("BY")?;
         let model = t.ident("model kind")?.to_ascii_lowercase();
         let mut params = BTreeMap::new();
-        let mut strategy = StrategyKind::default();
+        let mut strategy = None;
         match t.peek() {
             Some(w) if w.eq_ignore_ascii_case("WITH") => {
                 t.bump();
@@ -790,7 +766,7 @@ fn parse_tokens(t: &mut Tokens) -> Result<Query, DbError> {
                                 )))
                             }
                         };
-                        strategy = StrategyKind::from_name(&name)?;
+                        strategy = Some(parse_strategy_name(&name)?);
                     } else {
                         params.insert(key, parse_value(val));
                     }
@@ -843,7 +819,15 @@ fn parse_tokens(t: &mut Tokens) -> Result<Query, DbError> {
 mod tests {
     use super::*;
 
-    fn train_parts(input: &str) -> (String, String, Projection, Option<Predicate>, StrategyKind) {
+    fn train_parts(
+        input: &str,
+    ) -> (
+        String,
+        String,
+        Projection,
+        Option<Predicate>,
+        Option<StrategyKind>,
+    ) {
         match parse(input).unwrap() {
             Query::Train {
                 table,
@@ -867,7 +851,7 @@ mod tests {
                 model: "svm".into(),
                 projection: Projection::All,
                 filter: None,
-                strategy: StrategyKind::CorgiPile,
+                strategy: None,
                 params: BTreeMap::new()
             }
         );
@@ -894,7 +878,7 @@ mod tests {
                 assert_eq!(params["learning_rate"], ParamValue::Number(0.1));
                 assert_eq!(params["max_epoch_num"].as_usize(), Some(20));
                 assert_eq!(params["block_size"], ParamValue::Bytes(10 << 20));
-                assert_eq!(strategy, StrategyKind::CorgiPile);
+                assert_eq!(strategy, Some(StrategyKind::CorgiPile));
                 assert!(!params.contains_key("strategy"), "strategy is typed now");
                 assert_eq!(params["model_name"].as_text(), Some("m1"));
             }
@@ -986,7 +970,7 @@ mod tests {
                 } => {
                     assert_eq!(table, "t");
                     assert_eq!(model, "svm");
-                    assert_eq!(strategy, StrategyKind::CorgiPile);
+                    assert_eq!(strategy, Some(StrategyKind::CorgiPile));
                 }
                 ref other => panic!("expected Train inside, got {other:?}"),
             },
@@ -1153,7 +1137,7 @@ mod tests {
         let q = parse("SELECT * FROM t TRAIN BY svm WITH strategy = 'once';").unwrap();
         match q {
             Query::Train { strategy, .. } => {
-                assert_eq!(strategy, StrategyKind::ShuffleOnce);
+                assert_eq!(strategy, Some(StrategyKind::ShuffleOnce));
             }
             _ => panic!(),
         }
@@ -1161,6 +1145,8 @@ mod tests {
 
     #[test]
     fn unknown_strategy_is_rejected_at_parse_time() {
+        // Unknown names and bench-only (non-plannable) kinds alike: MRS and
+        // sliding-window exist in the shared enum but are not DB-plannable.
         for bad in ["mrs", "sliding_window", "CORGI", ""] {
             match parse(&format!(
                 "SELECT * FROM t TRAIN BY svm WITH strategy = '{bad}'"
@@ -1178,18 +1164,47 @@ mod tests {
 
     #[test]
     fn strategy_names_round_trip() {
-        for kind in [
-            StrategyKind::CorgiPile,
-            StrategyKind::BlockOnly,
-            StrategyKind::TupleOnly,
-            StrategyKind::NoShuffle,
-            StrategyKind::ShuffleOnce,
-        ] {
-            assert_eq!(StrategyKind::from_name(kind.name()).unwrap(), kind);
+        for kind in StrategyKind::all() {
+            if kind.available_in_db() {
+                assert_eq!(parse_strategy_name(kind.name()).unwrap(), kind);
+            } else {
+                assert!(matches!(
+                    parse_strategy_name(kind.name()),
+                    Err(DbError::UnknownStrategy(_))
+                ));
+            }
         }
-        assert!(StrategyKind::CorgiPile.uses_tuple_shuffle());
-        assert!(StrategyKind::TupleOnly.uses_tuple_shuffle());
-        assert!(!StrategyKind::NoShuffle.uses_tuple_shuffle());
+        // Historical SQL short spellings stay accepted.
+        assert_eq!(parse_strategy_name("no").unwrap(), StrategyKind::NoShuffle);
+        assert_eq!(
+            parse_strategy_name("ONCE").unwrap(),
+            StrategyKind::ShuffleOnce
+        );
+        assert!(StrategyKind::CorgiPile.is_tuple_buffered());
+        assert!(StrategyKind::TupleOnly.is_tuple_buffered());
+        assert!(StrategyKind::Corgi2.is_tuple_buffered());
+        assert!(!StrategyKind::NoShuffle.is_tuple_buffered());
+    }
+
+    #[test]
+    fn parses_recluster() {
+        assert_eq!(
+            parse("RECLUSTER forest").unwrap(),
+            Query::Recluster {
+                table: "forest".into(),
+                params: BTreeMap::new()
+            }
+        );
+        match parse("recluster forest with io_budget = 0.3, seed = 7;").unwrap() {
+            Query::Recluster { table, params } => {
+                assert_eq!(table, "forest");
+                assert_eq!(params["io_budget"], ParamValue::Number(0.3));
+                assert_eq!(params["seed"].as_usize(), Some(7));
+            }
+            other => panic!("expected Recluster, got {other:?}"),
+        }
+        assert!(parse("RECLUSTER").is_err(), "table name is required");
+        assert!(parse("RECLUSTER t EXTRA").is_err());
     }
 
     #[test]

@@ -9,6 +9,10 @@
 //! * the **mean displacement** — a scalar randomness score used by tests
 //!   and the Table-1 summary.
 
+use corgipile_storage::{RetryPolicy, SimDevice, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
 /// Label counts within one window of the stream.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LabelWindow {
@@ -86,12 +90,130 @@ pub fn label_uniformity_score(labels: &[f32], window: usize) -> f64 {
         / windows.len() as f64
 }
 
+/// The block-level data variance estimate ĥ_D driving the cost-based
+/// planner, plus its provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockVariance {
+    /// Between-block variance of per-block label means, normalized by the
+    /// overall label variance and clamped to [0, 1]. ≈ 0 for shuffled
+    /// storage, ≈ 1 for label-pure (adversarially clustered) blocks.
+    pub hd: f64,
+    /// Blocks the estimate was computed from.
+    pub blocks_sampled: usize,
+    /// Total blocks in the table.
+    pub blocks_total: usize,
+    /// Simulated I/O charged to produce the estimate (0 for the exact,
+    /// in-memory computation).
+    pub io_seconds: f64,
+}
+
+fn variance_from_blocks(per_block: &[(usize, f64)], all_labels: &[f32]) -> f64 {
+    let total = all_labels.len();
+    if total == 0 || per_block.is_empty() {
+        return 0.0;
+    }
+    let n = total as f64;
+    let mean = all_labels.iter().map(|&l| l as f64).sum::<f64>() / n;
+    let var = all_labels
+        .iter()
+        .map(|&l| (l as f64 - mean) * (l as f64 - mean))
+        .sum::<f64>()
+        / n;
+    if var < 1e-12 {
+        return 0.0;
+    }
+    let between: f64 = per_block
+        .iter()
+        .map(|&(count, block_mean)| count as f64 * (block_mean - mean) * (block_mean - mean))
+        .sum();
+    (between / (n * var)).clamp(0.0, 1.0)
+}
+
+/// Exact block-level variance ĥ_D of `table` (no I/O charged; reads the
+/// in-memory heap directly). Ground truth for the sampled estimator.
+pub fn block_variance_exact(table: &Table) -> BlockVariance {
+    let blocks_total = table.num_blocks();
+    let mut labels: Vec<f32> = Vec::with_capacity(table.num_tuples() as usize);
+    let mut per_block: Vec<(usize, f64)> = Vec::with_capacity(blocks_total);
+    for b in 0..blocks_total {
+        let tuples = table.block_tuples(b).expect("block in range");
+        if tuples.is_empty() {
+            continue;
+        }
+        let sum: f64 = tuples.iter().map(|t| t.label as f64).sum();
+        per_block.push((tuples.len(), sum / tuples.len() as f64));
+        labels.extend(tuples.iter().map(|t| t.label));
+    }
+    BlockVariance {
+        hd: variance_from_blocks(&per_block, &labels),
+        blocks_sampled: blocks_total,
+        blocks_total,
+        io_seconds: 0.0,
+    }
+}
+
+/// Estimate ĥ_D from a bounded stratified sample of blocks, charging the
+/// real random-read cost to `dev`.
+///
+/// Reads `ceil(fraction × N)` blocks (at least 2 where the table allows),
+/// one seeded-random pick per equal-width stratum of the block range.
+/// Stratification matters on exactly the layouts the estimator exists to
+/// detect: an adversarially clustered table is a few long label-pure runs,
+/// and a small *uniform* sample can land entirely inside one run and report
+/// ĥ_D ≈ 0 where the true value is ≈ 1. One pick per stratum covers every
+/// run proportionally to its length. Blocks that fail even after retries
+/// are skipped rather than failing the estimate — a statistics pass must
+/// never kill the query it serves.
+pub fn block_variance_sampled(
+    table: &Table,
+    fraction: f64,
+    seed: u64,
+    dev: &mut SimDevice,
+) -> BlockVariance {
+    assert!(
+        fraction > 0.0 && fraction <= 1.0,
+        "sample fraction must be in (0, 1]"
+    );
+    let blocks_total = table.num_blocks();
+    let want = ((blocks_total as f64 * fraction).ceil() as usize)
+        .clamp(2.min(blocks_total.max(1)), blocks_total.max(1));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4D_5A);
+    let mut picks: Vec<usize> = Vec::with_capacity(want);
+    for s in 0..want {
+        // Stratum s covers [s·N/want, (s+1)·N/want); pick one block in it.
+        let lo = s * blocks_total / want;
+        let hi = (((s + 1) * blocks_total / want).max(lo + 1)).min(blocks_total);
+        picks.push(rng.gen_range(lo..hi));
+    }
+    picks.dedup();
+    let before = dev.stats().io_seconds;
+    let policy = RetryPolicy::default();
+    let mut labels: Vec<f32> = Vec::new();
+    let mut per_block: Vec<(usize, f64)> = Vec::new();
+    for &b in &picks {
+        let tuples = match table.read_block_retry(b, dev, &policy) {
+            Ok(tuples) => tuples,
+            Err(_) => continue,
+        };
+        if tuples.is_empty() {
+            continue;
+        }
+        let sum: f64 = tuples.iter().map(|t| t.label as f64).sum();
+        per_block.push((tuples.len(), sum / tuples.len() as f64));
+        labels.extend(tuples.iter().map(|t| t.label));
+    }
+    BlockVariance {
+        hd: variance_from_blocks(&per_block, &labels),
+        blocks_sampled: per_block.len(),
+        blocks_total,
+        io_seconds: dev.stats().io_seconds - before,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use corgipile_data::rng::shuffle_in_place;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn trace_is_positional() {
@@ -166,5 +288,72 @@ mod tests {
     fn empty_inputs_are_zero() {
         assert_eq!(order_displacement(&[]), 0.0);
         assert_eq!(label_uniformity_score(&[], 5), 0.0);
+    }
+
+    use corgipile_data::{DatasetSpec, Order};
+    use proptest::prelude::*;
+
+    fn table(n: usize, order: Order) -> Table {
+        DatasetSpec::higgs_like(n)
+            .with_order(order)
+            .with_block_bytes(8192)
+            .build_table(1)
+            .unwrap()
+    }
+
+    #[test]
+    fn exact_hd_separates_clustered_from_shuffled() {
+        let clustered = block_variance_exact(&table(3000, Order::ClusteredByLabel));
+        let shuffled = block_variance_exact(&table(3000, Order::Shuffled));
+        assert!(clustered.hd > 0.8, "clustered hd {}", clustered.hd);
+        assert!(shuffled.hd < 0.1, "shuffled hd {}", shuffled.hd);
+        assert_eq!(clustered.io_seconds, 0.0);
+        assert_eq!(clustered.blocks_sampled, clustered.blocks_total);
+    }
+
+    #[test]
+    fn sampled_hd_charges_io_and_reads_only_the_sample() {
+        let t = table(3000, Order::ClusteredByLabel);
+        let mut dev = SimDevice::hdd(0);
+        let est = block_variance_sampled(&t, 0.1, 7, &mut dev);
+        assert!(est.io_seconds > 0.0);
+        assert!(est.blocks_sampled < est.blocks_total);
+        assert_eq!(dev.stats().random_reads as usize, est.blocks_sampled);
+        // A second estimate on the same device costs again (no hidden cache).
+        assert!(est.blocks_sampled >= 2);
+    }
+
+    #[test]
+    fn sampled_hd_survives_injected_faults_by_skipping() {
+        let t = table(3000, Order::ClusteredByLabel);
+        let mut dev = SimDevice::hdd(0);
+        dev.set_fault_plan(corgipile_storage::FaultPlan::new(3).with_permanent(0, 1));
+        let est = block_variance_sampled(&t, 1.0, 7, &mut dev);
+        assert_eq!(est.blocks_sampled, est.blocks_total - 1);
+        assert!(est.hd > 0.8, "estimate still usable: {}", est.hd);
+    }
+
+    proptest! {
+        // Satellite: ĥ_D from a 10% block sample stays within a tolerance
+        // band of the exact value, on adversarial and benign layouts alike.
+        #[test]
+        fn prop_sampled_hd_tracks_exact(
+            n in 2500usize..6000,
+            seed in 0u64..32,
+            layout in 0usize..2,
+        ) {
+            let clustered = layout == 1;
+            let order = if clustered { Order::ClusteredByLabel } else { Order::Shuffled };
+            let t = table(n, order);
+            // 8 KiB blocks over ≥2500 higgs-like tuples: ≥20 blocks.
+            assert!(t.num_blocks() >= 20, "degenerate layout: {}", t.num_blocks());
+            let exact = block_variance_exact(&t).hd;
+            let mut dev = SimDevice::hdd(0);
+            let est = block_variance_sampled(&t, 0.1, seed, &mut dev).hd;
+            prop_assert!(
+                (est - exact).abs() <= 0.2,
+                "sampled {est} vs exact {exact} (n={n}, clustered={clustered})"
+            );
+        }
     }
 }

@@ -13,6 +13,8 @@
 //! | [`MrsShuffle`] | §3.4 | sequential scan + looping buffer | reservoir (Bismarck) |
 //! | [`BlockOnlyShuffle`] | §7.3 | random block reads | block order only |
 //! | [`CorgiPile`] | §4 | random block reads + buffered tuple shuffle | two-level hierarchical |
+//! | [`BlockReversalShuffle`] | related work | near-sequential rotated/reversed scans | epoch-indexed order |
+//! | [`Corgi2`] | Corgi² (Livne et al.) | bounded-I/O offline recluster, then CorgiPile | partial offline + two-level |
 //!
 //! Every strategy emits an [`EpochPlan`]: a sequence of [`Segment`]s (one
 //! per buffer fill / block read) carrying the tuples in SGD consumption
@@ -27,11 +29,16 @@
 //! [`MrsShuffle`]: mrs::MrsShuffle
 //! [`BlockOnlyShuffle`]: block_only::BlockOnlyShuffle
 //! [`CorgiPile`]: corgipile::CorgiPile
+//! [`BlockReversalShuffle`]: block_reversal::BlockReversalShuffle
+//! [`Corgi2`]: corgi2::Corgi2
 //! [`EpochPlan`]: plan::EpochPlan
 //! [`Segment`]: plan::Segment
 
 pub mod block_only;
+pub mod block_reversal;
+pub mod corgi2;
 pub mod corgipile;
+pub mod cost;
 pub mod diagnostics;
 pub mod epoch_shuffle;
 pub mod mrs;
@@ -43,9 +50,13 @@ pub mod strategy;
 pub mod tuple_only;
 
 pub use block_only::BlockOnlyShuffle;
+pub use block_reversal::BlockReversalShuffle;
+pub use corgi2::{full_shuffle_io, recluster_table, Corgi2, ReclusterOutcome};
 pub use corgipile::{BlockSampleMode, CorgiPile};
+pub use cost::{CostEstimate, CostModel};
 pub use diagnostics::{
-    label_distribution, label_uniformity_score, order_displacement, tuple_id_trace, LabelWindow,
+    block_variance_exact, block_variance_sampled, label_distribution, label_uniformity_score,
+    order_displacement, tuple_id_trace, BlockVariance, LabelWindow,
 };
 pub use epoch_shuffle::EpochShuffle;
 pub use mrs::MrsShuffle;

@@ -1,6 +1,8 @@
 //! The strategy trait, shared parameters, and the factory.
 
 use crate::block_only::BlockOnlyShuffle;
+use crate::block_reversal::BlockReversalShuffle;
+use crate::corgi2::Corgi2;
 use crate::corgipile::{BlockSampleMode, CorgiPile};
 use crate::epoch_shuffle::EpochShuffle;
 use crate::mrs::MrsShuffle;
@@ -24,6 +26,10 @@ pub struct StrategyParams {
     pub copy_bandwidth: f64,
     /// Per-tuple CPU cost (seconds) of the in-buffer Fisher–Yates shuffle.
     pub shuffle_cost_per_tuple: f64,
+    /// Corgi²'s offline re-clustering budget, as a fraction of a full
+    /// offline shuffle's I/O cost (Livne et al. 2023). Only
+    /// [`StrategyKind::Corgi2`] reads it.
+    pub io_budget: f64,
 }
 
 impl Default for StrategyParams {
@@ -33,6 +39,7 @@ impl Default for StrategyParams {
             seed: 0xC0491,
             copy_bandwidth: 5e9,
             shuffle_cost_per_tuple: 1.5e-8,
+            io_budget: 0.25,
         }
     }
 }
@@ -42,6 +49,13 @@ impl StrategyParams {
     pub fn with_buffer_fraction(mut self, f: f64) -> Self {
         assert!(f > 0.0 && f <= 1.0, "buffer fraction must be in (0, 1]");
         self.buffer_fraction = f;
+        self
+    }
+
+    /// Override Corgi²'s offline re-clustering I/O budget.
+    pub fn with_io_budget(mut self, f: f64) -> Self {
+        assert!(f > 0.0 && f <= 1.0, "io budget must be in (0, 1]");
+        self.io_budget = f;
         self
     }
 
@@ -129,8 +143,13 @@ pub trait ShuffleStrategy: Send {
     fn reset(&mut self);
 }
 
-/// Identifiers for the seven strategies (used by configs and reports).
+/// Identifiers for the strategies (used by configs, SQL, and reports).
+///
+/// This enum is the single source of truth shared by the shuffle crate,
+/// the trainer, and the SQL surface (`corgipile_db` re-exports it);
+/// parse/display/capability predicates all live here.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
 pub enum StrategyKind {
     /// §3.2 — sequential scan, no randomness.
     NoShuffle,
@@ -149,12 +168,18 @@ pub enum StrategyKind {
     TupleOnly,
     /// §4 — the paper's two-level hierarchical shuffle.
     CorgiPile,
+    /// Corgi² (Livne et al. 2023) — bounded-I/O offline partial
+    /// re-clustering, then CorgiPile online.
+    Corgi2,
+    /// "Learning to Shuffle"-style epoch-indexed block-order
+    /// rotation/reversal at near-sequential I/O cost.
+    BlockReversal,
 }
 
 impl StrategyKind {
     /// All kinds, in the paper's presentation order (the two ablations
-    /// before the full algorithm).
-    pub fn all() -> [StrategyKind; 8] {
+    /// before the full algorithm, the post-paper hybrids last).
+    pub fn all() -> [StrategyKind; 10] {
         [
             StrategyKind::NoShuffle,
             StrategyKind::ShuffleOnce,
@@ -164,6 +189,8 @@ impl StrategyKind {
             StrategyKind::BlockOnly,
             StrategyKind::TupleOnly,
             StrategyKind::CorgiPile,
+            StrategyKind::Corgi2,
+            StrategyKind::BlockReversal,
         ]
     }
 
@@ -178,7 +205,59 @@ impl StrategyKind {
             StrategyKind::BlockOnly => "Block-Only Shuffle",
             StrategyKind::TupleOnly => "Tuple-Only Shuffle",
             StrategyKind::CorgiPile => "CorgiPile",
+            StrategyKind::Corgi2 => "Corgi²",
+            StrategyKind::BlockReversal => "Block-Reversal Shuffle",
         }
+    }
+
+    /// Short machine-friendly name: the canonical SQL spelling and the
+    /// [`ShuffleStrategy::name`] of the built strategy.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StrategyKind::NoShuffle => "no_shuffle",
+            StrategyKind::ShuffleOnce => "shuffle_once",
+            StrategyKind::EpochShuffle => "epoch_shuffle",
+            StrategyKind::SlidingWindow => "sliding_window",
+            StrategyKind::Mrs => "mrs",
+            StrategyKind::BlockOnly => "block_only",
+            StrategyKind::TupleOnly => "tuple_only",
+            StrategyKind::CorgiPile => "corgipile",
+            StrategyKind::Corgi2 => "corgi2",
+            StrategyKind::BlockReversal => "block_reversal",
+        }
+    }
+
+    /// Parse a machine name (as produced by [`StrategyKind::name`]) back
+    /// into a kind. Case-insensitive; the historical SQL short spellings
+    /// `no` and `once` are accepted as aliases. `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<StrategyKind> {
+        let lower = name.to_ascii_lowercase();
+        match lower.as_str() {
+            "no" => return Some(StrategyKind::NoShuffle),
+            "once" => return Some(StrategyKind::ShuffleOnce),
+            _ => {}
+        }
+        StrategyKind::all().into_iter().find(|k| k.name() == lower)
+    }
+
+    /// Whether the strategy buffers tuples in memory and re-shuffles them
+    /// there (CorgiPile's second level). Decides whether the query plan
+    /// needs a TupleShuffle operator above the scan.
+    pub fn is_tuple_buffered(&self) -> bool {
+        matches!(
+            self,
+            StrategyKind::CorgiPile | StrategyKind::TupleOnly | StrategyKind::Corgi2
+        )
+    }
+
+    /// Whether the SQL surface accepts this kind for `TRAIN … WITH
+    /// strategy = …`. The paper-comparison baselines (MRS, sliding-window,
+    /// epoch shuffle) exist for bench parity only and are not plannable.
+    pub fn available_in_db(&self) -> bool {
+        !matches!(
+            self,
+            StrategyKind::Mrs | StrategyKind::SlidingWindow | StrategyKind::EpochShuffle
+        )
     }
 }
 
@@ -199,6 +278,8 @@ pub fn build_strategy(kind: StrategyKind, params: StrategyParams) -> Box<dyn Shu
         StrategyKind::BlockOnly => Box::new(BlockOnlyShuffle::new(params)),
         StrategyKind::TupleOnly => Box::new(TupleOnlyShuffle::new(params)),
         StrategyKind::CorgiPile => Box::new(CorgiPile::new(params, BlockSampleMode::FullCoverage)),
+        StrategyKind::Corgi2 => Box::new(Corgi2::new(params)),
+        StrategyKind::BlockReversal => Box::new(BlockReversalShuffle::new(params)),
     }
 }
 
@@ -274,6 +355,42 @@ mod tests {
     fn display_names_match_paper() {
         assert_eq!(StrategyKind::CorgiPile.to_string(), "CorgiPile");
         assert_eq!(StrategyKind::Mrs.to_string(), "MRS Shuffle");
-        assert_eq!(StrategyKind::all().len(), 8);
+        assert_eq!(StrategyKind::Corgi2.to_string(), "Corgi²");
+        assert_eq!(StrategyKind::all().len(), 10);
+    }
+
+    #[test]
+    fn machine_names_round_trip() {
+        for kind in StrategyKind::all() {
+            assert_eq!(StrategyKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(
+            StrategyKind::from_name("CORGIPILE"),
+            Some(StrategyKind::CorgiPile)
+        );
+        assert_eq!(StrategyKind::from_name("bogus"), None);
+        assert_eq!(StrategyKind::from_name(""), None);
+    }
+
+    #[test]
+    fn capability_predicates() {
+        assert!(StrategyKind::CorgiPile.is_tuple_buffered());
+        assert!(StrategyKind::Corgi2.is_tuple_buffered());
+        assert!(StrategyKind::TupleOnly.is_tuple_buffered());
+        assert!(!StrategyKind::BlockOnly.is_tuple_buffered());
+        assert!(!StrategyKind::BlockReversal.is_tuple_buffered());
+        assert!(StrategyKind::Corgi2.available_in_db());
+        assert!(StrategyKind::BlockReversal.available_in_db());
+        assert!(!StrategyKind::Mrs.available_in_db());
+        assert!(!StrategyKind::SlidingWindow.available_in_db());
+        assert!(!StrategyKind::EpochShuffle.available_in_db());
+    }
+
+    #[test]
+    fn built_strategy_names_match_kind_names() {
+        for kind in StrategyKind::all() {
+            let s = build_strategy(kind, StrategyParams::default());
+            assert_eq!(s.name(), kind.name(), "{kind}");
+        }
     }
 }

@@ -77,4 +77,19 @@ assert d['speedup'] >= 1.3, f\"fused speedup {d['speedup']} < 1.3x\"
 assert d['bit_identical_all'], 'fused pipeline diverged from the interpreted oracle'
 " || { echo "BENCH_vectorize.json failed the vectorize gate"; exit 1; }
 
+banner "Planner bench (smoke scale)"
+# Gated: the cost-based chooser must move off plain CorgiPile on
+# clustered data, keep it on pre-shuffled data, and the bounded
+# RECLUSTER pass must stay within its declared io_budget. The
+# convergence-frontier check is only meaningful at full bench scale.
+CORGI_PLANNER_TUPLES=2000 CORGI_PLANNER_EPOCHS=20 \
+  cargo run --release -p corgipile-bench --bin corgi-bench -- planner
+python3 -c "
+import json
+d = json.load(open('BENCH_planner.json'))
+assert d['choice_clustered'] in ('corgi2', 'block_reversal'), d['choice_clustered']
+assert d['choice_shuffled'] == 'corgipile', d['choice_shuffled']
+assert d['recluster_within_budget'], d
+" || { echo "BENCH_planner.json failed the planner gate"; exit 1; }
+
 banner "CI gate passed"
