@@ -1,0 +1,377 @@
+//! Ingest benchmark: append throughput through the versioned block
+//! storage, and `TRAIN … CONTINUOUS` vs retrain-from-scratch on a
+//! drifting stream.
+//!
+//! Three measurements back the appendable-storage design (DESIGN.md §16):
+//!
+//! 1. **Append throughput** — `INSERT`-sized batches stream through the
+//!    catalog's buffered append writer on a durable engine; every
+//!    statement is one fsynced `CORGIWL1` frame in the table WAL and one
+//!    published snapshot version. Reports rows/sec and WAL bytes.
+//! 2. **Drift workload** — fresh rows arrive while a model must stay
+//!    current. The `CONTINUOUS` arm trains once with `refresh = 1`,
+//!    re-pinning the latest snapshot at each epoch boundary (total I/O:
+//!    `K` epoch scans). The retrain arm reacts to every drift step the
+//!    only way immutable tables allow — training from scratch over the
+//!    grown table with the epoch count the continuous run has consumed
+//!    by then (total I/O: `K·(K+1)/2` epoch scans). Both arms see the
+//!    identical append schedule; the gate requires the continuous arm to
+//!    reach the retrain arm's final loss with measurably less device I/O.
+//! 3. **Bit-identity** — the continuous arm reruns on a fresh engine with
+//!    the same drift schedule and must reproduce the model bit for bit
+//!    (`bit_identical_all`), the pinned-snapshot reproducibility claim at
+//!    benchmark scale.
+//!
+//! Writes `results/ingest.{tsv,json}` plus the root-level
+//! `BENCH_ingest.json` artifact (directory override: `CORGI_BENCH_ROOT`).
+//! `CORGI_INGEST_TUPLES` / `CORGI_INGEST_EPOCHS` / `CORGI_INGEST_ROWS` /
+//! `CORGI_INGEST_BATCH` shrink the run for CI smoke tests.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::report::Report;
+use corgipile_data::{DatasetSpec, Order};
+use corgipile_db::Database;
+use corgipile_storage::{SimDevice, Table, Tuple};
+
+const DIM: usize = 28;
+
+/// Append-throughput probe result.
+#[derive(Debug, Clone)]
+pub struct AppendRun {
+    /// Rows appended.
+    pub rows: u64,
+    /// Statements (one WAL frame + one published version each).
+    pub batches: u64,
+    /// Rows acknowledged per wall second.
+    pub rows_per_sec: f64,
+    /// Table WAL bytes after the run.
+    pub wal_bytes: u64,
+    /// Snapshot version after the run (1 + batches).
+    pub final_version: u64,
+}
+
+/// One arm of the drift workload.
+#[derive(Debug, Clone)]
+pub struct DriftArm {
+    /// Epoch scans this arm paid in total.
+    pub epoch_scans: u64,
+    /// Device bytes read over the whole arm.
+    pub io_bytes: u64,
+    /// Final training loss over the final snapshot.
+    pub loss: f64,
+}
+
+/// Drift-workload comparison plus the rerun bit-identity verdict.
+#[derive(Debug, Clone)]
+pub struct DriftRun {
+    /// Drift steps (= continuous epochs).
+    pub epochs: u64,
+    /// The `TRAIN … CONTINUOUS` arm.
+    pub continuous: DriftArm,
+    /// The retrain-from-scratch arm.
+    pub retrain: DriftArm,
+    /// Continuous rerun reproduced the model bit for bit.
+    pub bit_identical: bool,
+}
+
+fn clustered(n: usize) -> Table {
+    DatasetSpec::higgs_like(n)
+        .with_order(Order::ClusteredByLabel)
+        .with_block_bytes(8 << 10)
+        .build_table(1)
+        .unwrap()
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("corgi_bench_ingest_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+/// Deterministic drift batch `step`: the feature walk drifts with the
+/// step index, labels alternate.
+fn drift_batch(step: usize, rows: usize) -> Vec<Tuple> {
+    (0..rows)
+        .map(|i| {
+            let x = (step * 1000 + i) as f32 * 0.001;
+            Tuple::dense(0, vec![x; DIM], (i % 2) as f32)
+        })
+        .collect()
+}
+
+fn continuous_sql(epochs: usize) -> String {
+    format!(
+        "SELECT * FROM higgs TRAIN BY svm CONTINUOUS WITH learning_rate = 0.05, \
+         max_epoch_num = {epochs}, seed = 7, strategy = 'corgipile', \
+         buffer_fraction = 0.2, model_name = m, refresh = 1"
+    )
+}
+
+fn scratch_sql(epochs: usize) -> String {
+    format!(
+        "SELECT * FROM higgs TRAIN BY svm WITH learning_rate = 0.05, \
+         max_epoch_num = {epochs}, seed = 7, strategy = 'corgipile', \
+         buffer_fraction = 0.2, model_name = m"
+    )
+}
+
+/// Stream `rows` through the durable append writer in `batch_rows`-row
+/// statements, measuring acknowledged rows per wall second.
+pub fn measure_append_throughput(rows: usize, batch_rows: usize) -> AppendRun {
+    let dir = bench_dir("append");
+    let db = Database::with_model_store(SimDevice::hdd_scaled(1000.0, 0), 0, &dir)
+        .expect("open durable engine");
+    db.register_table("higgs", clustered(1000));
+    let batches = rows.div_ceil(batch_rows) as u64;
+    let start = Instant::now();
+    let mut sent = 0usize;
+    let mut step = 0usize;
+    while sent < rows {
+        let n = batch_rows.min(rows - sent);
+        db.catalog()
+            .append_rows("higgs", drift_batch(step, n))
+            .expect("append batch");
+        sent += n;
+        step += 1;
+    }
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+    let wal_bytes = std::fs::metadata(dir.join("tables").join("higgs.wal"))
+        .map(|m| m.len())
+        .unwrap_or(0);
+    let final_version = db.catalog().table_version("higgs").expect("version");
+    std::fs::remove_dir_all(&dir).ok();
+    AppendRun {
+        rows: rows as u64,
+        batches,
+        rows_per_sec: rows as f64 / wall,
+        wal_bytes,
+        final_version,
+    }
+}
+
+/// One continuous-arm run: a refresh hook appends `batch` drift rows at
+/// every epoch boundary while a single `CONTINUOUS` query trains through
+/// them. Returns the final params alongside the arm metrics.
+fn run_continuous(n: usize, epochs: usize, batch: usize) -> (Vec<f32>, DriftArm) {
+    let db = Database::new(SimDevice::hdd_scaled(1000.0, 0));
+    db.register_table("higgs", clustered(n));
+    let hook_db = Arc::clone(&db);
+    let mut s = db.connect();
+    s.set_refresh_hook(move |chunk| {
+        hook_db
+            .catalog()
+            .append_rows("higgs", drift_batch(chunk, batch))
+            .expect("drift append");
+    });
+    s.execute(&continuous_sql(epochs))
+        .expect("continuous train");
+    drop(s);
+    let m = db.catalog().model("m").expect("continuous model");
+    (
+        m.params.clone(),
+        DriftArm {
+            epoch_scans: epochs as u64,
+            io_bytes: db.device_stats().device_bytes,
+            loss: m.train_loss,
+        },
+    )
+}
+
+/// The retrain arm over the same drift schedule: at step `s` the table
+/// has grown by `s` batches and the model is retrained from scratch with
+/// `s + 1` epochs (the epoch budget the continuous arm has consumed by
+/// that step).
+fn run_retrain(n: usize, epochs: usize, batch: usize) -> DriftArm {
+    let db = Database::new(SimDevice::hdd_scaled(1000.0, 0));
+    db.register_table("higgs", clustered(n));
+    let mut scans = 0u64;
+    for step in 0..epochs {
+        if step > 0 {
+            db.catalog()
+                .append_rows("higgs", drift_batch(step, batch))
+                .expect("drift append");
+        }
+        db.connect()
+            .execute(&scratch_sql(step + 1))
+            .expect("scratch retrain");
+        scans += (step + 1) as u64;
+    }
+    let m = db.catalog().model("m").expect("retrain model");
+    DriftArm {
+        epoch_scans: scans,
+        io_bytes: db.device_stats().device_bytes,
+        loss: m.train_loss,
+    }
+}
+
+/// Run both arms over the identical drift schedule, then rerun the
+/// continuous arm for the bit-identity verdict.
+pub fn measure_drift(n: usize, epochs: usize, batch: usize) -> DriftRun {
+    let (params_a, continuous) = run_continuous(n, epochs, batch);
+    let retrain = run_retrain(n, epochs, batch);
+    let (params_b, _) = run_continuous(n, epochs, batch);
+    DriftRun {
+        epochs: epochs as u64,
+        continuous,
+        retrain,
+        bit_identical: params_a == params_b,
+    }
+}
+
+/// Render the root-level `BENCH_ingest.json` artifact.
+pub fn render_bench_json(append: &AppendRun, drift: &DriftRun) -> String {
+    let io_ratio = drift.retrain.io_bytes as f64 / (drift.continuous.io_bytes.max(1)) as f64;
+    format!(
+        "{{\n  \"id\": \"ingest\",\n  \"append\": {{\"rows\": {}, \"batches\": {}, \
+         \"rows_per_sec\": {:.2}, \"wal_bytes\": {}, \"final_version\": {}}},\n  \
+         \"drift\": {{\"epochs\": {}, \"continuous_epoch_scans\": {}, \
+         \"retrain_epoch_scans\": {}, \"continuous_io_bytes\": {}, \
+         \"retrain_io_bytes\": {}, \"io_ratio\": {:.4}, \"continuous_loss\": {:.6}, \
+         \"retrain_loss\": {:.6}}},\n  \"continuous_reaches_target\": {},\n  \
+         \"bit_identical_all\": {}\n}}",
+        append.rows,
+        append.batches,
+        append.rows_per_sec,
+        append.wal_bytes,
+        append.final_version,
+        drift.epochs,
+        drift.continuous.epoch_scans,
+        drift.retrain.epoch_scans,
+        drift.continuous.io_bytes,
+        drift.retrain.io_bytes,
+        io_ratio,
+        drift.continuous.loss,
+        drift.retrain.loss,
+        drift.continuous.loss <= drift.retrain.loss * 1.1 + 1e-6,
+        drift.bit_identical,
+    )
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The `ingest` experiment: append throughput, continuous-vs-retrain
+/// drift workload, rerun bit-identity, plus the root JSON artifact.
+pub fn ingest() {
+    let n = env_usize("CORGI_INGEST_TUPLES", 20_000);
+    let epochs = env_usize("CORGI_INGEST_EPOCHS", 6);
+    let append_rows = env_usize("CORGI_INGEST_ROWS", 20_000);
+    let batch = env_usize("CORGI_INGEST_BATCH", 200);
+    let append = measure_append_throughput(append_rows, batch);
+    let drift = measure_drift(n, epochs, batch);
+
+    let mut rep = Report::new(
+        "ingest",
+        "append throughput, TRAIN CONTINUOUS vs retrain-from-scratch on a drifting stream",
+        &["metric", "value"],
+    );
+    rep.row_strings(vec![
+        format!(
+            "append rows/sec ({} rows, {} batches)",
+            append.rows, append.batches
+        ),
+        format!("{:.0}", append.rows_per_sec),
+    ]);
+    rep.row_strings(vec![
+        "table WAL bytes".into(),
+        format!("{}", append.wal_bytes),
+    ]);
+    rep.row_strings(vec![
+        "continuous io bytes / epoch scans".into(),
+        format!(
+            "{} / {}",
+            drift.continuous.io_bytes, drift.continuous.epoch_scans
+        ),
+    ]);
+    rep.row_strings(vec![
+        "retrain io bytes / epoch scans".into(),
+        format!("{} / {}", drift.retrain.io_bytes, drift.retrain.epoch_scans),
+    ]);
+    rep.row_strings(vec![
+        "final loss (continuous vs retrain)".into(),
+        format!("{:.6} vs {:.6}", drift.continuous.loss, drift.retrain.loss),
+    ]);
+    rep.row_strings(vec![
+        "continuous rerun bit-identical".into(),
+        format!("{}", drift.bit_identical),
+    ]);
+    rep.note(
+        "CONTINUOUS re-pins the latest snapshot at each refresh boundary and keeps \
+         the warm model, paying one epoch scan per drift step; retraining from \
+         scratch on every drift step pays a quadratically growing scan total for \
+         the same final loss.",
+    );
+    rep.finish();
+
+    let root = std::env::var("CORGI_BENCH_ROOT").unwrap_or_else(|_| ".".into());
+    let path = std::path::Path::new(&root).join("BENCH_ingest.json");
+    match std::fs::write(&path, render_bench_json(&append, &drift) + "\n") {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_throughput_is_positive_and_journaled() {
+        let run = measure_append_throughput(500, 100);
+        assert_eq!(run.rows, 500);
+        assert_eq!(run.batches, 5);
+        assert!(run.rows_per_sec > 0.0);
+        assert!(run.wal_bytes > 0, "appends must hit the table WAL");
+        assert_eq!(run.final_version, 6, "one published version per statement");
+    }
+
+    #[test]
+    fn continuous_beats_retrain_io_and_reruns_identically() {
+        let drift = measure_drift(2_000, 3, 50);
+        assert!(
+            drift.continuous.io_bytes < drift.retrain.io_bytes,
+            "continuous {} vs retrain {}",
+            drift.continuous.io_bytes,
+            drift.retrain.io_bytes
+        );
+        assert!(drift.continuous.epoch_scans < drift.retrain.epoch_scans);
+        assert!(drift.bit_identical, "continuous rerun diverged");
+    }
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        let append = AppendRun {
+            rows: 500,
+            batches: 5,
+            rows_per_sec: 1000.0,
+            wal_bytes: 4096,
+            final_version: 6,
+        };
+        let drift = DriftRun {
+            epochs: 3,
+            continuous: DriftArm {
+                epoch_scans: 3,
+                io_bytes: 100,
+                loss: 0.5,
+            },
+            retrain: DriftArm {
+                epoch_scans: 6,
+                io_bytes: 200,
+                loss: 0.5,
+            },
+            bit_identical: true,
+        };
+        let json = render_bench_json(&append, &drift);
+        assert!(json.contains("\"io_ratio\": 2.0000"));
+        assert!(json.contains("\"continuous_reaches_target\": true"));
+        assert!(json.contains("\"bit_identical_all\": true"));
+        assert!(json.ends_with('}'));
+    }
+}

@@ -8,6 +8,7 @@ pub mod concurrency;
 pub mod convergence;
 pub mod deep;
 pub mod indb;
+pub mod ingest;
 pub mod io;
 pub mod order_diag;
 pub mod pipeline;
@@ -68,6 +69,7 @@ pub fn registry() -> Vec<Experiment> {
         Experiment { id: "serving", what: "extension: batched PREDICT serving throughput/latency at 1/4/8 sessions, cold vs warm cache, hot-reload bit-identity", run: serving::serving },
         Experiment { id: "vectorize", what: "extension: fused batch-at-a-time pipeline vs interpreted operator tree (sim-compute speedup, bit identity)", run: vectorize::vectorize },
         Experiment { id: "planner", what: "extension: cost-based shuffle planning — strategy grid vs planner choice on clustered data, RECLUSTER io_budget probe", run: planner::planner },
+        Experiment { id: "ingest", what: "extension: append throughput through the versioned table WAL, TRAIN CONTINUOUS vs retrain-from-scratch on a drifting stream", run: ingest::ingest },
     ]
 }
 

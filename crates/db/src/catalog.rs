@@ -1,8 +1,18 @@
-//! Catalog: tables and trained models.
+//! Catalog: tables, trained models, and the per-table snapshot chain.
 //!
 //! The paper stores the learned model "as an in-memory object (a C-style
 //! struct) with an ID in the PostgreSQL kernel" (§6.1); [`StoredModel`] is
 //! that object, addressable by name from `PREDICT BY` queries.
+//!
+//! Tables are *versioned*: a name maps to a monotonically increasing chain
+//! of immutable snapshots. `INSERT` appends rows through a WAL-backed
+//! [`AppendableTable`] writer and publishes a new snapshot version (with a
+//! fresh `table_id`, so block caches keyed by `(table_id, block)` never
+//! alias across versions); scans pin whatever snapshot was current at
+//! plan-build time and are therefore bit-reproducible under concurrent
+//! writers. Re-registering a name (`RECLUSTER`, test setup) also bumps the
+//! version. Both paths invalidate the cached ĥ_D, and appends replace it
+//! with the writer's incremental per-block estimate.
 //!
 //! The catalog is interior-synchronized (every method takes `&self`), so
 //! one `Catalog` can be shared by all sessions of a
@@ -11,10 +21,11 @@
 
 use crate::error::DbError;
 use corgipile_ml::{build_model, Model, ModelKind};
-use corgipile_storage::Table;
+use corgipile_storage::{AppendableTable, FaultInjector, FaultPlan, Table, TableSnapshot, Tuple};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 fn read<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
     l.read().unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -22,6 +33,10 @@ fn read<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
 
 fn write<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
     l.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// A trained model registered in the catalog.
@@ -165,14 +180,62 @@ pub struct CachedBlockVariance {
     pub hd: f64,
 }
 
+/// How many snapshot versions of a table the catalog retains. Pinned
+/// [`TableSnapshot`]s stay alive regardless (they hold `Arc<Table>`); the
+/// retained chain only powers [`Catalog::snapshot_at`] reach-back.
+const RETAINED_VERSIONS: usize = 8;
+
+/// One name's entry in the versioned table chain.
+struct TableEntry {
+    /// The current snapshot.
+    snapshot: Arc<Table>,
+    /// Monotonic version, starting at 1 on first registration.
+    version: u64,
+    /// Recent `(version, snapshot)` pairs, oldest first, current last.
+    retained: Vec<(u64, Arc<Table>)>,
+}
+
+impl TableEntry {
+    /// Install `snapshot` as the next version and return that version.
+    fn publish(&mut self, snapshot: Arc<Table>) -> u64 {
+        self.version += 1;
+        self.snapshot = snapshot.clone();
+        self.retained.push((self.version, snapshot));
+        if self.retained.len() > RETAINED_VERSIONS {
+            let excess = self.retained.len() - RETAINED_VERSIONS;
+            self.retained.drain(..excess);
+        }
+        self.version
+    }
+}
+
+/// What an `INSERT` (or WAL recovery) did to a table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendOutcome {
+    /// The snapshot version the append published.
+    pub version: u64,
+    /// Rows appended by this statement.
+    pub rows: u64,
+    /// Rows replayed from the table WAL when this statement had to open
+    /// the writer (0 once a writer is warm).
+    pub recovered: u64,
+    /// Total tuples in the published snapshot.
+    pub total_tuples: u64,
+}
+
 /// The database catalog. Interior-synchronized: shared by every session
 /// of an engine through `&self`.
+///
+/// Lock order (when several are held): `writers` → `tables` → `stats`.
 #[derive(Default)]
 pub struct Catalog {
-    tables: RwLock<HashMap<String, Arc<Table>>>,
+    tables: RwLock<HashMap<String, TableEntry>>,
+    writers: Mutex<HashMap<String, AppendableTable>>,
     models: RwLock<HashMap<String, StoredModel>>,
     stats: RwLock<HashMap<String, CachedBlockVariance>>,
     next_table_id: AtomicU32,
+    table_wal_dir: RwLock<Option<PathBuf>>,
+    append_faults: Mutex<Option<FaultInjector>>,
 }
 
 impl Catalog {
@@ -182,21 +245,72 @@ impl Catalog {
     }
 
     /// Register a table under its config name, returning the shared handle.
-    /// Re-registering a name invalidates any cached statistics for it.
+    ///
+    /// A first registration starts the name's chain at version 1;
+    /// re-registering (as `RECLUSTER` does with the shuffled copy) bumps
+    /// the version, invalidates any cached statistics, and discards any
+    /// buffered append writer — the writer extended the *previous*
+    /// physical table and must re-open against the new one.
     pub fn register_table(&self, name: impl Into<String>, table: Table) -> Arc<Table> {
         let name = name.into();
         let handle = Arc::new(table);
+        lock(&self.writers).remove(&name);
+        let mut tables = write(&self.tables);
         write(&self.stats).remove(&name);
-        write(&self.tables).insert(name, handle.clone());
+        tables
+            .entry(name)
+            .or_insert_with(|| TableEntry {
+                snapshot: handle.clone(),
+                version: 0,
+                retained: Vec::new(),
+            })
+            .publish(handle.clone());
         handle
     }
 
-    /// Look a table up.
+    /// Look a table up (the current snapshot's handle).
     pub fn table(&self, name: &str) -> Result<Arc<Table>, DbError> {
         read(&self.tables)
             .get(name)
-            .cloned()
+            .map(|e| e.snapshot.clone())
             .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    /// The current versioned snapshot of `name` — what a scan pins at
+    /// plan-build time.
+    pub fn snapshot(&self, name: &str) -> Result<TableSnapshot, DbError> {
+        read(&self.tables)
+            .get(name)
+            .map(|e| TableSnapshot::new(e.version, e.snapshot.clone()))
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    /// The current version of `name`'s snapshot chain.
+    pub fn table_version(&self, name: &str) -> Result<u64, DbError> {
+        read(&self.tables)
+            .get(name)
+            .map(|e| e.version)
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    /// Reach back to a retained snapshot version (the last
+    /// `RETAINED_VERSIONS` are kept). Lets a test or audit re-run a
+    /// pinned-snapshot train cold and compare bit-for-bit.
+    pub fn snapshot_at(&self, name: &str, version: u64) -> Result<TableSnapshot, DbError> {
+        let tables = read(&self.tables);
+        let e = tables
+            .get(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))?;
+        e.retained
+            .iter()
+            .find(|(v, _)| *v == version)
+            .map(|(v, t)| TableSnapshot::new(*v, t.clone()))
+            .ok_or_else(|| {
+                DbError::BadParam(format!(
+                    "table {name} does not retain snapshot v{version} (current is v{})",
+                    e.version
+                ))
+            })
     }
 
     /// Registered table names.
@@ -204,6 +318,149 @@ impl Catalog {
         let mut names: Vec<String> = read(&self.tables).keys().cloned().collect();
         names.sort();
         names
+    }
+
+    /// One status line per table (sorted by name):
+    /// `<name> v<version> blocks=<n> tuples=<n>` — the `SHOW TABLES` shape.
+    pub fn table_status(&self) -> Vec<String> {
+        let tables = read(&self.tables);
+        let mut rows: Vec<String> = tables
+            .iter()
+            .map(|(name, e)| {
+                format!(
+                    "{name} v{} blocks={} tuples={}",
+                    e.version,
+                    e.snapshot.num_blocks(),
+                    e.snapshot.num_tuples()
+                )
+            })
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    /// Direct table WALs at `<dir>/<name>.wal`. Without a directory the
+    /// append path still works, but in memory only (no crash durability).
+    pub fn set_table_wal_dir(&self, dir: impl Into<PathBuf>) {
+        *write(&self.table_wal_dir) = Some(dir.into());
+    }
+
+    /// Arm fault injection for the table append path (crash points, torn
+    /// writes, retryable failures at `table.*` and `wal.*` sites).
+    pub fn set_append_faults(&self, plan: FaultPlan) {
+        *lock(&self.append_faults) = Some(FaultInjector::new(plan));
+    }
+
+    /// Disarm [`Catalog::set_append_faults`].
+    pub fn clear_append_faults(&self) {
+        *lock(&self.append_faults) = None;
+    }
+
+    /// Append `rows` to `name` and publish a new snapshot version.
+    ///
+    /// The statement is journaled as one fsynced WAL frame before any
+    /// in-memory state changes, so an acked append survives a crash; on
+    /// error the writer is discarded (next append re-opens it from the WAL,
+    /// exactly as a crashed backend would). Publishing bumps the version,
+    /// assigns a fresh `table_id`, drops the stale cached ĥ_D and installs
+    /// the writer's incremental per-block estimate in its place.
+    pub fn append_rows(&self, name: &str, rows: Vec<Tuple>) -> Result<AppendOutcome, DbError> {
+        let mut writers = lock(&self.writers);
+        let recovered = self.ensure_writer(&mut writers, name)?;
+        let writer = writers.get_mut(name).expect("writer just ensured");
+        let n = rows.len() as u64;
+        {
+            let mut faults = lock(&self.append_faults);
+            if let Err(e) = writer.append_rows(rows, faults.as_mut()) {
+                writers.remove(name);
+                return Err(e.into());
+            }
+        }
+        let version = self.publish_if_changed(name, writer)?;
+        Ok(AppendOutcome {
+            version,
+            rows: n,
+            recovered,
+            total_tuples: writer.num_tuples(),
+        })
+    }
+
+    /// Replay any table WAL for `name` without appending anything: opens
+    /// the writer (recovering acked-but-unpublished rows) and publishes a
+    /// new snapshot version if recovery found rows the current snapshot
+    /// lacks. Returns the number of rows the writer replayed. Idempotent.
+    pub fn recover_table_wal(&self, name: &str) -> Result<u64, DbError> {
+        let mut writers = lock(&self.writers);
+        self.ensure_writer(&mut writers, name)?;
+        let writer = writers.get(name).expect("writer just ensured");
+        let recovered = writer.replayed_rows();
+        self.publish_if_changed(name, writer)?;
+        Ok(recovered)
+    }
+
+    /// Open the append writer for `name` if it is not already open,
+    /// replaying its WAL (if one exists). Returns the rows replayed by a
+    /// fresh open, 0 for an already-warm writer.
+    fn ensure_writer(
+        &self,
+        writers: &mut HashMap<String, AppendableTable>,
+        name: &str,
+    ) -> Result<u64, DbError> {
+        if writers.contains_key(name) {
+            return Ok(0);
+        }
+        let base = self.table(name)?;
+        let wal_path = read(&self.table_wal_dir)
+            .as_ref()
+            .map(|d| d.join(format!("{name}.wal")));
+        let writer = match wal_path {
+            Some(path) => {
+                if let Some(dir) = path.parent() {
+                    std::fs::create_dir_all(dir).map_err(|e| {
+                        DbError::Storage(corgipile_storage::StorageError::Io {
+                            op: "create table wal dir",
+                            message: e.to_string(),
+                        })
+                    })?;
+                }
+                AppendableTable::open(&base, &path)?
+            }
+            None => AppendableTable::open_in_memory(&base),
+        };
+        let recovered = writer.replayed_rows();
+        writers.insert(name.to_string(), writer);
+        Ok(recovered)
+    }
+
+    /// Publish `writer`'s contents as the next snapshot version of `name`
+    /// when it holds rows the current snapshot lacks; otherwise return the
+    /// current version unchanged. Fresh `table_id` per publish so block
+    /// caches keyed `(table_id, block)` never serve a stale version.
+    fn publish_if_changed(&self, name: &str, writer: &AppendableTable) -> Result<u64, DbError> {
+        let published = self.table(name)?.num_tuples();
+        if writer.num_tuples() <= published {
+            return self.table_version(name);
+        }
+        let new_id = self.fresh_table_id();
+        let table = Arc::new(writer.snapshot_table(new_id));
+        let hd = writer.hd_estimate();
+        let mut tables = write(&self.tables);
+        let e = tables
+            .get_mut(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))?;
+        let version = e.publish(table);
+        let mut stats = write(&self.stats);
+        stats.remove(name);
+        if let Some(hd) = hd {
+            stats.insert(
+                name.to_string(),
+                CachedBlockVariance {
+                    table_id: new_id,
+                    hd,
+                },
+            );
+        }
+        Ok(version)
     }
 
     /// A fresh table id for derived tables (shuffled copies), unique
@@ -370,6 +627,167 @@ mod tests {
         let t2 = DatasetSpec::higgs_like(60).build_table(1).unwrap();
         c.register_table("higgs", t2);
         assert_eq!(c.cached_block_variance("higgs", tid), None);
+    }
+
+    fn probe_rows(n: usize) -> Vec<Tuple> {
+        (0..n)
+            .map(|i| {
+                Tuple::dense(
+                    0,
+                    vec![i as f32, -(i as f32)],
+                    if i % 2 == 0 { 1.0 } else { -1.0 },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn append_rows_bumps_versions_and_pins_snapshots() {
+        let c = Catalog::new();
+        let t = DatasetSpec::higgs_like(50).build_table(1).unwrap();
+        c.register_table("t", t);
+        assert_eq!(c.table_version("t").unwrap(), 1);
+        let pinned = c.snapshot("t").unwrap();
+        let out = c.append_rows("t", probe_rows(3)).unwrap();
+        assert_eq!(
+            out,
+            AppendOutcome {
+                version: 2,
+                rows: 3,
+                recovered: 0,
+                total_tuples: 53
+            }
+        );
+        // The pinned snapshot is immutable: it still sees the old contents…
+        assert_eq!(pinned.version(), 1);
+        assert_eq!(pinned.table().num_tuples(), 50);
+        // …while the latest snapshot sees the appended rows under a fresh
+        // table id (block caches must never alias across versions).
+        let latest = c.snapshot("t").unwrap();
+        assert_eq!(latest.version(), 2);
+        assert_eq!(latest.num_tuples(), 53);
+        assert_ne!(
+            latest.config().table_id,
+            pinned.config().table_id,
+            "published snapshot must get a fresh table id"
+        );
+        // snapshot_at reaches back through the retained chain.
+        assert_eq!(c.snapshot_at("t", 1).unwrap().num_tuples(), 50);
+        assert_eq!(c.snapshot_at("t", 2).unwrap().num_tuples(), 53);
+        assert!(c.snapshot_at("t", 3).is_err());
+        assert!(matches!(c.snapshot("nope"), Err(DbError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn append_invalidates_cached_hd_and_installs_writer_estimate() {
+        let c = Catalog::new();
+        let t = DatasetSpec::higgs_like(50).build_table(1).unwrap();
+        let tid = t.config().table_id;
+        c.register_table("t", t);
+        c.cache_block_variance("t", tid, 0.7);
+        assert_eq!(c.cached_block_variance("t", tid), Some(0.7));
+        c.append_rows("t", probe_rows(4)).unwrap();
+        // The sampled estimate for the old version no longer applies…
+        assert_eq!(c.cached_block_variance("t", tid), None);
+        // …and the writer's incremental estimate is cached for the new id.
+        let new_id = c.snapshot("t").unwrap().config().table_id;
+        let hd = c.cached_block_variance("t", new_id);
+        assert!(hd.is_some(), "writer-fed ĥ_D should be cached on publish");
+        assert!((0.0..=1.0).contains(&hd.unwrap()));
+    }
+
+    #[test]
+    fn reregistration_bumps_version_and_drops_writer() {
+        let c = Catalog::new();
+        c.register_table("t", DatasetSpec::higgs_like(50).build_table(1).unwrap());
+        c.append_rows("t", probe_rows(2)).unwrap();
+        assert_eq!(c.table_version("t").unwrap(), 2);
+        // RECLUSTER-style re-registration: new physical table, bumped
+        // version, buffered writer discarded.
+        c.register_table("t", DatasetSpec::higgs_like(60).build_table(1).unwrap());
+        assert_eq!(c.table_version("t").unwrap(), 3);
+        assert_eq!(c.snapshot("t").unwrap().num_tuples(), 60);
+        let out = c.append_rows("t", probe_rows(1)).unwrap();
+        assert_eq!(out.version, 4);
+        assert_eq!(out.total_tuples, 61);
+    }
+
+    #[test]
+    fn table_status_reports_version_blocks_tuples() {
+        let c = Catalog::new();
+        c.register_table("beta", DatasetSpec::higgs_like(50).build_table(1).unwrap());
+        c.register_table("alpha", DatasetSpec::higgs_like(30).build_table(2).unwrap());
+        c.append_rows("beta", probe_rows(2)).unwrap();
+        let blocks_a = c.table("alpha").unwrap().num_blocks();
+        let blocks_b = c.table("beta").unwrap().num_blocks();
+        assert_eq!(
+            c.table_status(),
+            vec![
+                format!("alpha v1 blocks={blocks_a} tuples=30"),
+                format!("beta v2 blocks={blocks_b} tuples=52"),
+            ]
+        );
+        // table_names stays bare — scripts that iterate names keep working.
+        assert_eq!(c.table_names(), vec!["alpha", "beta"]);
+    }
+
+    #[test]
+    fn wal_backed_appends_recover_after_restart() {
+        let dir = std::env::temp_dir().join(format!(
+            "corgi_catalog_wal_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let base = || DatasetSpec::higgs_like(50).build_table(1).unwrap();
+        {
+            let c = Catalog::new();
+            c.set_table_wal_dir(&dir);
+            c.register_table("t", base());
+            c.append_rows("t", probe_rows(3)).unwrap();
+        }
+        // "Restart": a fresh catalog over the same WAL dir and base table.
+        let c = Catalog::new();
+        c.set_table_wal_dir(&dir);
+        c.register_table("t", base());
+        assert_eq!(c.recover_table_wal("t").unwrap(), 3);
+        assert_eq!(c.snapshot("t").unwrap().num_tuples(), 53);
+        assert_eq!(c.table_version("t").unwrap(), 2);
+        // Idempotent: replaying again publishes nothing new.
+        assert_eq!(c.recover_table_wal("t").unwrap(), 3);
+        assert_eq!(c.table_version("t").unwrap(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_during_append_loses_only_the_statement() {
+        use corgipile_storage::{sites, StorageError};
+        let dir = std::env::temp_dir().join(format!(
+            "corgi_catalog_crash_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let c = Catalog::new();
+        c.set_table_wal_dir(&dir);
+        c.register_table("t", DatasetSpec::higgs_like(50).build_table(1).unwrap());
+        c.append_rows("t", probe_rows(2)).unwrap(); // acked
+        c.set_append_faults(FaultPlan::new(7).with_crash_point(sites::TABLE_APPEND_ROWS, 1));
+        let err = c.append_rows("t", probe_rows(4)).unwrap_err();
+        assert!(matches!(
+            err,
+            DbError::Storage(StorageError::Crashed { .. })
+        ));
+        c.clear_append_faults();
+        // The acked statement survives (it is already published, so the
+        // re-opened writer skips its WAL rows); the crashed one is wholly
+        // absent; new appends continue cleanly.
+        let out = c.append_rows("t", probe_rows(1)).unwrap();
+        assert_eq!(out.rows, 1);
+        assert_eq!(out.recovered, 0);
+        assert_eq!(out.total_tuples, 53);
+        assert_eq!(out.version, 3);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -92,6 +92,11 @@ impl Database {
     ) -> Result<Arc<Self>, DbError> {
         let store = Arc::new(ModelStore::open_with(dir, opts)?);
         let db = Database::assemble(dev, pool_capacity_bytes, Some(store.clone()));
+        // Durable engines also journal table appends: each table gets a
+        // `CORGIWL1` WAL at `<dir>/tables/<name>.wal`, replayed when the
+        // table is re-registered after a restart (see
+        // `Catalog::recover_table_wal`).
+        db.catalog.set_table_wal_dir(dir.join("tables"));
         // Recovery registration: the latest durable version of every model
         // becomes the catalog object, exactly as if its training query had
         // just stored it — and the serving cache's active version, so

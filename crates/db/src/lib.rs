@@ -44,8 +44,8 @@ pub mod session;
 pub mod sql;
 
 pub use baselines::{system_trainer_config, InDbSystem};
-pub use catalog::{Catalog, StoredModel};
-pub use corgipile_storage::{Telemetry, TelemetrySnapshot};
+pub use catalog::{AppendOutcome, Catalog, StoredModel};
+pub use corgipile_storage::{TableSnapshot, Telemetry, TelemetrySnapshot};
 pub use database::Database;
 pub use error::DbError;
 pub use exec::{

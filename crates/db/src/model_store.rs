@@ -33,8 +33,8 @@ use crate::catalog::StoredModel;
 use crate::error::DbError;
 use corgipile_ml::TrainCheckpoint;
 use corgipile_storage::{
-    atomic_write_bytes_faulted, crc32, sites, FaultInjector, FaultPlan, RetryPolicy, StorageError,
-    Wal, WriteOutcome,
+    atomic_write_bytes_faulted, decode_container, encode_container, put_bytes, sites,
+    FaultInjector, FaultPlan, FieldReader, RetryPolicy, StorageError, Wal, WriteOutcome,
 };
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -366,11 +366,6 @@ fn apply(history: &mut BTreeMap<String, BTreeMap<u32, ModelRecord>>, rec: ModelR
     }
 }
 
-fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
-    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
-    out.extend_from_slice(b);
-}
-
 fn encode_record(rec: &ModelRecord) -> Vec<u8> {
     let mut out = Vec::new();
     put_bytes(&mut out, rec.name.as_bytes());
@@ -382,35 +377,15 @@ fn encode_record(rec: &ModelRecord) -> Vec<u8> {
     out
 }
 
-fn corrupt(m: &str) -> DbError {
-    DbError::Storage(StorageError::Corrupt(format!("model record: {m}")))
-}
-
 fn decode_record(payload: &[u8]) -> Result<ModelRecord, DbError> {
-    let mut pos = 0usize;
-    let take = |pos: &mut usize, n: usize| -> Result<&[u8], DbError> {
-        if *pos + n > payload.len() {
-            return Err(corrupt("truncated"));
-        }
-        let s = &payload[*pos..*pos + n];
-        *pos += n;
-        Ok(s)
-    };
-    let take_bytes = |pos: &mut usize| -> Result<&[u8], DbError> {
-        let n = u32::from_le_bytes(take(pos, 4)?.try_into().unwrap()) as usize;
-        take(pos, n)
-    };
-    let name = String::from_utf8(take_bytes(&mut pos)?.to_vec())
-        .map_err(|_| corrupt("name is not utf-8"))?;
-    let source = String::from_utf8(take_bytes(&mut pos)?.to_vec())
-        .map_err(|_| corrupt("source is not utf-8"))?;
-    let version = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
-    let epoch = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
-    let stored = StoredModel::from_bytes(take_bytes(&mut pos)?)?;
-    let checkpoint = TrainCheckpoint::from_bytes(take_bytes(&mut pos)?)?;
-    if pos != payload.len() {
-        return Err(corrupt("trailing bytes"));
-    }
+    let mut r = FieldReader::new(payload, "model record");
+    let name = r.string()?;
+    let source = r.string()?;
+    let version = r.u32()?;
+    let epoch = r.u32()?;
+    let stored = StoredModel::from_bytes(r.bytes()?)?;
+    let checkpoint = TrainCheckpoint::from_bytes(r.bytes()?)?;
+    r.finish()?;
     Ok(ModelRecord {
         name,
         source,
@@ -422,57 +397,12 @@ fn decode_record(payload: &[u8]) -> Result<ModelRecord, DbError> {
 }
 
 fn encode_snapshot<'a>(records: impl Iterator<Item = &'a ModelRecord>) -> Vec<u8> {
-    let mut out = Vec::new();
-    out.extend_from_slice(SNAPSHOT_MAGIC);
-    let mut count = 0u32;
-    let mut body = Vec::new();
-    for rec in records {
-        put_bytes(&mut body, &encode_record(rec));
-        count += 1;
-    }
-    out.extend_from_slice(&count.to_le_bytes());
-    out.extend_from_slice(&body);
-    let crc = crc32(&out);
-    out.extend_from_slice(&crc.to_le_bytes());
-    out
+    let payloads: Vec<Vec<u8>> = records.map(encode_record).collect();
+    encode_container(SNAPSHOT_MAGIC, &payloads)
 }
 
 fn decode_snapshot(bytes: &[u8]) -> Result<Vec<Vec<u8>>, DbError> {
-    let bad = |m: &str| DbError::Storage(StorageError::Corrupt(format!("model snapshot: {m}")));
-    if bytes.len() < SNAPSHOT_MAGIC.len() + 8 {
-        return Err(bad("too short"));
-    }
-    if &bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
-        return Err(bad("bad magic"));
-    }
-    let body_end = bytes.len() - 4;
-    let stored_crc = u32::from_le_bytes(bytes[body_end..].try_into().unwrap());
-    if crc32(&bytes[..body_end]) != stored_crc {
-        return Err(bad("checksum mismatch"));
-    }
-    let count = u32::from_le_bytes(
-        bytes[SNAPSHOT_MAGIC.len()..SNAPSHOT_MAGIC.len() + 4]
-            .try_into()
-            .unwrap(),
-    ) as usize;
-    let mut pos = SNAPSHOT_MAGIC.len() + 4;
-    let mut payloads = Vec::with_capacity(count);
-    for _ in 0..count {
-        if pos + 4 > body_end {
-            return Err(bad("truncated record header"));
-        }
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
-        pos += 4;
-        if pos + len > body_end {
-            return Err(bad("truncated record"));
-        }
-        payloads.push(bytes[pos..pos + len].to_vec());
-        pos += len;
-    }
-    if pos != body_end {
-        return Err(bad("trailing bytes"));
-    }
-    Ok(payloads)
+    Ok(decode_container(SNAPSHOT_MAGIC, bytes, "model snapshot")?)
 }
 
 #[cfg(test)]

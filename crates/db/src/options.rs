@@ -168,6 +168,9 @@ pub const OPTIONS: &[OptionSpec] = &[
     ),
     opt("planner", OptionType::Flag, Some("1"), true, false, false),
     opt("pushdown", OptionType::Flag, Some("1"), true, false, false),
+    // `TRAIN … CONTINUOUS` only: re-pin the latest snapshot every this
+    // many epochs. Unset defaults to max_epoch_num (one pin per run).
+    opt("refresh", OptionType::Int, None, true, false, false),
     opt(
         "report_metrics",
         OptionType::Flag,

@@ -39,8 +39,10 @@ use corgipile_storage::{
     BufferPool, DeviceHandle, FaultPlan, PoolHandle, RetryPolicy, SimDevice, Table, Telemetry,
     Tuple,
 };
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::rc::Rc;
 use std::sync::Arc;
 
 /// Summary of a completed `TRAIN BY` query.
@@ -52,6 +54,10 @@ pub struct DbTrainSummary {
     pub model_kind: ModelKind,
     /// Strategy used.
     pub strategy: String,
+    /// Table snapshot version the training scan was pinned to (the last
+    /// pin, for `TRAIN … CONTINUOUS`). Rerunning the same query against
+    /// [`Catalog::snapshot_at`] of this version is bit-identical.
+    pub snapshot_version: u64,
     /// One-off pre-shuffle cost, if any.
     pub setup_seconds: f64,
     /// Per-epoch records.
@@ -218,6 +224,19 @@ pub enum QueryResult {
         /// What a full offline shuffle would have cost, for comparison.
         full_shuffle_io: f64,
     },
+    /// `INSERT INTO … VALUES …` outcome: the rows went through the
+    /// table's buffered append writer (journaled as one fsynced WAL frame
+    /// on durable engines) and a new snapshot version was published.
+    Insert {
+        /// Table appended into.
+        table: String,
+        /// Rows this statement appended.
+        rows: u64,
+        /// The snapshot version the append published.
+        version: u64,
+        /// Total tuples in the published snapshot.
+        total_tuples: u64,
+    },
 }
 
 /// A connection to a [`Database`].
@@ -235,6 +254,10 @@ pub struct Session {
     /// Registry stashed by `set_telemetry_enabled(false)`, restored on
     /// re-enable so accumulated metrics survive an opt-out round trip.
     stashed_telemetry: Option<Telemetry>,
+    /// Invoked with the 1-based chunk index before every
+    /// `TRAIN … CONTINUOUS` snapshot re-pin (see
+    /// [`Session::set_refresh_hook`]).
+    refresh_hook: Option<Box<dyn FnMut(usize) + Send>>,
 }
 
 impl Session {
@@ -255,7 +278,19 @@ impl Session {
             compute,
             telemetry,
             stashed_telemetry: None,
+            refresh_hook: None,
         }
+    }
+
+    /// Install a hook run right before every `TRAIN … CONTINUOUS`
+    /// snapshot re-pin, with the 1-based index of the chunk about to
+    /// start. A deterministic stand-in for a concurrent writer: the hook
+    /// can append through [`Database::catalog`] (capture the `Arc`
+    /// returned by [`Session::database`]) and the next chunk trains over
+    /// the result — tests and benches use it to replay the exact same
+    /// drift schedule across runs.
+    pub fn set_refresh_hook(&mut self, hook: impl FnMut(usize) + Send + 'static) {
+        self.refresh_hook = Some(Box::new(hook));
     }
 
     /// The engine this session is connected to.
@@ -331,8 +366,12 @@ impl Session {
                 projection,
                 filter,
                 strategy,
+                continuous,
                 params,
-            } => self.train(&table, &model, projection, filter, strategy, params),
+            } => self.train(
+                &table, &model, projection, filter, strategy, continuous, params,
+            ),
+            Query::Insert { table, rows } => self.insert(&table, rows),
             Query::Predict { table, model } => self.predict(&table, &model),
             Query::PredictServe {
                 model,
@@ -363,7 +402,7 @@ impl Session {
             Query::Explain(inner) => self.explain(*inner),
             Query::ExplainAnalyze(inner) => self.explain_analyze(*inner),
             Query::Show { what } => Ok(match what {
-                ShowTarget::Tables => QueryResult::Names(self.catalog().table_names()),
+                ShowTarget::Tables => QueryResult::Names(self.catalog().table_status()),
                 ShowTarget::Models => QueryResult::Names(self.render_models()),
                 ShowTarget::Stats => QueryResult::Plan(self.render_stats()),
             }),
@@ -586,12 +625,20 @@ impl Session {
                 projection,
                 filter,
                 strategy,
+                continuous,
                 params,
             } => {
-                let t = self.catalog().table(&table)?;
-                let kind = self.resolve_model_kind(&model, &t)?;
+                let snap = self.catalog().snapshot(&table)?;
+                let t = snap.table();
+                let kind = self.resolve_model_kind(&model, t)?;
                 let opts = QueryOptions::parse(Statement::Train, &params)?;
                 let epochs = opts.nonneg_int("max_epoch_num", 10)?;
+                let refresh = opts.positive_int("refresh", epochs.max(1))?;
+                if opts.is_set("refresh") && !continuous {
+                    return Err(DbError::BadParam(
+                        "refresh requires TRAIN … CONTINUOUS".into(),
+                    ));
+                }
                 let buffer_fraction = opts.fraction("buffer_fraction", 0.10)?;
                 let io_budget = opts.fraction("io_budget", StrategyParams::default().io_budget)?;
                 let seed = opts.nonneg_int("seed", 42)? as u64;
@@ -609,9 +656,9 @@ impl Session {
                     Some(kind) => kind,
                     None if !planner => StrategyKind::CorgiPile,
                     None => {
-                        let hd = self.block_variance(&table, &t, seed, true);
+                        let hd = self.block_variance(&table, t, seed, true);
                         let profile = self.dev.profile();
-                        let pick = CostModel::new(epochs).choose(&t, &profile, &sparams, hd);
+                        let pick = CostModel::new(epochs).choose(t, &profile, &sparams, hd);
                         if !opts.is_set("buffer_fraction") {
                             sparams = sparams.with_buffer_fraction(pick.buffer_fraction);
                         }
@@ -634,9 +681,9 @@ impl Session {
                     strategy,
                     projection,
                     filter,
-                    buffer_blocks: sparams.buffer_blocks(&t),
+                    buffer_blocks: sparams.buffer_blocks(t),
                 };
-                let mut plan = LogicalPlan::build(&spec, &t)?;
+                let mut plan = LogicalPlan::build(&spec, t)?;
                 if pushdown {
                     plan = plan.push_down();
                 }
@@ -645,11 +692,25 @@ impl Session {
                 } else {
                     plan.explain_lines()
                 };
+                lines.push(format!("Snapshot: version={}", snap.version()));
+                if continuous {
+                    lines.push(format!(
+                        "Continuous: refresh={refresh} (re-pin latest snapshot every \
+                         {refresh} epochs)"
+                    ));
+                }
                 lines.push(opts.line());
                 if let Some(line) = planner_line {
                     lines.push(line);
                 }
                 Ok(QueryResult::Plan(lines))
+            }
+            Query::Insert { table, rows } => {
+                let version = self.catalog().table_version(&table)?;
+                Ok(QueryResult::Plan(vec![format!(
+                    "Insert on {table} (rows={}, current snapshot v{version})",
+                    rows.len()
+                )]))
             }
             Query::Predict { table, model } => {
                 let t = self.catalog().table(&table)?;
@@ -693,6 +754,7 @@ impl Session {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn train(
         &mut self,
         table_name: &str,
@@ -700,12 +762,33 @@ impl Session {
         projection: Projection,
         filter: Option<Predicate>,
         strategy: Option<StrategyKind>,
+        continuous: bool,
         params: BTreeMap<String, ParamValue>,
     ) -> Result<QueryResult, DbError> {
-        let mut table = self.catalog().table(table_name)?;
+        if continuous {
+            return self.train_continuous(
+                table_name,
+                model_name_raw,
+                projection,
+                filter,
+                strategy,
+                params,
+            );
+        }
+        // Pin the snapshot before anything else: every block this query
+        // reads comes from exactly this version, no matter what concurrent
+        // INSERTs publish while it runs.
+        let snapshot = self.catalog().snapshot(table_name)?;
+        let snapshot_version = snapshot.version();
+        let mut table = snapshot.into_table();
 
         // --- Parameters (validated against the typed option registry) ---
         let opts = QueryOptions::parse(Statement::Train, &params)?;
+        if opts.is_set("refresh") {
+            return Err(DbError::BadParam(
+                "refresh requires TRAIN … CONTINUOUS".into(),
+            ));
+        }
         let learning_rate = opts.float("learning_rate", 0.1)? as f32;
         let decay = opts.float("decay", 0.95)? as f32;
         let epochs = opts.nonneg_int("max_epoch_num", 10)?;
@@ -1009,11 +1092,329 @@ impl Session {
             model_name: stored_name,
             model_kind: kind,
             strategy: strategy.name().to_string(),
+            snapshot_version,
             setup_seconds,
             epochs: result.epochs,
             final_train_metric: final_metric,
             halted: result.halted,
             op_stats: result.op_stats,
+        }))
+    }
+
+    /// `INSERT INTO <table> VALUES (…), …`: append through the catalog's
+    /// buffered writer. Each row is `feature…, label`; sequence ids are
+    /// assigned by the writer. On durable engines the whole statement is
+    /// journaled as one fsynced table-WAL frame before it is acknowledged,
+    /// and the publish invalidates the planner's cached ĥ_D exactly like
+    /// `RECLUSTER` does.
+    fn insert(&mut self, table_name: &str, rows: Vec<Vec<f64>>) -> Result<QueryResult, DbError> {
+        let table = self.catalog().table(table_name)?;
+        let dim = table.get_tuple(0)?.features.dim();
+        let tuples: Vec<Tuple> = rows
+            .into_iter()
+            .map(|r| {
+                let (label, features) = r.split_last().expect("the parser requires >= 2 values");
+                if features.len() != dim {
+                    return Err(DbError::BadParam(format!(
+                        "INSERT row has {} features, table {table_name} stores {dim}",
+                        features.len()
+                    )));
+                }
+                Ok(Tuple::dense(
+                    0, // overwritten: the append writer assigns sequence ids
+                    features.iter().map(|v| *v as f32).collect(),
+                    *label as f32,
+                ))
+            })
+            .collect::<Result<_, DbError>>()?;
+        let out = self.catalog().append_rows(table_name, tuples)?;
+        self.telemetry.counter("db.insert.rows").add(out.rows);
+        if out.recovered > 0 {
+            self.telemetry
+                .counter("db.insert.recovered_rows")
+                .add(out.recovered);
+        }
+        Ok(QueryResult::Insert {
+            table: table_name.to_string(),
+            rows: out.rows,
+            version: out.version,
+            total_tuples: out.total_tuples,
+        })
+    }
+
+    /// `TRAIN … CONTINUOUS`: chunked training over the snapshot chain.
+    ///
+    /// The run splits its `max_epoch_num` epochs into chunks of `refresh`
+    /// epochs. Each chunk pins the *latest* snapshot at its start,
+    /// rebuilds the physical plan over it, and resumes the model from the
+    /// previous chunk's checkpoint — the same epoch-replay resume the
+    /// durable store uses — so every individual scan is bit-reproducible
+    /// on its pinned version while appended data is picked up at epoch
+    /// granularity. Over a table that never changes, the chunked run is
+    /// bit-identical to the equivalent plain `TRAIN`.
+    ///
+    /// The strategy (and the planner's buffer fraction) is resolved once,
+    /// on the first pinned snapshot, and held for the whole run: a
+    /// drifting table must not flip the access path mid-model.
+    fn train_continuous(
+        &mut self,
+        table_name: &str,
+        model_name_raw: &str,
+        projection: Projection,
+        filter: Option<Predicate>,
+        strategy: Option<StrategyKind>,
+        params: BTreeMap<String, ParamValue>,
+    ) -> Result<QueryResult, DbError> {
+        let opts = QueryOptions::parse(Statement::Train, &params)?;
+        // Checkpoint/resume knobs steer the single-shot path's restart
+        // story; CONTINUOUS owns the checkpoint chain itself.
+        for knob in [
+            "durable",
+            "resume",
+            "checkpoint",
+            "halt_after_epoch",
+            "block_size",
+        ] {
+            if params.contains_key(knob) {
+                return Err(DbError::BadParam(format!(
+                    "{knob} is not supported with TRAIN … CONTINUOUS"
+                )));
+            }
+        }
+        let learning_rate = opts.float("learning_rate", 0.1)? as f32;
+        let decay = opts.float("decay", 0.95)? as f32;
+        let epochs = opts.nonneg_int("max_epoch_num", 10)?;
+        let refresh = opts.positive_int("refresh", epochs.max(1))?;
+        let buffer_fraction = opts.fraction("buffer_fraction", 0.10)?;
+        let io_budget = opts.fraction("io_budget", StrategyParams::default().io_budget)?;
+        let batch_size = opts.nonneg_int("batch_size", 1)?.max(1);
+        let seed = opts.nonneg_int("seed", 42)? as u64;
+        let double_buffer = opts.flag("double_buffer", true)?;
+        let l2 = opts.float("l2", 0.0)? as f32;
+        if l2 < 0.0 {
+            return Err(DbError::BadParam("l2 must be non-negative".into()));
+        }
+        let shared_buffers = opts.nonneg_int("shared_buffers", 0)?;
+        let report_metrics = opts.flag("report_metrics", false)?;
+        let planner = opts.flag("planner", true)?;
+        let max_retries = opts.nonneg_int("max_retries", 4)? as u32;
+        let on_fault = match params.get("on_fault") {
+            None => FaultAction::Fail,
+            Some(v) => match v.as_text() {
+                Some("fail") => FaultAction::Fail,
+                Some("skip") => FaultAction::SkipBlock,
+                _ => {
+                    return Err(DbError::BadParam(
+                        "on_fault must be 'fail' or 'skip'".into(),
+                    ))
+                }
+            },
+        };
+        let pushdown = opts.flag("pushdown", true)?;
+        let fuse = opts.flag("fuse", true)?;
+
+        // --- First pin: model shape and strategy resolve here ------------
+        let mut snapshot = self.catalog().snapshot(table_name)?;
+        let kind = self.resolve_model_kind(model_name_raw, &snapshot)?;
+        let mut sparams = StrategyParams::default()
+            .with_buffer_fraction(buffer_fraction)
+            .with_seed(seed)
+            .with_io_budget(io_budget);
+        let strategy = match strategy {
+            Some(kind) => kind,
+            None if !planner => StrategyKind::CorgiPile,
+            None => {
+                let hd = self.block_variance(table_name, &snapshot, seed, true);
+                let profile = self.dev.profile();
+                let pick = CostModel::new(epochs).choose(&snapshot, &profile, &sparams, hd);
+                if !opts.is_set("buffer_fraction") {
+                    sparams = sparams.with_buffer_fraction(pick.buffer_fraction);
+                }
+                pick.kind
+            }
+        };
+        let dim_all = snapshot.get_tuple(0)?.features.dim();
+        let projected = projection.feature_indices();
+        let dim = projected.as_ref().map(|c| c.len()).unwrap_or(dim_all);
+        let eval_view = |table: &Arc<Table>| -> Arc<Vec<Tuple>> {
+            let all = table.all_tuples();
+            if filter.is_some() || projected.is_some() {
+                Arc::new(
+                    all.iter()
+                        .filter(|t| filter.as_ref().is_none_or(|p| p.matches(t)))
+                        .map(|t| match &projected {
+                            Some(cols) => project_tuple(t, cols),
+                            None => t.clone(),
+                        })
+                        .collect(),
+                )
+            } else {
+                Arc::new(all)
+            }
+        };
+
+        // --- Chunk loop ---------------------------------------------------
+        let mut all_epochs: Vec<DbEpochRecord> = Vec::new();
+        let mut setup_total = 0.0f64;
+        let mut filtered_total = 0u64;
+        let mut checkpoint: Option<TrainCheckpoint> = None;
+        // All four are assigned on every iteration before the loop can
+        // break, so they need no placeholder values.
+        let mut trained;
+        let mut last_op_stats;
+        let mut final_table: Arc<Table>;
+        let mut snapshot_version;
+        let mut chunk = 0usize;
+        let mut start = 0usize;
+        loop {
+            if chunk > 0 {
+                // Epoch boundary reached: let a registered harness inject
+                // its deterministic drift, then pick up the latest
+                // published snapshot for the next chunk of epochs.
+                if let Some(hook) = self.refresh_hook.as_mut() {
+                    hook(chunk);
+                }
+                snapshot = self.catalog().snapshot(table_name)?;
+            }
+            let table: Arc<Table> = snapshot.table().clone();
+            let end = (start + refresh).min(epochs);
+            let spec = TrainPlanSpec {
+                table: table_name.to_string(),
+                model: kind.name().to_string(),
+                epochs,
+                strategy,
+                projection: projection.clone(),
+                filter: filter.clone(),
+                buffer_blocks: sparams.buffer_blocks(&table),
+            };
+            let mut plan = LogicalPlan::build(&spec, &table)?;
+            if pushdown {
+                plan = plan.push_down();
+            }
+            let catalog = self.db.catalog();
+            let physical = build_physical_with(
+                &plan,
+                &table,
+                table_name,
+                &sparams,
+                seed,
+                &mut self.dev,
+                catalog,
+                BuildOptions {
+                    fuse,
+                    shared_scan: false,
+                },
+            )?;
+            setup_total += physical.setup_seconds;
+            let model = build_model(&kind, dim, seed);
+            let optimizer = OptimizerKind::Sgd {
+                lr0: learning_rate,
+                decay,
+            }
+            .build();
+            let options = TrainOptions {
+                batch_size,
+                clip_norm: 0.0,
+                l2,
+            };
+            let mut sgd = SgdOperator::new(
+                physical.child,
+                model,
+                optimizer,
+                options,
+                self.compute,
+                epochs,
+                double_buffer,
+            );
+            sgd.setup_seconds = physical.setup_seconds;
+            sgd.fused = physical.fused;
+            sgd.checkpoint_seed = seed;
+            sgd.resume_from = checkpoint.take();
+            if end < epochs {
+                sgd.halt_after_epoch = Some(end.saturating_sub(1));
+            }
+            if report_metrics {
+                sgd.eval_each_epoch = Some(eval_view(&table));
+            }
+            // The chunk's final checkpoint seeds the next chunk's resume.
+            let slot: Rc<RefCell<Option<TrainCheckpoint>>> = Rc::new(RefCell::new(None));
+            let sink = Rc::clone(&slot);
+            sgd.checkpoint_sink = Some(Box::new(move |ck, _| {
+                *sink.borrow_mut() = Some(ck.clone());
+                Ok(())
+            }));
+            let mut private_pool = if shared_buffers > 0 {
+                let mut p = PoolHandle::private(BufferPool::new(shared_buffers));
+                p.set_telemetry(&self.telemetry);
+                Some(p)
+            } else {
+                None
+            };
+            let mut ctx = ExecContext::new(&mut self.dev);
+            ctx.pool = match private_pool.as_mut() {
+                Some(p) => Some(p),
+                None if self.pool.capacity() > 0 => Some(&mut self.pool),
+                None => None,
+            };
+            ctx.retry = RetryPolicy::with_max_retries(max_retries);
+            ctx.on_fault = on_fault;
+            let mut result = sgd.execute(&mut ctx)?;
+            checkpoint = slot.borrow_mut().take();
+            filtered_total += result.op_stats.iter().map(|s| s.rows_filtered).sum::<u64>();
+            all_epochs.append(&mut result.epochs);
+            last_op_stats = result.op_stats;
+            trained = result.model;
+            final_table = table;
+            snapshot_version = snapshot.version();
+            if end >= epochs {
+                break;
+            }
+            start = end;
+            chunk += 1;
+        }
+        self.telemetry
+            .counter("db.train.continuous_chunks")
+            .add((chunk + 1) as u64);
+        if filtered_total > 0 {
+            self.telemetry
+                .counter("db.scan.rows_filtered")
+                .add(filtered_total);
+        }
+
+        // --- Evaluate & store (against the last pinned snapshot) ----------
+        let eval = eval_view(&final_table);
+        let final_metric = if trained.is_classifier() {
+            accuracy(trained.as_ref(), eval.iter())
+        } else {
+            r_squared(trained.as_ref(), eval.iter())
+        };
+        let train_loss = all_epochs.last().map(|e| e.train_loss).unwrap_or(0.0);
+        let stored_name = params
+            .get("model_name")
+            .and_then(|v| v.as_text())
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| format!("{table_name}_{}", kind.name()));
+        let stored = StoredModel {
+            kind: kind.clone(),
+            dim,
+            params: trained.params().to_vec(),
+            train_loss,
+        };
+        self.catalog()
+            .store_model(stored_name.clone(), stored.clone());
+        let cache = self.db.model_cache();
+        let version = cache.next_version(&stored_name);
+        cache.publish(ServableModel::new(&stored_name, version, stored), true);
+        Ok(QueryResult::Train(DbTrainSummary {
+            model_name: stored_name,
+            model_kind: kind,
+            strategy: strategy.name().to_string(),
+            snapshot_version,
+            setup_seconds: setup_total,
+            epochs: all_epochs,
+            final_train_metric: final_metric,
+            halted: false,
+            op_stats: last_op_stats,
         }))
     }
 
@@ -1494,7 +1895,15 @@ mod tests {
             _ => panic!("expected a plan"),
         }
         match s.execute("SHOW TABLES").unwrap() {
-            QueryResult::Names(names) => assert_eq!(names, vec!["higgs"]),
+            QueryResult::Names(names) => {
+                assert_eq!(names.len(), 1);
+                let blocks = s.catalog().table("higgs").unwrap().num_blocks();
+                assert_eq!(
+                    names[0],
+                    format!("higgs v1 blocks={blocks} tuples=300"),
+                    "SHOW TABLES reports version, block count and tuple count"
+                );
+            }
             _ => panic!("expected names"),
         }
         // EXPLAIN does not execute: no model stored.
@@ -2235,6 +2644,7 @@ mod tests {
             model_name: "m".into(),
             model_kind: ModelKind::Svm,
             strategy: "corgipile".into(),
+            snapshot_version: 1,
             setup_seconds: 0.0,
             epochs: vec![epoch(0, vec![7, 3]), epoch(1, vec![3, 5, 7])],
             final_train_metric: 0.0,
@@ -2958,5 +3368,239 @@ mod tests {
         // RECLUSTER re-registers the table: the stale estimate must go.
         s.execute("RECLUSTER higgs WITH io_budget = 0.5").unwrap();
         assert_eq!(s.catalog().cached_block_variance("higgs", tid), None);
+    }
+
+    // --- Appendable tables: INSERT and TRAIN … CONTINUOUS ---
+
+    /// One 29-value SQL row (28 features + label) for the higgs table.
+    fn sql_row(seed: usize) -> String {
+        let mut vals: Vec<String> = (0..28).map(|i| format!("{}.5", (seed + i) % 7)).collect();
+        vals.push("1".into());
+        format!("({})", vals.join(", "))
+    }
+
+    #[test]
+    fn insert_appends_rows_and_bumps_the_snapshot_version() {
+        let mut s = session_with_higgs(300);
+        assert_eq!(s.catalog().table_version("higgs").unwrap(), 1);
+        match s
+            .execute(&format!(
+                "INSERT INTO higgs VALUES {}, {}",
+                sql_row(0),
+                sql_row(1)
+            ))
+            .unwrap()
+        {
+            QueryResult::Insert {
+                table,
+                rows,
+                version,
+                total_tuples,
+            } => {
+                assert_eq!(table, "higgs");
+                assert_eq!(rows, 2);
+                assert_eq!(version, 2);
+                assert_eq!(total_tuples, 302);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(s.catalog().table("higgs").unwrap().num_tuples(), 302);
+        // SHOW TABLES reflects the bump.
+        match s.execute("SHOW TABLES").unwrap() {
+            QueryResult::Names(names) => {
+                assert!(names[0].starts_with("higgs v2 "), "{names:?}");
+                assert!(names[0].ends_with("tuples=302"), "{names:?}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // A mismatched row width is a clear error before anything lands.
+        match s.execute("INSERT INTO higgs VALUES (1, 2, 3)") {
+            Err(DbError::BadParam(msg)) => assert!(msg.contains("features"), "{msg}"),
+            other => panic!("expected BadParam, got {other:?}"),
+        }
+        assert!(matches!(
+            s.execute(&format!("INSERT INTO ghost VALUES {}", sql_row(0))),
+            Err(DbError::UnknownTable(_))
+        ));
+        // EXPLAIN INSERT renders the statement without executing it.
+        match s
+            .execute(&format!("EXPLAIN INSERT INTO higgs VALUES {}", sql_row(2)))
+            .unwrap()
+        {
+            QueryResult::Plan(lines) => assert_eq!(
+                lines,
+                vec!["Insert on higgs (rows=1, current snapshot v2)".to_string()]
+            ),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(s.catalog().table_version("higgs").unwrap(), 2);
+        assert_eq!(s.telemetry().counter("db.insert.rows").get(), 2);
+    }
+
+    #[test]
+    fn insert_invalidates_the_cached_block_variance() {
+        let mut s = session_with_higgs(1000);
+        s.execute("EXPLAIN SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 20")
+            .unwrap();
+        let tid = s.catalog().table("higgs").unwrap().config().table_id;
+        assert!(s.catalog().cached_block_variance("higgs", tid).is_some());
+        s.execute(&format!("INSERT INTO higgs VALUES {}", sql_row(0)))
+            .unwrap();
+        // The publish assigned a fresh table_id and dropped the stale ĥ_D.
+        assert_eq!(s.catalog().cached_block_variance("higgs", tid), None);
+        let new_tid = s.catalog().table("higgs").unwrap().config().table_id;
+        assert_ne!(new_tid, tid);
+    }
+
+    #[test]
+    fn train_continuous_on_a_static_table_matches_plain_train() {
+        let plain = "SELECT * FROM higgs TRAIN BY svm WITH max_epoch_num = 4, \
+                     seed = 7, model_name = m";
+        let mut a = session_with_higgs(1000);
+        a.execute(plain).unwrap();
+        let want = a.catalog().model("m").unwrap().params.clone();
+        // One chunk (refresh defaults to max_epoch_num) …
+        let mut b = session_with_higgs(1000);
+        let t = train_summary(
+            b.execute(
+                "SELECT * FROM higgs TRAIN BY svm CONTINUOUS WITH max_epoch_num = 4, \
+                 seed = 7, model_name = m",
+            )
+            .unwrap(),
+        );
+        assert_eq!(t.snapshot_version, 1);
+        assert_eq!(t.epochs.len(), 4);
+        assert!(!t.halted);
+        assert_eq!(b.catalog().model("m").unwrap().params, want);
+        // … and epoch-granular chunks (each resuming the last checkpoint)
+        // still match the uninterrupted plain run bit-for-bit.
+        let mut c = session_with_higgs(1000);
+        let t = train_summary(
+            c.execute(
+                "SELECT * FROM higgs TRAIN BY svm CONTINUOUS WITH max_epoch_num = 4, \
+                 refresh = 1, seed = 7, model_name = m",
+            )
+            .unwrap(),
+        );
+        assert_eq!(t.epochs.len(), 4);
+        assert_eq!(c.catalog().model("m").unwrap().params, want);
+        assert_eq!(c.telemetry().counter("db.train.continuous_chunks").get(), 4);
+    }
+
+    #[test]
+    fn train_continuous_repins_snapshots_and_reruns_bit_identically() {
+        let run = || {
+            let db = Database::new(SimDevice::hdd_scaled(1000.0, 0));
+            db.register_table("higgs", higgs_table(1000));
+            let mut s = db.connect();
+            let writer = db.clone();
+            s.set_refresh_hook(move |chunk| {
+                // Deterministic drift: 40 rows per epoch boundary, shaped
+                // by the chunk index, appended through the catalog exactly
+                // as a concurrent INSERT would be.
+                let rows: Vec<Tuple> = (0..40)
+                    .map(|i| {
+                        let x = (chunk * 40 + i) as f32 * 0.01;
+                        Tuple::dense(0, vec![x; 28], (i % 2) as f32)
+                    })
+                    .collect();
+                writer.catalog().append_rows("higgs", rows).unwrap();
+            });
+            let t = train_summary(
+                s.execute(
+                    "SELECT * FROM higgs TRAIN BY svm CONTINUOUS WITH max_epoch_num = 6, \
+                     refresh = 2, seed = 7, model_name = m",
+                )
+                .unwrap(),
+            );
+            (t, s.catalog().model("m").unwrap().params.clone())
+        };
+        let (t1, params1) = run();
+        let (t2, params2) = run();
+        assert_eq!(
+            params1, params2,
+            "the same drift schedule must train a bit-identical model"
+        );
+        assert_eq!(t1.epochs.len(), 6);
+        // Two re-pins over the appended data: versions 1 → 2 → 3.
+        assert_eq!(t1.snapshot_version, 3);
+        assert_eq!(t2.snapshot_version, 3);
+    }
+
+    #[test]
+    fn continuous_validates_its_options() {
+        let mut s = session_with_higgs(200);
+        // refresh without CONTINUOUS is meaningless.
+        match s.execute("SELECT * FROM higgs TRAIN BY svm WITH refresh = 2") {
+            Err(DbError::BadParam(msg)) => assert!(msg.contains("CONTINUOUS"), "{msg}"),
+            other => panic!("expected BadParam, got {other:?}"),
+        }
+        // EXPLAIN applies the same validation without executing.
+        assert!(matches!(
+            s.execute("EXPLAIN SELECT * FROM higgs TRAIN BY svm WITH refresh = 2"),
+            Err(DbError::BadParam(_))
+        ));
+        // Checkpoint/restart knobs belong to the single-shot path.
+        for knob in [
+            "durable = 1",
+            "resume = 1",
+            "halt_after_epoch = 1",
+            "block_size = 8192",
+        ] {
+            match s.execute(&format!(
+                "SELECT * FROM higgs TRAIN BY svm CONTINUOUS WITH {knob}"
+            )) {
+                Err(DbError::BadParam(msg)) => {
+                    assert!(msg.contains("CONTINUOUS"), "{knob}: {msg}")
+                }
+                other => panic!("{knob}: expected BadParam, got {other:?}"),
+            }
+        }
+        assert!(matches!(
+            s.execute("SELECT * FROM higgs TRAIN BY svm CONTINUOUS WITH refresh = 0"),
+            Err(DbError::BadParam(_))
+        ));
+    }
+
+    #[test]
+    fn explain_renders_the_pinned_snapshot_and_continuous_lines() {
+        let mut s = session_with_higgs(300);
+        let lines = match s
+            .execute(
+                "EXPLAIN SELECT * FROM higgs TRAIN BY svm CONTINUOUS WITH \
+                 max_epoch_num = 6, refresh = 2",
+            )
+            .unwrap()
+        {
+            QueryResult::Plan(lines) => lines,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(
+            lines.iter().any(|l| l == "Snapshot: version=1"),
+            "{lines:?}"
+        );
+        assert!(
+            lines.iter().any(|l| l.starts_with("Continuous: refresh=2")),
+            "{lines:?}"
+        );
+        // An INSERT bumps the version the next EXPLAIN pins; plain TRAIN
+        // renders the snapshot but no Continuous line.
+        s.execute(&format!("INSERT INTO higgs VALUES {}", sql_row(3)))
+            .unwrap();
+        let lines = match s
+            .execute("EXPLAIN SELECT * FROM higgs TRAIN BY svm")
+            .unwrap()
+        {
+            QueryResult::Plan(lines) => lines,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(
+            lines.iter().any(|l| l == "Snapshot: version=2"),
+            "{lines:?}"
+        );
+        assert!(
+            !lines.iter().any(|l| l.starts_with("Continuous:")),
+            "{lines:?}"
+        );
     }
 }

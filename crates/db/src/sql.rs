@@ -313,7 +313,7 @@ pub fn parse_strategy_name(name: &str) -> Result<StrategyKind, DbError> {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Query {
     /// `SELECT <cols|*> FROM <table> [WHERE <pred>] TRAIN BY <model>
-    /// [WITH k = v, …]`.
+    /// [CONTINUOUS] [WITH k = v, …]`.
     Train {
         /// Source table.
         table: String,
@@ -326,8 +326,23 @@ pub enum Query {
         /// Shuffle strategy from the `strategy` parameter. `None` means the
         /// query left the choice to the cost-based planner.
         strategy: Option<StrategyKind>,
+        /// `TRAIN BY <model> CONTINUOUS`: re-pin the latest table snapshot
+        /// every `refresh` epochs so concurrently `INSERT`ed rows join the
+        /// stream at epoch boundaries (without it, training pins one
+        /// snapshot for its whole run).
+        continuous: bool,
         /// Remaining `WITH` parameters.
         params: BTreeMap<String, ParamValue>,
+    },
+    /// `INSERT INTO <table> VALUES (f0, …, label) [, (…)]*`: append rows
+    /// to a table's WAL-backed writer and publish a new snapshot version.
+    /// Each row lists the dense feature values followed by the label; the
+    /// tuple id is assigned by the writer (next sequence position).
+    Insert {
+        /// Destination table.
+        table: String,
+        /// Rows as parsed: `[features…, label]` per row.
+        rows: Vec<Vec<f64>>,
     },
     /// `RECLUSTER <table> [WITH io_budget = f, seed = n]`: Corgi²-style
     /// bounded-I/O offline partial re-clustering. Rewrites the most
@@ -695,6 +710,62 @@ fn parse_tokens(t: &mut Tokens) -> Result<Query, DbError> {
                 activate,
             });
         }
+        Some(w) if w.eq_ignore_ascii_case("INSERT") => {
+            t.bump();
+            t.expect_kw("INTO")?;
+            let table = t.ident("table name")?;
+            t.expect_kw("VALUES")?;
+            let mut rows = Vec::new();
+            loop {
+                t.expect_kw("(")?;
+                let mut vals = Vec::new();
+                loop {
+                    let tok = t.bump().ok_or_else(|| {
+                        DbError::Parse("expected numeric literal, found end of input".into())
+                    })?;
+                    let v = tok
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|v| v.is_finite())
+                        .ok_or_else(|| {
+                            DbError::Parse(format!(
+                                "INSERT values must be finite numeric literals, found {tok:?}"
+                            ))
+                        })?;
+                    vals.push(v);
+                    match t.bump() {
+                        Some(",") => {}
+                        Some(")") => break,
+                        Some(other) => {
+                            return Err(DbError::Parse(format!(
+                                "expected ',' or ')', found {other:?}"
+                            )))
+                        }
+                        None => {
+                            return Err(DbError::Parse("expected ')', found end of input".into()))
+                        }
+                    }
+                }
+                if vals.len() < 2 {
+                    return Err(DbError::Parse(
+                        "INSERT rows need at least one feature value and a label".into(),
+                    ));
+                }
+                rows.push(vals);
+                match t.peek() {
+                    Some(",") => {
+                        t.bump();
+                    }
+                    Some(";") | None => break,
+                    Some(other) => {
+                        return Err(DbError::Parse(format!(
+                            "expected ',' or end of query, found {other:?}"
+                        )))
+                    }
+                }
+            }
+            return Ok(Query::Insert { table, rows });
+        }
         Some(w) if w.eq_ignore_ascii_case("RECLUSTER") => {
             t.bump();
             let table = t.ident("table name")?;
@@ -744,6 +815,13 @@ fn parse_tokens(t: &mut Tokens) -> Result<Query, DbError> {
     if verb.eq_ignore_ascii_case("TRAIN") {
         t.expect_kw("BY")?;
         let model = t.ident("model kind")?.to_ascii_lowercase();
+        let continuous = match t.peek() {
+            Some(w) if w.eq_ignore_ascii_case("CONTINUOUS") => {
+                t.bump();
+                true
+            }
+            _ => false,
+        };
         let mut params = BTreeMap::new();
         let mut strategy = None;
         match t.peek() {
@@ -792,6 +870,7 @@ fn parse_tokens(t: &mut Tokens) -> Result<Query, DbError> {
             projection,
             filter,
             strategy,
+            continuous,
             params,
         })
     } else if verb.eq_ignore_ascii_case("PREDICT") {
@@ -852,9 +931,78 @@ mod tests {
                 projection: Projection::All,
                 filter: None,
                 strategy: None,
+                continuous: false,
                 params: BTreeMap::new()
             }
         );
+    }
+
+    #[test]
+    fn parses_train_continuous() {
+        match parse(
+            "SELECT * FROM stream TRAIN BY svm CONTINUOUS WITH refresh = 2, max_epoch_num = 6;",
+        )
+        .unwrap()
+        {
+            Query::Train {
+                table,
+                continuous,
+                params,
+                ..
+            } => {
+                assert_eq!(table, "stream");
+                assert!(continuous);
+                assert_eq!(params["refresh"].as_usize(), Some(2));
+            }
+            other => panic!("expected Train, got {other:?}"),
+        }
+        // Lowercase, and without WITH.
+        assert!(matches!(
+            parse("select * from t train by lr continuous").unwrap(),
+            Query::Train {
+                continuous: true,
+                ..
+            }
+        ));
+        // CONTINUOUS comes after the model kind, nowhere else.
+        assert!(parse("SELECT * FROM t TRAIN CONTINUOUS BY svm").is_err());
+    }
+
+    #[test]
+    fn parses_insert() {
+        assert_eq!(
+            parse("INSERT INTO t VALUES (0.5, -1.25, 1)").unwrap(),
+            Query::Insert {
+                table: "t".into(),
+                rows: vec![vec![0.5, -1.25, 1.0]]
+            }
+        );
+        // Multi-row COPY-style append, trailing semicolon, lowercase.
+        assert_eq!(
+            parse("insert into s values (1, 2, 1), (3, 4, -1);").unwrap(),
+            Query::Insert {
+                table: "s".into(),
+                rows: vec![vec![1.0, 2.0, 1.0], vec![3.0, 4.0, -1.0]]
+            }
+        );
+    }
+
+    #[test]
+    fn insert_rejects_malformed_rows() {
+        for bad in [
+            "INSERT",
+            "INSERT INTO",
+            "INSERT INTO t",
+            "INSERT INTO t VALUES",
+            "INSERT INTO t VALUES ()",
+            "INSERT INTO t VALUES (1)", // a row is features *and* a label
+            "INSERT INTO t VALUES (1, x)",
+            "INSERT INTO t VALUES (1, 2",
+            "INSERT INTO t VALUES (1, 2) extra",
+            "INSERT t VALUES (1, 2)",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
     }
 
     #[test]

@@ -1,0 +1,696 @@
+//! Versioned, appendable block storage: the write path CorgiPile trains on.
+//!
+//! The paper's block-level sampling is naturally suited to growing data —
+//! freshly appended blocks are just more blocks to sample — but [`Table`]
+//! is immutable. This module splits the abstraction:
+//!
+//! * [`TableSnapshot`] — an immutable table pinned at a monotonically
+//!   increasing version. Scans and shuffles hold snapshots; plans pin one at
+//!   build time, which is what makes `TRAIN` bit-reproducible under
+//!   concurrent writers.
+//! * [`AppendableTable`] — the single writer behind a table name. Rows
+//!   buffer into the tail block of a [`TableBuilder`]; each `INSERT`
+//!   statement's rows are journaled as one `CORGIWL1` frame
+//!   ([`RT_TABLE_ROWS`]) and fsynced before acknowledgement, and a seal
+//!   marker ([`RT_TABLE_SEAL`]) is logged whenever the tail grows past the
+//!   configured block size. Recovery is [`Wal::open`]'s
+//!   longest-valid-prefix scan: a crash at any write site loses at most the
+//!   unacknowledged statement, never an acknowledged row, and a torn tail
+//!   is truncated away.
+//!
+//! The writer also maintains **incremental per-block label moments** (count,
+//! Σlabel, Σlabel²) for every sealed block plus the live tail. From these it
+//! derives [`AppendableTable::hd_estimate`] — the between-block share of
+//! label variance, the same ĥ_D ∈ [0, 1] the cost-based planner otherwise
+//! estimates by sampling — so every append keeps the planner's clusteredness
+//! evidence fresh without a scan.
+//!
+//! Crash injection: appends visit [`sites::TABLE_APPEND_ROWS`] before any
+//! byte is written and [`sites::TABLE_SEAL_BLOCK`] before a seal marker, in
+//! addition to the three WAL sites every frame append already visits.
+
+use crate::codec::{put_bytes, FieldReader};
+use crate::error::StorageError;
+use crate::fault::{sites, FaultInjector, WriteOutcome};
+use crate::retry::RetryPolicy;
+use crate::table::{Table, TableBuilder};
+use crate::tuple::Tuple;
+use crate::wal::Wal;
+use crate::Result;
+use std::ops::Deref;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Table-WAL record: one `INSERT` statement's row batch
+/// (`count u32 ∥ (seq u64 ∥ tuple encoding)*`).
+pub const RT_TABLE_ROWS: u8 = 1;
+
+/// Table-WAL record: a tail block was sealed
+/// (`seq u64 ∥ tuples u64 ∥ Σlabel f64 ∥ Σlabel² f64`). Advisory — recovery
+/// re-derives seal boundaries by replaying rows — but validated for shape.
+pub const RT_TABLE_SEAL: u8 = 2;
+
+/// An immutable table pinned at a specific catalog version.
+///
+/// Derefs to [`Table`], so read paths built for immutable tables work on a
+/// snapshot unchanged; the version rides along for EXPLAIN, reproducibility
+/// proofs, and `TRAIN … CONTINUOUS` re-pinning.
+#[derive(Debug, Clone)]
+pub struct TableSnapshot {
+    version: u64,
+    table: Arc<Table>,
+}
+
+impl TableSnapshot {
+    /// Pin `table` at `version`.
+    pub fn new(version: u64, table: Arc<Table>) -> Self {
+        TableSnapshot { version, table }
+    }
+
+    /// The catalog version this snapshot was pinned at.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The underlying immutable table.
+    pub fn table(&self) -> &Arc<Table> {
+        &self.table
+    }
+
+    /// Unwrap into the shared table handle.
+    pub fn into_table(self) -> Arc<Table> {
+        self.table
+    }
+}
+
+impl Deref for TableSnapshot {
+    type Target = Table;
+
+    fn deref(&self) -> &Table {
+        &self.table
+    }
+}
+
+/// Per-block label moments: enough to compute block means and the pooled
+/// variance decomposition without revisiting tuples.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct LabelMoments {
+    tuples: u64,
+    sum: f64,
+    sq_sum: f64,
+}
+
+impl LabelMoments {
+    fn add(&mut self, label: f32) {
+        self.tuples += 1;
+        self.sum += label as f64;
+        self.sq_sum += (label as f64) * (label as f64);
+    }
+
+    fn mean(&self) -> f64 {
+        if self.tuples == 0 {
+            0.0
+        } else {
+            self.sum / self.tuples as f64
+        }
+    }
+}
+
+fn encode_rows(rows: &[Tuple]) -> Vec<u8> {
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+    let mut body = Vec::new();
+    for t in rows {
+        body.clear();
+        t.encode(&mut body);
+        put_bytes(&mut payload, &body);
+    }
+    payload
+}
+
+fn decode_rows(payload: &[u8]) -> Result<Vec<Tuple>> {
+    let mut r = FieldReader::new(payload, "table wal rows");
+    let count = r.u32()? as usize;
+    let mut rows = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let bytes = r.bytes()?;
+        let (t, used) = Tuple::decode(bytes)?;
+        if used != bytes.len() {
+            return Err(StorageError::Corrupt(
+                "table wal rows: trailing bytes in tuple field".into(),
+            ));
+        }
+        rows.push(t);
+    }
+    r.finish()?;
+    Ok(rows)
+}
+
+/// The append-capable writer behind one table name.
+///
+/// Exactly one writer exists per name (the catalog serializes appends); it
+/// owns the tail [`TableBuilder`] and the table WAL, and publishes immutable
+/// [`Table`]s via [`AppendableTable::snapshot_table`]. Appended tuples get
+/// sequence ids continuing the base table's positions, which is also the
+/// WAL replay rule: on recovery, a row record is applied only if its
+/// sequence is past the seeding table's row count — so replay is idempotent
+/// whether the writer is re-created after a crash (base = pre-crash
+/// snapshot, rows replay) or after a `RECLUSTER` re-registration (base
+/// already holds every row, everything skips).
+#[derive(Debug)]
+pub struct AppendableTable {
+    builder: TableBuilder,
+    wal: Option<Wal>,
+    retry: RetryPolicy,
+    sealed: Vec<LabelMoments>,
+    tail: LabelMoments,
+    tail_bytes: u64,
+    replayed_rows: u64,
+    appended_rows: u64,
+}
+
+impl AppendableTable {
+    /// A memory-only writer (no WAL, no durability) seeded from `base`.
+    pub fn open_in_memory(base: &Table) -> AppendableTable {
+        let mut at = AppendableTable {
+            builder: TableBuilder::from_table(base),
+            wal: None,
+            retry: RetryPolicy::default(),
+            sealed: Vec::new(),
+            tail: LabelMoments::default(),
+            tail_bytes: 0,
+            replayed_rows: 0,
+            appended_rows: 0,
+        };
+        at.seed_stats_from(base);
+        at
+    }
+
+    /// A WAL-backed writer at `wal_path`, seeded from `base`.
+    ///
+    /// Opening recovers the log's valid prefix (truncating any torn tail)
+    /// and replays every row whose sequence lies past `base`'s row count —
+    /// the rows acknowledged before a crash that the in-memory catalog lost.
+    pub fn open(base: &Table, wal_path: &Path) -> Result<AppendableTable> {
+        let (wal, records) = Wal::open(wal_path)?;
+        let mut at = AppendableTable {
+            builder: TableBuilder::from_table(base),
+            wal: Some(wal),
+            retry: RetryPolicy::default(),
+            sealed: Vec::new(),
+            tail: LabelMoments::default(),
+            tail_bytes: 0,
+            replayed_rows: 0,
+            appended_rows: 0,
+        };
+        at.seed_stats_from(base);
+        for rec in records {
+            match rec.rtype {
+                RT_TABLE_ROWS => {
+                    for t in decode_rows(&rec.payload)? {
+                        let next = at.builder.tuple_count();
+                        if t.id < next {
+                            continue; // already contained in the base table
+                        }
+                        if t.id != next {
+                            return Err(StorageError::Corrupt(format!(
+                                "table wal: row sequence {} does not continue table at {}",
+                                t.id, next
+                            )));
+                        }
+                        at.apply_row(&t, None, false)?;
+                        at.replayed_rows += 1;
+                    }
+                }
+                RT_TABLE_SEAL => {
+                    // Advisory marker; recovery re-derives seal boundaries
+                    // from the replayed rows. Validate the shape so log
+                    // corruption can't hide behind "advisory".
+                    let mut r = FieldReader::new(&rec.payload, "table wal seal");
+                    r.u64()?;
+                    r.u64()?;
+                    r.f64()?;
+                    r.f64()?;
+                    r.finish()?;
+                }
+                other => {
+                    return Err(StorageError::Corrupt(format!(
+                        "table wal: unknown record type {other}"
+                    )));
+                }
+            }
+        }
+        Ok(at)
+    }
+
+    /// Fold `base`'s existing blocks into the per-block label moments so
+    /// ĥ_D estimates cover the whole table, not just appended rows.
+    fn seed_stats_from(&mut self, base: &Table) {
+        for id in 0..base.num_blocks() {
+            let mut m = LabelMoments::default();
+            if let Ok(tuples) = base.block_tuples(id) {
+                for t in &tuples {
+                    m.add(t.label);
+                }
+            }
+            if m.tuples > 0 {
+                self.sealed.push(m);
+            }
+        }
+    }
+
+    /// Total rows in the writer (base + appended).
+    pub fn num_tuples(&self) -> u64 {
+        self.builder.tuple_count()
+    }
+
+    /// Rows recovered from the WAL when this writer was opened.
+    pub fn replayed_rows(&self) -> u64 {
+        self.replayed_rows
+    }
+
+    /// Rows acknowledged through [`AppendableTable::append_rows`] since open.
+    pub fn appended_rows(&self) -> u64 {
+        self.appended_rows
+    }
+
+    /// Sealed blocks tracked by the stats accumulator (base blocks included).
+    pub fn sealed_blocks(&self) -> usize {
+        self.sealed.len()
+    }
+
+    /// Rows in the live (unsealed) tail block.
+    pub fn tail_tuples(&self) -> u64 {
+        self.tail.tuples
+    }
+
+    /// The table WAL, if this writer is durable.
+    pub fn wal(&self) -> Option<&Wal> {
+        self.wal.as_ref()
+    }
+
+    /// Append one statement's rows: assign sequence ids, journal them as a
+    /// single fsynced WAL frame, then apply them to the tail block (sealing
+    /// full blocks as they close). On `Err` the writer must be discarded and
+    /// re-opened — exactly the crashed-process contract [`Wal::append`] has.
+    pub fn append_rows(
+        &mut self,
+        mut rows: Vec<Tuple>,
+        mut inj: Option<&mut FaultInjector>,
+    ) -> Result<()> {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let first = self.builder.tuple_count();
+        for (i, t) in rows.iter_mut().enumerate() {
+            t.id = first + i as u64;
+        }
+        if let Some(i) = inj.as_deref_mut() {
+            match i.on_write(sites::TABLE_APPEND_ROWS) {
+                WriteOutcome::Ok => {}
+                WriteOutcome::Fail(e) => return Err(e),
+                // Nothing has been written yet, so a torn write here
+                // degenerates to a plain crash: the statement never lands.
+                WriteOutcome::Torn { .. } | WriteOutcome::Crash => {
+                    return Err(StorageError::Crashed {
+                        site: sites::TABLE_APPEND_ROWS.into(),
+                    });
+                }
+            }
+        }
+        if let Some(wal) = self.wal.as_mut() {
+            let payload = encode_rows(&rows);
+            wal.append_retry(RT_TABLE_ROWS, &payload, inj.as_deref_mut(), &self.retry)?;
+        }
+        for t in &rows {
+            self.apply_row(t, inj.as_deref_mut(), true)?;
+        }
+        self.appended_rows += rows.len() as u64;
+        Ok(())
+    }
+
+    fn apply_row(
+        &mut self,
+        t: &Tuple,
+        inj: Option<&mut FaultInjector>,
+        durable: bool,
+    ) -> Result<()> {
+        self.builder.append(t)?;
+        self.tail.add(t.label);
+        self.tail_bytes += t.encoded_len() as u64;
+        if self.tail_bytes >= self.builder.block_bytes() as u64 {
+            self.seal(inj, durable)?;
+        }
+        Ok(())
+    }
+
+    /// Close the tail block: log a seal marker (durable writers only) and
+    /// roll its moments into the sealed set.
+    fn seal(&mut self, mut inj: Option<&mut FaultInjector>, durable: bool) -> Result<()> {
+        if durable {
+            if let Some(i) = inj.as_deref_mut() {
+                match i.on_write(sites::TABLE_SEAL_BLOCK) {
+                    WriteOutcome::Ok => {}
+                    WriteOutcome::Fail(e) => return Err(e),
+                    // The sealed rows were fsynced by their own row records;
+                    // dying here loses nothing acknowledged.
+                    WriteOutcome::Torn { .. } | WriteOutcome::Crash => {
+                        return Err(StorageError::Crashed {
+                            site: sites::TABLE_SEAL_BLOCK.into(),
+                        });
+                    }
+                }
+            }
+            let tuple_count = self.builder.tuple_count();
+            if let Some(wal) = self.wal.as_mut() {
+                let mut payload = Vec::with_capacity(32);
+                payload.extend_from_slice(&tuple_count.to_le_bytes());
+                payload.extend_from_slice(&self.tail.tuples.to_le_bytes());
+                payload.extend_from_slice(&self.tail.sum.to_le_bytes());
+                payload.extend_from_slice(&self.tail.sq_sum.to_le_bytes());
+                wal.append_retry(RT_TABLE_SEAL, &payload, inj, &self.retry)?;
+            }
+        }
+        self.sealed.push(self.tail);
+        self.tail = LabelMoments::default();
+        self.tail_bytes = 0;
+        Ok(())
+    }
+
+    /// Publish an immutable point-in-time table under a fresh `table_id`
+    /// (each version needs its own id so device/pool caches never alias
+    /// blocks across versions).
+    pub fn snapshot_table(&self, table_id: u32) -> Table {
+        self.builder.snapshot().with_table_id(table_id)
+    }
+
+    /// Incremental ĥ_D: the between-block share of label variance, from the
+    /// per-block moments the writer maintains. `None` with fewer than two
+    /// non-empty blocks (no between-block structure to speak of).
+    ///
+    /// This is the same clusteredness measure the cost-based planner
+    /// otherwise estimates by sampling blocks: ĥ_D → 1 when blocks are pure
+    /// (fully clustered data, where tuple-only shuffles fail), ĥ_D → 0 when
+    /// every block looks like the global label mix.
+    pub fn hd_estimate(&self) -> Option<f64> {
+        let mut blocks: Vec<LabelMoments> = self
+            .sealed
+            .iter()
+            .copied()
+            .filter(|m| m.tuples > 0)
+            .collect();
+        if self.tail.tuples > 0 {
+            blocks.push(self.tail);
+        }
+        if blocks.len() < 2 {
+            return None;
+        }
+        let n: f64 = blocks.iter().map(|b| b.tuples as f64).sum();
+        let grand_sum: f64 = blocks.iter().map(|b| b.sum).sum();
+        let grand_sq: f64 = blocks.iter().map(|b| b.sq_sum).sum();
+        let grand_mean = grand_sum / n;
+        let total_var = (grand_sq / n - grand_mean * grand_mean).max(0.0);
+        if total_var <= 1e-12 {
+            return Some(0.0);
+        }
+        let between: f64 = blocks
+            .iter()
+            .map(|b| b.tuples as f64 * (b.mean() - grand_mean).powi(2))
+            .sum::<f64>()
+            / n;
+        Some((between / total_var).clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use crate::table::TableConfig;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("corgi_append_{}_{name}", std::process::id()))
+    }
+
+    fn base_table(n: u64, block_bytes: usize) -> Table {
+        let cfg = TableConfig::new("t", 1).with_block_bytes(block_bytes);
+        Table::from_tuples(
+            cfg,
+            (0..n).map(|id| {
+                Tuple::dense(
+                    id,
+                    vec![id as f32, 1.0],
+                    if id < n / 2 { 1.0 } else { -1.0 },
+                )
+            }),
+        )
+        .unwrap()
+    }
+
+    fn row(v: f32, label: f32) -> Tuple {
+        Tuple::dense(0, vec![v, v + 1.0], label)
+    }
+
+    #[test]
+    fn snapshot_pins_while_appends_continue() {
+        let base = base_table(100, 4 * crate::page::PAGE_SIZE);
+        let mut w = AppendableTable::open_in_memory(&base);
+        let snap_v1 = TableSnapshot::new(1, Arc::new(w.snapshot_table(10)));
+        w.append_rows(vec![row(1.0, 1.0), row(2.0, -1.0)], None)
+            .unwrap();
+        let snap_v2 = TableSnapshot::new(2, Arc::new(w.snapshot_table(11)));
+
+        assert_eq!(snap_v1.version(), 1);
+        assert_eq!(snap_v1.num_tuples(), 100, "pinned snapshot must not grow");
+        assert_eq!(snap_v2.num_tuples(), 102);
+        // Appended rows continue the sequence and land in table order.
+        assert_eq!(snap_v2.get_tuple(100).unwrap().id, 100);
+        assert_eq!(snap_v2.get_tuple(101).unwrap().id, 101);
+        assert_eq!(snap_v2.get_tuple(101).unwrap().label, -1.0);
+        // Distinct table ids so caches never alias versions.
+        assert_ne!(snap_v1.config().table_id, snap_v2.config().table_id);
+    }
+
+    #[test]
+    fn wal_backed_appends_survive_reopen() {
+        let path = tmp("reopen.wal");
+        std::fs::remove_file(&path).ok();
+        let base = base_table(50, 4 * crate::page::PAGE_SIZE);
+        {
+            let mut w = AppendableTable::open(&base, &path).unwrap();
+            w.append_rows(vec![row(9.0, 1.0), row(8.0, -1.0)], None)
+                .unwrap();
+            w.append_rows(vec![row(7.0, 1.0)], None).unwrap();
+            assert_eq!(w.num_tuples(), 53);
+        } // writer dropped without publishing anywhere
+
+        let w2 = AppendableTable::open(&base, &path).unwrap();
+        assert_eq!(w2.num_tuples(), 53, "acked rows replay from the WAL");
+        assert_eq!(w2.replayed_rows(), 3);
+        let t = w2.snapshot_table(99);
+        assert_eq!(t.get_tuple(52).unwrap().features.get(0), 7.0);
+        assert_eq!(t.get_tuple(52).unwrap().features.get(1), 8.0);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn replay_skips_rows_already_in_base() {
+        let path = tmp("skip.wal");
+        std::fs::remove_file(&path).ok();
+        let base = base_table(50, 4 * crate::page::PAGE_SIZE);
+        let grown = {
+            let mut w = AppendableTable::open(&base, &path).unwrap();
+            w.append_rows(vec![row(1.0, 1.0), row(2.0, -1.0)], None)
+                .unwrap();
+            w.snapshot_table(42)
+        };
+        // Re-seed from the *grown* table (what a RECLUSTER re-registration
+        // does): every WAL row is already contained, nothing replays.
+        let w2 = AppendableTable::open(&grown, &path).unwrap();
+        assert_eq!(w2.replayed_rows(), 0);
+        assert_eq!(w2.num_tuples(), 52);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn crash_at_append_rows_site_loses_only_the_statement() {
+        let path = tmp("crash_stmt.wal");
+        std::fs::remove_file(&path).ok();
+        let base = base_table(10, 4 * crate::page::PAGE_SIZE);
+        let mut w = AppendableTable::open(&base, &path).unwrap();
+        w.append_rows(vec![row(1.0, 1.0)], None).unwrap();
+
+        let mut inj =
+            FaultInjector::new(FaultPlan::new(1).with_crash_point(sites::TABLE_APPEND_ROWS, 1));
+        match w.append_rows(vec![row(2.0, 1.0)], Some(&mut inj)) {
+            Err(StorageError::Crashed { site }) => assert_eq!(site, sites::TABLE_APPEND_ROWS),
+            other => panic!("expected crash, got {other:?}"),
+        }
+        drop(w);
+        let w2 = AppendableTable::open(&base, &path).unwrap();
+        assert_eq!(w2.num_tuples(), 11, "only the acked statement survives");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn crash_after_wal_fsync_keeps_the_statement() {
+        let path = tmp("crash_post_fsync.wal");
+        std::fs::remove_file(&path).ok();
+        let base = base_table(10, 4 * crate::page::PAGE_SIZE);
+        let mut w = AppendableTable::open(&base, &path).unwrap();
+        let mut inj =
+            FaultInjector::new(FaultPlan::new(1).with_crash_point(sites::WAL_AFTER_FSYNC, 1));
+        assert!(matches!(
+            w.append_rows(vec![row(3.0, 1.0)], Some(&mut inj)),
+            Err(StorageError::Crashed { .. })
+        ));
+        drop(w);
+        let w2 = AppendableTable::open(&base, &path).unwrap();
+        assert_eq!(w2.num_tuples(), 11, "fsynced statement is durable");
+        assert_eq!(w2.replayed_rows(), 1);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn torn_statement_frame_is_truncated_on_reopen() {
+        let path = tmp("torn.wal");
+        std::fs::remove_file(&path).ok();
+        let base = base_table(10, 4 * crate::page::PAGE_SIZE);
+        let mut w = AppendableTable::open(&base, &path).unwrap();
+        w.append_rows(vec![row(1.0, 1.0)], None).unwrap();
+        let mut inj =
+            FaultInjector::new(FaultPlan::new(1).with_torn_write(sites::WAL_BEFORE_APPEND, 7));
+        assert!(matches!(
+            w.append_rows(vec![row(2.0, 1.0)], Some(&mut inj)),
+            Err(StorageError::Crashed { .. })
+        ));
+        drop(w);
+        let w2 = AppendableTable::open(&base, &path).unwrap();
+        assert_eq!(w2.num_tuples(), 11);
+        assert_eq!(w2.wal().unwrap().torn_tail_bytes(), 7);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn sealing_logs_markers_and_survives_seal_site_crash() {
+        let path = tmp("seal.wal");
+        std::fs::remove_file(&path).ok();
+        // One-page blocks so a few rows seal a block.
+        let base = base_table(0, crate::page::PAGE_SIZE);
+        let mut w = AppendableTable::open(&base, &path).unwrap();
+        let blocks_before = w.sealed_blocks();
+        // ~60B encoded per row; a PAGE_SIZE block seals after ~140 rows.
+        for i in 0..300 {
+            w.append_rows(vec![row(i as f32, 1.0)], None).unwrap();
+        }
+        assert!(w.sealed_blocks() > blocks_before, "tail must seal");
+
+        let mut inj =
+            FaultInjector::new(FaultPlan::new(1).with_crash_point(sites::TABLE_SEAL_BLOCK, 1));
+        let mut crashed = false;
+        for i in 300..600 {
+            match w.append_rows(vec![row(i as f32, 1.0)], Some(&mut inj)) {
+                Ok(()) => {}
+                Err(StorageError::Crashed { site }) => {
+                    assert_eq!(site, sites::TABLE_SEAL_BLOCK);
+                    crashed = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(crashed, "seal site must fire within 300 single-row appends");
+        let acked = w.appended_rows();
+        drop(w);
+        let w2 = AppendableTable::open(&base, &path).unwrap();
+        // The crashing statement's row record hit the WAL before the seal
+        // marker, so it survives along with everything acked.
+        assert!(w2.replayed_rows() >= acked, "no acked row may be lost");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn hd_estimate_tracks_clusteredness() {
+        let small_blocks = crate::page::PAGE_SIZE;
+        let base = base_table(0, small_blocks);
+
+        // Clustered: long runs of one label per block → ĥ_D near 1. (At
+        // ~25 B/row a PAGE_SIZE block holds ~320 rows; 8000 rows span
+        // enough blocks that the one straddling the flip barely matters.)
+        let mut clustered = AppendableTable::open_in_memory(&base);
+        for batch in 0..80u32 {
+            let rows = (0..100)
+                .map(|j| {
+                    let i = batch * 100 + j;
+                    row(i as f32, if i < 4000 { 1.0 } else { -1.0 })
+                })
+                .collect();
+            clustered.append_rows(rows, None).unwrap();
+        }
+        // Mixed: alternating labels → every block sees the global mix.
+        let mut mixed = AppendableTable::open_in_memory(&base);
+        for batch in 0..80u32 {
+            let rows = (0..100)
+                .map(|j| {
+                    let i = batch * 100 + j;
+                    row(i as f32, if i % 2 == 0 { 1.0 } else { -1.0 })
+                })
+                .collect();
+            mixed.append_rows(rows, None).unwrap();
+        }
+        let hd_c = clustered.hd_estimate().unwrap();
+        let hd_m = mixed.hd_estimate().unwrap();
+        assert!(hd_c > 0.9, "clustered stream should give ĥ_D≈1, got {hd_c}");
+        assert!(hd_m < 0.1, "mixed stream should give ĥ_D≈0, got {hd_m}");
+    }
+
+    #[test]
+    fn hd_estimate_needs_two_blocks_and_handles_constant_labels() {
+        let base = base_table(0, 1 << 20);
+        let mut w = AppendableTable::open_in_memory(&base);
+        assert_eq!(w.hd_estimate(), None);
+        w.append_rows(vec![row(1.0, 1.0)], None).unwrap();
+        assert_eq!(w.hd_estimate(), None, "single tail block: no estimate");
+
+        // Seed a base with blocks of identical labels everywhere.
+        let cfg = TableConfig::new("const", 3).with_block_bytes(crate::page::PAGE_SIZE);
+        let base = Table::from_tuples(
+            cfg,
+            (0..500).map(|id| Tuple::dense(id, vec![1.0, 2.0], 1.0)),
+        )
+        .unwrap();
+        let w = AppendableTable::open_in_memory(&base);
+        assert_eq!(w.hd_estimate(), Some(0.0), "zero label variance → ĥ_D=0");
+    }
+
+    #[test]
+    fn foreign_wal_record_type_is_rejected() {
+        let path = tmp("foreign_rtype.wal");
+        std::fs::remove_file(&path).ok();
+        let base = base_table(5, 1 << 20);
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            wal.append(77, b"not a table record", None).unwrap();
+        }
+        assert!(matches!(
+            AppendableTable::open(&base, &path),
+            Err(StorageError::Corrupt(m)) if m.contains("unknown record type")
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn row_batch_codec_roundtrips_and_rejects_trailing_bytes() {
+        let rows = vec![
+            Tuple::dense(5, vec![1.0, 2.0], 1.0),
+            Tuple::sparse(6, 100, vec![3, 50], vec![0.5, -0.5], -1.0),
+        ];
+        let payload = encode_rows(&rows);
+        assert_eq!(decode_rows(&payload).unwrap(), rows);
+        let mut padded = payload.clone();
+        padded.push(0);
+        assert!(decode_rows(&padded).is_err());
+        assert!(decode_rows(&payload[..payload.len() - 1]).is_err());
+    }
+}

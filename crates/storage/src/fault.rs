@@ -67,6 +67,14 @@ pub mod sites {
     /// truncated: both snapshot and full WAL exist (replay must be
     /// idempotent).
     pub const MODEL_STORE_POST_SNAPSHOT: &str = "model_store.post_snapshot";
+    /// At the head of an `INSERT` statement's append, before any of its rows
+    /// reach the table WAL: the whole unacknowledged statement is lost,
+    /// previously-acked rows survive.
+    pub const TABLE_APPEND_ROWS: &str = "table.append_rows";
+    /// When the appendable table seals a full tail block (the seal marker's
+    /// WAL append): the sealed rows were already fsynced by their own row
+    /// records, so the crash loses nothing acknowledged.
+    pub const TABLE_SEAL_BLOCK: &str = "table.seal_block";
 
     /// Every registered crash site, in deterministic order — the rows of the
     /// crash matrix.
@@ -78,6 +86,8 @@ pub mod sites {
             ATOMIC_WRITE_MID_RENAME,
             SAVE_TABLE_MID_RENAME,
             MODEL_STORE_POST_SNAPSHOT,
+            TABLE_APPEND_ROWS,
+            TABLE_SEAL_BLOCK,
         ]
     }
 }
@@ -633,6 +643,8 @@ mod tests {
         assert!(s.contains(&sites::ATOMIC_WRITE_MID_RENAME));
         assert!(s.contains(&sites::SAVE_TABLE_MID_RENAME));
         assert!(s.contains(&sites::MODEL_STORE_POST_SNAPSHOT));
+        assert!(s.contains(&sites::TABLE_APPEND_ROWS));
+        assert!(s.contains(&sites::TABLE_SEAL_BLOCK));
         // Names are unique.
         let mut dedup = s.to_vec();
         dedup.sort_unstable();

@@ -24,8 +24,13 @@
 //!   permanent read failures, checksum corruption, latency spikes, and
 //!   write-path faults: retryable write failures, torn writes, and named
 //!   crash points);
+//! * [`codec`] — the shared frame/field/container codec behind the
+//!   `CORGIWL1` logs and `CORGIMS1` snapshots;
 //! * [`wal`] — append-only, CRC-framed `CORGIWL1` write-ahead log with
-//!   longest-valid-prefix recovery, backing the durable model store;
+//!   longest-valid-prefix recovery, backing the durable model store and the
+//!   per-table append log;
+//! * [`append`] — versioned [`TableSnapshot`]s plus the WAL-backed
+//!   [`AppendableTable`] writer powering `INSERT` and `TRAIN … CONTINUOUS`;
 //! * [`retry`] — bounded exponential-backoff retry shared by all block
 //!   readers, charging backoff to the simulated clock;
 //! * [`shared`] — interior-synchronized [`SharedDevice`]/[`SharedBufferPool`]
@@ -40,9 +45,11 @@
 //! Everything is deterministic: "time" is the simulated clock advanced by
 //! the device cost model, so experiments reproduce bit-for-bit across runs.
 
+pub mod append;
 pub mod block;
 pub mod buffer;
 pub mod bufmgr;
+pub mod codec;
 pub mod crc;
 pub mod device;
 pub mod error;
@@ -56,9 +63,13 @@ pub mod table;
 pub mod tuple;
 pub mod wal;
 
+pub use append::{AppendableTable, TableSnapshot, RT_TABLE_ROWS, RT_TABLE_SEAL};
 pub use block::{BlockId, BlockMeta};
 pub use buffer::{DoubleBufferModel, TupleBuffer, INITIAL_RESERVATION_CAP};
 pub use bufmgr::{BufferPool, BufferPoolStats};
+pub use codec::{
+    decode_container, encode_container, encode_frame, put_bytes, FieldReader, WAL_FRAME_OVERHEAD,
+};
 pub use crc::crc32;
 pub use device::{Access, CacheConfig, DeviceProfile, IoStats, SimDevice};
 pub use error::StorageError;

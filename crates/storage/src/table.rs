@@ -113,6 +113,47 @@ impl TableBuilder {
         Ok(())
     }
 
+    /// Re-open a finished table for further appends. The builder starts
+    /// with a clone of the table's pages, so the table itself stays
+    /// immutable — this is how [`AppendableTable`](crate::AppendableTable)
+    /// seeds its writer from the currently-registered snapshot.
+    pub fn from_table(table: &Table) -> TableBuilder {
+        TableBuilder {
+            config: table.config.clone(),
+            pages: table.pages.clone(),
+            tuple_count: table.tuple_count,
+            any_toast: table.any_toast,
+        }
+    }
+
+    /// Tuples appended so far.
+    pub fn tuple_count(&self) -> u64 {
+        self.tuple_count
+    }
+
+    /// Target block size this builder plans blocks against.
+    pub fn block_bytes(&self) -> usize {
+        self.config.block_bytes
+    }
+
+    /// Plan block boundaries over the current pages without consuming the
+    /// builder: an immutable point-in-time [`Table`] that shares nothing
+    /// mutable with the builder, so appends can continue underneath it.
+    pub fn snapshot(&self) -> Table {
+        let page_bytes: Vec<usize> = self.pages.iter().map(|p| p.disk_bytes()).collect();
+        let page_tuples: Vec<usize> = self.pages.iter().map(|p| p.tuple_count()).collect();
+        let blocks = plan_blocks(&page_bytes, &page_tuples, self.config.block_bytes);
+        let total_bytes = page_bytes.iter().sum();
+        Table {
+            config: self.config.clone(),
+            pages: self.pages.clone(),
+            blocks,
+            tuple_count: self.tuple_count,
+            total_bytes,
+            any_toast: self.any_toast,
+        }
+    }
+
     /// Finish: plan block boundaries and seal the table.
     pub fn finish(self) -> Table {
         let page_bytes: Vec<usize> = self.pages.iter().map(|p| p.disk_bytes()).collect();
@@ -362,6 +403,16 @@ impl Table {
         for p in &self.pages {
             out.extend(p.tuples());
         }
+        out
+    }
+
+    /// A copy of this table under a fresh `table_id`. Device/pool caches key
+    /// extents by `(table_id, block)`, so every published table version must
+    /// carry its own id — two versions sharing an id would alias cache
+    /// entries across different block contents.
+    pub fn with_table_id(&self, table_id: u32) -> Table {
+        let mut out = self.clone();
+        out.config.table_id = table_id;
         out
     }
 

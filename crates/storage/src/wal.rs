@@ -33,7 +33,6 @@
 //! crash after the fsync loses nothing. All three are exercised by the
 //! crash-matrix harness in `corgipile-db`.
 
-use crate::crc::crc32;
 use crate::error::StorageError;
 use crate::fault::{sites, FaultInjector, WriteOutcome};
 use crate::retry::RetryPolicy;
@@ -41,77 +40,17 @@ use crate::Result;
 use std::io::{self, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-/// File magic identifying a CorgiPile write-ahead log.
-pub const WAL_MAGIC: &[u8; 8] = b"CORGIWL1";
-
-/// Upper bound on a record payload (guards recovery against interpreting
-/// garbage as a multi-gigabyte length and stalling on allocation).
-pub const WAL_MAX_PAYLOAD: usize = 1 << 28;
-
-/// Frame overhead per record: len (4) + rtype (1) + crc (4).
-pub const WAL_FRAME_OVERHEAD: usize = 9;
+// The frame format lives in the shared codec (the table WAL uses the same
+// framing); re-exported here so existing `wal::…` paths keep working.
+pub use crate::codec::{
+    encode_frame, scan_valid_prefix, WalRecord, WAL_FRAME_OVERHEAD, WAL_MAGIC, WAL_MAX_PAYLOAD,
+};
 
 fn io_err(op: &'static str, e: io::Error) -> StorageError {
     StorageError::Io {
         op,
         message: e.to_string(),
     }
-}
-
-/// One recovered log record.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct WalRecord {
-    /// Caller-defined record type tag.
-    pub rtype: u8,
-    /// Record payload bytes.
-    pub payload: Vec<u8>,
-}
-
-/// Scan `bytes` (a whole WAL file image, magic included) for the longest
-/// valid record prefix.
-///
-/// Returns the decoded records and the byte length of the valid prefix
-/// (magic included). Everything past the returned length is a torn tail.
-/// Pure function so the recovery property test can drive it over arbitrary
-/// truncations without touching the filesystem.
-pub fn scan_valid_prefix(bytes: &[u8]) -> (Vec<WalRecord>, usize) {
-    if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
-        return (Vec::new(), 0);
-    }
-    let mut records = Vec::new();
-    let mut pos = WAL_MAGIC.len();
-    while let Some(len_bytes) = bytes.get(pos..pos + 4) {
-        let payload_len = u32::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
-        if payload_len > WAL_MAX_PAYLOAD {
-            break;
-        }
-        let frame_end = pos + 4 + 1 + payload_len + 4;
-        if frame_end > bytes.len() {
-            break;
-        }
-        let body = &bytes[pos..pos + 5 + payload_len];
-        let stored_crc = u32::from_le_bytes(bytes[frame_end - 4..frame_end].try_into().unwrap());
-        if crc32(body) != stored_crc {
-            break;
-        }
-        records.push(WalRecord {
-            rtype: bytes[pos + 4],
-            payload: bytes[pos + 5..pos + 5 + payload_len].to_vec(),
-        });
-        pos = frame_end;
-    }
-    (records, pos)
-}
-
-/// Encode one record frame (len ∥ rtype ∥ payload ∥ crc).
-fn encode_frame(rtype: u8, payload: &[u8]) -> Vec<u8> {
-    let mut frame = Vec::with_capacity(WAL_FRAME_OVERHEAD + payload.len());
-    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    frame.push(rtype);
-    frame.extend_from_slice(payload);
-    let crc = crc32(&frame[..5 + payload.len()]);
-    frame.extend_from_slice(&crc.to_le_bytes());
-    frame
 }
 
 /// Fsync the directory containing `path`, making a completed rename or

@@ -92,4 +92,21 @@ assert d['choice_shuffled'] == 'corgipile', d['choice_shuffled']
 assert d['recluster_within_budget'], d
 " || { echo "BENCH_planner.json failed the planner gate"; exit 1; }
 
+banner "Ingest + continuous training (concurrent INSERT/TRAIN, table-WAL crash matrix)"
+cargo test --release --test ingest_train
+
+banner "Ingest bench (smoke scale)"
+# Gated: TRAIN … CONTINUOUS must reach the retrain-from-scratch arm's
+# final loss with measurably less device I/O on the same drift schedule,
+# and the continuous rerun must stay bit-identical.
+CORGI_INGEST_TUPLES=2000 CORGI_INGEST_EPOCHS=3 CORGI_INGEST_ROWS=2000 CORGI_INGEST_BATCH=100 \
+  cargo run --release -p corgipile-bench --bin corgi-bench -- ingest
+python3 -c "
+import json
+d = json.load(open('BENCH_ingest.json'))
+assert d['drift']['continuous_io_bytes'] < d['drift']['retrain_io_bytes'], d['drift']
+assert d['continuous_reaches_target'], d['drift']
+assert d['bit_identical_all'], 'continuous rerun diverged'
+" || { echo "BENCH_ingest.json failed the ingest gate"; exit 1; }
+
 banner "CI gate passed"
